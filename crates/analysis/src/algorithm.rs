@@ -1,0 +1,371 @@
+//! Algorithm 3.1: the complete per-line self-checking decision procedure.
+
+use crate::exact::{all_node_tts, global_violation_minterms, line_functions};
+use crate::structural::{condition_a, condition_b, condition_c, condition_d};
+use crate::AnalysisError;
+use scal_faults::enumerate_faults;
+use scal_logic::Tt;
+use scal_netlist::{Circuit, Site, Structure};
+use std::collections::BTreeSet;
+
+/// Maximum primary-input count for exhaustive analysis.
+pub(crate) const MAX_ANALYSIS_INPUTS: usize = 16;
+
+/// Per-(line, output) record of which of Algorithm 3.1's conditions hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputConditions {
+    /// Index of the output (into [`Circuit::outputs`]).
+    pub output: usize,
+    /// Condition A — the line alternates (Theorem 3.6).
+    pub a: bool,
+    /// Condition B — fanout-free unate path (Theorem 3.7).
+    pub b: bool,
+    /// Condition C — uniform path parity (Theorem 3.8).
+    pub c: bool,
+    /// Condition D — standard-gate dominance (Theorem 3.9).
+    pub d: bool,
+    /// Condition E — the exact equation of Corollary 3.1.
+    pub e: bool,
+}
+
+impl OutputConditions {
+    /// `true` iff at least one condition certifies the line for this output.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.a || self.b || self.c || self.d || self.e
+    }
+
+    /// First passing condition as a letter, for report printing
+    /// (`'A'`…`'E'`), or `'-'`.
+    #[must_use]
+    pub fn witness(&self) -> char {
+        if self.a {
+            'A'
+        } else if self.b {
+            'B'
+        } else if self.c {
+            'C'
+        } else if self.d {
+            'D'
+        } else if self.e {
+            'E'
+        } else {
+            '-'
+        }
+    }
+}
+
+/// The verdict for one line of the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineReport {
+    /// The line.
+    pub site: Site,
+    /// Conditions per output whose cone contains the line.
+    pub outputs: Vec<OutputConditions>,
+    /// Theorem 3.4: neither stuck value is observable.
+    pub redundant: bool,
+    /// Stuck-at-0 is unobservable on every output.
+    pub untestable_s0: bool,
+    /// Stuck-at-1 is unobservable on every output.
+    pub untestable_s1: bool,
+    /// The line failed the single-output conditions on some output, so the
+    /// multiple-output relaxation had to be consulted.
+    pub needs_multi_output: bool,
+    /// Corollary 3.2's global check passed (meaningful when
+    /// `needs_multi_output`).
+    pub multi_output_ok: bool,
+    /// No stuck value ever produces an undetected wrong code word.
+    pub fault_secure: bool,
+}
+
+impl LineReport {
+    /// The network is self-checking with respect to this line.
+    #[must_use]
+    pub fn self_checking(&self) -> bool {
+        self.fault_secure && !self.redundant
+    }
+}
+
+/// The result of running Algorithm 3.1 on a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkReport {
+    /// One report per analysed line.
+    pub lines: Vec<LineReport>,
+    /// Lines that defeat self-checking.
+    pub offending: Vec<Site>,
+    /// The network-level verdict: every line fault-secure and irredundant.
+    pub self_checking: bool,
+}
+
+impl NetworkReport {
+    /// Report for a specific line, if analysed.
+    #[must_use]
+    pub fn line(&self, site: Site) -> Option<&LineReport> {
+        self.lines.iter().find(|l| l.site == site)
+    }
+}
+
+/// Runs Algorithm 3.1 on a combinational alternating network.
+///
+/// Prerequisites checked up front: the circuit validates, is combinational,
+/// has at most 16 inputs, and every output realizes a self-dual function
+/// (Theorem 2.1 — otherwise it is not an alternating network at all).
+///
+/// # Errors
+///
+/// Returns an [`AnalysisError`] if a prerequisite fails.
+pub fn analyze(circuit: &Circuit) -> Result<NetworkReport, AnalysisError> {
+    circuit.validate()?;
+    if circuit.is_sequential() {
+        return Err(AnalysisError::Sequential);
+    }
+    let n = circuit.inputs().len();
+    if n > MAX_ANALYSIS_INPUTS {
+        return Err(AnalysisError::TooWide { inputs: n });
+    }
+
+    let node_tts = all_node_tts(circuit);
+    for (j, out) in circuit.outputs().iter().enumerate() {
+        if !node_tts[out.node.index()].is_self_dual() {
+            return Err(AnalysisError::NotSelfDual { output: j });
+        }
+    }
+
+    let structure = Structure::new(circuit);
+    let alternating: Vec<bool> = node_tts.iter().map(Tt::is_self_dual).collect();
+    let output_cones: Vec<Vec<bool>> = circuit
+        .outputs()
+        .iter()
+        .map(|o| structure.cone(o.node))
+        .collect();
+
+    // The line universe: one entry per distinct fault site (both stuck
+    // values are analysed inside line_functions).
+    let sites: BTreeSet<Site> = enumerate_faults(circuit)
+        .into_iter()
+        .map(|f| f.site)
+        .collect();
+
+    let mut lines = Vec::new();
+    let mut offending = Vec::new();
+
+    for site in sites {
+        let funcs = line_functions(circuit, &node_tts, site);
+        let redundant = funcs.redundant();
+        let untestable_s0 = funcs.unobservable(false);
+        let untestable_s1 = funcs.unobservable(true);
+
+        // Which outputs does the line reach?
+        let anchor = match site {
+            Site::Stem(s) => s,
+            Site::Branch { node, .. } => node,
+        };
+        let mut outputs = Vec::new();
+        for (j, out) in circuit.outputs().iter().enumerate() {
+            if !output_cones[j][anchor.index()] {
+                continue;
+            }
+            let cond = OutputConditions {
+                output: j,
+                a: condition_a(circuit, &node_tts, site),
+                b: condition_b(&structure, site, out.node),
+                c: condition_c(&structure, site, out.node),
+                d: condition_d(circuit, &structure, &alternating, site, out.node),
+                e: funcs.condition_e(j),
+            };
+            outputs.push(cond);
+        }
+
+        let single_output_ok = outputs.iter().all(OutputConditions::passes);
+        let needs_multi_output = !single_output_ok;
+        let (v0, v1) = if needs_multi_output {
+            global_violation_minterms(&funcs)
+        } else {
+            (Tt::zero(n), Tt::zero(n))
+        };
+        let multi_output_ok = v0.is_zero() && v1.is_zero();
+        let fault_secure = single_output_ok || multi_output_ok;
+
+        let report = LineReport {
+            site,
+            outputs,
+            redundant,
+            untestable_s0,
+            untestable_s1,
+            needs_multi_output,
+            multi_output_ok,
+            fault_secure,
+        };
+        if !report.self_checking() {
+            offending.push(site);
+        }
+        lines.push(report);
+    }
+
+    let self_checking = offending.is_empty();
+    Ok(NetworkReport {
+        lines,
+        offending,
+        self_checking,
+    })
+}
+
+/// Convenience: the sites Algorithm 3.1 analyses for a circuit.
+#[must_use]
+pub fn analysis_sites(circuit: &Circuit) -> Vec<Site> {
+    let set: BTreeSet<Site> = enumerate_faults(circuit)
+        .into_iter()
+        .map(|f| f.site)
+        .collect();
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_faults::run_campaign;
+
+    fn maj_nand() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nac = c.nand(&[a, d]);
+        let nbc = c.nand(&[b, d]);
+        let f = c.nand(&[nab, nac, nbc]);
+        c.mark_output("f", f);
+        c
+    }
+
+    /// Reconstructed Fig. 3.4-style multi-output network (see crate docs):
+    /// F1 = MAJ(ā,b,c), F2 = a⊕b⊕c, F3 = MAJ(a,b,c), with a NAND stem shared
+    /// between F2 and F3 ("line 9") and an unequal-parity XOR stem private
+    /// to F2 ("line 20").
+    fn fig3_4_like() -> (Circuit, Site, Site) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let n1 = c.nand(&[a, b]); // "line 9"
+        let ta = c.nand(&[a, n1]);
+        let tb = c.nand(&[b, n1]);
+        let x = c.nand(&[ta, tb]); // "line 20": x = a⊕b
+        let nd = c.not(d);
+        let nx = c.not(x);
+        let t1 = c.and(&[x, nd]);
+        let t2 = c.and(&[nx, d]);
+        let f2 = c.or(&[t1, t2]); // F2 = a⊕b⊕c
+        let nad = c.nand(&[a, d]);
+        let nbd = c.nand(&[b, d]);
+        let f3 = c.nand(&[n1, nad, nbd]); // F3 = MAJ(a,b,c)
+        let na = c.not(a);
+        let m1 = c.nand(&[na, b]);
+        let m2 = c.nand(&[na, d]);
+        let m3 = c.nand(&[b, d]);
+        let f1 = c.nand(&[m1, m2, m3]); // F1 = MAJ(ā,b,c)
+        c.mark_output("f1", f1);
+        c.mark_output("f2", f2);
+        c.mark_output("f3", f3);
+        (c, Site::Stem(n1), Site::Stem(x))
+    }
+
+    #[test]
+    fn two_level_network_fully_self_checking() {
+        let report = analyze(&maj_nand()).unwrap();
+        assert!(report.self_checking);
+        assert!(report.offending.is_empty());
+        // Every line certified by a structural condition or E.
+        for line in &report.lines {
+            assert!(line.fault_secure);
+            assert!(!line.redundant);
+        }
+    }
+
+    #[test]
+    fn analysis_agrees_with_exhaustive_campaign() {
+        for (circuit, _, _) in [fig3_4_like()] {
+            let report = analyze(&circuit).unwrap();
+            let campaign = run_campaign(&circuit);
+            // Per-site fault security must match exactly.
+            for line in &report.lines {
+                let sim_secure = campaign
+                    .iter()
+                    .filter(|r| r.fault.site == line.site)
+                    .all(|r| r.fault_secure());
+                assert_eq!(
+                    line.fault_secure, sim_secure,
+                    "analytic vs simulated disagreement at {}",
+                    line.site
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_4_like_fails_only_at_line_20() {
+        let (c, line9, line20) = fig3_4_like();
+        let report = analyze(&c).unwrap();
+        assert!(!report.self_checking);
+        // line 9 is rescued by the multiple-output condition…
+        let l9 = report.line(line9).unwrap();
+        assert!(l9.needs_multi_output);
+        assert!(l9.multi_output_ok);
+        assert!(l9.fault_secure);
+        // …line 20 is not.
+        let l20 = report.line(line20).unwrap();
+        assert!(l20.needs_multi_output);
+        assert!(!l20.multi_output_ok);
+        assert!(!l20.fault_secure);
+        assert!(report.offending.contains(&line20));
+    }
+
+    #[test]
+    fn structural_conditions_imply_exact_condition() {
+        // Soundness of Theorems 3.6–3.9: whenever A/B/C/D certifies a line
+        // for an output, condition E must also hold for that output.
+        let (c, _, _) = fig3_4_like();
+        let report = analyze(&c).unwrap();
+        for line in &report.lines {
+            for oc in &line.outputs {
+                if oc.a || oc.b || oc.c || oc.d {
+                    assert!(
+                        oc.e,
+                        "structural condition passed but E failed at {} output {}",
+                        line.site, oc.output
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_self_dual_network_rejected() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        c.mark_output("f", g);
+        assert_eq!(analyze(&c), Err(AnalysisError::NotSelfDual { output: 0 }));
+    }
+
+    #[test]
+    fn sequential_network_rejected() {
+        let mut c = Circuit::new();
+        let ff = c.dff(false);
+        let n = c.not(ff);
+        c.connect_dff(ff, n);
+        c.mark_output("q", ff);
+        assert_eq!(analyze(&c), Err(AnalysisError::Sequential));
+    }
+
+    #[test]
+    fn witnesses_are_printable() {
+        let report = analyze(&maj_nand()).unwrap();
+        for line in &report.lines {
+            for oc in &line.outputs {
+                assert!(matches!(oc.witness(), 'A'..='E'));
+            }
+        }
+    }
+}

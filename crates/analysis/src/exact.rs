@@ -1,0 +1,311 @@
+//! Exact (truth-table) machinery: line functions, Corollary 3.1 / 3.2.
+
+use scal_logic::Tt;
+use scal_netlist::{Circuit, NodeId, Override, Site};
+
+/// The truth tables Algorithm 3.1 manipulates for one line `g` of a network:
+/// the paper's `G(X)`, `F(X, G(X))`, `F(X, 0)` and `F(X, 1)` for every
+/// output `F`.
+#[derive(Debug, Clone)]
+pub struct LineFunctions {
+    /// The line under analysis.
+    pub site: Site,
+    /// `G(X)` — the fault-free value of the line (for a branch, the value of
+    /// its source stem).
+    pub g: Tt,
+    /// Per output: the fault-free output `F(X, G(X))`.
+    pub normal: Vec<Tt>,
+    /// Per output: the output with the line stuck-at-0, `F(X, 0)`.
+    pub stuck0: Vec<Tt>,
+    /// Per output: the output with the line stuck-at-1, `F(X, 1)`.
+    pub stuck1: Vec<Tt>,
+}
+
+impl LineFunctions {
+    /// Theorem 3.1's incorrect-alternation set for output `j` under
+    /// stuck-at-`s`: the minterms `X` at which the faulty output is wrong in
+    /// *both* periods of the pair `(X, X̄)` while still alternating.
+    #[must_use]
+    pub fn violation_minterms(&self, output: usize, stuck: bool) -> Tt {
+        let fs = if stuck {
+            &self.stuck1[output]
+        } else {
+            &self.stuck0[output]
+        };
+        // D(X) = 1 where the faulty output differs from the correct one in
+        // period 1; D(X̄) lifted back to period-1 coordinates marks period-2
+        // wrongness. Both wrong ⇒ incorrect alternating output.
+        let d = fs ^ &self.normal[output];
+        &d & &d.flip_inputs()
+    }
+
+    /// Corollary 3.1 for output `j`: `true` iff neither stuck value can ever
+    /// produce an incorrect alternating output on that output.
+    #[must_use]
+    pub fn condition_e(&self, output: usize) -> bool {
+        self.violation_minterms(output, false).is_zero()
+            && self.violation_minterms(output, true).is_zero()
+    }
+
+    /// Theorem 3.4: the line is redundant iff no stuck value ever changes any
+    /// output.
+    #[must_use]
+    pub fn redundant(&self) -> bool {
+        self.unobservable(false) && self.unobservable(true)
+    }
+
+    /// `true` iff stuck-at-`s` on this line never changes any output (the
+    /// fault is untestable; the paper then models the line as a constant).
+    #[must_use]
+    pub fn unobservable(&self, stuck: bool) -> bool {
+        let fs = if stuck { &self.stuck1 } else { &self.stuck0 };
+        fs.iter().zip(&self.normal).all(|(a, b)| a == b)
+    }
+}
+
+/// Corollary 3.2's global check: the minterms at which *every* output
+/// alternates yet at least one is wrong — undetected wrong code words — for
+/// each stuck value. The network is self-checking with respect to the line
+/// iff both tables are zero (given irredundancy).
+#[must_use]
+pub fn global_violation_minterms(funcs: &LineFunctions) -> (Tt, Tt) {
+    let n = funcs.g.nvars();
+    let mut out = Vec::with_capacity(2);
+    for stuck in [false, true] {
+        let fs = if stuck { &funcs.stuck1 } else { &funcs.stuck0 };
+        let mut all_alternate = Tt::one(n);
+        let mut some_wrong = Tt::zero(n);
+        for (k, f) in fs.iter().enumerate() {
+            // Output k alternates at pair (X, X̄) iff Fk(X) ≠ Fk(X̄).
+            let alt = f ^ &f.flip_inputs();
+            all_alternate = all_alternate & alt;
+            some_wrong = some_wrong | (f ^ &funcs.normal[k]);
+        }
+        out.push(all_alternate & some_wrong);
+    }
+    let s1 = out.pop().expect("two entries");
+    let s0 = out.pop().expect("two entries");
+    (s0, s1)
+}
+
+/// Truth tables of *every node* of a combinational circuit as functions of
+/// the primary inputs, computed in one bit-parallel sweep.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or wider than
+/// [`scal_logic::MAX_VARS`].
+#[must_use]
+pub fn all_node_tts(circuit: &Circuit) -> Vec<Tt> {
+    assert!(!circuit.is_sequential(), "combinational circuits only");
+    let n = circuit.inputs().len();
+    assert!(n <= scal_logic::MAX_VARS, "too many inputs");
+    let total = 1usize << n;
+    let mut tts = vec![Tt::zero(n); circuit.len()];
+    let mut words = vec![0u64; n];
+    let mut base = 0usize;
+    while base < total {
+        let lanes = (total - base).min(64);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0;
+            for lane in 0..lanes {
+                if ((base + lane) >> i) & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        let values = circuit.eval_nodes64(&words, &[], &[]);
+        for (idx, tt) in tts.iter_mut().enumerate() {
+            let v = values[idx];
+            for lane in 0..lanes {
+                if (v >> lane) & 1 == 1 {
+                    tt.set((base + lane) as u32, true);
+                }
+            }
+        }
+        base += lanes;
+    }
+    tts
+}
+
+/// Source stem of a site (the node whose value the line carries).
+#[must_use]
+pub fn source_of(circuit: &Circuit, site: Site) -> NodeId {
+    match site {
+        Site::Stem(n) => n,
+        Site::Branch { node, pin } => circuit.fanins(node)[pin],
+    }
+}
+
+/// Computes [`LineFunctions`] for one line. `node_tts` must come from
+/// [`all_node_tts`] on the same circuit.
+///
+/// # Panics
+///
+/// Panics on arity/width violations (see [`all_node_tts`]).
+#[must_use]
+pub fn line_functions(circuit: &Circuit, node_tts: &[Tt], site: Site) -> LineFunctions {
+    let outputs = circuit.outputs();
+    let normal: Vec<Tt> = outputs
+        .iter()
+        .map(|o| node_tts[o.node.index()].clone())
+        .collect();
+    let g = node_tts[source_of(circuit, site).index()].clone();
+    let stuck_tables = |value: bool| -> Vec<Tt> {
+        let ov = [Override { site, value }];
+        outputs
+            .iter()
+            .map(|o| circuit.node_tt_with(o.node, &ov))
+            .collect()
+    };
+    LineFunctions {
+        site,
+        g,
+        normal,
+        stuck0: stuck_tables(false),
+        stuck1: stuck_tables(true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f = (w AND ¬c) OR (¬w AND c) with w = a XOR b: the unequal-parity
+    /// reconvergence whose w-stem faults are fault-secure violations.
+    fn unequal_parity() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let w = c.xor(&[a, b]);
+        let nd = c.not(d);
+        let nw = c.not(w);
+        let t1 = c.and(&[w, nd]);
+        let t2 = c.and(&[nw, d]);
+        let f = c.or(&[t1, t2]);
+        c.mark_output("f", f);
+        (c, w)
+    }
+
+    #[test]
+    fn all_node_tts_match_node_tt() {
+        let (c, _) = unequal_parity();
+        let tts = all_node_tts(&c);
+        for id in c.node_ids() {
+            assert_eq!(tts[id.index()], c.node_tt(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn condition_e_catches_theorem_3_1_violation() {
+        let (c, w) = unequal_parity();
+        let tts = all_node_tts(&c);
+        let lf = line_functions(&c, &tts, Site::Stem(w));
+        assert!(!lf.condition_e(0));
+        let v0 = lf.violation_minterms(0, false);
+        assert!(!v0.is_zero());
+        // s-a-0 makes f = c, which is wrong in both periods exactly when
+        // w(X) = 1, i.e. a ⊕ b.
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = (m >> 1) & 1 == 1;
+            assert_eq!(v0.eval(m), a != b, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn condition_e_passes_on_two_level_network() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nac = c.nand(&[a, d]);
+        let nbc = c.nand(&[b, d]);
+        let f = c.nand(&[nab, nac, nbc]);
+        c.mark_output("f", f);
+        let tts = all_node_tts(&c);
+        for id in c.node_ids() {
+            let lf = line_functions(&c, &tts, Site::Stem(id));
+            assert!(lf.condition_e(0), "line {id}");
+            assert!(!lf.redundant());
+        }
+    }
+
+    #[test]
+    fn redundancy_detected() {
+        // A line with no path to any output is redundant in both directions
+        // (Theorem 3.4's A ∨ C = 0): here m = AND(g, ¬g) feeds a gate whose
+        // other input masks it completely is modelled by simply not using m.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.or(&[a, b]);
+        c.mark_output("f", f);
+        let tts = all_node_tts(&c);
+        let lf = line_functions(&c, &tts, Site::Stem(g));
+        assert!(lf.redundant());
+        assert!(lf.unobservable(false) && lf.unobservable(true));
+    }
+
+    #[test]
+    fn one_direction_untestable() {
+        // f = a OR (a AND b) = a. Stuck-0 on the AND leaves f = a
+        // (unobservable); stuck-1 forces f = 1, observable at a = 0. The
+        // paper's rule then replaces the subnetwork by a constant; here we
+        // just require the flags to tell the two directions apart.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.or(&[a, g]);
+        c.mark_output("f", f);
+        let tts = all_node_tts(&c);
+        let lf = line_functions(&c, &tts, Site::Stem(g));
+        assert!(lf.unobservable(false));
+        assert!(!lf.unobservable(true));
+        assert!(!lf.redundant());
+    }
+
+    #[test]
+    fn global_violation_rescued_by_second_output() {
+        // The paper's "line 9" mechanism (§3.6): a NAND stem shared between
+        // the XOR chain of F2 = a⊕b⊕c and the majority F3. Stuck-at-0 on the
+        // shared stem makes F2 alternate *incorrectly* at some pairs, but F3
+        // simultaneously goes non-alternating — Corollary 3.2 rescues it.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        // Shared stem: n1 = NAND(a, b).
+        let n1 = c.nand(&[a, b]);
+        // x = a ⊕ b from NANDs reusing n1.
+        let ta = c.nand(&[a, n1]);
+        let tb = c.nand(&[b, n1]);
+        let x = c.nand(&[ta, tb]);
+        // F2 = x ⊕ d via unequal-parity AND/OR reconvergence.
+        let nd = c.not(d);
+        let nx = c.not(x);
+        let t1 = c.and(&[x, nd]);
+        let t2 = c.and(&[nx, d]);
+        let f2 = c.or(&[t1, t2]);
+        // F3 = MAJ(a,b,c) = NAND(n1, NAND(a,d), NAND(b,d)), sharing n1.
+        let nad = c.nand(&[a, d]);
+        let nbd = c.nand(&[b, d]);
+        let f3 = c.nand(&[n1, nad, nbd]);
+        c.mark_output("f2", f2);
+        c.mark_output("f3", f3);
+
+        let tts = all_node_tts(&c);
+        let lf = line_functions(&c, &tts, Site::Stem(n1));
+        assert!(!lf.condition_e(0), "F2 alone alternates incorrectly");
+        assert!(lf.condition_e(1), "F3 alone is clean for n1");
+        let (v0, v1) = global_violation_minterms(&lf);
+        assert!(
+            v0.is_zero() && v1.is_zero(),
+            "jointly fault-secure via Cor. 3.2"
+        );
+    }
+}

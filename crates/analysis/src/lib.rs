@@ -1,0 +1,116 @@
+//! Analytic self-checking analysis for alternating-logic networks.
+//!
+//! Chapter 3 of the paper develops an *analytic* (non-simulation) procedure —
+//! Algorithm 3.1 — that decides whether an irredundant self-dual network is
+//! self-checking by examining each line against a ladder of conditions:
+//!
+//! * **A** — the line alternates for every input pair (Theorem 3.6);
+//! * **B** — the line does not fan out and its path to the output passes only
+//!   unate gates (Theorem 3.7);
+//! * **C** — all paths from the line to the output share one parity
+//!   (Theorem 3.8, Definition 3.1);
+//! * **D** — the line feeds the same standard gate as an alternating line
+//!   (Theorem 3.9);
+//! * **E** — the exact fault-secure equation of Corollary 3.1 holds;
+//! * and, for lines shared between outputs, the relaxed multiple-output
+//!   condition of Corollary 3.2 (an incorrect alternating output must be
+//!   accompanied by a non-alternating one, Definition 3.3/Theorem 3.10).
+//!
+//! [`analyze`] runs the full algorithm and produces a [`NetworkReport`];
+//! [`derive_tests`] implements Theorem 3.2's `A,B,C,D,E,F` test-derivation
+//! calculus; redundancy is detected per Theorem 3.4.
+//!
+//! Conditions A–D are *sufficient*, condition E (and its multiple-output
+//! relaxation) is *exact*; the crate's tests cross-validate both against the
+//! exhaustive fault simulation in `scal-faults`.
+//!
+//! # Example
+//!
+//! ```
+//! use scal_netlist::Circuit;
+//! use scal_analysis::analyze;
+//!
+//! // MAJ(a,b,c) from NANDs: two-level self-dual => self-checking.
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let d = c.input("c");
+//! let nab = c.nand(&[a, b]);
+//! let nac = c.nand(&[a, d]);
+//! let nbc = c.nand(&[b, d]);
+//! let f = c.nand(&[nab, nac, nbc]);
+//! c.mark_output("f", f);
+//!
+//! let report = analyze(&c).unwrap();
+//! assert!(report.self_checking);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod exact;
+mod redundancy;
+mod repair;
+mod structural;
+mod testgen;
+mod tests31;
+
+pub use algorithm::{analysis_sites, analyze, LineReport, NetworkReport, OutputConditions};
+pub use exact::{
+    all_node_tts, global_violation_minterms, line_functions, source_of, LineFunctions,
+};
+pub use redundancy::{remove_redundancy, RedundancyReport};
+pub use repair::{make_self_checking, split_fanout, RepairReport};
+pub use structural::{condition_a, condition_b, condition_c, condition_d};
+pub use testgen::{generate_tests, validate_tests, TestSet};
+pub use tests31::{derive_tests, StuckTests};
+
+use scal_netlist::NetlistError;
+
+/// Errors from the analysis entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The circuit failed structural validation.
+    Netlist(NetlistError),
+    /// The circuit is sequential; Chapter 3's analysis is combinational.
+    Sequential,
+    /// An output is not self-dual, so the network is not an alternating
+    /// network (Theorem 2.1) and self-checking analysis does not apply.
+    NotSelfDual {
+        /// Index of the offending output.
+        output: usize,
+    },
+    /// Too many primary inputs for exhaustive truth-table analysis.
+    TooWide {
+        /// The circuit's input count.
+        inputs: usize,
+    },
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalysisError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+            AnalysisError::Sequential => write!(f, "analysis applies to combinational networks"),
+            AnalysisError::NotSelfDual { output } => {
+                write!(
+                    f,
+                    "output {output} is not self-dual; not an alternating network"
+                )
+            }
+            AnalysisError::TooWide { inputs } => {
+                write!(f, "{inputs} inputs exceed the exhaustive-analysis limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<NetlistError> for AnalysisError {
+    fn from(e: NetlistError) -> Self {
+        AnalysisError::Netlist(e)
+    }
+}

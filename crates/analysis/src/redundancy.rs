@@ -1,0 +1,233 @@
+//! Redundancy handling (§3.2 after Theorem 3.4): lines untestable in one
+//! direction are replaced by the constant they are indistinguishable from
+//! ("the subnetwork generating the line value may be removed and replaced by
+//! a constant input"), and fully redundant logic is swept away; the analysis
+//! then assumes "all such replacements have been done".
+
+use crate::exact::{all_node_tts, line_functions};
+use crate::AnalysisError;
+use scal_netlist::{Circuit, NodeId, NodeView, Site, Structure};
+
+/// The outcome of one redundancy-removal pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Stems whose value was proved constant-equivalent and replaced.
+    pub replaced: Vec<(NodeId, bool)>,
+    /// Gate count before and after.
+    pub gates_before: usize,
+    /// Gate count after sweeping.
+    pub gates_after: usize,
+}
+
+/// Replaces every stem that is untestable stuck-at-`s` (for exactly one
+/// `s`) by the constant `s`, sweeps unreachable logic, and iterates to a
+/// fixed point. Functionally the output is unchanged; structurally the
+/// result has no one-direction-untestable stems left, which is what
+/// Theorem 3.5 needs to conclude self-testing from irredundancy.
+///
+/// # Errors
+///
+/// Same prerequisites as [`crate::analyze`], except self-duality is not
+/// required (redundancy is a plain combinational notion).
+pub fn remove_redundancy(circuit: &Circuit) -> Result<(Circuit, RedundancyReport), AnalysisError> {
+    circuit.validate()?;
+    if circuit.is_sequential() {
+        return Err(AnalysisError::Sequential);
+    }
+    if circuit.inputs().len() > crate::algorithm::MAX_ANALYSIS_INPUTS {
+        return Err(AnalysisError::TooWide {
+            inputs: circuit.inputs().len(),
+        });
+    }
+
+    let gates_before = circuit.cost().gates;
+    let mut current = circuit.clone();
+    let mut replaced_total = Vec::new();
+    loop {
+        let node_tts = all_node_tts(&current);
+        let mut replacement: Option<(NodeId, bool)> = None;
+        for id in current.node_ids() {
+            if !matches!(current.view(id), NodeView::Gate(_)) {
+                continue;
+            }
+            let funcs = line_functions(&current, &node_tts, Site::Stem(id));
+            // Untestable stuck-at-s means the network cannot distinguish the
+            // line from constant s.
+            let u0 = funcs.unobservable(false);
+            let u1 = funcs.unobservable(true);
+            if u0 || u1 {
+                // Untestable stuck-at-s means the network behaves
+                // identically with the line at constant s; when both
+                // directions are untestable (fully redundant) either
+                // constant works.
+                replacement = Some((id, !u0));
+                break;
+            }
+        }
+        let Some((victim, value)) = replacement else {
+            break;
+        };
+        replaced_total.push((victim, value));
+        current = rebuild_with_constant(&current, victim, value);
+    }
+
+    let report = RedundancyReport {
+        replaced: replaced_total,
+        gates_before,
+        gates_after: current.cost().gates,
+    };
+    Ok((current, report))
+}
+
+/// Rebuilds the circuit with `victim`'s stem replaced by `value`, keeping
+/// only logic still reachable from the outputs.
+fn rebuild_with_constant(circuit: &Circuit, victim: NodeId, value: bool) -> Circuit {
+    let mut c = Circuit::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; circuit.len()];
+    for &inp in circuit.inputs() {
+        map[inp.index()] = Some(c.input(circuit.name(inp).unwrap_or("x").to_owned()));
+    }
+    let const_node = c.constant(value);
+    map[victim.index()] = Some(const_node);
+
+    for id in circuit.topo_order() {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        let new = match circuit.view(id) {
+            NodeView::Input => unreachable!("inputs pre-mapped"),
+            NodeView::Const(v) => c.constant(v),
+            NodeView::Dff { .. } => unreachable!("combinational only"),
+            NodeView::Gate(kind) => {
+                let fanins: Vec<NodeId> = circuit
+                    .fanins(id)
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin mapped"))
+                    .collect();
+                c.gate(kind, &fanins)
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    for o in circuit.outputs() {
+        c.mark_output(o.name.clone(), map[o.node.index()].expect("mapped"));
+    }
+    sweep_dead(&c)
+}
+
+/// Copies only logic reachable from the outputs.
+fn sweep_dead(circuit: &Circuit) -> Circuit {
+    let structure = Structure::new(circuit);
+    let mut live = vec![false; circuit.len()];
+    for o in circuit.outputs() {
+        for (i, &inc) in structure.cone(o.node).iter().enumerate() {
+            live[i] = live[i] || inc;
+        }
+    }
+    // Inputs always survive (interface stability).
+    for &inp in circuit.inputs() {
+        live[inp.index()] = true;
+    }
+    let mut c = Circuit::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; circuit.len()];
+    for &inp in circuit.inputs() {
+        map[inp.index()] = Some(c.input(circuit.name(inp).unwrap_or("x").to_owned()));
+    }
+    for id in circuit.topo_order() {
+        if map[id.index()].is_some() || !live[id.index()] {
+            continue;
+        }
+        let new = match circuit.view(id) {
+            NodeView::Input => unreachable!(),
+            NodeView::Const(v) => c.constant(v),
+            NodeView::Dff { .. } => unreachable!("combinational only"),
+            NodeView::Gate(kind) => {
+                let fanins: Vec<NodeId> = circuit
+                    .fanins(id)
+                    .iter()
+                    .map(|f| map[f.index()].expect("live fanin mapped"))
+                    .collect();
+                c.gate(kind, &fanins)
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    for o in circuit.outputs() {
+        c.mark_output(o.name.clone(), map[o.node.index()].expect("output live"));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbed_term_is_replaced_by_constant() {
+        // f = a OR (a AND b): the AND is untestable s-a-0 -> becomes const 0
+        // and the OR collapses away functionally (f = a).
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.or(&[a, g]);
+        c.mark_output("f", f);
+        let before = c.output_tt(0);
+        let (clean, report) = remove_redundancy(&c).unwrap();
+        assert!(!report.replaced.is_empty());
+        assert!(report.gates_after < report.gates_before);
+        assert_eq!(clean.output_tt(0), before, "function preserved");
+    }
+
+    #[test]
+    fn irredundant_network_is_untouched() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nac = c.nand(&[a, d]);
+        let nbc = c.nand(&[b, d]);
+        let f = c.nand(&[nab, nac, nbc]);
+        c.mark_output("f", f);
+        let (clean, report) = remove_redundancy(&c).unwrap();
+        assert!(report.replaced.is_empty());
+        assert_eq!(clean.cost().gates, c.cost().gates);
+    }
+
+    #[test]
+    fn dangling_logic_swept() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let dangling = c.and(&[a, b]);
+        let _ = dangling;
+        let f = c.xor(&[a, b]);
+        c.mark_output("f", f);
+        let (clean, report) = remove_redundancy(&c).unwrap();
+        assert!(report.gates_after <= report.gates_before);
+        assert_eq!(clean.count_kind(scal_netlist::GateKind::And), 0);
+    }
+
+    #[test]
+    fn cleaned_network_has_no_untestable_gate_stems() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let h = c.or(&[a, g]); // absorbed
+        let f = c.xor(&[h, b]);
+        c.mark_output("f", f);
+        let (clean, _) = remove_redundancy(&c).unwrap();
+        let tts = all_node_tts(&clean);
+        for id in clean.node_ids() {
+            if matches!(clean.view(id), NodeView::Gate(_)) {
+                let funcs = line_functions(&clean, &tts, Site::Stem(id));
+                assert!(
+                    !funcs.unobservable(false) && !funcs.unobservable(true),
+                    "gate {id} still untestable"
+                );
+            }
+        }
+    }
+}

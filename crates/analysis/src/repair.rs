@@ -1,0 +1,299 @@
+//! Constructive repair: making a network self-checking by fanout splitting —
+//! the §8.3 "constructive design procedures" direction, generalizing the
+//! paper's own Fig. 3.4 → Fig. 3.7 fix.
+//!
+//! The fatal pattern of Chapter 3 is a stem whose fanout branches reconverge
+//! with unequal parity: its stuck faults can flip the output in *both*
+//! periods and hide behind a still-alternating pair (Theorem 3.1). The fix
+//! the paper applies by hand — duplicate the logic so the line no longer
+//! fans out — is mechanized here: [`split_fanout`] clones an offending
+//! stem's fan-in cone once per branch, and [`make_self_checking`] iterates
+//! Algorithm 3.1 + splitting to a fixed point.
+
+use crate::algorithm::analyze;
+use crate::AnalysisError;
+use scal_netlist::{Circuit, NodeId, NodeView, Site};
+
+/// Duplicates `stem`'s fan-in cone so that each of its fanout branches is
+/// fed by a private copy (the first branch keeps the original). Functionally
+/// the circuit is unchanged.
+///
+/// # Panics
+///
+/// Panics if `stem` is not a gate, or the circuit is sequential.
+#[must_use]
+pub fn split_fanout(circuit: &Circuit, stem: NodeId) -> Circuit {
+    assert!(!circuit.is_sequential(), "combinational repair only");
+    assert!(
+        matches!(circuit.view(stem), NodeView::Gate(_)),
+        "only gate stems can be split"
+    );
+    // Consumers of the stem, in a stable order.
+    let consumers: Vec<(NodeId, usize)> = circuit
+        .node_ids()
+        .flat_map(|id| {
+            circuit
+                .fanins(id)
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| **f == stem)
+                .map(|(pin, _)| (id, pin))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if consumers.len() <= 1 {
+        return circuit.clone();
+    }
+
+    // Rebuild, creating one extra copy of the stem's cone per extra branch.
+    let mut c = Circuit::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; circuit.len()];
+    for &inp in circuit.inputs() {
+        map[inp.index()] = Some(c.input(circuit.name(inp).unwrap_or("x").to_owned()));
+    }
+    let order = circuit.topo_order();
+    for &id in &order {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        let new = match circuit.view(id) {
+            NodeView::Input => unreachable!("inputs pre-mapped"),
+            NodeView::Const(v) => c.constant(v),
+            NodeView::Dff { .. } => unreachable!("combinational only"),
+            NodeView::Gate(kind) => {
+                let fanins: Vec<NodeId> = circuit
+                    .fanins(id)
+                    .iter()
+                    .map(|f| map[f.index()].expect("topo order"))
+                    .collect();
+                c.gate(kind, &fanins)
+            }
+        };
+        if let Some(n) = circuit.name(id) {
+            c.set_name(new, n.to_owned());
+        }
+        map[id.index()] = Some(new);
+    }
+
+    // Build duplicate cones for branches 1.. and rewire.
+    for (branch_idx, &(consumer, pin)) in consumers.iter().enumerate().skip(1) {
+        let copy = clone_cone(circuit, &mut c, &map, stem);
+        let mapped_consumer = map[consumer.index()].expect("mapped");
+        c.replace_fanin(mapped_consumer, pin, copy);
+        let _ = branch_idx;
+    }
+
+    for o in circuit.outputs() {
+        c.mark_output(o.name.clone(), map[o.node.index()].expect("mapped"));
+    }
+    c
+}
+
+/// Clones the gate cone of `stem` (stopping at inputs/constants, which are
+/// shared) into `c`, returning the copy's root.
+fn clone_cone(
+    original: &Circuit,
+    c: &mut Circuit,
+    base_map: &[Option<NodeId>],
+    stem: NodeId,
+) -> NodeId {
+    fn go(
+        original: &Circuit,
+        c: &mut Circuit,
+        base_map: &[Option<NodeId>],
+        local: &mut std::collections::BTreeMap<usize, NodeId>,
+        node: NodeId,
+    ) -> NodeId {
+        if let Some(&done) = local.get(&node.index()) {
+            return done;
+        }
+        let new = match original.view(node) {
+            NodeView::Input | NodeView::Const(_) => {
+                base_map[node.index()].expect("sources pre-mapped")
+            }
+            NodeView::Dff { .. } => unreachable!("combinational only"),
+            NodeView::Gate(kind) => {
+                let fanins: Vec<NodeId> = original
+                    .fanins(node)
+                    .iter()
+                    .map(|&f| go(original, c, base_map, local, f))
+                    .collect();
+                c.gate(kind, &fanins)
+            }
+        };
+        local.insert(node.index(), new);
+        new
+    }
+    let mut local = std::collections::BTreeMap::new();
+    go(original, c, base_map, &mut local, stem)
+}
+
+/// Report from [`make_self_checking`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Number of stems split.
+    pub splits: usize,
+    /// Gate counts before and after.
+    pub gates_before: usize,
+    /// Gate count of the repaired circuit.
+    pub gates_after: usize,
+    /// Whether the fixed point is self-checking.
+    pub self_checking: bool,
+}
+
+/// Iteratively applies Algorithm 3.1 and splits the first offending gate
+/// stem until the network is self-checking or no further progress is
+/// possible (offenders that are inputs or branch-only cannot be split).
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the analysis passes.
+pub fn make_self_checking(circuit: &Circuit) -> Result<(Circuit, RepairReport), AnalysisError> {
+    let gates_before = circuit.cost().gates;
+    let mut current = circuit.clone();
+    let mut splits = 0usize;
+    let max_rounds = 4 * circuit.len();
+    for _ in 0..max_rounds {
+        let report = analyze(&current)?;
+        if report.self_checking {
+            break;
+        }
+        // A victim must be a gate stem that actually fans out — splitting a
+        // single-consumer stem changes nothing. Offending fanout-free stems
+        // are usually *upstream* of a reconvergent stem; splitting the
+        // reconvergent one duplicates them too.
+        let structure = scal_netlist::Structure::new(&current);
+        let victim = report.offending.iter().find_map(|site| match site {
+            Site::Stem(n)
+                if matches!(current.view(*n), NodeView::Gate(_))
+                    && structure.fanout_count(*n) >= 2 =>
+            {
+                Some(*n)
+            }
+            _ => None,
+        });
+        // If no offender itself fans out, split the closest fanning-out
+        // gate stem downstream-or-equal in an offender's cone influence:
+        // fall back to any offender's consumer chain.
+        let victim = victim.or_else(|| {
+            report.offending.iter().find_map(|site| {
+                let start = match site {
+                    Site::Stem(n) => *n,
+                    Site::Branch { node, .. } => *node,
+                };
+                // Walk forward until a fanning-out gate stem is found.
+                let mut cur = start;
+                loop {
+                    if matches!(current.view(cur), NodeView::Gate(_))
+                        && structure.fanout_count(cur) >= 2
+                    {
+                        return Some(cur);
+                    }
+                    let outs = structure.fanouts(cur);
+                    match outs.first() {
+                        Some(&(next, _)) if outs.len() == 1 => cur = next,
+                        _ => return None,
+                    }
+                }
+            })
+        });
+        let Some(stem) = victim else {
+            break; // nothing splittable
+        };
+        current = split_fanout(&current, stem);
+        splits += 1;
+    }
+    let final_report = analyze(&current)?;
+    Ok((
+        current.clone(),
+        RepairReport {
+            splits,
+            gates_before,
+            gates_after: current.cost().gates,
+            self_checking: final_report.self_checking,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The line-20 pattern: an XOR stem feeding an unequal-parity
+    /// reconvergence.
+    fn offending_network() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let w = c.xor(&[a, b]);
+        let nd = c.not(d);
+        let nw = c.not(w);
+        let t1 = c.and(&[w, nd]);
+        let t2 = c.and(&[nw, d]);
+        let f = c.or(&[t1, t2]);
+        c.mark_output("f", f);
+        (c, w)
+    }
+
+    #[test]
+    fn split_preserves_function() {
+        let (c, w) = offending_network();
+        let split = split_fanout(&c, w);
+        assert_eq!(split.output_tts(), c.output_tts());
+        assert!(split.cost().gates > c.cost().gates);
+    }
+
+    #[test]
+    fn split_removes_the_fanout() {
+        let (c, w) = offending_network();
+        let split = split_fanout(&c, w);
+        // Every XOR stem in the result must have fanout 1.
+        let s = scal_netlist::Structure::new(&split);
+        for id in split.node_ids() {
+            if split.view(id) == NodeView::Gate(scal_netlist::GateKind::Xor) {
+                assert_eq!(s.fanout_count(id), 1);
+            }
+        }
+        let _ = w;
+    }
+
+    #[test]
+    fn repair_fixes_the_line_20_pattern() {
+        let (c, _) = offending_network();
+        assert!(!analyze(&c).unwrap().self_checking);
+        let (fixed, report) = make_self_checking(&c).unwrap();
+        assert!(report.self_checking, "report: {report:?}");
+        assert_eq!(fixed.output_tts(), c.output_tts());
+        assert!(report.splits >= 1);
+    }
+
+    #[test]
+    fn repair_is_identity_on_clean_networks() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nad = c.nand(&[a, d]);
+        let nbd = c.nand(&[b, d]);
+        let f = c.nand(&[nab, nad, nbd]);
+        c.mark_output("f", f);
+        let (_, report) = make_self_checking(&c).unwrap();
+        assert_eq!(report.splits, 0);
+        assert!(report.self_checking);
+        assert_eq!(report.gates_after, report.gates_before);
+    }
+
+    #[test]
+    fn split_with_single_consumer_is_noop() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.not(g);
+        c.mark_output("f", f);
+        let split = split_fanout(&c, g);
+        assert_eq!(split.cost().gates, c.cost().gates);
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural sufficient conditions A–D of Algorithm 3.1.
+
+use scal_logic::Tt;
+use scal_netlist::{Circuit, NodeId, NodeView, Site, Structure};
+
+/// Condition **A** (Theorem 3.6): the line alternates for every input pair,
+/// i.e. its fault-free function is self-dual. `stem_tts` must index node
+/// truth tables (see [`crate::exact::all_node_tts`]).
+#[must_use]
+pub fn condition_a(circuit: &Circuit, stem_tts: &[Tt], site: Site) -> bool {
+    let src = crate::exact::source_of(circuit, site);
+    stem_tts[src.index()].is_self_dual()
+}
+
+/// Condition **B** (Theorem 3.7): the line does not fan out within the
+/// output's cone and its single path to the output passes only unate gates.
+#[must_use]
+pub fn condition_b(structure: &Structure<'_>, site: Site, output: NodeId) -> bool {
+    match site {
+        Site::Stem(n) => structure.single_unate_path(n, output),
+        Site::Branch { node, .. } => {
+            // The branch is a single wire into `node`; from there on the
+            // same single-unate-path requirement applies, and `node` itself
+            // must be a unate gate on the path.
+            match structure.circuit().view(node) {
+                NodeView::Gate(k) if k.is_unate() => {
+                    node == output || structure.single_unate_path(node, output)
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Condition **C** (Theorem 3.8): all paths from the line to the output have
+/// the same, well-defined inversion parity.
+#[must_use]
+pub fn condition_c(structure: &Structure<'_>, site: Site, output: NodeId) -> bool {
+    match site {
+        Site::Stem(n) => structure.path_parity(n, output).uniform(),
+        Site::Branch { node, .. } => {
+            // Paths through this branch all start by crossing `node`; their
+            // parity is node's own contribution plus any path from node on.
+            let gate_parity = match structure.circuit().view(node) {
+                NodeView::Gate(k) => k.inversion_parity(),
+                _ => None,
+            };
+            if gate_parity.is_none() {
+                return false;
+            }
+            if node == output {
+                return true;
+            }
+            structure.path_parity(node, output).uniform()
+        }
+    }
+}
+
+/// Condition **D** (Theorem 3.9): the line feeds a *standard* gate (NAND,
+/// AND, NOR, OR — gates with a dominant input value) that another,
+/// alternating line also feeds, and feeds nothing else within the cone.
+///
+/// `alternating` marks stems whose functions are self-dual.
+#[must_use]
+pub fn condition_d(
+    circuit: &Circuit,
+    structure: &Structure<'_>,
+    alternating: &[bool],
+    site: Site,
+    output: NodeId,
+) -> bool {
+    // Identify the consuming pins of the line inside the output's cone.
+    let cone = structure.cone(output);
+    let consumers: Vec<(NodeId, usize)> = match site {
+        Site::Branch { node, pin } => {
+            if cone[node.index()] {
+                vec![(node, pin)]
+            } else {
+                Vec::new()
+            }
+        }
+        Site::Stem(n) => structure
+            .fanouts(n)
+            .iter()
+            .copied()
+            .filter(|(c, _)| cone[c.index()])
+            .collect(),
+    };
+    // Theorem 3.9's masking argument needs a *single* consuming gate: if the
+    // stem fans out elsewhere in this cone the fault propagates around the
+    // dominated gate.
+    if consumers.len() != 1 {
+        return false;
+    }
+    let (gate, pin) = consumers[0];
+    let kind = match circuit.view(gate) {
+        NodeView::Gate(k) => k,
+        _ => return false,
+    };
+    if kind.dominant_input().is_none() {
+        return false;
+    }
+    circuit
+        .fanins(gate)
+        .iter()
+        .enumerate()
+        .any(|(p, f)| p != pin && alternating[f.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::all_node_tts;
+    use scal_netlist::Circuit;
+
+    /// F = NAND(g, a) with g = NAND(a, b): the non-alternating line g feeds
+    /// the same NAND as the alternating input a — condition D's archetype.
+    fn dominance_example() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.nand(&[a, b]);
+        let f = c.nand(&[g, a]);
+        c.mark_output("f", f);
+        (c, g, f)
+    }
+
+    fn alternating_flags(c: &Circuit) -> Vec<bool> {
+        all_node_tts(c)
+            .iter()
+            .map(scal_logic::Tt::is_self_dual)
+            .collect()
+    }
+
+    #[test]
+    fn condition_a_holds_for_inputs_and_their_inverses() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let na = c.not(a);
+        let g = c.and(&[na, b]);
+        c.mark_output("f", g);
+        let tts = all_node_tts(&c);
+        assert!(condition_a(&c, &tts, Site::Stem(a)));
+        assert!(condition_a(&c, &tts, Site::Stem(na)));
+        assert!(!condition_a(&c, &tts, Site::Stem(g)));
+        assert!(condition_a(&c, &tts, Site::Branch { node: g, pin: 0 }));
+    }
+
+    #[test]
+    fn condition_b_stem_and_branch() {
+        let (c, g, f) = dominance_example();
+        let s = Structure::new(&c);
+        assert!(condition_b(&s, Site::Stem(g), f));
+        assert!(condition_b(&s, Site::Branch { node: f, pin: 0 }, f));
+    }
+
+    #[test]
+    fn condition_b_fails_through_xor() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.xor(&[g, a]);
+        c.mark_output("f", f);
+        let s = Structure::new(&c);
+        assert!(!condition_b(&s, Site::Stem(g), f));
+        assert!(!condition_b(&s, Site::Branch { node: f, pin: 0 }, f));
+    }
+
+    #[test]
+    fn condition_c_uniform_and_nonuniform() {
+        let (c, g, f) = dominance_example();
+        let s = Structure::new(&c);
+        assert!(condition_c(&s, Site::Stem(g), f));
+
+        // Unequal parity reconvergence.
+        let mut c2 = Circuit::new();
+        let a = c2.input("a");
+        let b = c2.input("b");
+        let g2 = c2.and(&[a, b]);
+        let p1 = c2.and(&[g2, a]);
+        let p2 = c2.not(g2);
+        let f2 = c2.or(&[p1, p2]);
+        c2.mark_output("f", f2);
+        let s2 = Structure::new(&c2);
+        assert!(!condition_c(&s2, Site::Stem(g2), f2));
+        // But each branch individually has definite parity.
+        assert!(condition_c(&s2, Site::Branch { node: p1, pin: 0 }, f2));
+        assert!(condition_c(&s2, Site::Branch { node: p2, pin: 0 }, f2));
+    }
+
+    #[test]
+    fn condition_d_requires_alternating_companion() {
+        let (c, g, f) = dominance_example();
+        let s = Structure::new(&c);
+        let alt = alternating_flags(&c);
+        assert!(condition_d(&c, &s, &alt, Site::Stem(g), f));
+        assert!(condition_d(
+            &c,
+            &s,
+            &alt,
+            Site::Branch { node: f, pin: 0 },
+            f
+        ));
+    }
+
+    #[test]
+    fn condition_d_fails_without_alternating_companion() {
+        // f = NAND(g, h) where both g and h are non-alternating ANDs.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let g = c.and(&[a, b]);
+        let h = c.and(&[b, d]);
+        let f = c.nand(&[g, h]);
+        c.mark_output("f", f);
+        let s = Structure::new(&c);
+        let alt = alternating_flags(&c);
+        assert!(!condition_d(&c, &s, &alt, Site::Stem(g), f));
+    }
+
+    #[test]
+    fn condition_d_fails_on_xor_consumer() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f = c.xor(&[g, a]);
+        c.mark_output("f", f);
+        let s = Structure::new(&c);
+        let alt = alternating_flags(&c);
+        assert!(
+            !condition_d(&c, &s, &alt, Site::Stem(g), f),
+            "XOR has no dominant input; Theorem 3.9 excludes it"
+        );
+    }
+
+    #[test]
+    fn condition_d_fails_when_stem_fans_out_in_cone() {
+        // g feeds two gates of the same cone; masking in one gate does not
+        // stop propagation through the other.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let p = c.nand(&[g, a]);
+        let q = c.nand(&[g, b]);
+        let f = c.and(&[p, q]);
+        c.mark_output("f", f);
+        let s = Structure::new(&c);
+        let alt = alternating_flags(&c);
+        assert!(!condition_d(&c, &s, &alt, Site::Stem(g), f));
+        // …but each branch alone passes.
+        assert!(condition_d(
+            &c,
+            &s,
+            &alt,
+            Site::Branch { node: p, pin: 0 },
+            f
+        ));
+        assert!(condition_d(
+            &c,
+            &s,
+            &alt,
+            Site::Branch { node: q, pin: 0 },
+            f
+        ));
+    }
+}

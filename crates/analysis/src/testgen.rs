@@ -1,0 +1,267 @@
+//! Complete stuck-at test-set generation for alternating networks.
+//!
+//! §3.2 derives, per line and stuck value, the input pairs that detect the
+//! fault (Theorem 3.2). This module extends the calculus to the whole
+//! network: derive a detecting pair for *every* collapsed fault, then
+//! compact the result into a small test sequence by greedy set cover —
+//! giving the static-test complement to SCAL's dynamic checking (useful for
+//! the paper's assumption that "the network is free of faults when it is
+//! initially used").
+
+use crate::exact::{all_node_tts, line_functions};
+use crate::AnalysisError;
+use scal_faults::{enumerate_faults, Fault};
+use scal_logic::Tt;
+use scal_netlist::Circuit;
+use std::collections::BTreeMap;
+
+/// A generated test set for an alternating network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSet {
+    /// Canonical first-period minterms: applying each with its complement
+    /// detects every detectable fault.
+    pub pairs: Vec<u32>,
+    /// Faults with no detecting pair (unobservable — redundant lines).
+    pub untestable: Vec<Fault>,
+    /// Total faults considered.
+    pub fault_count: usize,
+}
+
+impl TestSet {
+    /// Fault coverage over the testable universe (0.0–1.0).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.fault_count == 0 {
+            return 1.0;
+        }
+        (self.fault_count - self.untestable.len()) as f64 / self.fault_count as f64
+    }
+}
+
+/// Derives a compact test set detecting every detectable single stuck-at
+/// fault of a combinational alternating network.
+///
+/// For each fault, the detecting pairs are the minterms of
+/// `D ⊕ (D at X̄)`-style sets from Theorem 3.2 aggregated over all outputs
+/// (a pair detects iff the faulty response is non-code: wrong in exactly
+/// one period on some output, or non-alternating outright). Greedy set
+/// cover then picks few pairs covering all faults.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] on the same prerequisites as
+/// [`crate::analyze`] (combinational, ≤ 16 inputs, self-dual outputs).
+pub fn generate_tests(circuit: &Circuit) -> Result<TestSet, AnalysisError> {
+    circuit.validate()?;
+    if circuit.is_sequential() {
+        return Err(AnalysisError::Sequential);
+    }
+    let n = circuit.inputs().len();
+    if n > crate::algorithm::MAX_ANALYSIS_INPUTS {
+        return Err(AnalysisError::TooWide { inputs: n });
+    }
+    let node_tts = all_node_tts(circuit);
+    for (j, out) in circuit.outputs().iter().enumerate() {
+        if !node_tts[out.node.index()].is_self_dual() {
+            return Err(AnalysisError::NotSelfDual { output: j });
+        }
+    }
+
+    let faults = enumerate_faults(circuit);
+    let mask = (1u32 << n) - 1;
+
+    // detecting[f] = canonical pair minterms that detect fault f.
+    let mut detecting: Vec<Vec<u32>> = Vec::with_capacity(faults.len());
+    let mut untestable = Vec::new();
+    let mut site_cache: BTreeMap<scal_netlist::Site, crate::LineFunctions> = BTreeMap::new();
+
+    for fault in &faults {
+        let funcs = site_cache
+            .entry(fault.site)
+            .or_insert_with(|| line_functions(circuit, &node_tts, fault.site));
+        // A pair (X, X̄) detects iff some output is non-alternating under
+        // the fault: output k non-alternating at X ⟺ Fk,s(X) == Fk,s(X̄).
+        let stuck_tables = if fault.stuck {
+            &funcs.stuck1
+        } else {
+            &funcs.stuck0
+        };
+        let mut detected = Tt::zero(n);
+        for fs in stuck_tables {
+            let nonalt = !(fs ^ &fs.flip_inputs());
+            detected = detected | nonalt;
+        }
+        let pairs: Vec<u32> = detected.minterms().filter(|&m| m <= (!m & mask)).collect();
+        if pairs.is_empty() {
+            untestable.push(*fault);
+            detecting.push(Vec::new());
+        } else {
+            detecting.push(pairs);
+        }
+    }
+
+    // Greedy cover.
+    let mut covered: Vec<bool> = detecting.iter().map(Vec::is_empty).collect();
+    let mut chosen: Vec<u32> = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        let mut gain: BTreeMap<u32, usize> = BTreeMap::new();
+        for (fi, pairs) in detecting.iter().enumerate() {
+            if covered[fi] {
+                continue;
+            }
+            for &p in pairs {
+                *gain.entry(p).or_insert(0) += 1;
+            }
+        }
+        let (&best, _) = gain
+            .iter()
+            .max_by_key(|(_, &g)| g)
+            .expect("uncovered fault must have a detecting pair");
+        chosen.push(best);
+        for (fi, pairs) in detecting.iter().enumerate() {
+            if !covered[fi] && pairs.contains(&best) {
+                covered[fi] = true;
+            }
+        }
+    }
+    chosen.sort_unstable();
+
+    Ok(TestSet {
+        pairs: chosen,
+        untestable,
+        fault_count: faults.len(),
+    })
+}
+
+/// Validates a test set against exhaustive fault simulation: returns the
+/// faults the pairs fail to detect (must equal the untestable set).
+#[must_use]
+pub fn validate_tests(circuit: &Circuit, tests: &TestSet) -> Vec<Fault> {
+    let n = circuit.inputs().len();
+    let faults = enumerate_faults(circuit);
+    let mut missed = Vec::new();
+    for fault in &faults {
+        let ov = [fault.to_override()];
+        let mut caught = false;
+        for &m in &tests.pairs {
+            let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let y: Vec<bool> = x.iter().map(|&b| !b).collect();
+            let o1 = circuit.eval_with(&x, &ov);
+            let o2 = circuit.eval_with(&y, &ov);
+            if o1.iter().zip(&o2).any(|(a, b)| a == b) {
+                caught = true;
+                break;
+            }
+        }
+        if !caught {
+            missed.push(*fault);
+        }
+    }
+    missed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maj_nand() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nac = c.nand(&[a, d]);
+        let nbc = c.nand(&[b, d]);
+        let f = c.nand(&[nab, nac, nbc]);
+        c.mark_output("f", f);
+        c
+    }
+
+    #[test]
+    fn full_coverage_on_majority() {
+        let c = maj_nand();
+        let tests = generate_tests(&c).unwrap();
+        assert!(tests.untestable.is_empty());
+        assert_eq!(tests.coverage(), 1.0);
+        let missed = validate_tests(&c, &tests);
+        assert!(missed.is_empty(), "missed: {missed:?}");
+        // All four pairs exist for 3 inputs; a compact set needs at most 4.
+        assert!(tests.pairs.len() <= 4);
+    }
+
+    #[test]
+    fn compaction_beats_exhaustive_application() {
+        let c = scal_core_like_adder();
+        let tests = generate_tests(&c).unwrap();
+        let all_pairs = 1usize << (c.inputs().len() - 1);
+        assert!(
+            tests.pairs.len() < all_pairs,
+            "{} pairs vs {} exhaustive",
+            tests.pairs.len(),
+            all_pairs
+        );
+        assert!(validate_tests(&c, &tests).is_empty());
+    }
+
+    /// A 2-bit self-dual ripple adder built locally (avoids a dev-dependency
+    /// cycle on scal-core).
+    fn scal_core_like_adder() -> Circuit {
+        let mut c = Circuit::new();
+        let mut carry = c.input("cin");
+        let mut outputs = Vec::new();
+        for i in 0..2 {
+            let a = c.input(format!("a{i}"));
+            let b = c.input(format!("b{i}"));
+            let na = c.not(a);
+            let nb = c.not(b);
+            let nc = c.not(carry);
+            let s1 = c.nand(&[a, nb, nc]);
+            let s2 = c.nand(&[na, b, nc]);
+            let s3 = c.nand(&[na, nb, carry]);
+            let s4 = c.nand(&[a, b, carry]);
+            let sum = c.nand(&[s1, s2, s3, s4]);
+            let c1 = c.nand(&[a, b]);
+            let c2 = c.nand(&[a, carry]);
+            let c3 = c.nand(&[b, carry]);
+            carry = c.nand(&[c1, c2, c3]);
+            outputs.push(sum);
+        }
+        for (i, &s) in outputs.iter().enumerate() {
+            c.mark_output(format!("s{i}"), s);
+        }
+        c.mark_output("cout", carry);
+        c
+    }
+
+    #[test]
+    fn untestable_faults_reported_not_covered() {
+        // Dangling gate: its faults are unobservable; coverage reflects it.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let dangling = c.and(&[a, b]);
+        let _ = dangling;
+        let f = c.gate(scal_netlist::GateKind::Xor, &[a, b, d]);
+        c.mark_output("f", f);
+        let tests = generate_tests(&c).unwrap();
+        assert!(!tests.untestable.is_empty());
+        assert!(tests.coverage() < 1.0);
+        // Validation misses exactly the untestable ones.
+        let missed = validate_tests(&c, &tests);
+        assert_eq!(missed.len(), tests.untestable.len());
+    }
+
+    #[test]
+    fn rejects_non_alternating_networks() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let f = c.and(&[a, b]);
+        c.mark_output("f", f);
+        assert!(matches!(
+            generate_tests(&c),
+            Err(AnalysisError::NotSelfDual { .. })
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Algorithm 3.1 analytic analysis vs exhaustive simulation — the paper's
+//! claim that "for larger networks considerable calculation can be saved by
+//! using the analytic approach".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_analysis::analyze;
+use scal_core::paper::{fig3_4, fig3_7, ripple_adder};
+use scal_faults::run_campaign;
+
+fn bench(c: &mut Criterion) {
+    let examples = [
+        ("fig3_4", fig3_4().circuit),
+        ("fig3_7", fig3_7().circuit),
+        ("adder3", ripple_adder(3)),
+    ];
+    let mut group = c.benchmark_group("analysis");
+    for (name, circuit) in &examples {
+        group.bench_function(format!("algorithm31_{name}"), |b| {
+            b.iter(|| analyze(circuit).unwrap());
+        });
+        group.bench_function(format!("exhaustive_{name}"), |b| {
+            b.iter(|| run_campaign(circuit));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Checker evaluation throughput: dual-rail trees vs XOR trees across line
+//! counts (the hardware trade of Chapter 5, in time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_checkers::two_rail::reynolds_checker;
+use scal_checkers::xor_tree::xor_checker_circuit;
+use scal_netlist::Sim;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    for n in [4usize, 16] {
+        let dr = reynolds_checker(n);
+        group.bench_function(format!("dual_rail_{n}_lines"), |b| {
+            let word: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let flipped: Vec<bool> = word.iter().map(|&x| !x).collect();
+            b.iter(|| {
+                let mut sim = Sim::new(&dr);
+                sim.step(&word);
+                sim.step(&flipped)
+            });
+        });
+        let xc = xor_checker_circuit(n);
+        group.bench_function(format!("xor_tree_{n}_lines"), |b| {
+            let mut word: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            if xc.inputs().len() == n + 1 {
+                word.push(false);
+            }
+            let flipped: Vec<bool> = word.iter().map(|&x| !x).collect();
+            b.iter(|| (xc.eval(&word), xc.eval(&flipped)));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! CPU throughput: normal vs alternating mode (the paper's "twice as much
+//! time" trade, measured), plus the redundant configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_system::adr::{run_pair, sum_program};
+use scal_system::tmr::run_tmr;
+use scal_system::{Cpu, CpuMode};
+
+fn bench(c: &mut Criterion) {
+    let program = sum_program(12);
+    let mut group = c.benchmark_group("cpu");
+    group.bench_function("normal_mode", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuMode::Normal);
+            cpu.run(&program, 100_000).unwrap()
+        });
+    });
+    group.bench_function("alternating_mode", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuMode::Alternating);
+            cpu.run(&program, 100_000).unwrap()
+        });
+    });
+    group.bench_function("fig7_5_pair", |b| {
+        b.iter(|| run_pair(&program, None));
+    });
+    group.bench_function("tmr", |b| {
+        b.iter(|| run_tmr(&program, None));
+    });
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Self-dualization throughput: structural Yamamoto vs re-synthesis (the
+//! two conversion routes of `scal-core`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_core::{dualize, dualize_synthesized};
+use scal_netlist::Circuit;
+
+fn sample_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let d = c.input("c");
+    let e = c.input("d");
+    let g1 = c.and(&[a, b]);
+    let g2 = c.or(&[g1, d]);
+    let g3 = c.xor(&[g2, e]);
+    let g4 = c.nand(&[g1, e, d]);
+    c.mark_output("f1", g3);
+    c.mark_output("f2", g4);
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let circuit = sample_circuit();
+    let mut group = c.benchmark_group("dualize");
+    group.bench_function("structural", |b| {
+        b.iter(|| dualize(&circuit));
+    });
+    group.bench_function("synthesized", |b| {
+        b.iter(|| dualize_synthesized(&circuit));
+    });
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

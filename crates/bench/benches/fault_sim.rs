@@ -1,0 +1,68 @@
+//! Exhaustive fault-simulation throughput (the engine behind Figs. 3.6/3.7
+//! and the verification of every SCAL network in the repo), including the
+//! bit-parallel vs scalar ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scal_core::paper::{fig3_7, ripple_adder};
+use scal_faults::{enumerate_faults, run_campaign};
+use scal_netlist::Circuit;
+
+fn scalar_campaign(circuit: &Circuit) -> usize {
+    // Reference implementation: scalar evaluation per (fault, pair).
+    let n = circuit.inputs().len();
+    let faults = enumerate_faults(circuit);
+    let mut detected = 0usize;
+    for fault in &faults {
+        let ov = [fault.to_override()];
+        for m in 0..(1u32 << n) {
+            let m2 = !m & ((1u32 << n) - 1);
+            if m > m2 {
+                continue;
+            }
+            let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let y: Vec<bool> = x.iter().map(|&b| !b).collect();
+            let f1 = circuit.eval_with(&x, &ov);
+            let f2 = circuit.eval_with(&y, &ov);
+            if f1.iter().zip(&f2).any(|(a, b)| a == b) {
+                detected += 1;
+                break;
+            }
+        }
+    }
+    detected
+}
+
+fn bench(c: &mut Criterion) {
+    let fig = fig3_7();
+    let adder = ripple_adder(4);
+
+    let mut group = c.benchmark_group("fault_sim");
+    group.bench_function("fig3_7_bitparallel", |b| {
+        b.iter_batched(
+            || fig.circuit.clone(),
+            |c| run_campaign(&c),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("fig3_7_scalar_reference", |b| {
+        b.iter(|| scalar_campaign(&fig.circuit));
+    });
+    group.bench_function("adder4_bitparallel", |b| {
+        b.iter(|| run_campaign(&adder));
+    });
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Minority-module conversion and verification throughput (Chapter 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_faults::run_campaign;
+use scal_minority::convert_to_alternating;
+use scal_netlist::Circuit;
+
+fn nand_net(width: usize) -> Circuit {
+    // A chain of NAND layers over `width` inputs.
+    let mut c = Circuit::new();
+    let inputs: Vec<_> = (0..width).map(|i| c.input(format!("x{i}"))).collect();
+    let mut layer = inputs;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                c.nand(&[pair[0], pair[1]])
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    c.mark_output("f", layer[0]);
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minority");
+    for width in [4usize, 8] {
+        let net = nand_net(width);
+        group.bench_function(format!("convert_{width}"), |b| {
+            b.iter(|| convert_to_alternating(&net).unwrap());
+        });
+        let alt = convert_to_alternating(&net).unwrap();
+        group.bench_function(format!("verify_converted_{width}"), |b| {
+            b.iter(|| run_campaign(&alt));
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

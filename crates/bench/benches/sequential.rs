@@ -1,0 +1,59 @@
+//! Sequential SCAL machine throughput: baseline vs dual flip-flop vs code
+//! conversion on the Kohavi detector — the time face of Table 4.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_netlist::Sim;
+use scal_seq::dual_ff::AltSeqDriver;
+use scal_seq::kohavi::{kohavi_circuit, reynolds_circuit, translator_circuit};
+
+const WORDS: usize = 64;
+
+fn word(i: usize) -> bool {
+    (i * 7 + 3) % 5 < 2
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential");
+    let base = kohavi_circuit();
+    group.bench_function("kohavi_baseline", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&base);
+            let mut acc = 0u32;
+            for i in 0..WORDS {
+                acc += u32::from(sim.step(&[word(i)])[0]);
+            }
+            acc
+        });
+    });
+    for (name, machine) in [
+        ("dual_ff", reynolds_circuit()),
+        ("code_conversion", translator_circuit()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut drv = AltSeqDriver::new(&machine);
+                let mut acc = 0u32;
+                for i in 0..WORDS {
+                    let (o1, _) = drv.apply(&[word(i)]);
+                    acc += u32::from(o1[0]);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p scal-bench --bin experiments -- all
+//! cargo run -p scal-bench --bin experiments -- tab4_1 fig3_6
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <id>... | all | list");
+        eprintln!("ids:");
+        for (id, _) in scal_bench::EXPERIMENTS {
+            eprintln!("  {id}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if args.len() == 1 && args[0] == "list" {
+        for (id, _) in scal_bench::EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+        scal_bench::EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match scal_bench::run(id) {
+            Ok(report) => {
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,259 @@
+//! Chapter 5 experiments: checker designs, Table 5.1, and the hardcore.
+
+use scal_checkers::hardcore::{
+    clock_disable_module, dangerous_inputs, dormant_faults, hardcore_failure_probability,
+    replicated_clock_disable,
+};
+use scal_checkers::mixed::{dual_rail_only_cost, mixed_cost, partition};
+use scal_checkers::two_rail::reynolds_checker;
+use scal_checkers::xor_tree::xor_checker_circuit;
+use scal_netlist::Sim;
+use std::fmt::Write;
+
+/// Figs. 5.1/5.2 — dual-rail vs XOR checkers: hardware costs across line
+/// counts and the checkers' own fault coverage.
+#[must_use]
+pub fn fig5_1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Figs 5.1/5.2: checker families ==");
+    let _ = writeln!(
+        s,
+        "{:>5} {:>22} {:>22} {:>14}",
+        "lines", "dual-rail (gates/FF)", "XOR tree (gates/FF)", "XOR untestable"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let dr = reynolds_checker(n);
+        let drc = dr.cost();
+        let xc = xor_checker_circuit(n);
+        let xcc = xc.cost();
+        let untestable = scal_checkers::xor_tree::untestable_checker_faults(&xc);
+        let _ = writeln!(
+            s,
+            "{n:>5} {:>17}/{:<4} {:>17}/{:<4} {untestable:>14}",
+            drc.gates, drc.flip_flops, xcc.gates, xcc.flip_flops
+        );
+    }
+    let _ = writeln!(
+        s,
+        "dual-rail cost = 6(n-1) gates + n flip-flops; XOR tree = ~(n-1)/2 gates, 0 flip-flops, all own faults testable"
+    );
+    s
+}
+
+/// Figs. 5.3/5.4 — the mixed checker on the paper's nine-output example:
+/// the Algorithm 5.1 partition and the ~2x hardware saving.
+#[must_use]
+pub fn fig5_3() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== Figs 5.3/5.4: mixed checker design (9-output example) =="
+    );
+    // Paper's example: outputs 1..9; share groups (4,5,6), (6,7), (8,9);
+    // outputs 5 and 8 can alternate incorrectly.
+    let share = vec![vec![3, 4, 5], vec![5, 6], vec![7, 8]];
+    let p = partition(9, &share, &[4, 7]);
+    let show = |v: &[usize]| -> String {
+        v.iter()
+            .map(|i| (i + 1).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(s, "partition A = {{{}}}   [paper: 1,2,3,4,9]", show(&p.a));
+    for (i, b) in p.b.iter().enumerate() {
+        let _ = writeln!(s, "partition B{} = {{{}}}", i + 1, show(b));
+    }
+    let dr = dual_rail_only_cost(9);
+    let mx = mixed_cost(&p);
+    let _ = writeln!(
+        s,
+        "dual-rail only: {} two-input gates + {} flip-flops   [paper: 48 gates, 9 FF]",
+        dr.two_input_gates, dr.flip_flops
+    );
+    let _ = writeln!(
+        s,
+        "mixed checker : {} two-input gates + {} XOR gates + {} flip-flops   [paper option (2): 24 + 2 XOR + 4 FF]",
+        mx.two_input_gates, mx.xor_gates, mx.flip_flops
+    );
+    let _ = writeln!(
+        s,
+        "saving: ~{:.0}% of the dual-rail gate cost — 'about one-half'",
+        100.0 * (1.0 - mx.two_input_gates as f64 / dr.two_input_gates as f64)
+    );
+    s
+}
+
+/// Table 5.1 — when the XOR checker suffices: enumerate fault scenarios on
+/// a 4-line XOR checker (lines stuck vs lines alternating incorrectly) and
+/// regenerate the Yes/No column by simulation.
+#[must_use]
+pub fn tab5_1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== Table 5.1: conditions where the XOR checker suffices =="
+    );
+    let n = 4usize;
+    let c = xor_checker_circuit(n);
+    let _ = writeln!(
+        s,
+        "{:>6} {:>10} {:>14} {:>9}  note",
+        "stuck", "incorrect", "detected", "proper"
+    );
+    for total in 0..=3usize {
+        for stuck in 0..=total {
+            let incorrect = total - stuck;
+            // Simulate: lines 0..stuck hold their period-1 value; lines
+            // stuck..stuck+incorrect alternate with the wrong phase (which
+            // an XOR checker cannot distinguish from correct alternation).
+            let word = 0b0101u32;
+            let mut p1: Vec<bool> = (0..n).map(|i| (word >> i) & 1 == 1).collect();
+            p1.push(false); // phi
+            let mut p2: Vec<bool> = p1.iter().map(|&b| !b).collect();
+            for k in 0..stuck {
+                p2[k] = p1[k];
+            }
+            for k in stuck..stuck + incorrect {
+                // wrong phase: flip period 1 instead (value wrong, still
+                // alternating).
+                p1[k] = !p1[k];
+                p2[k] = !p1[k];
+            }
+            let o1 = c.eval(&p1)[0];
+            let o2 = c.eval(&p2)[0];
+            let detected = o1 == o2;
+            // "Checker operation proper": the checker may miss incorrect
+            // alternation (a self-checking network never emits it without a
+            // non-alternating companion) but must catch odd stuck counts.
+            let note = match (stuck, incorrect) {
+                (0, 0) => "proper operation",
+                (0, _) => "not detected* (cannot occur alone in a SCAL network)",
+                (k, _) if k % 2 == 1 => "detected",
+                _ => "NOT detected - even stuck count defeats parity",
+            };
+            let proper_str = match (stuck, detected) {
+                (0, _) => "Yes",
+                (k, true) if k % 2 == 1 => "Yes",
+                (k, false) if k % 2 == 0 => "No",
+                _ => "?",
+            };
+            let _ = writeln!(
+                s,
+                "{stuck:>6} {incorrect:>10} {:>14} {proper_str:>9}  {note}",
+                if detected { "yes" } else { "no" }
+            );
+        }
+    }
+    s
+}
+
+/// Table 5.2 / Figs. 5.5–5.7 — the hardcore: clock-disable truth table, the
+/// Theorem 5.2 witness (an undetectable-but-dangerous fault), replication
+/// probabilities, and the latching checker output.
+#[must_use]
+pub fn tab5_2() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 5.2 / Fig 5.5: hardcore clock disable ==");
+    let m = clock_disable_module();
+    let _ = writeln!(
+        s,
+        "{:>8} {:>3} {:>3} {:>10}",
+        "clock in", "f", "g", "clock out"
+    );
+    for i in 0..8u32 {
+        let clk = i & 4 != 0;
+        let f = i & 2 != 0;
+        let g = i & 1 != 0;
+        let out = m.eval(&[clk, f, g])[0];
+        let _ = writeln!(
+            s,
+            "{:>8} {:>3} {:>3} {:>10}",
+            u8::from(clk),
+            u8::from(f),
+            u8::from(g),
+            u8::from(out)
+        );
+    }
+    let dormant = dormant_faults(&m);
+    let _ = writeln!(
+        s,
+        "\nTheorem 5.2 witness: {} fault(s) invisible during code operation:",
+        dormant.len()
+    );
+    for fault in &dormant {
+        let danger = dangerous_inputs(&m, *fault);
+        let _ = writeln!(
+            s,
+            "  {fault} - lets {} non-code word(s) through the clock gate",
+            danger.len()
+        );
+    }
+    let _ = writeln!(s, "\nFig 5.5b replication (all modules must fail):");
+    for n in [1u32, 2, 3, 5] {
+        let _ = writeln!(
+            s,
+            "  n={n}: residual hardcore failure probability p^n at p=0.01 -> {:.2e}",
+            hardcore_failure_probability(0.01, n)
+        );
+    }
+    let m3 = replicated_clock_disable(3);
+    let covered = dormant_faults(&m3)
+        .iter()
+        .all(|f| dangerous_inputs(&m3, *f).is_empty());
+    let _ = writeln!(
+        s,
+        "triple replication: every single dormant fault is out-gated by the other stages: {covered}"
+    );
+
+    // Fig 5.7 latching behaviour.
+    let latch = scal_checkers::hardcore::latching_checker_output();
+    let mut sim = Sim::new(&latch);
+    sim.step(&[true, false]);
+    sim.step(&[true, true]); // fault word arrives
+    let held = (0..4).all(|_| {
+        let o = sim.step(&[true, false]);
+        o[0] == o[1]
+    });
+    let _ = writeln!(
+        s,
+        "Fig 5.7: first non-code word latches permanently: {held}"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig5_1_has_zero_untestable_xor_faults() {
+        let r = super::fig5_1();
+        for line in r
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+        {
+            let last = line.split_whitespace().last().unwrap();
+            assert_eq!(last, "0", "line: {line}");
+        }
+    }
+
+    #[test]
+    fn fig5_3_matches_paper_partition() {
+        let r = super::fig5_3();
+        assert!(r.contains("A = {1,2,3,4,9}"));
+        assert!(r.contains("48"));
+    }
+
+    #[test]
+    fn tab5_1_detects_odd_misses_even() {
+        let r = super::tab5_1();
+        assert!(r.contains("NOT detected"));
+        assert!(r.contains("proper operation"));
+    }
+
+    #[test]
+    fn tab5_2_has_the_witness() {
+        let r = super::tab5_2();
+        assert!(r.contains("s-a-1"));
+        assert!(r.contains("latches permanently: true"));
+        assert!(r.contains("out-gated by the other stages: true"));
+    }
+}

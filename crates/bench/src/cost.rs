@@ -1,0 +1,172 @@
+//! The SCAL conversion cost-factor study (§2.4, §4.5, Table 4.1's 1.8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scal_core::{dualize, dualize_synthesized};
+use scal_logic::{qm, Tt};
+use scal_netlist::{Circuit, NodeId};
+use std::fmt::Write;
+
+/// Two-level NAND-NAND baseline realization of a set of functions (the
+/// "normal logic" a designer would have built).
+fn synth_baseline(tts: &[Tt]) -> Circuit {
+    let n = tts[0].nvars();
+    let mut c = Circuit::new();
+    let vars: Vec<NodeId> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+    let mut inverters: Vec<Option<NodeId>> = vec![None; n];
+    for (k, tt) in tts.iter().enumerate() {
+        let node = realize(&mut c, &vars, &mut inverters, tt);
+        c.mark_output(format!("f{k}"), node);
+    }
+    c
+}
+
+fn realize(c: &mut Circuit, vars: &[NodeId], inverters: &mut [Option<NodeId>], tt: &Tt) -> NodeId {
+    if tt.is_zero() {
+        return c.constant(false);
+    }
+    if tt.is_one() {
+        return c.constant(true);
+    }
+    let cover = qm::minimize(tt, None);
+    let mut terms = Vec::new();
+    for cube in &cover {
+        let mut lits = Vec::new();
+        for v in 0..tt.nvars() {
+            let bit = 1u32 << v;
+            if cube.mask() & bit != 0 {
+                lits.push(if cube.value() & bit != 0 {
+                    vars[v]
+                } else {
+                    match inverters[v] {
+                        Some(x) => x,
+                        None => {
+                            let x = c.not(vars[v]);
+                            inverters[v] = Some(x);
+                            x
+                        }
+                    }
+                });
+            }
+        }
+        terms.push(if lits.len() == 1 {
+            c.not(lits[0])
+        } else {
+            c.nand(&lits)
+        });
+    }
+    if terms.len() == 1 {
+        c.not(terms[0])
+    } else {
+        c.nand(&terms)
+    }
+}
+
+/// `cost1_8` — the ablation: for a suite of benchmark functions, compare the
+/// two-level baseline against (a) the re-synthesized self-dual network and
+/// (b) the structural Yamamoto envelope, and report the gate-cost factor
+/// distribution against Reynolds' 1.8 average (and the paper's note that it
+/// "varies widely, from one for an adder to multiples for some logic").
+#[must_use]
+pub fn cost1_8() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "== cost study: the SCAL conversion factor (Reynolds' 1.8) =="
+    );
+    let mut suite: Vec<(String, Vec<Tt>)> = Vec::new();
+
+    // Named functions.
+    let a3 = |i: usize| Tt::var(3, i);
+    suite.push((
+        "full adder (self-dual)".into(),
+        vec![
+            &a3(0) ^ &a3(1) ^ &a3(2),
+            (&a3(0) & &a3(1)) | (&a3(1) & &a3(2)) | (&a3(0) & &a3(2)),
+        ],
+    ));
+    suite.push(("and2".into(), vec![Tt::var(2, 0) & Tt::var(2, 1)]));
+    suite.push((
+        "mux2".into(),
+        vec![(Tt::var(3, 2) & Tt::var(3, 1)) | (!Tt::var(3, 2) & Tt::var(3, 0))],
+    ));
+    suite.push((
+        "comparator (a>b) 2-bit".into(),
+        vec![Tt::from_fn(4, |m| (m & 3) > ((m >> 2) & 3))],
+    ));
+
+    // Random functions.
+    let mut rng = StdRng::seed_from_u64(0x5CA1);
+    for n in [3usize, 4, 5] {
+        for k in 0..3 {
+            let tt = Tt::from_fn(n, |_| rng.gen_bool(0.5));
+            suite.push((format!("random {n}-var #{k}"), vec![tt]));
+        }
+    }
+
+    let _ = writeln!(
+        s,
+        "{:<26} {:>9} {:>11} {:>9} {:>11} {:>9}",
+        "function", "base", "synthesized", "factor", "structural", "factor"
+    );
+    let mut factors = Vec::new();
+    for (name, tts) in &suite {
+        let base = synth_baseline(tts);
+        let bg = base.cost().gates.max(1);
+        let synth = dualize_synthesized(&base);
+        let sg = synth.cost().gates;
+        let structural = dualize(&base);
+        let stg = structural.cost().gates;
+        let f_synth = sg as f64 / bg as f64;
+        factors.push(f_synth);
+        let _ = writeln!(
+            s,
+            "{name:<26} {bg:>9} {sg:>11} {:>9.2} {stg:>11} {:>9.2}",
+            f_synth,
+            stg as f64 / bg as f64
+        );
+    }
+    let mean = factors.iter().sum::<f64>() / factors.len() as f64;
+    let min = factors.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = factors.iter().copied().fold(0.0f64, f64::max);
+    let _ = writeln!(
+        s,
+        "\nsynthesized-route factor: mean {mean:.2} (min {min:.2}, max {max:.2}); paper: 'cost factors vary widely from one for an adder to multiples for some logic', average ~1.8"
+    );
+    let _ = writeln!(
+        s,
+        "the self-dual adder's factor is ~1.0 (free), reproducing the paper's anchor point"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adder_factor_is_about_one() {
+        let r = super::cost1_8();
+        let line = r
+            .lines()
+            .find(|l| l.starts_with("full adder"))
+            .expect("adder row");
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        let factor: f64 = cols[cols.len() - 3].parse().unwrap();
+        assert!(factor <= 1.3, "adder should be (nearly) free: {factor}");
+    }
+
+    #[test]
+    fn mean_factor_is_in_a_plausible_band() {
+        let r = super::cost1_8();
+        let mean_line = r.lines().find(|l| l.contains("mean")).unwrap();
+        let mean: f64 = mean_line
+            .split("mean ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mean > 1.0 && mean < 4.0, "mean factor {mean}");
+    }
+}

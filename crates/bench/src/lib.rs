@@ -1,0 +1,61 @@
+//! Experiment regenerators for every table and figure of the paper's
+//! evaluation content (see DESIGN.md's per-experiment index).
+//!
+//! Each `report()` function recomputes its artifact from the library stack
+//! and renders the same rows/series the paper presents, with paper-reported
+//! values shown alongside where they exist. The `experiments` binary prints
+//! them (`cargo run -p scal-bench --bin experiments -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ch2;
+pub mod ch3;
+pub mod ch4;
+pub mod ch5;
+pub mod ch6;
+pub mod ch7;
+pub mod cost;
+pub mod ext;
+
+/// All experiment ids, in chapter order.
+pub const EXPERIMENTS: &[(&str, fn() -> String)] = &[
+    ("fig2_2", ch2::fig2_2),
+    ("fig3_1", ch3::fig3_1),
+    ("fig3_4", ch3::fig3_4),
+    ("fig3_6", ch3::fig3_6),
+    ("fig3_7", ch3::fig3_7),
+    ("fig4_2", ch4::fig4_2),
+    ("fig4_4", ch4::fig4_4),
+    ("tab4_1", ch4::tab4_1),
+    ("fig5_1", ch5::fig5_1),
+    ("fig5_3", ch5::fig5_3),
+    ("tab5_1", ch5::tab5_1),
+    ("tab5_2", ch5::tab5_2),
+    ("fig6_1", ch6::fig6_1),
+    ("fig6_2", ch6::fig6_2),
+    ("fig7_2", ch7::fig7_2),
+    ("fig7_3", ch7::fig7_3),
+    ("fig7_5", ch7::fig7_5),
+    ("cost1_8", cost::cost1_8),
+    ("ext_testgen", ext::ext_testgen),
+    ("ext_repair", ext::ext_repair),
+    ("ext_checked_system", ext::ext_checked_system),
+    ("ext_adr_retry", ext::ext_adr_retry),
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns `Err` with the list of known ids if `id` is unknown.
+pub fn run(id: &str) -> Result<String, String> {
+    EXPERIMENTS
+        .iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f())
+        .ok_or_else(|| {
+            let known: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+            format!("unknown experiment {id:?}; known: {}", known.join(", "))
+        })
+}

@@ -1,0 +1,255 @@
+//! Hardcore elements: the clock-disable module (Table 5.2, Fig. 5.5), its
+//! untestable fault (the witness behind Theorem 5.2), replication, and the
+//! latching checker-output loop (Fig. 5.7).
+
+use scal_faults::{enumerate_faults, Fault};
+use scal_netlist::{Circuit, NodeId};
+
+/// Builds the clock-disable module of Fig. 5.5a inside `c`:
+///
+/// ```text
+/// clock_out = clock_in AND (f XOR g)
+/// ```
+///
+/// implementing Table 5.2 — the clock passes only while the checker output
+/// `(f, g)` is a valid 1-out-of-2 code. Returns `(xor_node, clock_out)`.
+pub fn clock_disable(c: &mut Circuit, clock_in: NodeId, f: NodeId, g: NodeId) -> (NodeId, NodeId) {
+    let x = c.xor(&[f, g]);
+    let out = c.and(&[clock_in, x]);
+    (x, out)
+}
+
+/// The standalone clock-disable module circuit: inputs `clk`, `f`, `g`;
+/// output `clk_out`. The XOR node is named `"xor"`.
+#[must_use]
+pub fn clock_disable_module() -> Circuit {
+    let mut c = Circuit::new();
+    let clk = c.input("clk");
+    let f = c.input("f");
+    let g = c.input("g");
+    let (x, out) = clock_disable(&mut c, clk, f, g);
+    c.set_name(x, "xor");
+    c.mark_output("clk_out", out);
+    c
+}
+
+/// The replicated hardcore of Fig. 5.5b: `n` clock-disable modules in
+/// series, all observing the same `(f, g)`. Inputs `clk`, `f`, `g`; output
+/// `clk_out`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn replicated_clock_disable(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one module");
+    let mut c = Circuit::new();
+    let clk = c.input("clk");
+    let f = c.input("f");
+    let g = c.input("g");
+    let mut wire = clk;
+    for _ in 0..n {
+        let (_, out) = clock_disable(&mut c, wire, f, g);
+        wire = out;
+    }
+    c.mark_output("clk_out", wire);
+    c
+}
+
+/// Probability that *all* `n` replicated hardcore modules have failed, given
+/// per-module failure probability `p` — the paper's `p^n`, which "can be
+/// made arbitrarily small for p < 1".
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+#[must_use]
+pub fn hardcore_failure_probability(p: f64, n: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    p.powi(i32::try_from(n).expect("replication count fits i32"))
+}
+
+/// Faults of a clock-disable network that are **undetectable during code
+/// operation**: for every input with a valid `(f, g)` code (and either clock
+/// value) the faulty module behaves exactly like the fault-free one, so the
+/// fault lies dormant until it matters. Theorem 5.2's argument is that any
+/// realization from standard gates/flip-flops has at least one such fault;
+/// [`clock_disable_module`]'s witness is the XOR output stuck-at-1.
+#[must_use]
+pub fn dormant_faults(module: &Circuit) -> Vec<Fault> {
+    // Code-operation inputs: clk ∈ {0,1}, (f,g) ∈ {(0,1),(1,0)}.
+    let code_inputs: Vec<Vec<bool>> = (0..4u32)
+        .map(|m| {
+            let clk = m & 1 == 1;
+            let f = m & 2 != 0;
+            vec![clk, f, !f]
+        })
+        .collect();
+    enumerate_faults(module)
+        .into_iter()
+        .filter(|fault| {
+            let ov = [fault.to_override()];
+            code_inputs
+                .iter()
+                .all(|ins| module.eval(ins) == module.eval_with(ins, &ov))
+        })
+        .collect()
+}
+
+/// Checks that a dormant fault is also *dangerous*: with the fault present,
+/// some non-code `(f, g)` word fails to disable the clock. Returns the
+/// non-code inputs that slip through.
+#[must_use]
+pub fn dangerous_inputs(module: &Circuit, fault: Fault) -> Vec<Vec<bool>> {
+    let ov = [fault.to_override()];
+    let mut bad = Vec::new();
+    for m in 0..8u32 {
+        let clk = m & 1 == 1;
+        let f = m & 2 != 0;
+        let g = m & 4 != 0;
+        if f != g {
+            continue; // code word
+        }
+        let ins = vec![clk, f, g];
+        let out = module.eval_with(&ins, &ov);
+        // Correct behaviour on a non-code word: clock blocked (false).
+        if out[0] {
+            bad.push(ins);
+        }
+    }
+    bad
+}
+
+/// The latching checker-output stage of Fig. 5.7: a sequential circuit with
+/// inputs `f`, `g` and outputs `F`, `G` that passes the checker word through
+/// while it remains a valid code and **latches the first non-code word
+/// forever** ("once a faulty output is signalled by the checker it will then
+/// remain at that noncode word").
+#[must_use]
+pub fn latching_checker_output() -> Circuit {
+    let mut c = Circuit::new();
+    let f = c.input("f");
+    let g = c.input("g");
+    let ff = c.dff(true);
+    let gg = c.dff(false);
+    // ok = latched word is still a code word.
+    let ok = c.xor(&[ff, gg]);
+    let nok = c.not(ok);
+    // next_f = ok ? f : ff   (and likewise for g)
+    let t1 = c.and(&[ok, f]);
+    let t2 = c.and(&[nok, ff]);
+    let df = c.or(&[t1, t2]);
+    let t3 = c.and(&[ok, g]);
+    let t4 = c.and(&[nok, gg]);
+    let dg = c.or(&[t3, t4]);
+    c.connect_dff(ff, df);
+    c.connect_dff(gg, dg);
+    c.mark_output("F", ff);
+    c.mark_output("G", gg);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::{Sim, Site};
+
+    #[test]
+    fn module_implements_table_5_2() {
+        let m = clock_disable_module();
+        for i in 0..8u32 {
+            let clk = i & 4 != 0;
+            let f = i & 2 != 0;
+            let g = i & 1 != 0;
+            let expect = clk && (f != g);
+            assert_eq!(m.eval(&[clk, f, g]), vec![expect], "clk={clk} f={f} g={g}");
+        }
+    }
+
+    #[test]
+    fn xor_stuck_at_1_is_the_dormant_witness() {
+        let m = clock_disable_module();
+        let xor_node = m.node_ids().find(|&id| m.name(id) == Some("xor")).unwrap();
+        let dormant = dormant_faults(&m);
+        let witness = Fault::new(Site::Stem(xor_node), true);
+        assert!(
+            dormant.contains(&witness),
+            "XOR s-a-1 must be dormant; got {dormant:?}"
+        );
+        // And it is dangerous: noncode words no longer stop the clock.
+        let bad = dangerous_inputs(&m, witness);
+        assert!(!bad.is_empty());
+        assert!(bad.iter().all(|ins| ins[0]), "danger needs clk high");
+    }
+
+    #[test]
+    fn all_dormant_faults_of_this_module_are_clock_masking() {
+        // Faults dormant under code operation must involve the XOR output
+        // or its AND pin — the module boundary faults the paper says *are*
+        // detected when the module is viewed as a single gate.
+        let m = clock_disable_module();
+        for fault in dormant_faults(&m) {
+            let dangerous = !dangerous_inputs(&m, fault).is_empty();
+            // Dormant-but-harmless faults would be redundancy; this module
+            // has none.
+            assert!(dangerous, "{fault} dormant but not dangerous?");
+        }
+    }
+
+    #[test]
+    fn replication_multiplies_protection() {
+        let m3 = replicated_clock_disable(3);
+        // Functionally identical to one module.
+        for i in 0..8u32 {
+            let clk = i & 4 != 0;
+            let f = i & 2 != 0;
+            let g = i & 1 != 0;
+            assert_eq!(m3.eval(&[clk, f, g]), vec![clk && (f != g)]);
+        }
+        // A dormant fault in one stage is covered by the others: with any
+        // single XOR s-a-1, noncode words still stop the clock.
+        for fault in dormant_faults(&m3) {
+            assert!(
+                dangerous_inputs(&m3, fault).is_empty(),
+                "{fault} defeats triple hardcore alone"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_probability_model() {
+        assert!((hardcore_failure_probability(0.1, 3) - 1e-3).abs() < 1e-12);
+        assert_eq!(hardcore_failure_probability(1.0, 5), 1.0);
+        assert_eq!(hardcore_failure_probability(0.0, 2), 0.0);
+    }
+
+    #[test]
+    fn latching_output_passes_good_words() {
+        let c = latching_checker_output();
+        let mut sim = Sim::new(&c);
+        // Initial latched word is (1,0): valid.
+        for &(f, g) in &[(true, false), (false, true), (true, false)] {
+            let out = sim.step(&[f, g]);
+            assert_ne!(out[0], out[1]);
+        }
+        // The word tracks the input with one period delay.
+        let out = sim.step(&[false, true]);
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn latching_output_holds_noncode_forever() {
+        let c = latching_checker_output();
+        let mut sim = Sim::new(&c);
+        sim.step(&[true, false]);
+        sim.step(&[true, true]); // fault signalled
+                                 // From the next period on, the output stays at the latched noncode
+                                 // word regardless of inputs.
+        let out = sim.step(&[true, false]);
+        assert_eq!(out[0], out[1], "noncode must latch");
+        for _ in 0..5 {
+            let out = sim.step(&[false, true]);
+            assert_eq!(out[0], out[1]);
+        }
+    }
+}

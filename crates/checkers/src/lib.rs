@@ -1,0 +1,32 @@
+//! Checker designs for self-checking alternating logic (Chapter 5).
+//!
+//! A SCAL network's outputs are code words *in time* — alternating pairs —
+//! and a checker must flag any non-alternating output while itself being
+//! self-checking. This crate provides the paper's checker families:
+//!
+//! * [`two_rail`] — the Anderson two-rail totally self-checking checker
+//!   (TSCC) and Reynolds' dual-rail SCAL checker built from it (Fig. 5.1):
+//!   each network line contributes the pair (first-period value latched in a
+//!   flip-flop, second-period value), a valid 1-out-of-2 code exactly when
+//!   the line alternates;
+//! * [`xor_tree`] — the independent-line checker of Theorem 5.1: an XOR tree
+//!   whose gates all have an odd number of inputs (padded with the period
+//!   clock), whose single output alternates iff every checked line does;
+//! * [`mixed`] — Algorithm 5.1: partition outputs into independently
+//!   checkable (cheap XOR tree) and interdependent (dual-rail) groups,
+//!   reproducing the §5.4 cost reduction;
+//! * [`hardcore`] — the clock-disable module of Table 5.2/Fig. 5.5, its
+//!   provably untestable fault (the witness behind Theorem 5.2), the
+//!   replication reliability model, and the latching checker-output loop of
+//!   Fig. 5.7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod hardcore;
+pub mod mixed;
+pub mod two_rail;
+pub mod xor_tree;
+
+pub use compose::{attach_dual_rail, CheckedNetwork};

@@ -1,0 +1,326 @@
+//! Mixed checker design — Algorithm 5.1 and the §5.4 cost comparison.
+
+use crate::two_rail::two_rail_tree;
+use crate::xor_tree::{odd_checker_needs_clock, xor_checker_odd};
+use scal_analysis::analyze;
+use scal_netlist::{Circuit, NodeId, Structure};
+
+/// The output partition produced by Algorithm 5.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Outputs checkable by the cheap XOR (independent-line) checker.
+    pub a: Vec<usize>,
+    /// Groups of interdependent outputs requiring the dual-rail checker.
+    pub b: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Total outputs partitioned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.a.len() + self.b.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` iff no outputs were partitioned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs Algorithm 5.1 given the raw facts:
+///
+/// * `n` outputs;
+/// * `share_groups` — sets of outputs that share logic (outputs not listed
+///   share logic with nobody);
+/// * `unsafe_outputs` — outputs that can alternate incorrectly for some
+///   fault on shared logic (these must stay under the dual-rail checker).
+///
+/// Steps (paper numbering): 1. independent outputs go to `A`; 2. the rest
+/// split into share-closed groups `B_i`; 3. from each `B_i`, one output that
+/// never alternates incorrectly may move to `A`; 4. `A` gets the XOR
+/// checker, each remaining `B` member the dual-rail checker.
+#[must_use]
+pub fn partition(n: usize, share_groups: &[Vec<usize>], unsafe_outputs: &[usize]) -> Partition {
+    // Union-find over outputs.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for group in share_groups {
+        for w in group.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for x in 0..n {
+        let r = find(&mut parent, x);
+        groups.entry(r).or_default().push(x);
+    }
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (_, members) in groups {
+        if members.len() == 1 {
+            // Step 1: fully independent output.
+            a.push(members[0]);
+            continue;
+        }
+        // Step 3: promote one safe member, if any.
+        let mut rest = members.clone();
+        if let Some(pos) = rest.iter().position(|m| !unsafe_outputs.contains(m)) {
+            a.push(rest.remove(pos));
+        }
+        b.push(rest);
+    }
+    a.sort_unstable();
+    Partition { a, b }
+}
+
+/// Derives the partition for a concrete network: share groups come from
+/// outputs whose cones overlap on a non-input node, and an output is unsafe
+/// if Algorithm 3.1 finds some line whose fault can alternate incorrectly on
+/// it (condition E fails for that output).
+///
+/// # Panics
+///
+/// Panics if the circuit fails the prerequisites of
+/// [`scal_analysis::analyze`].
+#[must_use]
+pub fn derive_partition(circuit: &Circuit) -> Partition {
+    let n = circuit.outputs().len();
+    let structure = Structure::new(circuit);
+    let cones: Vec<Vec<bool>> = circuit
+        .outputs()
+        .iter()
+        .map(|o| structure.cone(o.node))
+        .collect();
+    let is_input = |idx: usize| {
+        matches!(
+            circuit.view(scal_netlist_node_by_index(circuit, idx)),
+            scal_netlist::NodeView::Input
+        )
+    };
+    let mut share_groups = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let shares = (0..circuit.len()).any(|k| cones[i][k] && cones[j][k] && !is_input(k));
+            if shares {
+                share_groups.push(vec![i, j]);
+            }
+        }
+    }
+    let report = analyze(circuit).expect("analyzable network");
+    let mut unsafe_outputs: Vec<usize> = report
+        .lines
+        .iter()
+        .flat_map(|l| l.outputs.iter())
+        .filter(|oc| !oc.e)
+        .map(|oc| oc.output)
+        .collect();
+    unsafe_outputs.sort_unstable();
+    unsafe_outputs.dedup();
+    partition(n, &share_groups, &unsafe_outputs)
+}
+
+fn scal_netlist_node_by_index(circuit: &Circuit, idx: usize) -> NodeId {
+    circuit
+        .node_ids()
+        .nth(idx)
+        .expect("index within circuit length")
+}
+
+/// Hardware cost summary of a checker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckerCost {
+    /// Two-input gates (the paper counts the two-rail tree this way).
+    pub two_input_gates: usize,
+    /// Odd-input XOR gates.
+    pub xor_gates: usize,
+    /// Flip-flops.
+    pub flip_flops: usize,
+}
+
+/// Cost of checking all `n` outputs with the dual-rail checker only
+/// (Fig. 5.3a): `n` flip-flops plus `(n−1)·6` two-input gates.
+#[must_use]
+pub fn dual_rail_only_cost(n: usize) -> CheckerCost {
+    CheckerCost {
+        two_input_gates: 6 * n.saturating_sub(1),
+        xor_gates: 0,
+        flip_flops: n,
+    }
+}
+
+/// Cost of the mixed configuration of Fig. 5.3b for a [`Partition`], with
+/// the combined output formed by folding the XOR checker's (latched) result
+/// into the dual-rail tree as one more pair (Fig. 5.4b).
+#[must_use]
+pub fn mixed_cost(p: &Partition) -> CheckerCost {
+    let nb: usize = p.b.iter().map(Vec::len).sum();
+    let na = p.a.len();
+    // XOR tree over the A outputs: each ternary gate retires two lines, and
+    // an even line count spends one extra (clock-padded) gate — i.e.
+    // ⌈(na−1)/2⌉ gates, with a lone line still buffered through one gate.
+    let xor_gates = if na <= 1 { na } else { (na - 1).div_ceil(2) };
+    // Dual-rail pairs: nb network outputs + 1 latched XOR result (when A is
+    // non-empty), each pair needing one flip-flop for its first-period value.
+    let pairs = nb + usize::from(na > 0);
+    CheckerCost {
+        two_input_gates: 6 * pairs.saturating_sub(1),
+        xor_gates,
+        flip_flops: pairs,
+    }
+}
+
+/// Builds the mixed checker of Fig. 5.3b/5.4b as a sequential circuit over
+/// `n = partition.len()` checked lines (inputs in output-index order) plus a
+/// trailing `phi` input. Outputs `f`, `g`: a valid 1-out-of-2 code in the
+/// second period of each pair iff every checked line alternated.
+///
+/// # Panics
+///
+/// Panics if the partition is empty or the B side is empty while A has a
+/// single line (degenerate; use the XOR checker directly).
+#[must_use]
+pub fn build_mixed_checker(p: &Partition) -> Circuit {
+    assert!(!p.is_empty(), "partition must cover at least one output");
+    let n = p.len();
+    let mut c = Circuit::new();
+    let lines: Vec<NodeId> = (0..n).map(|i| c.input(format!("y{i}"))).collect();
+    let phi = c.input("phi");
+
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    if !p.a.is_empty() {
+        let a_lines: Vec<NodeId> = p.a.iter().map(|&i| lines[i]).collect();
+        let q = if a_lines.len() == 1 && !odd_checker_needs_clock(1) {
+            a_lines[0]
+        } else {
+            xor_checker_odd(&mut c, &a_lines, phi)
+        };
+        let ff = c.dff(false);
+        c.connect_dff(ff, q);
+        pairs.push((ff, q));
+    }
+    for group in &p.b {
+        for &i in group {
+            let ff = c.dff(false);
+            c.connect_dff(ff, lines[i]);
+            pairs.push((ff, lines[i]));
+        }
+    }
+    let (f, g) = two_rail_tree(&mut c, &pairs);
+    c.mark_output("f", f);
+    c.mark_output("g", g);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::Sim;
+
+    #[test]
+    fn paper_nine_output_example() {
+        // §5.4: outputs 1..9 (0-indexed 0..8). 1,2,3 independent; share
+        // groups (4,5,6), (6,7), (8,9); outputs 5 and 8 unsafe.
+        // Expected: A = {1,2,3,4,9}, B1 = {5,6,7}, B2 = {8} (paper numbers).
+        let share = vec![vec![3, 4, 5], vec![5, 6], vec![7, 8]];
+        let unsafe_outputs = [4, 7]; // 0-indexed 5 and 8
+        let p = partition(9, &share, &unsafe_outputs);
+        assert_eq!(p.a, vec![0, 1, 2, 3, 8]);
+        assert_eq!(p.b, vec![vec![4, 5, 6], vec![7]]);
+    }
+
+    #[test]
+    fn paper_cost_comparison_halves() {
+        // Dual-rail only: 9 FFs + 48 two-input gates. Mixed: about half.
+        let dr = dual_rail_only_cost(9);
+        assert_eq!(dr.two_input_gates, 48);
+        assert_eq!(dr.flip_flops, 9);
+        let share = vec![vec![3, 4, 5], vec![5, 6], vec![7, 8]];
+        let p = partition(9, &share, &[4, 7]);
+        let mixed = mixed_cost(&p);
+        assert_eq!(mixed.flip_flops, 5); // 4 B-outputs + 1 latched XOR result
+        assert_eq!(mixed.two_input_gates, 24); // paper option (2): 24
+        assert!(mixed.two_input_gates * 2 <= dr.two_input_gates + 6);
+        assert_eq!(mixed.xor_gates, 2); // paper option (2): two XOR gates
+    }
+
+    #[test]
+    fn fully_independent_outputs_all_go_to_a() {
+        let p = partition(4, &[], &[]);
+        assert_eq!(p.a, vec![0, 1, 2, 3]);
+        assert!(p.b.is_empty());
+    }
+
+    #[test]
+    fn unsafe_member_never_promoted() {
+        let p = partition(3, &[vec![0, 1, 2]], &[0, 1, 2]);
+        assert!(p.a.is_empty());
+        assert_eq!(p.b, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn derive_partition_on_fig3_7_like_network() {
+        // A 3-output network with sharing: after the fix, no output is
+        // unsafe, so each share group promotes one member.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let nab = c.nand(&[a, b]);
+        let nad = c.nand(&[a, d]);
+        let nbd = c.nand(&[b, d]);
+        let f3 = c.nand(&[nab, nad, nbd]);
+        let na = c.not(a);
+        let m1 = c.nand(&[na, b]);
+        let m2 = c.nand(&[na, d]);
+        let f1 = c.nand(&[m1, m2, nbd]); // shares nbd with f3
+        let x = c.gate(scal_netlist::GateKind::Xor, &[a, b, d]); // independent
+        c.mark_output("F1", f1);
+        c.mark_output("F2", x);
+        c.mark_output("F3", f3);
+        let p = derive_partition(&c);
+        // F2 independent => A; F1/F3 share nbd, both safe => one promoted.
+        assert_eq!(p.b.len(), 1);
+        assert_eq!(p.b[0].len(), 1);
+        assert_eq!(p.a.len(), 2);
+    }
+
+    #[test]
+    fn mixed_checker_passes_good_words_and_flags_bad_lines() {
+        let share = vec![vec![3, 4, 5], vec![5, 6], vec![7, 8]];
+        let p = partition(9, &share, &[4, 7]);
+        let c = build_mixed_checker(&p);
+        let n = 9;
+        let word = [true, false, true, true, false, false, true, false, true];
+
+        // Good alternating word: code output in period 2.
+        let mut sim = Sim::new(&c);
+        let mut p1: Vec<bool> = word.to_vec();
+        p1.push(false); // phi = 0
+        sim.step(&p1);
+        let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+        p2.push(true);
+        let out = sim.step(&p2);
+        assert_ne!(out[0], out[1], "good word must check valid");
+
+        // Any single held line must be flagged.
+        for k in 0..n {
+            let mut sim = Sim::new(&c);
+            sim.step(&p1);
+            let mut bad = p2.clone();
+            bad[k] = p1[k];
+            let out = sim.step(&bad);
+            assert_eq!(out[0], out[1], "held line {k} must be flagged");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Anderson's two-rail TSCC and Reynolds' dual-rail SCAL checker (Fig. 5.1).
+
+use scal_netlist::{Circuit, NodeId};
+
+/// One two-rail checker module: combines two 1-out-of-2 pairs into one.
+///
+/// For input pairs `(a1,b1)` and `(a2,b2)` the outputs are
+///
+/// ```text
+/// f = a1·a2 ∨ b1·b2        g = a1·b2 ∨ a2·b1
+/// ```
+///
+/// If both inputs are valid codes (`ai ≠ bi`) the output is a valid code;
+/// any single non-code input yields a non-code output. Cost: six two-input
+/// gates, the figure behind the paper's `(n−1)·6` checker cost.
+pub fn two_rail_module(
+    c: &mut Circuit,
+    (a1, b1): (NodeId, NodeId),
+    (a2, b2): (NodeId, NodeId),
+) -> (NodeId, NodeId) {
+    let t1 = c.and(&[a1, a2]);
+    let t2 = c.and(&[b1, b2]);
+    let f = c.or(&[t1, t2]);
+    let t3 = c.and(&[a1, b2]);
+    let t4 = c.and(&[a2, b1]);
+    let g = c.or(&[t3, t4]);
+    (f, g)
+}
+
+/// A balanced tree of [`two_rail_module`]s reducing `n` pairs to one.
+///
+/// Uses `n − 1` modules (6(n−1) two-input gates).
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn two_rail_tree(c: &mut Circuit, pairs: &[(NodeId, NodeId)]) -> (NodeId, NodeId) {
+    assert!(!pairs.is_empty(), "checker needs at least one pair");
+    let mut layer: Vec<(NodeId, NodeId)> = pairs.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.chunks(2);
+        for chunk in &mut it {
+            if chunk.len() == 2 {
+                next.push(two_rail_module(c, chunk[0], chunk[1]));
+            } else {
+                next.push(chunk[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Reynolds' dual-rail SCAL checker (Fig. 5.1a): a sequential circuit that
+/// latches each checked line in the first period and compares it with the
+/// second-period value through a two-rail tree.
+///
+/// The returned circuit has `n` inputs (the checked lines) and two outputs
+/// `f`, `g`. In the *second* period of each alternating pair, `(f, g)` is a
+/// valid 1-out-of-2 code iff every line alternated.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn reynolds_checker(n: usize) -> Circuit {
+    assert!(n > 0, "checker needs at least one line");
+    let mut c = Circuit::new();
+    let lines: Vec<NodeId> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+    let pairs: Vec<(NodeId, NodeId)> = lines
+        .iter()
+        .map(|&x| {
+            let ff = c.dff(false);
+            c.connect_dff(ff, x);
+            (ff, x)
+        })
+        .collect();
+    let (f, g) = two_rail_tree(&mut c, &pairs);
+    c.mark_output("f", f);
+    c.mark_output("g", g);
+    c
+}
+
+/// The Fig. 5.1c conversion of a dual-rail checker output to a single
+/// *alternating* signal `q`:
+///
+/// ```text
+/// q = (f ⊕ g) ⊕ φ
+/// ```
+///
+/// When the checker output is a valid code (`f ≠ g`), `q = φ̄` — the pair
+/// `(1, 0)` — and any non-code checker word breaks the alternation, exactly
+/// the paper's "(0,1) or constant if there is a fault".
+pub fn alternating_output(c: &mut Circuit, f: NodeId, g: NodeId, phi: NodeId) -> NodeId {
+    let valid = c.xor(&[f, g]);
+    c.xor(&[valid, phi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::Sim;
+
+    fn module_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a1 = c.input("a1");
+        let b1 = c.input("b1");
+        let a2 = c.input("a2");
+        let b2 = c.input("b2");
+        let (f, g) = two_rail_module(&mut c, (a1, b1), (a2, b2));
+        c.mark_output("f", f);
+        c.mark_output("g", g);
+        c
+    }
+
+    #[test]
+    fn module_maps_codes_to_codes() {
+        let c = module_circuit();
+        for a1 in [false, true] {
+            for a2 in [false, true] {
+                let out = c.eval(&[a1, !a1, a2, !a2]);
+                assert_ne!(out[0], out[1], "code inputs must give code output");
+            }
+        }
+    }
+
+    #[test]
+    fn module_maps_any_noncode_to_noncode() {
+        // Code-disjointness: one invalid input pair => invalid output.
+        let c = module_circuit();
+        for m in 0..16u32 {
+            let a1 = m & 1 == 1;
+            let b1 = m & 2 != 0;
+            let a2 = m & 4 != 0;
+            let b2 = m & 8 != 0;
+            if a1 != b1 && a2 != b2 {
+                continue;
+            }
+            let out = c.eval(&[a1, b1, a2, b2]);
+            assert_eq!(
+                out[0], out[1],
+                "noncode input {m:04b} must give noncode output"
+            );
+        }
+    }
+
+    #[test]
+    fn module_is_self_testing_on_code_inputs() {
+        // Every collapsed single fault is detected by some code input (the
+        // TSC property restricted to the code space).
+        let c = module_circuit();
+        let code_inputs: Vec<Vec<bool>> = (0..4u32)
+            .map(|m| {
+                let a1 = m & 1 == 1;
+                let a2 = m & 2 != 0;
+                vec![a1, !a1, a2, !a2]
+            })
+            .collect();
+        for fault in scal_faults::enumerate_faults(&c) {
+            let ov = [fault.to_override()];
+            let detected = code_inputs.iter().any(|ins| {
+                let out = c.eval_with(ins, &ov);
+                out[0] == out[1] // noncode output flags the fault
+            });
+            assert!(detected, "fault {fault} undetected by code inputs");
+        }
+    }
+
+    #[test]
+    fn tree_cost_is_six_times_n_minus_one() {
+        for n in [2usize, 3, 5, 8] {
+            let mut c = Circuit::new();
+            let pairs: Vec<_> = (0..n)
+                .map(|i| {
+                    let a = c.input(format!("a{i}"));
+                    let b = c.input(format!("b{i}"));
+                    (a, b)
+                })
+                .collect();
+            let (f, g) = two_rail_tree(&mut c, &pairs);
+            c.mark_output("f", f);
+            c.mark_output("g", g);
+            assert_eq!(c.cost().gates, 6 * (n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_detects_single_noncode_pair() {
+        let n = 5;
+        let mut c = Circuit::new();
+        let pairs: Vec<_> = (0..n)
+            .map(|i| {
+                let a = c.input(format!("a{i}"));
+                let b = c.input(format!("b{i}"));
+                (a, b)
+            })
+            .collect();
+        let (f, g) = two_rail_tree(&mut c, &pairs);
+        c.mark_output("f", f);
+        c.mark_output("g", g);
+        // All-code baseline.
+        for word in 0..(1u32 << n) {
+            let mut ins = Vec::new();
+            for i in 0..n {
+                let a = (word >> i) & 1 == 1;
+                ins.push(a);
+                ins.push(!a);
+            }
+            let out = c.eval(&ins);
+            assert_ne!(out[0], out[1]);
+            // Break pair k both ways.
+            for k in 0..n {
+                for broken in [false, true] {
+                    let mut bad = ins.clone();
+                    bad[2 * k] = broken;
+                    bad[2 * k + 1] = broken;
+                    let out = c.eval(&bad);
+                    assert_eq!(out[0], out[1], "word={word} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reynolds_checker_flags_nonalternating_lines() {
+        let n = 4;
+        let c = reynolds_checker(n);
+        assert_eq!(c.cost().flip_flops, n);
+        assert_eq!(c.cost().gates, 6 * (n - 1));
+        let mut sim = Sim::new(&c);
+        // Drive an alternating word pair: outputs valid in second period.
+        let word = [true, false, false, true];
+        sim.step(&word); // period 1: latch
+        let flipped: Vec<bool> = word.iter().map(|&b| !b).collect();
+        let out = sim.step(&flipped); // period 2: compare
+        assert_ne!(out[0], out[1], "alternating word must check as code");
+
+        // A line that fails to alternate must be flagged.
+        let mut sim = Sim::new(&c);
+        sim.step(&word);
+        let mut stuck = flipped;
+        stuck[2] = word[2]; // line 2 repeats its period-1 value
+        let out = sim.step(&stuck);
+        assert_eq!(out[0], out[1], "non-alternating line must yield noncode");
+    }
+
+    #[test]
+    fn alternating_output_conversion() {
+        let mut c = Circuit::new();
+        let f = c.input("f");
+        let g = c.input("g");
+        let phi = c.input("phi");
+        let q = alternating_output(&mut c, f, g, phi);
+        c.mark_output("q", q);
+        // Valid code in both periods: q = (1, 0).
+        assert_eq!(c.eval(&[true, false, false]), vec![true]);
+        assert_eq!(c.eval(&[false, true, true]), vec![false]);
+        // Noncode word: q breaks the (1,0) pattern.
+        assert_eq!(c.eval(&[true, true, false]), vec![false]);
+        assert_eq!(c.eval(&[false, false, true]), vec![true]);
+    }
+}

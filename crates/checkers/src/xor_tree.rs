@@ -1,0 +1,231 @@
+//! Independent-line XOR checkers (Theorem 5.1, Fig. 5.2).
+
+use scal_netlist::{Circuit, GateKind, NodeId};
+
+/// Builds the odd-input XOR checker of Theorem 5.1 inside `c`: a tree of
+/// XOR gates, each with an odd number of inputs (padded with the period
+/// clock `phi` where needed), over the given `lines`.
+///
+/// If every checked line alternates, every line *inside* the checker
+/// alternates too (an XOR of an odd number of alternating signals
+/// alternates), so by Theorem 3.6 the checker is self-checking with respect
+/// to all of its own lines; the single output alternates iff all checked
+/// lines do.
+///
+/// # Panics
+///
+/// Panics if `lines` is empty.
+pub fn xor_checker_odd(c: &mut Circuit, lines: &[NodeId], phi: NodeId) -> NodeId {
+    assert!(!lines.is_empty(), "checker needs at least one line");
+    let mut layer: Vec<NodeId> = lines.to_vec();
+    if layer.len() == 1 {
+        // Single line: a 1-input XOR is a buffer with odd arity.
+        return c.gate(GateKind::Xor, &[layer[0]]);
+    }
+    // Reduce in groups of three, carrying stragglers, and fold the period
+    // clock in exactly once — only when the final pair needs an odd third
+    // input (which happens iff the line count is even, keeping the output
+    // self-dual and the clock non-redundant).
+    while layer.len() > 2 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(3) + 2);
+        let mut i = 0;
+        while i + 3 <= layer.len() {
+            next.push(c.xor(&[layer[i], layer[i + 1], layer[i + 2]]));
+            i += 3;
+        }
+        next.extend_from_slice(&layer[i..]);
+        layer = next;
+    }
+    if layer.len() == 2 {
+        c.xor(&[layer[0], layer[1], phi])
+    } else {
+        layer[0]
+    }
+}
+
+/// `true` iff an odd-input XOR checker over `n` lines needs the period
+/// clock as a padding input (exactly when `n` is even).
+#[must_use]
+pub fn odd_checker_needs_clock(n: usize) -> bool {
+    n % 2 == 0
+}
+
+/// The even-input XOR variant of Fig. 5.2c: a tree of two-input XOR gates
+/// over the lines, with the (complemented) period clock folded in so the
+/// output forms the code pair `(0, 1)` when all lines alternate.
+///
+/// Internal lines of this tree do *not* all alternate (a 2-input XOR of two
+/// alternating signals is constant over the pair), so some of the checker's
+/// own faults escape alternation testing — the reason the paper calls this
+/// form "less cost-effective" than [`xor_checker_odd`]. The `fig5_1`
+/// experiment quantifies the difference.
+///
+/// # Panics
+///
+/// Panics if `lines` is empty.
+pub fn xor_checker_even(c: &mut Circuit, lines: &[NodeId], phi: NodeId) -> NodeId {
+    assert!(!lines.is_empty(), "checker needs at least one line");
+    let mut layer: Vec<NodeId> = lines.to_vec();
+    layer.push(phi);
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut i = 0;
+        while i < layer.len() {
+            if layer.len() - i >= 2 {
+                next.push(c.xor(&[layer[i], layer[i + 1]]));
+                i += 2;
+            } else {
+                next.push(layer[i]);
+                i += 1;
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// A standalone odd-input XOR checker circuit over `n` lines. When `n` is
+/// even a trailing `phi` (period clock) input is added as the odd-arity pad
+/// (see [`odd_checker_needs_clock`]). Output `q` alternates iff every line
+/// alternates.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn xor_checker_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let lines: Vec<NodeId> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+    let phi = if odd_checker_needs_clock(n) {
+        c.input("phi")
+    } else {
+        lines[0] // never consulted for odd n
+    };
+    let q = xor_checker_odd(&mut c, &lines, phi);
+    c.mark_output("q", q);
+    c
+}
+
+/// Counts the checker's own faults that alternation monitoring can never
+/// detect, assuming all checked lines alternate: a fault is *untestable
+/// in-operation* if, for every alternating input pair, the checker output
+/// still alternates with the correct phase.
+///
+/// Used to compare the odd- and even-input variants (Fig. 5.2a vs 5.2c).
+#[must_use]
+pub fn untestable_checker_faults(circuit: &Circuit) -> usize {
+    let results = scal_faults::run_campaign(circuit);
+    results.iter().filter(|r| !r.tested()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(c: &Circuit, word: u32, n: usize, phi: bool, breaks: &[usize]) -> (bool, bool) {
+        // Returns the checker output over the two periods, with `breaks`
+        // listing line indices that hold (fail to alternate).
+        let mut p1 = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            p1.push((word >> i) & 1 == 1);
+        }
+        if c.inputs().len() == n + 1 {
+            p1.push(phi);
+        }
+        let mut p2: Vec<bool> = p1.iter().map(|&b| !b).collect();
+        for &k in breaks {
+            p2[k] = p1[k];
+        }
+        let o1 = c.eval(&p1)[0];
+        let o2 = c.eval(&p2)[0];
+        (o1, o2)
+    }
+
+    #[test]
+    fn odd_checker_alternates_when_all_lines_do() {
+        for n in 1..=9 {
+            let c = xor_checker_circuit(n);
+            for word in 0..(1u32 << n) {
+                let (o1, o2) = drive(&c, word, n, false, &[]);
+                assert_ne!(o1, o2, "n={n} word={word:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_checker_flags_single_nonalternating_line() {
+        for n in [3usize, 4, 7] {
+            let c = xor_checker_circuit(n);
+            for word in 0..(1u32 << n) {
+                for k in 0..n {
+                    let (o1, o2) = drive(&c, word, n, false, &[k]);
+                    assert_eq!(o1, o2, "n={n} word={word:b} line {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_checker_misses_even_numbers_of_stuck_lines() {
+        // Table 5.1's "2 stuck, 0 incorrect → not detected" row.
+        let n = 4;
+        let c = xor_checker_circuit(n);
+        let (o1, o2) = drive(&c, 0b1010, n, false, &[0, 1]);
+        assert_ne!(o1, o2, "even number of holds must slip through");
+    }
+
+    #[test]
+    fn all_gates_have_odd_arity() {
+        for n in 1..=10 {
+            let c = xor_checker_circuit(n);
+            for id in c.node_ids() {
+                if let scal_netlist::NodeView::Gate(GateKind::Xor) = c.view(id) {
+                    assert_eq!(c.fanins(id).len() % 2, 1, "n={n} gate {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_checker_internal_lines_all_alternate() {
+        // Theorem 5.1's proof obligation, checked structurally: every gate
+        // output's function of the inputs is self-dual.
+        let c = xor_checker_circuit(5);
+        let tts = scal_analysis::all_node_tts(&c);
+        for id in c.node_ids() {
+            if matches!(c.view(id), scal_netlist::NodeView::Gate(_)) {
+                assert!(tts[id.index()].is_self_dual(), "gate {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_checker_is_fully_self_testing_even_variant_is_not() {
+        let n = 4;
+        let odd = xor_checker_circuit(n);
+        assert_eq!(untestable_checker_faults(&odd), 0);
+
+        let mut even = Circuit::new();
+        let lines: Vec<NodeId> = (0..n).map(|i| even.input(format!("x{i}"))).collect();
+        let phi = even.input("phi");
+        let q = xor_checker_even(&mut even, &lines, phi);
+        even.mark_output("q", q);
+        // The even-input tree contains constant-over-pair internal lines,
+        // but XOR propagates any stuck bit to the output, so in-operation
+        // testability is judged by alternation: stuck internal lines flip
+        // the output's phase rather than its alternation, which *is* wrong
+        // alternation — i.e. fault-security violations instead of detection.
+        let results = scal_faults::run_campaign(&even);
+        let violations = results.iter().filter(|r| !r.fault_secure()).count();
+        assert!(
+            violations > 0,
+            "even-input tree must have phase-violating faults"
+        );
+    }
+
+    #[test]
+    fn gate_count_scales_linearly() {
+        let c9 = xor_checker_circuit(9);
+        assert_eq!(c9.count_kind(GateKind::Xor), 4); // 3+3+3 -> 3 gates, then 1
+    }
+}

@@ -1,0 +1,95 @@
+//! Driving alternating networks: input-pair enumeration and application.
+//!
+//! An alternating network receives each information word twice: true in the
+//! first period, complemented in the second (Definition 2.5). These helpers
+//! enumerate canonical pairs and convert between minterm integers and input
+//! vectors.
+
+use scal_netlist::Circuit;
+
+/// Converts a minterm to an input vector of width `n` (bit `i` = input `i`).
+#[must_use]
+pub fn minterm_to_inputs(m: u32, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (m >> i) & 1 == 1).collect()
+}
+
+/// Converts an input vector back to a minterm.
+#[must_use]
+pub fn inputs_to_minterm(inputs: &[bool]) -> u32 {
+    inputs
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | (u32::from(b) << i))
+}
+
+/// The complemented second-period word for a first-period minterm.
+#[must_use]
+pub fn complement_minterm(m: u32, n: usize) -> u32 {
+    !m & ((1u32 << n) - 1)
+}
+
+/// Iterator over canonical alternating pairs for `n` inputs: yields each
+/// unordered pair `(X, X̄)` once, as the numerically smaller member.
+pub fn canonical_pairs(n: usize) -> impl Iterator<Item = u32> {
+    let total = 1u32 << n;
+    let mask = total - 1;
+    (0..total).filter(move |&m| m < (!m & mask))
+}
+
+/// Drives the alternating pair for minterm `m` through a combinational
+/// circuit and returns the two per-period output vectors.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential.
+#[must_use]
+pub fn drive_pair(circuit: &Circuit, m: u32) -> (Vec<bool>, Vec<bool>) {
+    let n = circuit.inputs().len();
+    let x = minterm_to_inputs(m, n);
+    let y = minterm_to_inputs(complement_minterm(m, n), n);
+    (circuit.eval(&x), circuit.eval(&y))
+}
+
+/// `true` iff every output alternated across the pair.
+#[must_use]
+pub fn alternates(pair: &(Vec<bool>, Vec<bool>)) -> bool {
+    pair.0.iter().zip(&pair.1).all(|(a, b)| a != b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::self_dual_adder;
+
+    #[test]
+    fn minterm_round_trip() {
+        for m in 0..32u32 {
+            assert_eq!(inputs_to_minterm(&minterm_to_inputs(m, 5)), m);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for m in 0..16u32 {
+            assert_eq!(complement_minterm(complement_minterm(m, 4), 4), m);
+        }
+    }
+
+    #[test]
+    fn canonical_pairs_partition_the_space() {
+        let pairs: Vec<u32> = canonical_pairs(4).collect();
+        assert_eq!(pairs.len(), 8);
+        for &m in &pairs {
+            assert!(m < complement_minterm(m, 4));
+        }
+    }
+
+    #[test]
+    fn adder_alternates_on_every_pair() {
+        let c = self_dual_adder();
+        for m in canonical_pairs(3) {
+            let pair = drive_pair(&c, m);
+            assert!(alternates(&pair), "pair {m}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Netlist self-dualization: making any combinational network alternating.
+
+use scal_logic::{qm, Tt};
+use scal_netlist::{Circuit, GateKind, NodeId};
+
+/// Converts a combinational circuit into an alternating network by adding a
+/// single period-clock input `phi` (the paper's `φ`, 0 in the first period,
+/// 1 in the second).
+///
+/// The construction is structural Yamamoto: the original logic is
+/// instantiated twice — once on the true inputs, once on inverted inputs
+/// with an inverted output — and each output is selected by `φ`:
+///
+/// ```text
+/// F*(X, φ) = φ̄·F(X) ∨ φ·¬F(X̄)
+/// ```
+///
+/// Every output of the result is self-dual (Theorem 2.1), at a hardware cost
+/// of roughly twice the original network plus the selection stage — the
+/// worst-case envelope for the cost-factor study of §4.5 (Reynolds' measured
+/// average factor is 1.8; see the `cost1_8` experiment).
+///
+/// The selection stage `φ̄·F ∨ φ·F^d` contains an inherent single-line
+/// redundancy whenever `F ⊆ F^d` consensus exists (e.g. the `φ̄` guard
+/// stuck-at-1 is absorbed), so the result is fault-secure but only
+/// self-checking *modulo redundancy*
+/// ([`crate::ScalVerdict::is_self_checking_modulo_redundancy`]). For a
+/// strictly self-checking alternating realization use
+/// [`dualize_synthesized`], the paper's recommended two-level route.
+///
+/// The new input `phi` is appended *after* the original inputs.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or fails validation.
+#[must_use]
+pub fn dualize(original: &Circuit) -> Circuit {
+    original.validate().expect("circuit must validate");
+    assert!(
+        !original.is_sequential(),
+        "dualize() operates on combinational circuits; see scal-seq for machines"
+    );
+    let mut c = Circuit::new();
+    let xs: Vec<NodeId> = original
+        .inputs()
+        .iter()
+        .map(|&i| {
+            let name = original.name(i).unwrap_or("x").to_owned();
+            c.input(name)
+        })
+        .collect();
+    let phi = c.input(scal_logic::PERIOD_CLOCK_NAME);
+    let nphi = c.not(phi);
+    let true_outs = c.import(original, &xs);
+    let nxs: Vec<NodeId> = xs.iter().map(|&x| c.not(x)).collect();
+    let comp_outs = c.import(original, &nxs);
+    for (k, out) in original.outputs().iter().enumerate() {
+        let inv = c.not(comp_outs[k]);
+        let t1 = c.and(&[nphi, true_outs[k]]);
+        let t2 = c.and(&[phi, inv]);
+        let f = c.or(&[t1, t2]);
+        c.mark_output(out.name.clone(), f);
+    }
+    c
+}
+
+/// Converts a combinational circuit into an alternating network by
+/// *re-synthesis*: each output's self-dual extension `F*(X, φ)` is computed
+/// as a truth table ([`scal_logic::self_dualize`]) and realized as a minimal
+/// two-level NAND-NAND network (Quine–McCluskey cover).
+///
+/// Two-level self-dual networks of monotonic gates are automatically
+/// self-checking (Yamamoto's result, provable from Theorem 3.7), so this is
+/// the *design-for-self-checking* route the paper's §3.5 recommendations
+/// point to: "use two levels (plus an inverter level) to automatically
+/// achieve self-checking".
+///
+/// Outputs do not share logic (sharing would have to be re-justified by
+/// Algorithm 3.1). Input inverters are shared.
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential, fails validation, or exceeds
+/// [`scal_logic::MAX_VARS`] − 1 inputs.
+#[must_use]
+pub fn dualize_synthesized(original: &Circuit) -> Circuit {
+    original.validate().expect("circuit must validate");
+    assert!(!original.is_sequential(), "combinational circuits only");
+    let tts = original.output_tts();
+    let n = original.inputs().len();
+    let mut c = Circuit::new();
+    let xs: Vec<NodeId> = original
+        .inputs()
+        .iter()
+        .map(|&i| {
+            let name = original.name(i).unwrap_or("x").to_owned();
+            c.input(name)
+        })
+        .collect();
+    let phi = c.input(scal_logic::PERIOD_CLOCK_NAME);
+    let mut all_vars = xs;
+    all_vars.push(phi);
+    let mut rail = InverterRail::new(&all_vars);
+
+    for (k, tt) in tts.iter().enumerate() {
+        let sd: Tt = scal_logic::self_dualize(tt);
+        let f = synthesize_sop(&mut c, &all_vars, &mut rail, &sd);
+        c.mark_output(original.outputs()[k].name.clone(), f);
+    }
+    let _ = n;
+    c
+}
+
+/// A lazily-built, shared rail of input inverters: an inverter is created
+/// only when some cube actually needs the complemented literal, so no
+/// dangling (untestable) logic is ever emitted.
+#[derive(Debug)]
+pub(crate) struct InverterRail {
+    vars: Vec<NodeId>,
+    inverters: Vec<Option<NodeId>>,
+}
+
+impl InverterRail {
+    pub(crate) fn new(vars: &[NodeId]) -> Self {
+        InverterRail {
+            vars: vars.to_vec(),
+            inverters: vec![None; vars.len()],
+        }
+    }
+
+    fn complemented(&mut self, c: &mut Circuit, v: usize) -> NodeId {
+        if let Some(id) = self.inverters[v] {
+            return id;
+        }
+        let id = c.not(self.vars[v]);
+        self.inverters[v] = Some(id);
+        id
+    }
+}
+
+/// Realizes a truth table as NAND-NAND two-level logic over the given
+/// variables, sharing the inverter rail.
+pub(crate) fn synthesize_sop(
+    c: &mut Circuit,
+    vars: &[NodeId],
+    rail: &mut InverterRail,
+    tt: &Tt,
+) -> NodeId {
+    assert_eq!(vars.len(), tt.nvars(), "variable rail mismatch");
+    if tt.is_zero() {
+        return c.constant(false);
+    }
+    if tt.is_one() {
+        return c.constant(true);
+    }
+    let cover = qm::minimize(tt, None);
+    let mut first_level = Vec::new();
+    for cube in &cover {
+        let mut literals = Vec::new();
+        for v in 0..tt.nvars() {
+            let bit = 1u32 << v;
+            if cube.mask() & bit != 0 {
+                literals.push(if cube.value() & bit != 0 {
+                    vars[v]
+                } else {
+                    rail.complemented(c, v)
+                });
+            }
+        }
+        first_level.push(if literals.len() == 1 {
+            // A single literal bypasses the AND plane: NAND collection needs
+            // its complement, so feed the literal through an inverter-free
+            // trick — NAND of one input is NOT, so use the opposite rail.
+            let v = literals[0];
+            c.gate(GateKind::Not, &[v])
+        } else {
+            c.nand(&literals)
+        });
+    }
+    if first_level.len() == 1 {
+        c.not(first_level[0])
+    } else {
+        c.nand(&first_level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    fn and2() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        c.mark_output("f", g);
+        c
+    }
+
+    fn adder_like() -> Circuit {
+        // Non-self-dual 3-input function pair.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let g1 = c.and(&[a, b]);
+        let g2 = c.or(&[g1, d]);
+        let g3 = c.xor(&[a, d]);
+        c.mark_output("f1", g2);
+        c.mark_output("f2", g3);
+        c
+    }
+
+    #[test]
+    fn structural_dualization_is_self_dual_and_restores_original() {
+        for original in [and2(), adder_like()] {
+            let alt = dualize(&original);
+            let tts = alt.output_tts();
+            for tt in &tts {
+                assert!(tt.is_self_dual());
+            }
+            // φ = 0 restriction equals the original function.
+            let orig_tts = original.output_tts();
+            let n = original.inputs().len();
+            for (k, tt) in tts.iter().enumerate() {
+                for m in 0..(1u32 << n) {
+                    assert_eq!(tt.eval(m), orig_tts[k].eval(m), "output {k} minterm {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_dualization_matches_structural_function() {
+        for original in [and2(), adder_like()] {
+            let a = dualize(&original);
+            let b = dualize_synthesized(&original);
+            assert_eq!(a.output_tts(), b.output_tts());
+        }
+    }
+
+    #[test]
+    fn synthesized_networks_are_self_checking() {
+        // Two-level self-dual networks of standard gates: automatically SCAL.
+        for original in [and2(), adder_like()] {
+            let alt = dualize_synthesized(&original);
+            let verdict = verify(&alt).unwrap();
+            assert!(verdict.fault_secure, "violations: {:?}", verdict.violations);
+        }
+    }
+
+    #[test]
+    fn dualize_preserves_names_and_appends_phi() {
+        let alt = dualize(&and2());
+        let names: Vec<_> = alt
+            .inputs()
+            .iter()
+            .map(|&i| alt.name(i).unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "phi"]);
+        assert_eq!(alt.outputs()[0].name, "f");
+    }
+
+    #[test]
+    fn cost_envelope_roughly_doubles() {
+        let original = adder_like();
+        let alt = dualize(&original);
+        let g0 = original.cost().gates;
+        let g1 = alt.cost().gates;
+        assert!(g1 >= 2 * g0, "structural dualization duplicates logic");
+        assert!(g1 <= 2 * g0 + 4 * original.outputs().len() + original.inputs().len() + 2);
+    }
+
+    #[test]
+    fn constant_outputs_handled_by_synthesis() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let na = c.not(a);
+        let zero = c.and(&[a, na]);
+        c.mark_output("z", zero);
+        // F ≡ 0 self-dualizes to F* = φ (0 in period 1, 1 in period 2).
+        let alt = dualize_synthesized(&c);
+        let tt = alt.output_tt(0);
+        assert!(tt.is_self_dual());
+        assert!(!tt.eval(0b00)); // a=0, φ=0
+        assert!(tt.eval(0b10)); // a=0, φ=1
+    }
+}

@@ -1,0 +1,54 @@
+//! Self-checking alternating logic (SCAL): the paper's primary contribution
+//! as a library.
+//!
+//! An **alternating network** realizes a self-dual function and is driven
+//! with the input sequence `(X, X̄)`; fault-free, it must answer with the
+//! alternating pair `(F(X), F̄(X))` (Definition 2.5). A **SCAL network** is an
+//! alternating network that is *self-checking* — self-testing and
+//! fault-secure — under the single stuck-at model (Definitions 2.4/2.6).
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`dualize`] / [`dualize_synthesized`] — convert an arbitrary
+//!   combinational netlist into an alternating network by adding the single
+//!   period-clock input `φ` (Yamamoto's construction behind Theorem 2.1),
+//!   either structurally or by re-synthesis;
+//! * [`verify`] — the exhaustive verification engine: every collapsed single
+//!   stuck-at fault against every alternating input pair, yielding a
+//!   [`ScalVerdict`] that reports alternation, fault security (no incorrect
+//!   alternating outputs, Theorem 3.1) and self-testing;
+//! * [`drive`] — helpers to enumerate and apply alternating input pairs;
+//! * [`paper`] — the canonical networks of the paper (the self-dual adder of
+//!   Fig. 2.2, the multi-output example of Figs. 3.4/3.7, the §3.2
+//!   test-derivation example), used by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use scal_netlist::Circuit;
+//! use scal_core::{dualize_synthesized, verify};
+//!
+//! // AND is not self-dual; dualize it and verify it is SCAL.
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let g = c.and(&[a, b]);
+//! c.mark_output("f", g);
+//!
+//! let alt = dualize_synthesized(&c);
+//! let verdict = verify(&alt).unwrap();
+//! assert!(verdict.is_self_checking());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drive;
+mod dualize;
+pub mod paper;
+mod verify;
+
+pub use dualize::{dualize, dualize_synthesized};
+pub use verify::{
+    faults_excluding_clock, verify, verify_with, ScalVerdict, VerifyError, Violation,
+};

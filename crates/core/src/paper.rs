@@ -1,0 +1,381 @@
+//! Canonical networks from the paper, used by the tests, examples, and the
+//! experiment harness.
+//!
+//! Where the report scan's schematics are unreadable (they are 1977
+//! microfiche), networks are *reconstructed* from the functions and worked
+//! equations in the text; every reconstruction is verified to exhibit the
+//! same mechanisms the paper derives (see DESIGN.md, "Substitutions").
+
+use crate::dualize::{synthesize_sop, InverterRail};
+use scal_logic::Tt;
+use scal_netlist::{Circuit, NodeId, Site};
+
+/// The self-dual one-bit full adder of Fig. 2.2 (after Liu et al.'s optimal
+/// adder): `sum = a⊕b⊕cin`, `carry = MAJ(a,b,cin)` — both self-dual, so the
+/// adder is an alternating network *with no added hardware at all*, the
+/// paper's flagship "free SCAL" example.
+///
+/// Realized as two-level NAND-NAND logic over a shared input-inverter rail;
+/// the result is verified self-checking by `scal_core::verify` in this
+/// crate's tests.
+#[must_use]
+pub fn self_dual_adder() -> Circuit {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let ci = c.input("cin");
+    let na = c.not(a);
+    let nb = c.not(b);
+    let nci = c.not(ci);
+    // sum = odd parity: minterms {100, 010, 001, 111} of (a,b,cin).
+    let s1 = c.nand(&[a, nb, nci]);
+    let s2 = c.nand(&[na, b, nci]);
+    let s3 = c.nand(&[na, nb, ci]);
+    let s4 = c.nand(&[a, b, ci]);
+    let sum = c.nand(&[s1, s2, s3, s4]);
+    // carry = majority.
+    let c1 = c.nand(&[a, b]);
+    let c2 = c.nand(&[a, ci]);
+    let c3 = c.nand(&[b, ci]);
+    let carry = c.nand(&[c1, c2, c3]);
+    c.mark_output("sum", sum);
+    c.mark_output("carry", carry);
+    c
+}
+
+/// A ripple-carry n-bit adder made of [`self_dual_adder`] slices. All
+/// outputs are self-dual (each bit is parity/majority of self-dual inputs by
+/// induction), so the whole adder is an alternating network.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+#[must_use]
+pub fn ripple_adder(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let slice = self_dual_adder();
+    let mut c = Circuit::new();
+    let xs: Vec<NodeId> = (0..bits).map(|i| c.input(format!("a{i}"))).collect();
+    let ys: Vec<NodeId> = (0..bits).map(|i| c.input(format!("b{i}"))).collect();
+    let mut carry = c.input("cin");
+    for i in 0..bits {
+        let outs = c.import(&slice, &[xs[i], ys[i], carry]);
+        c.mark_output(format!("s{i}"), outs[0]);
+        carry = outs[1];
+    }
+    c.mark_output("cout", carry);
+    c
+}
+
+/// The reconstructed multiple-output example of Figs. 3.4/3.5 (see §3.6).
+///
+/// Outputs (all self-dual):
+///
+/// * `F1 = MAJ(ā, b, c) = āb ∨ āc ∨ bc`
+/// * `F2 = a ⊕ b ⊕ c`
+/// * `F3 = MAJ(a, b, c)`
+///
+/// with genuine logic sharing engineered to reproduce the worked example's
+/// mechanisms:
+///
+/// * [`Fig34::line9`] — a NAND stem shared between F2's XOR chain and F3.
+///   Stuck-at-0 it makes **F2 alternate incorrectly**, but F3 simultaneously
+///   goes non-alternating: Corollary 3.2 rescues it (the paper's line 9).
+/// * [`Fig34::line20`] — the `a⊕b` stem feeding F2's unequal-parity
+///   reconvergence. Its stuck faults (and the stuck-at-0 faults of the two
+///   NANDs that force it constant) produce undetected incorrect alternating
+///   outputs: the network is **not** self-checking (the paper's line 20).
+#[derive(Debug, Clone)]
+pub struct Fig34 {
+    /// The network.
+    pub circuit: Circuit,
+    /// The rescued shared stem (paper line 9).
+    pub line9: Site,
+    /// The offending stem (paper line 20).
+    pub line20: Site,
+    /// The stem shared harmlessly between F1 and F3 (NAND(b,c)).
+    pub shared_bc: Site,
+    /// Human-readable labels for the interesting stems, in a stable order.
+    pub labels: Vec<(Site, &'static str)>,
+}
+
+/// Builds the Fig. 3.4 reconstruction. See [`Fig34`].
+#[must_use]
+pub fn fig3_4() -> Fig34 {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let d = c.input("c");
+
+    // Shared stem "line 9": n1 = NAND(a, b).
+    let n1 = c.nand(&[a, b]);
+    c.set_name(n1, "line9");
+    // x = a ⊕ b from NANDs reusing n1.
+    let ta = c.nand(&[a, n1]);
+    c.set_name(ta, "line13");
+    let tb = c.nand(&[b, n1]);
+    c.set_name(tb, "line14");
+    let x = c.nand(&[ta, tb]);
+    c.set_name(x, "line20");
+    // F2 = x ⊕ c via the unequal-parity AND/OR reconvergence on x.
+    let nd = c.not(d);
+    let nx = c.not(x);
+    let t1 = c.and(&[x, nd]);
+    let t2 = c.and(&[nx, d]);
+    let f2 = c.or(&[t1, t2]);
+    // F3 = MAJ(a,b,c) sharing n1 and (with F1) NAND(b,c).
+    let nad = c.nand(&[a, d]);
+    let nbd = c.nand(&[b, d]);
+    c.set_name(nbd, "line19");
+    let f3 = c.nand(&[n1, nad, nbd]);
+    // F1 = MAJ(ā,b,c) sharing NAND(b,c) with F3.
+    let na = c.not(a);
+    let m1 = c.nand(&[na, b]);
+    let m2 = c.nand(&[na, d]);
+    let f1 = c.nand(&[m1, m2, nbd]);
+
+    c.mark_output("F1", f1);
+    c.mark_output("F2", f2);
+    c.mark_output("F3", f3);
+
+    Fig34 {
+        circuit: c,
+        line9: Site::Stem(n1),
+        line20: Site::Stem(x),
+        shared_bc: Site::Stem(nbd),
+        labels: vec![
+            (Site::Stem(n1), "9  = NAND(a,b)  (shared F2/F3)"),
+            (Site::Stem(ta), "13 = NAND(a,9)"),
+            (Site::Stem(tb), "14 = NAND(b,9)"),
+            (Site::Stem(nbd), "19 = NAND(b,c)  (shared F1/F3)"),
+            (Site::Stem(x), "20 = a XOR b    (F2 only, fans out)"),
+        ],
+    }
+}
+
+/// The Fig. 3.7 fix of the Fig. 3.4 network: the XOR subnetwork feeding F2's
+/// reconvergent stage is duplicated so that "line 20" no longer fans out —
+/// each of the two reconvergent terms gets its own copy with disjoint
+/// upstream logic, after which every path rule of Algorithm 3.1 is
+/// satisfied and the network verifies fully self-checking.
+#[must_use]
+pub fn fig3_7() -> Fig34 {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let d = c.input("c");
+
+    // Copy 1 of x = a⊕b (feeds the x·c̄ term). n1 stays shared with F3.
+    let n1 = c.nand(&[a, b]);
+    let ta = c.nand(&[a, n1]);
+    let tb = c.nand(&[b, n1]);
+    let x1 = c.nand(&[ta, tb]);
+    c.set_name(x1, "line20");
+    // Copy 2 (feeds the x̄·c term).
+    let n1b = c.nand(&[a, b]);
+    let tab = c.nand(&[a, n1b]);
+    let tbb = c.nand(&[b, n1b]);
+    let x2 = c.nand(&[tab, tbb]);
+    c.set_name(x2, "line43");
+
+    let nd = c.not(d);
+    let nx = c.not(x2);
+    let t1 = c.and(&[x1, nd]);
+    let t2 = c.and(&[nx, d]);
+    let f2 = c.or(&[t1, t2]);
+
+    let nad = c.nand(&[a, d]);
+    let nbd = c.nand(&[b, d]);
+    let f3 = c.nand(&[n1, nad, nbd]);
+
+    let na = c.not(a);
+    let m1 = c.nand(&[na, b]);
+    let m2 = c.nand(&[na, d]);
+    let f1 = c.nand(&[m1, m2, nbd]);
+
+    c.mark_output("F1", f1);
+    c.mark_output("F2", f2);
+    c.mark_output("F3", f3);
+
+    Fig34 {
+        circuit: c,
+        line9: Site::Stem(n1),
+        line20: Site::Stem(x1),
+        shared_bc: Site::Stem(nbd),
+        labels: vec![
+            (Site::Stem(n1), "9  = NAND(a,b) (copy 1, shared with F3)"),
+            (Site::Stem(x1), "20 = a XOR b   (copy 1, single fanout)"),
+            (Site::Stem(x2), "43 = a XOR b   (copy 2, single fanout)"),
+            (Site::Stem(nbd), "19 = NAND(b,c) (shared F1/F3)"),
+        ],
+    }
+}
+
+/// The §3.2 / Fig. 3.1 test-derivation example: a network `F` with an
+/// internal line `g` whose Theorem 3.2 analysis yields
+///
+/// * `A = {1011, 0110}` and `B = {0100, 1001}` (as `x1x2x3x4` strings),
+/// * `E = A & B = 0`, and
+/// * stuck-at-0 test pairs `(1011, 0100)` and `(0110, 1001)` —
+///
+/// exactly the sets derived in the text. The network has the shape
+/// `F = (g ∧ x3) ∨ R(X)` with `g = G(X) = x̄1x2x̄4 ∨ x1x̄2x4`, and `R` chosen
+/// so `F` is self-dual (the scanned cover itself is OCR-damaged; this
+/// reconstruction reproduces the derived test sets verbatim).
+#[must_use]
+pub fn fig3_1_example() -> (Circuit, Site) {
+    let mut c = Circuit::new();
+    let x1 = c.input("x1");
+    let x2 = c.input("x2");
+    let x3 = c.input("x3");
+    let x4 = c.input("x4");
+    let vars = [x1, x2, x3, x4];
+    let nx1 = c.not(x1);
+    let nx2 = c.not(x2);
+    let nx4 = c.not(x4);
+
+    // G = x̄1·x2·x̄4 ∨ x1·x̄2·x4 (independent of x3).
+    let g = {
+        let t1 = c.and(&[nx1, x2, nx4]);
+        let t2 = c.and(&[x1, nx2, x4]);
+        c.or(&[t1, t2])
+    };
+    c.set_name(g, "g");
+
+    // R: ON = {1111, 0001, 1101, 0011, 0101, 1000} (x1 = bit 0 … x4 = bit 3),
+    // one from each remaining complement pair, making F self-dual.
+    let r_tt = Tt::from_minterms(
+        4,
+        &[
+            0b1111, // x1x2x3x4 = 1111
+            0b1000, // 0001
+            0b1011, // 1101
+            0b1100, // 0011
+            0b1010, // 0101
+            0b0001, // 1000
+        ],
+    );
+    let mut rail = InverterRail::new(&vars);
+    let r = synthesize_sop(&mut c, &vars, &mut rail, &r_tt);
+
+    let gx3 = c.and(&[g, x3]);
+    let f = c.or(&[gx3, r]);
+    c.mark_output("F", f);
+    (c, Site::Stem(g))
+}
+
+/// Formats a minterm of an `x1..xn` circuit the way the paper writes test
+/// vectors: `x1` first.
+#[must_use]
+pub fn vector_string(m: u32, n: usize) -> String {
+    (0..n)
+        .map(|i| if (m >> i) & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use scal_analysis::derive_tests;
+
+    #[test]
+    fn adder_outputs_are_sum_and_carry() {
+        let c = self_dual_adder();
+        for m in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let out = c.eval(&ins);
+            assert_eq!(out[0], m.count_ones() % 2 == 1);
+            assert_eq!(out[1], m.count_ones() >= 2);
+        }
+        for tt in c.output_tts() {
+            assert!(tt.is_self_dual());
+        }
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let c = ripple_adder(4);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for cin in 0..2u32 {
+                    let mut ins = Vec::new();
+                    for i in 0..4 {
+                        ins.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..4 {
+                        ins.push((b >> i) & 1 == 1);
+                    }
+                    ins.push(cin == 1);
+                    let out = c.eval(&ins);
+                    let mut got = 0u32;
+                    for (i, &bit) in out.iter().take(4).enumerate() {
+                        got |= u32::from(bit) << i;
+                    }
+                    got |= u32::from(out[4]) << 4;
+                    assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_adder_outputs_self_dual() {
+        let c = ripple_adder(2);
+        for tt in c.output_tts() {
+            assert!(tt.is_self_dual());
+        }
+    }
+
+    #[test]
+    fn fig3_4_functions_are_correct() {
+        let fig = fig3_4();
+        let tts = fig.circuit.output_tts();
+        for m in 0..8u32 {
+            let a = m & 1 == 1;
+            let b = (m >> 1) & 1 == 1;
+            let d = (m >> 2) & 1 == 1;
+            let maj = |x: bool, y: bool, z: bool| (x && (y || z)) || (y && z);
+            assert_eq!(tts[0].eval(m), maj(!a, b, d), "F1 at {m}");
+            assert_eq!(tts[1].eval(m), a ^ b ^ d, "F2 at {m}");
+            assert_eq!(tts[2].eval(m), maj(a, b, d), "F3 at {m}");
+        }
+    }
+
+    #[test]
+    fn fig3_7_functions_match_fig3_4() {
+        assert_eq!(fig3_4().circuit.output_tts(), fig3_7().circuit.output_tts());
+    }
+
+    #[test]
+    fn fig3_1_tests_match_paper() {
+        let (c, g) = fig3_1_example();
+        // F must be self-dual for the alternating framework.
+        assert!(c.output_tt(0).is_self_dual());
+        let (t0, _t1) = derive_tests(&c, g, 0);
+        assert!(t0.e_zero);
+        let tests: Vec<String> = t0.tests.iter().map(|&m| vector_string(m, 4)).collect();
+        let mut sorted = tests.clone();
+        sorted.sort();
+        let mut expected = vec!["1011", "0110", "0100", "1001"];
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        assert_eq!(t0.pairs.len(), 2);
+    }
+
+    #[test]
+    fn fig3_1_network_is_scal_apart_from_g_questions() {
+        let (c, _) = fig3_1_example();
+        // The whole example network should at least verify alternating and
+        // be campaign-runnable (self-checking not required by the paper for
+        // this example).
+        let v = verify(&c);
+        assert!(v.is_ok());
+    }
+
+    #[test]
+    fn vector_string_is_x1_first() {
+        assert_eq!(vector_string(0b1101, 4), "1011");
+        assert_eq!(vector_string(0b0001, 4), "1000");
+    }
+}

@@ -1,0 +1,48 @@
+//! Stuck-at fault model and alternating-pair fault simulation.
+//!
+//! Implements the paper's failure model (§1.2, §2.2): a **single fault** is a
+//! network condition in which one *line* is stuck-at-0 or stuck-at-1
+//! (Definition 2.1), where lines include both gate-output stems and the
+//! branches they fan out into. [`enumerate_faults`] lists the collapsed fault
+//! universe of a circuit; [`response_pair`] drives an alternating input pair
+//! `(X, X̄)` through a faulted combinational network; [`classify_pair`]
+//! decides whether the observed output pair is the correct code word, a
+//! detectable non-code word, or the dangerous *incorrect alternating output*
+//! of Theorem 3.1; and [`run_campaign`] sweeps every fault against every
+//! input pair — the exhaustive ground truth against which the analytic
+//! machinery of `scal-analysis` is checked.
+//!
+//! The crate also models the wider fault classes of Definitions 2.2/2.3
+//! ([`FaultSet`], unidirectional and multiple faults) used by the Table 5.1
+//! experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use scal_netlist::{Circuit, GateKind};
+//! use scal_faults::{enumerate_faults, run_campaign};
+//!
+//! // XOR3 is self-dual; a two-level realization is self-checking.
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let d = c.input("c");
+//! let x = c.gate(GateKind::Xor, &[a, b, d]);
+//! c.mark_output("f", x);
+//!
+//! let results = run_campaign(&c);
+//! assert_eq!(results.len(), enumerate_faults(&c).len());
+//! assert!(results.iter().all(|r| r.violation_pairs.is_empty()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod model;
+
+pub use campaign::{
+    classify_pair, response_pair, run_campaign, run_campaign_with, CampaignResult, PairClass,
+    PairOutcome,
+};
+pub use model::{enumerate_faults, enumerate_faults_uncollapsed, Fault, FaultSet};

@@ -1,0 +1,256 @@
+//! Cubes (product terms) over a fixed variable set.
+
+use crate::{LogicError, Tt};
+use std::fmt;
+use std::str::FromStr;
+
+/// A product term over up to 32 variables.
+///
+/// Variable `i` participates iff bit `i` of `mask` is set; its required
+/// polarity is bit `i` of `value`. Bits of `value` outside `mask` are zero.
+///
+/// ```
+/// use scal_logic::Cube;
+/// // x0 · x̄2 over 3 variables, written MSB-first as "0-1".
+/// let c: Cube = "0-1".parse().unwrap();
+/// assert!(c.contains(0b001));
+/// assert!(c.contains(0b011));
+/// assert!(!c.contains(0b101));
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    nvars: u8,
+    mask: u32,
+    value: u32,
+}
+
+impl Cube {
+    /// Creates a cube from a care `mask` and a `value` (bits outside the mask
+    /// are cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 32` or if `mask`/`value` have bits above `nvars`.
+    #[must_use]
+    pub fn new(nvars: usize, mask: u32, value: u32) -> Self {
+        assert!(nvars <= 32, "cubes support at most 32 variables");
+        let all = if nvars == 32 {
+            u32::MAX
+        } else {
+            (1u32 << nvars) - 1
+        };
+        assert_eq!(mask & !all, 0, "mask has bits above nvars");
+        assert_eq!(value & !all, 0, "value has bits above nvars");
+        Cube {
+            nvars: nvars as u8,
+            mask,
+            value: value & mask,
+        }
+    }
+
+    /// The full-care cube of a single minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 32` or `m` is out of range.
+    #[must_use]
+    pub fn minterm(nvars: usize, m: u32) -> Self {
+        let all = if nvars == 32 {
+            u32::MAX
+        } else {
+            (1u32 << nvars) - 1
+        };
+        Self::new(nvars, all, m & all)
+    }
+
+    /// Number of variables the cube ranges over.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// The care mask.
+    #[must_use]
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// The required values on cared-for variables.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Number of literals (cared-for variables).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// `true` iff the cube covers minterm `m`.
+    #[must_use]
+    pub fn contains(&self, m: u32) -> bool {
+        m & self.mask == self.value
+    }
+
+    /// `true` iff `self` covers every minterm of `other`.
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.mask & other.mask == self.mask && other.value & self.mask == self.value
+    }
+
+    /// Attempts the Quine–McCluskey merge: two cubes with identical masks
+    /// differing in exactly one cared-for bit combine into one cube with that
+    /// bit dropped.
+    #[must_use]
+    pub fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.nvars != other.nvars || self.mask != other.mask {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        Some(Cube {
+            nvars: self.nvars,
+            mask: self.mask & !diff,
+            value: self.value & !diff,
+        })
+    }
+
+    /// Expands the cube into the truth table it covers.
+    #[must_use]
+    pub fn to_tt(&self) -> Tt {
+        Tt::from_fn(self.nvars(), |m| self.contains(m))
+    }
+
+    /// Iterator over covered minterms.
+    pub fn minterms(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = 1u32 << self.nvars;
+        (0..n).filter(move |&m| self.contains(m))
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+impl fmt::Display for Cube {
+    /// MSB-first `1`/`0`/`-` string, matching the paper's cube notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.nvars()).rev() {
+            let bit = 1u32 << i;
+            let ch = if self.mask & bit == 0 {
+                '-'
+            } else if self.value & bit != 0 {
+                '1'
+            } else {
+                '0'
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Cube {
+    type Err = LogicError;
+
+    /// Parses an MSB-first `1`/`0`/`-` string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`] on invalid characters or length > 32.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let n = s.chars().count();
+        if n == 0 || n > 32 {
+            return Err(LogicError::ParseCube {
+                input: s.to_owned(),
+            });
+        }
+        let mut mask = 0u32;
+        let mut value = 0u32;
+        for (i, ch) in s.chars().enumerate() {
+            let bit = 1u32 << (n - 1 - i);
+            match ch {
+                '1' => {
+                    mask |= bit;
+                    value |= bit;
+                }
+                '0' => mask |= bit,
+                '-' => {}
+                _ => {
+                    return Err(LogicError::ParseCube {
+                        input: s.to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(Cube::new(n, mask, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["1-0", "----", "1010", "0"] {
+            let c: Cube = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("1x0".parse::<Cube>().is_err());
+        assert!("".parse::<Cube>().is_err());
+    }
+
+    #[test]
+    fn merge_adjacent_minterms() {
+        let a = Cube::minterm(3, 0b101);
+        let b = Cube::minterm(3, 0b111);
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.to_string(), "1-1");
+        assert!(m.contains(0b101) && m.contains(0b111));
+        assert!(!m.contains(0b001));
+    }
+
+    #[test]
+    fn merge_rejects_distance_two() {
+        let a = Cube::minterm(3, 0b000);
+        let b = Cube::minterm(3, 0b011);
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_different_masks() {
+        let a: Cube = "1-1".parse().unwrap();
+        let b: Cube = "11-".parse().unwrap();
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn covers_partial_order() {
+        let big: Cube = "1--".parse().unwrap();
+        let small: Cube = "1-0".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn to_tt_matches_contains() {
+        let c: Cube = "-10".parse().unwrap();
+        let t = c.to_tt();
+        for m in 0..8u32 {
+            assert_eq!(t.eval(m), c.contains(m));
+        }
+        assert_eq!(c.minterms().count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Self-dualization: the Yamamoto single-extra-input construction.
+
+use crate::Tt;
+
+/// Conventional name for the period-clock input added by [`self_dualize`].
+///
+/// The paper writes it `φ`: it is `0` in the first period (true inputs) and
+/// `1` in the second period (complemented inputs).
+pub const PERIOD_CLOCK_NAME: &str = "phi";
+
+/// Makes any function self-dual by adding one input — the *period clock* `φ`
+/// — as the new highest-numbered variable.
+///
+/// The construction (Yamamoto, Watanabe & Urano; cited as \[YAMA\] and used
+/// throughout the paper) is
+///
+/// ```text
+/// F*(X, φ) = φ̄·F(X)  ∨  φ·¬F(X̄)
+/// ```
+///
+/// so that in the first period (`φ = 0`, true inputs) the network computes
+/// `F(X)`, and in the second period (`φ = 1`, complemented inputs `X̄`) it
+/// computes `¬F(X)` — exactly the alternating output pair of Definition 2.5.
+///
+/// The result ranges over `nvars + 1` variables, with `φ` at index `nvars`,
+/// and is always self-dual.
+///
+/// ```
+/// use scal_logic::{self_dualize, Tt};
+/// let f = Tt::var(2, 0) & Tt::var(2, 1); // AND, not self-dual
+/// let sd = self_dualize(&f);
+/// assert!(sd.is_self_dual());
+/// // φ = 0: original function.
+/// assert!(sd.eval(0b011) && !sd.eval(0b001));
+/// // φ = 1 with complemented inputs: complemented output.
+/// assert!(!sd.eval(0b100)); // inputs (0,0) complemented from (1,1): ¬F = 0
+/// ```
+///
+/// # Panics
+///
+/// Panics if `f` already ranges over [`crate::MAX_VARS`] variables.
+#[must_use]
+pub fn self_dualize(f: &Tt) -> Tt {
+    let n = f.nvars();
+    let phi = n;
+    let mask = (f.len() - 1) as u32;
+    Tt::from_fn(n + 1, |m| {
+        let x = m & mask;
+        if (m >> phi) & 1 == 0 {
+            f.eval(x)
+        } else {
+            !f.eval(!x & mask)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dualized_is_self_dual_for_random_functions() {
+        // Deterministic pseudo-random ON sets.
+        let mut seed = 0x9E37_79B9u32;
+        for n in 1..=6 {
+            for _ in 0..20 {
+                let mut minterms = Vec::new();
+                for m in 0..(1u32 << n) {
+                    seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    if seed & 1 == 1 {
+                        minterms.push(m);
+                    }
+                }
+                let f = Tt::from_minterms(n, &minterms);
+                let sd = self_dualize(&f);
+                assert!(sd.is_self_dual(), "n={n} f={f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dualized_restricts_to_original_when_phi_zero() {
+        let f = Tt::from_minterms(3, &[1, 4, 6]);
+        let sd = self_dualize(&f);
+        for m in 0..8u32 {
+            assert_eq!(sd.eval(m), f.eval(m));
+        }
+    }
+
+    #[test]
+    fn already_self_dual_functions_gain_vacuous_clock_sometimes() {
+        // For a self-dual F, F*(X,φ) = φ̄F(X) ∨ φ¬F(X̄) = φ̄F(X) ∨ φF(X) = F(X):
+        // the clock input is vacuous.
+        let a = Tt::var(3, 0);
+        let b = Tt::var(3, 1);
+        let c = Tt::var(3, 2);
+        let maj = (&a & &b) | (&b & &c) | (&a & &c);
+        let sd = self_dualize(&maj);
+        assert!(sd.is_vacuous_in(3));
+    }
+
+    #[test]
+    fn alternating_pair_property() {
+        // For any X: F*(X, 0) = ¬F*(X̄, 1).
+        let f = Tt::from_minterms(4, &[0, 2, 3, 9, 15]);
+        let sd = self_dualize(&f);
+        for m in 0..16u32 {
+            let first = sd.eval(m);
+            let second = sd.eval((!m & 0xF) | 0b1_0000);
+            assert_ne!(first, second);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Boolean expression AST and parser — an ergonomic front end for building
+//! functions (`"a & b | ~c"`) in examples, tests, and experiments.
+
+use crate::{LogicError, Tt};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// A Boolean expression over named variables.
+///
+/// Grammar (loosest binding first):
+///
+/// ```text
+/// expr := xor ('|' xor)*
+/// xor  := and ('^' and)*
+/// and  := unary ('&' unary)*
+/// unary := '~' unary | '!' unary | atom
+/// atom := identifier | '0' | '1' | '(' expr ')'
+/// ```
+///
+/// ```
+/// use scal_logic::Expr;
+/// let e: Expr = "a & b | ~c".parse().unwrap();
+/// assert_eq!(e.vars(), vec!["a".to_string(), "b".into(), "c".into()]);
+/// let tt = e.to_tt(&["a", "b", "c"]).unwrap();
+/// assert!(tt.eval(0b011)); // a=1, b=1, c=0
+/// assert!(tt.eval(0b000)); // ~c
+/// assert!(!tt.eval(0b100)); // only c
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A named variable.
+    Var(String),
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction of two or more terms.
+    And(Vec<Expr>),
+    /// Disjunction of two or more terms.
+    Or(Vec<Expr>),
+    /// Exclusive-or of two or more terms.
+    Xor(Vec<Expr>),
+}
+
+impl Expr {
+    /// The variables appearing in the expression, sorted and deduplicated.
+    #[must_use]
+    pub fn vars(&self) -> Vec<String> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::And(es) | Expr::Or(es) | Expr::Xor(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates under an environment (`lookup(name) -> value`).
+    pub fn eval_with<F: Fn(&str) -> bool + Copy>(&self, lookup: F) -> bool {
+        match self {
+            Expr::Var(v) => lookup(v),
+            Expr::Const(b) => *b,
+            Expr::Not(e) => !e.eval_with(lookup),
+            Expr::And(es) => es.iter().all(|e| e.eval_with(lookup)),
+            Expr::Or(es) => es.iter().any(|e| e.eval_with(lookup)),
+            Expr::Xor(es) => es.iter().fold(false, |a, e| a ^ e.eval_with(lookup)),
+        }
+    }
+
+    /// Builds the truth table under the given variable order (variable `i`
+    /// of the table is `order[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::ParseCube`]-style errors if a variable of the
+    /// expression is missing from `order`, or the order exceeds
+    /// [`crate::MAX_VARS`].
+    pub fn to_tt(&self, order: &[&str]) -> Result<Tt, LogicError> {
+        if order.len() > crate::MAX_VARS {
+            return Err(LogicError::TooManyVars {
+                requested: order.len(),
+            });
+        }
+        for v in self.vars() {
+            if !order.contains(&v.as_str()) {
+                return Err(LogicError::UnknownVariable { name: v });
+            }
+        }
+        Ok(Tt::from_fn(order.len(), |m| {
+            self.eval_with(|name| {
+                let idx = order.iter().position(|&o| o == name).expect("checked");
+                (m >> idx) & 1 == 1
+            })
+        }))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(b) => write!(f, "{}", u8::from(*b)),
+            Expr::Not(e) => write!(f, "~{e}"),
+            Expr::And(es) => join(f, es, " & "),
+            Expr::Or(es) => join(f, es, " | "),
+            Expr::Xor(es) => join(f, es, " ^ "),
+        }
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, es: &[Expr], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, e) in es.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{e}")?;
+    }
+    write!(f, ")")
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn err(&self) -> LogicError {
+        LogicError::ParseExpr {
+            input: self.src.to_owned(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expr(&mut self) -> Result<Expr, LogicError> {
+        let mut terms = vec![self.xor()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            terms.push(self.xor()?);
+        }
+        Ok(flatten(terms, Expr::Or))
+    }
+
+    fn xor(&mut self) -> Result<Expr, LogicError> {
+        let mut terms = vec![self.and()?];
+        while self.peek() == Some('^') {
+            self.bump();
+            terms.push(self.and()?);
+        }
+        Ok(flatten(terms, Expr::Xor))
+    }
+
+    fn and(&mut self) -> Result<Expr, LogicError> {
+        let mut terms = vec![self.unary()?];
+        while self.peek() == Some('&') {
+            self.bump();
+            terms.push(self.unary()?);
+        }
+        Ok(flatten(terms, Expr::And))
+    }
+
+    fn unary(&mut self) -> Result<Expr, LogicError> {
+        match self.peek() {
+            Some('~') | Some('!') => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, LogicError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let e = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err(self.err());
+                }
+                self.bump();
+                Ok(e)
+            }
+            Some('0') => {
+                self.bump();
+                Ok(Expr::Const(false))
+            }
+            Some('1') => {
+                self.bump();
+                Ok(Expr::Const(true))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                self.skip_ws();
+                let start = self.pos;
+                while self.src[self.pos..]
+                    .starts_with(|ch: char| ch.is_ascii_alphanumeric() || ch == '_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Expr::Var(self.src[start..self.pos].to_owned()))
+            }
+            _ => Err(self.err()),
+        }
+    }
+}
+
+fn flatten(mut terms: Vec<Expr>, ctor: fn(Vec<Expr>) -> Expr) -> Expr {
+    if terms.len() == 1 {
+        terms.pop().expect("one element")
+    } else {
+        ctor(terms)
+    }
+}
+
+impl FromStr for Expr {
+    type Err = LogicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser::new(s);
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != s.len() {
+            return Err(p.err());
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(s: &str, order: &[&str]) -> Tt {
+        s.parse::<Expr>().unwrap().to_tt(order).unwrap()
+    }
+
+    #[test]
+    fn precedence_and_over_xor_over_or() {
+        // a | b & c == a | (b & c)
+        let t = tt("a | b & c", &["a", "b", "c"]);
+        assert!(t.eval(0b001));
+        assert!(t.eval(0b110));
+        assert!(!t.eval(0b010));
+        // a ^ b & c == a ^ (b & c)
+        let t = tt("a ^ b & c", &["a", "b", "c"]);
+        assert!(t.eval(0b001));
+        assert!(!t.eval(0b111));
+        // a | b ^ c == a | (b ^ c)
+        let t = tt("a | b ^ c", &["a", "b", "c"]);
+        assert!(t.eval(0b010)); // b ^ c = 1
+        assert!(t.eval(0b001)); // a = 1
+        assert!(!t.eval(0b110)); // a=0, b=1, c=1: b ^ c = 0
+    }
+
+    #[test]
+    fn negation_and_parens() {
+        let t = tt("~(a & b)", &["a", "b"]);
+        for m in 0..4u32 {
+            assert_eq!(t.eval(m), m != 3);
+        }
+        let t = tt("!a & !b", &["a", "b"]);
+        assert!(t.eval(0));
+        assert!(!t.eval(1));
+    }
+
+    #[test]
+    fn constants_and_long_names() {
+        let t = tt("carry_in | 0", &["carry_in"]);
+        assert!(t.eval(1));
+        assert!(!t.eval(0));
+        let t = tt("1 ^ x1", &["x1"]);
+        assert!(t.eval(0));
+        assert!(!t.eval(1));
+    }
+
+    #[test]
+    fn majority_is_self_dual() {
+        let t = tt("a & b | b & c | a & c", &["a", "b", "c"]);
+        assert!(t.is_self_dual());
+    }
+
+    #[test]
+    fn vars_sorted_dedup() {
+        let e: Expr = "b & a | b ^ c0".parse().unwrap();
+        assert_eq!(e.vars(), vec!["a", "b", "c0"]);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        for bad in ["", "a &", "a b", "(a", "a @ b", "~"] {
+            let r = bad.parse::<Expr>();
+            assert!(r.is_err(), "{bad:?} should fail");
+        }
+        match "a $ b".parse::<Expr>() {
+            Err(LogicError::ParseExpr { at, .. }) => assert_eq!(at, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_variable_rejected_in_to_tt() {
+        let e: Expr = "a & q".parse().unwrap();
+        assert!(matches!(
+            e.to_tt(&["a", "b"]),
+            Err(LogicError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_semantics() {
+        for s in ["a & b | ~c", "a ^ b ^ c", "~(a | b) & c"] {
+            let e: Expr = s.parse().unwrap();
+            let printed = e.to_string();
+            let e2: Expr = printed.parse().unwrap();
+            let order = ["a", "b", "c"];
+            assert_eq!(e.to_tt(&order).unwrap(), e2.to_tt(&order).unwrap(), "{s}");
+        }
+    }
+}

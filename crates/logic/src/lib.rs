@@ -1,0 +1,89 @@
+//! Boolean-function substrate for self-checking alternating logic (SCAL).
+//!
+//! This crate provides the *function-level* machinery the rest of the SCAL
+//! stack is built on:
+//!
+//! * [`Tt`] — dense, bit-packed truth tables over up to [`MAX_VARS`] variables,
+//!   with the full Boolean algebra, cofactors, duals and the self-duality test
+//!   that Definition 2.7 of the paper rests on;
+//! * [`self_dualize`] — the Yamamoto construction that turns *any* function
+//!   into a self-dual one by adding a single period-clock input (the basis of
+//!   Theorem 2.1's applicability to arbitrary logic);
+//! * [`Cube`] and [`qm`] — cubes (product terms) and Quine–McCluskey two-level
+//!   minimization, used by `scal-seq` to synthesize the paper's sequential
+//!   examples into gate-level networks.
+//!
+//! # Example
+//!
+//! ```
+//! use scal_logic::{Tt, self_dualize};
+//!
+//! // A 2-input AND is not self-dual …
+//! let and = Tt::var(2, 0) & Tt::var(2, 1);
+//! assert!(!and.is_self_dual());
+//!
+//! // … but adding a period clock makes it self-dual (Yamamoto).
+//! let sd = self_dualize(&and);
+//! assert!(sd.is_self_dual());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod dual;
+mod expr;
+pub mod qm;
+mod tt;
+
+pub use cube::Cube;
+pub use dual::{self_dualize, PERIOD_CLOCK_NAME};
+pub use expr::Expr;
+pub use tt::{Tt, MAX_VARS};
+
+/// Errors produced by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// Requested variable count exceeds [`MAX_VARS`].
+    TooManyVars {
+        /// The requested variable count.
+        requested: usize,
+    },
+    /// A cube or minterm string could not be parsed.
+    ParseCube {
+        /// The offending input.
+        input: String,
+    },
+    /// An expression string could not be parsed.
+    ParseExpr {
+        /// The offending input.
+        input: String,
+        /// Byte offset of the failure.
+        at: usize,
+    },
+    /// An expression references a variable missing from the given order.
+    UnknownVariable {
+        /// The variable name.
+        name: String,
+    },
+}
+
+impl core::fmt::Display for LogicError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LogicError::TooManyVars { requested } => {
+                write!(f, "requested {requested} variables, maximum is {MAX_VARS}")
+            }
+            LogicError::ParseCube { input } => write!(f, "invalid cube string {input:?}"),
+            LogicError::ParseExpr { input, at } => {
+                write!(f, "invalid expression {input:?} at byte {at}")
+            }
+            LogicError::UnknownVariable { name } => {
+                write!(f, "expression variable {name:?} not in the given order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}

@@ -1,0 +1,255 @@
+//! Quine–McCluskey two-level minimization.
+//!
+//! Used by `scal-seq` to synthesize the paper's sequential-machine examples
+//! (Kohavi's 0101 detector, the translator machines) into sum-of-products
+//! netlists whose gate counts feed Table 4.1.
+
+use crate::{Cube, Tt};
+use std::collections::BTreeSet;
+
+/// Computes all prime implicants of `on ∪ dc` that intersect `on`.
+///
+/// `dc` (don't-cares) may be `None`. Tables must agree on variable count.
+///
+/// # Panics
+///
+/// Panics if `on` and `dc` range over different variable counts, or the
+/// function has more than 32 variables (cube limit).
+#[must_use]
+pub fn prime_implicants(on: &Tt, dc: Option<&Tt>) -> Vec<Cube> {
+    let n = on.nvars();
+    assert!(n <= 32, "QM supports at most 32 variables");
+    if let Some(d) = dc {
+        assert_eq!(d.nvars(), n, "ON and DC tables must agree on arity");
+    }
+    let care_on = on.clone();
+    let full = match dc {
+        Some(d) => on | d,
+        None => on.clone(),
+    };
+
+    let mut current: BTreeSet<Cube> = full.minterms().map(|m| Cube::minterm(n, m)).collect();
+    let mut primes: BTreeSet<Cube> = BTreeSet::new();
+
+    while !current.is_empty() {
+        let cubes: Vec<Cube> = current.iter().copied().collect();
+        let mut merged_flags = vec![false; cubes.len()];
+        let mut next: BTreeSet<Cube> = BTreeSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = cubes[i].merge(&cubes[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, c) in cubes.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.insert(*c);
+            }
+        }
+        current = next;
+    }
+
+    primes
+        .into_iter()
+        .filter(|p| p.minterms().any(|m| care_on.eval(m)))
+        .collect()
+}
+
+/// Minimizes `on` (with optional don't-cares `dc`) into a near-minimal prime
+/// cover: essential primes first, then a greedy set cover over the rest.
+///
+/// The result covers every ON minterm and never covers an OFF minterm.
+///
+/// # Panics
+///
+/// See [`prime_implicants`].
+#[must_use]
+pub fn minimize(on: &Tt, dc: Option<&Tt>) -> Vec<Cube> {
+    if on.is_zero() {
+        return Vec::new();
+    }
+    let primes = prime_implicants(on, dc);
+    let targets: Vec<u32> = on.minterms().collect();
+    if targets.is_empty() {
+        return Vec::new();
+    }
+
+    // coverage[t] = primes covering target minterm t.
+    let coverage: Vec<Vec<usize>> = targets
+        .iter()
+        .map(|&m| {
+            primes
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.contains(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut chosen: BTreeSet<usize> = BTreeSet::new();
+    let mut covered = vec![false; targets.len()];
+
+    // Essential primes.
+    for (t, covers) in coverage.iter().enumerate() {
+        if covers.len() == 1 {
+            let p = covers[0];
+            if chosen.insert(p) {
+                for (t2, &m2) in targets.iter().enumerate() {
+                    if primes[p].contains(m2) {
+                        covered[t2] = true;
+                    }
+                }
+            }
+            let _ = t;
+        }
+    }
+
+    // Greedy cover for what remains; ties broken toward fewer literals.
+    while covered.iter().any(|&c| !c) {
+        let mut best: Option<(usize, usize)> = None; // (prime index, gain)
+        for (i, p) in primes.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let gain = targets
+                .iter()
+                .enumerate()
+                .filter(|(t, &m)| !covered[*t] && p.contains(m))
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bi, bg)) => {
+                    gain > bg || (gain == bg && p.literal_count() < primes[bi].literal_count())
+                }
+            };
+            if better {
+                best = Some((i, gain));
+            }
+        }
+        let (pick, _) = best.expect("remaining minterm must be coverable by some prime");
+        chosen.insert(pick);
+        for (t, &m) in targets.iter().enumerate() {
+            if primes[pick].contains(m) {
+                covered[t] = true;
+            }
+        }
+    }
+
+    chosen.into_iter().map(|i| primes[i]).collect()
+}
+
+/// Total literal count of a cover (a standard two-level cost measure).
+#[must_use]
+pub fn cover_literals(cover: &[Cube]) -> usize {
+    cover.iter().map(Cube::literal_count).sum()
+}
+
+/// Rebuilds the function a cover realizes.
+///
+/// # Panics
+///
+/// Panics if the cover is empty-of-arity (cannot infer `nvars`); pass the
+/// arity explicitly.
+#[must_use]
+pub fn cover_to_tt(nvars: usize, cover: &[Cube]) -> Tt {
+    let mut t = Tt::zero(nvars);
+    for c in cover {
+        t = t | c.to_tt();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_exact(on: &Tt) {
+        let cover = minimize(on, None);
+        assert_eq!(&cover_to_tt(on.nvars(), &cover), on);
+    }
+
+    #[test]
+    fn minimizes_classic_example() {
+        // f(w,x,y,z) with ON = {4,8,10,11,12,15}, DC = {9,14} — the canonical
+        // Wikipedia QM example; minimal cover has 3 cubes.
+        let on = Tt::from_minterms(4, &[4, 8, 10, 11, 12, 15]);
+        let dc = Tt::from_minterms(4, &[9, 14]);
+        let cover = minimize(&on, Some(&dc));
+        // Cover must include all ON, exclude all OFF.
+        let realized = cover_to_tt(4, &cover);
+        for m in 0..16u32 {
+            if on.eval(m) {
+                assert!(realized.eval(m), "minterm {m} uncovered");
+            }
+            if !on.eval(m) && !dc.eval(m) {
+                assert!(!realized.eval(m), "off minterm {m} covered");
+            }
+        }
+        assert!(cover.len() <= 3, "expected ≤3 cubes, got {cover:?}");
+    }
+
+    #[test]
+    fn xor_needs_all_minterms() {
+        let on = Tt::var(2, 0) ^ Tt::var(2, 1);
+        let cover = minimize(&on, None);
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover_literals(&cover), 4);
+        check_exact(&on);
+    }
+
+    #[test]
+    fn majority_minimizes_to_three_cubes() {
+        let a = Tt::var(3, 0);
+        let b = Tt::var(3, 1);
+        let c = Tt::var(3, 2);
+        let maj = (&a & &b) | (&b & &c) | (&a & &c);
+        let cover = minimize(&maj, None);
+        assert_eq!(cover.len(), 3);
+        assert_eq!(cover_literals(&cover), 6);
+        check_exact(&maj);
+    }
+
+    #[test]
+    fn constant_functions() {
+        assert!(minimize(&Tt::zero(3), None).is_empty());
+        let cover = minimize(&Tt::one(3), None);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].literal_count(), 0);
+    }
+
+    #[test]
+    fn prime_implicants_of_and() {
+        let f = Tt::var(2, 0) & Tt::var(2, 1);
+        let primes = prime_implicants(&f, None);
+        assert_eq!(primes.len(), 1);
+        assert_eq!(primes[0].to_string(), "11");
+    }
+
+    #[test]
+    fn exactness_on_pseudo_random_functions() {
+        let mut seed = 12345u32;
+        for n in 1..=5 {
+            for _ in 0..30 {
+                let f = Tt::from_fn(n, |_| {
+                    seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (seed >> 16) & 1 == 1
+                });
+                check_exact(&f);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_never_exceeds_minterm_count() {
+        let f = Tt::from_minterms(4, &[1, 2, 4, 8, 15]);
+        let cover = minimize(&f, None);
+        assert!(cover.len() <= 5);
+    }
+}

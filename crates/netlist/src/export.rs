@@ -1,0 +1,171 @@
+//! Reporting helpers: logic depth and Graphviz export.
+
+use crate::circuit::NodeView;
+use crate::{Circuit, NodeId};
+use std::fmt::Write;
+
+impl Circuit {
+    /// Logic depth: the maximum number of gates (buffers excluded) on any
+    /// combinational path from a source (input, constant, or flip-flop
+    /// output) to any primary output or flip-flop D input — "the number of
+    /// gate delays" the paper lists among the cost factors (§4.5).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.len()];
+        for id in self.topo_order() {
+            match self.view(id) {
+                NodeView::Gate(kind) => {
+                    let max_in = self
+                        .fanins(id)
+                        .iter()
+                        .map(|f| level[f.index()])
+                        .max()
+                        .unwrap_or(0);
+                    let own = usize::from(kind != crate::GateKind::Buf);
+                    level[id.index()] = max_in + own;
+                }
+                _ => level[id.index()] = 0,
+            }
+        }
+        let out_depth = self
+            .outputs()
+            .iter()
+            .map(|o| level[o.node.index()])
+            .max()
+            .unwrap_or(0);
+        let ff_depth = self
+            .dffs()
+            .iter()
+            .filter_map(|&ff| self.fanins(ff).first())
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0);
+        out_depth.max(ff_depth)
+    }
+
+    /// Renders the netlist in Graphviz DOT format (for documentation and
+    /// debugging; `dot -Tsvg`).
+    #[must_use]
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{title}\" {{");
+        let _ = writeln!(s, "  rankdir=LR;");
+        for id in self.node_ids() {
+            let (label, shape) = match self.view(id) {
+                NodeView::Input => (self.name(id).unwrap_or("in").to_owned(), "invtriangle"),
+                NodeView::Const(v) => (format!("const {}", u8::from(v)), "plaintext"),
+                NodeView::Gate(k) => {
+                    let base = k.mnemonic().to_uppercase();
+                    let label = match self.name(id) {
+                        Some(n) => format!("{base}\\n{n}"),
+                        None => base,
+                    };
+                    (label, "box")
+                }
+                NodeView::Dff { init } => (format!("DFF init={}", u8::from(init)), "box3d"),
+            };
+            let _ = writeln!(s, "  {id} [label=\"{label}\", shape={shape}];");
+        }
+        for id in self.node_ids() {
+            for (pin, f) in self.fanins(id).iter().enumerate() {
+                let _ = writeln!(s, "  {f} -> {id} [taillabel=\"\", headlabel=\"{pin}\"];");
+            }
+        }
+        for (k, o) in self.outputs().iter().enumerate() {
+            let _ = writeln!(s, "  out{k} [label=\"{}\", shape=triangle];", o.name);
+            let _ = writeln!(s, "  {} -> out{k};", o.node);
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+/// The level (depth from sources) of one node; exposed for analyses that
+/// want per-node timing-ish data.
+#[must_use]
+pub fn node_level(circuit: &Circuit, node: NodeId) -> usize {
+    let mut level = vec![0usize; circuit.len()];
+    for id in circuit.topo_order() {
+        if let NodeView::Gate(kind) = circuit.view(id) {
+            let max_in = circuit
+                .fanins(id)
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0);
+            level[id.index()] = max_in + usize::from(kind != crate::GateKind::Buf);
+        }
+    }
+    level[node.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let g1 = c.nand(&[a, b]);
+        let g2 = c.nand(&[a, d]);
+        let f = c.nand(&[g1, g2]);
+        c.mark_output("f", f);
+        c
+    }
+
+    #[test]
+    fn depth_of_two_level_network_is_two() {
+        assert_eq!(two_level().depth(), 2);
+    }
+
+    #[test]
+    fn buffers_do_not_count() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b1 = c.buf(a);
+        let b2 = c.buf(b1);
+        let g = c.not(b2);
+        c.mark_output("f", g);
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn depth_counts_into_dff_inputs() {
+        let mut c = Circuit::new();
+        let ff = c.dff(false);
+        let n1 = c.not(ff);
+        let n2 = c.not(n1);
+        let n3 = c.not(n2);
+        c.connect_dff(ff, n3);
+        c.mark_output("q", ff);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn node_level_matches_depth_at_output() {
+        let c = two_level();
+        let out = c.outputs()[0].node;
+        assert_eq!(node_level(&c, out), c.depth());
+    }
+
+    #[test]
+    fn dot_export_mentions_everything() {
+        let mut c = two_level();
+        let out0 = c.outputs()[0].node;
+        let ff = c.dff(true);
+        let one = c.constant(true);
+        let g = c.and(&[out0, one]);
+        c.connect_dff(ff, g);
+        c.set_name(g, "gate_g");
+        let dot = c.to_dot("demo");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("NAND"));
+        assert!(dot.contains("DFF init=1"));
+        assert!(dot.contains("const 1"));
+        assert!(dot.contains("gate_g"));
+        assert!(dot.contains("-> out0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Synchronous sequential simulation.
+
+use crate::eval::Override;
+use crate::Circuit;
+
+/// A synchronous simulator for a (possibly sequential) [`Circuit`].
+///
+/// Each [`Sim::step`] models one clock period: the combinational logic
+/// settles on the current inputs and flip-flop outputs, the primary outputs
+/// are sampled, and then every flip-flop latches its D input on the clock
+/// edge.
+///
+/// Faults are injected by attaching persistent [`Override`]s — a stuck line
+/// stays stuck across clock periods, exactly the paper's permanent
+/// single-fault model (transient faults are modelled by attaching and later
+/// clearing an override).
+#[derive(Debug, Clone)]
+pub struct Sim<'c> {
+    circuit: &'c Circuit,
+    state: Vec<bool>,
+    overrides: Vec<Override>,
+    steps: u64,
+}
+
+impl<'c> Sim<'c> {
+    /// Creates a simulator with every flip-flop at its power-up value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit fails [`Circuit::validate`].
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> Self {
+        circuit
+            .validate()
+            .expect("circuit must validate before simulation");
+        let state = circuit
+            .dffs()
+            .iter()
+            .map(|&ff| match circuit.view(ff) {
+                crate::circuit::NodeView::Dff { init } => init,
+                _ => unreachable!("dffs() returns flip-flops"),
+            })
+            .collect();
+        Sim {
+            circuit,
+            state,
+            overrides: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// The circuit being simulated.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Current flip-flop state, in [`Circuit::dffs`] order.
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overwrites the flip-flop state (useful to start from a known state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the flip-flop count.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state arity mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Number of clock periods simulated so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Attaches a persistent override (e.g. a stuck-at fault).
+    pub fn attach(&mut self, o: Override) {
+        self.overrides.push(o);
+    }
+
+    /// Removes all overrides (fault repaired / transient ended).
+    pub fn clear_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// Currently attached overrides.
+    #[must_use]
+    pub fn overrides(&self) -> &[Override] {
+        &self.overrides
+    }
+
+    /// Simulates one clock period: returns the sampled primary outputs and
+    /// advances the flip-flop state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the circuit's input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let (outputs, next) = self.circuit.eval_comb(inputs, &self.state, &self.overrides);
+        self.state = next;
+        self.steps += 1;
+        outputs
+    }
+
+    /// Like [`Sim::step`] but also returns every node value (for probing
+    /// internal lines such as feedback variables).
+    pub fn step_probed(&mut self, inputs: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let values = self
+            .circuit
+            .eval_nodes(inputs, &self.state, &self.overrides);
+        let outputs = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|o| values[o.node.index()])
+            .collect();
+        let (_, next) = self.circuit.eval_comb(inputs, &self.state, &self.overrides);
+        self.state = next;
+        self.steps += 1;
+        (outputs, values)
+    }
+
+    /// Resets flip-flops to power-up values and clears the step counter
+    /// (overrides are kept).
+    pub fn reset(&mut self) {
+        let fresh = Sim::new(self.circuit);
+        self.state = fresh.state;
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    /// Two-bit binary counter.
+    fn counter2() -> Circuit {
+        let mut c = Circuit::new();
+        let q0 = c.dff(false);
+        let q1 = c.dff(false);
+        let n0 = c.not(q0);
+        let t = c.xor(&[q1, q0]);
+        c.connect_dff(q0, n0);
+        c.connect_dff(q1, t);
+        c.mark_output("q0", q0);
+        c.mark_output("q1", q1);
+        c
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter2();
+        let mut sim = Sim::new(&c);
+        let seq: Vec<u8> = (0..8)
+            .map(|_| {
+                let o = sim.step(&[]);
+                u8::from(o[0]) | (u8::from(o[1]) << 1)
+            })
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(sim.steps(), 8);
+    }
+
+    #[test]
+    fn reset_restores_power_up() {
+        let c = counter2();
+        let mut sim = Sim::new(&c);
+        sim.step(&[]);
+        sim.step(&[]);
+        assert_ne!(sim.state(), &[false, false]);
+        sim.reset();
+        assert_eq!(sim.state(), &[false, false]);
+        assert_eq!(sim.steps(), 0);
+    }
+
+    #[test]
+    fn stuck_fault_persists_across_steps() {
+        let c = counter2();
+        let q0 = c.dffs()[0];
+        let mut sim = Sim::new(&c);
+        sim.attach(Override::stem(q0, false));
+        // q0 reads 0 forever; q1 never toggles (t = q1 ^ 0 keeps q1).
+        for _ in 0..4 {
+            let o = sim.step(&[]);
+            assert_eq!(o, vec![false, false]);
+        }
+        sim.clear_overrides();
+        assert!(sim.overrides().is_empty());
+    }
+
+    #[test]
+    fn set_state_jumps() {
+        let c = counter2();
+        let mut sim = Sim::new(&c);
+        sim.set_state(&[true, true]);
+        let o = sim.step(&[]);
+        assert_eq!(o, vec![true, true]);
+        let o = sim.step(&[]);
+        assert_eq!(o, vec![false, false]);
+    }
+
+    #[test]
+    fn step_probed_exposes_internal_lines() {
+        let c = counter2();
+        let mut sim = Sim::new(&c);
+        sim.set_state(&[true, false]);
+        let (outs, values) = sim.step_probed(&[]);
+        assert_eq!(outs, vec![true, false]);
+        // Internal NOT of q0 must read false.
+        let n0 = c.fanins(c.dffs()[0])[0];
+        assert!(!values[n0.index()]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Structural queries: fanout, cones, path parity, unate paths.
+//!
+//! These are the raw structural facts behind the paper's sufficient
+//! self-checking conditions: Theorem 3.7 (fanout-free unate path), Theorem
+//! 3.8 (uniform path parity, Definition 3.1) and Theorem 3.9 (standard-gate
+//! dominance).
+
+use crate::circuit::NodeView;
+use crate::{Circuit, NodeId};
+
+/// The set of inversion parities realizable on paths between two lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathParity {
+    /// Some path with an even number of inversions exists.
+    pub even: bool,
+    /// Some path with an odd number of inversions exists.
+    pub odd: bool,
+    /// Some path passes through a parity-indefinite (binate) gate such as
+    /// XOR; Definition 3.1's parity is then not well defined for that path.
+    pub crosses_binate: bool,
+}
+
+impl PathParity {
+    /// `true` iff at least one path exists.
+    #[must_use]
+    pub fn connected(&self) -> bool {
+        self.even || self.odd
+    }
+
+    /// Theorem 3.8's premise: all paths share one well-defined parity.
+    #[must_use]
+    pub fn uniform(&self) -> bool {
+        self.connected() && !(self.even && self.odd) && !self.crosses_binate
+    }
+}
+
+/// Precomputed structural views over a [`Circuit`].
+#[derive(Debug)]
+pub struct Structure<'c> {
+    circuit: &'c Circuit,
+    fanouts: Vec<Vec<(NodeId, usize)>>,
+    topo: Vec<NodeId>,
+}
+
+impl<'c> Structure<'c> {
+    /// Builds the fanout map and topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has a combinational cycle.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let mut fanouts: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); circuit.len()];
+        for id in circuit.node_ids() {
+            for (pin, f) in circuit.fanins(id).iter().enumerate() {
+                fanouts[f.index()].push((id, pin));
+            }
+        }
+        Structure {
+            circuit,
+            fanouts,
+            topo: circuit.topo_order(),
+        }
+    }
+
+    /// The circuit under analysis.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// All (consumer, pin) pairs fed by `node`'s stem.
+    #[must_use]
+    pub fn fanouts(&self, node: NodeId) -> &[(NodeId, usize)] {
+        &self.fanouts[node.index()]
+    }
+
+    /// Number of branches `node`'s stem drives (counting flip-flop D pins).
+    #[must_use]
+    pub fn fanout_count(&self, node: NodeId) -> usize {
+        self.fanouts[node.index()].len()
+    }
+
+    /// The transitive fan-in cone of `target` (including `target` itself),
+    /// as a membership vector indexed by [`NodeId::index`]. Flip-flop D
+    /// inputs are *not* traversed — the cone is combinational, matching the
+    /// per-period analysis of Chapter 3.
+    #[must_use]
+    pub fn cone(&self, target: NodeId) -> Vec<bool> {
+        let mut in_cone = vec![false; self.circuit.len()];
+        let mut stack = vec![target];
+        while let Some(n) = stack.pop() {
+            if in_cone[n.index()] {
+                continue;
+            }
+            in_cone[n.index()] = true;
+            if matches!(self.circuit.view(n), NodeView::Dff { .. }) {
+                continue;
+            }
+            for &f in self.circuit.fanins(n) {
+                stack.push(f);
+            }
+        }
+        in_cone
+    }
+
+    /// `true` iff a combinational path from `from` to `to` exists.
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.cone(to)[from.index()]
+    }
+
+    /// The parities of all combinational paths from `from` to `to`,
+    /// restricted to the fan-in cone of `to` (Definition 3.1 / Theorem 3.8).
+    ///
+    /// `from == to` yields the empty path (even, no binate crossing).
+    #[must_use]
+    pub fn path_parity(&self, from: NodeId, to: NodeId) -> PathParity {
+        let in_cone = self.cone(to);
+        if !in_cone[from.index()] {
+            return PathParity::default();
+        }
+        // parity_sets[n]: bit0 = even path reaches n, bit1 = odd, bit2 =
+        // some reaching path crossed a binate gate.
+        let mut sets = vec![0u8; self.circuit.len()];
+        sets[from.index()] = 0b001;
+        for &n in &self.topo {
+            let s = sets[n.index()];
+            if s == 0 || !in_cone[n.index()] {
+                continue;
+            }
+            for &(consumer, _pin) in self.fanouts(n) {
+                if !in_cone[consumer.index()] {
+                    continue;
+                }
+                let view = self.circuit.view(consumer);
+                let contribution = match view {
+                    NodeView::Gate(k) => k.inversion_parity(),
+                    // Flip-flops and outputs-as-wires do not invert; but a
+                    // DFF pin ends the combinational path.
+                    NodeView::Dff { .. } => continue,
+                    _ => Some(false),
+                };
+                let mut add = 0u8;
+                match contribution {
+                    Some(false) => add |= s & 0b011,
+                    Some(true) => {
+                        if s & 0b001 != 0 {
+                            add |= 0b010;
+                        }
+                        if s & 0b010 != 0 {
+                            add |= 0b001;
+                        }
+                    }
+                    None => add |= 0b111,
+                }
+                add |= s & 0b100; // binate contamination propagates
+                sets[consumer.index()] |= add;
+            }
+        }
+        let s = sets[to.index()];
+        PathParity {
+            even: s & 0b001 != 0,
+            odd: s & 0b010 != 0,
+            crosses_binate: s & 0b100 != 0,
+        }
+    }
+
+    /// Theorem 3.7's structural premise: within the cone of `to`, the line
+    /// `from` has exactly one forward path to `to`, no node on it fans out
+    /// (inside the cone), and every gate on the path is unate.
+    #[must_use]
+    pub fn single_unate_path(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let in_cone = self.cone(to);
+        if !in_cone[from.index()] {
+            return false;
+        }
+        let mut current = from;
+        loop {
+            let next: Vec<(NodeId, usize)> = self
+                .fanouts(current)
+                .iter()
+                .copied()
+                .filter(|(c, _)| in_cone[c.index()])
+                .collect();
+            if next.len() != 1 {
+                return false;
+            }
+            let (consumer, _) = next[0];
+            match self.circuit.view(consumer) {
+                NodeView::Gate(k) if !k.is_unate() => return false,
+                NodeView::Dff { .. } => return false,
+                _ => {}
+            }
+            if consumer == to {
+                return true;
+            }
+            current = consumer;
+        }
+    }
+
+    /// Fault-equivalence classes of stems under single fanout: returns, for
+    /// each node, the representative stem obtained by walking forward through
+    /// buffers and single-fanout chains is *not* computed here; instead this
+    /// reports whether `node`'s stem fault is equivalent to its unique branch
+    /// (fanout count 1), which is the collapsing rule `scal-faults` uses.
+    #[must_use]
+    pub fn stem_equals_branch(&self, node: NodeId) -> bool {
+        self.fanout_count(node) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    /// g fans out to two paths of different parity reconverging at an OR:
+    /// f = (g AND a) OR NOT(g).
+    fn unequal_parity_circuit() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let p1 = c.and(&[g, a]);
+        let p2 = c.not(g);
+        let f = c.or(&[p1, p2]);
+        c.mark_output("f", f);
+        (c, g, f)
+    }
+
+    #[test]
+    fn fanout_counting() {
+        let (c, g, _f) = unequal_parity_circuit();
+        let s = Structure::new(&c);
+        assert_eq!(s.fanout_count(g), 2);
+        let a = c.inputs()[0];
+        assert_eq!(s.fanout_count(a), 2); // feeds g and p1
+    }
+
+    #[test]
+    fn cone_membership() {
+        let (c, g, f) = unequal_parity_circuit();
+        let s = Structure::new(&c);
+        let cone = s.cone(f);
+        assert!(cone[g.index()]);
+        assert!(cone[f.index()]);
+        assert!(s.reaches(g, f));
+        assert!(!s.reaches(f, g));
+    }
+
+    #[test]
+    fn path_parity_detects_unequal_parity() {
+        let (c, g, f) = unequal_parity_circuit();
+        let s = Structure::new(&c);
+        let pp = s.path_parity(g, f);
+        assert!(pp.even && pp.odd);
+        assert!(!pp.uniform());
+        assert!(!pp.crosses_binate);
+    }
+
+    #[test]
+    fn path_parity_uniform_through_nands() {
+        // Two cascaded NANDs: parity even, single path.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g1 = c.nand(&[a, b]);
+        let g2 = c.nand(&[g1, a]);
+        c.mark_output("f", g2);
+        let s = Structure::new(&c);
+        let pp = s.path_parity(g1, g2);
+        assert!(pp.uniform());
+        assert!(pp.odd && !pp.even);
+        let pp_a = s.path_parity(a, g2);
+        // a reaches g2 directly (odd: one NAND) and via g1 (even: two NANDs).
+        assert!(pp_a.even && pp_a.odd);
+    }
+
+    #[test]
+    fn path_parity_flags_binate_crossing() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let x = c.xor(&[g, a]);
+        c.mark_output("f", x);
+        let s = Structure::new(&c);
+        let pp = s.path_parity(g, x);
+        assert!(pp.crosses_binate);
+        assert!(!pp.uniform());
+    }
+
+    #[test]
+    fn empty_path_is_even() {
+        let (c, _g, f) = unequal_parity_circuit();
+        let s = Structure::new(&c);
+        let pp = s.path_parity(f, f);
+        assert!(pp.even && !pp.odd && pp.uniform());
+    }
+
+    #[test]
+    fn single_unate_path_holds_on_chains() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g1 = c.nand(&[a, b]);
+        let g2 = c.nor(&[g1, b]);
+        let g3 = c.not(g2);
+        c.mark_output("f", g3);
+        let s = Structure::new(&c);
+        assert!(s.single_unate_path(g1, g3));
+        assert!(s.single_unate_path(g2, g3));
+    }
+
+    #[test]
+    fn single_unate_path_fails_on_fanout_or_xor() {
+        let (c, g, f) = unequal_parity_circuit();
+        let s = Structure::new(&c);
+        assert!(!s.single_unate_path(g, f));
+
+        let mut c2 = Circuit::new();
+        let a = c2.input("a");
+        let b = c2.input("b");
+        let g1 = c2.and(&[a, b]);
+        let x = c2.xor(&[g1, a]);
+        c2.mark_output("f", x);
+        let s2 = Structure::new(&c2);
+        assert!(!s2.single_unate_path(g1, x));
+    }
+
+    #[test]
+    fn cone_restricts_fanout_for_path_rules() {
+        // g fans out to output f1's cone once and output f2's cone once;
+        // within each single cone it is fanout-free.
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let f1 = c.or(&[g, a]);
+        let f2 = c.nor(&[g, b]);
+        c.mark_output("f1", f1);
+        c.mark_output("f2", f2);
+        let s = Structure::new(&c);
+        assert_eq!(s.fanout_count(g), 2);
+        assert!(s.single_unate_path(g, f1));
+        assert!(s.single_unate_path(g, f2));
+    }
+
+    #[test]
+    fn minority_counts_as_inverting_unate() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("d");
+        let m = c.gate(GateKind::Minority, &[a, b, d]);
+        let f = c.not(m);
+        c.mark_output("f", f);
+        let s = Structure::new(&c);
+        let pp = s.path_parity(m, f);
+        assert!(pp.uniform() && pp.odd);
+        assert!(s.single_unate_path(a, f));
+        let pp_a = s.path_parity(a, f);
+        assert!(pp_a.uniform() && pp_a.even); // minority (odd) + not (odd) = even
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-bit-input machines: an up/down counter exercising the synthesis
+//! and SCAL-conversion paths with input alphabets wider than one bit.
+
+use crate::StateMachine;
+
+/// Command alphabet of the [`up_down_counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterCmd {
+    /// Keep the count.
+    Hold,
+    /// Increment modulo the modulus.
+    Up,
+    /// Decrement modulo the modulus.
+    Down,
+    /// Return to zero.
+    Reset,
+}
+
+impl CounterCmd {
+    /// The 2-bit input symbol encoding.
+    #[must_use]
+    pub fn symbol(self) -> u32 {
+        match self {
+            CounterCmd::Hold => 0b00,
+            CounterCmd::Up => 0b01,
+            CounterCmd::Down => 0b10,
+            CounterCmd::Reset => 0b11,
+        }
+    }
+}
+
+/// A modulo-`modulus` up/down counter with a 2-bit command input; outputs
+/// the state bits.
+///
+/// # Panics
+///
+/// Panics if `modulus < 2 || modulus > 16`.
+#[must_use]
+pub fn up_down_counter(modulus: usize) -> StateMachine {
+    assert!((2..=16).contains(&modulus));
+    let bits = usize::BITS as usize - (modulus - 1).leading_zeros() as usize;
+    let mut m = StateMachine::new(format!("updown-{modulus}"), modulus, 2, bits);
+    for s in 0..modulus {
+        let out: Vec<bool> = (0..bits).map(|k| (s >> k) & 1 == 1).collect();
+        m.set(s, CounterCmd::Hold.symbol(), s, &out);
+        m.set(s, CounterCmd::Up.symbol(), (s + 1) % modulus, &out);
+        m.set(
+            s,
+            CounterCmd::Down.symbol(),
+            (s + modulus - 1) % modulus,
+            &out,
+        );
+        m.set(s, CounterCmd::Reset.symbol(), 0, &out);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual_ff::AltSeqDriver;
+    use crate::synth::synthesize;
+    use crate::{code_conversion_machine, dual_ff_machine};
+    use scal_netlist::Sim;
+    use CounterCmd::{Down, Hold, Reset, Up};
+
+    fn script() -> Vec<CounterCmd> {
+        vec![
+            Up, Up, Up, Hold, Down, Up, Up, Up, Up, Reset, Up, Down, Down, Up, Up, Hold,
+        ]
+    }
+
+    fn golden_counts(modulus: usize, cmds: &[CounterCmd]) -> Vec<usize> {
+        let mut s = 0usize;
+        cmds.iter()
+            .map(|c| {
+                let out = s;
+                s = match c {
+                    Hold => s,
+                    Up => (s + 1) % modulus,
+                    Down => (s + modulus - 1) % modulus,
+                    Reset => 0,
+                };
+                out
+            })
+            .collect()
+    }
+
+    fn outputs_to_count(out: &[bool], bits: usize) -> usize {
+        (0..bits).fold(0, |acc, k| acc | (usize::from(out[k]) << k))
+    }
+
+    #[test]
+    fn machine_counts_correctly() {
+        for modulus in [2usize, 3, 5, 8] {
+            let m = up_down_counter(modulus);
+            let symbols: Vec<u32> = script().iter().map(|c| c.symbol()).collect();
+            let golden = golden_counts(modulus, &script());
+            for (i, out) in m.run(&symbols).iter().enumerate() {
+                assert_eq!(
+                    outputs_to_count(out, m.output_bits()),
+                    golden[i],
+                    "modulus {modulus} step {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_counter_matches() {
+        let m = up_down_counter(5);
+        let c = synthesize(&m);
+        let mut sim = Sim::new(&c);
+        let golden = golden_counts(5, &script());
+        for (i, cmd) in script().iter().enumerate() {
+            let sym = cmd.symbol();
+            let ins = [sym & 1 == 1, sym & 2 != 0];
+            let out = sim.step(&ins);
+            assert_eq!(
+                outputs_to_count(&out, m.output_bits()),
+                golden[i],
+                "step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_scal_designs_count_and_alternate() {
+        let m = up_down_counter(6);
+        let golden = golden_counts(6, &script());
+        for scal in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+            let mut drv = AltSeqDriver::new(&scal);
+            for (i, cmd) in script().iter().enumerate() {
+                let sym = cmd.symbol();
+                let word = [sym & 1 == 1, sym & 2 != 0];
+                let (o1, o2) = drv.apply(&word);
+                assert_eq!(
+                    outputs_to_count(&o1, m.output_bits()),
+                    golden[i],
+                    "{} step {i}",
+                    scal.design
+                );
+                for k in scal.monitored() {
+                    assert_ne!(o1[k], o2[k], "{} line {k} step {i}", scal.design);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translator_memory_advantage_holds_for_wide_machines() {
+        let m = up_down_counter(16); // 4 state bits
+        let dff = dual_ff_machine(&m).circuit.cost().flip_flops;
+        let tr = code_conversion_machine(&m).circuit.cost().flip_flops;
+        assert_eq!(dff, 8);
+        assert_eq!(tr, 5);
+    }
+
+    #[test]
+    fn sequential_fault_security_on_a_two_bit_input_machine() {
+        let m = up_down_counter(4);
+        let scal = code_conversion_machine(&m);
+        let words: Vec<Vec<bool>> = script()
+            .iter()
+            .map(|c| {
+                let s = c.symbol();
+                vec![s & 1 == 1, s & 2 != 0]
+            })
+            .collect();
+        let mut golden = Vec::new();
+        {
+            let mut drv = AltSeqDriver::new(&scal);
+            for w in &words {
+                golden.push(drv.apply(w));
+            }
+        }
+        let (cf, cg) = scal.code_pair.unwrap();
+        for fault in scal.checkable_faults() {
+            let mut drv = AltSeqDriver::new(&scal);
+            drv.attach(fault.to_override());
+            for (i, w) in words.iter().enumerate() {
+                let (o1, o2) = drv.apply(w);
+                let mon = scal.monitored();
+                let wrong = mon
+                    .clone()
+                    .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
+                if wrong {
+                    let flagged =
+                        mon.clone().any(|k| o1[k] == o2[k]) || o1[cf] == o1[cg] || o2[cf] == o2[cg];
+                    assert!(flagged, "fault {fault} slipped at step {i}");
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The Reynolds dual flip-flop sequential SCAL design (Fig. 4.2).
+
+use crate::synth::self_dual_core;
+use crate::StateMachine;
+use scal_netlist::{Circuit, NodeId, Sim};
+
+/// A sequential SCAL machine: the netlist plus the bookkeeping needed to
+/// drive it in two-period alternating mode and to know which outputs carry
+/// what.
+///
+/// Circuit interface (both designs):
+///
+/// * inputs: `x0..x{ib-1}`, then `phi`;
+/// * outputs: `z0..` (external), then the monitored feedback lines `Y0..`,
+///   then any design-specific check lines (code-conversion adds the
+///   1-out-of-2 pair `chk_f`, `chk_g`).
+#[derive(Debug, Clone)]
+pub struct ScalMachine {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// External output count (`z` lines).
+    pub z_count: usize,
+    /// Monitored feedback line count (`Y` lines).
+    pub y_count: usize,
+    /// Indices (into the circuit outputs) of check lines that must form a
+    /// 1-out-of-2 code in the second period, if the design has any.
+    pub code_pair: Option<(usize, usize)>,
+    /// Human label for reports.
+    pub design: &'static str,
+}
+
+impl ScalMachine {
+    /// The lines an alternation checker must monitor: all `z` and `Y`
+    /// outputs (the paper: "it is necessary to monitor not only the Z
+    /// outputs, but also the Y outputs").
+    #[must_use]
+    pub fn monitored(&self) -> std::ops::Range<usize> {
+        0..(self.z_count + self.y_count)
+    }
+
+    /// The single-fault universe the SCAL guarantees cover: every collapsed
+    /// fault except the period-clock input stem. The paper assigns the
+    /// clock distribution to the hardcore ("all fan out of the clock φ is
+    /// from a common node … if all clock lines fail, the system will
+    /// stop"); a stuck φ swaps the period roles wholesale, which a live
+    /// simulation cannot express as a system stop. Branch faults on
+    /// individual φ pins *are* covered.
+    #[must_use]
+    pub fn checkable_faults(&self) -> Vec<scal_faults::Fault> {
+        let phi = self
+            .circuit
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&i| self.circuit.name(i) == Some("phi"));
+        scal_faults::enumerate_faults(&self.circuit)
+            .into_iter()
+            .filter(|f| match (f.site, phi) {
+                (scal_netlist::Site::Stem(n), Some(p)) => n != p,
+                _ => true,
+            })
+            .collect()
+    }
+}
+
+/// Converts a machine to a SCAL machine with the dual flip-flop technique:
+/// the self-dual core plus **two** plain D flip-flops per feedback variable,
+/// so the state stream `(y, ȳ)` lags the `(Y, Ȳ)` stream by exactly one
+/// alternating pair (Fig. 4.2b).
+///
+/// Drive it with [`AltSeqDriver`]: one simulator step per period, inputs
+/// `(X‖0, X̄‖1)`.
+#[must_use]
+pub fn dual_ff_machine(m: &StateMachine) -> ScalMachine {
+    let core = self_dual_core(m);
+    let ib = m.input_bits();
+    let sb = m.state_bits();
+    let zb = m.output_bits();
+
+    let mut c = Circuit::new();
+    let xs: Vec<NodeId> = (0..ib).map(|i| c.input(format!("x{i}"))).collect();
+    let phi = c.input("phi");
+
+    // Two flip-flops per state bit: ff2 (output stage) initialized to the
+    // reset-state bit, ff1 (input stage) to its complement, so the feedback
+    // stream starts (s0, s̄0, …).
+    let mut ff1s = Vec::with_capacity(sb);
+    let mut ff2s = Vec::with_capacity(sb);
+    for k in 0..sb {
+        let bit = false; // reset state 0
+        let ff1 = c.dff(!bit);
+        let ff2 = c.dff(bit);
+        c.connect_dff(ff2, ff1);
+        ff1s.push(ff1);
+        ff2s.push(ff2);
+        let _ = k;
+    }
+
+    let mut core_inputs = xs;
+    core_inputs.extend(&ff2s);
+    core_inputs.push(phi);
+    let outs = c.import(&core, &core_inputs);
+
+    for (k, &z) in outs.iter().take(zb).enumerate() {
+        c.mark_output(format!("z{k}"), z);
+    }
+    for (k, &y) in outs.iter().skip(zb).enumerate() {
+        c.connect_dff(ff1s[k], y);
+        c.mark_output(format!("Y{k}"), y);
+    }
+
+    ScalMachine {
+        circuit: c,
+        z_count: zb,
+        y_count: sb,
+        code_pair: None,
+        design: "dual flip-flop (Reynolds)",
+    }
+}
+
+/// Drives a [`ScalMachine`] in alternating mode: each call to
+/// [`AltSeqDriver::apply`] spends two clock periods (true word with `φ = 0`,
+/// complemented word with `φ = 1`) and returns both period output vectors.
+#[derive(Debug)]
+pub struct AltSeqDriver<'c> {
+    sim: Sim<'c>,
+    machine: &'c ScalMachine,
+}
+
+impl<'c> AltSeqDriver<'c> {
+    /// Creates a driver at the reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit fails validation.
+    #[must_use]
+    pub fn new(machine: &'c ScalMachine) -> Self {
+        AltSeqDriver {
+            sim: Sim::new(&machine.circuit),
+            machine,
+        }
+    }
+
+    /// Injects a persistent fault.
+    pub fn attach(&mut self, o: scal_netlist::Override) {
+        self.sim.attach(o);
+    }
+
+    /// Applies one information word over two periods; returns the two
+    /// per-period output vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word.len()` is not the machine's external input width.
+    pub fn apply(&mut self, word: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let mut p1: Vec<bool> = word.to_vec();
+        p1.push(false); // φ = 0
+        let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+        p2.push(true); // φ = 1
+        let o1 = self.sim.step(&p1);
+        let o2 = self.sim.step(&p2);
+        (o1, o2)
+    }
+
+    /// Applies a word and classifies the monitored lines: returns
+    /// `(first-period monitored values, all_alternating, code_ok)` where
+    /// `code_ok` is the 1-out-of-2 condition on the design's check pair in
+    /// the second period (vacuously true without one).
+    pub fn apply_checked(&mut self, word: &[bool]) -> (Vec<bool>, bool, bool) {
+        let (o1, o2) = self.apply(word);
+        let mon = self.machine.monitored();
+        let alternating = mon.clone().all(|i| o1[i] != o2[i]);
+        let code_ok = match self.machine.code_pair {
+            Some((f, g)) => o1[f] != o1[g] && o2[f] != o2[g],
+            None => true,
+        };
+        (o1[mon].to_vec(), alternating, code_ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kohavi::kohavi_0101;
+
+    fn word_seq() -> Vec<Vec<bool>> {
+        [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
+            .iter()
+            .map(|&s| vec![s == 1])
+            .collect()
+    }
+
+    #[test]
+    fn dual_ff_matches_machine_in_period_one() {
+        let m = kohavi_0101();
+        let scal = dual_ff_machine(&m);
+        let mut drv = AltSeqDriver::new(&scal);
+        let golden = m.run(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]);
+        for (i, w) in word_seq().iter().enumerate() {
+            let (o1, o2) = drv.apply(w);
+            assert_eq!(o1[0], golden[i][0], "z at word {i}");
+            assert_ne!(o1[0], o2[0], "z must alternate at word {i}");
+        }
+    }
+
+    #[test]
+    fn all_monitored_lines_alternate_fault_free() {
+        let m = kohavi_0101();
+        let scal = dual_ff_machine(&m);
+        let mut drv = AltSeqDriver::new(&scal);
+        for w in word_seq() {
+            let (_, alternating, code_ok) = drv.apply_checked(&w);
+            assert!(alternating && code_ok);
+        }
+    }
+
+    #[test]
+    fn flip_flop_count_is_2n() {
+        let m = kohavi_0101();
+        let scal = dual_ff_machine(&m);
+        assert_eq!(scal.circuit.cost().flip_flops, 2 * m.state_bits());
+    }
+
+    #[test]
+    fn fault_secure_over_driven_sequences() {
+        // For every collapsed fault: at the first word where the monitored
+        // outputs differ from golden, some monitored line must fail to
+        // alternate (wrong-but-code words never pass silently).
+        let m = kohavi_0101();
+        let scal = dual_ff_machine(&m);
+        let words = word_seq();
+        // Golden monitored trace.
+        let mut golden = Vec::new();
+        {
+            let mut drv = AltSeqDriver::new(&scal);
+            for w in &words {
+                golden.push(drv.apply(w));
+            }
+        }
+        for fault in scal.checkable_faults() {
+            let mut drv = AltSeqDriver::new(&scal);
+            drv.attach(fault.to_override());
+            for (i, w) in words.iter().enumerate() {
+                let (o1, o2) = drv.apply(w);
+                let mon = scal.monitored();
+                let wrong = mon
+                    .clone()
+                    .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
+                if wrong {
+                    let nonalt = mon.clone().any(|k| o1[k] == o2[k]);
+                    assert!(
+                        nonalt,
+                        "fault {fault}: wrong code word accepted at word {i}"
+                    );
+                    break; // detected at first manifestation
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Sequential self-checking alternating logic — Chapter 4, the core of the
+//! ISCA 1978 paper.
+//!
+//! Two working designs convert an arbitrary synchronous machine into a SCAL
+//! machine:
+//!
+//! * **Dual flip-flop** (Reynolds, Fig. 4.2): make the combinational core
+//!   self-dual (one extra period-clock input) and double the flip-flops in
+//!   the feedback path, so state feedback alternates in unison with the
+//!   inputs. Memory cost: `2n` flip-flops.
+//! * **Code conversion** (this paper's contribution, Figs. 4.3–4.6): keep the
+//!   alternating signals in the processor but store the state in an
+//!   `(n+1)`-bit *parity* code — the minimum distance-2 space code — using
+//!   two small translators: the **ALPT** (alternating logic → parity,
+//!   Fig. 4.4a) and the **PALT** (parity → alternating logic, Fig. 4.4b).
+//!   Memory cost: `n + 1` flip-flops, the win that grows with machine size
+//!   (Table 4.1).
+//!
+//! The **direct implementation** alternatives of §4.4 (Fig. 4.7) are encoded
+//! in [`direct::FeedbackDesign`] with the paper's verdicts.
+//!
+//! The module [`kohavi`] carries the running example — Kohavi's 0101
+//! sequence detector (Figs. 4.8–4.10) — and regenerates Table 4.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod counters;
+pub mod direct;
+pub mod dual_ff;
+pub mod kohavi;
+pub mod machine;
+pub mod patterns;
+pub mod synth;
+pub mod translator;
+
+pub use campaign::{run_seq_campaign, SeqCampaign, SeqOutcome};
+pub use dual_ff::{dual_ff_machine, ScalMachine};
+pub use machine::StateMachine;
+pub use synth::{self_dual_core, synthesize};
+pub use translator::{alpt, code_conversion_machine, palt};

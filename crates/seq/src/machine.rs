@@ -1,0 +1,158 @@
+//! Synchronous Mealy machines (the standard model of Fig. 4.1a).
+
+/// A completely-specified synchronous Mealy machine.
+///
+/// States are `0..num_states`; input symbols are `0..2^input_bits`; outputs
+/// are bit vectors of width `output_bits`. State 0 is the reset state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMachine {
+    name: String,
+    num_states: usize,
+    input_bits: usize,
+    output_bits: usize,
+    /// `transitions[state][symbol] = (next_state, outputs)`
+    transitions: Vec<Vec<(usize, Vec<bool>)>>,
+}
+
+impl StateMachine {
+    /// Creates a machine with all transitions self-looping to state 0 with
+    /// all-zero outputs; fill in with [`StateMachine::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `input_bits > 8`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        num_states: usize,
+        input_bits: usize,
+        output_bits: usize,
+    ) -> Self {
+        assert!(
+            num_states > 0 && output_bits > 0,
+            "dimensions must be positive"
+        );
+        assert!((1..=8).contains(&input_bits), "1..=8 input bits supported");
+        StateMachine {
+            name: name.into(),
+            num_states,
+            input_bits,
+            output_bits,
+            transitions: vec![vec![(0, vec![false; output_bits]); 1 << input_bits]; num_states],
+        }
+    }
+
+    /// Sets `transitions[state][symbol] = (next, outputs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or output width mismatch.
+    pub fn set(&mut self, state: usize, symbol: u32, next: usize, outputs: &[bool]) {
+        assert!(state < self.num_states && next < self.num_states);
+        assert!((symbol as usize) < (1 << self.input_bits));
+        assert_eq!(outputs.len(), self.output_bits);
+        self.transitions[state][symbol as usize] = (next, outputs.to_vec());
+    }
+
+    /// Machine name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Input width in bits.
+    #[must_use]
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Output width in bits.
+    #[must_use]
+    pub fn output_bits(&self) -> usize {
+        self.output_bits
+    }
+
+    /// Number of state bits in the natural binary encoding.
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        usize::BITS as usize - (self.num_states - 1).leading_zeros() as usize
+    }
+
+    /// The transition function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arguments.
+    #[must_use]
+    pub fn next(&self, state: usize, symbol: u32) -> usize {
+        self.transitions[state][symbol as usize].0
+    }
+
+    /// The output function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arguments.
+    #[must_use]
+    pub fn output(&self, state: usize, symbol: u32) -> &[bool] {
+        &self.transitions[state][symbol as usize].1
+    }
+
+    /// Runs the machine from reset over `symbols`, returning the output
+    /// vector at each step.
+    #[must_use]
+    pub fn run(&self, symbols: &[u32]) -> Vec<Vec<bool>> {
+        let mut state = 0usize;
+        symbols
+            .iter()
+            .map(|&s| {
+                let out = self.output(state, s).to_vec();
+                state = self.next(state, s);
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kohavi::kohavi_0101;
+
+    #[test]
+    fn state_bits_rounding() {
+        assert_eq!(StateMachine::new("m", 1, 1, 1).state_bits(), 0);
+        assert_eq!(StateMachine::new("m", 2, 1, 1).state_bits(), 1);
+        assert_eq!(StateMachine::new("m", 3, 1, 1).state_bits(), 2);
+        assert_eq!(StateMachine::new("m", 4, 1, 1).state_bits(), 2);
+        assert_eq!(StateMachine::new("m", 5, 1, 1).state_bits(), 3);
+    }
+
+    #[test]
+    fn kohavi_machine_detects_0101() {
+        let m = kohavi_0101();
+        let seq = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1];
+        let outs = m.run(&seq);
+        let hits: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o[0])
+            .map(|(i, _)| i)
+            .collect();
+        // 0101 completes at indices 3 and 5 (overlapping), then the stream
+        // breaks with 1 at index 6, and 0101 completes again at index 10.
+        assert_eq!(hits, vec![3, 5, 10]);
+    }
+
+    #[test]
+    fn run_is_reset_deterministic() {
+        let m = kohavi_0101();
+        assert_eq!(m.run(&[0, 1, 0, 1]), m.run(&[0, 1, 0, 1]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Parameterized sequence detectors: the Kohavi example generalized, so the
+//! Table 4.1 comparison can be *measured* (not just formula'd) across
+//! machine sizes.
+
+use crate::dual_ff::dual_ff_machine;
+use crate::synth::synthesize;
+use crate::translator::code_conversion_machine;
+use crate::StateMachine;
+
+/// Builds the overlapping detector for a binary `pattern`: the Mealy
+/// machine outputs 1 exactly when the last `pattern.len()` inputs equal the
+/// pattern (overlaps allowed), via the KMP automaton.
+///
+/// # Panics
+///
+/// Panics if the pattern is empty or longer than 16 bits.
+#[must_use]
+pub fn pattern_detector(pattern: &[bool]) -> StateMachine {
+    let l = pattern.len();
+    assert!((1..=16).contains(&l), "pattern length 1..=16");
+    // KMP prefix function.
+    let mut fail = vec![0usize; l];
+    let mut k = 0usize;
+    for i in 1..l {
+        while k > 0 && pattern[i] != pattern[k] {
+            k = fail[k - 1];
+        }
+        if pattern[i] == pattern[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    // delta(state s = matched prefix length, input b) -> new matched length.
+    let delta = |mut s: usize, b: bool| -> usize {
+        loop {
+            if b == pattern[s] {
+                return s + 1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = fail[s - 1];
+        }
+    };
+
+    let name = format!(
+        "detect-{}",
+        pattern
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect::<String>()
+    );
+    let mut m = StateMachine::new(name, l, 1, 1);
+    for s in 0..l {
+        for b in [false, true] {
+            let matched = delta(s, b);
+            let hit = matched == l;
+            let next = if hit { fail[l - 1] } else { matched };
+            // `matched == l` means full pattern: output 1, fall back to the
+            // longest proper border; otherwise continue at `matched`.
+            let next = delta_clamp(next, l);
+            m.set(s, u32::from(b), next, &[hit]);
+        }
+    }
+    m
+}
+
+fn delta_clamp(s: usize, l: usize) -> usize {
+    debug_assert!(s < l, "KMP state must stay within 0..l");
+    s.min(l - 1)
+}
+
+/// A measured Table 4.1 row for one detector size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredRow {
+    /// Pattern length (states = length, state bits n = ⌈log₂ length⌉).
+    pub pattern_len: usize,
+    /// Baseline (flip-flops, gates).
+    pub baseline: (usize, usize),
+    /// Dual flip-flop design (flip-flops, gates).
+    pub dual_ff: (usize, usize),
+    /// Code-conversion design (flip-flops, gates).
+    pub translator: (usize, usize),
+}
+
+/// Synthesizes all three designs for detectors of the given pattern lengths
+/// (alternating 01… patterns) and measures their costs — the empirical
+/// counterpart of Table 4.1's general case.
+#[must_use]
+pub fn measured_sweep(lengths: &[usize]) -> Vec<MeasuredRow> {
+    lengths
+        .iter()
+        .map(|&l| {
+            let pattern: Vec<bool> = (0..l).map(|i| i % 2 == 1).collect();
+            let m = pattern_detector(&pattern);
+            let base = synthesize(&m).cost();
+            let dff = dual_ff_machine(&m).circuit.cost();
+            let tr = code_conversion_machine(&m).circuit.cost();
+            MeasuredRow {
+                pattern_len: l,
+                baseline: (base.flip_flops, base.gates),
+                dual_ff: (dff.flip_flops, dff.gates),
+                translator: (tr.flip_flops, tr.gates),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual_ff::AltSeqDriver;
+    use crate::kohavi::kohavi_0101;
+
+    fn brute_hits(pattern: &[bool], stream: &[bool]) -> Vec<usize> {
+        (0..stream.len())
+            .filter(|&i| i + 1 >= pattern.len() && stream[i + 1 - pattern.len()..=i] == *pattern)
+            .collect()
+    }
+
+    #[test]
+    fn matches_kohavi_for_0101() {
+        let p = [false, true, false, true];
+        let m = pattern_detector(&p);
+        let k = kohavi_0101();
+        let stream: Vec<u32> = (0..64).map(|i| u32::from((i * 5 + 2) % 3 == 0)).collect();
+        assert_eq!(m.run(&stream), k.run(&stream));
+    }
+
+    #[test]
+    fn detector_matches_brute_force_for_many_patterns() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![true],
+            vec![false, false],
+            vec![true, true, false],
+            vec![false, true, false, true],
+            vec![true, false, false, true, false],
+            vec![false, false, false, false],
+            vec![true, true, true, false, true, true],
+        ];
+        for pattern in patterns {
+            let m = pattern_detector(&pattern);
+            let stream: Vec<bool> = (0..80).map(|i| (i * 7 + 1) % 5 < 2).collect();
+            let symbols: Vec<u32> = stream.iter().map(|&b| u32::from(b)).collect();
+            let got: Vec<usize> = m
+                .run(&symbols)
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o[0])
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, brute_hits(&pattern, &stream), "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn scal_designs_of_generated_detectors_work() {
+        let pattern = [true, false, false, true];
+        let m = pattern_detector(&pattern);
+        let stream: Vec<bool> = (0..40).map(|i| (i * 3 + 1) % 4 < 2).collect();
+        let symbols: Vec<u32> = stream.iter().map(|&b| u32::from(b)).collect();
+        let golden = m.run(&symbols);
+        for scal in [
+            crate::dual_ff_machine(&m),
+            crate::code_conversion_machine(&m),
+        ] {
+            let mut drv = AltSeqDriver::new(&scal);
+            for (i, &b) in stream.iter().enumerate() {
+                let (o1, o2) = drv.apply(&[b]);
+                assert_eq!(o1[0], golden[i][0], "{} word {i}", scal.design);
+                assert_ne!(o1[0], o2[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_sweep_reproduces_memory_scaling() {
+        let rows = measured_sweep(&[4, 8, 16]);
+        for row in &rows {
+            let n = row.baseline.0;
+            assert_eq!(
+                row.dual_ff.0,
+                2 * n,
+                "dual-FF memory at L={}",
+                row.pattern_len
+            );
+            assert_eq!(
+                row.translator.0,
+                n + 1,
+                "translator memory at L={}",
+                row.pattern_len
+            );
+            assert!(row.dual_ff.1 > row.baseline.1);
+            assert!(row.translator.1 > row.baseline.1);
+        }
+        // The translator's flip-flop advantage widens with machine size.
+        assert!(
+            rows[2].dual_ff.0 - rows[2].translator.0 > rows[0].dual_ff.0 - rows[0].translator.0
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthesis: state machine → gate-level netlist, and the self-dual core.
+
+use crate::StateMachine;
+use scal_logic::{qm, self_dualize, Tt};
+use scal_netlist::{Circuit, GateKind, NodeId};
+
+/// Builds the truth tables of a machine's combinational logic under the
+/// natural binary state assignment: variables are `input_bits` input lines
+/// (low indices) followed by `state_bits` present-state lines; the returned
+/// tables are `(outputs Z, next-state Y)`.
+///
+/// Unused state codes are don't-cares resolved to "go to state 0 / output 0"
+/// (completeness keeps the netlist deterministic).
+#[must_use]
+pub fn machine_tables(m: &StateMachine) -> (Vec<Tt>, Vec<Tt>) {
+    let ib = m.input_bits();
+    let sb = m.state_bits();
+    let n = ib + sb;
+    let eval = |mnt: u32| -> (usize, u32) {
+        let symbol = mnt & ((1 << ib) - 1);
+        let state = (mnt >> ib) as usize;
+        (state, symbol)
+    };
+    let z: Vec<Tt> = (0..m.output_bits())
+        .map(|k| {
+            Tt::from_fn(n, |mnt| {
+                let (state, symbol) = eval(mnt);
+                if state < m.num_states() {
+                    m.output(state, symbol)[k]
+                } else {
+                    false
+                }
+            })
+        })
+        .collect();
+    let y: Vec<Tt> = (0..sb)
+        .map(|k| {
+            Tt::from_fn(n, |mnt| {
+                let (state, symbol) = eval(mnt);
+                if state < m.num_states() {
+                    (m.next(state, symbol) >> k) & 1 == 1
+                } else {
+                    false
+                }
+            })
+        })
+        .collect();
+    (z, y)
+}
+
+/// Synthesizes the machine as a conventional netlist (Fig. 4.1a): two-level
+/// NAND-NAND combinational logic plus one D flip-flop per state bit.
+///
+/// Inputs: the machine's input lines. Outputs: `z0..` then the feedback
+/// lines `y0..` (exposed for checking).
+#[must_use]
+pub fn synthesize(m: &StateMachine) -> Circuit {
+    let (z_tts, y_tts) = machine_tables(m);
+    let ib = m.input_bits();
+    let sb = m.state_bits();
+    let mut c = Circuit::new();
+    let inputs: Vec<NodeId> = (0..ib).map(|i| c.input(format!("x{i}"))).collect();
+    let dffs: Vec<NodeId> = (0..sb).map(|_| c.dff(false)).collect();
+    let mut vars = inputs;
+    vars.extend(&dffs);
+    let mut inverters: Vec<Option<NodeId>> = vec![None; vars.len()];
+    let realize = |c: &mut Circuit, tt: &Tt, inverters: &mut Vec<Option<NodeId>>| {
+        realize_sop(c, &vars, inverters, tt)
+    };
+    let z_nodes: Vec<NodeId> = z_tts
+        .iter()
+        .map(|tt| realize(&mut c, tt, &mut inverters))
+        .collect();
+    let y_nodes: Vec<NodeId> = y_tts
+        .iter()
+        .map(|tt| realize(&mut c, tt, &mut inverters))
+        .collect();
+    for (k, &z) in z_nodes.iter().enumerate() {
+        c.mark_output(format!("z{k}"), z);
+    }
+    for (k, (&y, &ff)) in y_nodes.iter().zip(&dffs).enumerate() {
+        c.connect_dff(ff, y);
+        c.mark_output(format!("y{k}"), y);
+    }
+    c
+}
+
+/// Builds the *self-dual combinational core* used by both SCAL designs: each
+/// of the machine's combinational functions, self-dualized with a trailing
+/// period-clock variable `φ` (Yamamoto), realized as shared-inverter
+/// two-level NAND logic.
+///
+/// Inputs: `x0.. , y0.. , phi` (purely combinational — the flip-flops are
+/// added by the surrounding design). Outputs: `z0..` then `Y0..`.
+#[must_use]
+pub fn self_dual_core(m: &StateMachine) -> Circuit {
+    let (z_tts, y_tts) = machine_tables(m);
+    let ib = m.input_bits();
+    let sb = m.state_bits();
+    let mut c = Circuit::new();
+    let mut vars: Vec<NodeId> = (0..ib).map(|i| c.input(format!("x{i}"))).collect();
+    vars.extend((0..sb).map(|i| c.input(format!("y{i}"))));
+    vars.push(c.input("phi"));
+    let mut inverters: Vec<Option<NodeId>> = vec![None; vars.len()];
+    let mut nodes = Vec::new();
+    for tt in z_tts.iter().chain(&y_tts) {
+        let sd = self_dualize(tt);
+        nodes.push(realize_sop(&mut c, &vars, &mut inverters, &sd));
+    }
+    for (k, &node) in nodes.iter().take(z_tts.len()).enumerate() {
+        c.mark_output(format!("z{k}"), node);
+    }
+    for (k, &node) in nodes.iter().skip(z_tts.len()).enumerate() {
+        c.mark_output(format!("Y{k}"), node);
+    }
+    c
+}
+
+/// Two-level NAND-NAND realization with a shared, lazily-built inverter
+/// rail.
+pub(crate) fn realize_sop(
+    c: &mut Circuit,
+    vars: &[NodeId],
+    inverters: &mut [Option<NodeId>],
+    tt: &Tt,
+) -> NodeId {
+    assert_eq!(vars.len(), tt.nvars());
+    if tt.is_zero() {
+        return c.constant(false);
+    }
+    if tt.is_one() {
+        return c.constant(true);
+    }
+    let cover = qm::minimize(tt, None);
+    let mut term_nodes = Vec::new();
+    for cube in &cover {
+        let mut literals = Vec::new();
+        for v in 0..tt.nvars() {
+            let bit = 1u32 << v;
+            if cube.mask() & bit != 0 {
+                let lit = if cube.value() & bit != 0 {
+                    vars[v]
+                } else {
+                    match inverters[v] {
+                        Some(n) => n,
+                        None => {
+                            let n = c.not(vars[v]);
+                            inverters[v] = Some(n);
+                            n
+                        }
+                    }
+                };
+                literals.push(lit);
+            }
+        }
+        term_nodes.push(if literals.len() == 1 {
+            c.gate(GateKind::Not, &[literals[0]])
+        } else {
+            c.nand(&literals)
+        });
+    }
+    if term_nodes.len() == 1 {
+        c.not(term_nodes[0])
+    } else {
+        c.nand(&term_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kohavi::kohavi_0101;
+    use scal_netlist::Sim;
+
+    #[test]
+    fn synthesized_kohavi_matches_machine() {
+        let m = kohavi_0101();
+        let c = synthesize(&m);
+        let mut sim = Sim::new(&c);
+        let seq = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1];
+        let golden = m.run(&seq);
+        for (i, &s) in seq.iter().enumerate() {
+            let out = sim.step(&[s == 1]);
+            assert_eq!(out[0], golden[i][0], "step {i}");
+        }
+    }
+
+    #[test]
+    fn self_dual_core_outputs_are_self_dual() {
+        let m = kohavi_0101();
+        let core = self_dual_core(&m);
+        assert!(!core.is_sequential());
+        for tt in core.output_tts() {
+            assert!(tt.is_self_dual());
+        }
+    }
+
+    #[test]
+    fn self_dual_core_restricts_to_machine_logic() {
+        let m = kohavi_0101();
+        let core = self_dual_core(&m);
+        let (z_tts, y_tts) = machine_tables(&m);
+        let tts = core.output_tts();
+        let n = m.input_bits() + m.state_bits();
+        for (k, want) in z_tts.iter().chain(&y_tts).enumerate() {
+            for mnt in 0..(1u32 << n) {
+                assert_eq!(tts[k].eval(mnt), want.eval(mnt), "fn {k} minterm {mnt}");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_tables_shapes() {
+        let m = kohavi_0101();
+        let (z, y) = machine_tables(&m);
+        assert_eq!(z.len(), 1);
+        assert_eq!(y.len(), 2);
+        assert_eq!(z[0].nvars(), 3);
+    }
+
+    #[test]
+    fn synthesize_counts_are_sane() {
+        let m = kohavi_0101();
+        let c = synthesize(&m);
+        let cost = c.cost();
+        assert_eq!(cost.flip_flops, 2);
+        assert!(cost.gates >= 5, "got {}", cost.gates);
+    }
+}

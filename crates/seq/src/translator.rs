@@ -1,0 +1,416 @@
+//! Code conversion between time and space redundancy: the ALPT and PALT
+//! translators (Figs. 4.3–4.6) and the memory-efficient sequential SCAL
+//! machine built from them — the paper's own contribution.
+//!
+//! The state word is processed as alternating signals but *stored* in an
+//! `(n+1)`-bit parity code, the minimum distance-2 space code, so the
+//! feedback memory costs `n + 1` flip-flops instead of the dual-flip-flop
+//! design's `2n`.
+//!
+//! ## Modelling notes (vs. the 1977 schematics)
+//!
+//! The paper's latches are edge-triggered by the period clock `φ` itself
+//! (data on one `φ` edge, parity on the other). Our simulator has a single
+//! synchronous clock — one step per period — so "latch on a `φ` edge"
+//! becomes an *enable-multiplexed* flip-flop (`d = en·new ∨ ēn·q`), and both
+//! the complemented data word `Ȳ` and its reference parity `⊕Ȳ` are captured
+//! at the end of the second period, from **separate lines** (each data bit
+//! from its own `Y` branch, the parity from its own XOR tree). Any single
+//! fault therefore corrupts the stored data or the stored parity but not
+//! both consistently, which is what Theorems 4.1–4.4 actually require; the
+//! clock-distribution caveat the paper resolves by assumption ("all fan out
+//! of the clock φ is from a common node … if all clock lines fail, the
+//! system will stop") maps here to the `phi` input stem, whose faults are
+//! caught by the self-dual core's outputs going non-alternating.
+//!
+//! An odd word size is handled the paper's way — folding the period clock
+//! into the parity recomputation — so no padding bit is stored.
+
+use crate::dual_ff::ScalMachine;
+use crate::synth::self_dual_core;
+use crate::StateMachine;
+use scal_netlist::{Circuit, GateKind, NodeId};
+
+/// Builds an enable-multiplexed D flip-flop: latches `new` at the end of
+/// steps where `en` is high, holds otherwise.
+fn enable_ff(c: &mut Circuit, en: NodeId, nen: NodeId, new: NodeId, init: bool) -> NodeId {
+    let ff = c.dff(init);
+    let take = c.and(&[en, new]);
+    let hold = c.and(&[nen, ff]);
+    let d = c.or(&[take, hold]);
+    c.connect_dff(ff, d);
+    ff
+}
+
+/// The Alternating-Logic-to-Parity Translator (Fig. 4.4a) as a standalone
+/// circuit.
+///
+/// Inputs: `y0..y{n-1}` (alternating lines), `phi`. Outputs: the stored
+/// word `t0..t{n-1}` (the complemented second-period data) and its stored
+/// reference parity `tp` — together an `(n+1)`-bit word of constant parity
+/// (`n mod 2`), i.e. a distance-2 parity code.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn alpt(n: usize) -> Circuit {
+    assert!(n > 0, "translator needs at least one line");
+    let mut c = Circuit::new();
+    let ys: Vec<NodeId> = (0..n).map(|i| c.input(format!("y{i}"))).collect();
+    let phi = c.input("phi");
+    let nphi_shared = c.not(phi); // for the parity latch only
+    let parity = c.xor(&ys);
+    for (i, &y) in ys.iter().enumerate() {
+        // Each data latch gets its own clock-select inverter so a single
+        // inverter fault stales one bit only (caught by the parity check).
+        let nphi_i = c.not(phi);
+        let ff = enable_ff(&mut c, phi, nphi_i, y, false);
+        c.mark_output(format!("t{i}"), ff);
+    }
+    let pff = enable_ff(&mut c, phi, nphi_shared, parity, n % 2 == 1);
+    c.mark_output("tp", pff);
+    c
+}
+
+/// The Parity-to-Alternating-Logic Translator (Fig. 4.4b) as a standalone
+/// circuit.
+///
+/// Inputs: the stored word `t0..t{n-1}`, its parity rail `tp`, and `phi`.
+/// Outputs: the regenerated alternating lines `y0..y{n-1}`
+/// (`yᵢ = tᵢ ⊕ φ̄`, i.e. true data in period 1, complemented in period 2)
+/// and the 1-out-of-2 code pair (`chk_f`, `chk_g`) that is one-hot in *both*
+/// periods exactly when the stored word is parity-consistent.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn palt(n: usize) -> Circuit {
+    assert!(n > 0, "translator needs at least one line");
+    let mut c = Circuit::new();
+    let ts: Vec<NodeId> = (0..n).map(|i| c.input(format!("t{i}"))).collect();
+    let tp = c.input("tp");
+    let phi = c.input("phi");
+    let ys: Vec<NodeId> = ts
+        .iter()
+        .map(|&t| c.gate(GateKind::Xnor, &[t, phi]))
+        .collect();
+    for (i, &y) in ys.iter().enumerate() {
+        c.mark_output(format!("y{i}"), y);
+    }
+    let (chk_f, chk_g) = parity_check_pair(&mut c, &ys, tp, phi, n);
+    c.mark_output("chk_f", chk_f);
+    c.mark_output("chk_g", chk_g);
+    c
+}
+
+/// Builds the recomputed-parity rail against the stored rail: returns
+/// `(chk_f, chk_g)`, one-hot iff consistent (both periods; the period clock
+/// folds into the recomputation for odd word sizes).
+fn parity_check_pair(
+    c: &mut Circuit,
+    ys: &[NodeId],
+    tp: NodeId,
+    phi: NodeId,
+    n: usize,
+) -> (NodeId, NodeId) {
+    let mut terms: Vec<NodeId> = ys.to_vec();
+    if n % 2 == 1 {
+        let nphi = c.not(phi);
+        terms.push(nphi);
+    }
+    let recomputed = c.xor(&terms);
+    let chk_f = c.not(recomputed);
+    (chk_f, tp)
+}
+
+/// Converts a machine to a SCAL machine with the code-conversion technique
+/// (Fig. 4.5): self-dual core, inline PALT feeding the feedback variables,
+/// inline ALPT storing the next state as an `(n+1)`-bit parity word.
+///
+/// Flip-flop cost: `n + 1` (the paper's headline number; compare
+/// [`crate::dual_ff_machine`]'s `2n`).
+///
+/// Circuit outputs: `z0..`, the monitored core lines `Y0..`, then the code
+/// pair `chk_f`, `chk_g`.
+#[must_use]
+pub fn code_conversion_machine(m: &StateMachine) -> ScalMachine {
+    let core = self_dual_core(m);
+    let ib = m.input_bits();
+    let sb = m.state_bits();
+    let zb = m.output_bits();
+
+    let mut c = Circuit::new();
+    let xs: Vec<NodeId> = (0..ib).map(|i| c.input(format!("x{i}"))).collect();
+    let phi = c.input("phi");
+
+    // PALT read side: y_i = t_i ⊕ φ̄ = XNOR(t_i, φ). The flip-flops are
+    // created first (feedback), wired by the ALPT below. The stored word is
+    // the complemented state, so reset state 0 is stored as all-ones.
+    let data_ffs: Vec<NodeId> = (0..sb).map(|_| c.dff(true)).collect();
+    let parity_init = sb % 2 == 1; // ⊕ of the all-ones reset word
+    let parity_ff = c.dff(parity_init);
+
+    let ys: Vec<NodeId> = data_ffs
+        .iter()
+        .map(|&t| c.gate(GateKind::Xnor, &[t, phi]))
+        .collect();
+
+    // The self-dual core.
+    let mut core_inputs = xs;
+    core_inputs.extend(&ys);
+    core_inputs.push(phi);
+    let outs = c.import(&core, &core_inputs);
+    let z_lines = &outs[..zb];
+    let y_lines = &outs[zb..];
+
+    // ALPT write side: capture Ȳ (second-period values) and its parity at
+    // the end of period 2 (enable = φ), each latch with a private
+    // clock-select inverter.
+    for (k, &yline) in y_lines.iter().enumerate() {
+        let nphi_k = c.not(phi);
+        let take = c.and(&[phi, yline]);
+        let hold = c.and(&[nphi_k, data_ffs[k]]);
+        let d = c.or(&[take, hold]);
+        c.connect_dff(data_ffs[k], d);
+    }
+    {
+        let nphi_p = c.not(phi);
+        let parity = c.xor(y_lines);
+        let take = c.and(&[phi, parity]);
+        let hold = c.and(&[nphi_p, parity_ff]);
+        let d = c.or(&[take, hold]);
+        c.connect_dff(parity_ff, d);
+    }
+
+    // PALT check side.
+    let (chk_f, chk_g) = parity_check_pair(&mut c, &ys, parity_ff, phi, sb);
+
+    for (k, &z) in z_lines.iter().enumerate() {
+        c.mark_output(format!("z{k}"), z);
+    }
+    for (k, &y) in y_lines.iter().enumerate() {
+        c.mark_output(format!("Y{k}"), y);
+    }
+    c.mark_output("chk_f", chk_f);
+    c.mark_output("chk_g", chk_g);
+
+    ScalMachine {
+        circuit: c,
+        z_count: zb,
+        y_count: sb,
+        code_pair: Some((zb + sb, zb + sb + 1)),
+        design: "code conversion (translator)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual_ff::AltSeqDriver;
+    use crate::kohavi::kohavi_0101;
+    use scal_netlist::{NodeView, Sim, Site};
+
+    #[test]
+    fn alpt_stores_complemented_word_and_parity() {
+        for n in [2usize, 3, 4] {
+            let c = alpt(n);
+            let mut sim = Sim::new(&c);
+            let word: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            // Period 1: y = word, φ = 0.
+            let mut p1 = word.clone();
+            p1.push(false);
+            sim.step(&p1);
+            // Period 2: y = ¬word, φ = 1.
+            let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+            p2.push(true);
+            sim.step(&p2);
+            // Stored: t = ¬word, tp = ⊕(¬word).
+            let state = sim.state();
+            for i in 0..n {
+                assert_eq!(state[i], !word[i], "n={n} bit {i}");
+            }
+            let parity = word.iter().map(|&b| !b).fold(false, |a, b| a ^ b);
+            assert_eq!(state[n], parity, "n={n} parity");
+        }
+    }
+
+    #[test]
+    fn alpt_word_has_constant_overall_parity() {
+        let n = 4;
+        let c = alpt(n);
+        for word_bits in 0..16u32 {
+            let mut sim = Sim::new(&c);
+            let word: Vec<bool> = (0..n).map(|i| (word_bits >> i) & 1 == 1).collect();
+            let mut p1 = word.clone();
+            p1.push(false);
+            sim.step(&p1);
+            let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+            p2.push(true);
+            sim.step(&p2);
+            let overall = sim.state().iter().fold(false, |a, &b| a ^ b);
+            assert_eq!(overall, n % 2 == 1, "distance-2 code invariant");
+        }
+    }
+
+    #[test]
+    fn palt_regenerates_alternating_word_with_valid_code() {
+        for n in [2usize, 3] {
+            let c = palt(n);
+            for stored in 0..(1u32 << n) {
+                let t: Vec<bool> = (0..n).map(|i| (stored >> i) & 1 == 1).collect();
+                let tp = t.iter().fold(false, |a, &b| a ^ b); // consistent parity
+                for phi in [false, true] {
+                    let mut ins = t.clone();
+                    ins.push(tp);
+                    ins.push(phi);
+                    let out = c.eval(&ins);
+                    for i in 0..n {
+                        assert_eq!(out[i], !(t[i] ^ phi), "y{i} = t ⊕ φ̄");
+                    }
+                    assert_ne!(out[n], out[n + 1], "code pair must be one-hot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn palt_flags_any_single_bit_corruption() {
+        for n in [2usize, 3, 5] {
+            let c = palt(n);
+            for stored in 0..(1u32 << n) {
+                let t: Vec<bool> = (0..n).map(|i| (stored >> i) & 1 == 1).collect();
+                let good_tp = t.iter().fold(false, |a, &b| a ^ b);
+                for corrupt in 0..=n {
+                    let mut word = t.clone();
+                    let mut tp = good_tp;
+                    if corrupt < n {
+                        word[corrupt] = !word[corrupt];
+                    } else {
+                        tp = !tp;
+                    }
+                    for phi in [false, true] {
+                        let mut ins = word.clone();
+                        ins.push(tp);
+                        ins.push(phi);
+                        let out = c.eval(&ins);
+                        assert_eq!(
+                            out[n],
+                            out[n + 1],
+                            "corrupt bit {corrupt} must break the code (n={n})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_conversion_matches_machine_in_period_one() {
+        let m = kohavi_0101();
+        let scal = code_conversion_machine(&m);
+        let seq = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1];
+        let golden = m.run(&seq);
+        let mut drv = AltSeqDriver::new(&scal);
+        for (i, &s) in seq.iter().enumerate() {
+            let (o1, o2) = drv.apply(&[s == 1]);
+            assert_eq!(o1[0], golden[i][0], "z at word {i}");
+            assert_ne!(o1[0], o2[0], "z must alternate");
+        }
+    }
+
+    #[test]
+    fn code_pair_valid_in_both_periods_fault_free() {
+        let m = kohavi_0101();
+        let scal = code_conversion_machine(&m);
+        let (f, g) = scal.code_pair.unwrap();
+        let mut drv = AltSeqDriver::new(&scal);
+        for &s in &[0u32, 1, 0, 1, 1, 0, 0, 1, 0, 1] {
+            let (o1, o2) = drv.apply(&[s == 1]);
+            assert_ne!(o1[f], o1[g], "period-1 code");
+            assert_ne!(o2[f], o2[g], "period-2 code");
+        }
+    }
+
+    #[test]
+    fn flip_flop_count_is_n_plus_one() {
+        let m = kohavi_0101();
+        let scal = code_conversion_machine(&m);
+        assert_eq!(scal.circuit.cost().flip_flops, m.state_bits() + 1);
+    }
+
+    #[test]
+    fn fault_secure_over_driven_sequences() {
+        // Same property as the dual-FF design, with the code pair as an
+        // additional monitored check; the φ input stem is the paper's
+        // common-clock hardcore assumption (its faults are still caught —
+        // by non-alternation — but are checked separately below).
+        let m = kohavi_0101();
+        let scal = code_conversion_machine(&m);
+        let words: Vec<Vec<bool>> = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
+            .iter()
+            .map(|&s| vec![s == 1])
+            .collect();
+        let mut golden = Vec::new();
+        {
+            let mut drv = AltSeqDriver::new(&scal);
+            for w in &words {
+                golden.push(drv.apply(w));
+            }
+        }
+        let (cf, cg) = scal.code_pair.unwrap();
+        for fault in scal.checkable_faults() {
+            let mut drv = AltSeqDriver::new(&scal);
+            drv.attach(fault.to_override());
+            for (i, w) in words.iter().enumerate() {
+                let (o1, o2) = drv.apply(w);
+                let mon = scal.monitored();
+                let wrong = mon
+                    .clone()
+                    .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
+                let flagged =
+                    mon.clone().any(|k| o1[k] == o2[k]) || o1[cf] == o1[cg] || o2[cf] == o2[cg];
+                if wrong {
+                    assert!(
+                        flagged,
+                        "fault {fault}: wrong code word accepted at word {i}"
+                    );
+                    break;
+                }
+                // Even when outputs are still right, a flagged pair is fine
+                // (early detection) — no assertion needed.
+            }
+        }
+    }
+
+    #[test]
+    fn phi_stem_fault_is_caught_by_nonalternation() {
+        let m = kohavi_0101();
+        let scal = code_conversion_machine(&m);
+        let phi = scal
+            .circuit
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&i| scal.circuit.name(i) == Some("phi"))
+            .unwrap();
+        assert_eq!(scal.circuit.view(phi), NodeView::Input);
+        for stuck in [false, true] {
+            let mut drv = AltSeqDriver::new(&scal);
+            drv.attach(scal_netlist::Override {
+                site: Site::Stem(phi),
+                value: stuck,
+            });
+            let mut caught = false;
+            for &s in &[0u32, 1, 0, 1] {
+                let (_, alternating, code_ok) = drv.apply_checked(&[s == 1]);
+                if !alternating || !code_ok {
+                    caught = true;
+                    break;
+                }
+            }
+            assert!(caught, "φ stuck-at-{stuck} must be flagged");
+        }
+    }
+}

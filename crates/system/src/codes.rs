@@ -1,0 +1,275 @@
+//! Space-domain codes for system encoding (§7.2): parity, m-out-of-n, and
+//! Berger — "the most cost-effective self-checking computer system should
+//! use a combination of codes dependent on the performance characteristics
+//! desired".
+//!
+//! These are the codes the paper weighs against alternating logic for each
+//! subsystem: parity for memories/busses (distance 2, one extra line),
+//! m-out-of-n or Berger for space-checked CPUs (unidirectional coverage).
+
+/// A single-error-detecting parity code word over `bits` data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityCode {
+    /// Data width.
+    pub bits: u8,
+}
+
+impl ParityCode {
+    /// Encodes `data` into `(data, parity_bit)` (even parity).
+    #[must_use]
+    pub fn encode(self, data: u8) -> (u8, bool) {
+        (data, data.count_ones() % 2 == 1)
+    }
+
+    /// Checks a received word.
+    #[must_use]
+    pub fn check(self, data: u8, parity: bool) -> bool {
+        (data.count_ones() % 2 == 1) == parity
+    }
+
+    /// Redundant lines added.
+    #[must_use]
+    pub fn overhead(self) -> usize {
+        1
+    }
+}
+
+/// An m-out-of-n code checker: a word is valid iff it has exactly `m` ones
+/// among `n` lines. Detects **all unidirectional faults** (any number of
+/// lines stuck the same way changes the weight monotonically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MOutOfN {
+    /// Required weight.
+    pub m: u8,
+    /// Word width.
+    pub n: u8,
+}
+
+impl MOutOfN {
+    /// `true` iff `word` (low `n` bits) is a code word.
+    #[must_use]
+    pub fn check(self, word: u16) -> bool {
+        let masked = word & ((1u32 << self.n) - 1) as u16;
+        masked.count_ones() == u32::from(self.m)
+    }
+
+    /// Number of code words.
+    #[must_use]
+    pub fn code_words(self) -> u64 {
+        binomial(u64::from(self.n), u64::from(self.m))
+    }
+
+    /// Information capacity in bits (log2 of the code-word count, floored).
+    #[must_use]
+    pub fn capacity_bits(self) -> u32 {
+        63 - self.code_words().leading_zeros()
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+/// A Berger code word: data bits plus the binary count of *zeros* in the
+/// data. The cheapest separable all-unidirectional-fault-detecting code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BergerCode {
+    /// Data width (≤ 8 here).
+    pub bits: u8,
+}
+
+impl BergerCode {
+    /// Number of check bits: ⌈log2(bits + 1)⌉.
+    #[must_use]
+    pub fn check_bits(self) -> u8 {
+        let mut b = 0u8;
+        while (1u16 << b) < u16::from(self.bits) + 1 {
+            b += 1;
+        }
+        b
+    }
+
+    /// Encodes `data` into `(data, zero_count)`.
+    #[must_use]
+    pub fn encode(self, data: u8) -> (u8, u8) {
+        let masked = if self.bits == 8 {
+            data
+        } else {
+            data & ((1u16 << self.bits) - 1) as u8
+        };
+        (masked, self.bits - masked.count_ones() as u8)
+    }
+
+    /// Checks a received pair.
+    #[must_use]
+    pub fn check(self, data: u8, zero_count: u8) -> bool {
+        self.encode(data).1 == zero_count
+    }
+}
+
+/// Detects whether a unidirectional corruption (some subset of lines forced
+/// to one value) escapes each code — the comparison behind the paper's
+/// claim that parity covers *single* faults while m-out-of-n/Berger cover
+/// *unidirectional* ones.
+#[must_use]
+pub fn unidirectional_escape_rates() -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+
+    // Parity on 8 bits: flip k bits all one way; escapes iff k even.
+    let parity = ParityCode { bits: 8 };
+    let mut escapes = 0usize;
+    let mut total = 0usize;
+    for data in 0..=255u8 {
+        let (d, p) = parity.encode(data);
+        // All unidirectional-to-1 corruptions of nonempty line subsets.
+        for mask in 1..=255u8 {
+            let corrupted = d | mask;
+            if corrupted == d {
+                continue; // not actually a change
+            }
+            total += 1;
+            if parity.check(corrupted, p) {
+                escapes += 1;
+            }
+        }
+    }
+    out.push(("parity(8)", escapes as f64 / total as f64));
+
+    // Berger on 8 bits: zero escapes by construction.
+    let berger = BergerCode { bits: 8 };
+    let mut escapes = 0usize;
+    let mut total = 0usize;
+    for data in 0..=255u8 {
+        let (d, z) = berger.encode(data);
+        for mask in 1..=255u8 {
+            let corrupted = d | mask;
+            if corrupted == d {
+                continue;
+            }
+            total += 1;
+            if berger.check(corrupted, z) {
+                escapes += 1;
+            }
+        }
+    }
+    out.push(("berger(8)", escapes as f64 / total as f64));
+
+    // 3-out-of-6: force subsets of lines to 1.
+    let code = MOutOfN { m: 3, n: 6 };
+    let mut escapes = 0usize;
+    let mut total = 0usize;
+    for word in 0..64u16 {
+        if !code.check(word) {
+            continue;
+        }
+        for mask in 1..64u16 {
+            let corrupted = word | mask;
+            if corrupted == word {
+                continue;
+            }
+            total += 1;
+            if code.check(corrupted) {
+                escapes += 1;
+            }
+        }
+    }
+    out.push(("3-out-of-6", escapes as f64 / total as f64));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_detects_all_single_flips() {
+        let code = ParityCode { bits: 8 };
+        for data in [0u8, 1, 0xAA, 0xFF] {
+            let (d, p) = code.encode(data);
+            assert!(code.check(d, p));
+            for bit in 0..8 {
+                assert!(!code.check(d ^ (1 << bit), p));
+            }
+            assert!(!code.check(d, !p));
+        }
+    }
+
+    #[test]
+    fn m_out_of_n_counts() {
+        let code = MOutOfN { m: 2, n: 4 };
+        assert_eq!(code.code_words(), 6);
+        assert_eq!(code.capacity_bits(), 2);
+        assert!(code.check(0b0011));
+        assert!(!code.check(0b0111));
+        assert!(!code.check(0b0001));
+    }
+
+    #[test]
+    fn m_out_of_n_catches_every_unidirectional_fault() {
+        let code = MOutOfN { m: 3, n: 6 };
+        for word in 0..64u16 {
+            if !code.check(word) {
+                continue;
+            }
+            for mask in 1..64u16 {
+                let up = word | mask;
+                if up != word {
+                    assert!(!code.check(up), "word {word:06b} mask {mask:06b}");
+                }
+                let down = word & !mask;
+                if down != word {
+                    assert!(!code.check(down));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn berger_check_bits_and_round_trip() {
+        for bits in 1..=8u8 {
+            let code = BergerCode { bits };
+            assert!(code.check_bits() <= 4);
+            for data in 0..(1u16 << bits) {
+                let (d, z) = code.encode(data as u8);
+                assert!(code.check(d, z));
+            }
+        }
+        assert_eq!(BergerCode { bits: 8 }.check_bits(), 4);
+        assert_eq!(BergerCode { bits: 7 }.check_bits(), 3);
+    }
+
+    #[test]
+    fn berger_catches_every_unidirectional_fault() {
+        let code = BergerCode { bits: 6 };
+        for data in 0..64u8 {
+            let (d, z) = code.encode(data);
+            for mask in 1..64u8 {
+                let up = d | mask;
+                if up != d {
+                    assert!(!code.check(up, z), "up {d:06b} mask {mask:06b}");
+                }
+                let down = d & !mask;
+                if down != d {
+                    assert!(!code.check(down, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_rate_ordering_matches_the_paper() {
+        let rates = unidirectional_escape_rates();
+        let get = |name: &str| rates.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!(get("parity(8)") > 0.0, "parity misses even-weight bursts");
+        assert_eq!(get("berger(8)"), 0.0);
+        assert_eq!(get("3-out-of-6"), 0.0);
+    }
+}

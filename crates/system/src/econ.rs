@@ -1,0 +1,133 @@
+//! The reliability-economics trade-off of §7.2 / Fig. 7.2.
+//!
+//! The paper argues by a benefit/cost/utility sketch that for typical cost
+//! curves, single-fault protection maximizes utility: benefit saturates as
+//! protection widens while cost keeps climbing, so "the peak utility is
+//! reached when single fault protection is used".
+
+/// Discrete degrees of fault protection (the x-axis of Fig. 7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protection {
+    /// No checking at all.
+    None,
+    /// Single stuck-at fault protection (the SCAL design point).
+    SingleFault,
+    /// Unidirectional multi-line faults.
+    Unidirectional,
+    /// Arbitrary multiple faults.
+    MultipleFault,
+}
+
+impl Protection {
+    /// All degrees in increasing order of coverage.
+    #[must_use]
+    pub fn all() -> [Protection; 4] {
+        [
+            Protection::None,
+            Protection::SingleFault,
+            Protection::Unidirectional,
+            Protection::MultipleFault,
+        ]
+    }
+
+    /// Fraction of field failures covered under the paper's single-fault
+    /// prevalence assumption (§1.2: "a high percentage of the physical
+    /// failures … manifested as logical failures on a single line").
+    #[must_use]
+    pub fn coverage(self) -> f64 {
+        match self {
+            Protection::None => 0.0,
+            Protection::SingleFault => 0.90,
+            Protection::Unidirectional => 0.96,
+            Protection::MultipleFault => 0.99,
+        }
+    }
+
+    /// Relative hardware/design cost of optimal designs achieving the
+    /// degree (cost grows super-linearly in coverage).
+    #[must_use]
+    pub fn cost(self) -> f64 {
+        match self {
+            Protection::None => 0.0,
+            Protection::SingleFault => 1.0,
+            Protection::Unidirectional => 2.2,
+            Protection::MultipleFault => 4.0,
+        }
+    }
+}
+
+/// One bar group of Fig. 7.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EconPoint {
+    /// The protection degree.
+    pub degree: Protection,
+    /// Owner benefit of the achieved reliability.
+    pub benefit: f64,
+    /// Design cost.
+    pub cost: f64,
+    /// Utility = benefit − cost.
+    pub utility: f64,
+}
+
+/// Evaluates the trade-off for a given value-of-coverage scale
+/// (benefit = `value * coverage`).
+#[must_use]
+pub fn trade_off(value: f64) -> Vec<EconPoint> {
+    Protection::all()
+        .into_iter()
+        .map(|d| {
+            let benefit = value * d.coverage();
+            let cost = d.cost();
+            EconPoint {
+                degree: d,
+                benefit,
+                cost,
+                utility: benefit - cost,
+            }
+        })
+        .collect()
+}
+
+/// The degree with maximum utility.
+#[must_use]
+pub fn optimal_degree(value: f64) -> Protection {
+    trade_off(value)
+        .into_iter()
+        .max_by(|a, b| a.utility.partial_cmp(&b.utility).expect("finite"))
+        .expect("non-empty")
+        .degree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fault_peaks_for_typical_values() {
+        // Fig 7.2's qualitative claim: for the plotted (typical) curves the
+        // peak utility lands on single-fault protection.
+        for value in [2.0, 3.0, 5.0, 10.0] {
+            assert_eq!(
+                optimal_degree(value),
+                Protection::SingleFault,
+                "value={value}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_move_the_optimum() {
+        // Worthless reliability: do nothing. Priceless: pay for everything.
+        assert_eq!(optimal_degree(0.1), Protection::None);
+        assert_eq!(optimal_degree(200.0), Protection::MultipleFault);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let points = trade_off(5.0);
+        for w in points.windows(2) {
+            assert!(w[1].benefit >= w[0].benefit);
+            assert!(w[1].cost >= w[0].cost);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! SCAL computer design — Chapter 7 of the paper.
+//!
+//! The chapter's thesis: the most cost-effective self-checking computer
+//! matches each subsystem's code to its failure mode (Fig. 7.1/7.3):
+//!
+//! * the **CPU** runs alternating logic (time redundancy — cheapest where
+//!   generating a space code would double the hardware);
+//! * the **memory** and **bus** carry a single-bit **parity** code (cheapest
+//!   where lines fail independently), with the address parity folded in to
+//!   cover addressing faults (Dussault);
+//! * the **ALPT/PALT translators** of Chapter 4 convert between the two at
+//!   the boundary;
+//! * a system **TSCC** plus the hardcore clock-disable of Chapter 5 close
+//!   the loop.
+//!
+//! This crate builds that computer: a small accumulator CPU whose datapath
+//! (self-dual adder of Fig. 2.2, logic unit, shifter and status latches of
+//! Fig. 7.4) is *gate-level* SCAL driven in two-period alternating mode —
+//! the control sequencer is host code, playing the paper's hardcore — plus
+//! the Fig. 7.5 fault-tolerant configurations (ADR-style SCAL+normal pair,
+//! and a TMR baseline) and the Fig. 7.2 reliability-economics model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adr;
+pub mod codes;
+pub mod cpu;
+pub mod datapath;
+pub mod econ;
+pub mod encoding;
+pub mod machine;
+pub mod memory;
+pub mod programs;
+pub mod retry;
+pub mod status;
+pub mod tmr;
+
+pub use cpu::{CheckError, Cpu, CpuMode, Op, Program, RunStats};
+pub use datapath::Datapath;
+pub use machine::ScalComputer;
+pub use memory::ParityMemory;

@@ -1,0 +1,253 @@
+//! The complete SCAL computer (Fig. 7.3): alternating CPU, parity memory,
+//! and the real ALPT/PALT translator netlists at the bus boundary, with
+//! latching fault containment.
+
+use crate::cpu::{CheckError, Cpu, CpuMode, Program, RunStats};
+use scal_netlist::{Circuit, Sim};
+use scal_seq::{alpt, palt};
+
+/// The CPU word width used by the bus translators.
+const WORD: usize = crate::datapath::WORD;
+
+/// The bus boundary of Fig. 7.3: a Chapter-4 ALPT on the way out of the
+/// alternating domain and a PALT on the way back in, both instantiated as
+/// the actual gate-level translator netlists and *simulated* per transfer.
+#[derive(Debug)]
+pub struct BusTranslator {
+    alpt: Circuit,
+    palt: Circuit,
+}
+
+impl Default for BusTranslator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusTranslator {
+    /// Builds 8-bit translators.
+    #[must_use]
+    pub fn new() -> Self {
+        BusTranslator {
+            alpt: alpt(WORD),
+            palt: palt(WORD),
+        }
+    }
+
+    /// Sends the alternating pair `(v, v̄)` through the ALPT netlist and
+    /// returns the stored `(data, parity)` word. The data rail carries the
+    /// complemented word (see `scal_seq::translator`); overall word parity
+    /// is the code invariant.
+    #[must_use]
+    pub fn store(&self, v: u8) -> (u8, bool) {
+        let mut sim = Sim::new(&self.alpt);
+        let mut p1: Vec<bool> = (0..WORD).map(|i| (v >> i) & 1 == 1).collect();
+        p1.push(false);
+        sim.step(&p1);
+        let mut p2: Vec<bool> = (0..WORD).map(|i| (v >> i) & 1 == 0).collect();
+        p2.push(true);
+        sim.step(&p2);
+        let state = sim.state();
+        let mut t = 0u8;
+        for i in 0..WORD {
+            t |= u8::from(state[i]) << i;
+        }
+        (t, state[WORD])
+    }
+
+    /// Reads a stored `(data, parity)` word back through the PALT netlist:
+    /// returns `(first-period word, second-period word, code_ok)` where
+    /// `code_ok` requires the 1-out-of-2 check pair to be one-hot in both
+    /// periods.
+    #[must_use]
+    pub fn load(&self, t: u8, tp: bool) -> (u8, u8, bool) {
+        let eval = |phi: bool| -> (u8, bool) {
+            let mut ins: Vec<bool> = (0..WORD).map(|i| (t >> i) & 1 == 1).collect();
+            ins.push(tp);
+            ins.push(phi);
+            let out = self.palt.eval(&ins);
+            let mut w = 0u8;
+            for i in 0..WORD {
+                w |= u8::from(out[i]) << i;
+            }
+            (w, out[WORD] != out[WORD + 1])
+        };
+        let (w1, ok1) = eval(false);
+        let (w2, ok2) = eval(true);
+        (w1, w2, ok1 && ok2)
+    }
+
+    /// Full round trip: `v` out through the ALPT, back through the PALT,
+    /// optionally with `corrupt_bit` flipped in the stored word (a bus or
+    /// memory fault). Returns `(recovered_value, alternated, code_ok)`.
+    #[must_use]
+    pub fn round_trip(&self, v: u8, corrupt_bit: Option<u8>) -> (u8, bool, bool) {
+        let (mut t, tp) = self.store(v);
+        if let Some(b) = corrupt_bit {
+            if (b as usize) < WORD {
+                t ^= 1 << b;
+            }
+        }
+        let (w1, w2, code_ok) = self.load(t, tp);
+        (w1, w1 == !w2, code_ok)
+    }
+}
+
+/// The assembled computer: an alternating-mode [`Cpu`] behind a latching
+/// system checker (the Fig. 5.7 discipline: the first detected fault is held
+/// and all further operation refused until repair), plus the bus translators
+/// for external transfers.
+#[derive(Debug)]
+pub struct ScalComputer {
+    /// The processor (public for fault injection).
+    pub cpu: Cpu,
+    /// The bus boundary.
+    pub bus: BusTranslator,
+    latched: Option<CheckError>,
+}
+
+impl Default for ScalComputer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScalComputer {
+    /// Builds the computer.
+    #[must_use]
+    pub fn new() -> Self {
+        ScalComputer {
+            cpu: Cpu::new(CpuMode::Alternating),
+            bus: BusTranslator::new(),
+            latched: None,
+        }
+    }
+
+    /// The latched fault, if any (Fig. 5.7 semantics).
+    #[must_use]
+    pub fn latched_fault(&self) -> Option<&CheckError> {
+        self.latched.as_ref()
+    }
+
+    /// Runs a program to completion under the latching checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`CheckError`] — once latched, all later calls
+    /// fail immediately with the same fault until [`ScalComputer::repair`].
+    pub fn run(&mut self, program: &Program, budget: u64) -> Result<RunStats, CheckError> {
+        if let Some(f) = &self.latched {
+            return Err(f.clone());
+        }
+        match self.cpu.run(program, budget) {
+            Ok(stats) => Ok(stats),
+            Err(e) => {
+                self.latched = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Clears the latched fault (maintenance action).
+    pub fn repair(&mut self) {
+        self.latched = None;
+        self.cpu.datapath.clear_faults();
+        self.cpu.memory.repair();
+    }
+
+    /// Transfers a value out over the checked bus and back (exercising the
+    /// real translator netlists), latching any code violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and latches) a [`CheckError::NonAlternating`] if the PALT
+    /// code pair flags the transfer.
+    pub fn bus_round_trip(&mut self, v: u8) -> Result<u8, CheckError> {
+        if let Some(f) = &self.latched {
+            return Err(f.clone());
+        }
+        let (w, alternated, code_ok) = self.bus.round_trip(v, None);
+        if alternated && code_ok {
+            Ok(w)
+        } else {
+            let e = CheckError::NonAlternating {
+                unit: "bus translator",
+                pc: self.cpu.pc(),
+            };
+            self.latched = Some(e.clone());
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Op;
+    use scal_netlist::Override;
+
+    #[test]
+    fn bus_round_trip_recovers_every_value() {
+        let bus = BusTranslator::new();
+        for v in [0u8, 1, 0x55, 0xAA, 0xFF, 37] {
+            let (w, alternated, code_ok) = bus.round_trip(v, None);
+            assert_eq!(w, v);
+            assert!(alternated && code_ok);
+        }
+    }
+
+    #[test]
+    fn bus_flags_any_single_stored_bit_corruption() {
+        let bus = BusTranslator::new();
+        for v in [0u8, 0x3C, 0xFF] {
+            for bit in 0..8u8 {
+                let (_, _, code_ok) = bus.round_trip(v, Some(bit));
+                assert!(!code_ok, "v={v:#x} bit {bit} must break the code");
+            }
+        }
+    }
+
+    #[test]
+    fn computer_runs_programs() {
+        let mut pc = ScalComputer::new();
+        let p = Program(vec![
+            Op::Ldi(20),
+            Op::Sta(1),
+            Op::Ldi(22),
+            Op::Add(1),
+            Op::Sta(2),
+            Op::Hlt,
+        ]);
+        pc.run(&p, 100).unwrap();
+        assert_eq!(pc.cpu.memory.read(2).unwrap(), 42);
+        assert!(pc.latched_fault().is_none());
+    }
+
+    #[test]
+    fn fault_latches_and_blocks_until_repair() {
+        let mut pc = ScalComputer::new();
+        let s0 = pc.cpu.datapath.adder.outputs()[0].node;
+        pc.cpu.datapath.fault_adder(Override::stem(s0, true));
+        let p = Program(vec![
+            Op::Ldi(2),
+            Op::Sta(1),
+            Op::Ldi(2),
+            Op::Add(1),
+            Op::Hlt,
+        ]);
+        let err = pc.run(&p, 100).unwrap_err();
+        assert!(matches!(err, CheckError::NonAlternating { .. }));
+        // Latched: even a clean request now fails with the same fault.
+        let again = pc.run(&Program(vec![Op::Hlt]), 10).unwrap_err();
+        assert_eq!(err, again);
+        pc.repair();
+        // After repair the machine is usable (fresh CPU state retained).
+        assert!(pc.latched_fault().is_none());
+    }
+
+    #[test]
+    fn checked_bus_transfer_through_machine() {
+        let mut pc = ScalComputer::new();
+        assert_eq!(pc.bus_round_trip(0x5A).unwrap(), 0x5A);
+    }
+}

@@ -1,0 +1,125 @@
+//! The self-dual shift and status storage of Fig. 7.4, at gate level.
+//!
+//! In an alternating-logic CPU, registers see each value twice — true, then
+//! complemented. Fig. 7.4a realizes a shift register stage with **two**
+//! flip-flops per bit so the stored stream stays alternating; Fig. 7.4b
+//! stores each status condition in two flip-flops (value and complement
+//! captured in consecutive periods), so status read-out alternates and is
+//! checkable like any other SCAL line.
+
+use scal_netlist::{Circuit, NodeId, Sim};
+
+/// Builds the Fig. 7.4a self-dual serial shift register: `bits` stages, one
+/// serial input, one serial output, two flip-flops per stage (the input
+/// stream `(v, v̄, …)` emerges unchanged `2·bits` periods later).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+#[must_use]
+pub fn shift_register(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut c = Circuit::new();
+    let input = c.input("serial_in");
+    let mut wire: NodeId = input;
+    for _ in 0..bits {
+        let ff1 = c.dff(false);
+        let ff2 = c.dff(true); // staggered inits keep power-up alternating
+        c.connect_dff(ff1, wire);
+        c.connect_dff(ff2, ff1);
+        wire = ff2;
+    }
+    c.mark_output("serial_out", wire);
+    c
+}
+
+/// Builds the Fig. 7.4b status store for one condition: input `status`
+/// (alternating), outputs the latched pair one period behind. Fault-free,
+/// the output pair alternates exactly like the input.
+#[must_use]
+pub fn status_store() -> Circuit {
+    let mut c = Circuit::new();
+    let status = c.input("status");
+    let ff1 = c.dff(false);
+    let ff2 = c.dff(true);
+    c.connect_dff(ff1, status);
+    c.connect_dff(ff2, ff1);
+    c.mark_output("q", ff2);
+    c
+}
+
+/// Drives an alternating bit stream through a circuit with one input and
+/// one output, returning the output stream.
+#[must_use]
+pub fn drive_stream(circuit: &Circuit, values: &[bool]) -> Vec<bool> {
+    let mut sim = Sim::new(circuit);
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        out.push(sim.step(&[v])[0]);
+        out.push(sim.step(&[!v])[0]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_register_delays_the_alternating_stream() {
+        let bits = 3;
+        let c = shift_register(bits);
+        assert_eq!(c.cost().flip_flops, 2 * bits);
+        let values = [true, false, false, true, true, false, true, false];
+        let out = drive_stream(&c, &values);
+        // After the 2*bits-period fill, the output replays the input stream.
+        let delay = 2 * bits;
+        for (i, &v) in values.iter().enumerate() {
+            let t = 2 * i + delay;
+            if t + 1 < out.len() {
+                assert_eq!(out[t], v, "value {i}");
+                assert_eq!(out[t + 1], !v, "complement {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_register_output_alternates_even_during_fill() {
+        let c = shift_register(4);
+        let out = drive_stream(&c, &[true, true, false, true, false, false]);
+        for pair in out.chunks(2) {
+            assert_ne!(pair[0], pair[1], "power-up inits must keep alternation");
+        }
+    }
+
+    #[test]
+    fn status_store_keeps_alternation_and_value() {
+        let c = status_store();
+        let values = [true, false, true, true, false];
+        let out = drive_stream(&c, &values);
+        for (i, &v) in values.iter().enumerate() {
+            let t = 2 * i + 2;
+            if t + 1 < out.len() {
+                assert_eq!(out[t], v);
+                assert_eq!(out[t + 1], !v);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_flip_flop_breaks_alternation_detectably() {
+        let c = status_store();
+        let ff = c.dffs()[0];
+        let mut sim = Sim::new(&c);
+        sim.attach(scal_netlist::Override::stem(ff, true));
+        let mut nonalt = false;
+        for v in [true, false, true, false] {
+            let o1 = sim.step(&[v])[0];
+            let o2 = sim.step(&[!v])[0];
+            if o1 == o2 {
+                nonalt = true;
+            }
+        }
+        assert!(nonalt, "a stuck status flip-flop must break alternation");
+    }
+}

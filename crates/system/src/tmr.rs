@@ -1,0 +1,105 @@
+//! Triple modular redundancy baseline (the comparison point of §7.4).
+
+use crate::cpu::{Cpu, CpuMode, Program};
+
+/// Result of a TMR run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmrOutcome {
+    /// Final voted accumulator.
+    pub acc: u8,
+    /// Instructions retired (per member).
+    pub instructions: u64,
+    /// Steps at which the voter had to out-vote a member.
+    pub corrections: u64,
+    /// Total datapath periods across all three members (the 3× hardware,
+    /// 1× time trade).
+    pub periods: u64,
+}
+
+/// Runs `program` on three CPUs with majority voting after each step.
+/// `faulty_member` (0..3) optionally gets a stuck adder sum-bit.
+///
+/// # Panics
+///
+/// Panics if `faulty_member >= 3` or the budget is exhausted abnormally.
+#[must_use]
+pub fn run_tmr(program: &Program, faulty_member: Option<(usize, u8)>) -> TmrOutcome {
+    let mut cpus = [
+        Cpu::new(CpuMode::Normal),
+        Cpu::new(CpuMode::Normal),
+        Cpu::new(CpuMode::Normal),
+    ];
+    if let Some((m, bit)) = faulty_member {
+        assert!(m < 3);
+        let node = cpus[m].datapath.adder.outputs()[bit as usize].node;
+        cpus[m]
+            .datapath
+            .fault_adder(scal_netlist::Override::stem(node, false));
+    }
+
+    let mut out = TmrOutcome {
+        acc: 0,
+        instructions: 0,
+        corrections: 0,
+        periods: 0,
+    };
+    let budget = 100_000u64;
+    for _ in 0..budget {
+        for cpu in &mut cpus {
+            cpu.step(program).expect("members run unchecked");
+        }
+        out.instructions += 1;
+        // Majority vote on (acc, pc); out-voted member is resynchronized.
+        let keys: Vec<(u8, usize, bool)> = cpus
+            .iter()
+            .map(|c| (c.acc(), c.pc(), c.zero_flag()))
+            .collect();
+        let majority = (0..3)
+            .find(|&i| keys.iter().filter(|&&k| k == keys[i]).count() >= 2)
+            .expect("a single fault cannot break majority");
+        for i in 0..3 {
+            if keys[i] != keys[majority] {
+                out.corrections += 1;
+                let reference = cpus[majority].clone_architectural();
+                cpus[i].copy_architectural_state(&reference);
+            }
+        }
+        if cpus.iter().all(|c| c.halted()) {
+            break;
+        }
+    }
+    out.acc = cpus[0].acc();
+    out.periods = cpus.iter().map(|c| c.stats().periods).sum();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adr::sum_program;
+
+    #[test]
+    fn fault_free_tmr_completes() {
+        let out = run_tmr(&sum_program(10), None);
+        assert_eq!(out.corrections, 0);
+        assert!(out.instructions > 10);
+    }
+
+    #[test]
+    fn single_faulty_member_is_outvoted() {
+        let out = run_tmr(&sum_program(9), Some((1, 0)));
+        assert!(out.corrections >= 1, "voter must fire");
+        // The voted result matches the fault-free run.
+        let clean = run_tmr(&sum_program(9), None);
+        assert_eq!(out.acc, clean.acc);
+        assert_eq!(out.instructions, clean.instructions);
+    }
+
+    #[test]
+    fn tmr_triples_the_periods() {
+        let out = run_tmr(&sum_program(5), None);
+        let mut single = Cpu::new(CpuMode::Normal);
+        single.run(&sum_program(5), 100_000).unwrap();
+        assert_eq!(out.periods, 3 * single.stats().periods);
+    }
+}

@@ -1,0 +1,77 @@
+//! The designer's workflow of Chapter 3: analyze a hand-built alternating
+//! network with Algorithm 3.1, find the line that defeats self-checking,
+//! derive stuck-at tests, and fix the network.
+//!
+//! ```text
+//! cargo run --example design_analysis
+//! ```
+
+use scal::analysis::{analyze, derive_tests, make_self_checking};
+use scal::core::paper::{fig3_4, fig3_7};
+use scal::core::verify;
+
+fn main() {
+    // The paper's (reconstructed) Fig 3.4 network: three shared-logic
+    // outputs F1 = MAJ(a',b,c), F2 = a^b^c, F3 = MAJ(a,b,c).
+    let fig = fig3_4();
+    let report = analyze(&fig.circuit).expect("analyzable");
+
+    println!("Algorithm 3.1 on the Fig 3.4 network:");
+    println!("  lines analysed : {}", report.lines.len());
+    println!("  self-checking  : {}", report.self_checking);
+    for site in &report.offending {
+        let label = fig
+            .labels
+            .iter()
+            .find(|(s, _)| s == site)
+            .map_or("(internal line)", |(_, l)| *l);
+        println!("  offending line : {site}  {label}");
+    }
+
+    // The shared "line 9" fails the single-output conditions on F2 but is
+    // rescued by the multiple-output relaxation (Corollary 3.2).
+    let l9 = report.line(fig.line9).expect("analysed");
+    println!(
+        "\nline 9 (shared NAND): needs Cor. 3.2: {}, rescued: {}",
+        l9.needs_multi_output, l9.multi_output_ok
+    );
+
+    // Derive Theorem 3.2 tests for the offending line on output F2.
+    let (t0, t1) = derive_tests(&fig.circuit, fig.line20, 1);
+    println!(
+        "line 20 stuck-at-0: E = 0? {} (tests exist only if true); stuck-at-1: {}",
+        t0.e_zero, t1.e_zero
+    );
+    println!(
+        "  -> the incorrect-alternating condition of Theorem 3.1 holds: the fault is UNtestable by \
+         alternation checking, so the network is not self-checking"
+    );
+
+    // Fix it the Fig 3.7 way: duplicate the XOR subnetwork so line 20 no
+    // longer fans out, then re-verify.
+    let fixed = fig3_7();
+    let report = analyze(&fixed.circuit).expect("analyzable");
+    let verdict = verify(&fixed.circuit).expect("verifiable");
+    println!(
+        "\nafter the Fig 3.7 fix: Algorithm 3.1 self-checking: {}, exhaustive campaign fault-secure: {} \
+         ({} faults)",
+        report.self_checking, verdict.fault_secure, verdict.fault_count
+    );
+    assert!(report.self_checking && verdict.is_self_checking());
+    println!(
+        "fix cost: {} -> {} gates",
+        fig.circuit.cost().gates,
+        fixed.circuit.cost().gates
+    );
+
+    // Or let the library do it: the automatic fanout-splitting repair finds
+    // the same fix.
+    let (auto_fixed, repair) = make_self_checking(&fig.circuit).expect("analyzable");
+    println!(
+        "\nautomatic repair: {} split(s), {} gates, self-checking: {}",
+        repair.splits,
+        auto_fixed.cost().gates,
+        repair.self_checking
+    );
+    assert!(repair.self_checking);
+}

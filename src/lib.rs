@@ -1,0 +1,57 @@
+//! # scal — Self-Checking Alternating Logic
+//!
+//! The umbrella crate of a full Rust reproduction of *"Self-Checking
+//! Alternating Logic: Sequential Circuit Design"* (Woodard & Metze, ISCA
+//! 1978; full-length source: Woodard's thesis, CSL report R-788, 1977).
+//!
+//! Alternating logic detects faults with **time redundancy**: a network
+//! realizing a self-dual function receives every input word twice — true,
+//! then complemented — and must answer with complementary outputs. Under the
+//! single stuck-at model, a fault either cannot corrupt a code word or shows
+//! up as a *non-alternating* pair that a simple checker catches.
+//!
+//! Each module re-exports one subsystem crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`logic`] | `scal-logic` | truth tables, duals, self-dualization, Quine–McCluskey, expressions |
+//! | [`netlist`] | `scal-netlist` | gate-level circuits, evaluation, simulation, structure, cost, text/DOT |
+//! | [`faults`] | `scal-faults` | stuck-at model, alternating-pair fault simulation |
+//! | [`analysis`] | `scal-analysis` | Algorithm 3.1, test derivation/generation, redundancy removal, repair |
+//! | [`core`] | `scal-core` | SCAL verification engine, dualization, the paper's circuits |
+//! | [`checkers`] | `scal-checkers` | two-rail/XOR/mixed checkers, hardcore, system composition |
+//! | [`minority`] | `scal-minority` | minority modules, NAND/NOR → alternating conversion |
+//! | [`seq`] | `scal-seq` | sequential SCAL: dual flip-flop & code-conversion designs, ALPT/PALT |
+//! | [`system`] | `scal-system` | the SCAL computer, ADR/TMR, space codes, economics |
+//!
+//! ```
+//! use scal::core::{dualize_synthesized, verify};
+//! use scal::netlist::Circuit;
+//!
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let f = c.and(&[a, b]);
+//! c.mark_output("f", f);
+//!
+//! let alternating = dualize_synthesized(&c);
+//! assert!(verify(&alternating).unwrap().is_self_checking());
+//! ```
+//!
+//! See `README.md`, `DESIGN.md`, and `EXPERIMENTS.md` in the repository
+//! root, the five runnable programs in `examples/`, and the table/figure
+//! regenerators in `scal-bench` (`cargo run -p scal-bench --bin experiments
+//! -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use scal_analysis as analysis;
+pub use scal_checkers as checkers;
+pub use scal_core as core;
+pub use scal_faults as faults;
+pub use scal_logic as logic;
+pub use scal_minority as minority;
+pub use scal_netlist as netlist;
+pub use scal_seq as seq;
+pub use scal_system as system;

@@ -1,0 +1,196 @@
+//! Cross-crate integration: the full design pipeline from a plain function
+//! to a verified SCAL system.
+
+use scal::analysis::analyze;
+use scal::core::{dualize_synthesized, verify};
+use scal::faults::run_campaign;
+use scal::minority::convert_to_alternating;
+use scal::netlist::Circuit;
+use scal::seq::dual_ff::AltSeqDriver;
+use scal::seq::{code_conversion_machine, dual_ff_machine, StateMachine};
+
+/// A plain multi-output design used across the pipeline tests.
+fn plain_design() -> Circuit {
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let d = c.input("c");
+    let g1 = c.and(&[a, b]);
+    let g2 = c.or(&[g1, d]);
+    let g3 = c.xor(&[a, d]);
+    c.mark_output("f1", g2);
+    c.mark_output("f2", g3);
+    c
+}
+
+#[test]
+fn combinational_pipeline_dualize_analyze_verify() {
+    let design = plain_design();
+    let alternating = dualize_synthesized(&design);
+
+    // Theorem 2.1: alternating network iff self-dual.
+    for tt in alternating.output_tts() {
+        assert!(tt.is_self_dual());
+    }
+
+    // Algorithm 3.1 and the exhaustive campaign agree line by line.
+    let report = analyze(&alternating).expect("analyzable");
+    let verdict = verify(&alternating).expect("verifiable");
+    assert_eq!(report.self_checking, verdict.is_self_checking());
+    assert!(verdict.is_self_checking());
+
+    let campaign = run_campaign(&alternating);
+    for line in &report.lines {
+        let sim_secure = campaign
+            .iter()
+            .filter(|r| r.fault.site == line.site)
+            .all(scal::faults::CampaignResult::fault_secure);
+        assert_eq!(line.fault_secure, sim_secure, "line {}", line.site);
+    }
+}
+
+#[test]
+fn nand_pipeline_through_minority_modules() {
+    // Build a pure-NAND version of a function, convert to minority modules,
+    // verify equivalence and self-checking.
+    let mut c = Circuit::new();
+    let a = c.input("a");
+    let b = c.input("b");
+    let d = c.input("c");
+    let g1 = c.nand(&[a, b]);
+    let g2 = c.nand(&[g1, d]);
+    let g3 = c.nand(&[g1, g2]);
+    c.mark_output("f", g3);
+
+    let alt = convert_to_alternating(&c).expect("pure NAND net");
+    // Period-1 restriction equals the original.
+    let orig = c.output_tt(0);
+    let tt = alt.output_tt(0);
+    for m in 0..8u32 {
+        assert_eq!(tt.eval(m), orig.eval(m));
+    }
+    // Verified SCAL.
+    let verdict = verify(&alt).expect("verifiable");
+    assert!(verdict.is_self_checking());
+}
+
+#[test]
+fn sequential_pipeline_both_designs_agree_with_the_machine() {
+    // A 3-state machine exercising unused-state codes.
+    let mut m = StateMachine::new("mod3-counter", 3, 1, 2);
+    for s in 0..3 {
+        let out = [(s & 1) == 1, (s >> 1) == 1];
+        m.set(s, 0, s, &out); // hold
+        m.set(s, 1, (s + 1) % 3, &out); // count
+    }
+
+    let inputs = [1u32, 1, 0, 1, 1, 1, 0, 0, 1, 1];
+    let golden = m.run(&inputs);
+
+    for scal_machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+        let mut drv = AltSeqDriver::new(&scal_machine);
+        for (i, &s) in inputs.iter().enumerate() {
+            let (o1, o2) = drv.apply(&[s == 1]);
+            assert_eq!(o1[0], golden[i][0], "{} z0 word {i}", scal_machine.design);
+            assert_eq!(o1[1], golden[i][1], "{} z1 word {i}", scal_machine.design);
+            for k in scal_machine.monitored() {
+                assert_ne!(o1[k], o2[k], "{} line {k} word {i}", scal_machine.design);
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_fault_security_holds_for_both_designs() {
+    let mut m = StateMachine::new("toggle", 2, 1, 1);
+    m.set(0, 0, 0, &[false]);
+    m.set(0, 1, 1, &[false]);
+    m.set(1, 0, 1, &[true]);
+    m.set(1, 1, 0, &[true]);
+
+    let words: Vec<Vec<bool>> = [1u32, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0]
+        .iter()
+        .map(|&s| vec![s == 1])
+        .collect();
+
+    for scal_machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+        let mut golden = Vec::new();
+        {
+            let mut drv = AltSeqDriver::new(&scal_machine);
+            for w in &words {
+                golden.push(drv.apply(w));
+            }
+        }
+        for fault in scal_machine.checkable_faults() {
+            let mut drv = AltSeqDriver::new(&scal_machine);
+            drv.attach(fault.to_override());
+            for (i, w) in words.iter().enumerate() {
+                let (o1, o2) = drv.apply(w);
+                let mon = scal_machine.monitored();
+                let wrong = mon
+                    .clone()
+                    .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
+                if wrong {
+                    let nonalt = mon.clone().any(|k| o1[k] == o2[k]);
+                    let code_bad = scal_machine
+                        .code_pair
+                        .map(|(f, g)| o1[f] == o1[g] || o2[f] == o2[g])
+                        .unwrap_or(false);
+                    assert!(
+                        nonalt || code_bad,
+                        "{}: fault {fault} slipped a wrong code word at word {i}",
+                        scal_machine.design
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn checker_closes_the_loop_on_a_scal_network() {
+    // Feed a verified SCAL network's outputs into the Reynolds dual-rail
+    // checker: fault-free words check valid, an injected network fault is
+    // flagged by the checker (not just by inspection).
+    use scal::checkers::two_rail::reynolds_checker;
+    use scal::netlist::Sim;
+
+    let design = plain_design();
+    let network = dualize_synthesized(&design);
+    let n_out = network.outputs().len();
+    let checker = reynolds_checker(n_out);
+
+    let drive = |ov: &[scal::netlist::Override], m: u32| -> (Vec<bool>, Vec<bool>) {
+        let n = network.inputs().len();
+        let x: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+        let y: Vec<bool> = x.iter().map(|&b| !b).collect();
+        (network.eval_with(&x, ov), network.eval_with(&y, ov))
+    };
+
+    // Fault-free: checker validates every pair.
+    for m in 0..8u32 {
+        let (o1, o2) = drive(&[], m);
+        let mut sim = Sim::new(&checker);
+        sim.step(&o1);
+        let out = sim.step(&o2);
+        assert_ne!(out[0], out[1], "pair {m} must check valid");
+    }
+
+    // Every detectable fault raises a non-code checker word on some pair.
+    for fault in scal::faults::enumerate_faults(&network) {
+        let ov = [fault.to_override()];
+        let mut flagged = false;
+        for m in 0..8u32 {
+            let (o1, o2) = drive(&ov, m);
+            let mut sim = Sim::new(&checker);
+            sim.step(&o1);
+            let out = sim.step(&o2);
+            if out[0] == out[1] {
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "fault {fault} never flagged by the checker");
+    }
+}

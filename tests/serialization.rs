@@ -1,0 +1,107 @@
+//! Persistence integration: every canonical circuit of the reproduction
+//! survives the text interchange format with behaviour intact, and the DOT
+//! export stays well-formed.
+
+use scal::core::paper;
+use scal::netlist::Circuit;
+
+fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("self_dual_adder", paper::self_dual_adder()),
+        ("ripple_adder_2", paper::ripple_adder(2)),
+        ("fig3_4", paper::fig3_4().circuit),
+        ("fig3_7", paper::fig3_7().circuit),
+        ("fig3_1_example", paper::fig3_1_example().0),
+        ("kohavi", scal::seq::kohavi::kohavi_circuit()),
+        (
+            "reynolds",
+            scal::seq::kohavi::reynolds_circuit().circuit,
+        ),
+        (
+            "translator",
+            scal::seq::kohavi::translator_circuit().circuit,
+        ),
+        ("alpt_4", scal::seq::alpt(4)),
+        ("palt_4", scal::seq::palt(4)),
+        (
+            "checker_8",
+            scal::checkers::two_rail::reynolds_checker(8),
+        ),
+        (
+            "minority_direct",
+            scal::minority::fig6_2_example().direct,
+        ),
+    ]
+}
+
+#[test]
+fn text_round_trip_preserves_combinational_behaviour() {
+    for (name, c) in all_paper_circuits() {
+        let text = c.to_text();
+        let back = Circuit::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back.len(), c.len(), "{name}: node count");
+        assert_eq!(back.cost(), c.cost(), "{name}: cost");
+        assert!(back.validate().is_ok(), "{name}: validity");
+        if !c.is_sequential() && c.inputs().len() <= 12 {
+            assert_eq!(back.output_tts(), c.output_tts(), "{name}: function");
+        }
+    }
+}
+
+#[test]
+fn text_round_trip_preserves_sequential_behaviour() {
+    for (name, c) in all_paper_circuits() {
+        if !c.is_sequential() {
+            continue;
+        }
+        let back = Circuit::from_text(&c.to_text()).unwrap();
+        let mut s1 = scal::netlist::Sim::new(&c);
+        let mut s2 = scal::netlist::Sim::new(&back);
+        let n = c.inputs().len();
+        for step in 0..24u32 {
+            let ins: Vec<bool> = (0..n)
+                .map(|i| (step.wrapping_mul(7).wrapping_add(i as u32)) % 3 == 0)
+                .collect();
+            assert_eq!(s1.step(&ins), s2.step(&ins), "{name} step {step}");
+        }
+    }
+}
+
+#[test]
+fn verification_verdicts_survive_round_trip() {
+    // The broken network stays broken, the fixed one stays fixed, through
+    // serialization.
+    let broken = paper::fig3_4().circuit;
+    let back = Circuit::from_text(&broken.to_text()).unwrap();
+    assert!(!scal::core::verify(&back).unwrap().fault_secure);
+
+    let fixed = paper::fig3_7().circuit;
+    let back = Circuit::from_text(&fixed.to_text()).unwrap();
+    assert!(scal::core::verify(&back).unwrap().is_self_checking());
+}
+
+#[test]
+fn dot_export_is_well_formed_for_all_circuits() {
+    for (name, c) in all_paper_circuits() {
+        let dot = c.to_dot(name);
+        assert!(dot.starts_with("digraph"), "{name}");
+        assert!(dot.trim_end().ends_with('}'), "{name}");
+        // Every node and output must be mentioned.
+        assert_eq!(
+            dot.matches(" -> out").count(),
+            c.outputs().len(),
+            "{name}: output edges"
+        );
+        // Balanced braces (single digraph block).
+        assert_eq!(dot.matches('{').count(), 1, "{name}");
+        assert_eq!(dot.matches('}').count(), 1, "{name}");
+    }
+}
+
+#[test]
+fn depth_accounting_is_stable_across_round_trip() {
+    for (name, c) in all_paper_circuits() {
+        let back = Circuit::from_text(&c.to_text()).unwrap();
+        assert_eq!(back.depth(), c.depth(), "{name}");
+    }
+}
