@@ -1,6 +1,6 @@
 //! Algorithm 3.1: the complete per-line self-checking decision procedure.
 
-use crate::exact::{all_node_tts, global_violation_minterms, line_functions};
+use crate::exact::{global_violation_minterms, ExactSweep};
 use crate::structural::{condition_a, condition_b, condition_c, condition_d};
 use crate::AnalysisError;
 use scal_faults::enumerate_faults;
@@ -124,7 +124,8 @@ pub fn analyze(circuit: &Circuit) -> Result<NetworkReport, AnalysisError> {
         return Err(AnalysisError::TooWide { inputs: n });
     }
 
-    let node_tts = all_node_tts(circuit);
+    let mut sweep = ExactSweep::new(circuit);
+    let node_tts = sweep.all_node_tts();
     for (j, out) in circuit.outputs().iter().enumerate() {
         if !node_tts[out.node.index()].is_self_dual() {
             return Err(AnalysisError::NotSelfDual { output: j });
@@ -150,7 +151,7 @@ pub fn analyze(circuit: &Circuit) -> Result<NetworkReport, AnalysisError> {
     let mut offending = Vec::new();
 
     for site in sites {
-        let funcs = line_functions(circuit, &node_tts, site);
+        let funcs = sweep.line_functions(circuit, &node_tts, site);
         let redundant = funcs.redundant();
         let untestable_s0 = funcs.unobservable(false);
         let untestable_s1 = funcs.unobservable(true);

@@ -1,7 +1,80 @@
 //! Exact (truth-table) machinery: line functions, Corollary 3.1 / 3.2.
+//!
+//! Exhaustive sweeps run on the compiled `scal-engine` schedule: a circuit
+//! is compiled once into an [`ExactSweep`] and every stuck-table after that
+//! is one linear pass over the op array, all outputs at once.
 
+use scal_engine::{CompiledCircuit, Evaluator};
 use scal_logic::Tt;
 use scal_netlist::{Circuit, NodeId, Override, Site};
+
+/// A compiled exhaustive-sweep context: compile once, sweep many.
+///
+/// Wraps a [`scal_engine::CompiledCircuit`] plus a reusable evaluator so
+/// Algorithm 3.1's per-line stuck tables cost one schedule pass each instead
+/// of a fresh graph walk per output per batch.
+#[derive(Debug)]
+pub struct ExactSweep {
+    compiled: CompiledCircuit,
+    ev: Evaluator,
+}
+
+impl ExactSweep {
+    /// Compiles `circuit` for exhaustive sweeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is sequential, invalid, or wider than
+    /// [`scal_logic::MAX_VARS`].
+    #[must_use]
+    pub fn new(circuit: &Circuit) -> Self {
+        assert!(!circuit.is_sequential(), "combinational circuits only");
+        assert!(
+            circuit.inputs().len() <= scal_logic::MAX_VARS,
+            "too many inputs"
+        );
+        let compiled = CompiledCircuit::compile(circuit);
+        let ev = Evaluator::new(&compiled);
+        ExactSweep { compiled, ev }
+    }
+
+    /// Truth tables of every node, fault-free (see [`all_node_tts`]).
+    #[must_use]
+    pub fn all_node_tts(&mut self) -> Vec<Tt> {
+        scal_engine::all_node_tables(&self.compiled, &mut self.ev)
+    }
+
+    /// Truth tables of every primary output under `overrides`, one sweep.
+    #[must_use]
+    pub fn output_tts(&mut self, overrides: &[Override]) -> Vec<Tt> {
+        scal_engine::output_tables(&self.compiled, &mut self.ev, overrides)
+    }
+
+    /// [`LineFunctions`] for one line (see the free [`line_functions`]).
+    #[must_use]
+    pub fn line_functions(
+        &mut self,
+        circuit: &Circuit,
+        node_tts: &[Tt],
+        site: Site,
+    ) -> LineFunctions {
+        let normal: Vec<Tt> = circuit
+            .outputs()
+            .iter()
+            .map(|o| node_tts[o.node.index()].clone())
+            .collect();
+        let g = node_tts[source_of(circuit, site).index()].clone();
+        let mut stuck_tables =
+            |value: bool| -> Vec<Tt> { self.output_tts(&[Override { site, value }]) };
+        LineFunctions {
+            site,
+            g,
+            normal,
+            stuck0: stuck_tables(false),
+            stuck1: stuck_tables(true),
+        }
+    }
+}
 
 /// The truth tables Algorithm 3.1 manipulates for one line `g` of a network:
 /// the paper's `G(X)`, `F(X, G(X))`, `F(X, 0)` and `F(X, 1)` for every
@@ -91,41 +164,17 @@ pub fn global_violation_minterms(funcs: &LineFunctions) -> (Tt, Tt) {
 /// Truth tables of *every node* of a combinational circuit as functions of
 /// the primary inputs, computed in one bit-parallel sweep.
 ///
+/// Convenience wrapper that compiles a throwaway [`ExactSweep`]; callers
+/// that also need [`line_functions`] should build the sweep themselves so
+/// the compile is paid once.
+///
 /// # Panics
 ///
 /// Panics if the circuit is sequential or wider than
 /// [`scal_logic::MAX_VARS`].
 #[must_use]
 pub fn all_node_tts(circuit: &Circuit) -> Vec<Tt> {
-    assert!(!circuit.is_sequential(), "combinational circuits only");
-    let n = circuit.inputs().len();
-    assert!(n <= scal_logic::MAX_VARS, "too many inputs");
-    let total = 1usize << n;
-    let mut tts = vec![Tt::zero(n); circuit.len()];
-    let mut words = vec![0u64; n];
-    let mut base = 0usize;
-    while base < total {
-        let lanes = (total - base).min(64);
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = 0;
-            for lane in 0..lanes {
-                if ((base + lane) >> i) & 1 == 1 {
-                    *w |= 1 << lane;
-                }
-            }
-        }
-        let values = circuit.eval_nodes64(&words, &[], &[]);
-        for (idx, tt) in tts.iter_mut().enumerate() {
-            let v = values[idx];
-            for lane in 0..lanes {
-                if (v >> lane) & 1 == 1 {
-                    tt.set((base + lane) as u32, true);
-                }
-            }
-        }
-        base += lanes;
-    }
-    tts
+    ExactSweep::new(circuit).all_node_tts()
 }
 
 /// Source stem of a site (the node whose value the line carries).
@@ -140,31 +189,15 @@ pub fn source_of(circuit: &Circuit, site: Site) -> NodeId {
 /// Computes [`LineFunctions`] for one line. `node_tts` must come from
 /// [`all_node_tts`] on the same circuit.
 ///
+/// Convenience wrapper that compiles a throwaway [`ExactSweep`]; loops over
+/// many lines should use [`ExactSweep::line_functions`] directly.
+///
 /// # Panics
 ///
 /// Panics on arity/width violations (see [`all_node_tts`]).
 #[must_use]
 pub fn line_functions(circuit: &Circuit, node_tts: &[Tt], site: Site) -> LineFunctions {
-    let outputs = circuit.outputs();
-    let normal: Vec<Tt> = outputs
-        .iter()
-        .map(|o| node_tts[o.node.index()].clone())
-        .collect();
-    let g = node_tts[source_of(circuit, site).index()].clone();
-    let stuck_tables = |value: bool| -> Vec<Tt> {
-        let ov = [Override { site, value }];
-        outputs
-            .iter()
-            .map(|o| circuit.node_tt_with(o.node, &ov))
-            .collect()
-    };
-    LineFunctions {
-        site,
-        g,
-        normal,
-        stuck0: stuck_tables(false),
-        stuck1: stuck_tables(true),
-    }
+    ExactSweep::new(circuit).line_functions(circuit, node_tts, site)
 }
 
 #[cfg(test)]

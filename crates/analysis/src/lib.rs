@@ -58,7 +58,7 @@ mod tests31;
 
 pub use algorithm::{analysis_sites, analyze, LineReport, NetworkReport, OutputConditions};
 pub use exact::{
-    all_node_tts, global_violation_minterms, line_functions, source_of, LineFunctions,
+    all_node_tts, global_violation_minterms, line_functions, source_of, ExactSweep, LineFunctions,
 };
 pub use redundancy::{remove_redundancy, RedundancyReport};
 pub use repair::{make_self_checking, split_fanout, RepairReport};

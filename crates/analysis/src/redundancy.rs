@@ -4,7 +4,7 @@
 //! a constant input"), and fully redundant logic is swept away; the analysis
 //! then assumes "all such replacements have been done".
 
-use crate::exact::{all_node_tts, line_functions};
+use crate::exact::ExactSweep;
 use crate::AnalysisError;
 use scal_netlist::{Circuit, NodeId, NodeView, Site, Structure};
 
@@ -44,13 +44,14 @@ pub fn remove_redundancy(circuit: &Circuit) -> Result<(Circuit, RedundancyReport
     let mut current = circuit.clone();
     let mut replaced_total = Vec::new();
     loop {
-        let node_tts = all_node_tts(&current);
+        let mut sweep = ExactSweep::new(&current);
+        let node_tts = sweep.all_node_tts();
         let mut replacement: Option<(NodeId, bool)> = None;
         for id in current.node_ids() {
             if !matches!(current.view(id), NodeView::Gate(_)) {
                 continue;
             }
-            let funcs = line_functions(&current, &node_tts, Site::Stem(id));
+            let funcs = sweep.line_functions(&current, &node_tts, Site::Stem(id));
             // Untestable stuck-at-s means the network cannot distinguish the
             // line from constant s.
             let u0 = funcs.unobservable(false);
@@ -161,6 +162,7 @@ fn sweep_dead(circuit: &Circuit) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::{all_node_tts, line_functions};
 
     #[test]
     fn absorbed_term_is_replaced_by_constant() {

@@ -8,7 +8,7 @@
 //! the paper's assumption that "the network is free of faults when it is
 //! initially used").
 
-use crate::exact::{all_node_tts, line_functions};
+use crate::exact::ExactSweep;
 use crate::AnalysisError;
 use scal_faults::{enumerate_faults, Fault};
 use scal_logic::Tt;
@@ -60,7 +60,8 @@ pub fn generate_tests(circuit: &Circuit) -> Result<TestSet, AnalysisError> {
     if n > crate::algorithm::MAX_ANALYSIS_INPUTS {
         return Err(AnalysisError::TooWide { inputs: n });
     }
-    let node_tts = all_node_tts(circuit);
+    let mut sweep = ExactSweep::new(circuit);
+    let node_tts = sweep.all_node_tts();
     for (j, out) in circuit.outputs().iter().enumerate() {
         if !node_tts[out.node.index()].is_self_dual() {
             return Err(AnalysisError::NotSelfDual { output: j });
@@ -78,7 +79,7 @@ pub fn generate_tests(circuit: &Circuit) -> Result<TestSet, AnalysisError> {
     for fault in &faults {
         let funcs = site_cache
             .entry(fault.site)
-            .or_insert_with(|| line_functions(circuit, &node_tts, fault.site));
+            .or_insert_with(|| sweep.line_functions(circuit, &node_tts, fault.site));
         // A pair (X, X̄) detects iff some output is non-alternating under
         // the fault: output k non-alternating at X ⟺ Fk,s(X) == Fk,s(X̄).
         let stuck_tables = if fault.stuck {

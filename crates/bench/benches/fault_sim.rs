@@ -1,18 +1,24 @@
 //! Exhaustive fault-simulation throughput (the engine behind Figs. 3.6/3.7
-//! and the verification of every SCAL network in the repo), including the
-//! bit-parallel vs scalar ablation called out in DESIGN.md.
+//! and the verification of every SCAL network in the repo): the compiled
+//! `scal-engine` campaign against the seed's scalar paths, on the paper's
+//! combinational networks (8-bit ripple adder), the Kohavi machine, and the
+//! Reynolds two-rail checker.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use scal_core::paper::{fig3_7, ripple_adder};
-use scal_faults::{enumerate_faults, run_campaign};
-use scal_netlist::Circuit;
+use scal_engine::{CompiledCircuit, CompiledSim, EngineConfig};
+use scal_faults::{
+    enumerate_faults, run_campaign, run_campaign_engine, run_campaign_scalar_with, Fault,
+};
+use scal_netlist::{Circuit, Sim};
+use scal_seq::kohavi::kohavi_0101;
+use scal_seq::{dual_ff_machine, run_seq_campaign, run_seq_campaign_scalar};
 
-fn scalar_campaign(circuit: &Circuit) -> usize {
-    // Reference implementation: scalar evaluation per (fault, pair).
+fn scalar_campaign(circuit: &Circuit, faults: &[Fault]) -> usize {
+    // Seed reference: one scalar `eval_with` graph walk per (fault, period).
     let n = circuit.inputs().len();
-    let faults = enumerate_faults(circuit);
     let mut detected = 0usize;
-    for fault in &faults {
+    for fault in faults {
         let ov = [fault.to_override()];
         for m in 0..(1u32 << n) {
             let m2 = !m & ((1u32 << n) - 1);
@@ -37,7 +43,7 @@ fn bench(c: &mut Criterion) {
     let adder = ripple_adder(4);
 
     let mut group = c.benchmark_group("fault_sim");
-    group.bench_function("fig3_7_bitparallel", |b| {
+    group.bench_function("fig3_7_engine", |b| {
         b.iter_batched(
             || fig.circuit.clone(),
             |c| run_campaign(&c),
@@ -45,10 +51,101 @@ fn bench(c: &mut Criterion) {
         );
     });
     group.bench_function("fig3_7_scalar_reference", |b| {
-        b.iter(|| scalar_campaign(&fig.circuit));
+        let faults = enumerate_faults(&fig.circuit);
+        b.iter(|| scalar_campaign(&fig.circuit, &faults));
     });
-    group.bench_function("adder4_bitparallel", |b| {
+    group.bench_function("adder4_engine", |b| {
         b.iter(|| run_campaign(&adder));
+    });
+    group.finish();
+}
+
+/// Engine vs seed scalar on the 8-bit ripple adder (17 inputs, 2^16
+/// canonical pairs). The scalar paths are restricted to a fault subset to
+/// keep wall time sane; the engine is also timed on the full universe.
+fn bench_adder8(c: &mut Criterion) {
+    let adder = ripple_adder(8);
+    let faults = enumerate_faults(&adder);
+    let subset: Vec<Fault> = faults.iter().copied().take(8).collect();
+
+    let mut group = c.benchmark_group("adder8");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("engine_8faults", |b| {
+        b.iter(|| run_campaign_engine(&adder, &subset, &EngineConfig::default()));
+    });
+    group.bench_function("engine_8faults_drop", |b| {
+        let config = EngineConfig {
+            drop_after_detection: true,
+            ..EngineConfig::default()
+        };
+        b.iter(|| run_campaign_engine(&adder, &subset, &config));
+    });
+    group.bench_function("scalar_8faults", |b| {
+        b.iter(|| run_campaign_scalar_with(&adder, &subset));
+    });
+    group.bench_function("engine_full_562faults_drop", |b| {
+        let config = EngineConfig {
+            drop_after_detection: true,
+            ..EngineConfig::default()
+        };
+        b.iter(|| run_campaign_engine(&adder, &faults, &config));
+    });
+    group.finish();
+}
+
+/// Engine vs scalar sequential campaign on the Kohavi 0101 machine.
+fn bench_kohavi(c: &mut Criterion) {
+    let machine = dual_ff_machine(&kohavi_0101());
+    let words: Vec<Vec<bool>> = (0..16u32).map(|i| vec![i % 3 == 1]).collect();
+
+    let mut group = c.benchmark_group("kohavi");
+    group.bench_function("engine_seq_campaign", |b| {
+        b.iter(|| run_seq_campaign(&machine, &words));
+    });
+    group.bench_function("scalar_seq_campaign", |b| {
+        b.iter(|| run_seq_campaign_scalar(&machine, &words));
+    });
+    group.finish();
+}
+
+/// Compiled vs graph simulation of the sequential Reynolds two-rail checker
+/// (`checker_8`), stepped under every collapsed fault.
+fn bench_checker8(c: &mut Criterion) {
+    let checker = scal_checkers::two_rail::reynolds_checker(8);
+    let faults = enumerate_faults(&checker);
+    let n = checker.inputs().len();
+    let drive: Vec<Vec<bool>> = (0..32u32)
+        .map(|s| (0..n).map(|i| (s + i as u32) % 3 != 0).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("checker8");
+    group.bench_function("engine_compiled_sim", |b| {
+        let compiled = CompiledCircuit::compile(&checker);
+        b.iter(|| {
+            let mut live = 0usize;
+            for fault in &faults {
+                let mut sim = CompiledSim::new(&compiled);
+                sim.attach(&[fault.to_override()]);
+                for ins in &drive {
+                    live += usize::from(sim.step(ins)[0]);
+                }
+            }
+            live
+        });
+    });
+    group.bench_function("scalar_graph_sim", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            for fault in &faults {
+                let mut sim = Sim::new(&checker);
+                sim.attach(fault.to_override());
+                for ins in &drive {
+                    live += usize::from(sim.step(ins)[0]);
+                }
+            }
+            live
+        });
     });
     group.finish();
 }
@@ -63,6 +160,6 @@ fn short() -> Criterion {
 criterion_group! {
     name = benches;
     config = short();
-    targets = bench
+    targets = bench, bench_adder8, bench_kohavi, bench_checker8
 }
 criterion_main!(benches);

@@ -82,8 +82,8 @@ pub fn fig4_4() -> String {
                     ins.push(phi);
                     let out = p.eval(&ins);
                     if !phi {
-                        for i in 0..n {
-                            val |= u32::from(out[i]) << i;
+                        for (i, &b) in out.iter().take(n).enumerate() {
+                            val |= u32::from(b) << i;
                         }
                     }
                     ok &= out[n] != out[n + 1];

@@ -110,9 +110,7 @@ pub fn tab5_1() -> String {
             let mut p1: Vec<bool> = (0..n).map(|i| (word >> i) & 1 == 1).collect();
             p1.push(false); // phi
             let mut p2: Vec<bool> = p1.iter().map(|&b| !b).collect();
-            for k in 0..stuck {
-                p2[k] = p1[k];
-            }
+            p2[..stuck].copy_from_slice(&p1[..stuck]);
             for k in stuck..stuck + incorrect {
                 // wrong phase: flip period 1 instead (value wrong, still
                 // alternating).

@@ -161,6 +161,38 @@ pub fn ext_adr_retry() -> String {
     s
 }
 
+/// Compiled-engine fault-campaign throughput ([`scal_engine::EngineStats`])
+/// on the paper's networks, exact mode vs early fault dropping.
+#[must_use]
+pub fn ext_engine() -> String {
+    use scal_engine::EngineConfig;
+    use scal_faults::{enumerate_faults, run_campaign_engine};
+    let mut s = String::new();
+    let _ = writeln!(s, "== extension: compiled fault-campaign engine ==");
+    let circuits = [
+        ("fig 3.7 network", paper::fig3_7().circuit),
+        ("4-bit ripple adder", paper::ripple_adder(4)),
+        ("8-bit ripple adder", paper::ripple_adder(8)),
+    ];
+    for (name, c) in circuits {
+        let faults = enumerate_faults(&c);
+        for (mode, config) in [
+            ("exact", EngineConfig::default()),
+            (
+                "drop",
+                EngineConfig {
+                    drop_after_detection: true,
+                    ..EngineConfig::default()
+                },
+            ),
+        ] {
+            let (_, stats) = run_campaign_engine(&c, &faults, &config);
+            let _ = writeln!(s, "{name:<20} [{mode}]: {}", stats.summary());
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -182,6 +214,13 @@ mod tests {
         assert!(r.contains("self-checking: true"));
         assert!(r.contains("functions identical: true"));
         assert!(r.contains("fault-secure true"));
+    }
+
+    #[test]
+    fn engine_stats_report_throughput() {
+        let r = super::ext_engine();
+        assert!(r.contains("patterns/s"));
+        assert!(r.contains("[exact]") && r.contains("[drop]"));
     }
 
     #[test]

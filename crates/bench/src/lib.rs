@@ -18,8 +18,11 @@ pub mod ch7;
 pub mod cost;
 pub mod ext;
 
+/// An experiment id paired with its report generator.
+pub type Experiment = (&'static str, fn() -> String);
+
 /// All experiment ids, in chapter order.
-pub const EXPERIMENTS: &[(&str, fn() -> String)] = &[
+pub const EXPERIMENTS: &[Experiment] = &[
     ("fig2_2", ch2::fig2_2),
     ("fig3_1", ch3::fig3_1),
     ("fig3_4", ch3::fig3_4),
@@ -42,6 +45,7 @@ pub const EXPERIMENTS: &[(&str, fn() -> String)] = &[
     ("ext_repair", ext::ext_repair),
     ("ext_checked_system", ext::ext_checked_system),
     ("ext_adr_retry", ext::ext_adr_retry),
+    ("ext_engine", ext::ext_engine),
 ];
 
 /// Runs one experiment by id.

@@ -157,11 +157,11 @@ pub(crate) fn synthesize_sop(
     let mut first_level = Vec::new();
     for cube in &cover {
         let mut literals = Vec::new();
-        for v in 0..tt.nvars() {
+        for (v, &var) in vars.iter().enumerate().take(tt.nvars()) {
             let bit = 1u32 << v;
             if cube.mask() & bit != 0 {
                 literals.push(if cube.value() & bit != 0 {
-                    vars[v]
+                    var
                 } else {
                     rail.complemented(c, v)
                 });

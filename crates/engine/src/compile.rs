@@ -1,0 +1,221 @@
+//! Compilation of a [`Circuit`] into a flat, levelized evaluation schedule.
+
+use scal_netlist::{Circuit, GateKind, NodeId, NodeView};
+
+/// Sentinel for "this node has no gate op" in [`CompiledCircuit::op_of_node`].
+pub(crate) const NO_OP: u32 = u32::MAX;
+
+/// One gate evaluation in the compiled schedule.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Op {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Destination slot.
+    pub out: u32,
+    /// Start of the fanin slot run in [`CompiledCircuit::fanins`].
+    pub fan_start: u32,
+    /// Number of fanins.
+    pub fan_len: u32,
+}
+
+/// A [`Circuit`] compiled for repeated evaluation.
+///
+/// Node values live in dense *slots* indexed by [`NodeId::index`], with two
+/// extra constant slots appended (all-zeros and all-ones words) so that fault
+/// injection on a fanin is a single index rewrite. Gate evaluations are
+/// recorded as a topologically ordered flat op array; evaluating the circuit
+/// is one linear pass over it with no graph traversal, no allocation, and no
+/// override searching.
+///
+/// A `CompiledCircuit` is immutable and shareable across threads; each worker
+/// carries its own [`crate::Evaluator`] scratch state.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    /// Total slot count: one per node plus the two constant slots.
+    pub(crate) num_slots: usize,
+    /// Slot holding the all-zeros word.
+    pub(crate) zero_slot: u32,
+    /// Slot holding the all-ones word.
+    pub(crate) one_slot: u32,
+    /// Gate ops in topological order.
+    pub(crate) ops: Vec<Op>,
+    /// Flat fanin slot array referenced by [`Op::fan_start`]/[`Op::fan_len`].
+    pub(crate) fanins: Vec<u32>,
+    /// Slot of each primary input, in circuit input order.
+    pub(crate) input_slots: Vec<u32>,
+    /// Slot of each flip-flop output, in circuit flip-flop order.
+    pub(crate) dff_slots: Vec<u32>,
+    /// Slot each flip-flop latches from (its D fanin).
+    pub(crate) dff_d_slots: Vec<u32>,
+    /// Power-up value of each flip-flop.
+    pub(crate) dff_init: Vec<bool>,
+    /// Constant-source slots and their values.
+    pub(crate) const_slots: Vec<(u32, bool)>,
+    /// Slot of each primary output, in declaration order.
+    pub(crate) output_slots: Vec<u32>,
+    /// Per node: index of its op in `ops`, or [`NO_OP`] for sources.
+    pub(crate) op_of_node: Vec<u32>,
+}
+
+impl CompiledCircuit {
+    /// Compiles a circuit into a flat schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit fails [`Circuit::validate`].
+    #[must_use]
+    pub fn compile(circuit: &Circuit) -> Self {
+        circuit
+            .validate()
+            .expect("circuit must validate before compilation");
+        let n = circuit.len();
+        let zero_slot = u32::try_from(n).expect("node count fits in u32");
+        let one_slot = zero_slot + 1;
+
+        let mut ops = Vec::new();
+        let mut fanins = Vec::new();
+        let mut op_of_node = vec![NO_OP; n];
+        for id in circuit.topo_order() {
+            if let NodeView::Gate(kind) = circuit.view(id) {
+                let fan_start = u32::try_from(fanins.len()).expect("fanin count fits in u32");
+                for f in circuit.fanins(id) {
+                    fanins.push(f.index() as u32);
+                }
+                op_of_node[id.index()] = ops.len() as u32;
+                ops.push(Op {
+                    kind,
+                    out: id.index() as u32,
+                    fan_start,
+                    fan_len: circuit.fanins(id).len() as u32,
+                });
+            }
+        }
+
+        let mut const_slots = Vec::new();
+        for id in circuit.node_ids() {
+            if let NodeView::Const(v) = circuit.view(id) {
+                const_slots.push((id.index() as u32, v));
+            }
+        }
+        let mut dff_init = Vec::with_capacity(circuit.dffs().len());
+        let mut dff_d_slots = Vec::with_capacity(circuit.dffs().len());
+        for &ff in circuit.dffs() {
+            match circuit.view(ff) {
+                NodeView::Dff { init } => dff_init.push(init),
+                _ => unreachable!("dffs() returns flip-flops"),
+            }
+            dff_d_slots.push(circuit.fanins(ff)[0].index() as u32);
+        }
+
+        CompiledCircuit {
+            num_slots: n + 2,
+            zero_slot,
+            one_slot,
+            ops,
+            fanins,
+            input_slots: circuit.inputs().iter().map(|i| i.index() as u32).collect(),
+            dff_slots: circuit.dffs().iter().map(|f| f.index() as u32).collect(),
+            dff_d_slots,
+            dff_init,
+            const_slots,
+            output_slots: circuit
+                .outputs()
+                .iter()
+                .map(|o| o.node.index() as u32)
+                .collect(),
+            op_of_node,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.output_slots.len()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_dffs(&self) -> usize {
+        self.dff_slots.len()
+    }
+
+    /// `true` iff the source circuit was sequential.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        !self.dff_slots.is_empty()
+    }
+
+    /// Number of gate ops in the schedule.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The constant slot carrying `value`.
+    pub(crate) fn const_slot(&self, value: bool) -> u32 {
+        if value {
+            self.one_slot
+        } else {
+            self.zero_slot
+        }
+    }
+
+    /// Position of `node` in the flip-flop list, if it is one.
+    pub(crate) fn dff_position(&self, node: NodeId) -> Option<usize> {
+        let slot = node.index() as u32;
+        self.dff_slots.iter().position(|&s| s == slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::Circuit;
+
+    #[test]
+    fn compiles_gates_in_topo_order() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        let h = c.or(&[g, a]);
+        c.mark_output("f", h);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.num_ops(), 2);
+        assert_eq!(cc.num_inputs(), 2);
+        assert_eq!(cc.num_outputs(), 1);
+        assert!(!cc.is_sequential());
+        // g must be scheduled before h.
+        let pos_g = cc.ops.iter().position(|o| o.out == g.index() as u32);
+        let pos_h = cc.ops.iter().position(|o| o.out == h.index() as u32);
+        assert!(pos_g < pos_h);
+    }
+
+    #[test]
+    fn records_dff_layout() {
+        let mut c = Circuit::new();
+        let ff = c.dff(true);
+        let nq = c.not(ff);
+        c.connect_dff(ff, nq);
+        c.mark_output("q", ff);
+        let cc = CompiledCircuit::compile(&c);
+        assert!(cc.is_sequential());
+        assert_eq!(cc.dff_init, vec![true]);
+        assert_eq!(cc.dff_d_slots, vec![nq.index() as u32]);
+        assert_eq!(cc.dff_position(ff), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must validate")]
+    fn rejects_invalid_circuits() {
+        let mut c = Circuit::new();
+        let _ = c.dff(false); // never connected
+        let _ = CompiledCircuit::compile(&c);
+    }
+}

@@ -1,0 +1,338 @@
+//! The per-thread evaluator: scratch state plus the packed evaluation loop.
+
+use crate::compile::{CompiledCircuit, NO_OP};
+use scal_netlist::{GateKind, NodeId, Override, Site};
+
+/// Mutable evaluation state for one [`CompiledCircuit`].
+///
+/// Holds the dense slot array, a private copy of the fanin index array (so
+/// branch faults are installed by *patching an index* rather than checked per
+/// pin per sweep), and the dense stem-force table. One `Evaluator` is created
+/// per worker thread and reused across faults; evaluation performs no
+/// allocation.
+///
+/// Overrides are installed with [`Evaluator::install`] and removed with
+/// [`Evaluator::uninstall`]; the old linear-scan semantics are preserved:
+/// the first override for a given site wins, and overrides naming sites the
+/// circuit does not have (e.g. a branch pin on an input) are ignored.
+#[derive(Debug)]
+pub struct Evaluator {
+    /// One 64-lane word per slot.
+    slots: Vec<u64>,
+    /// Patched copy of [`CompiledCircuit::fanins`].
+    fanins: Vec<u32>,
+    /// Patched copy of [`CompiledCircuit::dff_d_slots`].
+    dff_d: Vec<u32>,
+    /// Per slot: 0 = free, 1 = forced to 0, 2 = forced to 1.
+    forced: Vec<u8>,
+    /// Installed stem forces `(slot, word)` — re-applied to source slots at
+    /// the start of every sweep (gate slots are handled by `forced` inside
+    /// the op loop).
+    stems: Vec<(u32, u64)>,
+    /// Installed fanin patches `(flat index, original slot)` for uninstall.
+    fanin_patches: Vec<(usize, u32)>,
+    /// Installed D-slot patches `(dff index, original slot)` for uninstall.
+    dff_patches: Vec<(usize, u32)>,
+}
+
+impl Evaluator {
+    /// Creates scratch state for `compiled`.
+    #[must_use]
+    pub fn new(compiled: &CompiledCircuit) -> Self {
+        Evaluator {
+            slots: vec![0; compiled.num_slots],
+            fanins: compiled.fanins.clone(),
+            dff_d: compiled.dff_d_slots.clone(),
+            forced: vec![0; compiled.num_slots],
+            stems: Vec::new(),
+            fanin_patches: Vec::new(),
+            dff_patches: Vec::new(),
+        }
+    }
+
+    /// Installs overrides (typically one stuck-at fault). Call
+    /// [`Evaluator::uninstall`] before installing the next set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if overrides are already installed.
+    pub fn install(&mut self, compiled: &CompiledCircuit, overrides: &[Override]) {
+        assert!(
+            self.stems.is_empty() && self.fanin_patches.is_empty() && self.dff_patches.is_empty(),
+            "uninstall previous overrides first"
+        );
+        for o in overrides {
+            match o.site {
+                Site::Stem(node) => {
+                    let slot = node.index();
+                    if slot >= compiled.num_slots - 2 || self.forced[slot] != 0 {
+                        continue; // unknown node, or an earlier override won
+                    }
+                    self.forced[slot] = 1 + u8::from(o.value);
+                    let word = if o.value { u64::MAX } else { 0 };
+                    self.stems.push((slot as u32, word));
+                }
+                Site::Branch { node, pin } => {
+                    if let Some(i) = compiled.dff_position(node) {
+                        if pin == 0 && !self.dff_patches.iter().any(|&(j, _)| j == i) {
+                            self.dff_patches.push((i, self.dff_d[i]));
+                            self.dff_d[i] = compiled.const_slot(o.value);
+                        }
+                        continue;
+                    }
+                    let op_idx = match compiled
+                        .op_of_node
+                        .get(node.index())
+                        .copied()
+                        .filter(|&i| i != NO_OP)
+                    {
+                        Some(i) => i as usize,
+                        None => continue,
+                    };
+                    let op = &compiled.ops[op_idx];
+                    if pin >= op.fan_len as usize {
+                        continue;
+                    }
+                    let flat = op.fan_start as usize + pin;
+                    if self.fanin_patches.iter().any(|&(j, _)| j == flat) {
+                        continue;
+                    }
+                    self.fanin_patches.push((flat, self.fanins[flat]));
+                    self.fanins[flat] = compiled.const_slot(o.value);
+                }
+            }
+        }
+    }
+
+    /// Removes all installed overrides, restoring fault-free evaluation.
+    pub fn uninstall(&mut self) {
+        for (slot, _) in self.stems.drain(..) {
+            self.forced[slot as usize] = 0;
+        }
+        for (flat, original) in self.fanin_patches.drain(..) {
+            self.fanins[flat] = original;
+        }
+        for (i, original) in self.dff_patches.drain(..) {
+            self.dff_d[i] = original;
+        }
+    }
+
+    /// Runs one combinational sweep: 64 independent patterns per call.
+    ///
+    /// `inputs` carries one word per primary input, `state` one word per
+    /// flip-flop (empty for combinational circuits). Results are read back
+    /// with [`Evaluator::output`], [`Evaluator::next_state`], or
+    /// [`Evaluator::slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn eval(&mut self, compiled: &CompiledCircuit, inputs: &[u64], state: &[u64]) {
+        assert_eq!(inputs.len(), compiled.num_inputs(), "input arity mismatch");
+        assert_eq!(state.len(), compiled.num_dffs(), "state arity mismatch");
+        let slots = &mut self.slots;
+        slots[compiled.zero_slot as usize] = 0;
+        slots[compiled.one_slot as usize] = u64::MAX;
+        for (i, &s) in compiled.input_slots.iter().enumerate() {
+            slots[s as usize] = inputs[i];
+        }
+        for (i, &s) in compiled.dff_slots.iter().enumerate() {
+            slots[s as usize] = state[i];
+        }
+        for &(s, v) in &compiled.const_slots {
+            slots[s as usize] = if v { u64::MAX } else { 0 };
+        }
+        // Stem faults on source slots (inputs, flip-flop outputs, constants).
+        for &(s, w) in &self.stems {
+            slots[s as usize] = w;
+        }
+        for op in &compiled.ops {
+            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = match op.kind {
+                GateKind::Buf => slots[fan[0] as usize],
+                GateKind::Not => !slots[fan[0] as usize],
+                GateKind::And => fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
+                GateKind::Nand => !fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
+                GateKind::Or => fan.iter().fold(0, |a, &f| a | slots[f as usize]),
+                GateKind::Nor => !fan.iter().fold(0, |a, &f| a | slots[f as usize]),
+                GateKind::Xor => fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
+                GateKind::Xnor => !fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
+                GateKind::Minority | GateKind::Majority => {
+                    threshold64(slots, fan, op.kind == GateKind::Majority)
+                }
+                // GateKind is #[non_exhaustive]; compile() only emits ops for
+                // kinds that exist today.
+                _ => unreachable!("unknown gate kind in compiled schedule"),
+            };
+            let out = op.out as usize;
+            slots[out] = match self.forced[out] {
+                1 => 0,
+                2 => u64::MAX,
+                _ => v,
+            };
+        }
+    }
+
+    /// Word of primary output `k` after the last [`Evaluator::eval`].
+    #[must_use]
+    pub fn output(&self, compiled: &CompiledCircuit, k: usize) -> u64 {
+        self.slots[compiled.output_slots[k] as usize]
+    }
+
+    /// Next-state word of flip-flop `i` (its possibly-faulted D value) after
+    /// the last [`Evaluator::eval`].
+    #[must_use]
+    pub fn next_state(&self, compiled: &CompiledCircuit, i: usize) -> u64 {
+        let _ = compiled;
+        self.slots[self.dff_d[i] as usize]
+    }
+
+    /// Value word of an arbitrary node after the last [`Evaluator::eval`].
+    #[must_use]
+    pub fn slot(&self, node: NodeId) -> u64 {
+        self.slots[node.index()]
+    }
+
+    /// Current word of a raw slot index (node slots only; callers must stay
+    /// below the constant slots).
+    pub(crate) fn raw_slot(&self, idx: usize) -> u64 {
+        self.slots[idx]
+    }
+}
+
+/// Per-lane majority/minority over `fan` slots.
+fn threshold64(slots: &[u64], fan: &[u32], majority: bool) -> u64 {
+    let n = fan.len();
+    let mut out = 0u64;
+    for lane in 0..64 {
+        let ones = fan
+            .iter()
+            .filter(|&&f| (slots[f as usize] >> lane) & 1 == 1)
+            .count();
+        let v = if majority { ones * 2 > n } else { ones * 2 < n };
+        if v {
+            out |= 1 << lane;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::{Circuit, GateKind};
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let ci = c.input("ci");
+        let s = c.xor(&[a, b, ci]);
+        let maj = c.gate(GateKind::Majority, &[a, b, ci]);
+        c.mark_output("s", s);
+        c.mark_output("co", maj);
+        c
+    }
+
+    /// Packs minterms `0..n_lanes` into per-input words.
+    fn minterm_words(n_inputs: usize, n_lanes: usize) -> Vec<u64> {
+        (0..n_inputs)
+            .map(|i| {
+                let mut w = 0u64;
+                for lane in 0..n_lanes {
+                    if (lane >> i) & 1 == 1 {
+                        w |= 1 << lane;
+                    }
+                }
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_graph_evaluator_fault_free() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        let words = minterm_words(3, 8);
+        ev.eval(&cc, &words, &[]);
+        let reference = c.eval64(&words);
+        for (k, &r) in reference.iter().enumerate() {
+            assert_eq!(ev.output(&cc, k) & 0xFF, r & 0xFF);
+        }
+    }
+
+    #[test]
+    fn matches_graph_evaluator_under_every_single_override() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        let words = minterm_words(3, 8);
+        let mut sites = Vec::new();
+        for id in c.node_ids() {
+            sites.push(Site::Stem(id));
+            for pin in 0..c.fanins(id).len() {
+                sites.push(Site::Branch { node: id, pin });
+            }
+        }
+        for site in sites {
+            for value in [false, true] {
+                let ov = [Override { site, value }];
+                let reference = c.eval_nodes64(&words, &[], &ov);
+                ev.install(&cc, &ov);
+                ev.eval(&cc, &words, &[]);
+                for id in c.node_ids() {
+                    assert_eq!(
+                        ev.slot(id) & 0xFF,
+                        reference[id.index()] & 0xFF,
+                        "site {site:?} value {value} node {id}"
+                    );
+                }
+                ev.uninstall();
+            }
+        }
+    }
+
+    #[test]
+    fn install_first_override_wins() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        let s = c.outputs()[0].node;
+        let ovs = [
+            Override {
+                site: Site::Stem(s),
+                value: true,
+            },
+            Override {
+                site: Site::Stem(s),
+                value: false,
+            },
+        ];
+        ev.install(&cc, &ovs);
+        ev.eval(&cc, &[0, 0, 0], &[]);
+        assert_eq!(ev.output(&cc, 0), u64::MAX);
+        ev.uninstall();
+        ev.eval(&cc, &[0, 0, 0], &[]);
+        assert_eq!(ev.output(&cc, 0), 0);
+    }
+
+    #[test]
+    fn overrides_on_missing_sites_are_ignored() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        let a = c.inputs()[0];
+        // Inputs have no fanin pins; the scalar path ignored this too.
+        ev.install(
+            &cc,
+            &[Override {
+                site: Site::Branch { node: a, pin: 0 },
+                value: true,
+            }],
+        );
+        ev.eval(&cc, &[0, 0, 0], &[]);
+        assert_eq!(ev.output(&cc, 0), 0);
+        ev.uninstall();
+    }
+}

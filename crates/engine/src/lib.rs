@@ -1,0 +1,51 @@
+//! # scal-engine — the fault-campaign simulation engine
+//!
+//! Everything upstream of this crate (faults, exhaustive analysis, sequential
+//! campaigns, benches) ultimately asks one question many times over: *what do
+//! the outputs of this circuit do under this stuck line?* The seed answered
+//! it by walking the [`scal_netlist::Circuit`] graph afresh on every
+//! evaluation — re-deriving the topological order, allocating value vectors,
+//! and linearly scanning the override list at every node. This crate replaces
+//! that with a compile-once / evaluate-many pipeline:
+//!
+//! 1. **Compile** ([`CompiledCircuit`]): the circuit is levelized once into a
+//!    flat array of gate ops over dense value *slots* (one per node, plus two
+//!    constant slots). No graph chasing and no allocation happen after this
+//!    point.
+//! 2. **Pack** ([`Evaluator`]): evaluation is 64-lane bit-parallel — each
+//!    `u64` word carries 64 independent patterns. The alternating-pair
+//!    campaign evaluates 64 pairs per sweep and classifies them with
+//!    word-wide XOR/AND masks instead of per-lane branching. Fault overrides
+//!    are installed as dense slot forces and fanin patches, not searched per
+//!    node.
+//! 3. **Fan out** ([`run_pair_campaign`], [`par_map`]): faults are
+//!    independent, so they are spread across a scoped worker pool
+//!    (`std::thread::scope`, no external dependencies) with deterministic
+//!    fault-ordered aggregation. [`EngineConfig::drop_after_detection`]
+//!    optionally stops simulating a fault once it is proven tested; the
+//!    default *exact* mode preserves the full per-pair accounting of the
+//!    scalar reference implementation bit for bit.
+//! 4. **Report** ([`EngineStats`]): compile / golden / fault-simulation wall
+//!    times, words evaluated, pairs simulated and faults dropped, surfaced by
+//!    `scal-bench`.
+//!
+//! The crate speaks the netlist vocabulary ([`scal_netlist::Override`] /
+//! [`scal_netlist::Site`]); `scal-faults` layers fault bookkeeping on top and
+//! keeps its original scalar implementation as a differential oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod compile;
+mod eval;
+mod pool;
+mod sim;
+mod tables;
+
+pub use campaign::{run_pair_campaign, EngineConfig, EngineStats, PairReport};
+pub use compile::CompiledCircuit;
+pub use eval::Evaluator;
+pub use pool::par_map;
+pub use sim::CompiledSim;
+pub use tables::{all_node_tables, node_table, output_tables};

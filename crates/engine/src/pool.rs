@@ -1,0 +1,98 @@
+//! Scoped worker-thread fan-out with deterministic aggregation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work-item threshold below which spawning threads costs more than it buys.
+const MIN_ITEMS_PER_THREAD: usize = 8;
+
+/// Resolves a requested thread count: `0` means auto (the machine's available
+/// parallelism), and the result is clamped so no thread would receive fewer
+/// than a handful of items.
+#[must_use]
+pub(crate) fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let want = if requested == 0 { hw } else { requested };
+    want.min(items / MIN_ITEMS_PER_THREAD).max(1)
+}
+
+/// Applies `f` to every item, fanning the work across `threads` scoped worker
+/// threads (`0` = auto). Results are returned **in item order** regardless of
+/// which worker produced them — campaigns stay deterministic.
+///
+/// Items are claimed dynamically through a shared atomic cursor, so uneven
+/// per-item cost does not idle workers. With one effective thread the items
+/// are processed inline with no thread machinery at all.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 1, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn auto_thread_count_small_workload_stays_inline() {
+        assert_eq!(effective_threads(0, 3), 1);
+        assert_eq!(effective_threads(4, 1000), 4);
+        assert_eq!(effective_threads(1, 1000), 1);
+    }
+}

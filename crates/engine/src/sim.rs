@@ -1,0 +1,195 @@
+//! Sequential stepping over a compiled schedule — the engine counterpart of
+//! [`scal_netlist::Sim`].
+
+use crate::compile::CompiledCircuit;
+use crate::eval::Evaluator;
+use scal_netlist::Override;
+
+/// A synchronous simulator over a [`CompiledCircuit`].
+///
+/// Semantics mirror [`scal_netlist::Sim`] exactly — one [`CompiledSim::step`]
+/// per clock period, flip-flops latch their (possibly faulted) D values on
+/// the edge, overrides persist until cleared — but each step is one linear
+/// pass over the compiled op schedule instead of a graph walk, and no
+/// allocation happens per step beyond the returned output vector.
+#[derive(Debug)]
+pub struct CompiledSim<'c> {
+    compiled: &'c CompiledCircuit,
+    ev: Evaluator,
+    /// One word per flip-flop; scalar stepping uses lane 0 only.
+    state: Vec<u64>,
+    inputs: Vec<u64>,
+    steps: u64,
+}
+
+impl<'c> CompiledSim<'c> {
+    /// Creates a simulator with every flip-flop at its power-up value.
+    #[must_use]
+    pub fn new(compiled: &'c CompiledCircuit) -> Self {
+        let state = compiled
+            .dff_init
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        CompiledSim {
+            compiled,
+            ev: Evaluator::new(compiled),
+            state,
+            inputs: vec![0; compiled.num_inputs()],
+            steps: 0,
+        }
+    }
+
+    /// Attaches persistent overrides (e.g. a stuck-at fault). The overrides
+    /// stay installed until [`CompiledSim::clear_overrides`].
+    pub fn attach(&mut self, overrides: &[Override]) {
+        self.ev.uninstall();
+        self.ev.install(self.compiled, overrides);
+    }
+
+    /// Removes all overrides.
+    pub fn clear_overrides(&mut self) {
+        self.ev.uninstall();
+    }
+
+    /// Overwrites the flip-flop state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the flip-flop count.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state arity mismatch");
+        for (w, &b) in self.state.iter_mut().zip(state) {
+            *w = if b { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Current flip-flop state.
+    #[must_use]
+    pub fn state(&self) -> Vec<bool> {
+        self.state.iter().map(|&w| w & 1 == 1).collect()
+    }
+
+    /// Clock periods simulated so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Simulates one clock period: samples the primary outputs, then latches
+    /// every flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.compiled.num_inputs(),
+            "input arity mismatch"
+        );
+        for (w, &b) in self.inputs.iter_mut().zip(inputs) {
+            *w = if b { u64::MAX } else { 0 };
+        }
+        self.ev.eval(self.compiled, &self.inputs, &self.state);
+        let outputs = (0..self.compiled.num_outputs())
+            .map(|k| self.ev.output(self.compiled, k) & 1 == 1)
+            .collect();
+        for i in 0..self.state.len() {
+            self.state[i] = self.ev.next_state(self.compiled, i);
+        }
+        self.steps += 1;
+        outputs
+    }
+
+    /// Resets flip-flops to power-up values and clears the step counter
+    /// (overrides are kept, matching [`scal_netlist::Sim::reset`]).
+    pub fn reset(&mut self) {
+        for (w, &b) in self.state.iter_mut().zip(&self.compiled.dff_init) {
+            *w = if b { u64::MAX } else { 0 };
+        }
+        self.steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::{Circuit, Override, Sim, Site};
+
+    fn counter2() -> Circuit {
+        let mut c = Circuit::new();
+        let q0 = c.dff(false);
+        let q1 = c.dff(false);
+        let n0 = c.not(q0);
+        let t = c.xor(&[q1, q0]);
+        c.connect_dff(q0, n0);
+        c.connect_dff(q1, t);
+        c.mark_output("q0", q0);
+        c.mark_output("q1", q1);
+        c
+    }
+
+    #[test]
+    fn counts_like_the_graph_simulator() {
+        let c = counter2();
+        let cc = CompiledCircuit::compile(&c);
+        let mut fast = CompiledSim::new(&cc);
+        let mut slow = Sim::new(&c);
+        for _ in 0..10 {
+            assert_eq!(fast.step(&[]), slow.step(&[]));
+        }
+        assert_eq!(fast.steps(), 10);
+    }
+
+    #[test]
+    fn faults_persist_and_clear() {
+        let c = counter2();
+        let q0 = c.dffs()[0];
+        let cc = CompiledCircuit::compile(&c);
+        let mut sim = CompiledSim::new(&cc);
+        sim.attach(&[Override {
+            site: Site::Stem(q0),
+            value: false,
+        }]);
+        for _ in 0..4 {
+            assert_eq!(sim.step(&[]), vec![false, false]);
+        }
+        sim.clear_overrides();
+        sim.reset();
+        assert_eq!(sim.steps(), 0);
+        let mut slow = Sim::new(&c);
+        for _ in 0..4 {
+            assert_eq!(sim.step(&[]), slow.step(&[]));
+        }
+    }
+
+    #[test]
+    fn dff_d_branch_fault_corrupts_latched_value() {
+        let c = counter2();
+        let q0 = c.dffs()[0];
+        let cc = CompiledCircuit::compile(&c);
+        let ov = [Override {
+            site: Site::Branch { node: q0, pin: 0 },
+            value: true,
+        }];
+        let mut fast = CompiledSim::new(&cc);
+        fast.attach(&ov);
+        let mut slow = Sim::new(&c);
+        slow.attach(ov[0]);
+        for _ in 0..6 {
+            assert_eq!(fast.step(&[]), slow.step(&[]));
+        }
+    }
+
+    #[test]
+    fn set_state_jumps() {
+        let c = counter2();
+        let cc = CompiledCircuit::compile(&c);
+        let mut sim = CompiledSim::new(&cc);
+        sim.set_state(&[true, true]);
+        assert_eq!(sim.state(), vec![true, true]);
+        assert_eq!(sim.step(&[]), vec![true, true]);
+        assert_eq!(sim.step(&[]), vec![false, false]);
+    }
+}

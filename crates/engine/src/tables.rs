@@ -1,0 +1,187 @@
+//! Exhaustive truth-table sweeps over a compiled schedule — the engine
+//! backend for `scal-analysis`'s exact (Algorithm 3.1) machinery.
+
+use crate::compile::CompiledCircuit;
+use crate::eval::Evaluator;
+use scal_logic::Tt;
+use scal_netlist::{NodeId, Override};
+
+/// Runs `body` once per 64-lane batch of the full input space.
+fn for_each_batch(
+    compiled: &CompiledCircuit,
+    ev: &mut Evaluator,
+    mut body: impl FnMut(&Evaluator, usize, usize),
+) {
+    let n = compiled.num_inputs();
+    assert!(
+        n <= scal_logic::MAX_VARS,
+        "too many inputs for a truth table"
+    );
+    assert!(
+        !compiled.is_sequential(),
+        "truth tables are combinational-only"
+    );
+    let total = 1usize << n;
+    let mut words = vec![0u64; n];
+    let mut base = 0usize;
+    while base < total {
+        let lanes = (total - base).min(64);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0;
+            for lane in 0..lanes {
+                if ((base + lane) >> i) & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        ev.eval(compiled, &words, &[]);
+        body(ev, base, lanes);
+        base += lanes;
+    }
+}
+
+fn scatter(tt: &mut Tt, word: u64, base: usize, lanes: usize) {
+    for lane in 0..lanes {
+        if (word >> lane) & 1 == 1 {
+            tt.set((base + lane) as u32, true);
+        }
+    }
+}
+
+/// Truth tables of **all primary outputs** under `overrides`, computed in a
+/// single exhaustive sweep (the seed's `node_tt_with` ran one sweep per
+/// output).
+///
+/// # Panics
+///
+/// Panics if the circuit is sequential or wider than
+/// [`scal_logic::MAX_VARS`].
+#[must_use]
+pub fn output_tables(
+    compiled: &CompiledCircuit,
+    ev: &mut Evaluator,
+    overrides: &[Override],
+) -> Vec<Tt> {
+    let n = compiled.num_inputs();
+    let mut tts = vec![Tt::zero(n); compiled.num_outputs()];
+    ev.uninstall();
+    ev.install(compiled, overrides);
+    for_each_batch(compiled, ev, |ev, base, lanes| {
+        for (k, tt) in tts.iter_mut().enumerate() {
+            scatter(tt, ev.output(compiled, k), base, lanes);
+        }
+    });
+    ev.uninstall();
+    tts
+}
+
+/// Truth tables of **every node** (indexed by `NodeId::index`), fault-free,
+/// in one exhaustive sweep.
+///
+/// # Panics
+///
+/// As [`output_tables`].
+#[must_use]
+pub fn all_node_tables(compiled: &CompiledCircuit, ev: &mut Evaluator) -> Vec<Tt> {
+    let n = compiled.num_inputs();
+    let num_nodes = compiled.num_slots - compiled.const_slots.len();
+    let mut tts = vec![Tt::zero(n); num_nodes];
+    ev.uninstall();
+    for_each_batch(compiled, ev, |ev, base, lanes| {
+        for (idx, tt) in tts.iter_mut().enumerate() {
+            scatter(tt, ev.raw_slot(idx), base, lanes);
+        }
+    });
+    tts
+}
+
+/// Truth table of one node under `overrides`.
+///
+/// # Panics
+///
+/// As [`output_tables`].
+#[must_use]
+pub fn node_table(
+    compiled: &CompiledCircuit,
+    ev: &mut Evaluator,
+    node: NodeId,
+    overrides: &[Override],
+) -> Tt {
+    let n = compiled.num_inputs();
+    let mut tt = Tt::zero(n);
+    ev.uninstall();
+    ev.install(compiled, overrides);
+    for_each_batch(compiled, ev, |ev, base, lanes| {
+        scatter(&mut tt, ev.slot(node), base, lanes);
+    });
+    ev.uninstall();
+    tt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::{Circuit, Site};
+
+    fn unequal_parity() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let w = c.xor(&[a, b]);
+        let nd = c.not(d);
+        let nw = c.not(w);
+        let t1 = c.and(&[w, nd]);
+        let t2 = c.and(&[nw, d]);
+        let f = c.or(&[t1, t2]);
+        c.mark_output("f", f);
+        (c, w)
+    }
+
+    #[test]
+    fn output_tables_match_node_tt_with() {
+        let (c, w) = unequal_parity();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        for overrides in [
+            vec![],
+            vec![Override {
+                site: Site::Stem(w),
+                value: false,
+            }],
+            vec![Override {
+                site: Site::Branch {
+                    node: c.outputs()[0].node,
+                    pin: 1,
+                },
+                value: true,
+            }],
+        ] {
+            let fast = output_tables(&cc, &mut ev, &overrides);
+            for (k, o) in c.outputs().iter().enumerate() {
+                assert_eq!(fast[k], c.node_tt_with(o.node, &overrides));
+            }
+        }
+    }
+
+    #[test]
+    fn node_table_matches_node_tt() {
+        let (c, w) = unequal_parity();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        for id in c.node_ids() {
+            assert_eq!(node_table(&cc, &mut ev, id, &[]), c.node_tt(id));
+        }
+        let ov = [Override {
+            site: Site::Stem(w),
+            value: true,
+        }];
+        for id in c.node_ids() {
+            assert_eq!(
+                node_table(&cc, &mut ev, id, &ov),
+                c.node_tt_with(id, &ov),
+                "node {id}"
+            );
+        }
+    }
+}

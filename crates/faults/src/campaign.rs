@@ -130,6 +130,10 @@ impl CampaignResult {
 /// The circuit must be combinational, already alternating (every output
 /// self-dual), and have at most 24 inputs (`2^23` pairs).
 ///
+/// Runs on the packed [`scal_engine`] campaign path; the original scalar
+/// implementation survives as [`run_campaign_scalar`] and serves as a
+/// differential oracle.
+///
 /// # Panics
 ///
 /// Panics if the circuit is sequential, too wide, or not alternating.
@@ -145,6 +149,54 @@ pub fn run_campaign(circuit: &Circuit) -> Vec<CampaignResult> {
 /// See [`run_campaign`].
 #[must_use]
 pub fn run_campaign_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
+    run_campaign_engine(circuit, faults, &scal_engine::EngineConfig::default()).0
+}
+
+/// As [`run_campaign_with`], with explicit engine knobs (thread count, fault
+/// dropping) and the run's [`scal_engine::EngineStats`].
+///
+/// # Panics
+///
+/// See [`run_campaign`].
+#[must_use]
+pub fn run_campaign_engine(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: &scal_engine::EngineConfig,
+) -> (Vec<CampaignResult>, scal_engine::EngineStats) {
+    let overrides: Vec<Override> = faults.iter().map(|f| f.to_override()).collect();
+    let (reports, stats) = scal_engine::run_pair_campaign(circuit, &overrides, config);
+    let results = faults
+        .iter()
+        .zip(reports)
+        .map(|(&fault, r)| CampaignResult {
+            fault,
+            detected_pairs: r.detected_pairs,
+            violation_pairs: r.violation_pairs,
+            observable: r.observable,
+        })
+        .collect();
+    (results, stats)
+}
+
+/// The original per-minterm scalar campaign, retained as the differential
+/// oracle for the engine path.
+///
+/// # Panics
+///
+/// See [`run_campaign`].
+#[must_use]
+pub fn run_campaign_scalar(circuit: &Circuit) -> Vec<CampaignResult> {
+    run_campaign_scalar_with(circuit, &enumerate_faults(circuit))
+}
+
+/// As [`run_campaign_scalar`] but over a caller-chosen fault list.
+///
+/// # Panics
+///
+/// See [`run_campaign`].
+#[must_use]
+pub fn run_campaign_scalar_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
     assert!(!circuit.is_sequential(), "campaigns are combinational-only");
     let n = circuit.inputs().len();
     assert!((1..=24).contains(&n), "campaign supports 1..=24 inputs");
@@ -160,9 +212,9 @@ pub fn run_campaign_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignRes
     let mask = total - 1;
     // Sanity: alternation of the fault-free network.
     for m in 0..total {
-        for k in 0..outputs.len() {
+        for (k, &v) in normal[m as usize].iter().enumerate() {
             assert_ne!(
-                normal[m as usize][k],
+                v,
                 normal[(!m & mask) as usize][k],
                 "output {k} does not alternate at pair ({m:0b}); not an alternating network"
             );

@@ -42,7 +42,7 @@ mod campaign;
 mod model;
 
 pub use campaign::{
-    classify_pair, response_pair, run_campaign, run_campaign_with, CampaignResult, PairClass,
-    PairOutcome,
+    classify_pair, response_pair, run_campaign, run_campaign_engine, run_campaign_scalar,
+    run_campaign_scalar_with, run_campaign_with, CampaignResult, PairClass, PairOutcome,
 };
 pub use model::{enumerate_faults, enumerate_faults_uncollapsed, Fault, FaultSet};

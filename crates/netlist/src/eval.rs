@@ -35,18 +35,43 @@ impl Override {
     }
 }
 
-fn stem_override(overrides: &[Override], node: NodeId) -> Option<bool> {
-    overrides
-        .iter()
-        .find(|o| o.site == Site::Stem(node))
-        .map(|o| o.value)
+/// Override lookup index built once per evaluation sweep.
+///
+/// The naive per-node scan made every sweep `O(overrides × nodes)`; sorting
+/// the (tiny) override list up front makes each query a binary search, and
+/// the empty case — the fault-free sweep, by far the most common — free.
+pub(crate) struct OverrideIndex {
+    /// `(site, value)` pairs sorted by site; first match wins on duplicates,
+    /// matching the old `Iterator::find` semantics.
+    sorted: Vec<(Site, bool)>,
 }
 
-fn branch_override(overrides: &[Override], node: NodeId, pin: usize) -> Option<bool> {
-    overrides
-        .iter()
-        .find(|o| o.site == Site::Branch { node, pin })
-        .map(|o| o.value)
+impl OverrideIndex {
+    pub(crate) fn new(overrides: &[Override]) -> Self {
+        let mut sorted: Vec<(Site, bool)> = overrides.iter().map(|o| (o.site, o.value)).collect();
+        // Stable sort keeps the earliest entry first among equal sites.
+        sorted.sort_by_key(|&(site, _)| site);
+        sorted.dedup_by_key(|&mut (site, _)| site);
+        OverrideIndex { sorted }
+    }
+
+    fn get(&self, site: Site) -> Option<bool> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        self.sorted
+            .binary_search_by_key(&site, |&(s, _)| s)
+            .ok()
+            .map(|i| self.sorted[i].1)
+    }
+
+    pub(crate) fn stem(&self, node: NodeId) -> Option<bool> {
+        self.get(Site::Stem(node))
+    }
+
+    pub(crate) fn branch(&self, node: NodeId, pin: usize) -> Option<bool> {
+        self.get(Site::Branch { node, pin })
+    }
 }
 
 impl Circuit {
@@ -91,6 +116,7 @@ impl Circuit {
         overrides: &[Override],
     ) -> (Vec<bool>, Vec<bool>) {
         let values = self.eval_nodes(inputs, state, overrides);
+        let index = OverrideIndex::new(overrides);
         let outputs = self
             .outputs
             .iter()
@@ -103,7 +129,7 @@ impl Circuit {
                 let d = self.nodes[ff.index()].fanins[0];
                 // A branch fault on the flip-flop's D pin corrupts what gets
                 // latched.
-                branch_override(overrides, ff, 0).unwrap_or(values[d.index()])
+                index.branch(ff, 0).unwrap_or(values[d.index()])
             })
             .collect();
         (outputs, next_state)
@@ -122,6 +148,7 @@ impl Circuit {
     pub fn eval_nodes(&self, inputs: &[bool], state: &[bool], overrides: &[Override]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.inputs.len(), "input arity mismatch");
         assert_eq!(state.len(), self.dffs.len(), "state arity mismatch");
+        let index = OverrideIndex::new(overrides);
         let mut values = vec![false; self.nodes.len()];
         let order = self.topo_order();
 
@@ -143,13 +170,13 @@ impl Circuit {
                 NodeKind::Gate(kind) => {
                     scratch.clear();
                     for (pin, f) in node.fanins.iter().enumerate() {
-                        let fv = branch_override(overrides, id, pin).unwrap_or(values[f.index()]);
+                        let fv = index.branch(id, pin).unwrap_or(values[f.index()]);
                         scratch.push(fv);
                     }
                     kind.eval(&scratch)
                 }
             };
-            if let Some(forced) = stem_override(overrides, id) {
+            if let Some(forced) = index.stem(id) {
                 v = forced;
             }
             values[id.index()] = v;
@@ -167,6 +194,7 @@ impl Circuit {
     pub fn eval_nodes64(&self, inputs: &[u64], state: &[u64], overrides: &[Override]) -> Vec<u64> {
         assert_eq!(inputs.len(), self.inputs.len(), "input arity mismatch");
         assert_eq!(state.len(), self.dffs.len(), "state arity mismatch");
+        let index = OverrideIndex::new(overrides);
         let mut values = vec![0u64; self.nodes.len()];
         for (i, &inp) in self.inputs.iter().enumerate() {
             values[inp.index()] = inputs[i];
@@ -190,7 +218,7 @@ impl Circuit {
                 NodeKind::Gate(kind) => {
                     scratch.clear();
                     for (pin, f) in node.fanins.iter().enumerate() {
-                        let fv = match branch_override(overrides, id, pin) {
+                        let fv = match index.branch(id, pin) {
                             Some(true) => u64::MAX,
                             Some(false) => 0,
                             None => values[f.index()],
@@ -200,7 +228,7 @@ impl Circuit {
                     kind.eval64(&scratch)
                 }
             };
-            match stem_override(overrides, id) {
+            match index.stem(id) {
                 Some(true) => v = u64::MAX,
                 Some(false) => v = 0,
                 None => {}

@@ -8,6 +8,7 @@
 //! fault-secure violation.
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
+use scal_engine::{par_map, CompiledCircuit, CompiledSim};
 use scal_faults::Fault;
 
 /// Outcome of one fault under a driven sequence.
@@ -58,15 +59,89 @@ impl SeqCampaign {
     }
 }
 
+/// Classifies one fault's trace against the golden trace: outcome at the
+/// first word where any monitored line deviates.
+fn classify_trace(
+    machine: &ScalMachine,
+    golden: &[(Vec<bool>, Vec<bool>)],
+    mut apply: impl FnMut(&[bool]) -> (Vec<bool>, Vec<bool>),
+    words: &[Vec<bool>],
+) -> SeqOutcome {
+    for (i, w) in words.iter().enumerate() {
+        let (o1, o2) = apply(w);
+        let mon = machine.monitored();
+        let wrong = mon
+            .clone()
+            .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
+        if wrong {
+            let nonalt = mon.clone().any(|k| o1[k] == o2[k]);
+            let code_bad = machine
+                .code_pair
+                .map(|(f, g)| o1[f] == o1[g] || o2[f] == o2[g])
+                .unwrap_or(false);
+            return if nonalt || code_bad {
+                SeqOutcome::Detected { word: i }
+            } else {
+                SeqOutcome::Violation { word: i }
+            };
+        }
+    }
+    SeqOutcome::Dormant
+}
+
+/// Applies one information word over two alternating periods of a compiled
+/// simulator (`(X‖0, X̄‖1)`), mirroring [`AltSeqDriver::apply`].
+fn apply_compiled(sim: &mut CompiledSim<'_>, word: &[bool]) -> (Vec<bool>, Vec<bool>) {
+    let mut p1: Vec<bool> = word.to_vec();
+    p1.push(false); // φ = 0
+    let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+    p2.push(true); // φ = 1
+    let o1 = sim.step(&p1);
+    let o2 = sim.step(&p2);
+    (o1, o2)
+}
+
 /// Runs every checkable fault of `machine` against the driven `words`
 /// (each an external-input vector), comparing monitored lines and check
 /// pairs against the fault-free golden trace.
+///
+/// The machine is compiled once ([`scal_engine::CompiledCircuit`]) and the
+/// per-fault re-simulations fan out across the engine's worker pool; the
+/// original graph-walking implementation survives as
+/// [`run_seq_campaign_scalar`] and serves as a differential oracle.
 ///
 /// # Panics
 ///
 /// Panics if a word's width mismatches the machine's external inputs.
 #[must_use]
 pub fn run_seq_campaign(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
+    let compiled = CompiledCircuit::compile(&machine.circuit);
+    let mut golden = Vec::with_capacity(words.len());
+    {
+        let mut sim = CompiledSim::new(&compiled);
+        for w in words {
+            golden.push(apply_compiled(&mut sim, w));
+        }
+    }
+    let faults = machine.checkable_faults();
+    let outcomes = par_map(&faults, 0, |_, &fault| {
+        let mut sim = CompiledSim::new(&compiled);
+        sim.attach(&[fault.to_override()]);
+        classify_trace(machine, &golden, |w| apply_compiled(&mut sim, w), words)
+    });
+    SeqCampaign {
+        outcomes: faults.into_iter().zip(outcomes).collect(),
+    }
+}
+
+/// The original graph-walking sequential campaign, retained as the
+/// differential oracle for [`run_seq_campaign`].
+///
+/// # Panics
+///
+/// Panics if a word's width mismatches the machine's external inputs.
+#[must_use]
+pub fn run_seq_campaign_scalar(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
     let mut golden = Vec::with_capacity(words.len());
     {
         let mut drv = AltSeqDriver::new(machine);
@@ -80,27 +155,7 @@ pub fn run_seq_campaign(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampai
         .map(|fault| {
             let mut drv = AltSeqDriver::new(machine);
             drv.attach(fault.to_override());
-            let mut outcome = SeqOutcome::Dormant;
-            for (i, w) in words.iter().enumerate() {
-                let (o1, o2) = drv.apply(w);
-                let mon = machine.monitored();
-                let wrong = mon
-                    .clone()
-                    .any(|k| o1[k] != golden[i].0[k] || o2[k] != golden[i].1[k]);
-                if wrong {
-                    let nonalt = mon.clone().any(|k| o1[k] == o2[k]);
-                    let code_bad = machine
-                        .code_pair
-                        .map(|(f, g)| o1[f] == o1[g] || o2[f] == o2[g])
-                        .unwrap_or(false);
-                    outcome = if nonalt || code_bad {
-                        SeqOutcome::Detected { word: i }
-                    } else {
-                        SeqOutcome::Violation { word: i }
-                    };
-                    break;
-                }
-            }
+            let outcome = classify_trace(machine, &golden, |w| drv.apply(w), words);
             (fault, outcome)
         })
         .collect();
@@ -148,6 +203,20 @@ mod tests {
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
             let campaign = run_seq_campaign(&machine, &words);
             assert!(campaign.fault_secure(), "{}", machine.design);
+        }
+    }
+
+    #[test]
+    fn engine_campaign_matches_scalar_oracle() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]);
+        for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+            assert_eq!(
+                run_seq_campaign(&machine, &words),
+                run_seq_campaign_scalar(&machine, &words),
+                "{}",
+                machine.design
+            );
         }
     }
 

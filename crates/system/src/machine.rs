@@ -49,8 +49,8 @@ impl BusTranslator {
         sim.step(&p2);
         let state = sim.state();
         let mut t = 0u8;
-        for i in 0..WORD {
-            t |= u8::from(state[i]) << i;
+        for (i, &b) in state.iter().take(WORD).enumerate() {
+            t |= u8::from(b) << i;
         }
         (t, state[WORD])
     }
@@ -67,8 +67,8 @@ impl BusTranslator {
             ins.push(phi);
             let out = self.palt.eval(&ins);
             let mut w = 0u8;
-            for i in 0..WORD {
-                w |= u8::from(out[i]) << i;
+            for (i, &b) in out.iter().take(WORD).enumerate() {
+                w |= u8::from(b) << i;
             }
             (w, out[WORD] != out[WORD + 1])
         };

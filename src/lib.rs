@@ -17,6 +17,7 @@
 //! | [`logic`] | `scal-logic` | truth tables, duals, self-dualization, Quine–McCluskey, expressions |
 //! | [`netlist`] | `scal-netlist` | gate-level circuits, evaluation, simulation, structure, cost, text/DOT |
 //! | [`faults`] | `scal-faults` | stuck-at model, alternating-pair fault simulation |
+//! | [`engine`] | `scal-engine` | compiled fault-campaign engine: levelized schedules, 64-pair packed sweeps, parallel fan-out |
 //! | [`analysis`] | `scal-analysis` | Algorithm 3.1, test derivation/generation, redundancy removal, repair |
 //! | [`core`] | `scal-core` | SCAL verification engine, dualization, the paper's circuits |
 //! | [`checkers`] | `scal-checkers` | two-rail/XOR/mixed checkers, hardcore, system composition |
@@ -49,6 +50,7 @@
 pub use scal_analysis as analysis;
 pub use scal_checkers as checkers;
 pub use scal_core as core;
+pub use scal_engine as engine;
 pub use scal_faults as faults;
 pub use scal_logic as logic;
 pub use scal_minority as minority;

@@ -1,0 +1,188 @@
+//! Engine-vs-scalar differential coverage: the compiled `scal-engine`
+//! campaign must be bit-identical — same pairs, same order, same flags — to
+//! the original graph-walking scalar campaign on every canonical circuit of
+//! the reproduction, and on randomly generated alternating networks.
+
+use proptest::prelude::*;
+use scal::core::{dualize_synthesized, paper};
+use scal::engine::{CompiledCircuit, CompiledSim};
+use scal::faults::{enumerate_faults, run_campaign_scalar_with, run_campaign_with};
+use scal::netlist::{Circuit, Sim};
+
+fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("self_dual_adder", paper::self_dual_adder()),
+        ("ripple_adder_2", paper::ripple_adder(2)),
+        ("fig3_4", paper::fig3_4().circuit),
+        ("fig3_7", paper::fig3_7().circuit),
+        ("fig3_1_example", paper::fig3_1_example().0),
+        ("kohavi", scal::seq::kohavi::kohavi_circuit()),
+        ("reynolds", scal::seq::kohavi::reynolds_circuit().circuit),
+        (
+            "translator",
+            scal::seq::kohavi::translator_circuit().circuit,
+        ),
+        ("alpt_4", scal::seq::alpt(4)),
+        ("palt_4", scal::seq::palt(4)),
+        ("checker_8", scal::checkers::two_rail::reynolds_checker(8)),
+        ("minority_direct", scal::minority::fig6_2_example().direct),
+    ]
+}
+
+fn is_alternating(c: &Circuit) -> bool {
+    c.output_tts().iter().all(scal::logic::Tt::is_self_dual)
+}
+
+/// Every combinational alternating paper circuit: full collapsed fault
+/// universe through both campaigns, results compared including ordering.
+#[test]
+fn engine_campaign_matches_scalar_on_paper_circuits() {
+    let mut checked = 0;
+    for (name, c) in all_paper_circuits() {
+        if c.is_sequential() || c.inputs().len() > 12 || !is_alternating(&c) {
+            continue;
+        }
+        let faults = enumerate_faults(&c);
+        let engine = run_campaign_with(&c, &faults);
+        let scalar = run_campaign_scalar_with(&c, &faults);
+        assert_eq!(engine.len(), scalar.len(), "{name}: result count");
+        for (e, s) in engine.iter().zip(&scalar) {
+            assert_eq!(e, s, "{name}: fault {:?}", e.fault);
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "too few campaign-eligible circuits: {checked}"
+    );
+}
+
+/// Sequential (and non-alternating) paper circuits: the compiled simulator
+/// must track the graph simulator step-for-step under every collapsed fault.
+#[test]
+fn compiled_sim_matches_graph_sim_on_paper_circuits() {
+    for (name, c) in all_paper_circuits() {
+        let n = c.inputs().len();
+        if n > 12 {
+            continue;
+        }
+        let compiled = CompiledCircuit::compile(&c);
+        let drive: Vec<Vec<bool>> = (0..16u32)
+            .map(|step| {
+                (0..n)
+                    .map(|i| (step.wrapping_mul(5).wrapping_add(i as u32 * 3)) % 4 < 2)
+                    .collect()
+            })
+            .collect();
+        for fault in enumerate_faults(&c) {
+            let mut fast = CompiledSim::new(&compiled);
+            fast.attach(&[fault.to_override()]);
+            let mut slow = Sim::new(&c);
+            slow.attach(fault.to_override());
+            for (step, ins) in drive.iter().enumerate() {
+                assert_eq!(
+                    fast.step(ins),
+                    slow.step(ins),
+                    "{name}: fault {fault:?} step {step}"
+                );
+            }
+        }
+    }
+}
+
+/// Builds a random combinational circuit from a gate recipe, then makes it
+/// alternating via the paper's synthesized self-dual extension.
+fn random_alternating(n_inputs: usize, recipe: &[(u8, u8, u8)]) -> Circuit {
+    let mut c = Circuit::new();
+    let mut nodes = Vec::new();
+    for i in 0..n_inputs {
+        nodes.push(c.input(format!("x{i}")));
+    }
+    for &(kind, a, b) in recipe {
+        let fa = nodes[a as usize % nodes.len()];
+        let fb = nodes[b as usize % nodes.len()];
+        let g = match kind % 6 {
+            0 => c.and(&[fa, fb]),
+            1 => c.or(&[fa, fb]),
+            2 => c.nand(&[fa, fb]),
+            3 => c.nor(&[fa, fb]),
+            4 => c.xor(&[fa, fb]),
+            _ => c.not(fa),
+        };
+        nodes.push(g);
+    }
+    c.mark_output("f", *nodes.last().expect("at least one node"));
+    dualize_synthesized(&c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random alternating networks: engine and scalar campaigns agree on the
+    /// full collapsed fault universe, ordering included.
+    #[test]
+    fn engine_campaign_matches_scalar_on_random_circuits(
+        n_inputs in 2usize..4,
+        recipe in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8), 1..6),
+    ) {
+        let alt = random_alternating(n_inputs, &recipe);
+        let faults = enumerate_faults(&alt);
+        let engine = run_campaign_with(&alt, &faults);
+        let scalar = run_campaign_scalar_with(&alt, &faults);
+        prop_assert_eq!(engine, scalar);
+    }
+
+    /// Random sequential circuits (no alternation requirement): compiled and
+    /// graph simulators agree fault-free and under a stem fault.
+    #[test]
+    fn compiled_sim_matches_graph_sim_on_random_sequential(
+        n_inputs in 1usize..3,
+        n_dffs in 1usize..3,
+        recipe in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8), 1..6),
+        drive in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 2), 4..10),
+    ) {
+        let mut c = Circuit::new();
+        let mut nodes = Vec::new();
+        for i in 0..n_inputs {
+            nodes.push(c.input(format!("x{i}")));
+        }
+        let dffs: Vec<_> = (0..n_dffs).map(|i| c.dff(i % 2 == 0)).collect();
+        nodes.extend(&dffs);
+        for &(kind, a, b) in &recipe {
+            let fa = nodes[a as usize % nodes.len()];
+            let fb = nodes[b as usize % nodes.len()];
+            let g = match kind % 6 {
+                0 => c.and(&[fa, fb]),
+                1 => c.or(&[fa, fb]),
+                2 => c.nand(&[fa, fb]),
+                3 => c.nor(&[fa, fb]),
+                4 => c.xor(&[fa, fb]),
+                _ => c.not(fa),
+            };
+            nodes.push(g);
+        }
+        let last = *nodes.last().expect("nodes");
+        for (i, &q) in dffs.iter().enumerate() {
+            c.connect_dff(q, if i == 0 { last } else { nodes[i % nodes.len()] });
+        }
+        c.mark_output("f", last);
+        prop_assume!(c.validate().is_ok());
+
+        let compiled = CompiledCircuit::compile(&c);
+        for overrides in [vec![], vec![scal::netlist::Override {
+            site: scal::netlist::Site::Stem(last),
+            value: true,
+        }]] {
+            let mut fast = CompiledSim::new(&compiled);
+            fast.attach(&overrides);
+            let mut slow = Sim::new(&c);
+            for ov in &overrides {
+                slow.attach(*ov);
+            }
+            for ins in &drive {
+                let w = &ins[..n_inputs];
+                prop_assert_eq!(fast.step(w), slow.step(w));
+            }
+        }
+    }
+}

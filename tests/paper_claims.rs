@@ -127,7 +127,7 @@ fn claim_all_experiments_regenerate() {
     }
 }
 
-fn scal_bench_experiments() -> &'static [(&'static str, fn() -> String)] {
+fn scal_bench_experiments() -> &'static [scal_bench::Experiment] {
     // Re-exported through a tiny indirection so the dev-dependency stays in
     // one place.
     scal_bench::EXPERIMENTS

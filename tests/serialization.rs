@@ -13,24 +13,15 @@ fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
         ("fig3_7", paper::fig3_7().circuit),
         ("fig3_1_example", paper::fig3_1_example().0),
         ("kohavi", scal::seq::kohavi::kohavi_circuit()),
-        (
-            "reynolds",
-            scal::seq::kohavi::reynolds_circuit().circuit,
-        ),
+        ("reynolds", scal::seq::kohavi::reynolds_circuit().circuit),
         (
             "translator",
             scal::seq::kohavi::translator_circuit().circuit,
         ),
         ("alpt_4", scal::seq::alpt(4)),
         ("palt_4", scal::seq::palt(4)),
-        (
-            "checker_8",
-            scal::checkers::two_rail::reynolds_checker(8),
-        ),
-        (
-            "minority_direct",
-            scal::minority::fig6_2_example().direct,
-        ),
+        ("checker_8", scal::checkers::two_rail::reynolds_checker(8)),
+        ("minority_direct", scal::minority::fig6_2_example().direct),
     ]
 }
 

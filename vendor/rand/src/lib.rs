@@ -1,0 +1,161 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal, API-compatible subset of `rand` 0.8: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the handful of [`Rng`] methods the
+//! repository actually calls. The generator is SplitMix64 — deterministic,
+//! fast, and statistically adequate for test-input generation (it is *not*
+//! cryptographic, and neither caller here needs it to be).
+
+#![forbid(unsafe_code)]
+
+/// Core trait for generators: a source of raw 64-bit words.
+pub trait RngCore {
+    /// Returns the next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next raw 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value-producing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 bits of mantissa precision, as rand does.
+        let scale = (1u64 << 53) as f64;
+        ((self.next_u64() >> 11) as f64) < p * scale
+    }
+
+    /// Samples a value of type `T` uniformly.
+    fn gen<T: Generatable>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    /// Samples uniformly from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T: UniformRange>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Generatable {
+    /// Samples one value.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Generatable for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generatable for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Generatable for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample from a half-open range.
+pub trait UniformRange: Sized {
+    /// Samples uniformly from `[range.start, range.end)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: core::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is < 2^-32 for the spans used here.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+}
