@@ -224,7 +224,7 @@ pub fn analysis_sites(circuit: &Circuit) -> Vec<Site> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scal_faults::run_campaign;
+    use scal_faults::Campaign;
 
     fn maj_nand() -> Circuit {
         let mut c = Circuit::new();
@@ -287,7 +287,7 @@ mod tests {
     fn analysis_agrees_with_exhaustive_campaign() {
         for (circuit, _, _) in [fig3_4_like()] {
             let report = analyze(&circuit).unwrap();
-            let campaign = run_campaign(&circuit);
+            let campaign = Campaign::new(&circuit).run().unwrap().results;
             // Per-site fault security must match exactly.
             for line in &report.lines {
                 let sim_secure = campaign

@@ -85,7 +85,7 @@ fn canonical_pairs(tests: &Tt) -> Vec<(u32, u32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scal_faults::{run_campaign_with, Fault};
+    use scal_faults::{Campaign, Fault};
 
     /// The §3.2 example: F(X,G(X)) = G(X)·x̄3 ∨ x1x2x̄3 ∨ x̄2x3x4 ∨ x1x3x4
     /// with G(X) = x1x̄2x̄3 ∨ x̄1x̄2x4 ∨ x̄1x̄2̄… — rather than transcribe the
@@ -127,7 +127,11 @@ mod tests {
         let (c, site) = example_circuit();
         // Reference: exhaustive campaign on the two faults of this site.
         let faults = [Fault::new(site, false), Fault::new(site, true)];
-        let campaign = run_campaign_with(&c, &faults);
+        let campaign = Campaign::new(&c)
+            .faults(faults.to_vec())
+            .run()
+            .unwrap()
+            .results;
         let (t0, t1) = derive_tests(&c, site, 0);
         for (t, r) in [(&t0, &campaign[0]), (&t1, &campaign[1])] {
             // e_zero ⇔ fault secure (single output network).

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use scal_analysis::analyze;
 use scal_core::paper::{fig3_4, fig3_7, ripple_adder};
-use scal_faults::run_campaign;
+use scal_faults::Campaign;
 
 fn bench(c: &mut Criterion) {
     let examples = [
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| analyze(circuit).unwrap());
         });
         group.bench_function(format!("exhaustive_{name}"), |b| {
-            b.iter(|| run_campaign(circuit));
+            b.iter(|| Campaign::new(circuit).run().unwrap());
         });
     }
     group.finish();

@@ -7,12 +7,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use scal_core::paper::{fig3_7, ripple_adder};
 use scal_engine::{CompiledCircuit, CompiledSim, EngineConfig};
-use scal_faults::{
-    enumerate_faults, run_campaign, run_campaign_engine, run_campaign_scalar_with, Fault,
-};
+use scal_faults::{enumerate_faults, Campaign, Fault};
 use scal_netlist::{Circuit, Sim};
 use scal_seq::kohavi::kohavi_0101;
-use scal_seq::{dual_ff_machine, run_seq_campaign, run_seq_campaign_scalar};
+use scal_seq::{dual_ff_machine, Campaign as SeqCampaignBuilder};
 
 fn scalar_campaign(circuit: &Circuit, faults: &[Fault]) -> usize {
     // Seed reference: one scalar `eval_with` graph walk per (fault, period).
@@ -46,7 +44,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("fig3_7_engine", |b| {
         b.iter_batched(
             || fig.circuit.clone(),
-            |c| run_campaign(&c),
+            |c| Campaign::new(&c).run().unwrap(),
             BatchSize::SmallInput,
         );
     });
@@ -55,7 +53,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| scalar_campaign(&fig.circuit, &faults));
     });
     group.bench_function("adder4_engine", |b| {
-        b.iter(|| run_campaign(&adder));
+        b.iter(|| Campaign::new(&adder).run().unwrap());
     });
     group.finish();
 }
@@ -72,24 +70,42 @@ fn bench_adder8(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(5));
     group.bench_function("engine_8faults", |b| {
-        b.iter(|| run_campaign_engine(&adder, &subset, &EngineConfig::default()));
+        b.iter(|| Campaign::new(&adder).faults(subset.clone()).run().unwrap());
     });
     group.bench_function("engine_8faults_drop", |b| {
         let config = EngineConfig {
             drop_after_detection: true,
             ..EngineConfig::default()
         };
-        b.iter(|| run_campaign_engine(&adder, &subset, &config));
+        b.iter(|| {
+            Campaign::new(&adder)
+                .faults(subset.clone())
+                .config(config.clone())
+                .run()
+                .unwrap()
+        });
     });
     group.bench_function("scalar_8faults", |b| {
-        b.iter(|| run_campaign_scalar_with(&adder, &subset));
+        b.iter(|| {
+            Campaign::new(&adder)
+                .faults(subset.clone())
+                .scalar()
+                .run()
+                .unwrap()
+        });
     });
     group.bench_function("engine_full_562faults_drop", |b| {
         let config = EngineConfig {
             drop_after_detection: true,
             ..EngineConfig::default()
         };
-        b.iter(|| run_campaign_engine(&adder, &faults, &config));
+        b.iter(|| {
+            Campaign::new(&adder)
+                .faults(faults.clone())
+                .config(config.clone())
+                .run()
+                .unwrap()
+        });
     });
     group.finish();
 }
@@ -101,10 +117,15 @@ fn bench_kohavi(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kohavi");
     group.bench_function("engine_seq_campaign", |b| {
-        b.iter(|| run_seq_campaign(&machine, &words));
+        b.iter(|| SeqCampaignBuilder::new(&machine, &words).run().unwrap());
     });
     group.bench_function("scalar_seq_campaign", |b| {
-        b.iter(|| run_seq_campaign_scalar(&machine, &words));
+        b.iter(|| {
+            SeqCampaignBuilder::new(&machine, &words)
+                .scalar()
+                .run()
+                .unwrap()
+        });
     });
     group.finish();
 }

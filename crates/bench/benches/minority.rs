@@ -1,7 +1,7 @@
 //! Minority-module conversion and verification throughput (Chapter 6).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scal_faults::run_campaign;
+use scal_faults::Campaign;
 use scal_minority::convert_to_alternating;
 use scal_netlist::Circuit;
 
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
         });
         let alt = convert_to_alternating(&net).unwrap();
         group.bench_function(format!("verify_converted_{width}"), |b| {
-            b.iter(|| run_campaign(&alt));
+            b.iter(|| Campaign::new(&alt).run().unwrap());
         });
     }
     group.finish();

@@ -3,33 +3,68 @@
 //! ```text
 //! cargo run -p scal-bench --bin experiments -- all
 //! cargo run -p scal-bench --bin experiments -- tab4_1 fig3_6
+//! cargo run -p scal-bench --bin experiments -- ext_engine --trace out.jsonl
+//! cargo run -p scal-bench --bin experiments -- all --metrics
 //! ```
+//!
+//! `--trace FILE` streams every campaign event the selected experiments
+//! emit as JSON lines; `--metrics` prints aggregated counters and phase
+//! wall-time histograms after the reports.
 
+use scal_bench::ExperimentCtx;
 use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: experiments [--trace FILE] [--metrics] <id>... | all | list");
+    eprintln!("ids:");
+    for (id, _) in scal_bench::EXPERIMENTS {
+        eprintln!("  {id}");
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: experiments <id>... | all | list");
-        eprintln!("ids:");
-        for (id, _) in scal_bench::EXPERIMENTS {
-            eprintln!("  {id}");
+    let mut ctx = ExperimentCtx::new();
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--trace needs a file argument");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = ctx.set_trace(&path) {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--metrics" => ctx.enable_metrics(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_owned()),
         }
+    }
+    if ids.is_empty() {
+        usage();
         return ExitCode::FAILURE;
     }
-    if args.len() == 1 && args[0] == "list" {
+    if ids.len() == 1 && ids[0] == "list" {
         for (id, _) in scal_bench::EXPERIMENTS {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
-    let ids: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+    let ids: Vec<&str> = if ids.len() == 1 && ids[0] == "all" {
         scal_bench::EXPERIMENTS.iter().map(|(id, _)| *id).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
     for id in ids {
-        match scal_bench::run(id) {
+        match scal_bench::run(id, &ctx) {
             Ok(report) => {
                 println!("{report}");
             }
@@ -38,6 +73,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(metrics) = ctx.metrics() {
+        println!("== metrics ==");
+        print!("{}", metrics.render());
+    }
+    if let Err(e) = ctx.finish() {
+        eprintln!("trace write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if ctx.trace_lines() > 0 {
+        eprintln!("trace: {} events written", ctx.trace_lines());
     }
     ExitCode::SUCCESS
 }

@@ -1,14 +1,14 @@
 //! Chapter 2 experiment: the self-dual adder of Fig. 2.2.
 
 use scal_core::paper::{ripple_adder, self_dual_adder};
-use scal_core::verify;
+use scal_faults::Campaign;
 use std::fmt::Write;
 
 /// Fig. 2.2 — the self-dual (Liu) full adder: verify self-duality of both
 /// outputs, zero added hardware for alternation, and full self-checking by
 /// exhaustive single-fault campaign; then scale to a ripple adder.
 #[must_use]
-pub fn fig2_2() -> String {
+pub fn fig2_2(ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 2.2: self-dual adder ==");
     let adder = self_dual_adder();
@@ -25,11 +25,17 @@ pub fn fig2_2() -> String {
         tts[0].is_self_dual(),
         tts[1].is_self_dual()
     );
-    let v = verify(&adder).expect("adder verifies");
+    let report = Campaign::new(&adder)
+        .observer(ctx)
+        .run()
+        .expect("adder verifies");
     let _ = writeln!(
         s,
         "exhaustive SCAL verification: {} faults x {} pairs -> fault-secure: {}, self-testing: {}",
-        v.fault_count, v.pair_count, v.fault_secure, v.self_testing
+        report.results.len(),
+        1usize << (adder.inputs().len() - 1),
+        report.all_fault_secure(),
+        report.all_tested()
     );
 
     for bits in [2usize, 4, 8] {
@@ -49,7 +55,7 @@ pub fn fig2_2() -> String {
 mod tests {
     #[test]
     fn report_mentions_key_facts() {
-        let r = super::fig2_2();
+        let r = super::fig2_2(&crate::ExperimentCtx::default());
         assert!(r.contains("fault-secure: true"));
         assert!(r.contains("self-testing: true"));
         assert!(r.contains("sum self-dual: true"));

@@ -13,7 +13,7 @@ use std::fmt::Write;
 /// tests, matching the paper's {1011, 0110, 0100, 1001} with pairs
 /// (1011,0100) and (0110,1001).
 #[must_use]
-pub fn fig3_1() -> String {
+pub fn fig3_1(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 3.1 / Thm 3.2: stuck-at test derivation ==");
     let (c, g) = paper::fig3_1_example();
@@ -115,7 +115,7 @@ fn condition_table(c: &Circuit, labels: &[(Site, &str)]) -> String {
 /// Algorithm 3.1 conditions (witness letter = first passing condition),
 /// Corollary 3.2 rescues, and the self-checking verdict.
 #[must_use]
-pub fn fig3_4() -> String {
+pub fn fig3_4(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -138,7 +138,7 @@ pub fn fig3_4() -> String {
 /// value, the output pair for each alternating input pair, annotated `X`
 /// (non-alternating, detected) or `*` (incorrect alternating, undetected).
 #[must_use]
-pub fn fig3_6() -> String {
+pub fn fig3_6(ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 3.6: fault table of the example network ==");
     let fig = paper::fig3_4();
@@ -202,13 +202,32 @@ pub fn fig3_6() -> String {
         }
     }
     let _ = writeln!(s, "X = non-alternating pair (detected); * = incorrect alternating pair (undetected on that output)");
+    // Cross-check with the compiled engine: sweep *every* collapsed fault
+    // (not just the labelled lines) through the unified Campaign builder,
+    // forwarding the observability context.
+    let campaign = scal_faults::Campaign::new(c)
+        .observer(ctx)
+        .run()
+        .expect("fig 3.4 network is alternating");
+    let violating = campaign
+        .results
+        .iter()
+        .filter(|r| !r.fault_secure())
+        .count();
+    let _ = writeln!(
+        s,
+        "engine cross-check over all {} collapsed faults: {} fault-secure violations ({} pairs swept)",
+        campaign.results.len(),
+        violating,
+        campaign.stats.pairs_evaluated
+    );
     s
 }
 
 /// Fig. 3.7 — the fanout-splitting fix: Algorithm 3.1 passes every line and
 /// the exhaustive campaign confirms full self-checking.
 #[must_use]
-pub fn fig3_7() -> String {
+pub fn fig3_7(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 3.7: fixed network ==");
     let fixed = paper::fig3_7();
@@ -235,7 +254,7 @@ pub fn fig3_7() -> String {
 mod tests {
     #[test]
     fn fig3_1_reproduces_paper_tests() {
-        let r = super::fig3_1();
+        let r = super::fig3_1(&crate::ExperimentCtx::default());
         for t in ["1011", "0110", "0100", "1001"] {
             assert!(r.contains(t), "missing test {t} in:\n{r}");
         }
@@ -243,7 +262,7 @@ mod tests {
 
     #[test]
     fn fig3_4_flags_line_20() {
-        let r = super::fig3_4();
+        let r = super::fig3_4(&crate::ExperimentCtx::default());
         assert!(r.contains("network self-checking: false"));
         assert!(r.contains("VIOLATES"));
         assert!(r.contains("rescued"));
@@ -251,14 +270,14 @@ mod tests {
 
     #[test]
     fn fig3_6_has_both_annotations() {
-        let r = super::fig3_6();
+        let r = super::fig3_6(&crate::ExperimentCtx::default());
         assert!(r.contains('*'), "needs an incorrect-alternating cell");
         assert!(r.contains('X'), "needs a detected cell");
     }
 
     #[test]
     fn fig3_7_is_clean() {
-        let r = super::fig3_7();
+        let r = super::fig3_7(&crate::ExperimentCtx::default());
         assert!(r.contains("network self-checking: true"));
         assert!(r.contains("fault-secure: true"));
     }

@@ -9,7 +9,7 @@ use std::fmt::Write;
 /// feedback variables, and outputs all alternate in unison, with the
 /// feedback lagging one full pair (two periods) behind.
 #[must_use]
-pub fn fig4_2() -> String {
+pub fn fig4_2(ctx: &crate::ExperimentCtx) -> String {
     use scal_seq::dual_ff::AltSeqDriver;
     use scal_seq::kohavi::{kohavi_0101, reynolds_circuit};
     use std::fmt::Write as _;
@@ -44,6 +44,31 @@ pub fn fig4_2() -> String {
         s,
         "every line alternates each pair; z matches the unchecked machine in period 1"
     );
+    // Exhaustive fault campaign over the dual-FF machine on this stream,
+    // through the sequential Campaign builder (forwards the observer).
+    let words: Vec<Vec<bool>> = stream.iter().map(|&x| vec![x == 1]).collect();
+    let campaign = scal_seq::Campaign::new(&machine, &words)
+        .observer(ctx)
+        .run()
+        .expect("dual-FF machine simulates");
+    let detected = campaign
+        .outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, scal_seq::SeqOutcome::Detected { .. }))
+        .count();
+    let violations = campaign
+        .outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, scal_seq::SeqOutcome::Violation { .. }))
+        .count();
+    let _ = writeln!(
+        s,
+        "fault campaign on this stream: {} faults -> {} detected, {} dormant, {} violations",
+        campaign.outcomes.len(),
+        detected,
+        campaign.outcomes.len() - detected - violations,
+        violations
+    );
     s
 }
 
@@ -52,7 +77,7 @@ pub fn fig4_2() -> String {
 /// coverage, for several word sizes (odd sizes fold the period clock into
 /// the check, per §4.3).
 #[must_use]
-pub fn fig4_4() -> String {
+pub fn fig4_4(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Figs 4.4-4.6: ALPT / PALT code conversion ==");
     for n in [2usize, 3, 4, 8] {
@@ -119,7 +144,7 @@ pub fn fig4_4() -> String {
 /// numbers alongside our synthesized reconstructions, plus the general-case
 /// formulas at growing machine sizes.
 #[must_use]
-pub fn tab4_1() -> String {
+pub fn tab4_1(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -183,7 +208,7 @@ pub fn tab4_1() -> String {
 mod tests {
     #[test]
     fn fig4_2_streams_alternate_and_match() {
-        let r = super::fig4_2();
+        let r = super::fig4_2(&crate::ExperimentCtx::default());
         assert!(
             r.contains("(1, 0)     (1, 0)"),
             "detections must appear:\n{r}"
@@ -193,7 +218,7 @@ mod tests {
 
     #[test]
     fn translators_fully_detect_single_corruptions() {
-        let r = super::fig4_4();
+        let r = super::fig4_4(&crate::ExperimentCtx::default());
         // Every "detected/injections" pair must be complete.
         for line in r.lines().filter(|l| l.contains("round-trip")) {
             let frag = line.split(';').nth(1).unwrap();
@@ -206,7 +231,7 @@ mod tests {
 
     #[test]
     fn table_4_1_reports_both_columns() {
-        let r = super::tab4_1();
+        let r = super::tab4_1(&crate::ExperimentCtx::default());
         assert!(r.contains("Kohavi example"));
         assert!(r.contains("Translator"));
         assert!(r.contains("paper FF"));

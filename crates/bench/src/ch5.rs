@@ -13,7 +13,7 @@ use std::fmt::Write;
 /// Figs. 5.1/5.2 — dual-rail vs XOR checkers: hardware costs across line
 /// counts and the checkers' own fault coverage.
 #[must_use]
-pub fn fig5_1() -> String {
+pub fn fig5_1(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Figs 5.1/5.2: checker families ==");
     let _ = writeln!(
@@ -43,7 +43,7 @@ pub fn fig5_1() -> String {
 /// Figs. 5.3/5.4 — the mixed checker on the paper's nine-output example:
 /// the Algorithm 5.1 partition and the ~2x hardware saving.
 #[must_use]
-pub fn fig5_3() -> String {
+pub fn fig5_3(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -87,7 +87,7 @@ pub fn fig5_3() -> String {
 /// a 4-line XOR checker (lines stuck vs lines alternating incorrectly) and
 /// regenerate the Yes/No column by simulation.
 #[must_use]
-pub fn tab5_1() -> String {
+pub fn tab5_1(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -149,7 +149,7 @@ pub fn tab5_1() -> String {
 /// Theorem 5.2 witness (an undetectable-but-dangerous fault), replication
 /// probabilities, and the latching checker output.
 #[must_use]
-pub fn tab5_2() -> String {
+pub fn tab5_2(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Table 5.2 / Fig 5.5: hardcore clock disable ==");
     let m = clock_disable_module();
@@ -223,7 +223,7 @@ pub fn tab5_2() -> String {
 mod tests {
     #[test]
     fn fig5_1_has_zero_untestable_xor_faults() {
-        let r = super::fig5_1();
+        let r = super::fig5_1(&crate::ExperimentCtx::default());
         for line in r
             .lines()
             .filter(|l| l.trim_start().starts_with(char::is_numeric))
@@ -235,21 +235,21 @@ mod tests {
 
     #[test]
     fn fig5_3_matches_paper_partition() {
-        let r = super::fig5_3();
+        let r = super::fig5_3(&crate::ExperimentCtx::default());
         assert!(r.contains("A = {1,2,3,4,9}"));
         assert!(r.contains("48"));
     }
 
     #[test]
     fn tab5_1_detects_odd_misses_even() {
-        let r = super::tab5_1();
+        let r = super::tab5_1(&crate::ExperimentCtx::default());
         assert!(r.contains("NOT detected"));
         assert!(r.contains("proper operation"));
     }
 
     #[test]
     fn tab5_2_has_the_witness() {
-        let r = super::tab5_2();
+        let r = super::tab5_2(&crate::ExperimentCtx::default());
         assert!(r.contains("s-a-1"));
         assert!(r.contains("latches permanently: true"));
         assert!(r.contains("out-gated by the other stages: true"));

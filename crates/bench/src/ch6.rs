@@ -1,6 +1,6 @@
 //! Chapter 6 experiments: minority modules.
 
-use scal_faults::run_campaign;
+use scal_faults::Campaign;
 use scal_minority::{convert_to_alternating, fig6_2_example};
 use scal_netlist::{Circuit, GateKind};
 use std::fmt::Write;
@@ -8,7 +8,7 @@ use std::fmt::Write;
 /// Fig. 6.1 — minority-module primitives: the truth table, majority from
 /// two minority modules, NAND from one module (completeness, Theorem 6.1).
 #[must_use]
-pub fn fig6_1() -> String {
+pub fn fig6_1(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 6.1: minority module primitives ==");
     let _ = writeln!(s, "3-input minority truth table (x1 x2 x3 -> m):");
@@ -54,7 +54,7 @@ pub fn fig6_1() -> String {
 /// triangle (NAND net / direct conversion / minimal realization) and the
 /// self-checking property of converted networks.
 #[must_use]
-pub fn fig6_2() -> String {
+pub fn fig6_2(ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 6.2 / Thms 6.2-6.3: NAND->minority conversion ==");
     let fig = fig6_2_example();
@@ -97,7 +97,11 @@ pub fn fig6_2() -> String {
     let g3 = nand_chain.nand(&[g1, g2, a]);
     nand_chain.mark_output("f", g3);
     let alt = convert_to_alternating(&nand_chain).expect("NAND network converts");
-    let results = run_campaign(&alt);
+    let results = Campaign::new(&alt)
+        .observer(ctx)
+        .run()
+        .expect("alternating realization")
+        .results;
     let secure = results
         .iter()
         .all(scal_faults::CampaignResult::fault_secure);
@@ -121,12 +125,12 @@ pub fn fig6_2() -> String {
 mod tests {
     #[test]
     fn fig6_1_verifies_primitives() {
-        assert!(super::fig6_1().contains("all verified: true"));
+        assert!(super::fig6_1(&crate::ExperimentCtx::default()).contains("all verified: true"));
     }
 
     #[test]
     fn fig6_2_matches_paper_costs() {
-        let r = super::fig6_2();
+        let r = super::fig6_2(&crate::ExperimentCtx::default());
         assert!(r.contains("4 modules, 14 inputs"));
         assert!(r.contains("fault-secure true"));
     }

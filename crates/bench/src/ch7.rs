@@ -3,14 +3,14 @@
 
 use scal_system::adr::{run_pair, sum_program, CostModel, FaultyMember};
 use scal_system::tmr::run_tmr;
-use scal_system::{CheckError, Cpu, CpuMode, ScalComputer};
+use scal_system::{Cpu, CpuMode, ScalComputer};
 use std::fmt::Write;
 
 /// Fig. 7.2 — the reliability design trade-off: benefit, cost, and utility
 /// per protection degree; the utility peak lands on single-fault protection
 /// for typical values.
 #[must_use]
-pub fn fig7_2() -> String {
+pub fn fig7_2(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 7.2: reliability design trade-off ==");
     let value = 5.0;
@@ -41,7 +41,7 @@ pub fn fig7_2() -> String {
 /// cost of alternating mode, bus-translator round trips, and a datapath
 /// fault-injection campaign measuring detection coverage.
 #[must_use]
-pub fn fig7_3() -> String {
+pub fn fig7_3(ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Fig 7.3: the SCAL computer ==");
     let program = sum_program(20);
@@ -79,36 +79,33 @@ pub fn fig7_3() -> String {
         "single stored-bit bus corruptions flagged: {corrupted_detected}/8"
     );
 
-    // Fault-injection campaign over every adder fault, on the workload.
-    let faults = scal_faults::enumerate_faults(&Cpu::new(CpuMode::Normal).datapath.adder);
-    let mut outcomes = (0usize, 0usize, 0usize); // (detected, silent-correct, silent-wrong)
-    for fault in &faults {
-        let mut cpu = Cpu::new(CpuMode::Alternating);
-        cpu.datapath.fault_adder(fault.to_override());
-        match cpu.run(&program, 100_000) {
-            Err(CheckError::NonAlternating { .. }) => outcomes.0 += 1,
-            Err(_) => outcomes.0 += 1,
-            Ok(_) => {
-                if cpu.memory.read(0x10) == Ok(210) {
-                    outcomes.1 += 1; // fault never sensitized by this workload
-                } else {
-                    outcomes.2 += 1; // undetected wrong answer
-                }
-            }
-        }
-    }
+    // Fault-injection campaign over every adder fault, on the workload,
+    // through the observable CPU campaign builder.
+    let campaign = scal_system::campaign::Campaign::new(scal_system::CpuUnit::Adder)
+        .workloads(vec![scal_system::Workload {
+            name: "sum(1..=20)",
+            program: program.clone(),
+            setup: vec![],
+            expect: 210,
+        }])
+        .budget(100_000)
+        .observer(ctx)
+        .run();
+    let detected: usize = campaign.results.iter().map(|r| r.detected).sum();
+    let dormant: usize = campaign.results.iter().map(|r| r.dormant).sum();
+    let wrong: usize = campaign.results.iter().map(|r| r.undetected_wrong).sum();
     let _ = writeln!(
         s,
         "adder fault campaign on the workload: {} faults -> {} detected, {} dormant (answer still correct), {} undetected-wrong",
-        faults.len(),
-        outcomes.0,
-        outcomes.1,
-        outcomes.2
+        campaign.results.len(),
+        detected,
+        dormant,
+        wrong
     );
     let _ = writeln!(
         s,
         "single-fault coverage: every sensitized adder fault is caught by alternation checking: {}",
-        outcomes.2 == 0
+        wrong == 0
     );
 
     // §7.2 system encoding considerations: match the code to the failure
@@ -129,7 +126,7 @@ pub fn fig7_3() -> String {
 /// Shedletsky's ADR: behaviour under injected faults and the hardware cost
 /// factors.
 #[must_use]
-pub fn fig7_5() -> String {
+pub fn fig7_5(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -180,12 +177,14 @@ pub fn fig7_5() -> String {
 mod tests {
     #[test]
     fn fig7_2_peaks_at_single_fault() {
-        assert!(super::fig7_2().contains("peak utility at SingleFault"));
+        assert!(
+            super::fig7_2(&crate::ExperimentCtx::default()).contains("peak utility at SingleFault")
+        );
     }
 
     #[test]
     fn fig7_3_has_full_coverage() {
-        let r = super::fig7_3();
+        let r = super::fig7_3(&crate::ExperimentCtx::default());
         assert!(r.contains("caught by alternation checking: true"), "{r}");
         assert!(r.contains("flagged: 8/8"));
         assert!(r.contains("(x2)"));
@@ -193,7 +192,7 @@ mod tests {
 
     #[test]
     fn fig7_5_diagnoses_both_members() {
-        let r = super::fig7_5();
+        let r = super::fig7_5(&crate::ExperimentCtx::default());
         assert!(r.contains("removed Some(Normal)"));
         assert!(r.contains("removed Some(Scal)"));
     }

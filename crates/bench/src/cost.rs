@@ -68,7 +68,7 @@ fn realize(c: &mut Circuit, vars: &[NodeId], inverters: &mut [Option<NodeId>], t
 /// distribution against Reynolds' 1.8 average (and the paper's note that it
 /// "varies widely, from one for an adder to multiples for some logic").
 #[must_use]
-pub fn cost1_8() -> String {
+pub fn cost1_8(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -144,7 +144,7 @@ pub fn cost1_8() -> String {
 mod tests {
     #[test]
     fn adder_factor_is_about_one() {
-        let r = super::cost1_8();
+        let r = super::cost1_8(&crate::ExperimentCtx::default());
         let line = r
             .lines()
             .find(|l| l.starts_with("full adder"))
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn mean_factor_is_in_a_plausible_band() {
-        let r = super::cost1_8();
+        let r = super::cost1_8(&crate::ExperimentCtx::default());
         let mean_line = r.lines().find(|l| l.contains("mean")).unwrap();
         let mean: f64 = mean_line
             .split("mean ")

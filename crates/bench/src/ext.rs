@@ -12,7 +12,7 @@ use std::fmt::Write;
 /// derivation to whole networks — the "constructive design procedures"
 /// direction of §8.3).
 #[must_use]
-pub fn ext_testgen() -> String {
+pub fn ext_testgen(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== extension: complete stuck-at test generation ==");
     let circuits = [
@@ -41,7 +41,7 @@ pub fn ext_testgen() -> String {
 /// dual-rail checker + Fig 5.7 latch + Fig 5.5 clock gate, driven at gate
 /// level with fault injection.
 #[must_use]
-pub fn ext_checked_system() -> String {
+pub fn ext_checked_system(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== extension: fully composed checked system (Ch. 5) ==");
     let net = paper::self_dual_adder();
@@ -99,7 +99,7 @@ pub fn ext_checked_system() -> String {
 /// procedures"): mechanize the Fig 3.4 → Fig 3.7 fix and apply it to the
 /// paper's own broken example.
 #[must_use]
-pub fn ext_repair() -> String {
+pub fn ext_repair(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== extension: automatic self-checking repair ==");
     let fig = paper::fig3_4();
@@ -129,7 +129,7 @@ pub fn ext_repair() -> String {
 /// Shedletsky's alternate data retry \[SHED2\]: parity detection + time
 /// redundancy = single-stuck-line *correction* on a bus.
 #[must_use]
-pub fn ext_adr_retry() -> String {
+pub fn ext_adr_retry(_ctx: &crate::ExperimentCtx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== extension: alternate data retry (Shedletsky) ==");
     let mut corrected = 0usize;
@@ -164,9 +164,8 @@ pub fn ext_adr_retry() -> String {
 /// Compiled-engine fault-campaign throughput ([`scal_engine::EngineStats`])
 /// on the paper's networks, exact mode vs early fault dropping.
 #[must_use]
-pub fn ext_engine() -> String {
-    use scal_engine::EngineConfig;
-    use scal_faults::{enumerate_faults, run_campaign_engine};
+pub fn ext_engine(ctx: &crate::ExperimentCtx) -> String {
+    use scal_faults::{enumerate_faults, Campaign};
     let mut s = String::new();
     let _ = writeln!(s, "== extension: compiled fault-campaign engine ==");
     let circuits = [
@@ -176,18 +175,14 @@ pub fn ext_engine() -> String {
     ];
     for (name, c) in circuits {
         let faults = enumerate_faults(&c);
-        for (mode, config) in [
-            ("exact", EngineConfig::default()),
-            (
-                "drop",
-                EngineConfig {
-                    drop_after_detection: true,
-                    ..EngineConfig::default()
-                },
-            ),
-        ] {
-            let (_, stats) = run_campaign_engine(&c, &faults, &config);
-            let _ = writeln!(s, "{name:<20} [{mode}]: {}", stats.summary());
+        for (mode, drop) in [("exact", false), ("drop", true)] {
+            let report = Campaign::new(&c)
+                .faults(faults.clone())
+                .drop_after_detection(drop)
+                .observer(ctx)
+                .run()
+                .expect("paper networks are engine-compatible");
+            let _ = writeln!(s, "{name:<20} [{mode}]: {}", report.stats.summary());
         }
     }
     s
@@ -197,20 +192,20 @@ pub fn ext_engine() -> String {
 mod tests {
     #[test]
     fn testgen_reports_full_coverage() {
-        let r = super::ext_testgen();
+        let r = super::ext_testgen(&crate::ExperimentCtx::default());
         assert!(r.contains("coverage 100.0%"));
         assert!(r.contains("missed = 0"));
     }
 
     #[test]
     fn checked_system_gates_on_faults() {
-        let r = super::ext_checked_system();
+        let r = super::ext_checked_system(&crate::ExperimentCtx::default());
         assert!(r.contains("keeps the clock running: true"));
     }
 
     #[test]
     fn repair_fixes_fig3_4_automatically() {
-        let r = super::ext_repair();
+        let r = super::ext_repair(&crate::ExperimentCtx::default());
         assert!(r.contains("self-checking: true"));
         assert!(r.contains("functions identical: true"));
         assert!(r.contains("fault-secure true"));
@@ -218,14 +213,14 @@ mod tests {
 
     #[test]
     fn engine_stats_report_throughput() {
-        let r = super::ext_engine();
+        let r = super::ext_engine(&crate::ExperimentCtx::default());
         assert!(r.contains("patterns/s"));
         assert!(r.contains("[exact]") && r.contains("[drop]"));
     }
 
     #[test]
     fn adr_retry_corrects_everything() {
-        let r = super::ext_adr_retry();
+        let r = super::ext_adr_retry(&crate::ExperimentCtx::default());
         let frag = r.lines().find(|l| l.contains("delivered exactly")).unwrap();
         let nums: Vec<usize> = frag
             .split(&[' ', '/'][..])

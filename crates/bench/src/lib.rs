@@ -5,9 +5,20 @@
 //! and renders the same rows/series the paper presents, with paper-reported
 //! values shown alongside where they exist. The `experiments` binary prints
 //! them (`cargo run -p scal-bench --bin experiments -- all`).
+//!
+//! Every experiment receives an [`ExperimentCtx`] — the observability
+//! context. Experiments that run fault campaigns attach it as a
+//! [`CampaignObserver`], so `experiments -- <id> --trace out.jsonl` captures
+//! the per-phase / per-fault event stream and `--metrics` aggregates
+//! counters and wall-time histograms across every sweep the run performs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use scal_obs::{CampaignEvent, CampaignObserver, JsonlTrace, Metrics};
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
 
 pub mod ch2;
 pub mod ch3;
@@ -18,8 +29,83 @@ pub mod ch7;
 pub mod cost;
 pub mod ext;
 
+/// Observability context threaded through every experiment.
+///
+/// Holds the optional sinks selected on the command line: a JSON-lines
+/// trace file (`--trace FILE`) and a metrics registry (`--metrics`). The
+/// context itself is a [`CampaignObserver`] that fans events out to
+/// whichever sinks are present; with neither sink it reports
+/// `enabled() == false`, so campaigns skip event construction entirely.
+#[derive(Debug, Default)]
+pub struct ExperimentCtx {
+    trace: Option<JsonlTrace<BufWriter<File>>>,
+    metrics: Option<Metrics>,
+}
+
+impl ExperimentCtx {
+    /// A context with no sinks attached (observability off).
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentCtx::default()
+    }
+
+    /// Attaches a JSON-lines trace sink writing to `path` (truncating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn set_trace<P: AsRef<Path>>(&mut self, path: P) -> io::Result<()> {
+        self.trace = Some(JsonlTrace::create(path)?);
+        Ok(())
+    }
+
+    /// Attaches a metrics registry.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(Metrics::new());
+    }
+
+    /// The metrics registry, when `--metrics` is on.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Trace lines written so far (0 without a trace sink).
+    #[must_use]
+    pub fn trace_lines(&self) -> u64 {
+        self.trace.as_ref().map_or(0, JsonlTrace::lines)
+    }
+
+    /// Flushes the trace sink, surfacing any latched write error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trace write error hit during the run.
+    pub fn finish(&self) -> io::Result<()> {
+        match &self.trace {
+            Some(t) => t.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl CampaignObserver for ExperimentCtx {
+    fn on_event(&self, event: &CampaignEvent) {
+        if let Some(t) = &self.trace {
+            t.on_event(event);
+        }
+        if let Some(m) = &self.metrics {
+            m.on_event(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+}
+
 /// An experiment id paired with its report generator.
-pub type Experiment = (&'static str, fn() -> String);
+pub type Experiment = (&'static str, fn(&ExperimentCtx) -> String);
 
 /// All experiment ids, in chapter order.
 pub const EXPERIMENTS: &[Experiment] = &[
@@ -48,16 +134,16 @@ pub const EXPERIMENTS: &[Experiment] = &[
     ("ext_engine", ext::ext_engine),
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id, forwarding `ctx` to its campaigns.
 ///
 /// # Errors
 ///
 /// Returns `Err` with the list of known ids if `id` is unknown.
-pub fn run(id: &str) -> Result<String, String> {
+pub fn run(id: &str, ctx: &ExperimentCtx) -> Result<String, String> {
     EXPERIMENTS
         .iter()
         .find(|(name, _)| *name == id)
-        .map(|(_, f)| f())
+        .map(|(_, f)| f(ctx))
         .ok_or_else(|| {
             let known: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
             format!("unknown experiment {id:?}; known: {}", known.join(", "))

@@ -114,7 +114,10 @@ pub fn xor_checker_circuit(n: usize) -> Circuit {
 /// Used to compare the odd- and even-input variants (Fig. 5.2a vs 5.2c).
 #[must_use]
 pub fn untestable_checker_faults(circuit: &Circuit) -> usize {
-    let results = scal_faults::run_campaign(circuit);
+    let results = scal_faults::Campaign::new(circuit)
+        .run()
+        .expect("checker circuits are alternating")
+        .results;
     results.iter().filter(|r| !r.tested()).count()
 }
 
@@ -215,7 +218,10 @@ mod tests {
         // testability is judged by alternation: stuck internal lines flip
         // the output's phase rather than its alternation, which *is* wrong
         // alternation — i.e. fault-security violations instead of detection.
-        let results = scal_faults::run_campaign(&even);
+        let results = scal_faults::Campaign::new(&even)
+            .run()
+            .expect("checker circuits are alternating")
+            .results;
         let violations = results.iter().filter(|r| !r.fault_secure()).count();
         assert!(
             violations > 0,

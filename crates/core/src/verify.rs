@@ -1,6 +1,6 @@
 //! The exhaustive SCAL verification engine.
 
-use scal_faults::{enumerate_faults, run_campaign_with, Fault};
+use scal_faults::{enumerate_faults, Campaign, Fault};
 use scal_netlist::Circuit;
 
 /// A fault-secure violation found by [`verify`]: a fault and the first-period
@@ -153,7 +153,11 @@ pub fn verify_with(circuit: &Circuit, faults: &[Fault]) -> Result<ScalVerdict, V
         }
     }
 
-    let results = run_campaign_with(circuit, faults);
+    let results = Campaign::new(circuit)
+        .faults(faults.to_vec())
+        .run()
+        .expect("preconditions checked above")
+        .results;
     let mut violations = Vec::new();
     let mut untested = Vec::new();
     for r in &results {

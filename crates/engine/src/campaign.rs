@@ -8,15 +8,39 @@
 //! multiple-output code of the paper's Definition 3.3 (one non-alternating
 //! output detects the word even if another alternates incorrectly) falls out
 //! of OR-ing those masks across outputs before extracting lanes.
+//!
+//! # Observability and cancellation
+//!
+//! [`try_run_pair_campaign`] drives a [`CampaignObserver`] through the whole
+//! run: phase spans for compile / golden / fault-sim / merge, live
+//! [`CampaignEvent::Progress`] ticks from whichever worker finishes a fault,
+//! and per-fault `FaultStart` / `BatchDone` / `FaultDropped` / `FaultFinish`
+//! events. The per-fault events are *buffered* by the worker that simulated
+//! the fault and replayed by the coordinator in fault order during the merge
+//! phase, so a trace is deterministic for a fixed config regardless of the
+//! worker fan-out (only the live `Progress` ticks are emission-order
+//! dependent). A [`CancelToken`] is checked at every 64-pair batch boundary;
+//! on cancellation the campaign returns the longest contiguous fault-ordered
+//! prefix of completed reports, bit-identical to the same prefix of an
+//! uncancelled run.
 
 use crate::compile::CompiledCircuit;
+use crate::error::EngineError;
 use crate::eval::Evaluator;
 use crate::pool::effective_threads;
 use scal_netlist::{Circuit, Override};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, NullObserver, Phase};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Hard ceiling on explicitly requested worker threads — far above any
+/// sensible fan-out; requests beyond it are configuration mistakes.
+pub const MAX_THREADS: usize = 1024;
+
 /// Knobs for [`run_pair_campaign`].
+///
+/// Construct directly (the fields are public and `Default` is valid) or via
+/// the validating [`EngineConfig::builder`].
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Worker-thread count; `0` = auto (machine parallelism, clamped to the
@@ -30,6 +54,61 @@ pub struct EngineConfig {
     /// faults only visible later) may be truncated. The default `false`
     /// keeps exact parity with the scalar reference implementation.
     pub drop_after_detection: bool,
+}
+
+impl EngineConfig {
+    /// A validating builder for campaign configuration.
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`EngineConfig`] that validates each knob at
+/// [`EngineConfigBuilder::build`] time instead of letting a bad value panic
+/// deep inside a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    threads: usize,
+    drop_after_detection: bool,
+}
+
+impl EngineConfigBuilder {
+    /// Worker-thread count; `0` = auto.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables classic fault dropping (see
+    /// [`EngineConfig::drop_after_detection`]).
+    #[must_use]
+    pub fn drop_after_detection(mut self, on: bool) -> Self {
+        self.drop_after_detection = on;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] if `threads` exceeds
+    /// [`MAX_THREADS`].
+    pub fn build(self) -> Result<EngineConfig, EngineError> {
+        if self.threads > MAX_THREADS {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "threads must be 0 (auto) or at most {MAX_THREADS}, got {}",
+                    self.threads
+                ),
+            });
+        }
+        Ok(EngineConfig {
+            threads: self.threads,
+            drop_after_detection: self.drop_after_detection,
+        })
+    }
 }
 
 /// Per-fault result of [`run_pair_campaign`], in the engine's vocabulary
@@ -52,12 +131,16 @@ pub struct PairReport {
 /// Aggregate counters and per-phase wall times for one campaign run.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
-    /// Faults simulated.
+    /// Faults whose reports were returned (equals the requested fault count
+    /// unless the run was cancelled).
     pub faults: usize,
     /// Faults whose sweep was cut short by
     /// [`EngineConfig::drop_after_detection`].
     pub faults_dropped: usize,
-    /// Alternating pairs evaluated across all faults (golden excluded).
+    /// Alternating pairs evaluated across all returned faults (golden
+    /// excluded). Dropped faults contribute every pair of every batch they
+    /// actually swept, including the batch that triggered the drop, so this
+    /// counter and [`EngineStats::words_evaluated`] stay consistent.
     pub pairs_evaluated: u64,
     /// 64-lane evaluation sweeps executed, golden included (each sweep
     /// evaluates one word of up to 64 patterns through the whole schedule).
@@ -72,14 +155,16 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Test patterns per second of fault simulation (each pair is two
-    /// patterns).
+    /// patterns). Returns `0.0` — never `NaN` or `inf` — when no time was
+    /// measured or no pairs were evaluated.
     #[must_use]
     pub fn patterns_per_sec(&self) -> f64 {
         let secs = self.fault_sim_time.as_secs_f64();
-        if secs == 0.0 {
-            0.0
+        let patterns = (self.pairs_evaluated * 2) as f64;
+        if secs > 0.0 && patterns > 0.0 {
+            patterns / secs
         } else {
-            (self.pairs_evaluated * 2) as f64 / secs
+            0.0
         }
     }
 
@@ -100,6 +185,21 @@ impl EngineStats {
     }
 }
 
+/// Result of [`try_run_pair_campaign`]: fault-ordered reports plus run
+/// statistics and the cancellation outcome.
+#[derive(Debug, Clone)]
+pub struct PairCampaign {
+    /// Per-fault reports; a contiguous prefix of the requested fault list
+    /// when [`PairCampaign::cancelled`], otherwise one per fault.
+    pub reports: Vec<PairReport>,
+    /// Aggregate counters and wall times over the returned reports.
+    pub stats: EngineStats,
+    /// `true` iff a [`CancelToken`] stopped the run before every fault
+    /// completed. The reports are then the longest contiguous fault-ordered
+    /// prefix, bit-identical to the same prefix of an uncancelled run.
+    pub cancelled: bool,
+}
+
 /// The precomputed pair sweep: input words for every 64-pair batch plus the
 /// golden (fault-free) output words.
 struct Sweep {
@@ -118,7 +218,10 @@ struct Sweep {
 }
 
 impl Sweep {
-    fn build(compiled: &CompiledCircuit, ev: &mut Evaluator) -> (Self, u64) {
+    fn try_build(
+        compiled: &CompiledCircuit,
+        ev: &mut Evaluator,
+    ) -> Result<(Self, u64), EngineError> {
         let n = compiled.num_inputs();
         let n_out = compiled.num_outputs();
         let total_pairs = 1u32 << (n - 1);
@@ -167,14 +270,15 @@ impl Sweep {
                 let g1 = sweep.golden[b * n_out * 2 + k];
                 let g2 = sweep.golden[b * n_out * 2 + n_out + k];
                 let stuck = !(g1 ^ g2) & mask;
-                assert!(
-                    stuck == 0,
-                    "output {k} does not alternate at pair ({m:b}); not an alternating network",
-                    m = sweep.bases[b] + stuck.trailing_zeros()
-                );
+                if stuck != 0 {
+                    return Err(EngineError::NotAlternating {
+                        output: k,
+                        pair: sweep.bases[b] + stuck.trailing_zeros(),
+                    });
+                }
             }
         }
-        (sweep, words)
+        Ok((sweep, words))
     }
 
     fn batch_words1(&self, b: usize) -> &[u64] {
@@ -213,8 +317,24 @@ impl Scratch {
     }
 }
 
-/// Simulates one fault against the whole pair sweep. Returns the report plus
-/// `(pairs, words)` evaluated.
+/// Everything one fault simulation produced: the report, its work counters,
+/// and (when tracing) the per-fault events buffered for the deterministic
+/// merge replay.
+struct SimOutcome {
+    report: PairReport,
+    pairs: u64,
+    words: u64,
+    events: Vec<CampaignEvent>,
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Simulates one fault against the whole pair sweep. Returns `None` if the
+/// token cancelled the sweep at a batch boundary (the fault's partial work is
+/// discarded); the evaluator is left clean either way.
+#[allow(clippy::too_many_arguments)]
 fn sim_fault(
     compiled: &CompiledCircuit,
     sweep: &Sweep,
@@ -222,15 +342,30 @@ fn sim_fault(
     ev: &mut Evaluator,
     scratch: &mut Scratch,
     fault: Override,
-) -> (PairReport, u64, u64) {
+    index: usize,
+    worker: usize,
+    record: bool,
+    cancel: Option<&CancelToken>,
+) -> Option<SimOutcome> {
     let mut detected = Vec::new();
     let mut violations = Vec::new();
     let mut observable = false;
     let mut dropped = false;
     let mut pairs = 0u64;
     let mut words = 0u64;
+    let mut events = Vec::new();
+    if record {
+        events.push(CampaignEvent::FaultStart {
+            fault: index,
+            worker,
+        });
+    }
     ev.install(compiled, std::slice::from_ref(&fault));
     for b in 0..sweep.bases.len() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            ev.uninstall();
+            return None;
+        }
         let mask = sweep.masks[b];
         ev.eval(compiled, sweep.batch_words1(b), &[]);
         for k in 0..sweep.n_outputs {
@@ -241,7 +376,8 @@ fn sim_fault(
             scratch.out2[k] = ev.output(compiled, k);
         }
         words += 2;
-        pairs += u64::from(mask.count_ones());
+        let batch_pairs = u64::from(mask.count_ones());
+        pairs += batch_pairs;
 
         let mut det = 0u64;
         let mut wrong = 0u64;
@@ -272,14 +408,40 @@ fn sim_fault(
             violations.push(base + bits.trailing_zeros());
             bits &= bits - 1;
         }
+        if record {
+            events.push(CampaignEvent::BatchDone {
+                fault: index,
+                worker,
+                batch: b,
+                pairs: batch_pairs,
+            });
+        }
         if config.drop_after_detection && det != 0 && b + 1 < sweep.bases.len() {
             dropped = true;
+            if record {
+                events.push(CampaignEvent::FaultDropped {
+                    fault: index,
+                    worker,
+                    batch: b,
+                });
+            }
             break;
         }
     }
     ev.uninstall();
-    (
-        PairReport {
+    if record {
+        events.push(CampaignEvent::FaultFinish {
+            fault: index,
+            worker,
+            detected: detected.len(),
+            violations: violations.len(),
+            observable,
+            dropped,
+            pairs,
+        });
+    }
+    Some(SimOutcome {
+        report: PairReport {
             detected_pairs: detected,
             violation_pairs: violations,
             observable,
@@ -287,7 +449,8 @@ fn sim_fault(
         },
         pairs,
         words,
-    )
+        events,
+    })
 }
 
 /// Runs the packed alternating-pair campaign: every override in `faults`
@@ -295,6 +458,8 @@ fn sim_fault(
 /// input pair `(X, X̄)` of the combinational `circuit`.
 ///
 /// Reports come back in `faults` order regardless of the worker fan-out.
+/// This is the panicking convenience wrapper around
+/// [`try_run_pair_campaign`] with no observer and no cancellation.
 ///
 /// # Panics
 ///
@@ -307,97 +472,244 @@ pub fn run_pair_campaign(
     faults: &[Override],
     config: &EngineConfig,
 ) -> (Vec<PairReport>, EngineStats) {
-    assert!(!circuit.is_sequential(), "campaigns are combinational-only");
+    match try_run_pair_campaign(circuit, faults, config, &NullObserver, None) {
+        Ok(c) => (c.reports, c.stats),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs the packed alternating-pair campaign with full observability and
+/// cooperative cancellation.
+///
+/// Every event of the run flows through `observer` (pass
+/// [`NullObserver`] to opt out — its `enabled() == false` fast path skips
+/// all event construction). If `cancel` is provided it is checked at every
+/// 64-pair batch boundary; once cancelled, in-flight faults are abandoned
+/// and the campaign returns the longest contiguous fault-ordered prefix of
+/// completed reports with [`PairCampaign::cancelled`] set. That prefix — and
+/// its [`EngineStats`] counters — is bit-identical to the same prefix of an
+/// uncancelled run.
+///
+/// # Errors
+///
+/// [`EngineError::Sequential`] for sequential circuits,
+/// [`EngineError::UnsupportedInputs`] outside `1..=24` inputs, compile
+/// errors from [`CompiledCircuit::try_compile`], and
+/// [`EngineError::NotAlternating`] if a fault-free output fails to
+/// alternate.
+pub fn try_run_pair_campaign(
+    circuit: &Circuit,
+    faults: &[Override],
+    config: &EngineConfig,
+    observer: &dyn CampaignObserver,
+    cancel: Option<&CancelToken>,
+) -> Result<PairCampaign, EngineError> {
+    if circuit.is_sequential() {
+        return Err(EngineError::Sequential);
+    }
     let n = circuit.inputs().len();
-    assert!((1..=24).contains(&n), "campaign supports 1..=24 inputs");
+    if !(1..=24).contains(&n) {
+        return Err(EngineError::UnsupportedInputs { inputs: n });
+    }
 
-    let mut stats = EngineStats {
-        faults: faults.len(),
-        ..EngineStats::default()
-    };
+    let total_t = Instant::now();
+    let threads = effective_threads(config.threads, faults.len());
+    let obs = observer.enabled();
+    if obs {
+        observer.on_event(&CampaignEvent::CampaignStart {
+            campaign: "pair",
+            faults: faults.len(),
+            inputs: n,
+            outputs: circuit.outputs().len(),
+            threads,
+        });
+    }
+
+    let mut stats = EngineStats::default();
 
     let t = Instant::now();
-    let compiled = CompiledCircuit::compile(circuit);
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Compile,
+        });
+    }
+    let compiled = CompiledCircuit::try_compile(circuit)?;
     stats.compile_time = t.elapsed();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Compile,
+            micros: duration_micros(stats.compile_time),
+        });
+    }
 
     let t = Instant::now();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Golden,
+        });
+    }
     let mut golden_ev = Evaluator::new(&compiled);
-    let (sweep, golden_words) = Sweep::build(&compiled, &mut golden_ev);
+    let (sweep, golden_words) = Sweep::try_build(&compiled, &mut golden_ev)?;
     stats.golden_time = t.elapsed();
     stats.words_evaluated = golden_words;
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Golden,
+            micros: duration_micros(stats.golden_time),
+        });
+    }
 
-    let threads = effective_threads(config.threads, faults.len());
-    let pairs_ctr = AtomicU64::new(0);
-    let words_ctr = AtomicU64::new(0);
     let t = Instant::now();
-    let reports: Vec<PairReport> = if threads <= 1 {
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::FaultSim,
+        });
+    }
+    let mut slots: Vec<Option<SimOutcome>> = Vec::with_capacity(faults.len());
+    slots.resize_with(faults.len(), || None);
+    if threads <= 1 {
         let mut ev = golden_ev; // reuse the warm scratch
         let mut scratch = Scratch::new(sweep.n_outputs);
-        faults
-            .iter()
-            .map(|&fault| {
-                let (r, p, w) = sim_fault(&compiled, &sweep, config, &mut ev, &mut scratch, fault);
-                pairs_ctr.fetch_add(p, Ordering::Relaxed);
-                words_ctr.fetch_add(w, Ordering::Relaxed);
-                r
-            })
-            .collect()
+        for (i, &fault) in faults.iter().enumerate() {
+            let Some(outcome) = sim_fault(
+                &compiled,
+                &sweep,
+                config,
+                &mut ev,
+                &mut scratch,
+                fault,
+                i,
+                0,
+                obs,
+                cancel,
+            ) else {
+                break;
+            };
+            slots[i] = Some(outcome);
+            if obs {
+                observer.on_event(&CampaignEvent::Progress {
+                    done: i + 1,
+                    total: faults.len(),
+                });
+            }
+        }
     } else {
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<PairReport>> = Vec::with_capacity(faults.len());
-        slots.resize_with(faults.len(), || None);
+        let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|worker| {
                     let (compiled, sweep, config) = (&compiled, &sweep, config);
-                    let (cursor, pairs_ctr, words_ctr) = (&cursor, &pairs_ctr, &words_ctr);
+                    let (cursor, done) = (&cursor, &done);
                     scope.spawn(move || {
                         let mut ev = Evaluator::new(compiled);
                         let mut scratch = Scratch::new(sweep.n_outputs);
                         let mut local = Vec::new();
                         loop {
+                            if cancel.is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= faults.len() {
                                 break;
                             }
-                            let (r, p, w) = sim_fault(
+                            let Some(outcome) = sim_fault(
                                 compiled,
                                 sweep,
                                 config,
                                 &mut ev,
                                 &mut scratch,
                                 faults[i],
-                            );
-                            pairs_ctr.fetch_add(p, Ordering::Relaxed);
-                            words_ctr.fetch_add(w, Ordering::Relaxed);
-                            local.push((i, r));
+                                i,
+                                worker,
+                                obs,
+                                cancel,
+                            ) else {
+                                break;
+                            };
+                            local.push((i, outcome));
+                            if obs {
+                                observer.on_event(&CampaignEvent::Progress {
+                                    done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                                    total: faults.len(),
+                                });
+                            }
                         }
                         local
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("campaign worker panicked") {
-                    slots[i] = Some(r);
+                for (i, outcome) in h.join().expect("campaign worker panicked") {
+                    slots[i] = Some(outcome);
                 }
             }
         });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every fault simulated"))
-            .collect()
-    };
+    }
     stats.fault_sim_time = t.elapsed();
-    stats.pairs_evaluated = pairs_ctr.load(Ordering::Relaxed);
-    stats.words_evaluated += words_ctr.load(Ordering::Relaxed);
-    stats.faults_dropped = reports.iter().filter(|r| r.dropped).count();
-    (reports, stats)
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::FaultSim,
+            micros: duration_micros(stats.fault_sim_time),
+        });
+    }
+
+    // Merge: keep the longest contiguous fault-ordered prefix (the whole run
+    // unless cancelled) and replay each kept fault's buffered events in
+    // order, so traces are deterministic regardless of worker scheduling.
+    let merge_t = Instant::now();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Merge,
+        });
+    }
+    let completed = slots.iter().take_while(|s| s.is_some()).count();
+    let cancelled = completed < faults.len();
+    let mut reports = Vec::with_capacity(completed);
+    for slot in slots.into_iter().take(completed) {
+        let outcome = slot.expect("prefix is complete");
+        stats.pairs_evaluated += outcome.pairs;
+        stats.words_evaluated += outcome.words;
+        if outcome.report.dropped {
+            stats.faults_dropped += 1;
+        }
+        if obs {
+            for e in &outcome.events {
+                observer.on_event(e);
+            }
+        }
+        reports.push(outcome.report);
+    }
+    stats.faults = completed;
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Merge,
+            micros: duration_micros(merge_t.elapsed()),
+        });
+        if cancelled {
+            observer.on_event(&CampaignEvent::Cancelled { completed });
+        }
+        observer.on_event(&CampaignEvent::CampaignEnd {
+            faults: completed,
+            dropped: stats.faults_dropped,
+            pairs: stats.pairs_evaluated,
+            words: stats.words_evaluated,
+            micros: duration_micros(total_t.elapsed()),
+            cancelled,
+        });
+    }
+    Ok(PairCampaign {
+        reports,
+        stats,
+        cancelled,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use scal_netlist::{GateKind, Site};
+    use scal_obs::CollectObserver;
 
     fn xor3() -> Circuit {
         let mut c = Circuit::new();
@@ -480,12 +792,67 @@ mod tests {
     }
 
     #[test]
+    fn try_run_reports_misuse_as_errors() {
+        let mut seq = Circuit::new();
+        let ff = seq.dff(false);
+        let nq = seq.not(ff);
+        seq.connect_dff(ff, nq);
+        seq.mark_output("q", ff);
+        match try_run_pair_campaign(&seq, &[], &EngineConfig::default(), &NullObserver, None) {
+            Err(EngineError::Sequential) => {}
+            other => panic!("expected Sequential, got {other:?}"),
+        }
+        let mut none = Circuit::new();
+        let k = none.constant(true);
+        none.mark_output("f", k);
+        match try_run_pair_campaign(&none, &[], &EngineConfig::default(), &NullObserver, None) {
+            Err(EngineError::UnsupportedInputs { inputs: 0 }) => {}
+            other => panic!("expected UnsupportedInputs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        let cfg = EngineConfig::builder()
+            .threads(2)
+            .drop_after_detection(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 2);
+        assert!(cfg.drop_after_detection);
+        match EngineConfig::builder().threads(MAX_THREADS + 1).build() {
+            Err(EngineError::InvalidConfig { reason }) => {
+                assert!(reason.contains("threads"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_summary_mentions_throughput() {
         let c = xor3();
         let (_, stats) = run_pair_campaign(&c, &all_single_faults(&c), &EngineConfig::default());
         assert!(stats.summary().contains("patterns/s"));
         assert!(stats.pairs_evaluated > 0);
         assert!(stats.words_evaluated > 0);
+    }
+
+    #[test]
+    fn patterns_per_sec_never_divides_by_zero() {
+        let zeroed = EngineStats::default();
+        assert_eq!(zeroed.patterns_per_sec(), 0.0);
+        let timeless = EngineStats {
+            pairs_evaluated: 1000,
+            ..EngineStats::default()
+        };
+        assert_eq!(timeless.patterns_per_sec(), 0.0);
+        let real = EngineStats {
+            pairs_evaluated: 1000,
+            fault_sim_time: Duration::from_millis(10),
+            ..EngineStats::default()
+        };
+        assert!(real.patterns_per_sec().is_finite());
+        assert!(real.patterns_per_sec() > 0.0);
     }
 
     #[test]
@@ -519,5 +886,107 @@ mod tests {
         for (i, r) in multi.iter().enumerate() {
             assert_eq!(r, &inline.0[i % faults.len()]);
         }
+    }
+
+    #[test]
+    fn observer_sees_deterministic_fault_ordered_events() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let collect = CollectObserver::default();
+        let cfg = EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        };
+        let run = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
+        assert!(!run.cancelled);
+        let events = collect.events();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::CampaignStart {
+                campaign: "pair",
+                ..
+            })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::CampaignEnd {
+                cancelled: false,
+                ..
+            })
+        ));
+        // Per-fault events arrive in fault order during the merge replay.
+        let finish_order: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::FaultFinish { fault, .. } => Some(*fault),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finish_order, (0..faults.len()).collect::<Vec<_>>());
+        // All four phases opened and closed.
+        for phase in [Phase::Compile, Phase::Golden, Phase::FaultSim, Phase::Merge] {
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::PhaseStart { phase: p } if *p == phase)));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::PhaseEnd { phase: p, .. } if *p == phase)));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_returns_empty_prefix() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let token = CancelToken::new();
+        token.cancel();
+        let run = try_run_pair_campaign(
+            &c,
+            &faults,
+            &EngineConfig::default(),
+            &NullObserver,
+            Some(&token),
+        )
+        .unwrap();
+        assert!(run.cancelled);
+        assert!(run.reports.is_empty());
+        assert_eq!(run.stats.faults, 0);
+        assert_eq!(run.stats.pairs_evaluated, 0);
+    }
+
+    #[test]
+    fn cancelled_prefix_is_bit_identical_to_uncancelled_run() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let (full, _) = run_pair_campaign(&c, &faults, &EngineConfig::default());
+        // Cancel from an observer after the third fault completes: the
+        // returned prefix must match the uncancelled run exactly.
+        struct CancelAfter {
+            token: CancelToken,
+            after: usize,
+        }
+        impl CampaignObserver for CancelAfter {
+            fn on_event(&self, event: &CampaignEvent) {
+                if let CampaignEvent::Progress { done, .. } = event {
+                    if *done >= self.after {
+                        self.token.cancel();
+                    }
+                }
+            }
+        }
+        let token = CancelToken::new();
+        let obs = CancelAfter {
+            token: token.clone(),
+            after: 3,
+        };
+        let cfg = EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        };
+        let run = try_run_pair_campaign(&c, &faults, &cfg, &obs, Some(&token)).unwrap();
+        assert!(run.cancelled);
+        assert_eq!(run.reports.len(), 3);
+        assert_eq!(run.stats.faults, 3);
+        assert_eq!(&run.reports[..], &full[..3]);
     }
 }

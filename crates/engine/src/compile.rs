@@ -1,5 +1,6 @@
 //! Compilation of a [`Circuit`] into a flat, levelized evaluation schedule.
 
+use crate::error::EngineError;
 use scal_netlist::{Circuit, GateKind, NodeId, NodeView};
 
 /// Sentinel for "this node has no gate op" in [`CompiledCircuit::op_of_node`].
@@ -58,18 +59,31 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
-    /// Compiles a circuit into a flat schedule.
+    /// Compiles a circuit into a flat schedule, panicking on rejection.
     ///
     /// # Panics
     ///
-    /// Panics if the circuit fails [`Circuit::validate`].
+    /// Panics if [`CompiledCircuit::try_compile`] errors (the circuit fails
+    /// [`Circuit::validate`] or overflows the engine's `u32` slot indices).
     #[must_use]
     pub fn compile(circuit: &Circuit) -> Self {
-        circuit
-            .validate()
-            .expect("circuit must validate before compilation");
+        match Self::try_compile(circuit) {
+            Ok(cc) => cc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Compiles a circuit into a flat schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidCircuit`] if the circuit fails
+    /// [`Circuit::validate`], or [`EngineError::TooLarge`] if the node or
+    /// fanin count overflows the engine's `u32` slot indices.
+    pub fn try_compile(circuit: &Circuit) -> Result<Self, EngineError> {
+        circuit.validate()?;
         let n = circuit.len();
-        let zero_slot = u32::try_from(n).expect("node count fits in u32");
+        let zero_slot = u32::try_from(n).map_err(|_| EngineError::TooLarge { count: n })?;
         let one_slot = zero_slot + 1;
 
         let mut ops = Vec::new();
@@ -77,7 +91,9 @@ impl CompiledCircuit {
         let mut op_of_node = vec![NO_OP; n];
         for id in circuit.topo_order() {
             if let NodeView::Gate(kind) = circuit.view(id) {
-                let fan_start = u32::try_from(fanins.len()).expect("fanin count fits in u32");
+                let fan_start = u32::try_from(fanins.len()).map_err(|_| EngineError::TooLarge {
+                    count: fanins.len(),
+                })?;
                 for f in circuit.fanins(id) {
                     fanins.push(f.index() as u32);
                 }
@@ -107,7 +123,7 @@ impl CompiledCircuit {
             dff_d_slots.push(circuit.fanins(ff)[0].index() as u32);
         }
 
-        CompiledCircuit {
+        Ok(CompiledCircuit {
             num_slots: n + 2,
             zero_slot,
             one_slot,
@@ -124,7 +140,7 @@ impl CompiledCircuit {
                 .map(|o| o.node.index() as u32)
                 .collect(),
             op_of_node,
-        }
+        })
     }
 
     /// Number of primary inputs.
@@ -217,5 +233,15 @@ mod tests {
         let mut c = Circuit::new();
         let _ = c.dff(false); // never connected
         let _ = CompiledCircuit::compile(&c);
+    }
+
+    #[test]
+    fn try_compile_reports_invalid_circuits() {
+        let mut c = Circuit::new();
+        let _ = c.dff(false); // never connected
+        match CompiledCircuit::try_compile(&c) {
+            Err(EngineError::InvalidCircuit(_)) => {}
+            other => panic!("expected InvalidCircuit, got {other:?}"),
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! The per-thread evaluator: scratch state plus the packed evaluation loop.
 
 use crate::compile::{CompiledCircuit, NO_OP};
+use crate::error::EngineError;
 use scal_netlist::{GateKind, NodeId, Override, Site};
 
 /// Mutable evaluation state for one [`CompiledCircuit`].
@@ -50,17 +51,34 @@ impl Evaluator {
         }
     }
 
-    /// Installs overrides (typically one stuck-at fault). Call
-    /// [`Evaluator::uninstall`] before installing the next set.
+    /// Installs overrides (typically one stuck-at fault), panicking on
+    /// misuse. Call [`Evaluator::uninstall`] before installing the next set.
     ///
     /// # Panics
     ///
     /// Panics if overrides are already installed.
     pub fn install(&mut self, compiled: &CompiledCircuit, overrides: &[Override]) {
-        assert!(
-            self.stems.is_empty() && self.fanin_patches.is_empty() && self.dff_patches.is_empty(),
-            "uninstall previous overrides first"
-        );
+        if let Err(e) = self.try_install(compiled, overrides) {
+            panic!("{e}");
+        }
+    }
+
+    /// Installs overrides (typically one stuck-at fault). Call
+    /// [`Evaluator::uninstall`] before installing the next set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::OverridesInstalled`] if overrides are already
+    /// installed.
+    pub fn try_install(
+        &mut self,
+        compiled: &CompiledCircuit,
+        overrides: &[Override],
+    ) -> Result<(), EngineError> {
+        if !(self.stems.is_empty() && self.fanin_patches.is_empty() && self.dff_patches.is_empty())
+        {
+            return Err(EngineError::OverridesInstalled);
+        }
         for o in overrides {
             match o.site {
                 Site::Stem(node) => {
@@ -102,6 +120,7 @@ impl Evaluator {
                 }
             }
         }
+        Ok(())
     }
 
     /// Removes all installed overrides, restoring fault-free evaluation.
@@ -117,6 +136,17 @@ impl Evaluator {
         }
     }
 
+    /// Runs one combinational sweep, panicking on arity mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Evaluator::try_eval`] errors.
+    pub fn eval(&mut self, compiled: &CompiledCircuit, inputs: &[u64], state: &[u64]) {
+        if let Err(e) = self.try_eval(compiled, inputs, state) {
+            panic!("{e}");
+        }
+    }
+
     /// Runs one combinational sweep: 64 independent patterns per call.
     ///
     /// `inputs` carries one word per primary input, `state` one word per
@@ -124,12 +154,30 @@ impl Evaluator {
     /// with [`Evaluator::output`], [`Evaluator::next_state`], or
     /// [`Evaluator::slot`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on arity mismatch.
-    pub fn eval(&mut self, compiled: &CompiledCircuit, inputs: &[u64], state: &[u64]) {
-        assert_eq!(inputs.len(), compiled.num_inputs(), "input arity mismatch");
-        assert_eq!(state.len(), compiled.num_dffs(), "state arity mismatch");
+    /// Returns [`EngineError::ArityMismatch`] if `inputs` or `state` is
+    /// mis-sized for `compiled`.
+    pub fn try_eval(
+        &mut self,
+        compiled: &CompiledCircuit,
+        inputs: &[u64],
+        state: &[u64],
+    ) -> Result<(), EngineError> {
+        if inputs.len() != compiled.num_inputs() {
+            return Err(EngineError::ArityMismatch {
+                what: "input",
+                expected: compiled.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if state.len() != compiled.num_dffs() {
+            return Err(EngineError::ArityMismatch {
+                what: "state",
+                expected: compiled.num_dffs(),
+                got: state.len(),
+            });
+        }
         let slots = &mut self.slots;
         slots[compiled.zero_slot as usize] = 0;
         slots[compiled.one_slot as usize] = u64::MAX;
@@ -171,6 +219,7 @@ impl Evaluator {
                 _ => v,
             };
         }
+        Ok(())
     }
 
     /// Word of primary output `k` after the last [`Evaluator::eval`].
@@ -315,6 +364,41 @@ mod tests {
         ev.uninstall();
         ev.eval(&cc, &[0, 0, 0], &[]);
         assert_eq!(ev.output(&cc, 0), 0);
+    }
+
+    #[test]
+    fn try_paths_report_misuse_as_errors() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ev = Evaluator::new(&cc);
+        assert_eq!(
+            ev.try_eval(&cc, &[0, 0], &[]),
+            Err(EngineError::ArityMismatch {
+                what: "input",
+                expected: 3,
+                got: 2,
+            })
+        );
+        assert_eq!(
+            ev.try_eval(&cc, &[0, 0, 0], &[1]),
+            Err(EngineError::ArityMismatch {
+                what: "state",
+                expected: 0,
+                got: 1,
+            })
+        );
+        let ov = [Override {
+            site: Site::Stem(c.inputs()[0]),
+            value: true,
+        }];
+        ev.try_install(&cc, &ov).expect("first install");
+        assert_eq!(
+            ev.try_install(&cc, &ov),
+            Err(EngineError::OverridesInstalled)
+        );
+        ev.uninstall();
+        ev.try_install(&cc, &ov).expect("reinstall after uninstall");
+        ev.uninstall();
     }
 
     #[test]

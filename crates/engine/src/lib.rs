@@ -29,6 +29,15 @@
 //!    times, words evaluated, pairs simulated and faults dropped, surfaced by
 //!    `scal-bench`.
 //!
+//! The fallible entry points ([`try_run_pair_campaign`],
+//! [`CompiledCircuit::try_compile`], [`Evaluator::try_eval`]) return
+//! [`EngineError`] instead of panicking; the legacy panicking wrappers
+//! remain and format those errors verbatim. [`try_run_pair_campaign`] also
+//! threads a [`scal_obs::CampaignObserver`] through every phase of a run
+//! (spans, per-fault events, live progress) and honors a
+//! [`scal_obs::CancelToken`] at batch boundaries, returning a deterministic
+//! fault-ordered prefix on cancellation — see [`PairCampaign`].
+//!
 //! The crate speaks the netlist vocabulary ([`scal_netlist::Override`] /
 //! [`scal_netlist::Site`]); `scal-faults` layers fault bookkeeping on top and
 //! keeps its original scalar implementation as a differential oracle.
@@ -38,14 +47,19 @@
 
 mod campaign;
 mod compile;
+mod error;
 mod eval;
 mod pool;
 mod sim;
 mod tables;
 
-pub use campaign::{run_pair_campaign, EngineConfig, EngineStats, PairReport};
+pub use campaign::{
+    run_pair_campaign, try_run_pair_campaign, EngineConfig, EngineConfigBuilder, EngineStats,
+    PairCampaign, PairReport, MAX_THREADS,
+};
 pub use compile::CompiledCircuit;
+pub use error::EngineError;
 pub use eval::Evaluator;
-pub use pool::par_map;
+pub use pool::{par_map, par_map_cancellable};
 pub use sim::CompiledSim;
 pub use tables::{all_node_tables, node_table, output_tables};

@@ -1,5 +1,6 @@
 //! Scoped worker-thread fan-out with deterministic aggregation.
 
+use scal_obs::CancelToken;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Work-item threshold below which spawning threads costs more than it buys.
@@ -32,26 +33,65 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_cancellable(items, threads, None, |_, i, t| f(i, t))
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+/// Worker-attributed, cancellation-aware fan-out.
+///
+/// Like [`par_map`], but `f` additionally receives the id of the worker that
+/// claimed the item (always `0` inline), and an optional [`CancelToken`] is
+/// checked before each claim: once cancelled, no further items are started
+/// and their result slots stay `None`. Items already in flight run to
+/// completion, so the returned vector may have `Some` entries after the first
+/// `None` — callers wanting a deterministic prefix should truncate at the
+/// first gap.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map_cancellable<T, R, F>(
+    items: &[T],
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
     let threads = effective_threads(threads, items.len());
-    if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
+    if threads <= 1 {
+        for (i, t) in items.iter().enumerate() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
+            results[i] = Some(f(0, i, t));
+        }
+        return results;
+    }
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let cursor = &cursor;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, f(worker, i, &items[i])));
                     }
                     local
                 })
@@ -64,9 +104,6 @@ where
         }
     });
     results
-        .into_iter()
-        .map(|r| r.expect("every item processed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -94,5 +131,21 @@ mod tests {
         assert_eq!(effective_threads(0, 3), 1);
         assert_eq!(effective_threads(4, 1000), 4);
         assert_eq!(effective_threads(1, 1000), 1);
+    }
+
+    #[test]
+    fn cancelled_token_leaves_tail_unprocessed() {
+        let items: Vec<usize> = (0..50).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = par_map_cancellable(&items, 1, Some(&token), |_, _, &x| x);
+        assert!(out.iter().all(Option::is_none));
+        let live = CancelToken::new();
+        let out = par_map_cancellable(&items, 1, Some(&live), |w, i, &x| {
+            assert_eq!(w, 0);
+            assert_eq!(i, x);
+            x
+        });
+        assert!(out.iter().all(Option::is_some));
     }
 }

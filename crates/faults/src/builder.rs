@@ -1,0 +1,302 @@
+//! The unified campaign entry point.
+//!
+//! [`Campaign`] is a builder that replaces the historical family of free
+//! functions (`run_campaign`, `run_campaign_with`, `run_campaign_engine`,
+//! `run_campaign_scalar`, `run_campaign_scalar_with`) with one fluent call
+//! chain:
+//!
+//! ```
+//! use scal_netlist::{Circuit, GateKind};
+//! use scal_faults::Campaign;
+//!
+//! let mut c = Circuit::new();
+//! let a = c.input("a");
+//! let b = c.input("b");
+//! let d = c.input("c");
+//! let x = c.gate(GateKind::Xor, &[a, b, d]);
+//! c.mark_output("f", x);
+//!
+//! let report = Campaign::new(&c).run().unwrap();
+//! assert!(report.all_fault_secure() && report.all_tested());
+//! ```
+//!
+//! The builder defaults to the whole collapsed fault universe, the packed
+//! engine backend, no observer and no cancellation; every knob is opt-in.
+
+use crate::campaign::{try_run_scalar, CampaignResult};
+use crate::{enumerate_faults, Fault};
+use scal_engine::{try_run_pair_campaign, EngineConfig, EngineError, EngineStats};
+use scal_netlist::{Circuit, Override};
+use scal_obs::{CampaignObserver, CancelToken, NullObserver};
+
+/// Which simulation backend a [`Campaign`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The packed 64-pair `scal-engine` path (default).
+    Engine,
+    /// The original per-minterm scalar path, retained as the differential
+    /// oracle.
+    Scalar,
+}
+
+/// Builder for an alternating-pair fault campaign over a combinational
+/// circuit.
+///
+/// See the crate docs for an example. `run` consumes the builder
+/// and returns a [`CampaignReport`].
+pub struct Campaign<'a> {
+    circuit: &'a Circuit,
+    faults: Option<Vec<Fault>>,
+    config: EngineConfig,
+    observer: Option<&'a dyn CampaignObserver>,
+    cancel: Option<&'a CancelToken>,
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("faults", &self.faults.as_ref().map(Vec::len))
+            .field("config", &self.config)
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Campaign<'a> {
+    /// Starts a campaign over `circuit` with all defaults: the collapsed
+    /// fault universe, the packed engine backend, default
+    /// [`EngineConfig`], no observer, no cancellation.
+    #[must_use]
+    pub fn new(circuit: &'a Circuit) -> Self {
+        Campaign {
+            circuit,
+            faults: None,
+            config: EngineConfig::default(),
+            observer: None,
+            cancel: None,
+            backend: Backend::Engine,
+        }
+    }
+
+    /// Simulates exactly this fault list (in this order) instead of the
+    /// circuit's collapsed fault universe.
+    #[must_use]
+    pub fn faults(mut self, faults: Vec<Fault>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Replaces the whole engine configuration (thread count, fault
+    /// dropping). The scalar backend ignores engine knobs.
+    #[must_use]
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker-thread count; `0` = auto. Shorthand for the corresponding
+    /// [`EngineConfig`] field.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables classic fault dropping (see
+    /// [`EngineConfig::drop_after_detection`]).
+    #[must_use]
+    pub fn drop_after_detection(mut self, on: bool) -> Self {
+        self.config.drop_after_detection = on;
+        self
+    }
+
+    /// Streams every [`scal_obs::CampaignEvent`] of the run to `observer`.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn CampaignObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Makes the run cancellable through `token`: once cancelled, the
+    /// campaign stops at the next batch (engine) or fault (scalar) boundary
+    /// and returns the completed fault-ordered prefix with
+    /// [`CampaignReport::cancelled`] set.
+    #[must_use]
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Runs on the original per-minterm scalar backend (the differential
+    /// oracle) instead of the packed engine.
+    #[must_use]
+    pub fn scalar(mut self) -> Self {
+        self.backend = Backend::Scalar;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`EngineError`] of the underlying backend:
+    /// `Sequential` for sequential circuits, `UnsupportedInputs` outside
+    /// `1..=24` inputs, `NotAlternating` if a fault-free output fails to
+    /// alternate, plus compile errors on the engine path.
+    pub fn run(self) -> Result<CampaignReport, EngineError> {
+        let faults = match self.faults {
+            Some(f) => f,
+            None => enumerate_faults(self.circuit),
+        };
+        let observer: &dyn CampaignObserver = self.observer.unwrap_or(&NullObserver);
+        match self.backend {
+            Backend::Scalar => {
+                let (results, stats, cancelled) =
+                    try_run_scalar(self.circuit, &faults, observer, self.cancel)?;
+                Ok(CampaignReport {
+                    results,
+                    stats,
+                    cancelled,
+                })
+            }
+            Backend::Engine => {
+                let overrides: Vec<Override> = faults.iter().map(|f| f.to_override()).collect();
+                let run = try_run_pair_campaign(
+                    self.circuit,
+                    &overrides,
+                    &self.config,
+                    observer,
+                    self.cancel,
+                )?;
+                // On cancellation `run.reports` is a prefix; zip truncates
+                // the fault list to match.
+                let results = faults
+                    .iter()
+                    .zip(run.reports)
+                    .map(|(&fault, r)| CampaignResult {
+                        fault,
+                        detected_pairs: r.detected_pairs,
+                        violation_pairs: r.violation_pairs,
+                        observable: r.observable,
+                    })
+                    .collect();
+                Ok(CampaignReport {
+                    results,
+                    stats: run.stats,
+                    cancelled: run.cancelled,
+                })
+            }
+        }
+    }
+}
+
+/// Everything a [`Campaign`] run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-fault results in fault order; a contiguous prefix of the
+    /// requested fault list when [`CampaignReport::cancelled`].
+    pub results: Vec<CampaignResult>,
+    /// Aggregate counters and per-phase wall times.
+    pub stats: EngineStats,
+    /// `true` iff a [`CancelToken`] stopped the run early.
+    pub cancelled: bool,
+}
+
+impl CampaignReport {
+    /// `true` iff no simulated fault ever produced a wrong code word.
+    #[must_use]
+    pub fn all_fault_secure(&self) -> bool {
+        self.results.iter().all(CampaignResult::fault_secure)
+    }
+
+    /// `true` iff every simulated fault is detected by some pair.
+    #[must_use]
+    pub fn all_tested(&self) -> bool {
+        self.results.iter().all(CampaignResult::tested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_netlist::GateKind;
+    use scal_obs::{CampaignEvent, CollectObserver};
+
+    fn xor3() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let x = c.gate(GateKind::Xor, &[a, b, d]);
+        c.mark_output("f", x);
+        c
+    }
+
+    #[test]
+    fn builder_defaults_cover_collapsed_universe() {
+        let c = xor3();
+        let report = Campaign::new(&c).run().unwrap();
+        assert_eq!(report.results.len(), enumerate_faults(&c).len());
+        assert!(report.all_fault_secure());
+        assert!(report.all_tested());
+        assert!(!report.cancelled);
+        assert_eq!(report.stats.faults, report.results.len());
+    }
+
+    #[test]
+    fn builder_matches_legacy_free_functions() {
+        let c = xor3();
+        let report = Campaign::new(&c).run().unwrap();
+        #[allow(deprecated)]
+        let legacy = crate::run_campaign(&c);
+        assert_eq!(report.results, legacy);
+        let scalar = Campaign::new(&c).scalar().run().unwrap();
+        assert_eq!(scalar.results, report.results);
+    }
+
+    #[test]
+    fn scalar_backend_honors_observer_and_cancel() {
+        let c = xor3();
+        let collect = CollectObserver::default();
+        let report = Campaign::new(&c).scalar().observer(&collect).run().unwrap();
+        let events = collect.events();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::CampaignStart {
+                campaign: "pair_scalar",
+                ..
+            })
+        ));
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::FaultFinish { .. }))
+            .count();
+        assert_eq!(finishes, report.results.len());
+
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = Campaign::new(&c).scalar().cancel(&token).run().unwrap();
+        assert!(cancelled.cancelled);
+        assert!(cancelled.results.is_empty());
+    }
+
+    #[test]
+    fn sequential_circuits_are_rejected_not_panicked() {
+        let mut c = Circuit::new();
+        let ff = c.dff(false);
+        let nq = c.not(ff);
+        c.connect_dff(ff, nq);
+        c.mark_output("q", ff);
+        assert!(matches!(
+            Campaign::new(&c).run(),
+            Err(EngineError::Sequential)
+        ));
+        assert!(matches!(
+            Campaign::new(&c).scalar().run(),
+            Err(EngineError::Sequential)
+        ));
+    }
+}

@@ -1,7 +1,14 @@
 //! Alternating-pair fault simulation and the exhaustive campaign.
+//!
+//! The historical `run_campaign*` free functions live here as `#[deprecated]`
+//! wrappers; new code should use the [`crate::Campaign`] builder, which adds
+//! observability and cancellation on both backends.
 
-use crate::{enumerate_faults, Fault};
+use crate::Fault;
+use scal_engine::{EngineError, EngineStats};
 use scal_netlist::{Circuit, Override};
+use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, Phase};
+use std::time::{Duration, Instant};
 
 /// Behaviour of a *single output* over one alternating input pair, relative
 /// to the fault-free response.
@@ -137,9 +144,13 @@ impl CampaignResult {
 /// # Panics
 ///
 /// Panics if the circuit is sequential, too wide, or not alternating.
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(&circuit).run()`")]
 #[must_use]
 pub fn run_campaign(circuit: &Circuit) -> Vec<CampaignResult> {
-    run_campaign_with(circuit, &enumerate_faults(circuit))
+    match crate::Campaign::new(circuit).run() {
+        Ok(r) => r.results,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// As [`run_campaign`] but over a caller-chosen fault list.
@@ -147,9 +158,16 @@ pub fn run_campaign(circuit: &Circuit) -> Vec<CampaignResult> {
 /// # Panics
 ///
 /// See [`run_campaign`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(&circuit).faults(faults).run()`"
+)]
 #[must_use]
 pub fn run_campaign_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
-    run_campaign_engine(circuit, faults, &scal_engine::EngineConfig::default()).0
+    match crate::Campaign::new(circuit).faults(faults.to_vec()).run() {
+        Ok(r) => r.results,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// As [`run_campaign_with`], with explicit engine knobs (thread count, fault
@@ -158,25 +176,24 @@ pub fn run_campaign_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignRes
 /// # Panics
 ///
 /// See [`run_campaign`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(&circuit).faults(faults).config(config).run()`"
+)]
 #[must_use]
 pub fn run_campaign_engine(
     circuit: &Circuit,
     faults: &[Fault],
     config: &scal_engine::EngineConfig,
 ) -> (Vec<CampaignResult>, scal_engine::EngineStats) {
-    let overrides: Vec<Override> = faults.iter().map(|f| f.to_override()).collect();
-    let (reports, stats) = scal_engine::run_pair_campaign(circuit, &overrides, config);
-    let results = faults
-        .iter()
-        .zip(reports)
-        .map(|(&fault, r)| CampaignResult {
-            fault,
-            detected_pairs: r.detected_pairs,
-            violation_pairs: r.violation_pairs,
-            observable: r.observable,
-        })
-        .collect();
-    (results, stats)
+    match crate::Campaign::new(circuit)
+        .faults(faults.to_vec())
+        .config(config.clone())
+        .run()
+    {
+        Ok(r) => (r.results, r.stats),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// The original per-minterm scalar campaign, retained as the differential
@@ -185,9 +202,13 @@ pub fn run_campaign_engine(
 /// # Panics
 ///
 /// See [`run_campaign`].
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(&circuit).scalar().run()`")]
 #[must_use]
 pub fn run_campaign_scalar(circuit: &Circuit) -> Vec<CampaignResult> {
-    run_campaign_scalar_with(circuit, &enumerate_faults(circuit))
+    match crate::Campaign::new(circuit).scalar().run() {
+        Ok(r) => r.results,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// As [`run_campaign_scalar`] but over a caller-chosen fault list.
@@ -195,15 +216,68 @@ pub fn run_campaign_scalar(circuit: &Circuit) -> Vec<CampaignResult> {
 /// # Panics
 ///
 /// See [`run_campaign`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(&circuit).faults(faults).scalar().run()`"
+)]
 #[must_use]
 pub fn run_campaign_scalar_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
-    assert!(!circuit.is_sequential(), "campaigns are combinational-only");
+    match crate::Campaign::new(circuit)
+        .faults(faults.to_vec())
+        .scalar()
+        .run()
+    {
+        Ok(r) => r.results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The scalar backend behind [`crate::Campaign::scalar`]: per-minterm
+/// simulation with full observability and per-fault cancellation.
+///
+/// Event parity with the engine path: per-fault `FaultStart`/`FaultFinish`
+/// events are buffered and replayed in fault order during the merge phase
+/// (the scalar path is single-threaded, so `worker` is always 0 and there
+/// are no `BatchDone` events — it sweeps whole truth tables, not 64-pair
+/// batches).
+pub(crate) fn try_run_scalar(
+    circuit: &Circuit,
+    faults: &[Fault],
+    observer: &dyn CampaignObserver,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<CampaignResult>, EngineStats, bool), EngineError> {
+    if circuit.is_sequential() {
+        return Err(EngineError::Sequential);
+    }
     let n = circuit.inputs().len();
-    assert!((1..=24).contains(&n), "campaign supports 1..=24 inputs");
+    if !(1..=24).contains(&n) {
+        return Err(EngineError::UnsupportedInputs { inputs: n });
+    }
+    let obs = observer.enabled();
+    let total_t = Instant::now();
+    if obs {
+        observer.on_event(&CampaignEvent::CampaignStart {
+            campaign: "pair_scalar",
+            faults: faults.len(),
+            inputs: n,
+            outputs: circuit.outputs().len(),
+            threads: 1,
+        });
+    }
+
     let outputs: Vec<usize> = circuit.outputs().iter().map(|o| o.node.index()).collect();
     let total = 1u32 << n;
+    let words_per_sweep = u64::from(total).div_ceil(64);
+    let pairs_per_fault = u64::from(total / 2);
+    let mut stats = EngineStats::default();
 
     // Fault-free responses for every minterm, packed 64 at a time.
+    let t = Instant::now();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Golden,
+        });
+    }
     let mut normal = vec![vec![false; outputs.len()]; total as usize];
     sweep(circuit, &[], n, |m, vals| {
         normal[m as usize].copy_from_slice(vals);
@@ -213,50 +287,124 @@ pub fn run_campaign_scalar_with(circuit: &Circuit, faults: &[Fault]) -> Vec<Camp
     // Sanity: alternation of the fault-free network.
     for m in 0..total {
         for (k, &v) in normal[m as usize].iter().enumerate() {
-            assert_ne!(
-                v,
-                normal[(!m & mask) as usize][k],
-                "output {k} does not alternate at pair ({m:0b}); not an alternating network"
-            );
+            if v == normal[(!m & mask) as usize][k] {
+                return Err(EngineError::NotAlternating { output: k, pair: m });
+            }
         }
     }
+    stats.golden_time = t.elapsed();
+    stats.words_evaluated = words_per_sweep;
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Golden,
+            micros: duration_micros(stats.golden_time),
+        });
+    }
 
-    faults
-        .iter()
-        .map(|&fault| {
-            let ov = [fault.to_override()];
-            let mut faulty = vec![vec![false; outputs.len()]; total as usize];
-            sweep(circuit, &ov, n, |m, vals| {
-                faulty[m as usize].copy_from_slice(vals);
+    let t = Instant::now();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::FaultSim,
+        });
+    }
+    let mut results = Vec::with_capacity(faults.len());
+    let mut fault_events: Vec<CampaignEvent> = Vec::new();
+    let mut cancelled = false;
+    for (i, &fault) in faults.iter().enumerate() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            break;
+        }
+        let ov = [fault.to_override()];
+        let mut faulty = vec![vec![false; outputs.len()]; total as usize];
+        sweep(circuit, &ov, n, |m, vals| {
+            faulty[m as usize].copy_from_slice(vals);
+        });
+        let mut detected = Vec::new();
+        let mut violations = Vec::new();
+        let mut observable = false;
+        for m in 0..total {
+            let m2 = !m & mask;
+            if m > m2 {
+                continue;
+            }
+            let nrm = (normal[m as usize].clone(), normal[m2 as usize].clone());
+            let fty = (faulty[m as usize].clone(), faulty[m2 as usize].clone());
+            if fty.0 != nrm.0 || fty.1 != nrm.1 {
+                observable = true;
+            }
+            let (_, class) = classify_pair(&nrm, &fty);
+            match class {
+                PairClass::Correct => {}
+                PairClass::Detected => detected.push(m),
+                PairClass::Violation => violations.push(m),
+            }
+        }
+        stats.pairs_evaluated += pairs_per_fault;
+        stats.words_evaluated += words_per_sweep;
+        if obs {
+            fault_events.push(CampaignEvent::FaultStart {
+                fault: i,
+                worker: 0,
             });
-            let mut detected = Vec::new();
-            let mut violations = Vec::new();
-            let mut observable = false;
-            for m in 0..total {
-                let m2 = !m & mask;
-                if m > m2 {
-                    continue;
-                }
-                let nrm = (normal[m as usize].clone(), normal[m2 as usize].clone());
-                let fty = (faulty[m as usize].clone(), faulty[m2 as usize].clone());
-                if fty.0 != nrm.0 || fty.1 != nrm.1 {
-                    observable = true;
-                }
-                let (_, class) = classify_pair(&nrm, &fty);
-                match class {
-                    PairClass::Correct => {}
-                    PairClass::Detected => detected.push(m),
-                    PairClass::Violation => violations.push(m),
-                }
-            }
-            CampaignResult {
-                fault,
-                detected_pairs: detected,
-                violation_pairs: violations,
+            fault_events.push(CampaignEvent::FaultFinish {
+                fault: i,
+                worker: 0,
+                detected: detected.len(),
+                violations: violations.len(),
                 observable,
-            }
-        })
-        .collect()
+                dropped: false,
+                pairs: pairs_per_fault,
+            });
+            observer.on_event(&CampaignEvent::Progress {
+                done: i + 1,
+                total: faults.len(),
+            });
+        }
+        results.push(CampaignResult {
+            fault,
+            detected_pairs: detected,
+            violation_pairs: violations,
+            observable,
+        });
+    }
+    stats.fault_sim_time = t.elapsed();
+    stats.faults = results.len();
+    if obs {
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::FaultSim,
+            micros: duration_micros(stats.fault_sim_time),
+        });
+        let merge_t = Instant::now();
+        observer.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Merge,
+        });
+        for e in &fault_events {
+            observer.on_event(e);
+        }
+        observer.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Merge,
+            micros: duration_micros(merge_t.elapsed()),
+        });
+        if cancelled {
+            observer.on_event(&CampaignEvent::Cancelled {
+                completed: results.len(),
+            });
+        }
+        observer.on_event(&CampaignEvent::CampaignEnd {
+            faults: results.len(),
+            dropped: 0,
+            pairs: stats.pairs_evaluated,
+            words: stats.words_evaluated,
+            micros: duration_micros(total_t.elapsed()),
+            cancelled,
+        });
+    }
+    Ok((results, stats, cancelled))
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Evaluates output values for every minterm using 64-lane sweeps, invoking
@@ -388,7 +536,7 @@ mod tests {
         // Yamamoto's result (via Theorem 3.7): two-level self-dual networks
         // with monotonic gates are self-checking.
         let c = maj_nand();
-        for r in run_campaign(&c) {
+        for r in crate::Campaign::new(&c).run().unwrap().results {
             assert!(r.fault_secure(), "violation for {}", r.fault);
             assert!(r.tested(), "untested fault {}", r.fault);
         }
@@ -397,7 +545,7 @@ mod tests {
     #[test]
     fn single_xor_gate_network_is_self_checking() {
         let c = xor3();
-        for r in run_campaign(&c) {
+        for r in crate::Campaign::new(&c).run().unwrap().results {
             assert!(r.fault_secure());
             assert!(r.tested());
         }
@@ -406,7 +554,7 @@ mod tests {
     #[test]
     fn unequal_parity_reconvergence_violates_fault_security() {
         let c = unequal_parity_xor();
-        let results = run_campaign(&c);
+        let results = crate::Campaign::new(&c).run().unwrap().results;
         // The XOR stem (w) fans out with unequal parity; its stuck faults
         // must yield incorrect alternating outputs.
         let w_site = {
@@ -431,7 +579,7 @@ mod tests {
     #[test]
     fn campaign_covers_collapsed_universe() {
         let c = maj_nand();
-        let res = run_campaign(&c);
+        let res = crate::Campaign::new(&c).run().unwrap().results;
         assert_eq!(res.len(), crate::enumerate_faults(&c).len());
         assert!(res.iter().all(|r| r.observable));
     }
@@ -439,7 +587,7 @@ mod tests {
     #[test]
     fn campaign_pairs_enumerated_once() {
         let c = xor3();
-        let res = run_campaign(&c);
+        let res = crate::Campaign::new(&c).run().unwrap().results;
         for r in &res {
             for &m in r.detected_pairs.iter().chain(&r.violation_pairs) {
                 assert!(m <= (!m & 0b111), "pair {m} not canonical");

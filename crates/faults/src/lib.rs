@@ -8,9 +8,10 @@
 //! `(X, X̄)` through a faulted combinational network; [`classify_pair`]
 //! decides whether the observed output pair is the correct code word, a
 //! detectable non-code word, or the dangerous *incorrect alternating output*
-//! of Theorem 3.1; and [`run_campaign`] sweeps every fault against every
-//! input pair — the exhaustive ground truth against which the analytic
-//! machinery of `scal-analysis` is checked.
+//! of Theorem 3.1; and the [`Campaign`] builder sweeps every fault against
+//! every input pair — the exhaustive ground truth against which the analytic
+//! machinery of `scal-analysis` is checked. The historical `run_campaign*`
+//! free functions remain as deprecated wrappers around the builder.
 //!
 //! The crate also models the wider fault classes of Definitions 2.2/2.3
 //! ([`FaultSet`], unidirectional and multiple faults) used by the Table 5.1
@@ -20,7 +21,7 @@
 //!
 //! ```
 //! use scal_netlist::{Circuit, GateKind};
-//! use scal_faults::{enumerate_faults, run_campaign};
+//! use scal_faults::{enumerate_faults, Campaign};
 //!
 //! // XOR3 is self-dual; a two-level realization is self-checking.
 //! let mut c = Circuit::new();
@@ -30,19 +31,23 @@
 //! let x = c.gate(GateKind::Xor, &[a, b, d]);
 //! c.mark_output("f", x);
 //!
-//! let results = run_campaign(&c);
-//! assert_eq!(results.len(), enumerate_faults(&c).len());
-//! assert!(results.iter().all(|r| r.violation_pairs.is_empty()));
+//! let report = Campaign::new(&c).run().unwrap();
+//! assert_eq!(report.results.len(), enumerate_faults(&c).len());
+//! assert!(report.all_fault_secure());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod campaign;
 mod model;
 
+pub use builder::{Campaign, CampaignReport};
+pub use campaign::{classify_pair, response_pair, CampaignResult, PairClass, PairOutcome};
+#[allow(deprecated)]
 pub use campaign::{
-    classify_pair, response_pair, run_campaign, run_campaign_engine, run_campaign_scalar,
-    run_campaign_scalar_with, run_campaign_with, CampaignResult, PairClass, PairOutcome,
+    run_campaign, run_campaign_engine, run_campaign_scalar, run_campaign_scalar_with,
+    run_campaign_with,
 };
 pub use model::{enumerate_faults, enumerate_faults_uncollapsed, Fault, FaultSet};

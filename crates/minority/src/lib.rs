@@ -261,7 +261,7 @@ pub fn fig6_2_example() -> Fig62 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scal_faults::run_campaign;
+    use scal_faults::Campaign;
     use scal_logic::Tt;
 
     fn nand_chain() -> Circuit {
@@ -357,7 +357,7 @@ mod tests {
                 assert!(tt.is_self_dual());
             }
             // All lines alternate → fault-secure and fully tested.
-            for r in run_campaign(&alt) {
+            for r in Campaign::new(&alt).run().unwrap().results {
                 assert!(r.fault_secure(), "violation at {}", r.fault);
                 assert!(r.tested(), "untested {}", r.fault);
             }
@@ -445,7 +445,7 @@ mod tests {
     #[test]
     fn minimal_minority_is_self_checking_for_free() {
         let fig = fig6_2_example();
-        for r in run_campaign(&fig.minimal) {
+        for r in Campaign::new(&fig.minimal).run().unwrap().results {
             assert!(r.fault_secure() && r.tested());
         }
     }

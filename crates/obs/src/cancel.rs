@@ -1,0 +1,62 @@
+//! Cooperative cancellation for long-running campaigns.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag.
+///
+/// Campaigns check the token at batch boundaries; once cancelled, workers
+/// stop claiming faults, abandon the fault currently in flight, and the
+/// campaign returns the longest contiguous fault-ordered prefix of completed
+/// results — bit-identical to the same prefix of an uncancelled run.
+///
+/// Cancellation is sticky: there is no way to un-cancel a token. Clones share
+/// the flag, so a token handed to an observer (or another thread) can stop a
+/// campaign from outside.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent and thread-safe.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone of this token has been cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        u.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().expect("join");
+        assert!(t.is_cancelled());
+    }
+}

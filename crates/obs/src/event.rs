@@ -1,0 +1,295 @@
+//! The typed event vocabulary campaigns emit.
+
+use crate::json::JsonObject;
+
+/// A campaign phase, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Circuit compilation into the flat schedule.
+    Compile,
+    /// Fault-free (golden) sweep and alternation check.
+    Golden,
+    /// Per-fault simulation across the worker pool.
+    FaultSim,
+    /// Deterministic aggregation of worker results in fault order.
+    Merge,
+}
+
+impl Phase {
+    /// Stable snake_case name used in traces and metric keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Compile => "compile",
+            Phase::Golden => "golden",
+            Phase::FaultSim => "fault_sim",
+            Phase::Merge => "merge",
+        }
+    }
+}
+
+/// One observable campaign occurrence.
+///
+/// Durations are carried as integer microseconds (`micros`) so events are
+/// `Eq`-comparable and serialize without float noise. Fault indices refer to
+/// the caller's fault-list order; `worker` attributes the event to the pool
+/// thread that produced it (`0` for the inline single-threaded path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignEvent {
+    /// A campaign began.
+    CampaignStart {
+        /// Campaign flavour: `"pair"`, `"scalar"`, `"seq"`, `"cpu"`, …
+        campaign: &'static str,
+        /// Faults queued for simulation.
+        faults: usize,
+        /// Primary-input count of the circuit under test (0 if not
+        /// applicable).
+        inputs: usize,
+        /// Primary-output count (0 if not applicable).
+        outputs: usize,
+        /// Worker threads the run will use (1 = inline).
+        threads: usize,
+    },
+    /// A phase began.
+    PhaseStart {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A phase completed.
+    PhaseEnd {
+        /// Which phase.
+        phase: Phase,
+        /// Wall time of the phase in microseconds.
+        micros: u64,
+    },
+    /// A fault's sweep began.
+    FaultStart {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Worker thread that ran the sweep.
+        worker: usize,
+    },
+    /// One 64-pair batch of a fault's sweep completed.
+    BatchDone {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Worker thread that ran the batch.
+        worker: usize,
+        /// Batch ordinal within the fault's sweep, from 0.
+        batch: usize,
+        /// Alternating pairs evaluated in the batch.
+        pairs: u64,
+    },
+    /// A fault's sweep was cut short by fault dropping.
+    FaultDropped {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Worker thread that ran the sweep.
+        worker: usize,
+        /// Batch ordinal at which the sweep stopped.
+        batch: usize,
+    },
+    /// A fault's sweep completed (possibly dropped early).
+    FaultFinish {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Worker thread that ran the sweep.
+        worker: usize,
+        /// Pairs at which the fault was detected (non-code word).
+        detected: usize,
+        /// Pairs at which the fault slipped a wrong code word.
+        violations: usize,
+        /// Whether the fault changed any output at all.
+        observable: bool,
+        /// Whether fault dropping cut the sweep short.
+        dropped: bool,
+        /// Pairs evaluated for this fault.
+        pairs: u64,
+    },
+    /// Live progress tick: `done` of `total` faults finished. Emitted from
+    /// worker threads as faults complete; ordering across workers is not
+    /// deterministic (counts are monotonic).
+    Progress {
+        /// Faults finished so far.
+        done: usize,
+        /// Faults queued in total.
+        total: usize,
+    },
+    /// The campaign was cancelled; `completed` leading faults survive as the
+    /// deterministic fault-ordered prefix.
+    Cancelled {
+        /// Length of the surviving fault-ordered prefix.
+        completed: usize,
+    },
+    /// The campaign finished (normally or via cancellation).
+    CampaignEnd {
+        /// Faults with results (prefix length if cancelled).
+        faults: usize,
+        /// Faults whose sweep was dropped early.
+        dropped: usize,
+        /// Alternating pairs evaluated across all faults.
+        pairs: u64,
+        /// 64-lane words evaluated, golden sweeps included.
+        words: u64,
+        /// Total campaign wall time in microseconds.
+        micros: u64,
+        /// Whether the run was cancelled.
+        cancelled: bool,
+    },
+}
+
+impl CampaignEvent {
+    /// Stable snake_case event name (the `"ev"` field of the JSON form).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignEvent::CampaignStart { .. } => "campaign_start",
+            CampaignEvent::PhaseStart { .. } => "phase_start",
+            CampaignEvent::PhaseEnd { .. } => "phase_end",
+            CampaignEvent::FaultStart { .. } => "fault_start",
+            CampaignEvent::BatchDone { .. } => "batch_done",
+            CampaignEvent::FaultDropped { .. } => "fault_dropped",
+            CampaignEvent::FaultFinish { .. } => "fault_finish",
+            CampaignEvent::Progress { .. } => "progress",
+            CampaignEvent::Cancelled { .. } => "cancelled",
+            CampaignEvent::CampaignEnd { .. } => "campaign_end",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("ev", self.name());
+        match *self {
+            CampaignEvent::CampaignStart {
+                campaign,
+                faults,
+                inputs,
+                outputs,
+                threads,
+            } => {
+                o.str("campaign", campaign);
+                o.num("faults", faults as u64);
+                o.num("inputs", inputs as u64);
+                o.num("outputs", outputs as u64);
+                o.num("threads", threads as u64);
+            }
+            CampaignEvent::PhaseStart { phase } => {
+                o.str("phase", phase.name());
+            }
+            CampaignEvent::PhaseEnd { phase, micros } => {
+                o.str("phase", phase.name());
+                o.num("micros", micros);
+            }
+            CampaignEvent::FaultStart { fault, worker } => {
+                o.num("fault", fault as u64);
+                o.num("worker", worker as u64);
+            }
+            CampaignEvent::BatchDone {
+                fault,
+                worker,
+                batch,
+                pairs,
+            } => {
+                o.num("fault", fault as u64);
+                o.num("worker", worker as u64);
+                o.num("batch", batch as u64);
+                o.num("pairs", pairs);
+            }
+            CampaignEvent::FaultDropped {
+                fault,
+                worker,
+                batch,
+            } => {
+                o.num("fault", fault as u64);
+                o.num("worker", worker as u64);
+                o.num("batch", batch as u64);
+            }
+            CampaignEvent::FaultFinish {
+                fault,
+                worker,
+                detected,
+                violations,
+                observable,
+                dropped,
+                pairs,
+            } => {
+                o.num("fault", fault as u64);
+                o.num("worker", worker as u64);
+                o.num("detected", detected as u64);
+                o.num("violations", violations as u64);
+                o.bool("observable", observable);
+                o.bool("dropped", dropped);
+                o.num("pairs", pairs);
+            }
+            CampaignEvent::Progress { done, total } => {
+                o.num("done", done as u64);
+                o.num("total", total as u64);
+            }
+            CampaignEvent::Cancelled { completed } => {
+                o.num("completed", completed as u64);
+            }
+            CampaignEvent::CampaignEnd {
+                faults,
+                dropped,
+                pairs,
+                words,
+                micros,
+                cancelled,
+            } => {
+                o.num("faults", faults as u64);
+                o.num("dropped", dropped as u64);
+                o.num("pairs", pairs);
+                o.num("words", words);
+                o.num("micros", micros);
+                o.bool("cancelled", cancelled);
+            }
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Compile.name(), "compile");
+        assert_eq!(Phase::FaultSim.name(), "fault_sim");
+    }
+
+    #[test]
+    fn events_serialize_to_valid_json() {
+        let events = [
+            CampaignEvent::CampaignStart {
+                campaign: "pair",
+                faults: 12,
+                inputs: 3,
+                outputs: 1,
+                threads: 1,
+            },
+            CampaignEvent::PhaseEnd {
+                phase: Phase::Golden,
+                micros: 42,
+            },
+            CampaignEvent::FaultFinish {
+                fault: 3,
+                worker: 0,
+                detected: 4,
+                violations: 0,
+                observable: true,
+                dropped: false,
+                pairs: 4,
+            },
+            CampaignEvent::Cancelled { completed: 2 },
+        ];
+        for e in &events {
+            let j = e.to_json();
+            crate::json::validate_jsonl(&j).expect("valid JSON");
+            assert!(j.contains(&format!("\"ev\":\"{}\"", e.name())));
+        }
+    }
+}

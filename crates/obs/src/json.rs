@@ -1,0 +1,332 @@
+//! Minimal JSON emission and validation — just enough for the trace format,
+//! with no external dependencies.
+//!
+//! Emission covers flat objects of strings, integers and booleans (the whole
+//! event vocabulary). [`validate_jsonl`] is a strict syntax checker for
+//! JSON-lines streams, used by the golden tests and the CI smoke job.
+
+use std::fmt::Write;
+
+/// Incremental builder for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num(&mut self, k: &str, v: u64) {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Closes the object and returns its text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates a JSON-lines stream: every non-empty line must be one
+/// syntactically complete JSON value. Returns the number of lines checked.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (1-based) and position.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut checked = 0;
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.value().map_err(|e| format!("line {}: {e}", ln + 1))?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!(
+                "line {}: trailing garbage at byte {}",
+                ln + 1,
+                p.pos
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// A recursive-descent JSON syntax checker (no value construction).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self
+            .peek()
+            .ok_or_else(|| format!("unexpected end at byte {}", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got == b {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos - 1,
+                got as char
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected {:?} at byte {}", b as char, self.pos)),
+            None => Err(format!("unexpected end at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Ok(()),
+                b => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Ok(()),
+                b => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let e = self.bump()?;
+                    match e {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.bump()?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u escape at byte {}", self.pos - 1));
+                                }
+                            }
+                        }
+                        b => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                b as char,
+                                self.pos - 1
+                            ))
+                        }
+                    }
+                }
+                b if b < 0x20 => return Err(format!("raw control byte at {}", self.pos - 1)),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("expected digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("expected fraction digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("expected exponent digits at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_objects() {
+        let mut o = JsonObject::new();
+        o.str("ev", "phase_end");
+        o.num("micros", 12);
+        o.bool("ok", true);
+        let s = o.finish();
+        assert_eq!(s, "{\"ev\":\"phase_end\",\"micros\":12,\"ok\":true}");
+        assert_eq!(validate_jsonl(&s), Ok(1));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        let mut o = JsonObject::new();
+        o.str("k", "a\"b\u{1}");
+        assert_eq!(validate_jsonl(&o.finish()), Ok(1));
+    }
+
+    #[test]
+    fn validate_accepts_multiline_streams() {
+        let text = "{\"a\":1}\n{\"b\":[1,2,{\"c\":null}],\"d\":-1.5e3}\n\n{\"e\":\"x\"}";
+        assert_eq!(validate_jsonl(text), Ok(3));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_jsonl("{\"a\":}").is_err());
+        assert!(validate_jsonl("{\"a\":1} extra").is_err());
+        assert!(validate_jsonl("{'a':1}").is_err());
+        assert!(validate_jsonl("{\"a\":01x}").is_err());
+        assert!(validate_jsonl("{\"a\":\"unterminated}").is_err());
+        let err = validate_jsonl("{\"a\":1}\nnot json").unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+    }
+}

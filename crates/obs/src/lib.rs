@@ -1,0 +1,46 @@
+//! # scal-obs — campaign observability
+//!
+//! Long-running fault campaigns were black boxes: a sweep reported nothing
+//! until it finished and could not be stopped. This crate is the
+//! dependency-free observability layer every campaign in the workspace
+//! reports through:
+//!
+//! * **Events** ([`CampaignEvent`]): a typed vocabulary for everything a
+//!   campaign does — phase spans (compile / golden / fault-sim / merge),
+//!   per-fault start/finish/drop with worker attribution, per-batch pair
+//!   counts, live progress ticks, cancellation, and the final summary.
+//! * **Observers** ([`CampaignObserver`]): a `Sync` sink trait the engine
+//!   calls from its worker threads. Implementations here: the
+//!   [`JsonlTrace`] JSON-lines writer, the [`ProgressMeter`] human stderr
+//!   summary, the [`Metrics`] registry (counters + wall-time histograms),
+//!   plus [`NullObserver`], [`MultiObserver`] and the test-oriented
+//!   [`CollectObserver`].
+//! * **Cancellation** ([`CancelToken`]): a cloneable flag campaigns check at
+//!   batch boundaries; a cancelled campaign returns partial, deterministic,
+//!   fault-ordered results instead of aborting.
+//!
+//! Observation never perturbs results: observers only *read* event data, and
+//! worker-side fault events are buffered and merged in fault order before
+//! emission, so a trace of a single-threaded run is byte-stable (modulo wall
+//! times) and multi-threaded runs produce the same merged fault record.
+//!
+//! The JSON event schema is documented in DESIGN.md ("Observability") and
+//! checked by [`json::validate_jsonl`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cancel;
+mod event;
+pub mod json;
+mod metrics;
+mod observer;
+mod progress;
+mod trace;
+
+pub use cancel::CancelToken;
+pub use event::{CampaignEvent, Phase};
+pub use metrics::{Counter, Histogram, Metrics};
+pub use observer::{CampaignObserver, CollectObserver, MultiObserver, NullObserver};
+pub use progress::ProgressMeter;
+pub use trace::JsonlTrace;

@@ -1,0 +1,247 @@
+//! A tiny metrics registry: named counters and log-scale wall-time
+//! histograms, all lock-free on the hot path.
+
+use crate::event::CampaignEvent;
+use crate::observer::CampaignObserver;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also catches 0).
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed histogram of microsecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration in microseconds.
+    pub fn record(&self, micros: u64) {
+        let b = (63 - u64::leading_zeros(micros.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound (exclusive, in microseconds) of the highest non-empty
+    /// bucket — a cheap worst-case estimate.
+    #[must_use]
+    pub fn max_bucket_bound(&self) -> u64 {
+        for b in (0..BUCKETS).rev() {
+            if self.buckets[b].load(Ordering::Relaxed) != 0 {
+                return 1u64 << (b + 1);
+            }
+        }
+        0
+    }
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+///
+/// Lookup takes a lock; the returned handles are `Arc`s whose updates are
+/// plain atomics, so emitters resolve a handle once and update it freely.
+/// `Metrics` is itself a [`CampaignObserver`]: attached to a campaign it
+/// accumulates the standard counters (`campaign.faults`, `campaign.pairs`,
+/// `campaign.dropped`, `campaign.cancelled`) and per-phase wall-time
+/// histograms (`phase.compile_micros`, `phase.fault_sim_micros`, …).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Renders every metric as sorted `name value` lines (counters), and
+    /// `name count=N sum=S mean=M` lines (histograms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (name, c) in self.counters.lock().expect("metrics lock").iter() {
+            let _ = writeln!(s, "{name} {}", c.get());
+        }
+        for (name, h) in self.histograms.lock().expect("metrics lock").iter() {
+            let _ = writeln!(
+                s,
+                "{name} count={} sum={}us mean={}us max<{}us",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.max_bucket_bound()
+            );
+        }
+        s
+    }
+}
+
+impl CampaignObserver for Metrics {
+    fn on_event(&self, event: &CampaignEvent) {
+        match *event {
+            CampaignEvent::CampaignStart { .. } => {
+                self.counter("campaign.runs").inc();
+            }
+            CampaignEvent::PhaseEnd { phase, micros } => {
+                self.histogram(&format!("phase.{}_micros", phase.name()))
+                    .record(micros);
+            }
+            CampaignEvent::FaultFinish { dropped, pairs, .. } => {
+                self.counter("campaign.faults").inc();
+                self.counter("campaign.pairs").add(pairs);
+                if dropped {
+                    self.counter("campaign.dropped").inc();
+                }
+            }
+            CampaignEvent::Cancelled { .. } => {
+                self.counter("campaign.cancelled").inc();
+            }
+            CampaignEvent::CampaignEnd { micros, .. } => {
+                self.histogram("campaign.total_micros").record(micros);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        let c = m.counter("x");
+        c.inc();
+        m.counter("x").add(4);
+        assert_eq!(c.get(), 5);
+        assert!(m.render().contains("x 5"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(7);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.mean(), 335);
+        assert_eq!(h.max_bucket_bound(), 1024);
+    }
+
+    #[test]
+    fn observer_records_standard_metrics() {
+        let m = Metrics::new();
+        m.on_event(&CampaignEvent::CampaignStart {
+            campaign: "pair",
+            faults: 2,
+            inputs: 3,
+            outputs: 1,
+            threads: 1,
+        });
+        m.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Compile,
+            micros: 12,
+        });
+        m.on_event(&CampaignEvent::FaultFinish {
+            fault: 0,
+            worker: 0,
+            detected: 1,
+            violations: 0,
+            observable: true,
+            dropped: true,
+            pairs: 64,
+        });
+        assert_eq!(m.counter("campaign.runs").get(), 1);
+        assert_eq!(m.counter("campaign.pairs").get(), 64);
+        assert_eq!(m.counter("campaign.dropped").get(), 1);
+        assert_eq!(m.histogram("phase.compile_micros").count(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The observer trait and structural sinks.
+
+use crate::event::CampaignEvent;
+use std::sync::Mutex;
+
+/// A sink for [`CampaignEvent`]s.
+///
+/// Implementations must be `Sync`: the engine calls [`CampaignObserver::on_event`]
+/// from its worker threads (live [`CampaignEvent::Progress`] ticks) as well as
+/// from the coordinating thread (everything else, in deterministic order).
+///
+/// Observers must never influence campaign results — they receive shared
+/// references to immutable event data and the engine ignores them entirely
+/// when making simulation decisions.
+pub trait CampaignObserver: Sync {
+    /// Receives one event.
+    fn on_event(&self, event: &CampaignEvent);
+
+    /// `false` lets emitters skip event construction entirely (the
+    /// [`NullObserver`] fast path). Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards every event; [`CampaignObserver::enabled`] is `false`, so
+/// emitters skip event buffering altogether.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {
+    fn on_event(&self, _event: &CampaignEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fans every event out to a list of observers, in order.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    sinks: Vec<&'a dyn CampaignObserver>,
+}
+
+impl<'a> MultiObserver<'a> {
+    /// Creates an empty fan-out.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiObserver { sinks: Vec::new() }
+    }
+
+    /// Adds a sink (builder style).
+    #[must_use]
+    pub fn with(mut self, sink: &'a dyn CampaignObserver) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink in place.
+    pub fn push(&mut self, sink: &'a dyn CampaignObserver) {
+        self.sinks.push(sink);
+    }
+}
+
+impl CampaignObserver for MultiObserver<'_> {
+    fn on_event(&self, event: &CampaignEvent) {
+        for s in &self.sinks {
+            s.on_event(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+/// Collects every event into memory — the test sink.
+#[derive(Debug, Default)]
+pub struct CollectObserver {
+    events: Mutex<Vec<CampaignEvent>>,
+}
+
+impl CollectObserver {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectObserver::default()
+    }
+
+    /// Snapshot of the events received so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observer callback panicked while holding the lock.
+    #[must_use]
+    pub fn events(&self) -> Vec<CampaignEvent> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Number of events received so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observer callback panicked while holding the lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector lock").len()
+    }
+
+    /// `true` iff no events were received.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CampaignObserver for CollectObserver {
+    fn on_event(&self, event: &CampaignEvent) {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.enabled());
+        NullObserver.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+    }
+
+    #[test]
+    fn multi_observer_fans_out_and_reports_enabled() {
+        let a = CollectObserver::new();
+        let b = CollectObserver::new();
+        let multi = MultiObserver::new().with(&a).with(&b);
+        assert!(multi.enabled());
+        multi.on_event(&CampaignEvent::Progress { done: 1, total: 4 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(!MultiObserver::new().with(&NullObserver).enabled());
+    }
+
+    #[test]
+    fn collector_snapshots_in_order() {
+        let c = CollectObserver::new();
+        assert!(c.is_empty());
+        for done in 0..3 {
+            c.on_event(&CampaignEvent::Progress { done, total: 3 });
+        }
+        let evs = c.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[2], CampaignEvent::Progress { done: 2, total: 3 });
+    }
+}

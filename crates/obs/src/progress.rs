@@ -1,0 +1,149 @@
+//! The human progress sink: one-line campaign summaries on stderr.
+
+use crate::event::CampaignEvent;
+use crate::observer::CampaignObserver;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Prints throttled progress lines and a final summary to stderr.
+///
+/// Progress ticks are rate-limited (default: one line per 250 ms) so a
+/// million-fault campaign does not drown the terminal; phase ends and the
+/// campaign summary always print. Writes go to [`std::io::stderr`] and never
+/// affect campaign results.
+pub struct ProgressMeter {
+    state: Mutex<MeterState>,
+    min_interval: Duration,
+}
+
+struct MeterState {
+    started: Instant,
+    last_tick: Option<Instant>,
+}
+
+impl Default for ProgressMeter {
+    fn default() -> Self {
+        ProgressMeter::new()
+    }
+}
+
+impl ProgressMeter {
+    /// A meter with the default 250 ms throttle.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgressMeter::with_interval(Duration::from_millis(250))
+    }
+
+    /// A meter printing at most one progress line per `min_interval`.
+    #[must_use]
+    pub fn with_interval(min_interval: Duration) -> Self {
+        ProgressMeter {
+            state: Mutex::new(MeterState {
+                started: Instant::now(),
+                last_tick: None,
+            }),
+            min_interval,
+        }
+    }
+
+    fn line(&self, text: &str) {
+        // Best-effort: a dead stderr must not kill the campaign.
+        let _ = writeln!(std::io::stderr(), "{text}");
+    }
+}
+
+impl CampaignObserver for ProgressMeter {
+    fn on_event(&self, event: &CampaignEvent) {
+        match *event {
+            CampaignEvent::CampaignStart {
+                campaign,
+                faults,
+                threads,
+                ..
+            } => {
+                let mut state = self.state.lock().expect("meter lock");
+                state.started = Instant::now();
+                state.last_tick = None;
+                drop(state);
+                self.line(&format!(
+                    "[{campaign}] campaign start: {faults} faults, {threads} thread(s)"
+                ));
+            }
+            CampaignEvent::PhaseEnd { phase, micros } => {
+                self.line(&format!("[{}] {} us", phase.name(), micros));
+            }
+            CampaignEvent::Progress { done, total } => {
+                let mut state = self.state.lock().expect("meter lock");
+                let now = Instant::now();
+                let due = state
+                    .last_tick
+                    .map_or(true, |t| now.duration_since(t) >= self.min_interval);
+                if !due && done != total {
+                    return;
+                }
+                state.last_tick = Some(now);
+                let elapsed = now.duration_since(state.started);
+                drop(state);
+                let pct = if total == 0 {
+                    100.0
+                } else {
+                    100.0 * done as f64 / total as f64
+                };
+                self.line(&format!(
+                    "progress: {done}/{total} faults ({pct:.1}%) in {elapsed:.1?}"
+                ));
+            }
+            CampaignEvent::Cancelled { completed } => {
+                self.line(&format!(
+                    "cancelled: keeping the first {completed} fault result(s)"
+                ));
+            }
+            CampaignEvent::CampaignEnd {
+                faults,
+                dropped,
+                pairs,
+                words,
+                micros,
+                cancelled,
+            } => {
+                self.line(&format!(
+                    "campaign end: {faults} faults ({dropped} dropped), {pairs} pairs, {words} words in {micros} us{}",
+                    if cancelled { " [CANCELLED]" } else { "" }
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The meter only writes to stderr, so tests exercise the throttle
+    /// bookkeeping rather than the text.
+    #[test]
+    fn throttle_suppresses_back_to_back_ticks() {
+        let meter = ProgressMeter::with_interval(Duration::from_secs(3600));
+        meter.on_event(&CampaignEvent::Progress { done: 1, total: 10 });
+        let first = meter.state.lock().expect("lock").last_tick;
+        assert!(first.is_some());
+        meter.on_event(&CampaignEvent::Progress { done: 2, total: 10 });
+        let second = meter.state.lock().expect("lock").last_tick;
+        assert_eq!(first, second, "second tick suppressed");
+        // The final tick always prints.
+        meter.on_event(&CampaignEvent::Progress {
+            done: 10,
+            total: 10,
+        });
+        assert_ne!(meter.state.lock().expect("lock").last_tick, second);
+    }
+
+    #[test]
+    fn other_events_do_not_touch_the_throttle() {
+        let meter = ProgressMeter::new();
+        meter.on_event(&CampaignEvent::Cancelled { completed: 3 });
+        assert!(meter.state.lock().expect("lock").last_tick.is_none());
+    }
+}

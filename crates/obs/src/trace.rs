@@ -1,0 +1,158 @@
+//! The JSON-lines trace sink.
+
+use crate::event::CampaignEvent;
+use crate::observer::CampaignObserver;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Writes one JSON object per event to any [`io::Write`] target.
+///
+/// The writer is locked per event, so a single trace can be shared by the
+/// engine's worker threads; event order within the file matches observer
+/// call order. I/O errors are latched (first error wins) and reported by
+/// [`JsonlTrace::take_error`] rather than panicking mid-campaign.
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write + Send> {
+    inner: Mutex<TraceState<W>>,
+}
+
+#[derive(Debug)]
+struct TraceState<W> {
+    writer: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlTrace<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlTrace::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlTrace<W> {
+    /// Wraps a writer.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        JsonlTrace {
+            inner: Mutex::new(TraceState {
+                writer,
+                lines: 0,
+                error: None,
+            }),
+        }
+    }
+
+    /// Lines written so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lock was poisoned.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.inner.lock().expect("trace lock").lines
+    }
+
+    /// Takes the first I/O error hit while writing, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lock was poisoned.
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.inner.lock().expect("trace lock").error.take()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lock was poisoned.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        let mut state = self.inner.into_inner().expect("trace lock");
+        let _ = state.writer.flush();
+        state.writer
+    }
+
+    /// Flushes the underlying writer, reporting any latched or new error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error hit during the campaign, or a flush
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lock was poisoned.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut state = self.inner.lock().expect("trace lock");
+        if let Some(e) = state.error.take() {
+            return Err(e);
+        }
+        state.writer.flush()
+    }
+}
+
+impl<W: Write + Send> CampaignObserver for JsonlTrace<W> {
+    fn on_event(&self, event: &CampaignEvent) {
+        let mut state = self.inner.lock().expect("trace lock");
+        if state.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        match state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| state.writer.write_all(b"\n"))
+        {
+            Ok(()) => state.lines += 1,
+            Err(e) => state.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_jsonl;
+    use crate::Phase;
+
+    #[test]
+    fn writes_one_valid_line_per_event() {
+        let trace = JsonlTrace::new(Vec::new());
+        trace.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Compile,
+        });
+        trace.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+        assert_eq!(trace.lines(), 2);
+        let bytes = trace.into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(validate_jsonl(&text), Ok(2));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn latches_write_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let trace = JsonlTrace::new(Broken);
+        trace.on_event(&CampaignEvent::Progress { done: 0, total: 1 });
+        trace.on_event(&CampaignEvent::Progress { done: 1, total: 1 });
+        assert_eq!(trace.lines(), 0);
+        assert!(trace.take_error().is_some());
+        assert!(trace.take_error().is_none(), "first error wins, then clear");
+    }
+}

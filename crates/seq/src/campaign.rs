@@ -1,15 +1,24 @@
 //! Sequential fault campaigns: the dynamic-testing counterpart of
-//! `scal_faults::run_campaign` for SCAL machines.
+//! `scal_faults::Campaign` for SCAL machines.
 //!
 //! A sequential SCAL machine is judged over a *driven input sequence*: for
 //! every fault, at the first word where any monitored line deviates from the
 //! golden trace, some check (a non-alternating monitored line, or a non-code
 //! check pair) must fire — otherwise a wrong code word was accepted, a
 //! fault-secure violation.
+//!
+//! [`Campaign`] is the builder twin of `scal_faults::Campaign`: it forwards a
+//! [`CampaignObserver`] through compile / golden / fault-sim / merge phases
+//! (per-fault events replayed in fault order at merge, worker-attributed)
+//! and honors a [`CancelToken`] at fault boundaries, returning the completed
+//! fault-ordered prefix. The historical `run_seq_campaign*` free functions
+//! remain as deprecated wrappers.
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
-use scal_engine::{par_map, CompiledCircuit, CompiledSim};
+use scal_engine::{par_map_cancellable, CompiledCircuit, CompiledSim, EngineError};
 use scal_faults::Fault;
+use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, NullObserver, Phase};
+use std::time::{Duration, Instant};
 
 /// Outcome of one fault under a driven sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,8 +40,12 @@ pub enum SeqOutcome {
 /// Summary of a sequential campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqCampaign {
-    /// Per-fault outcomes, in [`ScalMachine::checkable_faults`] order.
+    /// Per-fault outcomes, in [`ScalMachine::checkable_faults`] order; a
+    /// contiguous prefix of that list when [`SeqCampaign::cancelled`].
     pub outcomes: Vec<(Fault, SeqOutcome)>,
+    /// `true` iff a [`CancelToken`] stopped the run before every fault was
+    /// simulated.
+    pub cancelled: bool,
 }
 
 impl SeqCampaign {
@@ -89,6 +102,15 @@ fn classify_trace(
     SeqOutcome::Dormant
 }
 
+/// Driven words (alternating pairs) a fault's classification consumed: a
+/// trace stops at the word that classified it.
+fn words_consumed(outcome: &SeqOutcome, total: usize) -> usize {
+    match outcome {
+        SeqOutcome::Dormant => total,
+        SeqOutcome::Detected { word } | SeqOutcome::Violation { word } => word + 1,
+    }
+}
+
 /// Applies one information word over two alternating periods of a compiled
 /// simulator (`(X‖0, X̄‖1)`), mirroring [`AltSeqDriver::apply`].
 fn apply_compiled(sim: &mut CompiledSim<'_>, word: &[bool]) -> (Vec<bool>, Vec<bool>) {
@@ -101,65 +123,318 @@ fn apply_compiled(sim: &mut CompiledSim<'_>, word: &[bool]) -> (Vec<bool>, Vec<b
     (o1, o2)
 }
 
+/// Which simulation backend a sequential [`Campaign`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// Compiled machine with worker fan-out (default).
+    Engine,
+    /// The original graph-walking [`AltSeqDriver`] oracle.
+    Scalar,
+}
+
+/// Builder for a sequential fault campaign over a [`ScalMachine`] and a
+/// driven word sequence — the `scal-seq` twin of `scal_faults::Campaign`.
+pub struct Campaign<'a> {
+    machine: &'a ScalMachine,
+    words: &'a [Vec<bool>],
+    threads: usize,
+    observer: Option<&'a dyn CampaignObserver>,
+    cancel: Option<&'a CancelToken>,
+    backend: Backend,
+}
+
+impl std::fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("machine", &self.machine.design)
+            .field("words", &self.words.len())
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Campaign<'a> {
+    /// Starts a campaign driving `machine` with `words` (each an
+    /// external-input vector): compiled engine backend, auto thread count,
+    /// no observer, no cancellation.
+    #[must_use]
+    pub fn new(machine: &'a ScalMachine, words: &'a [Vec<bool>]) -> Self {
+        Campaign {
+            machine,
+            words,
+            threads: 0,
+            observer: None,
+            cancel: None,
+            backend: Backend::Engine,
+        }
+    }
+
+    /// Worker-thread count; `0` = auto. The scalar backend is always
+    /// single-threaded.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Streams every [`CampaignEvent`] of the run to `observer`.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn CampaignObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Makes the run cancellable through `token`, checked at fault
+    /// boundaries; the returned outcomes are then a fault-ordered prefix.
+    #[must_use]
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Runs on the original graph-walking [`AltSeqDriver`] oracle instead of
+    /// the compiled machine.
+    #[must_use]
+    pub fn scalar(mut self) -> Self {
+        self.backend = Backend::Scalar;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledCircuit::try_compile`] errors on the engine
+    /// backend (the scalar oracle never compiles, so it only errors on
+    /// future validations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word's width mismatches the machine's external inputs.
+    pub fn run(self) -> Result<SeqCampaign, EngineError> {
+        let observer: &dyn CampaignObserver = self.observer.unwrap_or(&NullObserver);
+        let obs = observer.enabled();
+        let total_t = Instant::now();
+        let faults = self.machine.checkable_faults();
+        if obs {
+            observer.on_event(&CampaignEvent::CampaignStart {
+                campaign: match self.backend {
+                    Backend::Engine => "seq",
+                    Backend::Scalar => "seq_scalar",
+                },
+                faults: faults.len(),
+                inputs: self.machine.circuit.inputs().len(),
+                outputs: self.machine.circuit.outputs().len(),
+                threads: match self.backend {
+                    Backend::Engine => self.threads,
+                    Backend::Scalar => 1,
+                },
+            });
+        }
+
+        // Compile phase (engine backend only).
+        let compiled = match self.backend {
+            Backend::Engine => {
+                let t = Instant::now();
+                if obs {
+                    observer.on_event(&CampaignEvent::PhaseStart {
+                        phase: Phase::Compile,
+                    });
+                }
+                let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
+                if obs {
+                    observer.on_event(&CampaignEvent::PhaseEnd {
+                        phase: Phase::Compile,
+                        micros: duration_micros(t.elapsed()),
+                    });
+                }
+                Some(compiled)
+            }
+            Backend::Scalar => None,
+        };
+
+        // Golden trace.
+        let t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::Golden,
+            });
+        }
+        let golden: Vec<(Vec<bool>, Vec<bool>)> = match &compiled {
+            Some(compiled) => {
+                let mut sim = CompiledSim::new(compiled);
+                self.words
+                    .iter()
+                    .map(|w| apply_compiled(&mut sim, w))
+                    .collect()
+            }
+            None => {
+                let mut drv = AltSeqDriver::new(self.machine);
+                self.words.iter().map(|w| drv.apply(w)).collect()
+            }
+        };
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::Golden,
+                micros: duration_micros(t.elapsed()),
+            });
+        }
+
+        // Fault simulation, cancellable at fault boundaries. Each worker
+        // reports which worker id simulated the fault so the merge replay
+        // stays worker-attributed.
+        let t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::FaultSim,
+            });
+        }
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let sim_one = |worker: usize, fault: &Fault| -> (usize, SeqOutcome) {
+            let outcome = match &compiled {
+                Some(compiled) => {
+                    let mut sim = CompiledSim::new(compiled);
+                    sim.attach(&[fault.to_override()]);
+                    classify_trace(
+                        self.machine,
+                        &golden,
+                        |w| apply_compiled(&mut sim, w),
+                        self.words,
+                    )
+                }
+                None => {
+                    let mut drv = AltSeqDriver::new(self.machine);
+                    drv.attach(fault.to_override());
+                    classify_trace(self.machine, &golden, |w| drv.apply(w), self.words)
+                }
+            };
+            if obs {
+                observer.on_event(&CampaignEvent::Progress {
+                    done: done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
+                    total: faults.len(),
+                });
+            }
+            (worker, outcome)
+        };
+        let slots: Vec<Option<(usize, SeqOutcome)>> = match self.backend {
+            Backend::Engine => {
+                par_map_cancellable(&faults, self.threads, self.cancel, |worker, _, fault| {
+                    sim_one(worker, fault)
+                })
+            }
+            Backend::Scalar => faults
+                .iter()
+                .map(|fault| {
+                    if self.cancel.is_some_and(CancelToken::is_cancelled) {
+                        None
+                    } else {
+                        Some(sim_one(0, fault))
+                    }
+                })
+                .collect(),
+        };
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::FaultSim,
+                micros: duration_micros(t.elapsed()),
+            });
+        }
+
+        // Merge: deterministic fault-ordered prefix with event replay.
+        let merge_t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::Merge,
+            });
+        }
+        let completed = slots.iter().take_while(|s| s.is_some()).count();
+        let cancelled = completed < faults.len();
+        let mut outcomes = Vec::with_capacity(completed);
+        let mut pairs_total = 0u64;
+        for (i, (fault, slot)) in faults.into_iter().zip(slots).take(completed).enumerate() {
+            let (worker, outcome) = slot.expect("prefix is complete");
+            let pairs = words_consumed(&outcome, self.words.len()) as u64;
+            pairs_total += pairs;
+            if obs {
+                observer.on_event(&CampaignEvent::FaultStart { fault: i, worker });
+                observer.on_event(&CampaignEvent::FaultFinish {
+                    fault: i,
+                    worker,
+                    detected: usize::from(matches!(outcome, SeqOutcome::Detected { .. })),
+                    violations: usize::from(matches!(outcome, SeqOutcome::Violation { .. })),
+                    observable: !matches!(outcome, SeqOutcome::Dormant),
+                    dropped: false,
+                    pairs,
+                });
+            }
+            outcomes.push((fault, outcome));
+        }
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::Merge,
+                micros: duration_micros(merge_t.elapsed()),
+            });
+            if cancelled {
+                observer.on_event(&CampaignEvent::Cancelled { completed });
+            }
+            observer.on_event(&CampaignEvent::CampaignEnd {
+                faults: completed,
+                dropped: 0,
+                pairs: pairs_total,
+                // Each driven pair is two clocked evaluation steps; the
+                // golden trace consumed the full sequence once.
+                words: (pairs_total + self.words.len() as u64) * 2,
+                micros: duration_micros(total_t.elapsed()),
+                cancelled,
+            });
+        }
+        Ok(SeqCampaign {
+            outcomes,
+            cancelled,
+        })
+    }
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Runs every checkable fault of `machine` against the driven `words`
 /// (each an external-input vector), comparing monitored lines and check
 /// pairs against the fault-free golden trace.
 ///
-/// The machine is compiled once ([`scal_engine::CompiledCircuit`]) and the
-/// per-fault re-simulations fan out across the engine's worker pool; the
-/// original graph-walking implementation survives as
-/// [`run_seq_campaign_scalar`] and serves as a differential oracle.
-///
 /// # Panics
 ///
-/// Panics if a word's width mismatches the machine's external inputs.
+/// Panics if a word's width mismatches the machine's external inputs, or if
+/// the machine's circuit fails compilation.
+#[deprecated(since = "0.1.0", note = "use `Campaign::new(&machine, words).run()`")]
 #[must_use]
 pub fn run_seq_campaign(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
-    let compiled = CompiledCircuit::compile(&machine.circuit);
-    let mut golden = Vec::with_capacity(words.len());
-    {
-        let mut sim = CompiledSim::new(&compiled);
-        for w in words {
-            golden.push(apply_compiled(&mut sim, w));
-        }
-    }
-    let faults = machine.checkable_faults();
-    let outcomes = par_map(&faults, 0, |_, &fault| {
-        let mut sim = CompiledSim::new(&compiled);
-        sim.attach(&[fault.to_override()]);
-        classify_trace(machine, &golden, |w| apply_compiled(&mut sim, w), words)
-    });
-    SeqCampaign {
-        outcomes: faults.into_iter().zip(outcomes).collect(),
+    match Campaign::new(machine, words).run() {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
     }
 }
 
 /// The original graph-walking sequential campaign, retained as the
-/// differential oracle for [`run_seq_campaign`].
+/// differential oracle for the compiled path.
 ///
 /// # Panics
 ///
 /// Panics if a word's width mismatches the machine's external inputs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Campaign::new(&machine, words).scalar().run()`"
+)]
 #[must_use]
 pub fn run_seq_campaign_scalar(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
-    let mut golden = Vec::with_capacity(words.len());
-    {
-        let mut drv = AltSeqDriver::new(machine);
-        for w in words {
-            golden.push(drv.apply(w));
-        }
+    match Campaign::new(machine, words).scalar().run() {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
     }
-    let outcomes = machine
-        .checkable_faults()
-        .into_iter()
-        .map(|fault| {
-            let mut drv = AltSeqDriver::new(machine);
-            drv.attach(fault.to_override());
-            let outcome = classify_trace(machine, &golden, |w| drv.apply(w), words);
-            (fault, outcome)
-        })
-        .collect();
-    SeqCampaign { outcomes }
 }
 
 #[cfg(test)]
@@ -168,6 +443,7 @@ mod tests {
     use crate::counters::up_down_counter;
     use crate::kohavi::kohavi_0101;
     use crate::{code_conversion_machine, dual_ff_machine};
+    use scal_obs::CollectObserver;
 
     fn bit_words(seq: &[u32]) -> Vec<Vec<bool>> {
         seq.iter().map(|&s| vec![s == 1]).collect()
@@ -178,7 +454,7 @@ mod tests {
         let m = kohavi_0101();
         let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]);
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
-            let campaign = run_seq_campaign(&machine, &words);
+            let campaign = Campaign::new(&machine, &words).run().unwrap();
             assert!(campaign.fault_secure(), "{}", machine.design);
             let (dormant, detected, violations) = campaign.tally();
             assert_eq!(violations, 0);
@@ -201,7 +477,7 @@ mod tests {
             })
             .collect();
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
-            let campaign = run_seq_campaign(&machine, &words);
+            let campaign = Campaign::new(&machine, &words).run().unwrap();
             assert!(campaign.fault_secure(), "{}", machine.design);
         }
     }
@@ -212,8 +488,8 @@ mod tests {
         let words = bit_words(&[0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]);
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
             assert_eq!(
-                run_seq_campaign(&machine, &words),
-                run_seq_campaign_scalar(&machine, &words),
+                Campaign::new(&machine, &words).run().unwrap(),
+                Campaign::new(&machine, &words).scalar().run().unwrap(),
                 "{}",
                 machine.design
             );
@@ -221,15 +497,59 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrappers_still_answer() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1]);
+        let machine = dual_ff_machine(&m);
+        #[allow(deprecated)]
+        let legacy = run_seq_campaign(&machine, &words);
+        assert_eq!(legacy, Campaign::new(&machine, &words).run().unwrap());
+    }
+
+    #[test]
     fn longer_drives_detect_more_faults() {
         let m = kohavi_0101();
         let machine = code_conversion_machine(&m);
-        let short = run_seq_campaign(&machine, &bit_words(&[0, 1]));
-        let long = run_seq_campaign(
-            &machine,
-            &bit_words(&[0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0, 1]),
-        );
+        let short = Campaign::new(&machine, &bit_words(&[0, 1])).run().unwrap();
+        let long_words = bit_words(&[0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0, 1]);
+        let long = Campaign::new(&machine, &long_words).run().unwrap();
         assert!(long.tally().1 >= short.tally().1);
         assert!(long.tally().0 <= short.tally().0);
+    }
+
+    #[test]
+    fn observer_and_cancel_work_on_seq_campaigns() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 1, 0]);
+        let machine = dual_ff_machine(&m);
+        let collect = CollectObserver::default();
+        let campaign = Campaign::new(&machine, &words)
+            .threads(1)
+            .observer(&collect)
+            .run()
+            .unwrap();
+        assert!(!campaign.cancelled);
+        let events = collect.events();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::CampaignStart {
+                campaign: "seq",
+                ..
+            })
+        ));
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::FaultFinish { .. }))
+            .count();
+        assert_eq!(finishes, campaign.outcomes.len());
+
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = Campaign::new(&machine, &words)
+            .cancel(&token)
+            .run()
+            .unwrap();
+        assert!(cancelled.cancelled);
+        assert!(cancelled.outcomes.is_empty());
     }
 }

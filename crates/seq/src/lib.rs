@@ -35,7 +35,9 @@ pub mod patterns;
 pub mod synth;
 pub mod translator;
 
-pub use campaign::{run_seq_campaign, run_seq_campaign_scalar, SeqCampaign, SeqOutcome};
+#[allow(deprecated)]
+pub use campaign::{run_seq_campaign, run_seq_campaign_scalar};
+pub use campaign::{Campaign, SeqCampaign, SeqOutcome};
 pub use dual_ff::{dual_ff_machine, ScalMachine};
 pub use machine::StateMachine;
 pub use synth::{self_dual_core, synthesize};

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod adr;
+pub mod campaign;
 pub mod codes;
 pub mod cpu;
 pub mod datapath;
@@ -36,6 +37,7 @@ pub mod retry;
 pub mod status;
 pub mod tmr;
 
+pub use campaign::{CpuCampaign, CpuFaultResult, CpuUnit, Workload};
 pub use cpu::{CheckError, Cpu, CpuMode, Op, Program, RunStats};
 pub use datapath::Datapath;
 pub use machine::ScalComputer;

@@ -171,32 +171,11 @@ mod tests {
         // Every collapsed fault of the gate-level logic unit, against the
         // popcount + checksum workloads: no undetected wrong answers in
         // alternating mode.
-        let faults = scal_faults::enumerate_faults(&Cpu::new(CpuMode::Normal).datapath.logic);
-        let mut undetected_wrong = 0usize;
-        for fault in &faults {
-            for (program, setup, expect) in [
-                (popcount(), vec![(ARG0, 0xB7u8)], 6u8),
-                (
-                    checksum(),
-                    vec![(0x60, 0x0F), (0x61, 0xF0), (0x62, 1), (0x63, 2)],
-                    0x0F ^ 0xF0 ^ 1 ^ 2,
-                ),
-            ] {
-                let mut cpu = Cpu::new(CpuMode::Alternating);
-                for &(a, v) in &setup {
-                    cpu.memory.write(a, v);
-                }
-                cpu.datapath.fault_logic(fault.to_override());
-                match cpu.run(&program, 1_000_000) {
-                    Err(_) => {}
-                    Ok(_) => {
-                        if cpu.memory.read(RESULT) != Ok(expect) {
-                            undetected_wrong += 1;
-                        }
-                    }
-                }
-            }
-        }
-        assert_eq!(undetected_wrong, 0, "single-fault coverage must hold");
+        let report = crate::campaign::Campaign::new(crate::campaign::CpuUnit::Logic).run();
+        assert_eq!(
+            report.undetected_wrong(),
+            0,
+            "single-fault coverage must hold"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! cargo run --example minority_logic
 //! ```
 
-use scal::faults::run_campaign;
+use scal::faults::Campaign;
 use scal::minority::{convert_to_alternating, fig6_2_example};
 use scal::netlist::Circuit;
 
@@ -43,7 +43,10 @@ fn main() {
 
     // Every line of the converted network alternates, so every single
     // stuck-at fault is caught as a non-alternating output (Theorem 3.6).
-    let results = run_campaign(&alternating);
+    let results = Campaign::new(&alternating)
+        .run()
+        .expect("alternating realization")
+        .results;
     let secure = results.iter().all(|r| r.fault_secure());
     let tested = results.iter().all(|r| r.tested());
     println!(

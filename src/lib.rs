@@ -18,6 +18,7 @@
 //! | [`netlist`] | `scal-netlist` | gate-level circuits, evaluation, simulation, structure, cost, text/DOT |
 //! | [`faults`] | `scal-faults` | stuck-at model, alternating-pair fault simulation |
 //! | [`engine`] | `scal-engine` | compiled fault-campaign engine: levelized schedules, 64-pair packed sweeps, parallel fan-out |
+//! | [`obs`] | `scal-obs` | campaign observability: typed event streams, JSONL traces, metrics, cancellation |
 //! | [`analysis`] | `scal-analysis` | Algorithm 3.1, test derivation/generation, redundancy removal, repair |
 //! | [`core`] | `scal-core` | SCAL verification engine, dualization, the paper's circuits |
 //! | [`checkers`] | `scal-checkers` | two-rail/XOR/mixed checkers, hardcore, system composition |
@@ -55,5 +56,6 @@ pub use scal_faults as faults;
 pub use scal_logic as logic;
 pub use scal_minority as minority;
 pub use scal_netlist as netlist;
+pub use scal_obs as obs;
 pub use scal_seq as seq;
 pub use scal_system as system;

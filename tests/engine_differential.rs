@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use scal::core::{dualize_synthesized, paper};
 use scal::engine::{CompiledCircuit, CompiledSim};
-use scal::faults::{enumerate_faults, run_campaign_scalar_with, run_campaign_with};
+use scal::faults::{enumerate_faults, Campaign};
 use scal::netlist::{Circuit, Sim};
 
 fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
@@ -43,8 +43,17 @@ fn engine_campaign_matches_scalar_on_paper_circuits() {
             continue;
         }
         let faults = enumerate_faults(&c);
-        let engine = run_campaign_with(&c, &faults);
-        let scalar = run_campaign_scalar_with(&c, &faults);
+        let engine = Campaign::new(&c)
+            .faults(faults.clone())
+            .run()
+            .expect("engine campaign")
+            .results;
+        let scalar = Campaign::new(&c)
+            .faults(faults)
+            .scalar()
+            .run()
+            .expect("scalar campaign")
+            .results;
         assert_eq!(engine.len(), scalar.len(), "{name}: result count");
         for (e, s) in engine.iter().zip(&scalar) {
             assert_eq!(e, s, "{name}: fault {:?}", e.fault);
@@ -55,6 +64,33 @@ fn engine_campaign_matches_scalar_on_paper_circuits() {
         checked >= 4,
         "too few campaign-eligible circuits: {checked}"
     );
+}
+
+/// Attaching an observer must not perturb a campaign: the observed run's
+/// results are bit-identical to the unobserved run's on every eligible
+/// circuit, and events actually flow.
+#[test]
+fn observed_campaign_is_bit_identical_to_unobserved() {
+    use scal::obs::CollectObserver;
+    for (name, c) in all_paper_circuits() {
+        if c.is_sequential() || c.inputs().len() > 12 || !is_alternating(&c) {
+            continue;
+        }
+        let faults = enumerate_faults(&c);
+        let bare = Campaign::new(&c)
+            .faults(faults.clone())
+            .run()
+            .expect("campaign")
+            .results;
+        let collect = CollectObserver::default();
+        let observed = Campaign::new(&c)
+            .faults(faults)
+            .observer(&collect)
+            .run()
+            .expect("campaign");
+        assert_eq!(bare, observed.results, "{name}: observer changed results");
+        assert!(!collect.events().is_empty(), "{name}: no events flowed");
+    }
 }
 
 /// Sequential (and non-alternating) paper circuits: the compiled simulator
@@ -127,8 +163,17 @@ proptest! {
     ) {
         let alt = random_alternating(n_inputs, &recipe);
         let faults = enumerate_faults(&alt);
-        let engine = run_campaign_with(&alt, &faults);
-        let scalar = run_campaign_scalar_with(&alt, &faults);
+        let engine = Campaign::new(&alt)
+            .faults(faults.clone())
+            .run()
+            .expect("engine campaign")
+            .results;
+        let scalar = Campaign::new(&alt)
+            .faults(faults)
+            .scalar()
+            .run()
+            .expect("scalar campaign")
+            .results;
         prop_assert_eq!(engine, scalar);
     }
 

@@ -1,0 +1,149 @@
+//! Observability-layer integration: the event stream is deterministic and
+//! golden-file-stable, cancellation yields a fault-ordered prefix that is
+//! bit-identical to the uncancelled run, and the `Campaign` builder matches
+//! the legacy free functions it replaced.
+
+use scal::core::paper;
+use scal::faults::{enumerate_faults, Campaign};
+use scal::obs::json::validate_jsonl;
+use scal::obs::{CampaignEvent, CampaignObserver, CancelToken, JsonlTrace};
+
+/// Zeroes the value of a `"micros":<n>` field so wall-clock noise does not
+/// break golden comparisons.
+fn zero_micros(line: &str) -> String {
+    const KEY: &str = "\"micros\":";
+    match line.find(KEY) {
+        None => line.to_owned(),
+        Some(i) => {
+            let start = i + KEY.len();
+            let end = line[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(line.len(), |j| start + j);
+            format!("{}0{}", &line[..start], &line[end..])
+        }
+    }
+}
+
+fn normalized_fig3_4_trace() -> String {
+    let fig = paper::fig3_4();
+    let trace = JsonlTrace::new(Vec::new());
+    let report = Campaign::new(&fig.circuit)
+        .threads(1)
+        .observer(&trace)
+        .run()
+        .expect("fig 3.4 network is alternating");
+    assert!(!report.cancelled);
+    let text = String::from_utf8(trace.into_inner()).expect("utf8 trace");
+    let mut out = String::new();
+    for line in text.lines() {
+        out.push_str(&zero_micros(line));
+        out.push('\n');
+    }
+    out
+}
+
+/// Single-threaded campaigns produce a bit-stable event stream: same
+/// events, same order, same payloads on every run and every machine. The
+/// golden file pins the whole fig 3.4 trace (wall-times zeroed).
+///
+/// Regenerate after intentional schema changes with
+/// `UPDATE_GOLDEN=1 cargo test --test observability`.
+#[test]
+fn fig3_4_trace_matches_golden_file() {
+    let got = normalized_fig3_4_trace();
+    assert!(validate_jsonl(&got).expect("well-formed JSONL") > 0);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig3_4_trace.jsonl"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden/fig3_4_trace.jsonl");
+    assert_eq!(
+        got, want,
+        "event stream drifted from tests/golden/fig3_4_trace.jsonl; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The trace is identical run-to-run (determinism does not depend on the
+/// golden file being up to date).
+#[test]
+fn fig3_4_trace_is_deterministic_run_to_run() {
+    assert_eq!(normalized_fig3_4_trace(), normalized_fig3_4_trace());
+}
+
+struct CancelAfter<'a> {
+    token: &'a CancelToken,
+    after: usize,
+}
+
+impl CampaignObserver for CancelAfter<'_> {
+    fn on_event(&self, event: &CampaignEvent) {
+        if let CampaignEvent::Progress { done, .. } = event {
+            if *done >= self.after {
+                self.token.cancel();
+            }
+        }
+    }
+}
+
+/// Cancelling mid-run returns a deterministic, fault-ordered prefix whose
+/// reports are bit-identical to the same prefix of an uncancelled run.
+#[test]
+fn cancelled_campaign_returns_bit_identical_prefix() {
+    let c = paper::ripple_adder(4);
+    let faults = enumerate_faults(&c);
+    let full = Campaign::new(&c)
+        .faults(faults.clone())
+        .run()
+        .expect("full campaign");
+    assert!(!full.cancelled);
+
+    let cancel = CancelToken::new();
+    let observer = CancelAfter {
+        token: &cancel,
+        after: 5,
+    };
+    let partial = Campaign::new(&c)
+        .faults(faults)
+        .observer(&observer)
+        .cancel(&cancel)
+        .run()
+        .expect("cancelled campaign");
+    assert!(partial.cancelled, "token must cancel the run");
+    let k = partial.results.len();
+    assert!(
+        k < full.results.len(),
+        "cancellation must stop before the end ({k} of {})",
+        full.results.len()
+    );
+    assert_eq!(
+        partial.results[..],
+        full.results[..k],
+        "partial results must be the exact prefix of the full run"
+    );
+}
+
+/// The unified builder reproduces the legacy free functions bit-for-bit on
+/// both backends.
+#[test]
+#[allow(deprecated)]
+fn builder_matches_legacy_free_functions() {
+    use scal::faults::{run_campaign, run_campaign_scalar_with};
+    let c = paper::fig3_7().circuit;
+    let legacy = run_campaign(&c);
+    let built = Campaign::new(&c).run().expect("builder campaign");
+    assert_eq!(legacy, built.results);
+
+    let faults = enumerate_faults(&c);
+    let legacy_scalar = run_campaign_scalar_with(&c, &faults);
+    let built_scalar = Campaign::new(&c)
+        .faults(faults)
+        .scalar()
+        .run()
+        .expect("scalar builder campaign");
+    assert_eq!(legacy_scalar, built_scalar.results);
+}

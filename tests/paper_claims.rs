@@ -120,8 +120,9 @@ fn claim_system_economics() {
 /// renders without panicking and mentions its figure/table.
 #[test]
 fn claim_all_experiments_regenerate() {
+    let ctx = scal_bench::ExperimentCtx::new();
     for (id, f) in scal_bench_experiments() {
-        let report = f();
+        let report = f(&ctx);
         assert!(!report.is_empty(), "{id} produced an empty report");
         assert!(report.contains("=="), "{id} lacks a header");
     }

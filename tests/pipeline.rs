@@ -3,7 +3,7 @@
 
 use scal::analysis::analyze;
 use scal::core::{dualize_synthesized, verify};
-use scal::faults::run_campaign;
+use scal::faults::Campaign;
 use scal::minority::convert_to_alternating;
 use scal::netlist::Circuit;
 use scal::seq::dual_ff::AltSeqDriver;
@@ -39,7 +39,7 @@ fn combinational_pipeline_dualize_analyze_verify() {
     assert_eq!(report.self_checking, verdict.is_self_checking());
     assert!(verdict.is_self_checking());
 
-    let campaign = run_campaign(&alternating);
+    let campaign = Campaign::new(&alternating).run().unwrap().results;
     for line in &report.lines {
         let sim_secure = campaign
             .iter()

@@ -126,7 +126,7 @@ proptest! {
             prop_assert_eq!(tt.eval(m), orig.eval(m));
         }
         // Campaign: every fault secure (all lines alternate).
-        for r in scal::faults::run_campaign(&alt) {
+        for r in scal::faults::Campaign::new(&alt).run().unwrap().results {
             prop_assert!(r.fault_secure(), "violation at {}", r.fault);
         }
     }
@@ -270,7 +270,7 @@ proptest! {
         transitions in prop::collection::vec((0usize..4, any::<bool>()), 8),
         drive in prop::collection::vec(0u32..2, 6)
     ) {
-        use scal::seq::{run_seq_campaign, StateMachine};
+        use scal::seq::{Campaign, StateMachine};
         let mut m = StateMachine::new("fuzz", 4, 1, 1);
         for s in 0..4 {
             for i in 0..2 {
@@ -283,7 +283,7 @@ proptest! {
             scal::seq::dual_ff_machine(&m),
             scal::seq::code_conversion_machine(&m),
         ] {
-            let campaign = run_seq_campaign(&machine, &words);
+            let campaign = Campaign::new(&machine, &words).run().unwrap();
             prop_assert!(
                 campaign.fault_secure(),
                 "{} not fault-secure: {:?}",
