@@ -9,13 +9,18 @@
 //!
 //! `--trace FILE` streams every campaign event the selected experiments
 //! emit as JSON lines; `--metrics` prints aggregated counters and phase
-//! wall-time histograms after the reports.
+//! wall-time histograms after the reports; `--coverage-out FILE` writes one
+//! per-fault coverage map per campaign as JSON lines; `--profile` prints
+//! the per-phase timing tree of every campaign.
 
 use scal_bench::ExperimentCtx;
 use std::process::ExitCode;
 
 fn usage() {
-    eprintln!("usage: experiments [--trace FILE] [--metrics] <id>... | all | list");
+    eprintln!(
+        "usage: experiments [--trace FILE] [--metrics] [--coverage-out FILE] [--profile] \
+         <id>... | all | list"
+    );
     eprintln!("ids:");
     for (id, _) in scal_bench::EXPERIMENTS {
         eprintln!("  {id}");
@@ -40,6 +45,14 @@ fn main() -> ExitCode {
                 }
             }
             "--metrics" => ctx.enable_metrics(),
+            "--coverage-out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--coverage-out needs a file argument");
+                    return ExitCode::FAILURE;
+                };
+                ctx.set_coverage_out(path);
+            }
+            "--profile" => ctx.enable_profile(),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -77,6 +90,22 @@ fn main() -> ExitCode {
     if let Some(metrics) = ctx.metrics() {
         println!("== metrics ==");
         print!("{}", metrics.render());
+    }
+    if let Some(profiler) = ctx.profiler() {
+        println!("== profiles ==");
+        for profile in profiler.profiles() {
+            print!("{}", profile.render());
+        }
+    }
+    match ctx.write_coverage() {
+        Ok(Some((path, maps))) => {
+            eprintln!("coverage: {maps} map(s) written to {}", path.display());
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("coverage write failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Err(e) = ctx.finish() {
         eprintln!("trace write failed: {e}");

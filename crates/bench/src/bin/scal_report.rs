@@ -1,0 +1,135 @@
+//! BENCH snapshot / regression reporter.
+//!
+//! ```text
+//! cargo run -p scal-bench --bin scal_report                      # write BENCH_<date>.json
+//! cargo run -p scal-bench --bin scal_report -- --out bench.json
+//! cargo run -p scal-bench --bin scal_report -- --baseline BENCH_baseline.json
+//! cargo run -p scal-bench --bin scal_report -- --baseline b.json --max-perf-drop 35
+//! ```
+//!
+//! Runs the standard campaign suite (see `scal_bench::report::run_suite`),
+//! writes the machine-readable snapshot, and — when `--baseline FILE` is
+//! given — diffs against it. Exit codes: `0` clean, `1` usage or I/O error,
+//! `2` coverage regression (blocking), `3` throughput regression beyond the
+//! threshold (warning-grade; default 20%).
+
+use scal_bench::report::{compare, run_suite, Snapshot, DEFAULT_MAX_PERF_DROP};
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
+         [--threads N] [--quiet]"
+    );
+    eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
+    eprintln!("  --baseline FILE      committed snapshot to diff against");
+    eprintln!("  --max-perf-drop PCT  tolerated throughput drop, percent (default 20)");
+    eprintln!("  --threads N          engine worker threads (default 0 = auto)");
+    eprintln!("  --quiet              suppress the human-readable summary");
+}
+
+struct Options {
+    out: Option<String>,
+    baseline: Option<String>,
+    max_perf_drop: f64,
+    threads: usize,
+    quiet: bool,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        out: None,
+        baseline: None,
+        max_perf_drop: DEFAULT_MAX_PERF_DROP,
+        threads: 0,
+        quiet: false,
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs an argument"));
+        match arg.as_str() {
+            "--out" => opts.out = Some(value("--out")?),
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--max-perf-drop" => {
+                let raw = value("--max-perf-drop")?;
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad --max-perf-drop value {raw:?}"))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(format!("--max-perf-drop {pct} outside 0..=100"));
+                }
+                opts.max_perf_drop = pct / 100.0;
+            }
+            "--threads" => {
+                let raw = value("--threads")?;
+                opts.threads = raw
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {raw:?}"))?;
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn report(opts: &Options) -> Result<ExitCode, String> {
+    let snap: Snapshot = run_suite(opts.threads);
+    if !opts.quiet {
+        print!("{}", snap.render());
+    }
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", snap.date));
+    std::fs::write(&out, snap.to_json() + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("snapshot written to {out}");
+
+    let Some(baseline_path) = &opts.baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = scal_obs::json::parse(&text)
+        .map_err(|e| format!("baseline {baseline_path} is not valid JSON: {e}"))?;
+    let regressions = compare(&snap, &baseline, opts.max_perf_drop);
+    if regressions.is_empty() {
+        eprintln!("no regressions against {baseline_path}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for r in &regressions {
+        eprintln!(
+            "{}: {}: {}",
+            if r.coverage {
+                "COVERAGE REGRESSION"
+            } else {
+                "perf regression"
+            },
+            r.circuit,
+            r.detail
+        );
+    }
+    if regressions.iter().any(|r| r.coverage) {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::from(3))
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match report(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

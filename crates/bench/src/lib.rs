@@ -15,10 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use scal_obs::{CampaignEvent, CampaignObserver, JsonlTrace, Metrics};
+use scal_obs::{CampaignEvent, CampaignObserver, CoverageObserver, JsonlTrace, Metrics, Profiler};
 use std::fs::File;
 use std::io::{self, BufWriter};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 pub mod ch2;
 pub mod ch3;
@@ -28,18 +28,23 @@ pub mod ch6;
 pub mod ch7;
 pub mod cost;
 pub mod ext;
+pub mod report;
 
 /// Observability context threaded through every experiment.
 ///
 /// Holds the optional sinks selected on the command line: a JSON-lines
-/// trace file (`--trace FILE`) and a metrics registry (`--metrics`). The
-/// context itself is a [`CampaignObserver`] that fans events out to
-/// whichever sinks are present; with neither sink it reports
-/// `enabled() == false`, so campaigns skip event construction entirely.
+/// trace file (`--trace FILE`), a metrics registry (`--metrics`), a
+/// per-fault coverage-map collector (`--coverage-out FILE`) and a phase
+/// profiler (`--profile`). The context itself is a [`CampaignObserver`]
+/// that fans events out to whichever sinks are present; with no sink it
+/// reports `enabled() == false`, so campaigns skip event construction
+/// entirely.
 #[derive(Debug, Default)]
 pub struct ExperimentCtx {
     trace: Option<JsonlTrace<BufWriter<File>>>,
     metrics: Option<Metrics>,
+    coverage: Option<(PathBuf, CoverageObserver)>,
+    profiler: Option<Profiler>,
 }
 
 impl ExperimentCtx {
@@ -64,10 +69,51 @@ impl ExperimentCtx {
         self.metrics = Some(Metrics::new());
     }
 
+    /// Attaches a coverage-map collector whose maps are written to `path`
+    /// (one JSON object per campaign) by [`ExperimentCtx::write_coverage`].
+    /// Labels stay index-based here: experiments attach the context as a
+    /// plain observer, so the typed `.coverage()` label hookup does not
+    /// apply.
+    pub fn set_coverage_out<P: Into<PathBuf>>(&mut self, path: P) {
+        self.coverage = Some((path.into(), CoverageObserver::new()));
+    }
+
+    /// Attaches a phase profiler.
+    pub fn enable_profile(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
     /// The metrics registry, when `--metrics` is on.
     #[must_use]
     pub fn metrics(&self) -> Option<&Metrics> {
         self.metrics.as_ref()
+    }
+
+    /// The phase profiler, when `--profile` is on.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Writes every collected coverage map as JSON lines to the
+    /// `--coverage-out` path; returns the map count, or `None` when the
+    /// sink is off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn write_coverage(&self) -> io::Result<Option<(PathBuf, usize)>> {
+        let Some((path, cov)) = &self.coverage else {
+            return Ok(None);
+        };
+        let maps = cov.maps();
+        let mut out = String::new();
+        for map in &maps {
+            out.push_str(&map.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        Ok(Some((path.clone(), maps.len())))
     }
 
     /// Trace lines written so far (0 without a trace sink).
@@ -97,10 +143,19 @@ impl CampaignObserver for ExperimentCtx {
         if let Some(m) = &self.metrics {
             m.on_event(event);
         }
+        if let Some((_, c)) = &self.coverage {
+            c.on_event(event);
+        }
+        if let Some(p) = &self.profiler {
+            p.on_event(event);
+        }
     }
 
     fn enabled(&self) -> bool {
-        self.trace.is_some() || self.metrics.is_some()
+        self.trace.is_some()
+            || self.metrics.is_some()
+            || self.coverage.is_some()
+            || self.profiler.is_some()
     }
 }
 

@@ -1,0 +1,479 @@
+//! BENCH snapshot and regression reporting — the `scal_report` binary's
+//! engine.
+//!
+//! [`run_suite`] executes the standard campaign suite (the Fig. 3.4 and
+//! Fig. 3.7 networks, the 8-bit ripple adder in fault-dropping mode, the
+//! Chapter-4 sequential designs, and the Chapter-7 CPU adder) with a
+//! [`CoverageObserver`] and a [`Profiler`] attached, and folds the results
+//! into a [`Snapshot`]: per-circuit coverage fraction, undetected fault
+//! sites, per-phase timings and pair throughput, stamped with the date and
+//! git revision. [`Snapshot::to_json`] writes the machine-readable
+//! `BENCH_<date>.json` form; [`compare`] diffs a snapshot against a
+//! committed baseline and reports coverage and throughput regressions.
+//!
+//! Everything here is dependency-free: JSON comes from `scal_obs::json`,
+//! the date from epoch civil-calendar arithmetic, the revision from a
+//! best-effort `git rev-parse`.
+
+use scal_core::paper;
+use scal_obs::json::{escape, JsonObject, JsonValue};
+use scal_obs::{CoverageMap, CoverageObserver, Profile, Profiler};
+use scal_seq::kohavi::kohavi_0101;
+use scal_seq::{code_conversion_machine, dual_ff_machine};
+use scal_system::campaign::{Campaign as CpuCampaign, CpuUnit};
+use std::fmt::Write as _;
+
+/// Throughput drop (fraction of the baseline rate) tolerated before a run
+/// counts as a performance regression.
+pub const DEFAULT_MAX_PERF_DROP: f64 = 0.20;
+
+/// Accumulated evaluation time per suite entry before its throughput is
+/// trusted: the suite circuits are small (microsecond sweeps), so each
+/// campaign repeats until this much eval time is banked and the best rate
+/// is kept.
+const MIN_EVAL_MICROS: u64 = 100_000;
+
+/// Repetition cap per suite entry (guards against a zero-time eval loop).
+const MAX_REPS: usize = 500;
+
+/// Repeats `run` until [`MIN_EVAL_MICROS`] of eval time accumulates on
+/// `prof`'s latest profiles, returning the aggregate pairs-per-second over
+/// every rep. Aggregating (rather than taking one rep) averages away the
+/// microsecond timer quantization the small suite circuits suffer.
+fn aggregate_rate(prof: &Profiler, mut run: impl FnMut()) -> Option<f64> {
+    let mut pairs = 0u64;
+    let mut eval = 0u64;
+    for _ in 0..MAX_REPS {
+        run();
+        let p = prof.latest().expect("profile after rep");
+        pairs += p.pairs;
+        eval += p.eval_micros().unwrap_or(p.micros);
+        if eval >= MIN_EVAL_MICROS {
+            break;
+        }
+    }
+    (eval > 0 && pairs > 0).then(|| pairs as f64 * 1e6 / eval as f64)
+}
+
+/// One suite circuit's results inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct CircuitBench {
+    /// Suite entry name (`"fig3_4"`, `"adder8_drop"`, …).
+    pub name: String,
+    /// Campaign flavour that produced it (`"pair"`, `"seq"`, `"cpu_adder"`).
+    pub campaign: String,
+    /// Faults simulated.
+    pub faults: usize,
+    /// Faults with at least one detection.
+    pub detected: usize,
+    /// Detected fraction (1.0 when `faults == 0`).
+    pub coverage: f64,
+    /// Labels of the undetected fault sites, in fault order.
+    pub undetected: Vec<String>,
+    /// Alternating pairs (or driven words / CPU periods-in-pairs) evaluated.
+    pub pairs: u64,
+    /// Pair throughput over the evaluation phase alone, when measurable.
+    pub pairs_per_sec: Option<f64>,
+    /// Per-phase wall times in microseconds, in emission order.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl CircuitBench {
+    fn from_parts(name: &str, map: &CoverageMap, profile: &Profile, rate: Option<f64>) -> Self {
+        CircuitBench {
+            name: name.to_string(),
+            campaign: map.campaign.clone(),
+            faults: map.records.len(),
+            detected: map.detected_count(),
+            coverage: map.coverage_fraction(),
+            undetected: map
+                .undetected()
+                .map(|r| {
+                    if r.label.is_empty() {
+                        format!("fault #{}", r.fault)
+                    } else {
+                        r.label.clone()
+                    }
+                })
+                .collect(),
+            pairs: profile.pairs,
+            pairs_per_sec: rate.or_else(|| profile.pairs_per_sec()),
+            phases: profile
+                .phases
+                .iter()
+                .map(|p| (p.name.clone(), p.micros))
+                .collect(),
+        }
+    }
+}
+
+/// A full BENCH snapshot: the suite results plus provenance.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// UTC date (`YYYY-MM-DD`) the suite ran.
+    pub date: String,
+    /// Short git revision, or `"unknown"` outside a repository.
+    pub git_rev: String,
+    /// Engine worker-thread setting the suite ran with (`0` = auto).
+    pub threads: usize,
+    /// Per-circuit results, in suite order.
+    pub circuits: Vec<CircuitBench>,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as one JSON object (the `BENCH_<date>.json`
+    /// schema).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("schema", "scal-bench-snapshot-v1");
+        o.str("date", &self.date);
+        o.str("git_rev", &self.git_rev);
+        o.num("threads", self.threads as u64);
+        let mut circuits = String::from("[");
+        for (i, c) in self.circuits.iter().enumerate() {
+            if i > 0 {
+                circuits.push(',');
+            }
+            let mut co = JsonObject::new();
+            co.str("name", &c.name);
+            co.str("campaign", &c.campaign);
+            co.num("faults", c.faults as u64);
+            co.num("detected", c.detected as u64);
+            co.float("coverage", c.coverage);
+            let undetected: Vec<String> = c
+                .undetected
+                .iter()
+                .map(|l| format!("\"{}\"", escape(l)))
+                .collect();
+            co.raw("undetected", &format!("[{}]", undetected.join(",")));
+            co.num("pairs", c.pairs);
+            if let Some(r) = c.pairs_per_sec {
+                co.float("pairs_per_sec", r);
+            }
+            let mut po = JsonObject::new();
+            for (name, micros) in &c.phases {
+                po.num(name, *micros);
+            }
+            co.raw("phases", &po.finish());
+            circuits.push_str(&co.finish());
+        }
+        circuits.push(']');
+        o.raw("circuits", &circuits);
+        o.finish()
+    }
+
+    /// Renders the human-readable suite summary, including the
+    /// undetected-fault lists.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "BENCH snapshot {} @ {} (threads {})",
+            self.date, self.git_rev, self.threads
+        );
+        for c in &self.circuits {
+            let rate = match c.pairs_per_sec {
+                Some(r) => format!("{r:.0} pairs/s"),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} [{:<10}] coverage {:>5.1}% ({}/{}), {} pairs, {rate}",
+                c.name,
+                c.campaign,
+                100.0 * c.coverage,
+                c.detected,
+                c.faults,
+                c.pairs
+            );
+            for label in &c.undetected {
+                let _ = writeln!(out, "      undetected: {label}");
+            }
+        }
+        out
+    }
+}
+
+/// A regression [`compare`] found against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Suite circuit name.
+    pub circuit: String,
+    /// `true` for a coverage regression (blocking), `false` for a
+    /// throughput regression (warning-grade).
+    pub coverage: bool,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Runs the standard suite and returns the stamped snapshot.
+///
+/// `threads` is the engine worker count (`0` = auto); the scalar, sequential
+/// and CPU entries are unaffected by it.
+///
+/// # Panics
+///
+/// Panics if a suite circuit fails to compile or simulate — the suite is
+/// fixed and known-good, so that is a build break, not a report outcome.
+#[must_use]
+pub fn run_suite(threads: usize) -> Snapshot {
+    let mut circuits = Vec::new();
+
+    // Combinational pair campaigns (Ch. 3 networks + the ripple adder in
+    // classic fault-dropping mode).
+    let pair_suite = [
+        ("fig3_4", paper::fig3_4().circuit, false),
+        ("fig3_7", paper::fig3_7().circuit, false),
+        ("adder8_drop", paper::ripple_adder(8), true),
+    ];
+    for (name, circuit, drop) in pair_suite {
+        let cov = CoverageObserver::new();
+        let prof = Profiler::new();
+        let rate = aggregate_rate(&prof, || {
+            let _ = scal_faults::Campaign::new(&circuit)
+                .threads(threads)
+                .drop_after_detection(drop)
+                .observer(&prof)
+                .coverage(&cov)
+                .run()
+                .expect("suite circuits are engine-compatible");
+        });
+        let map = cov.latest().expect("coverage map");
+        let profile = prof.latest().expect("profile");
+        circuits.push(CircuitBench::from_parts(name, &map, &profile, rate));
+    }
+
+    // Chapter-4 sequential designs under a fixed drive.
+    let m = kohavi_0101();
+    let words: Vec<Vec<bool>> = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
+        .iter()
+        .map(|&s| vec![s == 1])
+        .collect();
+    let seq_suite = [
+        ("kohavi_dualff", dual_ff_machine(&m)),
+        ("kohavi_codeconv", code_conversion_machine(&m)),
+    ];
+    for (name, machine) in seq_suite {
+        let cov = CoverageObserver::new();
+        let prof = Profiler::new();
+        let rate = aggregate_rate(&prof, || {
+            scal_seq::Campaign::new(&machine, &words)
+                .threads(threads)
+                .observer(&prof)
+                .coverage(&cov)
+                .run()
+                .expect("suite machines are engine-compatible");
+        });
+        let map = cov.latest().expect("coverage map");
+        let profile = prof.latest().expect("profile");
+        circuits.push(CircuitBench::from_parts(name, &map, &profile, rate));
+    }
+
+    // Chapter-7 CPU datapath campaign (adder unit, default workloads). A
+    // single run banks plenty of eval time, so no repetition here.
+    let cov = CoverageObserver::new();
+    let prof = Profiler::new();
+    let rate = aggregate_rate(&prof, || {
+        let _ = CpuCampaign::new(CpuUnit::Adder)
+            .observer(&prof)
+            .coverage(&cov)
+            .run();
+    });
+    let map = cov.latest().expect("coverage map");
+    let profile = prof.latest().expect("profile");
+    circuits.push(CircuitBench::from_parts("cpu_adder", &map, &profile, rate));
+
+    Snapshot {
+        date: today_utc(),
+        git_rev: git_rev(),
+        threads,
+        circuits,
+    }
+}
+
+/// Diffs `current` against a parsed baseline `BENCH_*.json`, reporting
+/// coverage regressions (blocking) and throughput drops beyond
+/// `max_perf_drop` (e.g. `0.20` = 20%).
+#[must_use]
+pub fn compare(current: &Snapshot, baseline: &JsonValue, max_perf_drop: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let Some(base_circuits) = baseline.get("circuits").and_then(JsonValue::as_array) else {
+        out.push(Regression {
+            circuit: "<baseline>".to_string(),
+            coverage: true,
+            detail: "baseline has no circuits array".to_string(),
+        });
+        return out;
+    };
+    for base in base_circuits {
+        let Some(name) = base.get("name").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let Some(cur) = current.circuits.iter().find(|c| c.name == name) else {
+            out.push(Regression {
+                circuit: name.to_string(),
+                coverage: true,
+                detail: "circuit missing from current run".to_string(),
+            });
+            continue;
+        };
+        if let Some(base_cov) = base.get("coverage").and_then(JsonValue::as_f64) {
+            if cur.coverage < base_cov - 1e-9 {
+                out.push(Regression {
+                    circuit: name.to_string(),
+                    coverage: true,
+                    detail: format!(
+                        "coverage {:.4} below baseline {:.4}",
+                        cur.coverage, base_cov
+                    ),
+                });
+            }
+        }
+        if let (Some(base_rate), Some(cur_rate)) = (
+            base.get("pairs_per_sec").and_then(JsonValue::as_f64),
+            cur.pairs_per_sec,
+        ) {
+            if base_rate > 0.0 && cur_rate < base_rate * (1.0 - max_perf_drop) {
+                out.push(Regression {
+                    circuit: name.to_string(),
+                    coverage: false,
+                    detail: format!(
+                        "throughput {cur_rate:.0} pairs/s is {:.0}% below baseline {base_rate:.0}",
+                        100.0 * (1.0 - cur_rate / base_rate)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock.
+#[must_use]
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Proleptic-Gregorian civil date from days since 1970-01-01 (Hinnant's
+/// `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Best-effort short git revision of the working tree; `"unknown"` when git
+/// or the repository is unavailable.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scal_obs::json::{parse, validate_jsonl};
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(365), (1971, 1, 1));
+        // 2000-02-29 is day 11016.
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29));
+        // Pre-epoch dates work through euclidean division.
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn suite_snapshot_is_complete_and_json_valid() {
+        let snap = run_suite(1);
+        let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "fig3_4",
+                "fig3_7",
+                "adder8_drop",
+                "kohavi_dualff",
+                "kohavi_codeconv",
+                "cpu_adder"
+            ]
+        );
+        for c in &snap.circuits {
+            assert!(c.faults > 0, "{}", c.name);
+            assert!(!c.phases.is_empty(), "{}", c.name);
+        }
+        // Fig. 3.4 is the paper's *flawed* network: its fanned-out XOR stem
+        // ("line 20") slips wrong-but-alternating code words, so the report
+        // names it among the undetected sites.
+        let fig3_4 = &snap.circuits[0];
+        assert!(fig3_4.coverage < 1.0);
+        assert!(fig3_4.undetected.iter().any(|l| l.contains("line20")));
+        // The Fig. 3.7 fix and the adder are fully tested.
+        for c in &snap.circuits[1..3] {
+            assert!((c.coverage - 1.0).abs() < 1e-12, "{}", c.name);
+            assert!(c.undetected.is_empty(), "{}", c.name);
+        }
+        let json = snap.to_json();
+        assert_eq!(validate_jsonl(&json), Ok(1));
+        let v = parse(&json).expect("snapshot parses");
+        let circuits = v.get("circuits").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(circuits.len(), snap.circuits.len());
+        let parsed_cov = circuits[0]
+            .get("coverage")
+            .and_then(JsonValue::as_f64)
+            .expect("fig3_4 coverage");
+        assert!((parsed_cov - fig3_4.coverage).abs() < 1e-9);
+        // A snapshot never regresses against itself.
+        assert!(compare(&snap, &v, DEFAULT_MAX_PERF_DROP).is_empty());
+        // The render names every circuit.
+        let text = snap.render();
+        for c in &snap.circuits {
+            assert!(text.contains(&c.name), "{text}");
+        }
+    }
+
+    #[test]
+    fn doctored_baselines_trigger_regressions() {
+        let snap = run_suite(1);
+        // A baseline claiming impossible coverage and throughput.
+        let baseline = parse(
+            r#"{"circuits": [
+                {"name": "fig3_4", "coverage": 2.0, "pairs_per_sec": 1e18},
+                {"name": "no_such_circuit", "coverage": 1.0}
+            ]}"#,
+        )
+        .expect("baseline parses");
+        let regs = compare(&snap, &baseline, DEFAULT_MAX_PERF_DROP);
+        assert_eq!(regs.len(), 3, "{regs:?}");
+        assert!(regs.iter().any(|r| r.coverage && r.circuit == "fig3_4"));
+        assert!(regs.iter().any(|r| !r.coverage && r.circuit == "fig3_4"));
+        assert!(regs
+            .iter()
+            .any(|r| r.coverage && r.circuit == "no_such_circuit"));
+        // A garbage baseline is itself a blocking finding.
+        let bad = parse(r#"{"date": "2024-01-01"}"#).unwrap();
+        assert!(compare(&snap, &bad, DEFAULT_MAX_PERF_DROP)[0].coverage);
+    }
+}

@@ -151,14 +151,43 @@ pub struct EngineStats {
     pub golden_time: Duration,
     /// Wall time spent simulating faults (all workers, wall clock).
     pub fault_sim_time: Duration,
+    /// Time spent *inside* per-fault evaluation sweeps, summed across
+    /// workers — the eval-phase denominator for throughput. Unlike
+    /// [`EngineStats::fault_sim_time`] it excludes worker spawn/join and
+    /// observer overhead, and on a multi-threaded run it sums worker time,
+    /// so throughput derived from it compares backends per-core,
+    /// apples-to-apples.
+    pub eval_time: Duration,
 }
 
 impl EngineStats {
-    /// Test patterns per second of fault simulation (each pair is two
-    /// patterns). Returns `0.0` — never `NaN` or `inf` — when no time was
-    /// measured or no pairs were evaluated.
+    /// Test patterns per second of fault evaluation (each pair is two
+    /// patterns), measured over [`EngineStats::eval_time`] — the profiler's
+    /// eval-phase time, not wall time that would fold in compile, golden and
+    /// merge overhead. Falls back to [`EngineStats::fault_sim_time`] when no
+    /// eval time was recorded. Returns `0.0` — never `NaN` or `inf` — when
+    /// no time was measured or no pairs were evaluated.
     #[must_use]
     pub fn patterns_per_sec(&self) -> f64 {
+        let secs = if self.eval_time > Duration::ZERO {
+            self.eval_time.as_secs_f64()
+        } else {
+            self.fault_sim_time.as_secs_f64()
+        };
+        let patterns = (self.pairs_evaluated * 2) as f64;
+        if secs > 0.0 && patterns > 0.0 {
+            patterns / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Test patterns per second over the fault-sim phase *wall clock* —
+    /// scales with the worker fan-out, so it measures parallel speedup
+    /// rather than per-core backend efficiency. Same zero-guard as
+    /// [`EngineStats::patterns_per_sec`].
+    #[must_use]
+    pub fn patterns_per_sec_wall(&self) -> f64 {
         let secs = self.fault_sim_time.as_secs_f64();
         let patterns = (self.pairs_evaluated * 2) as f64;
         if secs > 0.0 && patterns > 0.0 {
@@ -172,7 +201,7 @@ impl EngineStats {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} faults ({} dropped), {} pairs, {} words | compile {:?}, golden {:?}, sim {:?} | {:.3e} patterns/s",
+            "{} faults ({} dropped), {} pairs, {} words | compile {:?}, golden {:?}, sim {:?}, eval {:?} | {:.3e} patterns/s",
             self.faults,
             self.faults_dropped,
             self.pairs_evaluated,
@@ -180,6 +209,7 @@ impl EngineStats {
             self.compile_time,
             self.golden_time,
             self.fault_sim_time,
+            self.eval_time,
             self.patterns_per_sec(),
         )
     }
@@ -324,6 +354,8 @@ struct SimOutcome {
     report: PairReport,
     pairs: u64,
     words: u64,
+    /// Wall time this worker spent inside the fault's sweep.
+    eval_micros: u64,
     events: Vec<CampaignEvent>,
 }
 
@@ -347,6 +379,7 @@ fn sim_fault(
     record: bool,
     cancel: Option<&CancelToken>,
 ) -> Option<SimOutcome> {
+    let sweep_t = Instant::now();
     let mut detected = Vec::new();
     let mut violations = Vec::new();
     let mut observable = false;
@@ -429,7 +462,16 @@ fn sim_fault(
         }
     }
     ev.uninstall();
+    let eval_micros = duration_micros(sweep_t.elapsed());
     if record {
+        // One aggregated span per fault: its whole sweep, in batches.
+        events.push(CampaignEvent::Span {
+            name: "eval_batch",
+            parent: "fault_sim",
+            micros: eval_micros,
+            count: words / 2,
+            items: pairs,
+        });
         events.push(CampaignEvent::FaultFinish {
             fault: index,
             worker,
@@ -438,6 +480,9 @@ fn sim_fault(
             observable,
             dropped,
             pairs,
+            // Batches sweep ascending minterms, so the smallest detected
+            // minterm is the first detecting pair in sweep order.
+            first_detected: detected.first().copied(),
         });
     }
     Some(SimOutcome {
@@ -449,6 +494,7 @@ fn sim_fault(
         },
         pairs,
         words,
+        eval_micros,
         events,
     })
 }
@@ -533,13 +579,30 @@ pub fn try_run_pair_campaign(
             phase: Phase::Compile,
         });
     }
-    let compiled = CompiledCircuit::try_compile(circuit)?;
+    let (compiled, cspans) = CompiledCircuit::try_compile_timed(circuit)?;
     stats.compile_time = t.elapsed();
     if obs {
         observer.on_event(&CampaignEvent::PhaseEnd {
             phase: Phase::Compile,
             micros: duration_micros(stats.compile_time),
         });
+        observer.on_event(&CampaignEvent::Span {
+            name: "levelize",
+            parent: "compile",
+            micros: cspans.levelize_micros,
+            count: 1,
+            items: compiled.num_ops() as u64,
+        });
+        observer.on_event(&CampaignEvent::Span {
+            name: "pack",
+            parent: "compile",
+            micros: cspans.pack_micros,
+            count: 1,
+            items: (compiled.num_inputs() + compiled.num_outputs()) as u64,
+        });
+        for (level, &gates) in compiled.level_gates().iter().enumerate() {
+            observer.on_event(&CampaignEvent::LevelGates { level, gates });
+        }
     }
 
     let t = Instant::now();
@@ -670,6 +733,7 @@ pub fn try_run_pair_campaign(
         let outcome = slot.expect("prefix is complete");
         stats.pairs_evaluated += outcome.pairs;
         stats.words_evaluated += outcome.words;
+        stats.eval_time += Duration::from_micros(outcome.eval_micros);
         if outcome.report.dropped {
             stats.faults_dropped += 1;
         }
@@ -841,6 +905,7 @@ mod tests {
     fn patterns_per_sec_never_divides_by_zero() {
         let zeroed = EngineStats::default();
         assert_eq!(zeroed.patterns_per_sec(), 0.0);
+        assert_eq!(zeroed.patterns_per_sec_wall(), 0.0);
         let timeless = EngineStats {
             pairs_evaluated: 1000,
             ..EngineStats::default()
@@ -853,6 +918,63 @@ mod tests {
         };
         assert!(real.patterns_per_sec().is_finite());
         assert!(real.patterns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn patterns_per_sec_uses_eval_time_not_phase_wall() {
+        // 10 ms of wall clock but only 2 ms inside the sweeps: throughput
+        // must be computed over the eval time, so it is 5x the wall figure.
+        let stats = EngineStats {
+            pairs_evaluated: 1000,
+            fault_sim_time: Duration::from_millis(10),
+            eval_time: Duration::from_millis(2),
+            ..EngineStats::default()
+        };
+        let eval_rate = stats.patterns_per_sec();
+        let wall_rate = stats.patterns_per_sec_wall();
+        assert!((eval_rate - 1_000_000.0).abs() < 1e-6);
+        assert!((wall_rate - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn campaign_records_eval_time() {
+        let c = xor3();
+        let (_, stats) = run_pair_campaign(&c, &all_single_faults(&c), &EngineConfig::default());
+        assert!(stats.eval_time > Duration::ZERO || stats.pairs_evaluated < 100);
+        // Eval time is contained within the phase it happens in (single
+        // thread), modulo the sub-microsecond truncation per fault.
+        assert!(stats.eval_time <= stats.fault_sim_time + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn observer_sees_spans_levels_and_first_detected() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let collect = CollectObserver::default();
+        let cfg = EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        };
+        let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
+        let events = collect.events();
+        for span in ["levelize", "pack", "eval_batch"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, CampaignEvent::Span { name, .. } if *name == span)),
+                "missing span {span}"
+            );
+        }
+        // xor3 is a single-gate schedule: one level of one gate.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::LevelGates { level: 0, gates: 1 })));
+        // Every fault in the XOR cone detects at the very first pair.
+        for e in &events {
+            if let CampaignEvent::FaultFinish { first_detected, .. } = e {
+                assert_eq!(*first_detected, Some(0));
+            }
+        }
     }
 
     #[test]

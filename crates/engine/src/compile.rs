@@ -2,6 +2,17 @@
 
 use crate::error::EngineError;
 use scal_netlist::{Circuit, GateKind, NodeId, NodeView};
+use std::time::Instant;
+
+/// Wall times of the two compilation stages, for the profiler's `levelize` /
+/// `pack` spans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileSpans {
+    /// Microseconds spent ordering gates and building the op schedule.
+    pub levelize_micros: u64,
+    /// Microseconds spent laying out slots (constants, flip-flops, I/O).
+    pub pack_micros: u64,
+}
 
 /// Sentinel for "this node has no gate op" in [`CompiledCircuit::op_of_node`].
 pub(crate) const NO_OP: u32 = u32::MAX;
@@ -56,6 +67,8 @@ pub struct CompiledCircuit {
     pub(crate) output_slots: Vec<u32>,
     /// Per node: index of its op in `ops`, or [`NO_OP`] for sources.
     pub(crate) op_of_node: Vec<u32>,
+    /// Gates per schedule level (level 0 = gates fed only by sources).
+    pub(crate) level_gates: Vec<usize>,
 }
 
 impl CompiledCircuit {
@@ -81,22 +94,47 @@ impl CompiledCircuit {
     /// [`Circuit::validate`], or [`EngineError::TooLarge`] if the node or
     /// fanin count overflows the engine's `u32` slot indices.
     pub fn try_compile(circuit: &Circuit) -> Result<Self, EngineError> {
+        Self::try_compile_timed(circuit).map(|(cc, _)| cc)
+    }
+
+    /// [`CompiledCircuit::try_compile`] with per-stage wall times — the
+    /// campaign's source for `levelize` / `pack` profiler spans.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledCircuit::try_compile`].
+    pub fn try_compile_timed(circuit: &Circuit) -> Result<(Self, CompileSpans), EngineError> {
         circuit.validate()?;
         let n = circuit.len();
         let zero_slot = u32::try_from(n).map_err(|_| EngineError::TooLarge { count: n })?;
         let one_slot = zero_slot + 1;
 
+        // Levelize: topologically order the gates into the flat op schedule
+        // and record each gate's level (longest gate-only path from a
+        // source) for the per-level evaluation counters.
+        let t = Instant::now();
         let mut ops = Vec::new();
         let mut fanins = Vec::new();
         let mut op_of_node = vec![NO_OP; n];
+        let mut node_level = vec![0usize; n];
+        let mut level_gates = Vec::new();
         for id in circuit.topo_order() {
             if let NodeView::Gate(kind) = circuit.view(id) {
                 let fan_start = u32::try_from(fanins.len()).map_err(|_| EngineError::TooLarge {
                     count: fanins.len(),
                 })?;
+                let mut level = 0;
                 for f in circuit.fanins(id) {
                     fanins.push(f.index() as u32);
+                    if matches!(circuit.view(*f), NodeView::Gate(_)) {
+                        level = level.max(node_level[f.index()] + 1);
+                    }
                 }
+                node_level[id.index()] = level;
+                if level_gates.len() <= level {
+                    level_gates.resize(level + 1, 0);
+                }
+                level_gates[level] += 1;
                 op_of_node[id.index()] = ops.len() as u32;
                 ops.push(Op {
                     kind,
@@ -106,7 +144,11 @@ impl CompiledCircuit {
                 });
             }
         }
+        let levelize_micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
 
+        // Pack: lay out the remaining slot metadata (constants, flip-flops,
+        // primary I/O).
+        let t = Instant::now();
         let mut const_slots = Vec::new();
         for id in circuit.node_ids() {
             if let NodeView::Const(v) = circuit.view(id) {
@@ -123,7 +165,7 @@ impl CompiledCircuit {
             dff_d_slots.push(circuit.fanins(ff)[0].index() as u32);
         }
 
-        Ok(CompiledCircuit {
+        let cc = CompiledCircuit {
             num_slots: n + 2,
             zero_slot,
             one_slot,
@@ -140,7 +182,16 @@ impl CompiledCircuit {
                 .map(|o| o.node.index() as u32)
                 .collect(),
             op_of_node,
-        })
+            level_gates,
+        };
+        let pack_micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Ok((
+            cc,
+            CompileSpans {
+                levelize_micros,
+                pack_micros,
+            },
+        ))
     }
 
     /// Number of primary inputs.
@@ -171,6 +222,14 @@ impl CompiledCircuit {
     #[must_use]
     pub fn num_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Gates per schedule level, level 0 first (gates fed only by sources).
+    /// Multiplying each count by the words evaluated gives per-level
+    /// gate-evaluation totals.
+    #[must_use]
+    pub fn level_gates(&self) -> &[usize] {
+        &self.level_gates
     }
 
     /// The constant slot carrying `value`.
@@ -211,6 +270,26 @@ mod tests {
         let pos_g = cc.ops.iter().position(|o| o.out == g.index() as u32);
         let pos_h = cc.ops.iter().position(|o| o.out == h.index() as u32);
         assert!(pos_g < pos_h);
+        // g is fed only by inputs (level 0); h depends on g (level 1).
+        assert_eq!(cc.level_gates(), &[1, 1]);
+    }
+
+    #[test]
+    fn level_counts_follow_gate_depth() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g1 = c.and(&[a, b]);
+        let g2 = c.or(&[a, b]);
+        let g3 = c.xor(&[g1, g2]);
+        let g4 = c.not(g3);
+        c.mark_output("f", g4);
+        let (cc, spans) = CompiledCircuit::try_compile_timed(&c).unwrap();
+        assert_eq!(cc.level_gates(), &[2, 1, 1]);
+        assert_eq!(cc.level_gates().iter().sum::<usize>(), cc.num_ops());
+        // Stage timings exist (may be zero on a fast machine, never huge).
+        assert!(spans.levelize_micros < 10_000_000);
+        assert!(spans.pack_micros < 10_000_000);
     }
 
     #[test]

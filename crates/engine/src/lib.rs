@@ -57,7 +57,7 @@ pub use campaign::{
     run_pair_campaign, try_run_pair_campaign, EngineConfig, EngineConfigBuilder, EngineStats,
     PairCampaign, PairReport, MAX_THREADS,
 };
-pub use compile::CompiledCircuit;
+pub use compile::{CompileSpans, CompiledCircuit};
 pub use error::EngineError;
 pub use eval::Evaluator;
 pub use pool::{par_map, par_map_cancellable};

@@ -27,7 +27,7 @@ use crate::campaign::{try_run_scalar, CampaignResult};
 use crate::{enumerate_faults, Fault};
 use scal_engine::{try_run_pair_campaign, EngineConfig, EngineError, EngineStats};
 use scal_netlist::{Circuit, Override};
-use scal_obs::{CampaignObserver, CancelToken, NullObserver};
+use scal_obs::{CampaignObserver, CancelToken, CoverageObserver, MultiObserver};
 
 /// Which simulation backend a [`Campaign`] runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,7 @@ pub struct Campaign<'a> {
     faults: Option<Vec<Fault>>,
     config: EngineConfig,
     observer: Option<&'a dyn CampaignObserver>,
+    coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
     backend: Backend,
 }
@@ -59,6 +60,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("faults", &self.faults.as_ref().map(Vec::len))
             .field("config", &self.config)
             .field("observer", &self.observer.is_some())
+            .field("coverage", &self.coverage.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("backend", &self.backend)
             .finish_non_exhaustive()
@@ -76,6 +78,7 @@ impl<'a> Campaign<'a> {
             faults: None,
             config: EngineConfig::default(),
             observer: None,
+            coverage: None,
             cancel: None,
             backend: Backend::Engine,
         }
@@ -120,6 +123,15 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Builds a per-fault [`scal_obs::CoverageMap`] into `coverage`, labelled
+    /// with [`Fault::describe`] line names, alongside any plain
+    /// [`Campaign::observer`]. Read `coverage.latest()` after the run.
+    #[must_use]
+    pub fn coverage(mut self, coverage: &'a CoverageObserver) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
     /// Makes the run cancellable through `token`: once cancelled, the
     /// campaign stops at the next batch (engine) or fault (scalar) boundary
     /// and returns the completed fault-ordered prefix with
@@ -151,7 +163,18 @@ impl<'a> Campaign<'a> {
             Some(f) => f,
             None => enumerate_faults(self.circuit),
         };
-        let observer: &dyn CampaignObserver = self.observer.unwrap_or(&NullObserver);
+        // Fan out to the plain observer and/or the coverage map. An empty
+        // fan-out reports enabled() == false, preserving the no-observer
+        // fast path.
+        let mut fan = MultiObserver::new();
+        if let Some(o) = self.observer {
+            fan.push(o);
+        }
+        if let Some(cov) = self.coverage {
+            cov.set_labels(faults.iter().map(|f| f.describe(self.circuit)).collect());
+            fan.push(cov);
+        }
+        let observer: &dyn CampaignObserver = &fan;
         match self.backend {
             Backend::Scalar => {
                 let (results, stats, cancelled) =
@@ -281,6 +304,39 @@ mod tests {
         let cancelled = Campaign::new(&c).scalar().cancel(&token).run().unwrap();
         assert!(cancelled.cancelled);
         assert!(cancelled.results.is_empty());
+    }
+
+    #[test]
+    fn coverage_hook_builds_labelled_maps_on_both_backends() {
+        let c = xor3();
+        let cov = scal_obs::CoverageObserver::new();
+        let report = Campaign::new(&c).coverage(&cov).run().unwrap();
+        let map = cov.latest().expect("coverage map");
+        assert_eq!(map.records.len(), report.results.len());
+        assert!((map.coverage_fraction() - 1.0).abs() < 1e-12);
+        // Labels come from Fault::describe and use the circuit's names.
+        assert!(map.records.iter().all(|r| !r.label.is_empty()));
+        assert!(map.records.iter().any(|r| r.label.starts_with("a s-a-")));
+        // The scalar oracle produces the identical map (bit-for-bit, modulo
+        // the campaign tag).
+        let cov2 = scal_obs::CoverageObserver::new();
+        let _ = Campaign::new(&c).scalar().coverage(&cov2).run().unwrap();
+        let smap = cov2.latest().expect("scalar map");
+        assert_eq!(smap.records, map.records);
+    }
+
+    #[test]
+    fn coverage_composes_with_a_plain_observer() {
+        let c = xor3();
+        let cov = scal_obs::CoverageObserver::new();
+        let collect = CollectObserver::default();
+        let _ = Campaign::new(&c)
+            .observer(&collect)
+            .coverage(&cov)
+            .run()
+            .unwrap();
+        assert!(cov.latest().is_some());
+        assert!(!collect.is_empty());
     }
 
     #[test]

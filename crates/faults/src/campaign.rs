@@ -315,6 +315,7 @@ pub(crate) fn try_run_scalar(
             cancelled = true;
             break;
         }
+        let sweep_t = Instant::now();
         let ov = [fault.to_override()];
         let mut faulty = vec![vec![false; outputs.len()]; total as usize];
         sweep(circuit, &ov, n, |m, vals| {
@@ -342,10 +343,19 @@ pub(crate) fn try_run_scalar(
         }
         stats.pairs_evaluated += pairs_per_fault;
         stats.words_evaluated += words_per_sweep;
+        let eval_micros = duration_micros(sweep_t.elapsed());
+        stats.eval_time += Duration::from_micros(eval_micros);
         if obs {
             fault_events.push(CampaignEvent::FaultStart {
                 fault: i,
                 worker: 0,
+            });
+            fault_events.push(CampaignEvent::Span {
+                name: "eval_batch",
+                parent: "fault_sim",
+                micros: eval_micros,
+                count: words_per_sweep,
+                items: pairs_per_fault,
             });
             fault_events.push(CampaignEvent::FaultFinish {
                 fault: i,
@@ -355,6 +365,9 @@ pub(crate) fn try_run_scalar(
                 observable,
                 dropped: false,
                 pairs: pairs_per_fault,
+                // The scalar sweep visits canonical minterms in ascending
+                // order, matching the engine's pair ordering exactly.
+                first_detected: detected.first().copied(),
             });
             observer.on_event(&CampaignEvent::Progress {
                 done: i + 1,

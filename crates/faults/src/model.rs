@@ -27,6 +27,28 @@ impl Fault {
             value: self.stuck,
         }
     }
+
+    /// Describes the fault using `circuit`'s line names — the label coverage
+    /// reports cross-reference against the netlist. Named nodes print their
+    /// name (`"carry s-a-0"`); unnamed ones fall back to the positional
+    /// [`Site`] rendering. Branch faults name both ends of the line
+    /// (`"a->sum[0] s-a-1"`).
+    #[must_use]
+    pub fn describe(&self, circuit: &Circuit) -> String {
+        let name_of = |id: scal_netlist::NodeId| {
+            circuit
+                .name(id)
+                .map_or_else(|| format!("n{}", id.index()), str::to_string)
+        };
+        let site = match self.site {
+            Site::Stem(id) => name_of(id),
+            Site::Branch { node, pin } => match circuit.fanins(node).get(pin) {
+                Some(&src) => format!("{}->{}[{pin}]", name_of(src), name_of(node)),
+                None => self.site.to_string(),
+            },
+        };
+        format!("{site} s-a-{}", u8::from(self.stuck))
+    }
 }
 
 impl fmt::Display for Fault {
@@ -219,6 +241,30 @@ mod tests {
         let f = Fault::new(Site::Stem(a), true);
         assert_eq!(f.to_string(), "stem(n0) s-a-1");
         assert!(f.to_override().value);
+    }
+
+    #[test]
+    fn describe_uses_line_names() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let g = c.and(&[a, b]);
+        c.set_name(g, "carry");
+        c.mark_output("f", g);
+        assert_eq!(Fault::new(Site::Stem(g), false).describe(&c), "carry s-a-0");
+        assert_eq!(
+            Fault::new(Site::Branch { node: g, pin: 1 }, true).describe(&c),
+            "b->carry[1] s-a-1"
+        );
+        // Unnamed nodes fall back to positional names.
+        let mut plain = Circuit::new();
+        let x = plain.input("x");
+        let h = plain.not(x);
+        plain.mark_output("f", h);
+        assert_eq!(
+            Fault::new(Site::Stem(h), true).describe(&plain),
+            format!("n{} s-a-1", h.index())
+        );
     }
 
     #[test]

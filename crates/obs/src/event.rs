@@ -63,6 +63,36 @@ pub enum CampaignEvent {
         /// Wall time of the phase in microseconds.
         micros: u64,
     },
+    /// A completed (possibly aggregated) sub-phase span — the engine's
+    /// profiler vocabulary. Spans nest under a phase (or another span) by
+    /// `parent` name: `levelize` and `pack` under `compile`, `eval_batch`
+    /// under `fault_sim`. Aggregated spans carry how many times the span ran
+    /// (`count`) and how many work items it processed (`items`: pairs for
+    /// `eval_batch`, ops for compile spans).
+    Span {
+        /// Stable snake_case span name.
+        name: &'static str,
+        /// Name of the enclosing phase or span.
+        parent: &'static str,
+        /// Total wall time across all executions, in microseconds. For
+        /// worker-parallel spans this is summed *worker* time, which can
+        /// exceed the enclosing phase's wall clock.
+        micros: u64,
+        /// Number of executions aggregated into this span.
+        count: u64,
+        /// Work items processed (span-specific unit).
+        items: u64,
+    },
+    /// Gate population of one level of the compiled schedule (level 0 =
+    /// gates fed only by sources). Emitted once per level after compilation;
+    /// multiplying by evaluated words gives per-level gate-evaluation
+    /// counts.
+    LevelGates {
+        /// Level ordinal, from 0.
+        level: usize,
+        /// Gates scheduled at this level.
+        gates: usize,
+    },
     /// A fault's sweep began.
     FaultStart {
         /// Index into the campaign's fault list.
@@ -106,6 +136,12 @@ pub enum CampaignEvent {
         dropped: bool,
         /// Pairs evaluated for this fault.
         pairs: u64,
+        /// Ordinal of the first detecting pair in sweep order (`None` if the
+        /// fault was never detected). Campaigns sweep canonical pairs in
+        /// ascending minterm order, so `first_detected + 1` is the
+        /// time-to-detection in pairs; sequential and CPU campaigns report
+        /// the first detecting word / workload index instead.
+        first_detected: Option<u32>,
     },
     /// Live progress tick: `done` of `total` faults finished. Emitted from
     /// worker threads as faults complete; ordering across workers is not
@@ -147,6 +183,8 @@ impl CampaignEvent {
             CampaignEvent::CampaignStart { .. } => "campaign_start",
             CampaignEvent::PhaseStart { .. } => "phase_start",
             CampaignEvent::PhaseEnd { .. } => "phase_end",
+            CampaignEvent::Span { .. } => "span",
+            CampaignEvent::LevelGates { .. } => "level_gates",
             CampaignEvent::FaultStart { .. } => "fault_start",
             CampaignEvent::BatchDone { .. } => "batch_done",
             CampaignEvent::FaultDropped { .. } => "fault_dropped",
@@ -183,6 +221,23 @@ impl CampaignEvent {
                 o.str("phase", phase.name());
                 o.num("micros", micros);
             }
+            CampaignEvent::Span {
+                name,
+                parent,
+                micros,
+                count,
+                items,
+            } => {
+                o.str("name", name);
+                o.str("parent", parent);
+                o.num("micros", micros);
+                o.num("count", count);
+                o.num("items", items);
+            }
+            CampaignEvent::LevelGates { level, gates } => {
+                o.num("level", level as u64);
+                o.num("gates", gates as u64);
+            }
             CampaignEvent::FaultStart { fault, worker } => {
                 o.num("fault", fault as u64);
                 o.num("worker", worker as u64);
@@ -215,6 +270,7 @@ impl CampaignEvent {
                 observable,
                 dropped,
                 pairs,
+                first_detected,
             } => {
                 o.num("fault", fault as u64);
                 o.num("worker", worker as u64);
@@ -223,6 +279,9 @@ impl CampaignEvent {
                 o.bool("observable", observable);
                 o.bool("dropped", dropped);
                 o.num("pairs", pairs);
+                if let Some(p) = first_detected {
+                    o.num("first_detected", u64::from(p));
+                }
             }
             CampaignEvent::Progress { done, total } => {
                 o.num("done", done as u64);
@@ -283,7 +342,16 @@ mod tests {
                 observable: true,
                 dropped: false,
                 pairs: 4,
+                first_detected: Some(1),
             },
+            CampaignEvent::Span {
+                name: "levelize",
+                parent: "compile",
+                micros: 7,
+                count: 1,
+                items: 12,
+            },
+            CampaignEvent::LevelGates { level: 2, gates: 5 },
             CampaignEvent::Cancelled { completed: 2 },
         ];
         for e in &events {
@@ -291,5 +359,32 @@ mod tests {
             crate::json::validate_jsonl(&j).expect("valid JSON");
             assert!(j.contains(&format!("\"ev\":\"{}\"", e.name())));
         }
+    }
+
+    #[test]
+    fn undetected_faults_omit_first_detected() {
+        let e = CampaignEvent::FaultFinish {
+            fault: 0,
+            worker: 0,
+            detected: 0,
+            violations: 2,
+            observable: true,
+            dropped: false,
+            pairs: 4,
+            first_detected: None,
+        };
+        let j = e.to_json();
+        assert!(!j.contains("first_detected"));
+        let d = CampaignEvent::FaultFinish {
+            fault: 0,
+            worker: 0,
+            detected: 1,
+            violations: 0,
+            observable: true,
+            dropped: false,
+            pairs: 4,
+            first_detected: Some(3),
+        };
+        assert!(d.to_json().contains("\"first_detected\":3"));
     }
 }

@@ -39,10 +39,29 @@ impl JsonObject {
         let _ = write!(self.buf, "{v}");
     }
 
+    /// Appends a finite float field (non-finite values render as `null`,
+    /// which JSON has no float spelling for).
+    pub fn float(&mut self, k: &str, v: f64) {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
     /// Appends a boolean field.
     pub fn bool(&mut self, k: &str, v: bool) {
         self.key(k);
         self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Appends a pre-serialized JSON value verbatim — the splice point for
+    /// nested objects and arrays built elsewhere. The caller is responsible
+    /// for `v` being valid JSON.
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
     }
 
     /// Closes the object and returns its text.
@@ -53,6 +72,13 @@ impl JsonObject {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
+///
+/// Beyond the mandatory `"`/`\\`/C0 escapes, the C1 control range
+/// (U+0080–U+009F) and the Unicode line separators U+2028/U+2029 are also
+/// `\u`-escaped: C1 bytes are invisible in most terminals and corrupt naive
+/// line-oriented consumers, and U+2028/U+2029 are line terminators in
+/// JavaScript, so escaping keeps one JSONL event strictly one line
+/// everywhere.
 #[must_use]
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -63,7 +89,11 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20
+                || (0x7f..=0x9f).contains(&(c as u32))
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -101,6 +131,86 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         checked += 1;
     }
     Ok(checked)
+}
+
+/// A parsed JSON value — the reading counterpart of [`JsonObject`], used by
+/// tools that consume committed JSON artifacts (baseline benchmark
+/// snapshots, coverage maps) without external dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source key order (duplicate keys keep the last value on
+    /// lookup).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (`None` for other variants or missing
+    /// keys). Duplicate keys resolve to the last occurrence.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value from `text` (surrounding whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a message naming the first offending byte position.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.build_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
 }
 
 /// A recursive-descent JSON syntax checker (no value construction).
@@ -249,6 +359,126 @@ impl Parser<'_> {
         }
     }
 
+    fn build_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.build_object(),
+            Some(b'[') => self.build_array(),
+            Some(b'"') => self.build_string().map(JsonValue::Str),
+            Some(b't') => self.literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.build_number(),
+            Some(b) => Err(format!("unexpected {:?} at byte {}", b as char, self.pos)),
+            None => Err(format!("unexpected end at byte {}", self.pos)),
+        }
+    }
+
+    fn build_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.build_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.build_value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b'}' => return Ok(JsonValue::Object(members)),
+                b => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn build_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.build_value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => {}
+                b']' => return Ok(JsonValue::Array(items)),
+                b => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos - 1,
+                        b as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn build_string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.string()?;
+        // Re-walk the validated span (quotes excluded) decoding escapes.
+        let body = &self.bytes[start + 1..self.pos - 1];
+        let text = std::str::from_utf8(body)
+            .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let cp = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape in string at byte {start}"))?;
+                    // Surrogates (already validated as hex) decode to the
+                    // replacement character; the trace format never emits
+                    // them.
+                    out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err(format!("bad escape in string at byte {start}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn build_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        self.number()?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid UTF-8 in number at byte {start}"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("unparseable number at byte {start}"))?;
+        Ok(JsonValue::Num(n))
+    }
+
     fn number(&mut self) -> Result<(), String> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -317,6 +547,56 @@ mod tests {
     fn validate_accepts_multiline_streams() {
         let text = "{\"a\":1}\n{\"b\":[1,2,{\"c\":null}],\"d\":-1.5e3}\n\n{\"e\":\"x\"}";
         assert_eq!(validate_jsonl(text), Ok(3));
+    }
+
+    #[test]
+    fn escape_neutralizes_pathological_gate_names() {
+        // A gate name with C0 + DEL + C1 controls and JS line separators:
+        // every one must come out as a \uXXXX escape, leaving one printable
+        // single-line JSON object.
+        let evil = "g\u{7}\u{7f}\u{85}\u{9b}\u{2028}\u{2029}nand";
+        let escaped = escape(evil);
+        assert_eq!(escaped, "g\\u0007\\u007f\\u0085\\u009b\\u2028\\u2029nand");
+        let mut o = JsonObject::new();
+        o.str("gate", evil);
+        let line = o.finish();
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.chars().all(|c| !c.is_control() || c == ' '));
+        assert_eq!(validate_jsonl(&line), Ok(1));
+        // Round-trips through the reader.
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("gate").and_then(JsonValue::as_str), Some(evil));
+    }
+
+    #[test]
+    fn parse_builds_values() {
+        let v = parse("{\"a\":1,\"b\":[true,null,-2.5e1],\"c\":{\"d\":\"x\\ny\"}}").unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_f64), Some(1.0));
+        let b = v.get("b").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(b[0], JsonValue::Bool(true));
+        assert_eq!(b[1], JsonValue::Null);
+        assert_eq!(b[2], JsonValue::Num(-25.0));
+        let d = v.get("c").and_then(|c| c.get("d"));
+        assert_eq!(d.and_then(JsonValue::as_str), Some("x\ny"));
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2] junk").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let mut o = JsonObject::new();
+        o.str("name", "s0 \"carry\"\\");
+        o.num("pairs", 128);
+        o.float("rate", 0.5);
+        o.bool("ok", false);
+        let v = parse(&o.finish()).unwrap();
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("s0 \"carry\"\\")
+        );
+        assert_eq!(v.get("pairs").and_then(JsonValue::as_f64), Some(128.0));
+        assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(0.5));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
     }
 
     #[test]

@@ -12,9 +12,18 @@
 //! * **Observers** ([`CampaignObserver`]): a `Sync` sink trait the engine
 //!   calls from its worker threads. Implementations here: the
 //!   [`JsonlTrace`] JSON-lines writer, the [`ProgressMeter`] human stderr
-//!   summary, the [`Metrics`] registry (counters + wall-time histograms),
-//!   plus [`NullObserver`], [`MultiObserver`] and the test-oriented
-//!   [`CollectObserver`].
+//!   summary (throughput-EWMA ETA included), the [`Metrics`] registry
+//!   (counters + wall-time histograms), plus [`NullObserver`],
+//!   [`MultiObserver`] and the test-oriented [`CollectObserver`].
+//! * **Coverage maps** ([`CoverageObserver`] → [`CoverageMap`]): one
+//!   [`FaultRecord`] per fault site — detected or not, first detecting
+//!   pair / time-to-detection, violation counts, dropped-at batch — with
+//!   JSON output and a human-readable undetected-fault report
+//!   cross-referencing netlist line names.
+//! * **Profiles** ([`Profiler`] → [`Profile`]): phase wall times with
+//!   engine sub-phase [`CampaignEvent::Span`]s (levelize/pack/eval-batch)
+//!   nested beneath, per-level gate populations, and eval-phase pair
+//!   throughput.
 //! * **Cancellation** ([`CancelToken`]): a cloneable flag campaigns check at
 //!   batch boundaries; a cancelled campaign returns partial, deterministic,
 //!   fault-ordered results instead of aborting.
@@ -31,16 +40,20 @@
 #![warn(missing_docs)]
 
 mod cancel;
+mod coverage;
 mod event;
 pub mod json;
 mod metrics;
 mod observer;
+mod profile;
 mod progress;
 mod trace;
 
 pub use cancel::CancelToken;
+pub use coverage::{CoverageMap, CoverageObserver, FaultRecord};
 pub use event::{CampaignEvent, Phase};
 pub use metrics::{Counter, Histogram, Metrics};
 pub use observer::{CampaignObserver, CollectObserver, MultiObserver, NullObserver};
+pub use profile::{PhaseTiming, Profile, Profiler, SpanTiming};
 pub use progress::ProgressMeter;
 pub use trace::JsonlTrace;

@@ -238,6 +238,7 @@ mod tests {
             observable: true,
             dropped: true,
             pairs: 64,
+            first_detected: Some(0),
         });
         assert_eq!(m.counter("campaign.runs").get(), 1);
         assert_eq!(m.counter("campaign.pairs").get(), 64);

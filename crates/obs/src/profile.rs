@@ -1,0 +1,491 @@
+//! The span-based phase profiler.
+//!
+//! A [`Profiler`] listens to [`CampaignEvent::PhaseEnd`],
+//! [`CampaignEvent::Span`] and [`CampaignEvent::LevelGates`] events and
+//! aggregates them into a [`Profile`]: a small tree of phase wall times with
+//! engine sub-phase spans (levelize/pack under compile, eval-batch under
+//! fault-sim) nested beneath, plus the per-level gate population of the
+//! compiled schedule. The profile answers the ROADMAP's "where does engine
+//! time go" question: wall time and share per phase, pair throughput over
+//! the eval phase alone, and estimated gate-evaluations from the level
+//! populations.
+
+use crate::event::CampaignEvent;
+use crate::json::JsonObject;
+use crate::observer::CampaignObserver;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Wall time of one campaign phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (`"compile"`, `"golden"`, `"fault_sim"`, `"merge"`).
+    pub name: String,
+    /// Wall time in microseconds.
+    pub micros: u64,
+}
+
+/// An aggregated engine sub-phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTiming {
+    /// Span name (`"levelize"`, `"pack"`, `"eval_batch"`, …).
+    pub name: String,
+    /// Enclosing phase or span name.
+    pub parent: String,
+    /// Summed time across executions, in microseconds. For worker-parallel
+    /// spans this is summed *worker* time and can exceed the parent phase's
+    /// wall clock.
+    pub micros: u64,
+    /// Executions aggregated.
+    pub count: u64,
+    /// Work items processed (span-specific unit).
+    pub items: u64,
+}
+
+/// The aggregated timing picture of one campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Campaign flavour.
+    pub campaign: String,
+    /// Phase wall times, in emission order.
+    pub phases: Vec<PhaseTiming>,
+    /// Aggregated spans (same name+parent summed), in first-seen order.
+    pub spans: Vec<SpanTiming>,
+    /// Gates per schedule level (level 0 first); empty if the campaign's
+    /// backend does not levelize.
+    pub levels: Vec<usize>,
+    /// Alternating pairs evaluated across all faults.
+    pub pairs: u64,
+    /// 64-lane words evaluated, golden sweeps included.
+    pub words: u64,
+    /// Total campaign wall time in microseconds.
+    pub micros: u64,
+}
+
+impl Profile {
+    /// Wall time of the named phase, if it ran.
+    #[must_use]
+    pub fn phase_micros(&self, name: &str) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.micros)
+    }
+
+    /// Wall time of the evaluation phase (`fault_sim`) — the denominator
+    /// for apples-to-apples throughput comparisons that exclude compile and
+    /// merge overhead.
+    #[must_use]
+    pub fn eval_micros(&self) -> Option<u64> {
+        self.phase_micros("fault_sim")
+    }
+
+    /// Pairs per second over the evaluation phase alone (`None` if the
+    /// phase is missing or took zero measurable time).
+    #[must_use]
+    pub fn pairs_per_sec(&self) -> Option<f64> {
+        match self.eval_micros() {
+            Some(us) if us > 0 => Some(self.pairs as f64 * 1e6 / us as f64),
+            _ => None,
+        }
+    }
+
+    /// Estimated gate evaluations: schedule gate count × words evaluated.
+    #[must_use]
+    pub fn gate_evals(&self) -> u64 {
+        self.levels.iter().map(|&g| g as u64).sum::<u64>() * self.words
+    }
+
+    /// Renders the profile tree: phases with share of wall time, spans
+    /// nested under their parent, then the level histogram.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let throughput = match self.pairs_per_sec() {
+            Some(r) => format!(", {} pairs/s over eval", fmt_rate(r)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "profile [{}]: {} us wall, {} pairs, {} words{throughput}",
+            self.campaign, self.micros, self.pairs, self.words
+        );
+        for p in &self.phases {
+            let share = if self.micros > 0 {
+                format!(" ({:.1}%)", 100.0 * p.micros as f64 / self.micros as f64)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  {}: {} us{share}", p.name, p.micros);
+            self.render_spans(&mut out, &p.name, 2);
+        }
+        if !self.levels.is_empty() {
+            let gates: usize = self.levels.iter().sum();
+            let _ = writeln!(
+                out,
+                "  schedule: {} level(s), {} gate(s), ~{} gate-evals",
+                self.levels.len(),
+                gates,
+                self.gate_evals()
+            );
+            let _ = writeln!(
+                out,
+                "    gates/level: {}",
+                self.levels
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        out
+    }
+
+    fn render_spans(&self, out: &mut String, parent: &str, depth: usize) {
+        for s in self.spans.iter().filter(|s| s.parent == parent) {
+            let _ = writeln!(
+                out,
+                "{}{}: {} us ({} run(s), {} item(s))",
+                "  ".repeat(depth),
+                s.name,
+                s.micros,
+                s.count,
+                s.items
+            );
+            self.render_spans(out, &s.name, depth + 1);
+        }
+    }
+
+    /// Serializes the profile as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("campaign", &self.campaign);
+        o.num("micros", self.micros);
+        o.num("pairs", self.pairs);
+        o.num("words", self.words);
+        if let Some(r) = self.pairs_per_sec() {
+            o.float("pairs_per_sec", r);
+        }
+        let mut phases = String::from("[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            let mut po = JsonObject::new();
+            po.str("name", &p.name);
+            po.num("micros", p.micros);
+            phases.push_str(&po.finish());
+        }
+        phases.push(']');
+        o.raw("phases", &phases);
+        let mut spans = String::from("[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            let mut so = JsonObject::new();
+            so.str("name", &s.name);
+            so.str("parent", &s.parent);
+            so.num("micros", s.micros);
+            so.num("count", s.count);
+            so.num("items", s.items);
+            spans.push_str(&so.finish());
+        }
+        spans.push(']');
+        o.raw("spans", &spans);
+        let levels = format!(
+            "[{}]",
+            self.levels
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        o.raw("levels", &levels);
+        o.num("gate_evals", self.gate_evals());
+        o.finish()
+    }
+}
+
+/// Builds [`Profile`]s from a campaign event stream.
+///
+/// Like [`crate::CoverageObserver`], a profiler survives several campaigns:
+/// each `CampaignStart` archives the profile under construction and
+/// [`Profiler::profiles`] returns all finished profiles in run order.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: Mutex<ProfilerState>,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerState {
+    current: Option<Profile>,
+    finished: Vec<Profile>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// The most recently finished profile, if any campaign has ended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler lock was poisoned.
+    #[must_use]
+    pub fn latest(&self) -> Option<Profile> {
+        self.inner
+            .lock()
+            .expect("profiler lock")
+            .finished
+            .last()
+            .cloned()
+    }
+
+    /// All finished profiles, in campaign order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler lock was poisoned.
+    #[must_use]
+    pub fn profiles(&self) -> Vec<Profile> {
+        self.inner.lock().expect("profiler lock").finished.clone()
+    }
+}
+
+impl CampaignObserver for Profiler {
+    fn on_event(&self, event: &CampaignEvent) {
+        let mut state = self.inner.lock().expect("profiler lock");
+        match *event {
+            CampaignEvent::CampaignStart { campaign, .. } => {
+                if let Some(p) = state.current.take() {
+                    state.finished.push(p);
+                }
+                state.current = Some(Profile {
+                    campaign: campaign.to_string(),
+                    ..Profile::default()
+                });
+            }
+            CampaignEvent::PhaseEnd { phase, micros } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.phases.push(PhaseTiming {
+                        name: phase.name().to_string(),
+                        micros,
+                    });
+                }
+            }
+            CampaignEvent::Span {
+                name,
+                parent,
+                micros,
+                count,
+                items,
+            } => {
+                if let Some(p) = state.current.as_mut() {
+                    if let Some(s) = p
+                        .spans
+                        .iter_mut()
+                        .find(|s| s.name == name && s.parent == parent)
+                    {
+                        s.micros += micros;
+                        s.count += count;
+                        s.items += items;
+                    } else {
+                        p.spans.push(SpanTiming {
+                            name: name.to_string(),
+                            parent: parent.to_string(),
+                            micros,
+                            count,
+                            items,
+                        });
+                    }
+                }
+            }
+            CampaignEvent::LevelGates { level, gates } => {
+                if let Some(p) = state.current.as_mut() {
+                    if p.levels.len() <= level {
+                        p.levels.resize(level + 1, 0);
+                    }
+                    p.levels[level] = gates;
+                }
+            }
+            CampaignEvent::CampaignEnd {
+                pairs,
+                words,
+                micros,
+                ..
+            } => {
+                if let Some(mut p) = state.current.take() {
+                    p.pairs = pairs;
+                    p.words = words;
+                    p.micros = micros;
+                    state.finished.push(p);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Formats a rate compactly: `950`, `3.2k`, `1.8M`.
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, validate_jsonl, JsonValue};
+    use crate::Phase;
+
+    fn sample_events() -> Vec<CampaignEvent> {
+        vec![
+            CampaignEvent::CampaignStart {
+                campaign: "pair",
+                faults: 2,
+                inputs: 2,
+                outputs: 1,
+                threads: 1,
+            },
+            CampaignEvent::PhaseEnd {
+                phase: Phase::Compile,
+                micros: 50,
+            },
+            CampaignEvent::Span {
+                name: "levelize",
+                parent: "compile",
+                micros: 30,
+                count: 1,
+                items: 12,
+            },
+            CampaignEvent::Span {
+                name: "pack",
+                parent: "compile",
+                micros: 15,
+                count: 1,
+                items: 12,
+            },
+            CampaignEvent::LevelGates { level: 0, gates: 4 },
+            CampaignEvent::LevelGates { level: 1, gates: 3 },
+            CampaignEvent::PhaseEnd {
+                phase: Phase::Golden,
+                micros: 5,
+            },
+            CampaignEvent::Span {
+                name: "eval_batch",
+                parent: "fault_sim",
+                micros: 60,
+                count: 1,
+                items: 4,
+            },
+            CampaignEvent::Span {
+                name: "eval_batch",
+                parent: "fault_sim",
+                micros: 40,
+                count: 1,
+                items: 4,
+            },
+            CampaignEvent::PhaseEnd {
+                phase: Phase::FaultSim,
+                micros: 120,
+            },
+            CampaignEvent::PhaseEnd {
+                phase: Phase::Merge,
+                micros: 3,
+            },
+            CampaignEvent::CampaignEnd {
+                faults: 2,
+                dropped: 0,
+                pairs: 8,
+                words: 12,
+                micros: 200,
+                cancelled: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_phases_spans_and_levels() {
+        let prof = Profiler::new();
+        for e in sample_events() {
+            prof.on_event(&e);
+        }
+        let p = prof.latest().expect("profile");
+        assert_eq!(p.phase_micros("compile"), Some(50));
+        assert_eq!(p.eval_micros(), Some(120));
+        // Two eval_batch spans merged into one.
+        let eb = p
+            .spans
+            .iter()
+            .find(|s| s.name == "eval_batch")
+            .expect("merged span");
+        assert_eq!((eb.micros, eb.count, eb.items), (100, 2, 8));
+        assert_eq!(p.levels, vec![4, 3]);
+        assert_eq!(p.gate_evals(), 7 * 12);
+        let rate = p.pairs_per_sec().expect("rate");
+        assert!((rate - 8.0 * 1e6 / 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_nests_spans_under_phases() {
+        let prof = Profiler::new();
+        for e in sample_events() {
+            prof.on_event(&e);
+        }
+        let text = prof.latest().expect("profile").render();
+        let compile_at = text.find("  compile: 50 us").expect("compile line");
+        let levelize_at = text.find("    levelize: 30 us").expect("nested levelize");
+        let golden_at = text.find("  golden: 5 us").expect("golden line");
+        assert!(
+            compile_at < levelize_at && levelize_at < golden_at,
+            "{text}"
+        );
+        assert!(text.contains("gates/level: 4, 3"), "{text}");
+    }
+
+    #[test]
+    fn json_form_is_valid() {
+        let prof = Profiler::new();
+        for e in sample_events() {
+            prof.on_event(&e);
+        }
+        let json = prof.latest().expect("profile").to_json();
+        assert_eq!(validate_jsonl(&json), Ok(1));
+        let v = parse(&json).expect("parses");
+        assert_eq!(
+            v.get("phases")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(4)
+        );
+        assert_eq!(v.get("gate_evals").and_then(JsonValue::as_f64), Some(84.0));
+    }
+
+    #[test]
+    fn profiles_archive_per_campaign() {
+        let prof = Profiler::new();
+        for _ in 0..2 {
+            for e in sample_events() {
+                prof.on_event(&e);
+            }
+        }
+        assert_eq!(prof.profiles().len(), 2);
+    }
+
+    #[test]
+    fn rate_formats_compactly() {
+        assert_eq!(fmt_rate(950.0), "950");
+        assert_eq!(fmt_rate(3200.0), "3.2k");
+        assert_eq!(fmt_rate(1_800_000.0), "1.8M");
+    }
+}

@@ -20,7 +20,16 @@ pub struct ProgressMeter {
 struct MeterState {
     started: Instant,
     last_tick: Option<Instant>,
+    /// Fault count and instant of the previous tick, for the rate estimate.
+    last_progress: Option<(usize, Instant)>,
+    /// Exponentially-weighted moving average of fault throughput (faults/s).
+    ewma_rate: Option<f64>,
 }
+
+/// EWMA smoothing factor for the throughput estimate: high enough to adapt
+/// to phase changes (dropping kicks in, a big fault finishes), low enough
+/// that the ETA does not jitter tick-to-tick.
+const EWMA_ALPHA: f64 = 0.3;
 
 impl Default for ProgressMeter {
     fn default() -> Self {
@@ -42,6 +51,8 @@ impl ProgressMeter {
             state: Mutex::new(MeterState {
                 started: Instant::now(),
                 last_tick: None,
+                last_progress: None,
+                ewma_rate: None,
             }),
             min_interval,
         }
@@ -50,6 +61,18 @@ impl ProgressMeter {
     fn line(&self, text: &str) {
         // Best-effort: a dead stderr must not kill the campaign.
         let _ = writeln!(std::io::stderr(), "{text}");
+    }
+}
+
+/// Formats a remaining-time estimate compactly: `42s`, `3m10s`, `2h05m`.
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
     }
 }
 
@@ -65,6 +88,8 @@ impl CampaignObserver for ProgressMeter {
                 let mut state = self.state.lock().expect("meter lock");
                 state.started = Instant::now();
                 state.last_tick = None;
+                state.last_progress = None;
+                state.ewma_rate = None;
                 drop(state);
                 self.line(&format!(
                     "[{campaign}] campaign start: {faults} faults, {threads} thread(s)"
@@ -76,6 +101,22 @@ impl CampaignObserver for ProgressMeter {
             CampaignEvent::Progress { done, total } => {
                 let mut state = self.state.lock().expect("meter lock");
                 let now = Instant::now();
+                // Update the throughput EWMA on every tick, even throttled
+                // ones, so the estimate tracks the real completion rate. The
+                // first tick has no previous sample and zero-duration deltas
+                // carry no rate information — both leave the EWMA untouched
+                // (the division-by-zero guard).
+                if let Some((prev_done, prev_at)) = state.last_progress {
+                    let dt = now.duration_since(prev_at).as_secs_f64();
+                    if dt > 0.0 && done >= prev_done {
+                        let inst = (done - prev_done) as f64 / dt;
+                        state.ewma_rate = Some(match state.ewma_rate {
+                            Some(prev) => EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * prev,
+                            None => inst,
+                        });
+                    }
+                }
+                state.last_progress = Some((done, now));
                 let due = state
                     .last_tick
                     .map_or(true, |t| now.duration_since(t) >= self.min_interval);
@@ -84,14 +125,22 @@ impl CampaignObserver for ProgressMeter {
                 }
                 state.last_tick = Some(now);
                 let elapsed = now.duration_since(state.started);
+                let rate = state.ewma_rate;
                 drop(state);
                 let pct = if total == 0 {
                     100.0
                 } else {
                     100.0 * done as f64 / total as f64
                 };
+                let eta = match rate {
+                    Some(r) if r > 0.0 && done < total => {
+                        let secs = (total - done) as f64 / r;
+                        format!(", eta {}", fmt_eta(secs))
+                    }
+                    _ => String::new(),
+                };
                 self.line(&format!(
-                    "progress: {done}/{total} faults ({pct:.1}%) in {elapsed:.1?}"
+                    "progress: {done}/{total} faults ({pct:.1}%) in {elapsed:.1?}{eta}"
                 ));
             }
             CampaignEvent::Cancelled { completed } => {
@@ -145,5 +194,43 @@ mod tests {
         let meter = ProgressMeter::new();
         meter.on_event(&CampaignEvent::Cancelled { completed: 3 });
         assert!(meter.state.lock().expect("lock").last_tick.is_none());
+    }
+
+    #[test]
+    fn first_tick_has_no_rate_estimate() {
+        // The division-by-zero guard: one tick gives no throughput sample,
+        // so the EWMA stays empty and the line prints without an ETA.
+        let meter = ProgressMeter::with_interval(Duration::from_millis(0));
+        meter.on_event(&CampaignEvent::Progress { done: 1, total: 10 });
+        assert!(meter.state.lock().expect("lock").ewma_rate.is_none());
+    }
+
+    #[test]
+    fn ewma_rate_converges_on_later_ticks() {
+        let meter = ProgressMeter::with_interval(Duration::from_millis(0));
+        meter.on_event(&CampaignEvent::Progress {
+            done: 1,
+            total: 100,
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        meter.on_event(&CampaignEvent::Progress {
+            done: 5,
+            total: 100,
+        });
+        let rate = meter.state.lock().expect("lock").ewma_rate;
+        assert!(rate.is_some_and(|r| r > 0.0), "rate learned: {rate:?}");
+        std::thread::sleep(Duration::from_millis(5));
+        meter.on_event(&CampaignEvent::Progress {
+            done: 20,
+            total: 100,
+        });
+        assert!(meter.state.lock().expect("lock").ewma_rate.is_some());
+    }
+
+    #[test]
+    fn eta_formats_all_magnitudes() {
+        assert_eq!(fmt_eta(42.4), "42s");
+        assert_eq!(fmt_eta(190.0), "3m10s");
+        assert_eq!(fmt_eta(2.0 * 3600.0 + 5.0 * 60.0), "2h05m");
     }
 }

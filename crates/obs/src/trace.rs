@@ -12,7 +12,9 @@ use std::sync::Mutex;
 /// The writer is locked per event, so a single trace can be shared by the
 /// engine's worker threads; event order within the file matches observer
 /// call order. I/O errors are latched (first error wins) and reported by
-/// [`JsonlTrace::take_error`] rather than panicking mid-campaign.
+/// [`JsonlTrace::take_error`] rather than panicking mid-campaign. Dropping a
+/// trace flushes it, so buffered lines survive early returns and panics in
+/// the surrounding campaign code.
 #[derive(Debug)]
 pub struct JsonlTrace<W: Write + Send> {
     inner: Mutex<TraceState<W>>,
@@ -20,7 +22,8 @@ pub struct JsonlTrace<W: Write + Send> {
 
 #[derive(Debug)]
 struct TraceState<W> {
-    writer: W,
+    /// `None` only after [`JsonlTrace::into_inner`] reclaimed the writer.
+    writer: Option<W>,
     lines: u64,
     error: Option<io::Error>,
 }
@@ -42,7 +45,7 @@ impl<W: Write + Send> JsonlTrace<W> {
     pub fn new(writer: W) -> Self {
         JsonlTrace {
             inner: Mutex::new(TraceState {
-                writer,
+                writer: Some(writer),
                 lines: 0,
                 error: None,
             }),
@@ -75,9 +78,11 @@ impl<W: Write + Send> JsonlTrace<W> {
     /// Panics if the trace lock was poisoned.
     #[must_use]
     pub fn into_inner(self) -> W {
-        let mut state = self.inner.into_inner().expect("trace lock");
-        let _ = state.writer.flush();
-        state.writer
+        let mut state = self.inner.lock().expect("trace lock");
+        let mut writer = state.writer.take().expect("writer present");
+        drop(state);
+        let _ = writer.flush();
+        writer
     }
 
     /// Flushes the underlying writer, reporting any latched or new error.
@@ -95,7 +100,10 @@ impl<W: Write + Send> JsonlTrace<W> {
         if let Some(e) = state.error.take() {
             return Err(e);
         }
-        state.writer.flush()
+        match state.writer.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
     }
 }
 
@@ -105,14 +113,29 @@ impl<W: Write + Send> CampaignObserver for JsonlTrace<W> {
         if state.error.is_some() {
             return;
         }
+        let Some(writer) = state.writer.as_mut() else {
+            return;
+        };
         let line = event.to_json();
-        match state
-            .writer
+        match writer
             .write_all(line.as_bytes())
-            .and_then(|()| state.writer.write_all(b"\n"))
+            .and_then(|()| writer.write_all(b"\n"))
         {
             Ok(()) => state.lines += 1,
             Err(e) => state.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlTrace<W> {
+    fn drop(&mut self) {
+        // Best-effort: buffered lines must reach the file even when the
+        // trace is dropped without an explicit flush (early return, panic
+        // unwind, or simply going out of scope at the end of a run).
+        if let Ok(state) = self.inner.get_mut() {
+            if let Some(w) = state.writer.as_mut() {
+                let _ = w.flush();
+            }
         }
     }
 }
@@ -122,6 +145,7 @@ mod tests {
     use super::*;
     use crate::json::validate_jsonl;
     use crate::Phase;
+    use std::sync::{Arc, Mutex as StdMutex};
 
     #[test]
     fn writes_one_valid_line_per_event() {
@@ -154,5 +178,67 @@ mod tests {
         assert_eq!(trace.lines(), 0);
         assert!(trace.take_error().is_some());
         assert!(trace.take_error().is_none(), "first error wins, then clear");
+    }
+
+    /// A writer that buffers internally and only publishes on flush — the
+    /// stand-in for a `BufWriter<File>` whose bytes are invisible until
+    /// flushed.
+    struct FlushGated {
+        pending: Vec<u8>,
+        published: Arc<StdMutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushGated {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.published
+                .lock()
+                .expect("published lock")
+                .extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let published = Arc::new(StdMutex::new(Vec::new()));
+        {
+            let trace = JsonlTrace::new(FlushGated {
+                pending: Vec::new(),
+                published: Arc::clone(&published),
+            });
+            trace.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+            assert!(
+                published.lock().expect("lock").is_empty(),
+                "nothing published before drop"
+            );
+        }
+        let text = String::from_utf8(published.lock().expect("lock").clone()).expect("utf8");
+        assert_eq!(validate_jsonl(&text), Ok(1), "drop flushed the line");
+    }
+
+    #[test]
+    fn pathological_gate_names_stay_one_line() {
+        // C0, DEL, C1 and U+2028 in a label must not break the one-event-
+        // one-line invariant of the stream.
+        let trace = JsonlTrace::new(Vec::new());
+        trace.on_event(&CampaignEvent::CampaignStart {
+            campaign: "pair",
+            faults: 1,
+            inputs: 1,
+            outputs: 1,
+            threads: 1,
+        });
+        let evil = "nand\u{1}\u{7f}\u{9b}\u{2028}out";
+        let mut o = crate::json::JsonObject::new();
+        o.str("gate", evil);
+        let line = o.finish();
+        assert_eq!(line.lines().count(), 1);
+        let text = String::from_utf8(trace.into_inner()).expect("utf8");
+        assert_eq!(validate_jsonl(&text), Ok(1));
     }
 }

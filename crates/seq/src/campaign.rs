@@ -17,7 +17,9 @@
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
 use scal_engine::{par_map_cancellable, CompiledCircuit, CompiledSim, EngineError};
 use scal_faults::Fault;
-use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, NullObserver, Phase};
+use scal_obs::{
+    CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, Phase,
+};
 use std::time::{Duration, Instant};
 
 /// Outcome of one fault under a driven sequence.
@@ -139,6 +141,7 @@ pub struct Campaign<'a> {
     words: &'a [Vec<bool>],
     threads: usize,
     observer: Option<&'a dyn CampaignObserver>,
+    coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
     backend: Backend,
 }
@@ -150,6 +153,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("words", &self.words.len())
             .field("threads", &self.threads)
             .field("observer", &self.observer.is_some())
+            .field("coverage", &self.coverage.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("backend", &self.backend)
             .finish_non_exhaustive()
@@ -167,6 +171,7 @@ impl<'a> Campaign<'a> {
             words,
             threads: 0,
             observer: None,
+            coverage: None,
             cancel: None,
             backend: Backend::Engine,
         }
@@ -184,6 +189,17 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn observer(mut self, observer: &'a dyn CampaignObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Builds a per-fault [`scal_obs::CoverageMap`] into `coverage`, labelled
+    /// with [`Fault::describe`] line names, alongside any plain
+    /// [`Campaign::observer`]. Read `coverage.latest()` after the run; a
+    /// record's `first_detected` is the first detecting *word* index of the
+    /// driven sequence.
+    #[must_use]
+    pub fn coverage(mut self, coverage: &'a CoverageObserver) -> Self {
+        self.coverage = Some(coverage);
         self
     }
 
@@ -215,10 +231,25 @@ impl<'a> Campaign<'a> {
     ///
     /// Panics if a word's width mismatches the machine's external inputs.
     pub fn run(self) -> Result<SeqCampaign, EngineError> {
-        let observer: &dyn CampaignObserver = self.observer.unwrap_or(&NullObserver);
-        let obs = observer.enabled();
         let total_t = Instant::now();
         let faults = self.machine.checkable_faults();
+        // Fan out to the plain observer and/or the coverage map; an empty
+        // fan-out reports enabled() == false, preserving the fast path.
+        let mut fan = MultiObserver::new();
+        if let Some(o) = self.observer {
+            fan.push(o);
+        }
+        if let Some(cov) = self.coverage {
+            cov.set_labels(
+                faults
+                    .iter()
+                    .map(|f| f.describe(&self.machine.circuit))
+                    .collect(),
+            );
+            fan.push(cov);
+        }
+        let observer: &dyn CampaignObserver = &fan;
+        let obs = observer.enabled();
         if obs {
             observer.on_event(&CampaignEvent::CampaignStart {
                 campaign: match self.backend {
@@ -367,6 +398,10 @@ impl<'a> Campaign<'a> {
                     violations: usize::from(matches!(outcome, SeqOutcome::Violation { .. })),
                     observable: !matches!(outcome, SeqOutcome::Dormant),
                     dropped: false,
+                    first_detected: match outcome {
+                        SeqOutcome::Detected { word } => u32::try_from(word).ok(),
+                        _ => None,
+                    },
                     pairs,
                 });
             }
@@ -515,6 +550,37 @@ mod tests {
         let long = Campaign::new(&machine, &long_words).run().unwrap();
         assert!(long.tally().1 >= short.tally().1);
         assert!(long.tally().0 <= short.tally().0);
+    }
+
+    #[test]
+    fn coverage_maps_record_first_detecting_word() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0]);
+        let machine = dual_ff_machine(&m);
+        let cov = scal_obs::CoverageObserver::new();
+        let campaign = Campaign::new(&machine, &words)
+            .coverage(&cov)
+            .run()
+            .unwrap();
+        let map = cov.latest().expect("coverage map");
+        assert_eq!(map.records.len(), campaign.outcomes.len());
+        for (record, (fault, outcome)) in map.records.iter().zip(&campaign.outcomes) {
+            assert_eq!(record.label, fault.describe(&machine.circuit));
+            match outcome {
+                SeqOutcome::Detected { word } => {
+                    assert_eq!(record.first_detected, u32::try_from(*word).ok());
+                }
+                _ => assert_eq!(record.first_detected, None),
+            }
+        }
+        // The scalar oracle yields the identical records.
+        let cov2 = scal_obs::CoverageObserver::new();
+        let _ = Campaign::new(&machine, &words)
+            .scalar()
+            .coverage(&cov2)
+            .run()
+            .unwrap();
+        assert_eq!(cov2.latest().expect("scalar map").records, map.records);
     }
 
     #[test]

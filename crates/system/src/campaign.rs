@@ -13,7 +13,10 @@
 use crate::cpu::{Cpu, CpuMode, Program};
 use crate::programs::{checksum, popcount, ARG0, RESULT};
 use scal_faults::{enumerate_faults, Fault};
-use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, NullObserver, Phase};
+use scal_obs::{
+    CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, NullObserver,
+    Phase,
+};
 use std::time::Instant;
 
 /// Which gate-level datapath unit the campaign injects faults into.
@@ -108,6 +111,7 @@ pub struct Campaign<'a> {
     workloads: Vec<Workload>,
     budget: u64,
     observer: &'a dyn CampaignObserver,
+    coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
 }
 
@@ -132,6 +136,7 @@ impl<'a> Campaign<'a> {
             workloads: default_workloads(),
             budget: 1_000_000,
             observer: &NullObserver,
+            coverage: None,
             cancel: None,
         }
     }
@@ -157,6 +162,15 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Builds a per-fault [`scal_obs::CoverageMap`] into `coverage`, labelled
+    /// with [`Fault::describe`] line names. A record's `first_detected` is
+    /// the index of the first workload whose run tripped a check.
+    #[must_use]
+    pub fn coverage(mut self, coverage: &'a CoverageObserver) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
     /// Attaches a cancellation token checked at fault boundaries.
     #[must_use]
     pub fn cancel(mut self, cancel: &'a CancelToken) -> Self {
@@ -172,7 +186,6 @@ impl<'a> Campaign<'a> {
     /// that is a broken workload, not a campaign outcome.
     #[must_use]
     pub fn run(self) -> CpuCampaign {
-        let obs = self.observer;
         let unit_circuit = {
             let cpu = Cpu::new(CpuMode::Normal);
             match self.unit {
@@ -181,6 +194,13 @@ impl<'a> Campaign<'a> {
             }
         };
         let faults = enumerate_faults(&unit_circuit);
+        let mut fan = MultiObserver::new();
+        fan.push(self.observer);
+        if let Some(cov) = self.coverage {
+            cov.set_labels(faults.iter().map(|f| f.describe(&unit_circuit)).collect());
+            fan.push(cov);
+        }
+        let obs: &dyn CampaignObserver = &fan;
         let t_total = Instant::now();
         obs.on_event(&CampaignEvent::CampaignStart {
             campaign: match self.unit {
@@ -240,7 +260,8 @@ impl<'a> Campaign<'a> {
                 dormant: 0,
                 undetected_wrong: 0,
             };
-            for w in &self.workloads {
+            let mut first_detected = None;
+            for (widx, w) in self.workloads.iter().enumerate() {
                 let mut cpu = Cpu::new(CpuMode::Alternating);
                 for &(a, v) in &w.setup {
                     cpu.memory.write(a, v);
@@ -250,7 +271,12 @@ impl<'a> Campaign<'a> {
                     CpuUnit::Logic => cpu.datapath.fault_logic(fault.to_override()),
                 }
                 match cpu.run(&w.program, self.budget) {
-                    Err(_) => r.detected += 1,
+                    Err(_) => {
+                        r.detected += 1;
+                        if first_detected.is_none() {
+                            first_detected = u32::try_from(widx).ok();
+                        }
+                    }
                     Ok(_) => {
                         if cpu.memory.read(RESULT) == Ok(w.expect) {
                             r.dormant += 1;
@@ -268,6 +294,7 @@ impl<'a> Campaign<'a> {
                 violations: r.undetected_wrong,
                 observable: r.detected + r.undetected_wrong > 0,
                 dropped: false,
+                first_detected,
                 pairs: periods / 2,
             });
             results.push(r);
@@ -345,6 +372,24 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn coverage_maps_record_first_detecting_workload() {
+        let cov = scal_obs::CoverageObserver::new();
+        let report = Campaign::new(CpuUnit::Logic).coverage(&cov).run();
+        let map = cov.latest().expect("coverage map");
+        assert_eq!(map.records.len(), report.results.len());
+        for (rec, res) in map.records.iter().zip(&report.results) {
+            assert!(!rec.label.is_empty());
+            assert_eq!(rec.detected > 0, res.detected > 0);
+            if res.detected > 0 {
+                let first = rec.first_detected.expect("first detecting workload");
+                assert!((first as usize) < default_workloads().len());
+            } else {
+                assert_eq!(rec.first_detected, None);
+            }
+        }
     }
 
     #[test]

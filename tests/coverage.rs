@@ -1,0 +1,168 @@
+//! Coverage-map integration: the fig 3.4 per-fault map is golden-file
+//! stable (every fault classified detected/undetected with its first
+//! detecting pair), maps are bit-identical across backends and thread
+//! counts, and a cancelled campaign yields the exact prefix map with
+//! `dropped_at` populated under fault dropping.
+
+use scal::core::paper;
+use scal::faults::{enumerate_faults, Campaign};
+use scal::obs::json::validate_jsonl;
+use scal::obs::{CampaignEvent, CampaignObserver, CancelToken, CoverageMap, CoverageObserver};
+
+fn fig3_4_map(scalar: bool, threads: usize) -> CoverageMap {
+    let fig = paper::fig3_4();
+    let cov = CoverageObserver::new();
+    let mut campaign = Campaign::new(&fig.circuit).threads(threads).coverage(&cov);
+    if scalar {
+        campaign = campaign.scalar();
+    }
+    campaign.run().expect("fig 3.4 network is alternating");
+    cov.latest().expect("finished map")
+}
+
+/// The fig 3.4 coverage map is pinned as a golden file: per-fault verdicts,
+/// first detecting pair indices, violation counts and labels.
+///
+/// Regenerate after intentional schema changes with
+/// `UPDATE_GOLDEN=1 cargo test --test coverage`.
+#[test]
+fn fig3_4_coverage_map_matches_golden_file() {
+    let map = fig3_4_map(false, 1);
+    // Every fault is classified, and detected faults carry their first
+    // detecting pair.
+    assert_eq!(map.records.len(), map.total_faults);
+    for r in &map.records {
+        assert!(!r.label.is_empty(), "fault #{} has no label", r.fault);
+        assert_eq!(r.is_detected(), r.first_detected.is_some());
+    }
+    // Fig. 3.4's undetected faults are exactly the paper's problem sites:
+    // the fanned-out XOR stem ("line 20") and its feeders.
+    let undetected: Vec<&str> = map.undetected().map(|r| r.label.as_str()).collect();
+    assert_eq!(
+        undetected,
+        [
+            "line13 s-a-0",
+            "line14 s-a-0",
+            "line20 s-a-0",
+            "line20 s-a-1"
+        ]
+    );
+    let got = map.to_json() + "\n";
+    assert_eq!(validate_jsonl(&got), Ok(1));
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig3_4_coverage.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden/fig3_4_coverage.json");
+    assert_eq!(
+        got, want,
+        "coverage map drifted from tests/golden/fig3_4_coverage.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Coverage maps are bit-identical across the packed engine and the scalar
+/// oracle, and across thread counts (fault events are replayed in fault
+/// order at merge).
+#[test]
+fn coverage_maps_identical_across_backends_and_threads() {
+    let engine1 = fig3_4_map(false, 1);
+    let engine4 = fig3_4_map(false, 4);
+    let scalar = fig3_4_map(true, 1);
+    assert_eq!(engine1.records, engine4.records, "1 vs 4 threads");
+    assert_eq!(engine1.records, scalar.records, "engine vs scalar oracle");
+    // The adder exercises wider sweeps and multiple detecting pairs.
+    let adder = paper::ripple_adder(4);
+    let mut maps = Vec::new();
+    for threads in [1, 4] {
+        let cov = CoverageObserver::new();
+        Campaign::new(&adder)
+            .threads(threads)
+            .coverage(&cov)
+            .run()
+            .expect("adder campaign");
+        maps.push(cov.latest().expect("map").records);
+    }
+    let cov = CoverageObserver::new();
+    Campaign::new(&adder)
+        .scalar()
+        .coverage(&cov)
+        .run()
+        .expect("scalar adder campaign");
+    maps.push(cov.latest().expect("map").records);
+    assert_eq!(maps[0], maps[1], "adder 1 vs 4 threads");
+    assert_eq!(maps[0], maps[2], "adder engine vs scalar");
+}
+
+struct CancelAfter<'a> {
+    token: &'a CancelToken,
+    after: usize,
+}
+
+impl CampaignObserver for CancelAfter<'_> {
+    fn on_event(&self, event: &CampaignEvent) {
+        if let CampaignEvent::Progress { done, .. } = event {
+            if *done >= self.after {
+                self.token.cancel();
+            }
+        }
+    }
+}
+
+/// Cancelling mid-campaign yields a valid prefix coverage map — records are
+/// bit-identical to the same prefix of the uncancelled run, and fault
+/// dropping populates `dropped_at` in both.
+#[test]
+fn cancelled_campaign_yields_prefix_coverage_map() {
+    let c = paper::ripple_adder(4);
+    let faults = enumerate_faults(&c);
+    let full_cov = CoverageObserver::new();
+    Campaign::new(&c)
+        .faults(faults.clone())
+        .drop_after_detection(true)
+        .coverage(&full_cov)
+        .run()
+        .expect("full campaign");
+    let full = full_cov.latest().expect("full map");
+    assert!(!full.cancelled);
+    // Fault dropping cut sweeps short, recording where each one stopped.
+    assert!(
+        full.records
+            .iter()
+            .any(|r| r.dropped && r.dropped_at.is_some()),
+        "dropping must populate dropped_at"
+    );
+
+    let token = CancelToken::new();
+    let observer = CancelAfter {
+        token: &token,
+        after: 5,
+    };
+    let partial_cov = CoverageObserver::new();
+    Campaign::new(&c)
+        .faults(faults)
+        .drop_after_detection(true)
+        .observer(&observer)
+        .coverage(&partial_cov)
+        .cancel(&token)
+        .run()
+        .expect("cancelled campaign");
+    let partial = partial_cov.latest().expect("prefix map");
+    assert!(partial.cancelled, "token must cancel the run");
+    let k = partial.records.len();
+    assert!(
+        k < full.records.len(),
+        "cancellation must stop before the end ({k} of {})",
+        full.records.len()
+    );
+    assert_eq!(
+        partial.records[..],
+        full.records[..k],
+        "prefix map must be bit-identical to the uncancelled prefix"
+    );
+    assert_eq!(partial.total_faults, full.total_faults);
+}
