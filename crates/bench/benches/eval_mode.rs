@@ -1,0 +1,58 @@
+//! Full-schedule vs cone-restricted faulty-sweep evaluation (this PR's
+//! tentpole): the same exhaustive pair campaigns, differing only in
+//! `EvalMode`. The gap is the cost of re-evaluating ops outside each
+//! fault's fanout cone plus the per-batch full-output classification the
+//! cone path avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_core::paper::{fig3_4, ripple_adder};
+use scal_engine::EvalMode;
+use scal_faults::Campaign;
+use scal_netlist::Circuit;
+
+fn run(circuit: &Circuit, mode: EvalMode) -> usize {
+    Campaign::new(circuit)
+        .threads(1)
+        .eval_mode(mode)
+        .run()
+        .unwrap()
+        .results
+        .len()
+}
+
+/// The full-fault adder8 campaign (2^16 canonical pairs per fault) — the
+/// BENCH headline measurement, so threads are pinned to 1 for stable
+/// numbers.
+fn bench_adder8(c: &mut Criterion) {
+    let adder = ripple_adder(8);
+    let mut group = c.benchmark_group("eval_mode_adder8");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("full", |b| b.iter(|| run(&adder, EvalMode::Full)));
+    group.bench_function("cone", |b| b.iter(|| run(&adder, EvalMode::Cone)));
+    group.finish();
+}
+
+/// The paper's Fig. 3.4 network — small and shallow, so this bounds the
+/// cone path's bookkeeping overhead where cones cover most of the circuit.
+fn bench_fig3_4(c: &mut Criterion) {
+    let fig = fig3_4();
+    let mut group = c.benchmark_group("eval_mode_fig3_4");
+    group.bench_function("full", |b| b.iter(|| run(&fig.circuit, EvalMode::Full)));
+    group.bench_function("cone", |b| b.iter(|| run(&fig.circuit, EvalMode::Cone)));
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_adder8, bench_fig3_4
+}
+criterion_main!(benches);

@@ -14,17 +14,19 @@
 //! threshold (warning-grade; default 20%).
 
 use scal_bench::report::{compare, run_suite, Snapshot, DEFAULT_MAX_PERF_DROP};
+use scal_engine::EvalMode;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
         "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
-         [--threads N] [--quiet]"
+         [--threads N] [--eval-mode full|cone] [--quiet]"
     );
     eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
     eprintln!("  --baseline FILE      committed snapshot to diff against");
     eprintln!("  --max-perf-drop PCT  tolerated throughput drop, percent (default 20)");
     eprintln!("  --threads N          engine worker threads (default 0 = auto)");
+    eprintln!("  --eval-mode MODE     engine faulty-sweep strategy (default cone)");
     eprintln!("  --quiet              suppress the human-readable summary");
 }
 
@@ -33,6 +35,7 @@ struct Options {
     baseline: Option<String>,
     max_perf_drop: f64,
     threads: usize,
+    eval_mode: EvalMode,
     quiet: bool,
 }
 
@@ -42,6 +45,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         baseline: None,
         max_perf_drop: DEFAULT_MAX_PERF_DROP,
         threads: 0,
+        eval_mode: EvalMode::default(),
         quiet: false,
     };
     let mut iter = args.into_iter();
@@ -66,6 +70,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad --threads value {raw:?}"))?;
             }
+            "--eval-mode" => {
+                let raw = value("--eval-mode")?;
+                opts.eval_mode = raw
+                    .parse()
+                    .map_err(|_| format!("bad --eval-mode value {raw:?} (want full|cone)"))?;
+            }
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -74,7 +84,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 }
 
 fn report(opts: &Options) -> Result<ExitCode, String> {
-    let snap: Snapshot = run_suite(opts.threads);
+    let snap: Snapshot = run_suite(opts.threads, opts.eval_mode);
     if !opts.quiet {
         print!("{}", snap.render());
     }

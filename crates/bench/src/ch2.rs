@@ -26,6 +26,7 @@ pub fn fig2_2(ctx: &crate::ExperimentCtx) -> String {
         tts[1].is_self_dual()
     );
     let report = Campaign::new(&adder)
+        .eval_mode(ctx.eval_mode())
         .observer(ctx)
         .run()
         .expect("adder verifies");

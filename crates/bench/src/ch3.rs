@@ -206,6 +206,7 @@ pub fn fig3_6(ctx: &crate::ExperimentCtx) -> String {
     // (not just the labelled lines) through the unified Campaign builder,
     // forwarding the observability context.
     let campaign = scal_faults::Campaign::new(c)
+        .eval_mode(ctx.eval_mode())
         .observer(ctx)
         .run()
         .expect("fig 3.4 network is alternating");

@@ -98,6 +98,7 @@ pub fn fig6_2(ctx: &crate::ExperimentCtx) -> String {
     nand_chain.mark_output("f", g3);
     let alt = convert_to_alternating(&nand_chain).expect("NAND network converts");
     let results = Campaign::new(&alt)
+        .eval_mode(ctx.eval_mode())
         .observer(ctx)
         .run()
         .expect("alternating realization")

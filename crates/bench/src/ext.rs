@@ -162,12 +162,17 @@ pub fn ext_adr_retry(_ctx: &crate::ExperimentCtx) -> String {
 }
 
 /// Compiled-engine fault-campaign throughput ([`scal_engine::EngineStats`])
-/// on the paper's networks, exact mode vs early fault dropping.
+/// on the paper's networks, exact mode vs early fault dropping, under the
+/// context's `--eval-mode` (cone-restricted by default).
 #[must_use]
 pub fn ext_engine(ctx: &crate::ExperimentCtx) -> String {
     use scal_faults::{enumerate_faults, Campaign};
     let mut s = String::new();
-    let _ = writeln!(s, "== extension: compiled fault-campaign engine ==");
+    let _ = writeln!(
+        s,
+        "== extension: compiled fault-campaign engine [{} eval] ==",
+        ctx.eval_mode()
+    );
     let circuits = [
         ("fig 3.7 network", paper::fig3_7().circuit),
         ("4-bit ripple adder", paper::ripple_adder(4)),
@@ -179,6 +184,7 @@ pub fn ext_engine(ctx: &crate::ExperimentCtx) -> String {
             let report = Campaign::new(&c)
                 .faults(faults.clone())
                 .drop_after_detection(drop)
+                .eval_mode(ctx.eval_mode())
                 .observer(ctx)
                 .run()
                 .expect("paper networks are engine-compatible");

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use scal_engine::EvalMode;
 use scal_obs::{CampaignEvent, CampaignObserver, CoverageObserver, JsonlTrace, Metrics, Profiler};
 use std::fs::File;
 use std::io::{self, BufWriter};
@@ -45,6 +46,7 @@ pub struct ExperimentCtx {
     metrics: Option<Metrics>,
     coverage: Option<(PathBuf, CoverageObserver)>,
     profiler: Option<Profiler>,
+    eval_mode: EvalMode,
 }
 
 impl ExperimentCtx {
@@ -81,6 +83,18 @@ impl ExperimentCtx {
     /// Attaches a phase profiler.
     pub fn enable_profile(&mut self) {
         self.profiler = Some(Profiler::new());
+    }
+
+    /// Selects the engine faulty-sweep strategy (`--eval-mode`) experiments
+    /// forward to their campaigns.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.eval_mode = mode;
+    }
+
+    /// The engine faulty-sweep strategy experiments should run with.
+    #[must_use]
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
     }
 
     /// The metrics registry, when `--metrics` is on.

@@ -16,6 +16,7 @@
 //! best-effort `git rev-parse`.
 
 use scal_core::paper;
+use scal_engine::EvalMode;
 use scal_obs::json::{escape, JsonObject, JsonValue};
 use scal_obs::{CoverageMap, CoverageObserver, Profile, Profiler};
 use scal_seq::kohavi::kohavi_0101;
@@ -107,6 +108,21 @@ impl CircuitBench {
     }
 }
 
+/// Full-vs-cone throughput measurement on the adder8 full-fault campaign —
+/// the headline number of the cone-restricted evaluation path.
+#[derive(Debug, Clone)]
+pub struct ConeSpeedup {
+    /// Eval-phase pair throughput in [`EvalMode::Full`].
+    pub full_pairs_per_sec: f64,
+    /// Eval-phase pair throughput in [`EvalMode::Cone`].
+    pub cone_pairs_per_sec: f64,
+    /// `cone_pairs_per_sec / full_pairs_per_sec`.
+    pub speedup: f64,
+    /// Fraction of full-schedule op evaluations the cone path skipped —
+    /// the profiler's attribution of where the speedup comes from.
+    pub ops_skipped_fraction: f64,
+}
+
 /// A full BENCH snapshot: the suite results plus provenance.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -116,8 +132,12 @@ pub struct Snapshot {
     pub git_rev: String,
     /// Engine worker-thread setting the suite ran with (`0` = auto).
     pub threads: usize,
+    /// Faulty-sweep evaluation strategy the engine entries ran with.
+    pub eval_mode: String,
     /// Per-circuit results, in suite order.
     pub circuits: Vec<CircuitBench>,
+    /// Measured full-vs-cone throughput on the adder8 full-fault campaign.
+    pub adder8_speedup: Option<ConeSpeedup>,
 }
 
 impl Snapshot {
@@ -130,6 +150,7 @@ impl Snapshot {
         o.str("date", &self.date);
         o.str("git_rev", &self.git_rev);
         o.num("threads", self.threads as u64);
+        o.str("eval_mode", &self.eval_mode);
         let mut circuits = String::from("[");
         for (i, c) in self.circuits.iter().enumerate() {
             if i > 0 {
@@ -160,6 +181,14 @@ impl Snapshot {
         }
         circuits.push(']');
         o.raw("circuits", &circuits);
+        if let Some(s) = &self.adder8_speedup {
+            let mut so = JsonObject::new();
+            so.float("full_pairs_per_sec", s.full_pairs_per_sec);
+            so.float("cone_pairs_per_sec", s.cone_pairs_per_sec);
+            so.float("speedup", s.speedup);
+            so.float("ops_skipped_fraction", s.ops_skipped_fraction);
+            o.raw("adder8_speedup", &so.finish());
+        }
         o.finish()
     }
 
@@ -170,8 +199,8 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "BENCH snapshot {} @ {} (threads {})",
-            self.date, self.git_rev, self.threads
+            "BENCH snapshot {} @ {} (threads {}, {} eval)",
+            self.date, self.git_rev, self.threads, self.eval_mode
         );
         for c in &self.circuits {
             let rate = match c.pairs_per_sec {
@@ -192,6 +221,17 @@ impl Snapshot {
                 let _ = writeln!(out, "      undetected: {label}");
             }
         }
+        if let Some(s) = &self.adder8_speedup {
+            let _ = writeln!(
+                out,
+                "  adder8 full-fault eval: {:.0} pairs/s full -> {:.0} pairs/s cone \
+                 ({:.1}x, {:.1}% of full-schedule op evals skipped)",
+                s.full_pairs_per_sec,
+                s.cone_pairs_per_sec,
+                s.speedup,
+                100.0 * s.ops_skipped_fraction
+            );
+        }
         out
     }
 }
@@ -208,17 +248,51 @@ pub struct Regression {
     pub detail: String,
 }
 
+/// Measures eval-phase throughput of the adder8 full-fault campaign (no
+/// dropping) in both eval modes, plus the cone run's skipped-op fraction.
+fn measure_adder8_speedup(threads: usize) -> Option<ConeSpeedup> {
+    let circuit = paper::ripple_adder(8);
+    let mut rates = [0.0f64; 2];
+    let mut skipped = 0.0f64;
+    for (i, mode) in [EvalMode::Full, EvalMode::Cone].into_iter().enumerate() {
+        let prof = Profiler::new();
+        let rate = aggregate_rate(&prof, || {
+            let _ = scal_faults::Campaign::new(&circuit)
+                .threads(threads)
+                .eval_mode(mode)
+                .observer(&prof)
+                .run()
+                .expect("adder8 is engine-compatible");
+        })?;
+        rates[i] = rate;
+        if mode == EvalMode::Cone {
+            skipped = prof
+                .latest()
+                .and_then(|p| p.ops_skipped_fraction())
+                .unwrap_or(0.0);
+        }
+    }
+    (rates[0] > 0.0).then(|| ConeSpeedup {
+        full_pairs_per_sec: rates[0],
+        cone_pairs_per_sec: rates[1],
+        speedup: rates[1] / rates[0],
+        ops_skipped_fraction: skipped,
+    })
+}
+
 /// Runs the standard suite and returns the stamped snapshot.
 ///
 /// `threads` is the engine worker count (`0` = auto); the scalar, sequential
-/// and CPU entries are unaffected by it.
+/// and CPU entries are unaffected by it. `eval_mode` selects the
+/// faulty-sweep strategy of the engine entries; the adder8 full-vs-cone
+/// speedup is measured in both modes regardless.
 ///
 /// # Panics
 ///
 /// Panics if a suite circuit fails to compile or simulate — the suite is
 /// fixed and known-good, so that is a build break, not a report outcome.
 #[must_use]
-pub fn run_suite(threads: usize) -> Snapshot {
+pub fn run_suite(threads: usize, eval_mode: EvalMode) -> Snapshot {
     let mut circuits = Vec::new();
 
     // Combinational pair campaigns (Ch. 3 networks + the ripple adder in
@@ -235,6 +309,7 @@ pub fn run_suite(threads: usize) -> Snapshot {
             let _ = scal_faults::Campaign::new(&circuit)
                 .threads(threads)
                 .drop_after_detection(drop)
+                .eval_mode(eval_mode)
                 .observer(&prof)
                 .coverage(&cov)
                 .run()
@@ -261,6 +336,7 @@ pub fn run_suite(threads: usize) -> Snapshot {
         let rate = aggregate_rate(&prof, || {
             scal_seq::Campaign::new(&machine, &words)
                 .threads(threads)
+                .eval_mode(eval_mode)
                 .observer(&prof)
                 .coverage(&cov)
                 .run()
@@ -289,7 +365,9 @@ pub fn run_suite(threads: usize) -> Snapshot {
         date: today_utc(),
         git_rev: git_rev(),
         threads,
+        eval_mode: eval_mode.name().to_string(),
         circuits,
+        adder8_speedup: measure_adder8_speedup(threads),
     }
 }
 
@@ -407,7 +485,7 @@ mod tests {
 
     #[test]
     fn suite_snapshot_is_complete_and_json_valid() {
-        let snap = run_suite(1);
+        let snap = run_suite(1, EvalMode::Cone);
         let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
@@ -438,6 +516,17 @@ mod tests {
         let json = snap.to_json();
         assert_eq!(validate_jsonl(&json), Ok(1));
         let v = parse(&json).expect("snapshot parses");
+        assert_eq!(v.get("eval_mode").and_then(JsonValue::as_str), Some("cone"));
+        let speedup = snap.adder8_speedup.as_ref().expect("adder8 measurement");
+        assert!(speedup.full_pairs_per_sec > 0.0);
+        assert!(speedup.ops_skipped_fraction > 0.0);
+        assert!(
+            v.get("adder8_speedup")
+                .and_then(|s| s.get("speedup"))
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "{json}"
+        );
         let circuits = v.get("circuits").and_then(JsonValue::as_array).unwrap();
         assert_eq!(circuits.len(), snap.circuits.len());
         let parsed_cov = circuits[0]
@@ -456,7 +545,7 @@ mod tests {
 
     #[test]
     fn doctored_baselines_trigger_regressions() {
-        let snap = run_suite(1);
+        let snap = run_suite(1, EvalMode::Cone);
         // A baseline claiming impossible coverage and throughput.
         let baseline = parse(
             r#"{"circuits": [

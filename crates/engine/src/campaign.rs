@@ -24,7 +24,7 @@
 //! prefix of completed reports, bit-identical to the same prefix of an
 //! uncancelled run.
 
-use crate::compile::CompiledCircuit;
+use crate::compile::{CompiledCircuit, FaultCone, CONE_SEED};
 use crate::error::EngineError;
 use crate::eval::Evaluator;
 use crate::pool::effective_threads;
@@ -36,6 +36,57 @@ use std::time::{Duration, Instant};
 /// Hard ceiling on explicitly requested worker threads — far above any
 /// sensible fan-out; requests beyond it are configuration mistakes.
 pub const MAX_THREADS: usize = 1024;
+
+/// Default budget for the golden slot cache in cone mode: 256 MiB. Beyond it
+/// the campaign falls back to streaming golden re-evaluation per batch.
+const DEFAULT_GOLDEN_CACHE_BYTES: usize = 256 << 20;
+
+/// How faulty sweeps are evaluated.
+///
+/// Both modes produce bit-identical reports, statistics (except timing),
+/// coverage maps, and fault-ordered trace prefixes; `Full` is kept as the
+/// differential oracle for the cone path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalMode {
+    /// Re-evaluate the whole levelized schedule for every fault and batch.
+    Full,
+    /// Evaluate only each fault's transitive fanout cone, seeded from cached
+    /// golden slot values, with a frontier-death early exit when the faulty
+    /// values converge back to golden mid-schedule.
+    #[default]
+    Cone,
+}
+
+impl EvalMode {
+    /// Stable lowercase name, as emitted in traces and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::Full => "full",
+            EvalMode::Cone => "cone",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = EngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(EvalMode::Full),
+            "cone" => Ok(EvalMode::Cone),
+            other => Err(EngineError::InvalidConfig {
+                reason: format!("eval mode must be \"full\" or \"cone\", got {other:?}"),
+            }),
+        }
+    }
+}
 
 /// Knobs for [`run_pair_campaign`].
 ///
@@ -54,6 +105,14 @@ pub struct EngineConfig {
     /// faults only visible later) may be truncated. The default `false`
     /// keeps exact parity with the scalar reference implementation.
     pub drop_after_detection: bool,
+    /// How faulty sweeps are evaluated; defaults to [`EvalMode::Cone`].
+    pub eval_mode: EvalMode,
+    /// Byte budget for the cone-mode golden slot cache
+    /// (`num_slots × batches × 2 × 8` bytes when it fits); `0` = the 256 MiB
+    /// default. When the cache would exceed the budget, cone workers stream
+    /// golden re-evaluations per batch instead — still bit-identical, but
+    /// slower than [`EvalMode::Full`]. Ignored in full mode.
+    pub golden_cache_bytes: usize,
 }
 
 impl EngineConfig {
@@ -71,6 +130,8 @@ impl EngineConfig {
 pub struct EngineConfigBuilder {
     threads: usize,
     drop_after_detection: bool,
+    eval_mode: EvalMode,
+    golden_cache_bytes: usize,
 }
 
 impl EngineConfigBuilder {
@@ -86,6 +147,21 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn drop_after_detection(mut self, on: bool) -> Self {
         self.drop_after_detection = on;
+        self
+    }
+
+    /// Selects the faulty-sweep evaluation strategy (see [`EvalMode`]).
+    #[must_use]
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// Byte budget for the cone-mode golden slot cache; `0` = default (see
+    /// [`EngineConfig::golden_cache_bytes`]).
+    #[must_use]
+    pub fn golden_cache_bytes(mut self, bytes: usize) -> Self {
+        self.golden_cache_bytes = bytes;
         self
     }
 
@@ -107,6 +183,8 @@ impl EngineConfigBuilder {
         Ok(EngineConfig {
             threads: self.threads,
             drop_after_detection: self.drop_after_detection,
+            eval_mode: self.eval_mode,
+            golden_cache_bytes: self.golden_cache_bytes,
         })
     }
 }
@@ -245,17 +323,26 @@ struct Sweep {
     words2: Vec<u64>,
     /// Golden output words, `[batch][output][period]` flattened.
     golden: Vec<u64>,
+    /// Slot count of the compiled circuit (slot-cache row width).
+    num_slots: usize,
+    /// Every golden slot word, `[batch][period][slot]` flattened — the seed
+    /// store for cone-restricted evaluation. Empty in full mode or when the
+    /// cache would blow the configured byte budget (cone workers then stream
+    /// golden re-evaluations per batch).
+    slot_cache: Vec<u64>,
 }
 
 impl Sweep {
     fn try_build(
         compiled: &CompiledCircuit,
         ev: &mut Evaluator,
+        cache_bytes: Option<usize>,
     ) -> Result<(Self, u64), EngineError> {
         let n = compiled.num_inputs();
         let n_out = compiled.num_outputs();
         let total_pairs = 1u32 << (n - 1);
         let batches = (total_pairs as usize).div_ceil(64);
+        let cache = cache_bytes.is_some_and(|cap| batches * 2 * compiled.num_slots * 8 <= cap);
         let mut sweep = Sweep {
             n_inputs: n,
             n_outputs: n_out,
@@ -264,6 +351,12 @@ impl Sweep {
             words1: Vec::with_capacity(batches * n),
             words2: Vec::with_capacity(batches * n),
             golden: Vec::with_capacity(batches * n_out * 2),
+            num_slots: compiled.num_slots,
+            slot_cache: Vec::with_capacity(if cache {
+                batches * 2 * compiled.num_slots
+            } else {
+                0
+            }),
         };
         let mut base = 0u32;
         while base < total_pairs {
@@ -288,11 +381,17 @@ impl Sweep {
             let mask = sweep.masks[b];
             ev.eval(compiled, sweep.batch_words1(b), &[]);
             words += 1;
+            if cache {
+                sweep.slot_cache.extend_from_slice(ev.slots());
+            }
             for k in 0..n_out {
                 sweep.golden.push(ev.output(compiled, k));
             }
             ev.eval(compiled, sweep.batch_words2(b), &[]);
             words += 1;
+            if cache {
+                sweep.slot_cache.extend_from_slice(ev.slots());
+            }
             for k in 0..n_out {
                 sweep.golden.push(ev.output(compiled, k));
             }
@@ -322,6 +421,16 @@ impl Sweep {
     fn batch_golden(&self, b: usize, period: usize, k: usize) -> u64 {
         self.golden[b * self.n_outputs * 2 + period * self.n_outputs + k]
     }
+
+    fn has_slot_cache(&self) -> bool {
+        !self.slot_cache.is_empty()
+    }
+
+    /// Cached golden slot words for one batch period.
+    fn batch_slots(&self, b: usize, period: usize) -> &[u64] {
+        let start = (b * 2 + period) * self.num_slots;
+        &self.slot_cache[start..start + self.num_slots]
+    }
 }
 
 fn lane_mask(lanes: u32) -> u64 {
@@ -347,6 +456,47 @@ impl Scratch {
     }
 }
 
+/// Extra per-worker state for cone-restricted evaluation.
+struct ConeWorker {
+    /// Liveness-expiry scratch for [`Evaluator::eval_cone`], sized for the
+    /// whole schedule (every cone is a subset); kept all-zero between calls.
+    expire: Vec<u64>,
+    /// Streaming golden evaluator, present only when the slot cache did not
+    /// fit its byte budget: re-runs the fault-free sweep per batch so cone
+    /// seeds still have golden words to read.
+    stream: Option<Evaluator>,
+}
+
+/// Everything one worker thread owns across faults.
+struct WorkerState {
+    ev: Evaluator,
+    scratch: Scratch,
+    cone: Option<ConeWorker>,
+}
+
+impl WorkerState {
+    fn new(compiled: &CompiledCircuit, sweep: &Sweep, config: &EngineConfig) -> Self {
+        WorkerState::with_evaluator(Evaluator::new(compiled), compiled, sweep, config)
+    }
+
+    fn with_evaluator(
+        ev: Evaluator,
+        compiled: &CompiledCircuit,
+        sweep: &Sweep,
+        config: &EngineConfig,
+    ) -> Self {
+        let cone = (config.eval_mode == EvalMode::Cone).then(|| ConeWorker {
+            expire: vec![0; compiled.num_ops()],
+            stream: (!sweep.has_slot_cache()).then(|| Evaluator::new(compiled)),
+        });
+        WorkerState {
+            ev,
+            scratch: Scratch::new(sweep.n_outputs),
+            cone,
+        }
+    }
+}
+
 /// Everything one fault simulation produced: the report, its work counters,
 /// and (when tracing) the per-fault events buffered for the deterministic
 /// merge replay.
@@ -363,6 +513,15 @@ fn duration_micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Tracks the minimum schedule level at which a cone frontier died across a
+/// fault's batches (for the `ConeStats` event).
+fn note_death(died_min: &mut Option<u32>, cone: &FaultCone, evaluated: u32) {
+    if (evaluated as usize) < cone.ops.len() {
+        let lvl = cone.levels[evaluated as usize];
+        *died_min = Some(died_min.map_or(lvl, |d| d.min(lvl)));
+    }
+}
+
 /// Simulates one fault against the whole pair sweep. Returns `None` if the
 /// token cancelled the sweep at a batch boundary (the fault's partial work is
 /// discarded); the evaluator is left clean either way.
@@ -371,8 +530,7 @@ fn sim_fault(
     compiled: &CompiledCircuit,
     sweep: &Sweep,
     config: &EngineConfig,
-    ev: &mut Evaluator,
-    scratch: &mut Scratch,
+    ws: &mut WorkerState,
     fault: Override,
     index: usize,
     worker: usize,
@@ -393,6 +551,12 @@ fn sim_fault(
             worker,
         });
     }
+    let WorkerState { ev, scratch, cone } = ws;
+    let fault_cone = cone
+        .as_ref()
+        .map(|_| compiled.cone_for(std::slice::from_ref(&fault)));
+    let mut ops_evaluated = 0u64;
+    let mut died_min: Option<u32> = None;
     ev.install(compiled, std::slice::from_ref(&fault));
     for b in 0..sweep.bases.len() {
         if cancel.is_some_and(CancelToken::is_cancelled) {
@@ -400,31 +564,79 @@ fn sim_fault(
             return None;
         }
         let mask = sweep.masks[b];
-        ev.eval(compiled, sweep.batch_words1(b), &[]);
-        for k in 0..sweep.n_outputs {
-            scratch.out1[k] = ev.output(compiled, k);
-        }
-        ev.eval(compiled, sweep.batch_words2(b), &[]);
-        for k in 0..sweep.n_outputs {
-            scratch.out2[k] = ev.output(compiled, k);
+        let mut det = 0u64;
+        let mut wrong = 0u64;
+        let mut diff = 0u64;
+        if let (Some(fc), Some(cw)) = (&fault_cone, cone.as_mut()) {
+            // Cone path: evaluate only the fault's fanout cone, seeded from
+            // golden slot words, and classify only the reachable outputs —
+            // every other output provably equals golden, contributing
+            // nothing to det/wrong/diff on the masked lanes.
+            let g1: &[u64] = if sweep.has_slot_cache() {
+                sweep.batch_slots(b, 0)
+            } else {
+                let stream = cw.stream.as_mut().expect("streaming golden evaluator");
+                stream.eval(compiled, sweep.batch_words1(b), &[]);
+                stream.slots()
+            };
+            let e1 = ev.eval_cone(compiled, fc, g1, &[], mask, &mut cw.expire);
+            for &(k, ord) in &fc.outputs {
+                let k = k as usize;
+                scratch.out1[k] = if ord == CONE_SEED || ord < e1 {
+                    ev.output(compiled, k)
+                } else {
+                    sweep.batch_golden(b, 0, k)
+                };
+            }
+            let g2: &[u64] = if sweep.has_slot_cache() {
+                sweep.batch_slots(b, 1)
+            } else {
+                let stream = cw.stream.as_mut().expect("streaming golden evaluator");
+                stream.eval(compiled, sweep.batch_words2(b), &[]);
+                stream.slots()
+            };
+            let e2 = ev.eval_cone(compiled, fc, g2, &[], mask, &mut cw.expire);
+            ops_evaluated += u64::from(e1) + u64::from(e2);
+            note_death(&mut died_min, fc, e1);
+            note_death(&mut died_min, fc, e2);
+            for &(k, ord) in &fc.outputs {
+                let k = k as usize;
+                let f1 = scratch.out1[k];
+                let f2 = if ord == CONE_SEED || ord < e2 {
+                    ev.output(compiled, k)
+                } else {
+                    sweep.batch_golden(b, 1, k)
+                };
+                let gg1 = sweep.batch_golden(b, 0, k);
+                let gg2 = sweep.batch_golden(b, 1, k);
+                let alt = f1 ^ f2;
+                det |= !alt;
+                wrong |= alt & (f1 ^ gg1);
+                diff |= (f1 ^ gg1) | (f2 ^ gg2);
+            }
+        } else {
+            ev.eval(compiled, sweep.batch_words1(b), &[]);
+            for k in 0..sweep.n_outputs {
+                scratch.out1[k] = ev.output(compiled, k);
+            }
+            ev.eval(compiled, sweep.batch_words2(b), &[]);
+            for k in 0..sweep.n_outputs {
+                scratch.out2[k] = ev.output(compiled, k);
+            }
+            for k in 0..sweep.n_outputs {
+                let f1 = scratch.out1[k];
+                let f2 = scratch.out2[k];
+                let g1 = sweep.batch_golden(b, 0, k);
+                let g2 = sweep.batch_golden(b, 1, k);
+                let alt = f1 ^ f2;
+                det |= !alt;
+                wrong |= alt & (f1 ^ g1);
+                diff |= (f1 ^ g1) | (f2 ^ g2);
+            }
         }
         words += 2;
         let batch_pairs = u64::from(mask.count_ones());
         pairs += batch_pairs;
-
-        let mut det = 0u64;
-        let mut wrong = 0u64;
-        let mut diff = 0u64;
-        for k in 0..sweep.n_outputs {
-            let f1 = scratch.out1[k];
-            let f2 = scratch.out2[k];
-            let g1 = sweep.batch_golden(b, 0, k);
-            let g2 = sweep.batch_golden(b, 1, k);
-            let alt = f1 ^ f2;
-            det |= !alt;
-            wrong |= alt & (f1 ^ g1);
-            diff |= (f1 ^ g1) | (f2 ^ g2);
-        }
         det &= mask;
         let viol = wrong & !det & mask;
         if diff & mask != 0 {
@@ -472,6 +684,16 @@ fn sim_fault(
             count: words / 2,
             items: pairs,
         });
+        if let Some(fc) = &fault_cone {
+            events.push(CampaignEvent::ConeStats {
+                fault: index,
+                worker,
+                cone_ops: fc.ops.len() as u64,
+                ops_evaluated,
+                ops_skipped: compiled.num_ops() as u64 * words - ops_evaluated,
+                frontier_died_at_level: died_min,
+            });
+        }
         events.push(CampaignEvent::FaultFinish {
             fault: index,
             worker,
@@ -569,6 +791,9 @@ pub fn try_run_pair_campaign(
             outputs: circuit.outputs().len(),
             threads,
         });
+        observer.on_event(&CampaignEvent::EvalMode {
+            mode: config.eval_mode.name(),
+        });
     }
 
     let mut stats = EngineStats::default();
@@ -611,8 +836,16 @@ pub fn try_run_pair_campaign(
             phase: Phase::Golden,
         });
     }
+    let cache_bytes = match config.eval_mode {
+        EvalMode::Full => None,
+        EvalMode::Cone => Some(if config.golden_cache_bytes == 0 {
+            DEFAULT_GOLDEN_CACHE_BYTES
+        } else {
+            config.golden_cache_bytes
+        }),
+    };
     let mut golden_ev = Evaluator::new(&compiled);
-    let (sweep, golden_words) = Sweep::try_build(&compiled, &mut golden_ev)?;
+    let (sweep, golden_words) = Sweep::try_build(&compiled, &mut golden_ev, cache_bytes)?;
     stats.golden_time = t.elapsed();
     stats.words_evaluated = golden_words;
     if obs {
@@ -631,21 +864,12 @@ pub fn try_run_pair_campaign(
     let mut slots: Vec<Option<SimOutcome>> = Vec::with_capacity(faults.len());
     slots.resize_with(faults.len(), || None);
     if threads <= 1 {
-        let mut ev = golden_ev; // reuse the warm scratch
-        let mut scratch = Scratch::new(sweep.n_outputs);
+        // Reuse the warm golden evaluator's scratch.
+        let mut ws = WorkerState::with_evaluator(golden_ev, &compiled, &sweep, config);
         for (i, &fault) in faults.iter().enumerate() {
-            let Some(outcome) = sim_fault(
-                &compiled,
-                &sweep,
-                config,
-                &mut ev,
-                &mut scratch,
-                fault,
-                i,
-                0,
-                obs,
-                cancel,
-            ) else {
+            let Some(outcome) =
+                sim_fault(&compiled, &sweep, config, &mut ws, fault, i, 0, obs, cancel)
+            else {
                 break;
             };
             slots[i] = Some(outcome);
@@ -665,8 +889,7 @@ pub fn try_run_pair_campaign(
                     let (compiled, sweep, config) = (&compiled, &sweep, config);
                     let (cursor, done) = (&cursor, &done);
                     scope.spawn(move || {
-                        let mut ev = Evaluator::new(compiled);
-                        let mut scratch = Scratch::new(sweep.n_outputs);
+                        let mut ws = WorkerState::new(compiled, sweep, config);
                         let mut local = Vec::new();
                         loop {
                             if cancel.is_some_and(CancelToken::is_cancelled) {
@@ -677,16 +900,7 @@ pub fn try_run_pair_campaign(
                                 break;
                             }
                             let Some(outcome) = sim_fault(
-                                compiled,
-                                sweep,
-                                config,
-                                &mut ev,
-                                &mut scratch,
-                                faults[i],
-                                i,
-                                worker,
-                                obs,
-                                cancel,
+                                compiled, sweep, config, &mut ws, faults[i], i, worker, obs, cancel,
                             ) else {
                                 break;
                             };
@@ -875,15 +1089,170 @@ mod tests {
         }
     }
 
+    /// All single stuck-at faults, stems and branch pins alike.
+    fn all_faults(c: &Circuit) -> Vec<Override> {
+        let mut out = Vec::new();
+        for id in c.node_ids() {
+            for value in [false, true] {
+                out.push(Override {
+                    site: Site::Stem(id),
+                    value,
+                });
+                for pin in 0..c.fanins(id).len() {
+                    out.push(Override {
+                        site: Site::Branch { node: id, pin },
+                        value,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A self-dual multi-output circuit with reconvergent fanout: a full
+    /// adder (3-input XOR sum, majority carry).
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let ci = c.input("ci");
+        let s = c.xor(&[a, b, ci]);
+        let maj = c.gate(GateKind::Majority, &[a, b, ci]);
+        c.mark_output("s", s);
+        c.mark_output("co", maj);
+        c
+    }
+
+    #[test]
+    fn eval_mode_parses_and_displays() {
+        assert_eq!("full".parse::<EvalMode>().unwrap(), EvalMode::Full);
+        assert_eq!("cone".parse::<EvalMode>().unwrap(), EvalMode::Cone);
+        assert_eq!(EvalMode::Cone.to_string(), "cone");
+        assert_eq!(EvalMode::default(), EvalMode::Cone);
+        match "both".parse::<EvalMode>() {
+            Err(EngineError::InvalidConfig { reason }) => assert!(reason.contains("both")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    /// Cone-restricted evaluation — cached and streaming alike — must be
+    /// bit-identical to the full-schedule oracle on every report field and
+    /// every work counter, with and without fault dropping.
+    #[test]
+    fn cone_matches_full_on_every_fault() {
+        for circuit in [xor3(), full_adder()] {
+            let faults = all_faults(&circuit);
+            for drop_after_detection in [false, true] {
+                let full = run_pair_campaign(
+                    &circuit,
+                    &faults,
+                    &EngineConfig {
+                        drop_after_detection,
+                        eval_mode: EvalMode::Full,
+                        ..EngineConfig::default()
+                    },
+                );
+                // golden_cache_bytes: 1 cannot hold any batch, forcing the
+                // streaming fallback.
+                for golden_cache_bytes in [0, 1] {
+                    let cone = run_pair_campaign(
+                        &circuit,
+                        &faults,
+                        &EngineConfig {
+                            drop_after_detection,
+                            eval_mode: EvalMode::Cone,
+                            golden_cache_bytes,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    assert_eq!(full.0, cone.0, "cache budget {golden_cache_bytes}");
+                    assert_eq!(full.1.pairs_evaluated, cone.1.pairs_evaluated);
+                    assert_eq!(full.1.words_evaluated, cone.1.words_evaluated);
+                    assert_eq!(full.1.faults_dropped, cone.1.faults_dropped);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cone_mode_emits_mode_and_stats_events() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let collect = CollectObserver::default();
+        let cfg = EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        };
+        let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
+        let events = collect.events();
+        assert!(
+            matches!(
+                events.get(1),
+                Some(CampaignEvent::EvalMode { mode: "cone" })
+            ),
+            "eval_mode must follow campaign_start"
+        );
+        let stats: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::ConeStats {
+                    fault,
+                    cone_ops,
+                    ops_evaluated,
+                    ops_skipped,
+                    ..
+                } => Some((*fault, *cone_ops, *ops_evaluated, *ops_skipped)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stats.len(), faults.len(), "one cone_stats per fault");
+        assert_eq!(
+            stats.iter().map(|s| s.0).collect::<Vec<_>>(),
+            (0..faults.len()).collect::<Vec<_>>(),
+            "cone_stats replayed in fault order"
+        );
+        // xor3 is a one-gate schedule: every cone is at most that gate, and
+        // total accounting must balance against the full-schedule cost.
+        for &(_, cone_ops, ops_evaluated, ops_skipped) in &stats {
+            assert!(cone_ops <= 1);
+            assert!(ops_evaluated + ops_skipped >= ops_evaluated);
+        }
+        let full_collect = CollectObserver::default();
+        let full_cfg = EngineConfig {
+            threads: 1,
+            eval_mode: EvalMode::Full,
+            ..EngineConfig::default()
+        };
+        let _ = try_run_pair_campaign(&c, &faults, &full_cfg, &full_collect, None).unwrap();
+        let full_events = full_collect.events();
+        assert!(
+            matches!(
+                full_events.get(1),
+                Some(CampaignEvent::EvalMode { mode: "full" })
+            ),
+            "full mode still announces itself"
+        );
+        assert!(
+            !full_events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::ConeStats { .. })),
+            "full mode emits no cone stats"
+        );
+    }
+
     #[test]
     fn config_builder_validates() {
         let cfg = EngineConfig::builder()
             .threads(2)
             .drop_after_detection(true)
+            .eval_mode(EvalMode::Full)
+            .golden_cache_bytes(1 << 20)
             .build()
             .unwrap();
         assert_eq!(cfg.threads, 2);
         assert!(cfg.drop_after_detection);
+        assert_eq!(cfg.eval_mode, EvalMode::Full);
+        assert_eq!(cfg.golden_cache_bytes, 1 << 20);
         match EngineConfig::builder().threads(MAX_THREADS + 1).build() {
             Err(EngineError::InvalidConfig { reason }) => {
                 assert!(reason.contains("threads"));

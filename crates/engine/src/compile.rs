@@ -1,7 +1,9 @@
-//! Compilation of a [`Circuit`] into a flat, levelized evaluation schedule.
+//! Compilation of a [`Circuit`] into a flat, levelized evaluation schedule,
+//! plus the per-fault fanout-cone extraction behind cone-restricted
+//! evaluation ([`CompiledCircuit::cone_for`]).
 
 use crate::error::EngineError;
-use scal_netlist::{Circuit, GateKind, NodeId, NodeView};
+use scal_netlist::{Circuit, GateKind, NodeId, NodeView, Override, Site};
 use std::time::Instant;
 
 /// Wall times of the two compilation stages, for the profiler's `levelize` /
@@ -16,6 +18,17 @@ pub struct CompileSpans {
 
 /// Sentinel for "this node has no gate op" in [`CompiledCircuit::op_of_node`].
 pub(crate) const NO_OP: u32 = u32::MAX;
+
+/// Sentinel cone ordinal: "no cone op ever reads this value" (last-read
+/// tables in [`FaultCone`]).
+pub(crate) const CONE_NONE: u32 = u32::MAX;
+
+/// Sentinel cone ordinal: "this value is a cone seed" — the evaluator sets
+/// it itself (stem force, faulty flip-flop state), so readers must always
+/// take the evaluator's slot, never the golden value, regardless of how far
+/// the frontier got. Numerically equal to [`CONE_NONE`]; the two sentinels
+/// live in disjoint tables (last-read vs producing-ordinal).
+pub(crate) const CONE_SEED: u32 = u32::MAX;
 
 /// One gate evaluation in the compiled schedule.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +82,13 @@ pub struct CompiledCircuit {
     pub(crate) op_of_node: Vec<u32>,
     /// Gates per schedule level (level 0 = gates fed only by sources).
     pub(crate) level_gates: Vec<usize>,
+    /// Schedule level of each op (parallel to `ops`).
+    pub(crate) op_levels: Vec<u32>,
+    /// Fanout CSR row starts: ops reading slot `s` are
+    /// `fanout_ops[fanout_start[s]..fanout_start[s + 1]]`.
+    pub(crate) fanout_start: Vec<u32>,
+    /// Fanout CSR payload: op indices, grouped by the slot they read.
+    pub(crate) fanout_ops: Vec<u32>,
 }
 
 impl CompiledCircuit {
@@ -118,6 +138,7 @@ impl CompiledCircuit {
         let mut op_of_node = vec![NO_OP; n];
         let mut node_level = vec![0usize; n];
         let mut level_gates = Vec::new();
+        let mut op_levels = Vec::new();
         for id in circuit.topo_order() {
             if let NodeView::Gate(kind) = circuit.view(id) {
                 let fan_start = u32::try_from(fanins.len()).map_err(|_| EngineError::TooLarge {
@@ -135,6 +156,7 @@ impl CompiledCircuit {
                     level_gates.resize(level + 1, 0);
                 }
                 level_gates[level] += 1;
+                op_levels.push(level as u32);
                 op_of_node[id.index()] = ops.len() as u32;
                 ops.push(Op {
                     kind,
@@ -142,6 +164,27 @@ impl CompiledCircuit {
                     fan_start,
                     fan_len: circuit.fanins(id).len() as u32,
                 });
+            }
+        }
+        // Fanout CSR over the *original* fanins: for every slot, which ops
+        // read it. This is what cone extraction walks, so it stays put when
+        // an evaluator patches its private fanin copy for a branch fault
+        // (the patched op is already a cone root in that case).
+        let num_slots = n + 2;
+        let mut fanout_start = vec![0u32; num_slots + 1];
+        for &f in &fanins {
+            fanout_start[f as usize + 1] += 1;
+        }
+        for s in 0..num_slots {
+            fanout_start[s + 1] += fanout_start[s];
+        }
+        let mut fanout_ops = vec![0u32; fanins.len()];
+        let mut cursor = fanout_start.clone();
+        for (op_idx, op) in ops.iter().enumerate() {
+            for i in 0..op.fan_len as usize {
+                let f = fanins[op.fan_start as usize + i] as usize;
+                fanout_ops[cursor[f] as usize] = op_idx as u32;
+                cursor[f] += 1;
             }
         }
         let levelize_micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -183,6 +226,9 @@ impl CompiledCircuit {
                 .collect(),
             op_of_node,
             level_gates,
+            op_levels,
+            fanout_start,
+            fanout_ops,
         };
         let pack_micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
         Ok((
@@ -246,6 +292,245 @@ impl CompiledCircuit {
         let slot = node.index() as u32;
         self.dff_slots.iter().position(|&s| s == slot)
     }
+
+    /// Ops reading `slot` (through the original, unpatched fanins).
+    fn readers(&self, slot: usize) -> &[u32] {
+        &self.fanout_ops[self.fanout_start[slot] as usize..self.fanout_start[slot + 1] as usize]
+    }
+
+    /// Extracts the transitive fanout cone of a fault site set — everything
+    /// [`crate::Evaluator::eval_cone`] needs to re-evaluate only the ops the
+    /// fault can perturb, seeded from cached golden slot values.
+    ///
+    /// Mirrors [`crate::Evaluator::try_install`] site semantics exactly
+    /// (first override per site wins; sites the circuit does not have are
+    /// ignored): a stem force seeds the node's slot and dirties its readers;
+    /// a branch fault on a gate pin makes that gate a cone root (a
+    /// conservative superset — the gate re-evaluates even at patterns where
+    /// the stuck pin happens to match); a branch fault on a flip-flop's D
+    /// pin marks the flip-flop's next state dirty. For sequential circuits
+    /// the cone is widened across the D→Q arc to a fixed point: whenever a
+    /// flip-flop's D value can differ from golden, its Q slot becomes a
+    /// state seed and the Q fanout joins the cone, until no new flip-flop is
+    /// affected.
+    #[must_use]
+    pub(crate) fn cone_for(&self, overrides: &[Override]) -> FaultCone {
+        let n_dffs = self.dff_slots.len();
+        let mut in_cone = vec![false; self.ops.len()];
+        let mut dirty = vec![false; self.num_slots];
+        let mut is_seed = vec![false; self.num_slots];
+        let mut seed_slots: Vec<u32> = Vec::new();
+        let mut root_ops: Vec<u32> = Vec::new();
+        let mut dff_d_patched = vec![false; n_dffs];
+        let mut fanin_patched: Vec<usize> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+
+        let seed = |slot: usize,
+                    dirty: &mut Vec<bool>,
+                    is_seed: &mut Vec<bool>,
+                    seed_slots: &mut Vec<u32>,
+                    queue: &mut Vec<u32>| {
+            dirty[slot] = true;
+            is_seed[slot] = true;
+            seed_slots.push(slot as u32);
+            queue.extend_from_slice(self.readers(slot));
+        };
+
+        for o in overrides {
+            match o.site {
+                Site::Stem(node) => {
+                    let slot = node.index();
+                    if slot >= self.num_slots - 2 || is_seed[slot] {
+                        continue;
+                    }
+                    seed(slot, &mut dirty, &mut is_seed, &mut seed_slots, &mut queue);
+                }
+                Site::Branch { node, pin } => {
+                    if let Some(i) = self.dff_position(node) {
+                        if pin == 0 {
+                            dff_d_patched[i] = true;
+                        }
+                        continue;
+                    }
+                    let op_idx = match self
+                        .op_of_node
+                        .get(node.index())
+                        .copied()
+                        .filter(|&i| i != NO_OP)
+                    {
+                        Some(i) => i as usize,
+                        None => continue,
+                    };
+                    let op = &self.ops[op_idx];
+                    if pin >= op.fan_len as usize {
+                        continue;
+                    }
+                    let flat = op.fan_start as usize + pin;
+                    if fanin_patched.contains(&flat) {
+                        continue;
+                    }
+                    fanin_patched.push(flat);
+                    if !root_ops.contains(&(op_idx as u32)) {
+                        root_ops.push(op_idx as u32);
+                    }
+                    queue.push(op_idx as u32);
+                }
+            }
+        }
+
+        // Transitive fanout propagation, then the D→Q widening to a fixed
+        // point (combinational circuits skip the loop body entirely).
+        loop {
+            while let Some(op_idx) = queue.pop() {
+                if in_cone[op_idx as usize] {
+                    continue;
+                }
+                in_cone[op_idx as usize] = true;
+                let out = self.ops[op_idx as usize].out as usize;
+                if !dirty[out] {
+                    dirty[out] = true;
+                    queue.extend_from_slice(self.readers(out));
+                }
+            }
+            let mut changed = false;
+            for i in 0..n_dffs {
+                let q = self.dff_slots[i] as usize;
+                if dirty[q] {
+                    continue;
+                }
+                if dff_d_patched[i] || dirty[self.dff_d_slots[i] as usize] {
+                    seed(q, &mut dirty, &mut is_seed, &mut seed_slots, &mut queue);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Level-ordered cone schedule plus the ordinal tables the evaluator
+        // and the extraction readability rule need.
+        let mut cone_ops: Vec<u32> = (0..self.ops.len() as u32)
+            .filter(|&i| in_cone[i as usize])
+            .collect();
+        cone_ops.sort_by_key(|&i| (self.op_levels[i as usize], i));
+        let levels: Vec<u32> = cone_ops
+            .iter()
+            .map(|&i| self.op_levels[i as usize])
+            .collect();
+        let mut ordinal_of_slot = vec![CONE_NONE; self.num_slots];
+        let mut ordinal_of_op = vec![CONE_NONE; self.ops.len()];
+        for (j, &i) in cone_ops.iter().enumerate() {
+            ordinal_of_slot[self.ops[i as usize].out as usize] = j as u32;
+            ordinal_of_op[i as usize] = j as u32;
+        }
+        let mut roots: Vec<u32> = root_ops
+            .iter()
+            .map(|&i| ordinal_of_op[i as usize])
+            .collect();
+        roots.sort_unstable();
+        let mut slot_last_read = vec![CONE_NONE; self.num_slots];
+        for (j, &i) in cone_ops.iter().enumerate() {
+            let op = &self.ops[i as usize];
+            for k in 0..op.fan_len as usize {
+                // Ascending ordinals, so the final write is the max reader.
+                slot_last_read[self.fanins[op.fan_start as usize + k] as usize] = j as u32;
+            }
+        }
+        let op_last_read: Vec<u32> = cone_ops
+            .iter()
+            .map(|&i| slot_last_read[self.ops[i as usize].out as usize])
+            .collect();
+        let seeds: Vec<(u32, u32)> = seed_slots
+            .iter()
+            .map(|&s| (s, slot_last_read[s as usize]))
+            .collect();
+
+        let mut support = Vec::new();
+        let mut seen = vec![false; self.num_slots];
+        for &i in &cone_ops {
+            let op = &self.ops[i as usize];
+            for k in 0..op.fan_len as usize {
+                let f = self.fanins[op.fan_start as usize + k] as usize;
+                if !seen[f] {
+                    seen[f] = true;
+                    if !dirty[f] {
+                        support.push(f as u32);
+                    }
+                }
+            }
+        }
+
+        let produced_ordinal = |slot: usize| {
+            if is_seed[slot] {
+                CONE_SEED
+            } else {
+                ordinal_of_slot[slot]
+            }
+        };
+        let outputs: Vec<(u32, u32)> = self
+            .output_slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| dirty[s as usize])
+            .map(|(k, &s)| (k as u32, produced_ordinal(s as usize)))
+            .collect();
+        let mut dffs = Vec::new();
+        for (i, &patched) in dff_d_patched.iter().enumerate().take(n_dffs) {
+            let d = self.dff_d_slots[i] as usize;
+            if patched {
+                // The evaluator's patched D index points at a constant slot,
+                // which eval_cone always sets — read the evaluator.
+                dffs.push((i as u32, CONE_SEED));
+            } else if dirty[d] {
+                dffs.push((i as u32, produced_ordinal(d)));
+            }
+        }
+
+        FaultCone {
+            ops: cone_ops,
+            levels,
+            op_last_read,
+            roots,
+            seeds,
+            support,
+            outputs,
+            dffs,
+        }
+    }
+}
+
+/// The transitive fanout cone of one fault site set, precomputed so a
+/// campaign can evaluate only the ops the fault can perturb.
+///
+/// Produced by [`CompiledCircuit::cone_for`]; consumed by
+/// [`crate::Evaluator::eval_cone`] and the cone-mode campaign/simulator
+/// paths. All ordinals index into [`FaultCone::ops`].
+#[derive(Debug, Clone)]
+pub(crate) struct FaultCone {
+    /// Op indices in the cone, sorted by (schedule level, op index).
+    pub(crate) ops: Vec<u32>,
+    /// Schedule level of each cone op (parallel to `ops`).
+    pub(crate) levels: Vec<u32>,
+    /// Last cone ordinal reading each cone op's output (original fanins),
+    /// or [`CONE_NONE`] — the liveness horizon for the frontier-death exit.
+    pub(crate) op_last_read: Vec<u32>,
+    /// Cone ordinals of fault-rooted ops (gates with a patched branch pin).
+    /// They inject dirtiness at their own ordinal rather than through a
+    /// seed, so the evaluator pre-charges their liveness.
+    pub(crate) roots: Vec<u32>,
+    /// Seed slots the evaluator sets itself (stem forces, faulty flip-flop
+    /// state), paired with their last reading cone ordinal or [`CONE_NONE`].
+    pub(crate) seeds: Vec<(u32, u32)>,
+    /// Distinct slots cone ops read that are neither produced in-cone nor
+    /// seeded — loaded from the golden slot values before each cone run.
+    pub(crate) support: Vec<u32>,
+    /// Reachable primary outputs as `(output index, producing cone ordinal
+    /// or CONE_SEED)`; outputs not listed are provably golden.
+    pub(crate) outputs: Vec<(u32, u32)>,
+    /// Reachable flip-flops as `(dff index, D-producing cone ordinal or
+    /// CONE_SEED)`; flip-flops not listed latch their golden next state.
+    pub(crate) dffs: Vec<(u32, u32)>,
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The per-thread evaluator: scratch state plus the packed evaluation loop.
 
-use crate::compile::{CompiledCircuit, NO_OP};
+use crate::compile::{CompiledCircuit, FaultCone, CONE_NONE, NO_OP};
 use crate::error::EngineError;
 use scal_netlist::{GateKind, NodeId, Override, Site};
 
@@ -196,22 +196,7 @@ impl Evaluator {
         }
         for op in &compiled.ops {
             let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
-            let v = match op.kind {
-                GateKind::Buf => slots[fan[0] as usize],
-                GateKind::Not => !slots[fan[0] as usize],
-                GateKind::And => fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
-                GateKind::Nand => !fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
-                GateKind::Or => fan.iter().fold(0, |a, &f| a | slots[f as usize]),
-                GateKind::Nor => !fan.iter().fold(0, |a, &f| a | slots[f as usize]),
-                GateKind::Xor => fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
-                GateKind::Xnor => !fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
-                GateKind::Minority | GateKind::Majority => {
-                    threshold64(slots, fan, op.kind == GateKind::Majority)
-                }
-                // GateKind is #[non_exhaustive]; compile() only emits ops for
-                // kinds that exist today.
-                _ => unreachable!("unknown gate kind in compiled schedule"),
-            };
+            let v = eval_op(slots, fan, op.kind);
             let out = op.out as usize;
             slots[out] = match self.forced[out] {
                 1 => 0,
@@ -220,6 +205,99 @@ impl Evaluator {
             };
         }
         Ok(())
+    }
+
+    /// Runs one cone-restricted sweep: only the ops in `cone` are evaluated,
+    /// with every out-of-cone value read from `golden` (the cached fault-free
+    /// slot words for the same input batch). Returns the number of cone ops
+    /// actually evaluated — the readability horizon: a slot produced at cone
+    /// ordinal `j` holds the faulty value iff `j < returned count` (seeds
+    /// marked [`crate::compile::CONE_SEED`] are always readable).
+    ///
+    /// `state_seeds` injects faulty flip-flop state `(slot, word)` on top of
+    /// the golden state (sequential cone stepping); pair campaigns pass `&[]`.
+    /// `mask` selects the valid lanes for dirtiness checks; `expire` is a
+    /// caller-owned all-zero scratch of at least `cone.ops.len()` words, and
+    /// is returned all-zero.
+    ///
+    /// The frontier-death exit: cone ops are sorted by (level, index), so
+    /// every cone reader of an op sits at a later ordinal. Each dirty value
+    /// increments a live counter until its last reading ordinal; when the
+    /// counter hits zero every remaining op reads only golden-identical
+    /// values, so all downstream slots — outputs and D inputs included —
+    /// already hold their golden words and the sweep can stop.
+    pub(crate) fn eval_cone(
+        &mut self,
+        compiled: &CompiledCircuit,
+        cone: &FaultCone,
+        golden: &[u64],
+        state_seeds: &[(u32, u64)],
+        mask: u64,
+        expire: &mut [u64],
+    ) -> u32 {
+        let Evaluator {
+            slots,
+            fanins,
+            forced,
+            stems,
+            ..
+        } = self;
+        slots[compiled.zero_slot as usize] = 0;
+        slots[compiled.one_slot as usize] = u64::MAX;
+        for &(s, w) in state_seeds {
+            slots[s as usize] = w;
+        }
+        for &(s, w) in stems.iter() {
+            slots[s as usize] = w;
+        }
+        let mut live: u64 = 0;
+        for &(s, lr) in &cone.seeds {
+            if lr != CONE_NONE && (slots[s as usize] ^ golden[s as usize]) & mask != 0 {
+                live += 1;
+                expire[lr as usize] += 1;
+            }
+        }
+        // Fault-rooted ops (patched branch pins) are dirty a priori: keep
+        // the loop alive at least until each has run, whatever the seeds do.
+        for &j in &cone.roots {
+            live += 1;
+            expire[j as usize] += 1;
+        }
+        let mut evaluated = 0u32;
+        if live > 0 {
+            for &s in &cone.support {
+                slots[s as usize] = golden[s as usize];
+            }
+        }
+        for (j, &op_idx) in cone.ops.iter().enumerate() {
+            if live == 0 {
+                break;
+            }
+            let op = &compiled.ops[op_idx as usize];
+            let fan = &fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = eval_op(slots, fan, op.kind);
+            let out = op.out as usize;
+            let w = match forced[out] {
+                1 => 0,
+                2 => u64::MAX,
+                _ => v,
+            };
+            slots[out] = w;
+            evaluated += 1;
+            let lr = cone.op_last_read[j];
+            if lr != CONE_NONE && (w ^ golden[out]) & mask != 0 {
+                live += 1;
+                expire[lr as usize] += 1;
+            }
+            live -= expire[j];
+            expire[j] = 0;
+        }
+        evaluated
+    }
+
+    /// The full slot array after the last sweep (golden-state caching).
+    pub(crate) fn slots(&self) -> &[u64] {
+        &self.slots
     }
 
     /// Word of primary output `k` after the last [`Evaluator::eval`].
@@ -246,6 +324,27 @@ impl Evaluator {
     /// below the constant slots).
     pub(crate) fn raw_slot(&self, idx: usize) -> u64 {
         self.slots[idx]
+    }
+}
+
+/// One packed gate evaluation over the given fanin slots.
+#[inline]
+fn eval_op(slots: &[u64], fan: &[u32], kind: GateKind) -> u64 {
+    match kind {
+        GateKind::Buf => slots[fan[0] as usize],
+        GateKind::Not => !slots[fan[0] as usize],
+        GateKind::And => fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
+        GateKind::Nand => !fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
+        GateKind::Or => fan.iter().fold(0, |a, &f| a | slots[f as usize]),
+        GateKind::Nor => !fan.iter().fold(0, |a, &f| a | slots[f as usize]),
+        GateKind::Xor => fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
+        GateKind::Xnor => !fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
+        GateKind::Minority | GateKind::Majority => {
+            threshold64(slots, fan, kind == GateKind::Majority)
+        }
+        // GateKind is #[non_exhaustive]; compile() only emits ops for kinds
+        // that exist today.
+        _ => unreachable!("unknown gate kind in compiled schedule"),
     }
 }
 

@@ -29,6 +29,17 @@
 //!    times, words evaluated, pairs simulated and faults dropped, surfaced by
 //!    `scal-bench`.
 //!
+//! Faulty sweeps default to *cone-restricted* evaluation
+//! ([`EvalMode::Cone`]): compilation extracts each fault's transitive fanout
+//! cone, the golden sweep caches every slot word, and per fault only the
+//! cone ops run — seeded from the cached golden values, classified over the
+//! reachable outputs only, with an early exit as soon as the faulty frontier
+//! converges back to golden. [`EvalMode::Full`] re-evaluates the whole
+//! schedule and is kept as the differential oracle; both modes are
+//! bit-identical in everything but speed. Sequential replays get the same
+//! treatment through [`GoldenTrace`] and [`ConeSim`], with the cone widened
+//! across the D→Q arc to a fixed point.
+//!
 //! The fallible entry points ([`try_run_pair_campaign`],
 //! [`CompiledCircuit::try_compile`], [`Evaluator::try_eval`]) return
 //! [`EngineError`] instead of panicking; the legacy panicking wrappers
@@ -55,11 +66,11 @@ mod tables;
 
 pub use campaign::{
     run_pair_campaign, try_run_pair_campaign, EngineConfig, EngineConfigBuilder, EngineStats,
-    PairCampaign, PairReport, MAX_THREADS,
+    EvalMode, PairCampaign, PairReport, MAX_THREADS,
 };
 pub use compile::{CompileSpans, CompiledCircuit};
 pub use error::EngineError;
 pub use eval::Evaluator;
 pub use pool::{par_map, par_map_cancellable};
-pub use sim::CompiledSim;
+pub use sim::{CompiledSim, ConeSim, ConeSimStats, GoldenTrace};
 pub use tables::{all_node_tables, node_table, output_tables};

@@ -1,9 +1,7 @@
 //! The unified campaign entry point.
 //!
-//! [`Campaign`] is a builder that replaces the historical family of free
-//! functions (`run_campaign`, `run_campaign_with`, `run_campaign_engine`,
-//! `run_campaign_scalar`, `run_campaign_scalar_with`) with one fluent call
-//! chain:
+//! [`Campaign`] is a builder that configures and launches an
+//! alternating-pair fault campaign in one fluent call chain:
 //!
 //! ```
 //! use scal_netlist::{Circuit, GateKind};
@@ -25,7 +23,7 @@
 
 use crate::campaign::{try_run_scalar, CampaignResult};
 use crate::{enumerate_faults, Fault};
-use scal_engine::{try_run_pair_campaign, EngineConfig, EngineError, EngineStats};
+use scal_engine::{try_run_pair_campaign, EngineConfig, EngineError, EngineStats, EvalMode};
 use scal_netlist::{Circuit, Override};
 use scal_obs::{CampaignObserver, CancelToken, CoverageObserver, MultiObserver};
 
@@ -113,6 +111,17 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn drop_after_detection(mut self, on: bool) -> Self {
         self.config.drop_after_detection = on;
+        self
+    }
+
+    /// Selects the faulty-sweep evaluation strategy on the engine backend:
+    /// cone-restricted incremental evaluation ([`EvalMode::Cone`], the
+    /// default) or full-schedule re-evaluation ([`EvalMode::Full`], the
+    /// differential oracle). Both are bit-identical in every report; the
+    /// scalar backend ignores this knob.
+    #[must_use]
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.config.eval_mode = mode;
         self
     }
 
@@ -270,12 +279,11 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_free_functions() {
+    fn backends_and_eval_modes_agree() {
         let c = xor3();
         let report = Campaign::new(&c).run().unwrap();
-        #[allow(deprecated)]
-        let legacy = crate::run_campaign(&c);
-        assert_eq!(report.results, legacy);
+        let full = Campaign::new(&c).eval_mode(EvalMode::Full).run().unwrap();
+        assert_eq!(report.results, full.results);
         let scalar = Campaign::new(&c).scalar().run().unwrap();
         assert_eq!(scalar.results, report.results);
     }
@@ -317,12 +325,26 @@ mod tests {
         // Labels come from Fault::describe and use the circuit's names.
         assert!(map.records.iter().all(|r| !r.label.is_empty()));
         assert!(map.records.iter().any(|r| r.label.starts_with("a s-a-")));
-        // The scalar oracle produces the identical map (bit-for-bit, modulo
-        // the campaign tag).
+        // Cone mode attaches per-fault cone stats; the scalar oracle has
+        // none to report.
+        assert!(map.records.iter().all(|r| r.cone_ops.is_some()));
+        // The scalar oracle produces the identical verdicts (bit-for-bit,
+        // modulo the campaign tag and the cone annotations).
         let cov2 = scal_obs::CoverageObserver::new();
         let _ = Campaign::new(&c).scalar().coverage(&cov2).run().unwrap();
         let smap = cov2.latest().expect("scalar map");
-        assert_eq!(smap.records, map.records);
+        let strip = |records: &[scal_obs::FaultRecord]| {
+            records
+                .iter()
+                .map(|r| scal_obs::FaultRecord {
+                    cone_ops: None,
+                    ops_skipped: None,
+                    frontier_died_at_level: None,
+                    ..r.clone()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(smap.records, strip(&map.records));
     }
 
     #[test]

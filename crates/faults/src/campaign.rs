@@ -1,8 +1,8 @@
 //! Alternating-pair fault simulation and the exhaustive campaign.
 //!
-//! The historical `run_campaign*` free functions live here as `#[deprecated]`
-//! wrappers; new code should use the [`crate::Campaign`] builder, which adds
-//! observability and cancellation on both backends.
+//! Campaigns are launched through the [`crate::Campaign`] builder, which
+//! carries observability and cancellation on both backends; this module holds
+//! the pair/fault vocabulary and the scalar oracle backend.
 
 use crate::Fault;
 use scal_engine::{EngineError, EngineStats};
@@ -128,107 +128,6 @@ impl CampaignResult {
     #[must_use]
     pub fn tested(&self) -> bool {
         !self.detected_pairs.is_empty()
-    }
-}
-
-/// Exhaustively simulates every collapsed single fault of `circuit` against
-/// every alternating input pair `(X, X̄)`.
-///
-/// The circuit must be combinational, already alternating (every output
-/// self-dual), and have at most 24 inputs (`2^23` pairs).
-///
-/// Runs on the packed [`scal_engine`] campaign path; the original scalar
-/// implementation survives as [`run_campaign_scalar`] and serves as a
-/// differential oracle.
-///
-/// # Panics
-///
-/// Panics if the circuit is sequential, too wide, or not alternating.
-#[deprecated(since = "0.1.0", note = "use `Campaign::new(&circuit).run()`")]
-#[must_use]
-pub fn run_campaign(circuit: &Circuit) -> Vec<CampaignResult> {
-    match crate::Campaign::new(circuit).run() {
-        Ok(r) => r.results,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// As [`run_campaign`] but over a caller-chosen fault list.
-///
-/// # Panics
-///
-/// See [`run_campaign`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Campaign::new(&circuit).faults(faults).run()`"
-)]
-#[must_use]
-pub fn run_campaign_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
-    match crate::Campaign::new(circuit).faults(faults.to_vec()).run() {
-        Ok(r) => r.results,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// As [`run_campaign_with`], with explicit engine knobs (thread count, fault
-/// dropping) and the run's [`scal_engine::EngineStats`].
-///
-/// # Panics
-///
-/// See [`run_campaign`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Campaign::new(&circuit).faults(faults).config(config).run()`"
-)]
-#[must_use]
-pub fn run_campaign_engine(
-    circuit: &Circuit,
-    faults: &[Fault],
-    config: &scal_engine::EngineConfig,
-) -> (Vec<CampaignResult>, scal_engine::EngineStats) {
-    match crate::Campaign::new(circuit)
-        .faults(faults.to_vec())
-        .config(config.clone())
-        .run()
-    {
-        Ok(r) => (r.results, r.stats),
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// The original per-minterm scalar campaign, retained as the differential
-/// oracle for the engine path.
-///
-/// # Panics
-///
-/// See [`run_campaign`].
-#[deprecated(since = "0.1.0", note = "use `Campaign::new(&circuit).scalar().run()`")]
-#[must_use]
-pub fn run_campaign_scalar(circuit: &Circuit) -> Vec<CampaignResult> {
-    match crate::Campaign::new(circuit).scalar().run() {
-        Ok(r) => r.results,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// As [`run_campaign_scalar`] but over a caller-chosen fault list.
-///
-/// # Panics
-///
-/// See [`run_campaign`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Campaign::new(&circuit).faults(faults).scalar().run()`"
-)]
-#[must_use]
-pub fn run_campaign_scalar_with(circuit: &Circuit, faults: &[Fault]) -> Vec<CampaignResult> {
-    match crate::Campaign::new(circuit)
-        .faults(faults.to_vec())
-        .scalar()
-        .run()
-    {
-        Ok(r) => r.results,
-        Err(e) => panic!("{e}"),
     }
 }
 

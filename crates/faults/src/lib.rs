@@ -10,8 +10,7 @@
 //! detectable non-code word, or the dangerous *incorrect alternating output*
 //! of Theorem 3.1; and the [`Campaign`] builder sweeps every fault against
 //! every input pair — the exhaustive ground truth against which the analytic
-//! machinery of `scal-analysis` is checked. The historical `run_campaign*`
-//! free functions remain as deprecated wrappers around the builder.
+//! machinery of `scal-analysis` is checked.
 //!
 //! The crate also models the wider fault classes of Definitions 2.2/2.3
 //! ([`FaultSet`], unidirectional and multiple faults) used by the Table 5.1
@@ -45,9 +44,4 @@ mod model;
 
 pub use builder::{Campaign, CampaignReport};
 pub use campaign::{classify_pair, response_pair, CampaignResult, PairClass, PairOutcome};
-#[allow(deprecated)]
-pub use campaign::{
-    run_campaign, run_campaign_engine, run_campaign_scalar, run_campaign_scalar_with,
-    run_campaign_with,
-};
 pub use model::{enumerate_faults, enumerate_faults_uncollapsed, Fault, FaultSet};

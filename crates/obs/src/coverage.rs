@@ -45,6 +45,16 @@ pub struct FaultRecord {
     pub dropped_at: Option<usize>,
     /// Pairs evaluated for this fault.
     pub pairs: u64,
+    /// Ops in this fault's fanout cone (`None` when the campaign ran in full
+    /// eval mode or on a scalar backend).
+    pub cone_ops: Option<u64>,
+    /// Op evaluations the cone path skipped relative to full-schedule
+    /// sweeps (`None` outside cone mode).
+    pub ops_skipped: Option<u64>,
+    /// Lowest circuit level at which the faulty frontier converged back to
+    /// golden and evaluation stopped early (`None` when the fault's effect
+    /// always reached the cone boundary, or outside cone mode).
+    pub frontier_died_at_level: Option<u32>,
 }
 
 impl FaultRecord {
@@ -133,6 +143,15 @@ impl CoverageMap {
                 ro.num("dropped_at", b as u64);
             }
             ro.num("pairs", r.pairs);
+            if let Some(c) = r.cone_ops {
+                ro.num("cone_ops", c);
+            }
+            if let Some(s) = r.ops_skipped {
+                ro.num("ops_skipped", s);
+            }
+            if let Some(l) = r.frontier_died_at_level {
+                ro.num("frontier_died_at_level", u64::from(l));
+            }
             records.push_str(&ro.finish());
         }
         records.push(']');
@@ -208,6 +227,9 @@ struct CoverageState {
     /// `FaultDropped` precedes its `FaultFinish` in the replayed stream;
     /// this carries the batch ordinal across.
     pending_drop: Vec<(usize, usize)>,
+    /// `ConeStats` precedes its `FaultFinish` in the replayed stream; this
+    /// carries `(fault, cone_ops, ops_skipped, died_at_level)` across.
+    pending_cone: Vec<(usize, u64, u64, Option<u32>)>,
     finished: Vec<CoverageMap>,
 }
 
@@ -266,6 +288,7 @@ impl CampaignObserver for CoverageObserver {
                     state.finished.push(map);
                 }
                 state.pending_drop.clear();
+                state.pending_cone.clear();
                 state.current = Some(CoverageMap {
                     campaign: campaign.to_string(),
                     records: Vec::with_capacity(faults),
@@ -275,6 +298,17 @@ impl CampaignObserver for CoverageObserver {
             }
             CampaignEvent::FaultDropped { fault, batch, .. } => {
                 state.pending_drop.push((fault, batch));
+            }
+            CampaignEvent::ConeStats {
+                fault,
+                cone_ops,
+                ops_skipped,
+                frontier_died_at_level,
+                ..
+            } => {
+                state
+                    .pending_cone
+                    .push((fault, cone_ops, ops_skipped, frontier_died_at_level));
             }
             CampaignEvent::FaultFinish {
                 fault,
@@ -291,6 +325,11 @@ impl CampaignObserver for CoverageObserver {
                     .iter()
                     .position(|&(f, _)| f == fault)
                     .map(|i| state.pending_drop.swap_remove(i).1);
+                let cone = state
+                    .pending_cone
+                    .iter()
+                    .position(|&(f, ..)| f == fault)
+                    .map(|i| state.pending_cone.swap_remove(i));
                 let label = state.labels.get(fault).cloned().unwrap_or_default();
                 if let Some(map) = state.current.as_mut() {
                     map.records.push(FaultRecord {
@@ -303,6 +342,9 @@ impl CampaignObserver for CoverageObserver {
                         dropped,
                         dropped_at,
                         pairs,
+                        cone_ops: cone.map(|(_, c, _, _)| c),
+                        ops_skipped: cone.map(|(_, _, s, _)| s),
+                        frontier_died_at_level: cone.and_then(|(_, _, _, l)| l),
                     });
                 }
             }
@@ -317,6 +359,7 @@ impl CampaignObserver for CoverageObserver {
                     state.finished.push(map);
                 }
                 state.pending_drop.clear();
+                state.pending_cone.clear();
             }
             _ => {}
         }
@@ -421,6 +464,47 @@ mod tests {
         let map = obs.latest().expect("map");
         assert_eq!(map.records[0].dropped_at, Some(3));
         assert!(map.records[0].dropped);
+    }
+
+    #[test]
+    fn cone_stats_attach_to_their_fault_record() {
+        let obs = CoverageObserver::new();
+        feed(
+            &obs,
+            &[
+                start(2),
+                CampaignEvent::ConeStats {
+                    fault: 1,
+                    worker: 0,
+                    cone_ops: 3,
+                    ops_evaluated: 6,
+                    ops_skipped: 22,
+                    frontier_died_at_level: Some(2),
+                },
+                finish(0, 1, Some(0)),
+                finish(1, 0, None),
+                end(2, false),
+            ],
+        );
+        let map = obs.latest().expect("map");
+        assert_eq!(map.records[0].cone_ops, None);
+        assert_eq!(map.records[1].cone_ops, Some(3));
+        assert_eq!(map.records[1].ops_skipped, Some(22));
+        assert_eq!(map.records[1].frontier_died_at_level, Some(2));
+        let json = map.to_json();
+        let v = parse(&json).expect("parses");
+        let recs = v.get("records").and_then(JsonValue::as_array).unwrap();
+        assert!(recs[0].get("cone_ops").is_none());
+        assert_eq!(
+            recs[1].get("cone_ops").and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            recs[1]
+                .get("frontier_died_at_level")
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub enum CampaignEvent {
         /// Worker threads the run will use (1 = inline).
         threads: usize,
     },
+    /// Which faulty-sweep evaluation strategy the campaign uses. Emitted
+    /// right after [`CampaignEvent::CampaignStart`] by engines that support
+    /// mode selection; scalar reference backends do not emit it.
+    EvalMode {
+        /// Stable lowercase mode name: `"full"` or `"cone"`.
+        mode: &'static str,
+    },
     /// A phase began.
     PhaseStart {
         /// Which phase.
@@ -120,6 +127,27 @@ pub enum CampaignEvent {
         /// Batch ordinal at which the sweep stopped.
         batch: usize,
     },
+    /// Cone-restricted evaluation statistics for one fault's sweep, emitted
+    /// between the fault's `eval_batch` span and its
+    /// [`CampaignEvent::FaultFinish`] when the engine runs in cone mode.
+    ConeStats {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Worker thread that ran the sweep.
+        worker: usize,
+        /// Ops in the fault's transitive fanout cone (per sweep).
+        cone_ops: u64,
+        /// Cone ops actually evaluated across the whole sweep (frontier
+        /// death can stop a batch before the cone is exhausted).
+        ops_evaluated: u64,
+        /// Op evaluations a full-schedule sweep would have run but the cone
+        /// path skipped (`schedule_ops × words − ops_evaluated`).
+        ops_skipped: u64,
+        /// Shallowest schedule level at which the faulty frontier converged
+        /// back to golden, across all batches (`None` if every batch ran the
+        /// cone to completion).
+        frontier_died_at_level: Option<u32>,
+    },
     /// A fault's sweep completed (possibly dropped early).
     FaultFinish {
         /// Index into the campaign's fault list.
@@ -181,6 +209,8 @@ impl CampaignEvent {
     pub fn name(&self) -> &'static str {
         match self {
             CampaignEvent::CampaignStart { .. } => "campaign_start",
+            CampaignEvent::EvalMode { .. } => "eval_mode",
+            CampaignEvent::ConeStats { .. } => "cone_stats",
             CampaignEvent::PhaseStart { .. } => "phase_start",
             CampaignEvent::PhaseEnd { .. } => "phase_end",
             CampaignEvent::Span { .. } => "span",
@@ -213,6 +243,26 @@ impl CampaignEvent {
                 o.num("inputs", inputs as u64);
                 o.num("outputs", outputs as u64);
                 o.num("threads", threads as u64);
+            }
+            CampaignEvent::EvalMode { mode } => {
+                o.str("mode", mode);
+            }
+            CampaignEvent::ConeStats {
+                fault,
+                worker,
+                cone_ops,
+                ops_evaluated,
+                ops_skipped,
+                frontier_died_at_level,
+            } => {
+                o.num("fault", fault as u64);
+                o.num("worker", worker as u64);
+                o.num("cone_ops", cone_ops);
+                o.num("ops_evaluated", ops_evaluated);
+                o.num("ops_skipped", ops_skipped);
+                if let Some(l) = frontier_died_at_level {
+                    o.num("frontier_died_at_level", u64::from(l));
+                }
             }
             CampaignEvent::PhaseStart { phase } => {
                 o.str("phase", phase.name());
@@ -353,6 +403,15 @@ mod tests {
             },
             CampaignEvent::LevelGates { level: 2, gates: 5 },
             CampaignEvent::Cancelled { completed: 2 },
+            CampaignEvent::EvalMode { mode: "cone" },
+            CampaignEvent::ConeStats {
+                fault: 3,
+                worker: 0,
+                cone_ops: 9,
+                ops_evaluated: 40,
+                ops_skipped: 88,
+                frontier_died_at_level: Some(2),
+            },
         ];
         for e in &events {
             let j = e.to_json();
@@ -386,5 +445,18 @@ mod tests {
             first_detected: Some(3),
         };
         assert!(d.to_json().contains("\"first_detected\":3"));
+    }
+
+    #[test]
+    fn undying_frontiers_omit_death_level() {
+        let e = CampaignEvent::ConeStats {
+            fault: 0,
+            worker: 0,
+            cone_ops: 4,
+            ops_evaluated: 8,
+            ops_skipped: 0,
+            frontier_died_at_level: None,
+        };
+        assert!(!e.to_json().contains("frontier_died_at_level"));
     }
 }

@@ -60,6 +60,17 @@ pub struct Profile {
     pub words: u64,
     /// Total campaign wall time in microseconds.
     pub micros: u64,
+    /// Faulty-sweep evaluation strategy (`"full"` / `"cone"`), or empty if
+    /// the backend never announced one (scalar oracles).
+    pub eval_mode: String,
+    /// Faults that reported cone statistics.
+    pub cone_faults: u64,
+    /// Cone ops actually evaluated, summed across those faults.
+    pub cone_ops_evaluated: u64,
+    /// Op evaluations the cone path skipped relative to full-schedule
+    /// sweeps, summed across those faults — where a cone-mode speedup comes
+    /// from.
+    pub cone_ops_skipped: u64,
 }
 
 impl Profile {
@@ -96,6 +107,18 @@ impl Profile {
         self.levels.iter().map(|&g| g as u64).sum::<u64>() * self.words
     }
 
+    /// Fraction of full-schedule op evaluations the cone path skipped
+    /// (`None` when no cone statistics were reported).
+    #[must_use]
+    pub fn ops_skipped_fraction(&self) -> Option<f64> {
+        let total = self.cone_ops_evaluated + self.cone_ops_skipped;
+        if self.cone_faults > 0 && total > 0 {
+            Some(self.cone_ops_skipped as f64 / total as f64)
+        } else {
+            None
+        }
+    }
+
     /// Renders the profile tree: phases with share of wall time, spans
     /// nested under their parent, then the level histogram.
     #[must_use]
@@ -105,11 +128,26 @@ impl Profile {
             Some(r) => format!(", {} pairs/s over eval", fmt_rate(r)),
             None => String::new(),
         };
+        let mode = if self.eval_mode.is_empty() {
+            String::new()
+        } else {
+            format!(", {} eval", self.eval_mode)
+        };
         let _ = writeln!(
             out,
-            "profile [{}]: {} us wall, {} pairs, {} words{throughput}",
+            "profile [{}]: {} us wall, {} pairs, {} words{mode}{throughput}",
             self.campaign, self.micros, self.pairs, self.words
         );
+        if let Some(f) = self.ops_skipped_fraction() {
+            let _ = writeln!(
+                out,
+                "  cone: {} fault(s), {} op-evals run, {} skipped ({:.1}% of full schedule)",
+                self.cone_faults,
+                self.cone_ops_evaluated,
+                self.cone_ops_skipped,
+                100.0 * f
+            );
+        }
         for p in &self.phases {
             let share = if self.micros > 0 {
                 format!(" ({:.1}%)", 100.0 * p.micros as f64 / self.micros as f64)
@@ -164,6 +202,17 @@ impl Profile {
         o.num("micros", self.micros);
         o.num("pairs", self.pairs);
         o.num("words", self.words);
+        if !self.eval_mode.is_empty() {
+            o.str("eval_mode", &self.eval_mode);
+        }
+        if self.cone_faults > 0 {
+            o.num("cone_faults", self.cone_faults);
+            o.num("cone_ops_evaluated", self.cone_ops_evaluated);
+            o.num("cone_ops_skipped", self.cone_ops_skipped);
+        }
+        if let Some(f) = self.ops_skipped_fraction() {
+            o.float("ops_skipped_fraction", f);
+        }
         if let Some(r) = self.pairs_per_sec() {
             o.float("pairs_per_sec", r);
         }
@@ -305,6 +354,22 @@ impl CampaignObserver for Profiler {
                     }
                 }
             }
+            CampaignEvent::EvalMode { mode } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.eval_mode = mode.to_string();
+                }
+            }
+            CampaignEvent::ConeStats {
+                ops_evaluated,
+                ops_skipped,
+                ..
+            } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.cone_faults += 1;
+                    p.cone_ops_evaluated += ops_evaluated;
+                    p.cone_ops_skipped += ops_skipped;
+                }
+            }
             CampaignEvent::LevelGates { level, gates } => {
                 if let Some(p) = state.current.as_mut() {
                     if p.levels.len() <= level {
@@ -357,6 +422,7 @@ mod tests {
                 outputs: 1,
                 threads: 1,
             },
+            CampaignEvent::EvalMode { mode: "cone" },
             CampaignEvent::PhaseEnd {
                 phase: Phase::Compile,
                 micros: 50,
@@ -394,6 +460,22 @@ mod tests {
                 micros: 40,
                 count: 1,
                 items: 4,
+            },
+            CampaignEvent::ConeStats {
+                fault: 0,
+                worker: 0,
+                cone_ops: 5,
+                ops_evaluated: 10,
+                ops_skipped: 18,
+                frontier_died_at_level: Some(1),
+            },
+            CampaignEvent::ConeStats {
+                fault: 1,
+                worker: 0,
+                cone_ops: 7,
+                ops_evaluated: 14,
+                ops_skipped: 14,
+                frontier_died_at_level: None,
             },
             CampaignEvent::PhaseEnd {
                 phase: Phase::FaultSim,
@@ -434,6 +516,13 @@ mod tests {
         assert_eq!(p.gate_evals(), 7 * 12);
         let rate = p.pairs_per_sec().expect("rate");
         assert!((rate - 8.0 * 1e6 / 120.0).abs() < 1e-6);
+        assert_eq!(p.eval_mode, "cone");
+        assert_eq!(
+            (p.cone_faults, p.cone_ops_evaluated, p.cone_ops_skipped),
+            (2, 24, 32)
+        );
+        let frac = p.ops_skipped_fraction().expect("fraction");
+        assert!((frac - 32.0 / 56.0).abs() < 1e-9);
     }
 
     #[test]
@@ -451,6 +540,11 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("gates/level: 4, 3"), "{text}");
+        assert!(text.contains("cone eval"), "{text}");
+        assert!(
+            text.contains("cone: 2 fault(s), 24 op-evals run, 32 skipped"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -469,6 +563,11 @@ mod tests {
             Some(4)
         );
         assert_eq!(v.get("gate_evals").and_then(JsonValue::as_f64), Some(84.0));
+        assert_eq!(v.get("eval_mode").and_then(JsonValue::as_str), Some("cone"));
+        assert_eq!(
+            v.get("cone_ops_skipped").and_then(JsonValue::as_f64),
+            Some(32.0)
+        );
     }
 
     #[test]

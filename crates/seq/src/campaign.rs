@@ -11,11 +11,18 @@
 //! [`CampaignObserver`] through compile / golden / fault-sim / merge phases
 //! (per-fault events replayed in fault order at merge, worker-attributed)
 //! and honors a [`CancelToken`] at fault boundaries, returning the completed
-//! fault-ordered prefix. The historical `run_seq_campaign*` free functions
-//! remain as deprecated wrappers.
+//! fault-ordered prefix. On the engine backend faults default to
+//! cone-restricted replay ([`EvalMode::Cone`]): the golden run is captured
+//! once as a [`GoldenTrace`], and each fault replays only its fanout cone
+//! (widened across the D→Q arc) against the cached golden slots via
+//! [`ConeSim`]. [`EvalMode::Full`] re-simulates the whole machine per fault
+//! and serves as the differential oracle.
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
-use scal_engine::{par_map_cancellable, CompiledCircuit, CompiledSim, EngineError};
+use scal_engine::{
+    par_map_cancellable, CompiledCircuit, CompiledSim, ConeSim, ConeSimStats, EngineError,
+    EvalMode, GoldenTrace,
+};
 use scal_faults::Fault;
 use scal_obs::{
     CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, Phase,
@@ -144,6 +151,7 @@ pub struct Campaign<'a> {
     coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
     backend: Backend,
+    eval_mode: EvalMode,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -156,6 +164,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("coverage", &self.coverage.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("backend", &self.backend)
+            .field("eval_mode", &self.eval_mode)
             .finish_non_exhaustive()
     }
 }
@@ -174,6 +183,7 @@ impl<'a> Campaign<'a> {
             coverage: None,
             cancel: None,
             backend: Backend::Engine,
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -216,6 +226,17 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn scalar(mut self) -> Self {
         self.backend = Backend::Scalar;
+        self
+    }
+
+    /// Selects the per-fault replay strategy on the engine backend:
+    /// cone-restricted incremental replay ([`EvalMode::Cone`], the default)
+    /// or full re-simulation ([`EvalMode::Full`], the differential oracle).
+    /// Both produce identical outcomes; the scalar backend ignores this
+    /// knob.
+    #[must_use]
+    pub fn eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
         self
     }
 
@@ -264,6 +285,11 @@ impl<'a> Campaign<'a> {
                     Backend::Scalar => 1,
                 },
             });
+            if self.backend == Backend::Engine {
+                observer.on_event(&CampaignEvent::EvalMode {
+                    mode: self.eval_mode.name(),
+                });
+            }
         }
 
         // Compile phase (engine backend only).
@@ -294,15 +320,42 @@ impl<'a> Campaign<'a> {
                 phase: Phase::Golden,
             });
         }
-        let golden: Vec<(Vec<bool>, Vec<bool>)> = match &compiled {
-            Some(compiled) => {
+        // In cone mode the golden run is captured once with every slot value
+        // cached; faulty replays seed their cones from it.
+        let cone_trace: Option<GoldenTrace> = match (&compiled, self.eval_mode) {
+            (Some(compiled), EvalMode::Cone) => {
+                let steps: Vec<Vec<bool>> = self
+                    .words
+                    .iter()
+                    .flat_map(|w| {
+                        let mut p1 = w.clone();
+                        p1.push(false); // φ = 0
+                        let mut p2: Vec<bool> = w.iter().map(|&b| !b).collect();
+                        p2.push(true); // φ = 1
+                        [p1, p2]
+                    })
+                    .collect();
+                Some(GoldenTrace::capture(compiled, &steps))
+            }
+            _ => None,
+        };
+        let golden: Vec<(Vec<bool>, Vec<bool>)> = match (&cone_trace, &compiled) {
+            (Some(trace), _) => (0..self.words.len())
+                .map(|i| {
+                    (
+                        trace.outputs(2 * i).to_vec(),
+                        trace.outputs(2 * i + 1).to_vec(),
+                    )
+                })
+                .collect(),
+            (None, Some(compiled)) => {
                 let mut sim = CompiledSim::new(compiled);
                 self.words
                     .iter()
                     .map(|w| apply_compiled(&mut sim, w))
                     .collect()
             }
-            None => {
+            (None, None) => {
                 let mut drv = AltSeqDriver::new(self.machine);
                 self.words.iter().map(|w| drv.apply(w)).collect()
             }
@@ -324,22 +377,43 @@ impl<'a> Campaign<'a> {
             });
         }
         let done = std::sync::atomic::AtomicUsize::new(0);
-        let sim_one = |worker: usize, fault: &Fault| -> (usize, SeqOutcome) {
-            let outcome = match &compiled {
-                Some(compiled) => {
+        let sim_one = |worker: usize, fault: &Fault| -> (usize, SeqOutcome, Option<ConeSimStats>) {
+            let (outcome, cone_stats) = match (&compiled, &cone_trace) {
+                (Some(compiled), Some(trace)) => {
+                    // Cone replay: only the fault's fanout cone is
+                    // re-evaluated per step, seeded from the cached golden
+                    // slots of the trace.
+                    let mut sim = ConeSim::new(compiled, &[fault.to_override()]);
+                    let outcome = classify_trace(
+                        self.machine,
+                        &golden,
+                        |_w| {
+                            let o1 = sim.step(trace);
+                            let o2 = sim.step(trace);
+                            (o1, o2)
+                        },
+                        self.words,
+                    );
+                    let stats = sim.stats();
+                    (outcome, Some(stats))
+                }
+                (Some(compiled), None) => {
                     let mut sim = CompiledSim::new(compiled);
                     sim.attach(&[fault.to_override()]);
-                    classify_trace(
+                    let outcome = classify_trace(
                         self.machine,
                         &golden,
                         |w| apply_compiled(&mut sim, w),
                         self.words,
-                    )
+                    );
+                    (outcome, None)
                 }
-                None => {
+                (None, _) => {
                     let mut drv = AltSeqDriver::new(self.machine);
                     drv.attach(fault.to_override());
-                    classify_trace(self.machine, &golden, |w| drv.apply(w), self.words)
+                    let outcome =
+                        classify_trace(self.machine, &golden, |w| drv.apply(w), self.words);
+                    (outcome, None)
                 }
             };
             if obs {
@@ -348,9 +422,9 @@ impl<'a> Campaign<'a> {
                     total: faults.len(),
                 });
             }
-            (worker, outcome)
+            (worker, outcome, cone_stats)
         };
-        let slots: Vec<Option<(usize, SeqOutcome)>> = match self.backend {
+        let slots: Vec<Option<(usize, SeqOutcome, Option<ConeSimStats>)>> = match self.backend {
             Backend::Engine => {
                 par_map_cancellable(&faults, self.threads, self.cancel, |worker, _, fault| {
                     sim_one(worker, fault)
@@ -386,11 +460,21 @@ impl<'a> Campaign<'a> {
         let mut outcomes = Vec::with_capacity(completed);
         let mut pairs_total = 0u64;
         for (i, (fault, slot)) in faults.into_iter().zip(slots).take(completed).enumerate() {
-            let (worker, outcome) = slot.expect("prefix is complete");
+            let (worker, outcome, cone_stats) = slot.expect("prefix is complete");
             let pairs = words_consumed(&outcome, self.words.len()) as u64;
             pairs_total += pairs;
             if obs {
                 observer.on_event(&CampaignEvent::FaultStart { fault: i, worker });
+                if let Some(s) = &cone_stats {
+                    observer.on_event(&CampaignEvent::ConeStats {
+                        fault: i,
+                        worker,
+                        cone_ops: s.cone_ops,
+                        ops_evaluated: s.ops_evaluated,
+                        ops_skipped: s.ops_skipped,
+                        frontier_died_at_level: s.frontier_died_at_level,
+                    });
+                }
                 observer.on_event(&CampaignEvent::FaultFinish {
                     fault: i,
                     worker,
@@ -435,41 +519,6 @@ impl<'a> Campaign<'a> {
 
 fn duration_micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
-}
-
-/// Runs every checkable fault of `machine` against the driven `words`
-/// (each an external-input vector), comparing monitored lines and check
-/// pairs against the fault-free golden trace.
-///
-/// # Panics
-///
-/// Panics if a word's width mismatches the machine's external inputs, or if
-/// the machine's circuit fails compilation.
-#[deprecated(since = "0.1.0", note = "use `Campaign::new(&machine, words).run()`")]
-#[must_use]
-pub fn run_seq_campaign(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
-    match Campaign::new(machine, words).run() {
-        Ok(c) => c,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// The original graph-walking sequential campaign, retained as the
-/// differential oracle for the compiled path.
-///
-/// # Panics
-///
-/// Panics if a word's width mismatches the machine's external inputs.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Campaign::new(&machine, words).scalar().run()`"
-)]
-#[must_use]
-pub fn run_seq_campaign_scalar(machine: &ScalMachine, words: &[Vec<bool>]) -> SeqCampaign {
-    match Campaign::new(machine, words).scalar().run() {
-        Ok(c) => c,
-        Err(e) => panic!("{e}"),
-    }
 }
 
 #[cfg(test)]
@@ -532,13 +581,61 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_answer() {
+    fn cone_and_full_eval_modes_agree() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]);
+        for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+            let cone = Campaign::new(&machine, &words).run().unwrap();
+            let full = Campaign::new(&machine, &words)
+                .eval_mode(EvalMode::Full)
+                .run()
+                .unwrap();
+            assert_eq!(cone, full, "{}", machine.design);
+        }
+    }
+
+    #[test]
+    fn cone_mode_emits_mode_and_stats_events() {
         let m = kohavi_0101();
         let words = bit_words(&[0, 1, 0, 1]);
         let machine = dual_ff_machine(&m);
-        #[allow(deprecated)]
-        let legacy = run_seq_campaign(&machine, &words);
-        assert_eq!(legacy, Campaign::new(&machine, &words).run().unwrap());
+        let collect = CollectObserver::default();
+        let campaign = Campaign::new(&machine, &words)
+            .threads(1)
+            .observer(&collect)
+            .run()
+            .unwrap();
+        let events = collect.events();
+        assert!(matches!(
+            events.get(1),
+            Some(CampaignEvent::EvalMode { mode: "cone" })
+        ));
+        let stat_faults: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::ConeStats { fault, .. } => Some(*fault),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            stat_faults,
+            (0..campaign.outcomes.len()).collect::<Vec<_>>()
+        );
+
+        let collect2 = CollectObserver::default();
+        let _ = Campaign::new(&machine, &words)
+            .eval_mode(EvalMode::Full)
+            .observer(&collect2)
+            .run()
+            .unwrap();
+        let events2 = collect2.events();
+        assert!(matches!(
+            events2.get(1),
+            Some(CampaignEvent::EvalMode { mode: "full" })
+        ));
+        assert!(!events2
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::ConeStats { .. })));
     }
 
     #[test]
@@ -573,14 +670,26 @@ mod tests {
                 _ => assert_eq!(record.first_detected, None),
             }
         }
-        // The scalar oracle yields the identical records.
+        // Cone mode annotates every record; the scalar oracle yields the
+        // identical verdicts without cone stats.
+        assert!(map.records.iter().all(|r| r.cone_ops.is_some()));
         let cov2 = scal_obs::CoverageObserver::new();
         let _ = Campaign::new(&machine, &words)
             .scalar()
             .coverage(&cov2)
             .run()
             .unwrap();
-        assert_eq!(cov2.latest().expect("scalar map").records, map.records);
+        let stripped: Vec<_> = map
+            .records
+            .iter()
+            .map(|r| scal_obs::FaultRecord {
+                cone_ops: None,
+                ops_skipped: None,
+                frontier_died_at_level: None,
+                ..r.clone()
+            })
+            .collect();
+        assert_eq!(cov2.latest().expect("scalar map").records, stripped);
     }
 
     #[test]

@@ -35,8 +35,6 @@ pub mod patterns;
 pub mod synth;
 pub mod translator;
 
-#[allow(deprecated)]
-pub use campaign::{run_seq_campaign, run_seq_campaign_scalar};
 pub use campaign::{Campaign, SeqCampaign, SeqOutcome};
 pub use dual_ff::{dual_ff_machine, ScalMachine};
 pub use machine::StateMachine;

@@ -12,6 +12,7 @@
 
 use crate::cpu::{Cpu, CpuMode, Program};
 use crate::programs::{checksum, popcount, ARG0, RESULT};
+use scal_engine::EvalMode;
 use scal_faults::{enumerate_faults, Fault};
 use scal_obs::{
     CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, NullObserver,
@@ -175,6 +176,15 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn cancel(mut self, cancel: &'a CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Accepted for builder parity with `scal_faults::Campaign` and
+    /// `scal_seq::Campaign`, but currently a no-op: CPU workloads run on the
+    /// interpreted datapath, which has no compiled cone path. Fault runs
+    /// behave as [`EvalMode::Full`] regardless of `mode`.
+    #[must_use]
+    pub fn eval_mode(self, _mode: EvalMode) -> Self {
         self
     }
 

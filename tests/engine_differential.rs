@@ -2,10 +2,13 @@
 //! campaign must be bit-identical — same pairs, same order, same flags — to
 //! the original graph-walking scalar campaign on every canonical circuit of
 //! the reproduction, and on randomly generated alternating networks.
+//! Cone-restricted evaluation (`EvalMode::Cone`) is held to the same bar
+//! against full evaluation, across thread counts, fault dropping, the
+//! streaming golden fallback, cancellation, and sequential replay.
 
 use proptest::prelude::*;
 use scal::core::{dualize_synthesized, paper};
-use scal::engine::{CompiledCircuit, CompiledSim};
+use scal::engine::{CompiledCircuit, CompiledSim, EvalMode};
 use scal::faults::{enumerate_faults, Campaign};
 use scal::netlist::{Circuit, Sim};
 
@@ -33,6 +36,16 @@ fn is_alternating(c: &Circuit) -> bool {
     c.output_tts().iter().all(scal::logic::Tt::is_self_dual)
 }
 
+/// Eval mode for the engine side of the engine-vs-scalar differentials.
+/// CI sets `SCAL_EVAL_MODE=full|cone` to run the suite once per mode;
+/// unset runs the default (cone).
+fn mode_under_test() -> EvalMode {
+    match std::env::var("SCAL_EVAL_MODE") {
+        Ok(s) => s.parse().expect("SCAL_EVAL_MODE must be full|cone"),
+        Err(_) => EvalMode::default(),
+    }
+}
+
 /// Every combinational alternating paper circuit: full collapsed fault
 /// universe through both campaigns, results compared including ordering.
 #[test]
@@ -45,6 +58,7 @@ fn engine_campaign_matches_scalar_on_paper_circuits() {
         let faults = enumerate_faults(&c);
         let engine = Campaign::new(&c)
             .faults(faults.clone())
+            .eval_mode(mode_under_test())
             .run()
             .expect("engine campaign")
             .results;
@@ -79,12 +93,14 @@ fn observed_campaign_is_bit_identical_to_unobserved() {
         let faults = enumerate_faults(&c);
         let bare = Campaign::new(&c)
             .faults(faults.clone())
+            .eval_mode(mode_under_test())
             .run()
             .expect("campaign")
             .results;
         let collect = CollectObserver::default();
         let observed = Campaign::new(&c)
             .faults(faults)
+            .eval_mode(mode_under_test())
             .observer(&collect)
             .run()
             .expect("campaign");
@@ -126,6 +142,147 @@ fn compiled_sim_matches_graph_sim_on_paper_circuits() {
     }
 }
 
+/// Cone-restricted evaluation is a pure optimisation: on every
+/// campaign-eligible paper circuit it is bit-identical to full evaluation
+/// across thread counts and fault dropping, including the streaming
+/// fallback when the golden slot cache cannot fit.
+#[test]
+fn cone_eval_matches_full_on_paper_circuits() {
+    use scal::engine::EngineConfig;
+    let mut checked = 0;
+    for (name, c) in all_paper_circuits() {
+        if c.is_sequential() || c.inputs().len() > 12 || !is_alternating(&c) {
+            continue;
+        }
+        let faults = enumerate_faults(&c);
+        for threads in [1, 2, 4] {
+            for drop in [false, true] {
+                let full = Campaign::new(&c)
+                    .faults(faults.clone())
+                    .threads(threads)
+                    .drop_after_detection(drop)
+                    .eval_mode(EvalMode::Full)
+                    .run()
+                    .expect("full campaign")
+                    .results;
+                let cone = Campaign::new(&c)
+                    .faults(faults.clone())
+                    .threads(threads)
+                    .drop_after_detection(drop)
+                    .run()
+                    .expect("cone campaign")
+                    .results;
+                assert_eq!(full, cone, "{name}: threads {threads}, drop {drop}");
+            }
+        }
+        // A 1-byte cache budget cannot hold any batch, forcing per-batch
+        // golden streaming — still bit-identical to full evaluation.
+        let config = EngineConfig::builder()
+            .threads(1)
+            .golden_cache_bytes(1)
+            .build()
+            .expect("valid config");
+        let streamed = Campaign::new(&c)
+            .faults(faults.clone())
+            .config(config)
+            .run()
+            .expect("streaming cone campaign")
+            .results;
+        let full = Campaign::new(&c)
+            .faults(faults)
+            .threads(1)
+            .eval_mode(EvalMode::Full)
+            .run()
+            .expect("full campaign")
+            .results;
+        assert_eq!(full, streamed, "{name}: streaming fallback");
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "too few campaign-eligible circuits: {checked}"
+    );
+}
+
+/// Sequential campaigns: cone replay over the cached golden trace is
+/// bit-identical to full per-fault re-simulation on both Chapter-4 SCAL
+/// designs, across thread counts.
+#[test]
+fn seq_cone_eval_matches_full_on_kohavi_designs() {
+    let m = scal::seq::kohavi::kohavi_0101();
+    let words: Vec<Vec<bool>> = [0u32, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]
+        .iter()
+        .map(|&s| vec![s == 1])
+        .collect();
+    for machine in [
+        scal::seq::dual_ff_machine(&m),
+        scal::seq::code_conversion_machine(&m),
+    ] {
+        for threads in [1, 2, 4] {
+            let full = scal::seq::Campaign::new(&machine, &words)
+                .threads(threads)
+                .eval_mode(EvalMode::Full)
+                .run()
+                .expect("full seq campaign");
+            let cone = scal::seq::Campaign::new(&machine, &words)
+                .threads(threads)
+                .run()
+                .expect("cone seq campaign");
+            assert_eq!(full, cone, "{}: threads {threads}", machine.design);
+        }
+    }
+}
+
+/// A cancelled cone campaign's fault-ordered prefix is bit-identical to the
+/// same prefix of an uncancelled *full*-mode run — cancellation and eval
+/// mode compose without perturbing results.
+#[test]
+fn cancelled_cone_prefix_matches_full_run() {
+    use scal::obs::{CampaignEvent, CampaignObserver, CancelToken};
+    struct CancelAfter<'a> {
+        token: &'a CancelToken,
+        after: usize,
+    }
+    impl CampaignObserver for CancelAfter<'_> {
+        fn on_event(&self, event: &CampaignEvent) {
+            if let CampaignEvent::Progress { done, .. } = event {
+                if *done >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+    }
+    let c = paper::ripple_adder(4);
+    let faults = enumerate_faults(&c);
+    let full = Campaign::new(&c)
+        .faults(faults.clone())
+        .drop_after_detection(true)
+        .eval_mode(EvalMode::Full)
+        .run()
+        .expect("full campaign")
+        .results;
+    let token = CancelToken::new();
+    let observer = CancelAfter {
+        token: &token,
+        after: 5,
+    };
+    let partial = Campaign::new(&c)
+        .faults(faults)
+        .drop_after_detection(true)
+        .observer(&observer)
+        .cancel(&token)
+        .run()
+        .expect("cancelled cone campaign");
+    assert!(partial.cancelled, "token must cancel the run");
+    let k = partial.results.len();
+    assert!(k < full.len(), "cancellation must stop early ({k})");
+    assert_eq!(
+        partial.results[..],
+        full[..k],
+        "cone prefix must match the full-mode run"
+    );
+}
+
 /// Builds a random combinational circuit from a gate recipe, then makes it
 /// alternating via the paper's synthesized self-dual extension.
 fn random_alternating(n_inputs: usize, recipe: &[(u8, u8, u8)]) -> Circuit {
@@ -165,6 +322,7 @@ proptest! {
         let faults = enumerate_faults(&alt);
         let engine = Campaign::new(&alt)
             .faults(faults.clone())
+            .eval_mode(mode_under_test())
             .run()
             .expect("engine campaign")
             .results;

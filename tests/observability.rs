@@ -1,7 +1,7 @@
 //! Observability-layer integration: the event stream is deterministic and
 //! golden-file-stable, cancellation yields a fault-ordered prefix that is
-//! bit-identical to the uncancelled run, and the `Campaign` builder matches
-//! the legacy free functions it replaced.
+//! bit-identical to the uncancelled run, and the `Campaign` builder's
+//! backends and eval modes all agree.
 
 use scal::core::paper;
 use scal::faults::{enumerate_faults, Campaign};
@@ -127,23 +127,24 @@ fn cancelled_campaign_returns_bit_identical_prefix() {
     );
 }
 
-/// The unified builder reproduces the legacy free functions bit-for-bit on
-/// both backends.
+/// Every path through the builder — packed engine in cone and full eval
+/// modes, plus the scalar oracle — produces bit-identical results.
 #[test]
-#[allow(deprecated)]
-fn builder_matches_legacy_free_functions() {
-    use scal::faults::{run_campaign, run_campaign_scalar_with};
+fn builder_backends_and_eval_modes_agree() {
+    use scal::engine::EvalMode;
     let c = paper::fig3_7().circuit;
-    let legacy = run_campaign(&c);
-    let built = Campaign::new(&c).run().expect("builder campaign");
-    assert_eq!(legacy, built.results);
+    let cone = Campaign::new(&c).run().expect("cone campaign");
+    let full = Campaign::new(&c)
+        .eval_mode(EvalMode::Full)
+        .run()
+        .expect("full campaign");
+    assert_eq!(cone.results, full.results, "cone vs full eval");
 
     let faults = enumerate_faults(&c);
-    let legacy_scalar = run_campaign_scalar_with(&c, &faults);
-    let built_scalar = Campaign::new(&c)
+    let scalar = Campaign::new(&c)
         .faults(faults)
         .scalar()
         .run()
         .expect("scalar builder campaign");
-    assert_eq!(legacy_scalar, built_scalar.results);
+    assert_eq!(cone.results, scalar.results, "engine vs scalar oracle");
 }
