@@ -1,0 +1,50 @@
+//! Sequential fault-campaign backends: per-fault scalar replay vs the
+//! fault-per-lane packed backend, on both Chapter-4 Kohavi machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_seq::kohavi::kohavi_0101;
+use scal_seq::{code_conversion_machine, dual_ff_machine, Campaign, SeqBackend};
+
+fn words() -> Vec<Vec<bool>> {
+    [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
+        .iter()
+        .map(|&s| vec![s == 1])
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_backend");
+    let m = kohavi_0101();
+    let words = words();
+    for (name, machine) in [
+        ("dualff", dual_ff_machine(&m)),
+        ("codeconv", code_conversion_machine(&m)),
+    ] {
+        for backend in [SeqBackend::Scalar, SeqBackend::Packed] {
+            group.bench_function(format!("{name}_{backend}"), |b| {
+                b.iter(|| {
+                    Campaign::new(&machine, &words)
+                        .threads(1)
+                        .backend(backend)
+                        .run()
+                        .expect("kohavi machines simulate")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -15,18 +15,20 @@
 
 use scal_bench::report::{compare, run_suite, Snapshot, DEFAULT_MAX_PERF_DROP};
 use scal_engine::EvalMode;
+use scal_seq::SeqBackend;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
         "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
-         [--threads N] [--eval-mode full|cone] [--quiet]"
+         [--threads N] [--eval-mode full|cone] [--seq-backend packed|scalar|graph] [--quiet]"
     );
     eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
     eprintln!("  --baseline FILE      committed snapshot to diff against");
     eprintln!("  --max-perf-drop PCT  tolerated throughput drop, percent (default 20)");
     eprintln!("  --threads N          engine worker threads (default 0 = auto)");
     eprintln!("  --eval-mode MODE     engine faulty-sweep strategy (default cone)");
+    eprintln!("  --seq-backend NAME   sequential-campaign backend (default packed)");
     eprintln!("  --quiet              suppress the human-readable summary");
 }
 
@@ -36,6 +38,7 @@ struct Options {
     max_perf_drop: f64,
     threads: usize,
     eval_mode: EvalMode,
+    seq_backend: SeqBackend,
     quiet: bool,
 }
 
@@ -46,6 +49,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         max_perf_drop: DEFAULT_MAX_PERF_DROP,
         threads: 0,
         eval_mode: EvalMode::default(),
+        seq_backend: SeqBackend::default(),
         quiet: false,
     };
     let mut iter = args.into_iter();
@@ -76,6 +80,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("bad --eval-mode value {raw:?} (want full|cone)"))?;
             }
+            "--seq-backend" => {
+                let raw = value("--seq-backend")?;
+                opts.seq_backend = raw.parse().map_err(|_| {
+                    format!("bad --seq-backend value {raw:?} (want packed|scalar|graph)")
+                })?;
+            }
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -84,7 +94,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 }
 
 fn report(opts: &Options) -> Result<ExitCode, String> {
-    let snap: Snapshot = run_suite(opts.threads, opts.eval_mode);
+    let snap: Snapshot = run_suite(opts.threads, opts.eval_mode, opts.seq_backend);
     if !opts.quiet {
         print!("{}", snap.render());
     }

@@ -17,6 +17,7 @@
 
 use scal_engine::EvalMode;
 use scal_obs::{CampaignEvent, CampaignObserver, CoverageObserver, JsonlTrace, Metrics, Profiler};
+use scal_seq::SeqBackend;
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
@@ -47,6 +48,7 @@ pub struct ExperimentCtx {
     coverage: Option<(PathBuf, CoverageObserver)>,
     profiler: Option<Profiler>,
     eval_mode: EvalMode,
+    seq_backend: SeqBackend,
 }
 
 impl ExperimentCtx {
@@ -95,6 +97,18 @@ impl ExperimentCtx {
     #[must_use]
     pub fn eval_mode(&self) -> EvalMode {
         self.eval_mode
+    }
+
+    /// Selects the sequential-campaign backend (`--seq-backend`) experiments
+    /// forward to their `scal_seq::Campaign` runs.
+    pub fn set_seq_backend(&mut self, backend: SeqBackend) {
+        self.seq_backend = backend;
+    }
+
+    /// The sequential-campaign backend experiments should run with.
+    #[must_use]
+    pub fn seq_backend(&self) -> SeqBackend {
+        self.seq_backend
     }
 
     /// The metrics registry, when `--metrics` is on.

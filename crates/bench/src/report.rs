@@ -16,11 +16,11 @@
 //! best-effort `git rev-parse`.
 
 use scal_core::paper;
-use scal_engine::EvalMode;
+use scal_engine::{resolved_threads, EvalMode};
 use scal_obs::json::{escape, JsonObject, JsonValue};
 use scal_obs::{CoverageMap, CoverageObserver, Profile, Profiler};
 use scal_seq::kohavi::kohavi_0101;
-use scal_seq::{code_conversion_machine, dual_ff_machine};
+use scal_seq::{code_conversion_machine, dual_ff_machine, SeqBackend};
 use scal_system::campaign::{Campaign as CpuCampaign, CpuUnit};
 use std::fmt::Write as _;
 
@@ -123,6 +123,18 @@ pub struct ConeSpeedup {
     pub ops_skipped_fraction: f64,
 }
 
+/// Scalar-vs-packed throughput measurement on the kohavi_codeconv
+/// sequential campaign — the headline number of the fault-per-lane backend.
+#[derive(Debug, Clone)]
+pub struct SeqSpeedup {
+    /// Eval-phase pair throughput on [`SeqBackend::Scalar`].
+    pub scalar_pairs_per_sec: f64,
+    /// Eval-phase pair throughput on [`SeqBackend::Packed`].
+    pub packed_pairs_per_sec: f64,
+    /// `packed_pairs_per_sec / scalar_pairs_per_sec`.
+    pub speedup: f64,
+}
+
 /// A full BENCH snapshot: the suite results plus provenance.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -130,14 +142,22 @@ pub struct Snapshot {
     pub date: String,
     /// Short git revision, or `"unknown"` outside a repository.
     pub git_rev: String,
-    /// Engine worker-thread setting the suite ran with (`0` = auto).
+    /// Resolved engine worker-thread count the suite ran with (an `auto`
+    /// request is resolved to the machine's parallelism before recording,
+    /// so snapshots stay comparable across machines).
     pub threads: usize,
     /// Faulty-sweep evaluation strategy the engine entries ran with.
     pub eval_mode: String,
+    /// Backend the sequential entries ran on (`"packed"`, `"scalar"`,
+    /// `"graph"`).
+    pub seq_backend: String,
     /// Per-circuit results, in suite order.
     pub circuits: Vec<CircuitBench>,
     /// Measured full-vs-cone throughput on the adder8 full-fault campaign.
     pub adder8_speedup: Option<ConeSpeedup>,
+    /// Measured scalar-vs-packed throughput on the kohavi_codeconv
+    /// sequential campaign.
+    pub seq_speedup: Option<SeqSpeedup>,
 }
 
 impl Snapshot {
@@ -151,6 +171,7 @@ impl Snapshot {
         o.str("git_rev", &self.git_rev);
         o.num("threads", self.threads as u64);
         o.str("eval_mode", &self.eval_mode);
+        o.str("seq_backend", &self.seq_backend);
         let mut circuits = String::from("[");
         for (i, c) in self.circuits.iter().enumerate() {
             if i > 0 {
@@ -189,6 +210,13 @@ impl Snapshot {
             so.float("ops_skipped_fraction", s.ops_skipped_fraction);
             o.raw("adder8_speedup", &so.finish());
         }
+        if let Some(s) = &self.seq_speedup {
+            let mut so = JsonObject::new();
+            so.float("scalar_pairs_per_sec", s.scalar_pairs_per_sec);
+            so.float("packed_pairs_per_sec", s.packed_pairs_per_sec);
+            so.float("speedup", s.speedup);
+            o.raw("seq_speedup", &so.finish());
+        }
         o.finish()
     }
 
@@ -199,8 +227,8 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "BENCH snapshot {} @ {} (threads {}, {} eval)",
-            self.date, self.git_rev, self.threads, self.eval_mode
+            "BENCH snapshot {} @ {} (threads {}, {} eval, {} seq backend)",
+            self.date, self.git_rev, self.threads, self.eval_mode, self.seq_backend
         );
         for c in &self.circuits {
             let rate = match c.pairs_per_sec {
@@ -230,6 +258,14 @@ impl Snapshot {
                 s.cone_pairs_per_sec,
                 s.speedup,
                 100.0 * s.ops_skipped_fraction
+            );
+        }
+        if let Some(s) = &self.seq_speedup {
+            let _ = writeln!(
+                out,
+                "  kohavi_codeconv seq eval: {:.0} pairs/s scalar -> {:.0} pairs/s packed \
+                 ({:.1}x)",
+                s.scalar_pairs_per_sec, s.packed_pairs_per_sec, s.speedup
             );
         }
         out
@@ -280,19 +316,59 @@ fn measure_adder8_speedup(threads: usize) -> Option<ConeSpeedup> {
     })
 }
 
+/// Measures eval-phase throughput of the kohavi_codeconv sequential
+/// campaign on the per-fault scalar backend and the fault-per-lane packed
+/// backend, under the suite's standard drive.
+fn measure_seq_speedup(threads: usize) -> Option<SeqSpeedup> {
+    let m = kohavi_0101();
+    let machine = code_conversion_machine(&m);
+    let words = suite_words();
+    let mut rates = [0.0f64; 2];
+    for (i, backend) in [SeqBackend::Scalar, SeqBackend::Packed]
+        .into_iter()
+        .enumerate()
+    {
+        let prof = Profiler::new();
+        rates[i] = aggregate_rate(&prof, || {
+            scal_seq::Campaign::new(&machine, &words)
+                .threads(threads)
+                .backend(backend)
+                .observer(&prof)
+                .run()
+                .expect("suite machines are engine-compatible");
+        })?;
+    }
+    (rates[0] > 0.0).then(|| SeqSpeedup {
+        scalar_pairs_per_sec: rates[0],
+        packed_pairs_per_sec: rates[1],
+        speedup: rates[1] / rates[0],
+    })
+}
+
+/// The fixed drive the sequential suite entries (and the seq speedup
+/// measurement) replay.
+fn suite_words() -> Vec<Vec<bool>> {
+    [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
+        .iter()
+        .map(|&s| vec![s == 1])
+        .collect()
+}
+
 /// Runs the standard suite and returns the stamped snapshot.
 ///
-/// `threads` is the engine worker count (`0` = auto); the scalar, sequential
-/// and CPU entries are unaffected by it. `eval_mode` selects the
-/// faulty-sweep strategy of the engine entries; the adder8 full-vs-cone
-/// speedup is measured in both modes regardless.
+/// `threads` is the engine worker count (`0` = auto, resolved before
+/// recording); the CPU entry is unaffected by it. `eval_mode` selects the
+/// faulty-sweep strategy of the engine entries and `seq_backend` the
+/// sequential-campaign backend; the adder8 full-vs-cone and the seq
+/// scalar-vs-packed speedups are measured in both respective configurations
+/// regardless.
 ///
 /// # Panics
 ///
 /// Panics if a suite circuit fails to compile or simulate — the suite is
 /// fixed and known-good, so that is a build break, not a report outcome.
 #[must_use]
-pub fn run_suite(threads: usize, eval_mode: EvalMode) -> Snapshot {
+pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -> Snapshot {
     let mut circuits = Vec::new();
 
     // Combinational pair campaigns (Ch. 3 networks + the ripple adder in
@@ -322,10 +398,7 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode) -> Snapshot {
 
     // Chapter-4 sequential designs under a fixed drive.
     let m = kohavi_0101();
-    let words: Vec<Vec<bool>> = [0u32, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1]
-        .iter()
-        .map(|&s| vec![s == 1])
-        .collect();
+    let words = suite_words();
     let seq_suite = [
         ("kohavi_dualff", dual_ff_machine(&m)),
         ("kohavi_codeconv", code_conversion_machine(&m)),
@@ -336,6 +409,7 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode) -> Snapshot {
         let rate = aggregate_rate(&prof, || {
             scal_seq::Campaign::new(&machine, &words)
                 .threads(threads)
+                .backend(seq_backend)
                 .eval_mode(eval_mode)
                 .observer(&prof)
                 .coverage(&cov)
@@ -364,10 +438,12 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode) -> Snapshot {
     Snapshot {
         date: today_utc(),
         git_rev: git_rev(),
-        threads,
+        threads: resolved_threads(threads),
         eval_mode: eval_mode.name().to_string(),
+        seq_backend: seq_backend.name().to_string(),
         circuits,
         adder8_speedup: measure_adder8_speedup(threads),
+        seq_speedup: measure_seq_speedup(threads),
     }
 }
 
@@ -485,7 +561,9 @@ mod tests {
 
     #[test]
     fn suite_snapshot_is_complete_and_json_valid() {
-        let snap = run_suite(1, EvalMode::Cone);
+        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed);
+        assert_eq!(snap.threads, 1);
+        assert_eq!(snap.seq_backend, "packed");
         let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
@@ -517,11 +595,25 @@ mod tests {
         assert_eq!(validate_jsonl(&json), Ok(1));
         let v = parse(&json).expect("snapshot parses");
         assert_eq!(v.get("eval_mode").and_then(JsonValue::as_str), Some("cone"));
+        assert_eq!(
+            v.get("seq_backend").and_then(JsonValue::as_str),
+            Some("packed")
+        );
         let speedup = snap.adder8_speedup.as_ref().expect("adder8 measurement");
         assert!(speedup.full_pairs_per_sec > 0.0);
         assert!(speedup.ops_skipped_fraction > 0.0);
         assert!(
             v.get("adder8_speedup")
+                .and_then(|s| s.get("speedup"))
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "{json}"
+        );
+        let seq = snap.seq_speedup.as_ref().expect("seq speedup measurement");
+        assert!(seq.scalar_pairs_per_sec > 0.0);
+        assert!(seq.packed_pairs_per_sec > 0.0);
+        assert!(
+            v.get("seq_speedup")
                 .and_then(|s| s.get("speedup"))
                 .and_then(JsonValue::as_f64)
                 .is_some(),
@@ -545,7 +637,7 @@ mod tests {
 
     #[test]
     fn doctored_baselines_trigger_regressions() {
-        let snap = run_suite(1, EvalMode::Cone);
+        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed);
         // A baseline claiming impossible coverage and throughput.
         let baseline = parse(
             r#"{"circuits": [

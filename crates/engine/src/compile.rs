@@ -533,6 +533,148 @@ pub(crate) struct FaultCone {
     pub(crate) dffs: Vec<(u32, u32)>,
 }
 
+/// One per-lane branch-fault injection of a packed fault batch.
+///
+/// [`crate::Evaluator::eval_packed`] materializes auxiliary slot `slot` as
+/// `(slots[orig] & !mask) | (value & mask)` immediately before schedule
+/// position `op` (the consuming gate), so the faulted lanes read the stuck
+/// value while every other lane reads the original source word.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AuxInject {
+    /// Schedule position of the consuming op.
+    pub(crate) op: u32,
+    /// Auxiliary slot written (at or past the compiled slot range).
+    pub(crate) slot: u32,
+    /// Original source slot of the faulted pin.
+    pub(crate) orig: u32,
+    /// Lane mask of the faulting lanes.
+    pub(crate) mask: u64,
+    /// Forced value word, meaningful under `mask`.
+    pub(crate) value: u64,
+}
+
+/// Per-lane injection plan for one packed fault batch: how a slice of up to
+/// 63 faults maps onto lanes `1..=63` of a single evaluator word (lane 0
+/// stays golden).
+///
+/// Mirrors [`crate::Evaluator::try_install`] site semantics *per lane*:
+/// within one fault the first override for a site wins, and sites the
+/// circuit does not have are ignored. Different lanes faulting the same
+/// site merge into one masked entry.
+#[derive(Debug, Default)]
+pub(crate) struct LanePlan {
+    /// Masked stem forces `(slot, lane mask, value word)`.
+    pub(crate) stems: Vec<(u32, u64, u64)>,
+    /// Masked D-input forces `(dff index, lane mask, value word)`, blended
+    /// over the latched word at the end of every period.
+    pub(crate) dff_forces: Vec<(u32, u64, u64)>,
+    /// Branch injections, sorted by consuming-op schedule position.
+    pub(crate) aux: Vec<AuxInject>,
+    /// Fanin redirections `(flat index, aux slot)` wiring each faulted pin
+    /// to its auxiliary landing pad.
+    pub(crate) fanin_patches: Vec<(u32, u32)>,
+}
+
+impl LanePlan {
+    /// Builds the plan for `faults`: at most 63 override sets, fault `i`
+    /// occupying lane `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 63 faults are given.
+    pub(crate) fn build(compiled: &CompiledCircuit, faults: &[&[Override]]) -> LanePlan {
+        assert!(faults.len() <= 63, "a lane plan packs at most 63 faults");
+        let mut plan = LanePlan::default();
+        // flat pin index -> (consuming op, lane mask, value word).
+        let mut branches: std::collections::BTreeMap<u32, (u32, u64, u64)> =
+            std::collections::BTreeMap::new();
+        // dff index -> (lane mask, value word).
+        let mut dffs: std::collections::BTreeMap<u32, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        // Claimed-site scratch, reused across faults: each set is tiny (one
+        // entry per override of one fault), so linear scans beat hashing and
+        // reusing the buffers keeps the per-fault loop allocation-free.
+        let mut stem_claimed: Vec<usize> = Vec::new();
+        let mut dff_claimed: Vec<usize> = Vec::new();
+        let mut flat_claimed: Vec<usize> = Vec::new();
+        for (i, ovs) in faults.iter().enumerate() {
+            let lane = 1u64 << (i + 1);
+            stem_claimed.clear();
+            dff_claimed.clear();
+            flat_claimed.clear();
+            for o in ovs.iter() {
+                match o.site {
+                    Site::Stem(node) => {
+                        let slot = node.index();
+                        if slot >= compiled.num_slots - 2 || stem_claimed.contains(&slot) {
+                            continue; // unknown node, or an earlier override won
+                        }
+                        stem_claimed.push(slot);
+                        plan.stems
+                            .push((slot as u32, lane, if o.value { lane } else { 0 }));
+                    }
+                    Site::Branch { node, pin } => {
+                        if let Some(d) = compiled.dff_position(node) {
+                            if pin == 0 && !dff_claimed.contains(&d) {
+                                dff_claimed.push(d);
+                                let e = dffs.entry(d as u32).or_insert((0, 0));
+                                e.0 |= lane;
+                                if o.value {
+                                    e.1 |= lane;
+                                }
+                            }
+                            continue;
+                        }
+                        let op_idx = match compiled
+                            .op_of_node
+                            .get(node.index())
+                            .copied()
+                            .filter(|&i| i != NO_OP)
+                        {
+                            Some(i) => i as usize,
+                            None => continue,
+                        };
+                        let op = &compiled.ops[op_idx];
+                        if pin >= op.fan_len as usize {
+                            continue;
+                        }
+                        let flat = op.fan_start as usize + pin;
+                        if flat_claimed.contains(&flat) {
+                            continue;
+                        }
+                        flat_claimed.push(flat);
+                        let e = branches.entry(flat as u32).or_insert((op_idx as u32, 0, 0));
+                        e.1 |= lane;
+                        if o.value {
+                            e.2 |= lane;
+                        }
+                    }
+                }
+            }
+        }
+        // Assign auxiliary slots in consuming-op schedule order so the
+        // packed sweep applies each injection with a single forward cursor.
+        let mut entries: Vec<(u32, u32, u64, u64)> = branches
+            .into_iter()
+            .map(|(flat, (op, mask, value))| (op, flat, mask, value))
+            .collect();
+        entries.sort_unstable();
+        for (k, (op, flat, mask, value)) in entries.into_iter().enumerate() {
+            let slot = (compiled.num_slots + k) as u32;
+            plan.aux.push(AuxInject {
+                op,
+                slot,
+                orig: compiled.fanins[flat as usize],
+                mask,
+                value,
+            });
+            plan.fanin_patches.push((flat, slot));
+        }
+        plan.dff_forces = dffs.into_iter().map(|(d, (m, v))| (d, m, v)).collect();
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

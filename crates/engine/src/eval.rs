@@ -1,6 +1,6 @@
 //! The per-thread evaluator: scratch state plus the packed evaluation loop.
 
-use crate::compile::{CompiledCircuit, FaultCone, CONE_NONE, NO_OP};
+use crate::compile::{AuxInject, CompiledCircuit, FaultCone, CONE_NONE, NO_OP};
 use crate::error::EngineError;
 use scal_netlist::{GateKind, NodeId, Override, Site};
 
@@ -24,12 +24,23 @@ pub struct Evaluator {
     fanins: Vec<u32>,
     /// Patched copy of [`CompiledCircuit::dff_d_slots`].
     dff_d: Vec<u32>,
-    /// Per slot: 0 = free, 1 = forced to 0, 2 = forced to 1.
-    forced: Vec<u8>,
-    /// Installed stem forces `(slot, word)` — re-applied to source slots at
-    /// the start of every sweep (gate slots are handled by `forced` inside
-    /// the op loop).
-    stems: Vec<(u32, u64)>,
+    /// Per slot: lane mask of forced lanes (`0` = free). Scalar installs
+    /// force all 64 lanes; the packed sequential backend forces single
+    /// lanes so different faults share one word.
+    force_mask: Vec<u64>,
+    /// Per slot: forced value word, meaningful under `force_mask`.
+    force_value: Vec<u64>,
+    /// Installed stem forces `(slot, mask, value)` — the complete list,
+    /// applied as `slot_word = (slot_word & !mask) | (value & mask)`. Full
+    /// sweeps only need the [`Evaluator::source_stems`] subset (gate slots
+    /// are re-forced by the force tables inside the op loop), but a cone
+    /// pass never runs the forced slot's producing op, so it must write
+    /// every stem directly.
+    stems: Vec<(u32, u64, u64)>,
+    /// The subset of [`Evaluator::stems`] on *source* slots (inputs,
+    /// flip-flop outputs, constants) — the only ones a full sweep must
+    /// re-apply at sweep start, since no op writes them.
+    source_stems: Vec<(u32, u64, u64)>,
     /// Installed fanin patches `(flat index, original slot)` for uninstall.
     fanin_patches: Vec<(usize, u32)>,
     /// Installed D-slot patches `(dff index, original slot)` for uninstall.
@@ -40,12 +51,21 @@ impl Evaluator {
     /// Creates scratch state for `compiled`.
     #[must_use]
     pub fn new(compiled: &CompiledCircuit) -> Self {
+        Self::with_aux(compiled, 0)
+    }
+
+    /// Creates scratch state with `extra` auxiliary slots appended past the
+    /// compiled slot range — landing pads for the per-lane branch
+    /// injections of [`Evaluator::eval_packed`].
+    pub(crate) fn with_aux(compiled: &CompiledCircuit, extra: usize) -> Self {
         Evaluator {
-            slots: vec![0; compiled.num_slots],
+            slots: vec![0; compiled.num_slots + extra],
             fanins: compiled.fanins.clone(),
             dff_d: compiled.dff_d_slots.clone(),
-            forced: vec![0; compiled.num_slots],
+            force_mask: vec![0; compiled.num_slots],
+            force_value: vec![0; compiled.num_slots],
             stems: Vec::new(),
+            source_stems: Vec::new(),
             fanin_patches: Vec::new(),
             dff_patches: Vec::new(),
         }
@@ -83,12 +103,11 @@ impl Evaluator {
             match o.site {
                 Site::Stem(node) => {
                     let slot = node.index();
-                    if slot >= compiled.num_slots - 2 || self.forced[slot] != 0 {
+                    if slot >= compiled.num_slots - 2 || self.force_mask[slot] != 0 {
                         continue; // unknown node, or an earlier override won
                     }
-                    self.forced[slot] = 1 + u8::from(o.value);
                     let word = if o.value { u64::MAX } else { 0 };
-                    self.stems.push((slot as u32, word));
+                    self.add_masked_stem(compiled, slot, u64::MAX, word);
                 }
                 Site::Branch { node, pin } => {
                     if let Some(i) = compiled.dff_position(node) {
@@ -125,9 +144,11 @@ impl Evaluator {
 
     /// Removes all installed overrides, restoring fault-free evaluation.
     pub fn uninstall(&mut self) {
-        for (slot, _) in self.stems.drain(..) {
-            self.forced[slot as usize] = 0;
+        for (slot, _, _) in self.stems.drain(..) {
+            self.force_mask[slot as usize] = 0;
+            self.force_value[slot as usize] = 0;
         }
+        self.source_stems.clear();
         for (flat, original) in self.fanin_patches.drain(..) {
             self.fanins[flat] = original;
         }
@@ -190,19 +211,18 @@ impl Evaluator {
         for &(s, v) in &compiled.const_slots {
             slots[s as usize] = if v { u64::MAX } else { 0 };
         }
-        // Stem faults on source slots (inputs, flip-flop outputs, constants).
-        for &(s, w) in &self.stems {
-            slots[s as usize] = w;
+        // Stem faults on source slots (inputs, flip-flop outputs, constants);
+        // gate-slot stems are re-forced by the op loop below.
+        for &(s, m, w) in &self.source_stems {
+            let slot = &mut slots[s as usize];
+            *slot = (*slot & !m) | (w & m);
         }
         for op in &compiled.ops {
             let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
             let v = eval_op(slots, fan, op.kind);
             let out = op.out as usize;
-            slots[out] = match self.forced[out] {
-                1 => 0,
-                2 => u64::MAX,
-                _ => v,
-            };
+            let m = self.force_mask[out];
+            slots[out] = (v & !m) | (self.force_value[out] & m);
         }
         Ok(())
     }
@@ -238,7 +258,8 @@ impl Evaluator {
         let Evaluator {
             slots,
             fanins,
-            forced,
+            force_mask,
+            force_value,
             stems,
             ..
         } = self;
@@ -247,8 +268,9 @@ impl Evaluator {
         for &(s, w) in state_seeds {
             slots[s as usize] = w;
         }
-        for &(s, w) in stems.iter() {
-            slots[s as usize] = w;
+        for &(s, m, w) in stems.iter() {
+            let slot = &mut slots[s as usize];
+            *slot = (*slot & !m) | (w & m);
         }
         let mut live: u64 = 0;
         for &(s, lr) in &cone.seeds {
@@ -277,11 +299,8 @@ impl Evaluator {
             let fan = &fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
             let v = eval_op(slots, fan, op.kind);
             let out = op.out as usize;
-            let w = match forced[out] {
-                1 => 0,
-                2 => u64::MAX,
-                _ => v,
-            };
+            let m = force_mask[out];
+            let w = (v & !m) | (force_value[out] & m);
             slots[out] = w;
             evaluated += 1;
             let lr = cone.op_last_read[j];
@@ -293,6 +312,83 @@ impl Evaluator {
             expire[j] = 0;
         }
         evaluated
+    }
+
+    /// Installs a masked stem force: the lanes in `mask` read `value` on
+    /// `slot` every sweep — the packed sequential backend's per-lane
+    /// generalization of the all-lane stem force installed by
+    /// [`Evaluator::try_install`]. Removed by [`Evaluator::uninstall`].
+    pub(crate) fn add_masked_stem(
+        &mut self,
+        compiled: &CompiledCircuit,
+        slot: usize,
+        mask: u64,
+        value: u64,
+    ) {
+        self.force_mask[slot] |= mask;
+        self.force_value[slot] = (self.force_value[slot] & !mask) | (value & mask);
+        self.stems.push((slot as u32, mask, value & mask));
+        // Gate slots are re-forced by the op loop's force tables; only
+        // source slots need the sweep-start pass.
+        if compiled.op_of_node.get(slot).copied().unwrap_or(NO_OP) == NO_OP {
+            self.source_stems.push((slot as u32, mask, value & mask));
+        }
+    }
+
+    /// Redirects flat fanin index `flat` to read `slot` — auxiliary landing
+    /// pads for per-lane branch injections. Restored by
+    /// [`Evaluator::uninstall`].
+    pub(crate) fn patch_fanin(&mut self, flat: usize, slot: u32) {
+        self.fanin_patches.push((flat, self.fanins[flat]));
+        self.fanins[flat] = slot;
+    }
+
+    /// One packed sweep for the fault-per-lane sequential backend: like
+    /// [`Evaluator::try_eval`] but with mid-sweep auxiliary injections.
+    /// Each [`AuxInject`] materializes, immediately before its consuming op
+    /// runs, an auxiliary slot holding the faulted lanes' stuck value
+    /// blended over the original source word — per-lane branch faults
+    /// without disturbing the other lanes sharing the fanin index. `aux`
+    /// must be sorted by consuming-op schedule position (as
+    /// [`crate::compile::LanePlan`] builds it).
+    pub(crate) fn eval_packed(
+        &mut self,
+        compiled: &CompiledCircuit,
+        inputs: &[u64],
+        state: &[u64],
+        aux: &[AuxInject],
+    ) {
+        debug_assert_eq!(inputs.len(), compiled.num_inputs());
+        debug_assert_eq!(state.len(), compiled.num_dffs());
+        let slots = &mut self.slots;
+        slots[compiled.zero_slot as usize] = 0;
+        slots[compiled.one_slot as usize] = u64::MAX;
+        for (i, &s) in compiled.input_slots.iter().enumerate() {
+            slots[s as usize] = inputs[i];
+        }
+        for (i, &s) in compiled.dff_slots.iter().enumerate() {
+            slots[s as usize] = state[i];
+        }
+        for &(s, v) in &compiled.const_slots {
+            slots[s as usize] = if v { u64::MAX } else { 0 };
+        }
+        for &(s, m, w) in &self.source_stems {
+            let slot = &mut slots[s as usize];
+            *slot = (*slot & !m) | (w & m);
+        }
+        let mut cursor = 0usize;
+        for (j, op) in compiled.ops.iter().enumerate() {
+            while let Some(a) = aux.get(cursor).filter(|a| a.op as usize == j) {
+                slots[a.slot as usize] = (slots[a.orig as usize] & !a.mask) | (a.value & a.mask);
+                cursor += 1;
+            }
+            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = eval_op(slots, fan, op.kind);
+            let out = op.out as usize;
+            let m = self.force_mask[out];
+            slots[out] = (v & !m) | (self.force_value[out] & m);
+        }
+        debug_assert_eq!(cursor, aux.len(), "aux injections must all be consumed");
     }
 
     /// The full slot array after the last sweep (golden-state caching).

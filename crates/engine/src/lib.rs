@@ -38,7 +38,12 @@
 //! schedule and is kept as the differential oracle; both modes are
 //! bit-identical in everything but speed. Sequential replays get the same
 //! treatment through [`GoldenTrace`] and [`ConeSim`], with the cone widened
-//! across the D→Q arc to a fixed point.
+//! across the D→Q arc to a fixed point. On top of that, sequential
+//! campaigns can pack up to 63 faults into the lanes of one word
+//! ([`PackedSeqSim`]): lane 0 replays the golden machine, every other lane
+//! one fault (masked per-lane stem forces, auxiliary branch slots, masked
+//! D-latch blends), so a whole batch replays the driven sequence in a
+//! single pass over the schedule per period.
 //!
 //! The fallible entry points ([`try_run_pair_campaign`],
 //! [`CompiledCircuit::try_compile`], [`Evaluator::try_eval`]) return
@@ -71,6 +76,6 @@ pub use campaign::{
 pub use compile::{CompileSpans, CompiledCircuit};
 pub use error::EngineError;
 pub use eval::Evaluator;
-pub use pool::{par_map, par_map_cancellable};
-pub use sim::{CompiledSim, ConeSim, ConeSimStats, GoldenTrace};
+pub use pool::{effective_threads, par_map, par_map_cancellable, resolved_threads};
+pub use sim::{CompiledSim, ConeSim, ConeSimStats, GoldenTrace, PackedBatchPlan, PackedSeqSim};
 pub use tables::{all_node_tables, node_table, output_tables};

@@ -6,14 +6,28 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Work-item threshold below which spawning threads costs more than it buys.
 const MIN_ITEMS_PER_THREAD: usize = 8;
 
-/// Resolves a requested thread count: `0` means auto (the machine's available
-/// parallelism), and the result is clamped so no thread would receive fewer
-/// than a handful of items.
+/// Resolves a requested thread count (`0` = auto) to the worker count used
+/// when work is plentiful: the machine's available parallelism for auto,
+/// the request verbatim otherwise. Snapshots record this so numbers stay
+/// comparable across machines.
 #[must_use]
-pub(crate) fn effective_threads(requested: usize, items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let want = if requested == 0 { hw } else { requested };
-    want.min(items / MIN_ITEMS_PER_THREAD).max(1)
+pub fn resolved_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Resolves a requested thread count against a concrete workload: like
+/// [`resolved_threads`], further clamped so no thread would receive fewer
+/// than a handful of items. This is the worker count campaign fan-outs
+/// actually use (and report in their `campaign_start` events).
+#[must_use]
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    resolved_threads(requested)
+        .min(items / MIN_ITEMS_PER_THREAD)
+        .max(1)
 }
 
 /// Applies `f` to every item, fanning the work across `threads` scoped worker

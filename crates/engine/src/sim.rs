@@ -3,7 +3,7 @@
 //! replays a recorded golden trace instead of re-evaluating the whole
 //! schedule per fault.
 
-use crate::compile::{CompiledCircuit, FaultCone, CONE_SEED};
+use crate::compile::{AuxInject, CompiledCircuit, FaultCone, LanePlan, CONE_SEED};
 use crate::eval::Evaluator;
 use scal_netlist::Override;
 
@@ -350,6 +350,183 @@ impl<'c> ConeSim<'c> {
     }
 }
 
+/// The prebuilt per-lane injection plan of one packed fault batch — the
+/// compile-phase half of [`PackedSeqSim`].
+///
+/// Building a plan walks every fault's overrides, merges same-site faults
+/// into masked entries, and assigns auxiliary branch slots in schedule
+/// order; campaigns do that for all batches up front (it is planning, not
+/// evaluation) and then spin up each batch's simulator with
+/// [`PackedSeqSim::from_plan`], keeping the fault-sim phase free of
+/// planning work.
+#[derive(Debug)]
+pub struct PackedBatchPlan {
+    plan: LanePlan,
+    lanes: usize,
+}
+
+impl PackedBatchPlan {
+    /// Plans one batch: `faults[i]`'s overrides are mapped onto lane
+    /// `i + 1` with [`Evaluator`](crate::Evaluator) install semantics per
+    /// lane (first override per site wins, unknown sites ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`PackedSeqSim::FAULT_LANES`] faults are given.
+    #[must_use]
+    pub fn build(compiled: &CompiledCircuit, faults: &[&[Override]]) -> Self {
+        assert!(
+            faults.len() <= PackedSeqSim::FAULT_LANES,
+            "a packed batch holds at most {} faults",
+            PackedSeqSim::FAULT_LANES
+        );
+        PackedBatchPlan {
+            plan: LanePlan::build(compiled, faults),
+            lanes: faults.len(),
+        }
+    }
+
+    /// Fault lanes the plan occupies (the golden lane 0 not included).
+    #[must_use]
+    pub fn fault_lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
+/// A fault-per-lane packed sequential simulator: lane 0 replays the golden
+/// machine, lane `l` in `1..=faults.len()` replays fault `l - 1`, and one
+/// sweep per clock period serves the whole batch.
+///
+/// Per-lane injection uses masked stem forces, auxiliary branch slots
+/// (planned by the compile-side lane plan), and masked D-latch blends;
+/// per-lane flip-flop state is carried across periods inside the same
+/// packed words. Lane `l` of every output word after
+/// [`PackedSeqSim::step`] is bit-exact with a [`CompiledSim`] carrying
+/// fault `l - 1`'s overrides, and lane 0 with the fault-free machine.
+#[derive(Debug)]
+pub struct PackedSeqSim<'c> {
+    compiled: &'c CompiledCircuit,
+    ev: Evaluator,
+    /// Branch injections, sorted by consuming-op schedule position.
+    aux: Vec<AuxInject>,
+    /// Per flip-flop `(mask, value)` blend applied to the latched word
+    /// (per-lane D-pin branch faults).
+    dff_blend: Vec<(u64, u64)>,
+    /// One word per flip-flop, all lanes live.
+    state: Vec<u64>,
+    inputs: Vec<u64>,
+    lanes: usize,
+    steps: u64,
+}
+
+impl<'c> PackedSeqSim<'c> {
+    /// Maximum faults one batch packs (lane 0 is reserved for golden).
+    pub const FAULT_LANES: usize = 63;
+
+    /// Creates a packed simulator with every flip-flop at its power-up
+    /// value; `faults[i]`'s overrides are installed on lane `i + 1` with
+    /// [`Evaluator`](crate::Evaluator) install semantics per lane (first
+    /// override per site wins, unknown sites ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`PackedSeqSim::FAULT_LANES`] faults are given.
+    #[must_use]
+    pub fn new(compiled: &'c CompiledCircuit, faults: &[&[Override]]) -> Self {
+        Self::from_plan(compiled, &PackedBatchPlan::build(compiled, faults))
+    }
+
+    /// Creates a packed simulator from a prebuilt [`PackedBatchPlan`] —
+    /// the evaluation-phase half of the split: no fault walking or slot
+    /// assignment happens here, only evaluator scratch setup.
+    #[must_use]
+    pub fn from_plan(compiled: &'c CompiledCircuit, plan: &PackedBatchPlan) -> Self {
+        let lanes = plan.lanes;
+        let plan = &plan.plan;
+        let mut ev = Evaluator::with_aux(compiled, plan.aux.len());
+        for &(slot, mask, value) in &plan.stems {
+            ev.add_masked_stem(compiled, slot as usize, mask, value);
+        }
+        for &(flat, slot) in &plan.fanin_patches {
+            ev.patch_fanin(flat as usize, slot);
+        }
+        let mut dff_blend = vec![(0u64, 0u64); compiled.num_dffs()];
+        for &(d, mask, value) in &plan.dff_forces {
+            dff_blend[d as usize] = (mask, value);
+        }
+        let state = compiled
+            .dff_init
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        PackedSeqSim {
+            compiled,
+            ev,
+            aux: plan.aux.clone(),
+            dff_blend,
+            state,
+            inputs: vec![0; compiled.num_inputs()],
+            lanes,
+            steps: 0,
+        }
+    }
+
+    /// Fault lanes occupied (the golden lane 0 not included).
+    #[must_use]
+    pub fn fault_lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mask covering every occupied fault lane (bits `1..=fault_lanes`).
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes == 0 {
+            0
+        } else {
+            (u64::MAX >> (63 - self.lanes)) & !1
+        }
+    }
+
+    /// Simulates one clock period for every lane: one packed sweep, then a
+    /// per-lane latch of every flip-flop. Outputs are sampled afterwards
+    /// with [`PackedSeqSim::output`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the input count.
+    pub fn step(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.compiled.num_inputs(),
+            "input arity mismatch"
+        );
+        for (w, &b) in self.inputs.iter_mut().zip(inputs) {
+            *w = if b { u64::MAX } else { 0 };
+        }
+        self.ev
+            .eval_packed(self.compiled, &self.inputs, &self.state, &self.aux);
+        for i in 0..self.state.len() {
+            let w = self.ev.next_state(self.compiled, i);
+            let (m, v) = self.dff_blend[i];
+            self.state[i] = (w & !m) | (v & m);
+        }
+        self.steps += 1;
+    }
+
+    /// Packed word of primary output `k` after the last step: lane 0 is the
+    /// golden value, lane `l` the value under fault `l - 1`.
+    #[must_use]
+    pub fn output(&self, k: usize) -> u64 {
+        self.ev.output(self.compiled, k)
+    }
+
+    /// Clock periods simulated so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +655,61 @@ mod tests {
             cone.stats().ops_skipped,
             cc.num_ops() as u64 * steps.len() as u64
         );
+    }
+
+    /// Every stuck-at fault of the 2-bit counter packed into one batch:
+    /// each lane must match a dedicated [`CompiledSim`] carrying the same
+    /// fault, and lane 0 the fault-free machine, at every step.
+    #[test]
+    fn packed_lanes_match_per_fault_compiled_sims() {
+        let c = counter2();
+        let cc = CompiledCircuit::compile(&c);
+        let mut faults: Vec<[Override; 1]> = Vec::new();
+        for id in c.node_ids() {
+            for value in [false, true] {
+                faults.push([Override {
+                    site: Site::Stem(id),
+                    value,
+                }]);
+                for pin in 0..c.fanins(id).len() {
+                    faults.push([Override {
+                        site: Site::Branch { node: id, pin },
+                        value,
+                    }]);
+                }
+            }
+        }
+        faults.truncate(PackedSeqSim::FAULT_LANES);
+        let refs: Vec<&[Override]> = faults.iter().map(|f| f.as_slice()).collect();
+        let mut packed = PackedSeqSim::new(&cc, &refs);
+        assert_eq!(packed.fault_lanes(), faults.len());
+        let mut golden = CompiledSim::new(&cc);
+        let mut scalars: Vec<CompiledSim<'_>> = faults
+            .iter()
+            .map(|f| {
+                let mut s = CompiledSim::new(&cc);
+                s.attach(f);
+                s
+            })
+            .collect();
+        for step in 0..12 {
+            packed.step(&[]);
+            let gold = golden.step(&[]);
+            let lanes: Vec<Vec<bool>> = scalars.iter_mut().map(|s| s.step(&[])).collect();
+            for k in 0..cc.num_outputs() {
+                let w = packed.output(k);
+                assert_eq!(w & 1 == 1, gold[k], "golden lane, output {k}, step {step}");
+                for (l, lane) in lanes.iter().enumerate() {
+                    assert_eq!(
+                        (w >> (l + 1)) & 1 == 1,
+                        lane[k],
+                        "fault {:?}, output {k}, step {step}",
+                        faults[l][0]
+                    );
+                }
+            }
+        }
+        assert_eq!(packed.steps(), 12);
     }
 
     #[test]

@@ -118,6 +118,24 @@ pub enum CampaignEvent {
         /// Alternating pairs evaluated in the batch.
         pairs: u64,
     },
+    /// One fault-per-lane batch of a packed sequential campaign completed:
+    /// up to 63 faults replayed the driven word sequence together in the
+    /// lanes of one word (lane 0 golden). Emitted before the batch's
+    /// per-fault events during the merge replay.
+    LaneBatch {
+        /// Batch ordinal within the campaign's fault list, from 0.
+        batch: usize,
+        /// Worker thread that ran the batch.
+        worker: usize,
+        /// Fault lanes occupied (the golden lane not included).
+        lanes: usize,
+        /// Driven words replayed before every lane retired (or the sequence
+        /// ended).
+        words: u64,
+        /// Lanes classified (detected or violation) before the drive ended
+        /// — retired lanes drop out of the batch's early-exit frontier.
+        retired: usize,
+    },
     /// A fault's sweep was cut short by fault dropping.
     FaultDropped {
         /// Index into the campaign's fault list.
@@ -217,6 +235,7 @@ impl CampaignEvent {
             CampaignEvent::LevelGates { .. } => "level_gates",
             CampaignEvent::FaultStart { .. } => "fault_start",
             CampaignEvent::BatchDone { .. } => "batch_done",
+            CampaignEvent::LaneBatch { .. } => "lane_batch",
             CampaignEvent::FaultDropped { .. } => "fault_dropped",
             CampaignEvent::FaultFinish { .. } => "fault_finish",
             CampaignEvent::Progress { .. } => "progress",
@@ -302,6 +321,19 @@ impl CampaignEvent {
                 o.num("worker", worker as u64);
                 o.num("batch", batch as u64);
                 o.num("pairs", pairs);
+            }
+            CampaignEvent::LaneBatch {
+                batch,
+                worker,
+                lanes,
+                words,
+                retired,
+            } => {
+                o.num("batch", batch as u64);
+                o.num("worker", worker as u64);
+                o.num("lanes", lanes as u64);
+                o.num("words", words);
+                o.num("retired", retired as u64);
             }
             CampaignEvent::FaultDropped {
                 fault,
@@ -402,6 +434,13 @@ mod tests {
                 items: 12,
             },
             CampaignEvent::LevelGates { level: 2, gates: 5 },
+            CampaignEvent::LaneBatch {
+                batch: 1,
+                worker: 0,
+                lanes: 63,
+                words: 16,
+                retired: 40,
+            },
             CampaignEvent::Cancelled { completed: 2 },
             CampaignEvent::EvalMode { mode: "cone" },
             CampaignEvent::ConeStats {

@@ -71,6 +71,16 @@ pub struct Profile {
     /// sweeps, summed across those faults — where a cone-mode speedup comes
     /// from.
     pub cone_ops_skipped: u64,
+    /// Fault-per-lane batches a packed sequential campaign ran.
+    pub lane_batches: u64,
+    /// Fault lanes packed across those batches (63 faults share one word's
+    /// worth of sweeps per batch — where a packed-mode speedup comes from).
+    pub lanes_packed: u64,
+    /// Lanes classified before their batch's drive ended (retired lanes
+    /// drop out of the batch's early-exit frontier).
+    pub lanes_retired: u64,
+    /// Driven words replayed, summed across batches.
+    pub lane_words: u64,
 }
 
 impl Profile {
@@ -148,6 +158,13 @@ impl Profile {
                 100.0 * f
             );
         }
+        if self.lane_batches > 0 {
+            let _ = writeln!(
+                out,
+                "  lanes: {} batch(es), {} fault lane(s) packed, {} retired early, {} driven word(s)",
+                self.lane_batches, self.lanes_packed, self.lanes_retired, self.lane_words
+            );
+        }
         for p in &self.phases {
             let share = if self.micros > 0 {
                 format!(" ({:.1}%)", 100.0 * p.micros as f64 / self.micros as f64)
@@ -212,6 +229,12 @@ impl Profile {
         }
         if let Some(f) = self.ops_skipped_fraction() {
             o.float("ops_skipped_fraction", f);
+        }
+        if self.lane_batches > 0 {
+            o.num("lane_batches", self.lane_batches);
+            o.num("lanes_packed", self.lanes_packed);
+            o.num("lanes_retired", self.lanes_retired);
+            o.num("lane_words", self.lane_words);
         }
         if let Some(r) = self.pairs_per_sec() {
             o.float("pairs_per_sec", r);
@@ -368,6 +391,19 @@ impl CampaignObserver for Profiler {
                     p.cone_faults += 1;
                     p.cone_ops_evaluated += ops_evaluated;
                     p.cone_ops_skipped += ops_skipped;
+                }
+            }
+            CampaignEvent::LaneBatch {
+                lanes,
+                words,
+                retired,
+                ..
+            } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.lane_batches += 1;
+                    p.lanes_packed += lanes as u64;
+                    p.lanes_retired += retired as u64;
+                    p.lane_words += words;
                 }
             }
             CampaignEvent::LevelGates { level, gates } => {
@@ -568,6 +604,52 @@ mod tests {
             v.get("cone_ops_skipped").and_then(JsonValue::as_f64),
             Some(32.0)
         );
+    }
+
+    #[test]
+    fn lane_batches_aggregate_and_render() {
+        let prof = Profiler::new();
+        prof.on_event(&CampaignEvent::CampaignStart {
+            campaign: "seq",
+            faults: 100,
+            inputs: 2,
+            outputs: 4,
+            threads: 1,
+        });
+        for (batch, lanes, retired) in [(0usize, 63usize, 50usize), (1, 37, 30)] {
+            prof.on_event(&CampaignEvent::LaneBatch {
+                batch,
+                worker: 0,
+                lanes,
+                words: 16,
+                retired,
+            });
+        }
+        prof.on_event(&CampaignEvent::CampaignEnd {
+            faults: 100,
+            dropped: 0,
+            pairs: 700,
+            words: 64,
+            micros: 90,
+            cancelled: false,
+        });
+        let p = prof.latest().expect("profile");
+        assert_eq!(
+            (
+                p.lane_batches,
+                p.lanes_packed,
+                p.lanes_retired,
+                p.lane_words
+            ),
+            (2, 100, 80, 32)
+        );
+        assert!(
+            p.render()
+                .contains("lanes: 2 batch(es), 100 fault lane(s) packed, 80 retired early"),
+            "{}",
+            p.render()
+        );
+        assert!(p.to_json().contains("\"lanes_packed\":100"));
     }
 
     #[test]

@@ -10,20 +10,31 @@
 //! [`Campaign`] is the builder twin of `scal_faults::Campaign`: it forwards a
 //! [`CampaignObserver`] through compile / golden / fault-sim / merge phases
 //! (per-fault events replayed in fault order at merge, worker-attributed)
-//! and honors a [`CancelToken`] at fault boundaries, returning the completed
-//! fault-ordered prefix. On the engine backend faults default to
-//! cone-restricted replay ([`EvalMode::Cone`]): the golden run is captured
-//! once as a [`GoldenTrace`], and each fault replays only its fanout cone
-//! (widened across the D→Q arc) against the cached golden slots via
-//! [`ConeSim`]. [`EvalMode::Full`] re-simulates the whole machine per fault
-//! and serves as the differential oracle.
+//! and honors a [`CancelToken`], returning the completed fault-ordered
+//! prefix on cancellation.
+//!
+//! The default backend ([`SeqBackend::Packed`]) packs up to 63 faults into
+//! the lanes of one `u64` word — lane 0 replays the golden machine, every
+//! other lane one fault — and replays the driven sequence **once per
+//! batch** through [`PackedSeqSim`]: per-lane flip-flop state is carried
+//! across periods, every lane is classified against the golden lane with
+//! word-wide masks, and a classified lane *retires* (drops out of the
+//! batch's activity mask), so the batch early-exits once every lane is
+//! classified. [`SeqBackend::Scalar`] keeps the per-fault compiled path —
+//! cone-restricted replay ([`EvalMode::Cone`]) against a cached
+//! [`GoldenTrace`] via [`ConeSim`], or whole-machine re-simulation
+//! ([`EvalMode::Full`]) — as the packed backend's differential oracle, and
+//! [`SeqBackend::Graph`] the original graph-walking driver. All backends
+//! produce bit-identical outcomes, `first_detected` words, and coverage
+//! records (the scalar cone path additionally annotates cone statistics).
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
 use scal_engine::{
-    par_map_cancellable, CompiledCircuit, CompiledSim, ConeSim, ConeSimStats, EngineError,
-    EvalMode, GoldenTrace,
+    effective_threads, par_map_cancellable, CompiledCircuit, CompiledSim, ConeSim, ConeSimStats,
+    EngineError, EvalMode, GoldenTrace, PackedBatchPlan, PackedSeqSim,
 };
 use scal_faults::Fault;
+use scal_netlist::Override;
 use scal_obs::{
     CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, Phase,
 };
@@ -120,25 +131,83 @@ fn words_consumed(outcome: &SeqOutcome, total: usize) -> usize {
     }
 }
 
-/// Applies one information word over two alternating periods of a compiled
-/// simulator (`(X‖0, X̄‖1)`), mirroring [`AltSeqDriver::apply`].
-fn apply_compiled(sim: &mut CompiledSim<'_>, word: &[bool]) -> (Vec<bool>, Vec<bool>) {
-    let mut p1: Vec<bool> = word.to_vec();
+/// Fills `p1`/`p2` with the two alternating periods of one information word
+/// (`X‖0`, `X̄‖1`), reusing the caller's scratch buffers.
+fn alt_periods(word: &[bool], p1: &mut Vec<bool>, p2: &mut Vec<bool>) {
+    p1.clear();
+    p1.extend_from_slice(word);
     p1.push(false); // φ = 0
-    let mut p2: Vec<bool> = word.iter().map(|&b| !b).collect();
+    p2.clear();
+    p2.extend(word.iter().map(|&b| !b));
     p2.push(true); // φ = 1
-    let o1 = sim.step(&p1);
-    let o2 = sim.step(&p2);
+}
+
+/// Applies one information word over two alternating periods of a compiled
+/// simulator (`(X‖0, X̄‖1)`), mirroring [`AltSeqDriver::apply`]. `p1`/`p2`
+/// are caller-owned scratch buffers reused across words, so the scalar path
+/// allocates nothing per driven word beyond the returned output vectors.
+fn apply_compiled(
+    sim: &mut CompiledSim<'_>,
+    word: &[bool],
+    p1: &mut Vec<bool>,
+    p2: &mut Vec<bool>,
+) -> (Vec<bool>, Vec<bool>) {
+    alt_periods(word, p1, p2);
+    let o1 = sim.step(p1);
+    let o2 = sim.step(p2);
     (o1, o2)
 }
 
 /// Which simulation backend a sequential [`Campaign`] runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Backend {
-    /// Compiled machine with worker fan-out (default).
-    Engine,
-    /// The original graph-walking [`AltSeqDriver`] oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeqBackend {
+    /// Fault-per-lane packed replay (default): up to 63 faults ride the
+    /// lanes of one word (lane 0 golden) through [`PackedSeqSim`], replay
+    /// the driven sequence once per batch, and retire lanes as they are
+    /// classified.
+    #[default]
+    Packed,
+    /// Per-fault compiled replay — cone-restricted or full per
+    /// [`Campaign::eval_mode`] — the packed backend's differential oracle.
     Scalar,
+    /// The original graph-walking [`AltSeqDriver`] oracle, single-threaded.
+    Graph,
+}
+
+impl SeqBackend {
+    /// Stable lowercase name (`"packed"`, `"scalar"`, `"graph"`), as used by
+    /// the `--seq-backend` bench flag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SeqBackend::Packed => "packed",
+            SeqBackend::Scalar => "scalar",
+            SeqBackend::Graph => "graph",
+        }
+    }
+}
+
+impl std::fmt::Display for SeqBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SeqBackend {
+    type Err = EngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "packed" => Ok(SeqBackend::Packed),
+            "scalar" => Ok(SeqBackend::Scalar),
+            "graph" => Ok(SeqBackend::Graph),
+            other => Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "seq backend must be \"packed\", \"scalar\" or \"graph\", got {other:?}"
+                ),
+            }),
+        }
+    }
 }
 
 /// Builder for a sequential fault campaign over a [`ScalMachine`] and a
@@ -150,7 +219,7 @@ pub struct Campaign<'a> {
     observer: Option<&'a dyn CampaignObserver>,
     coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
-    backend: Backend,
+    backend: SeqBackend,
     eval_mode: EvalMode,
 }
 
@@ -171,8 +240,8 @@ impl std::fmt::Debug for Campaign<'_> {
 
 impl<'a> Campaign<'a> {
     /// Starts a campaign driving `machine` with `words` (each an
-    /// external-input vector): compiled engine backend, auto thread count,
-    /// no observer, no cancellation.
+    /// external-input vector): packed fault-per-lane backend, auto thread
+    /// count, no observer, no cancellation.
     #[must_use]
     pub fn new(machine: &'a ScalMachine, words: &'a [Vec<bool>]) -> Self {
         Campaign {
@@ -182,7 +251,7 @@ impl<'a> Campaign<'a> {
             observer: None,
             coverage: None,
             cancel: None,
-            backend: Backend::Engine,
+            backend: SeqBackend::default(),
             eval_mode: EvalMode::default(),
         }
     }
@@ -214,48 +283,43 @@ impl<'a> Campaign<'a> {
     }
 
     /// Makes the run cancellable through `token`, checked at fault
-    /// boundaries; the returned outcomes are then a fault-ordered prefix.
+    /// boundaries (batch boundaries on the packed backend); the returned
+    /// outcomes are then a fault-ordered prefix.
     #[must_use]
     pub fn cancel(mut self, token: &'a CancelToken) -> Self {
         self.cancel = Some(token);
         self
     }
 
-    /// Runs on the original graph-walking [`AltSeqDriver`] oracle instead of
-    /// the compiled machine.
+    /// Selects the simulation backend; see [`SeqBackend`]. All backends
+    /// produce bit-identical outcomes.
     #[must_use]
-    pub fn scalar(mut self) -> Self {
-        self.backend = Backend::Scalar;
+    pub fn backend(mut self, backend: SeqBackend) -> Self {
+        self.backend = backend;
         self
     }
 
-    /// Selects the per-fault replay strategy on the engine backend:
-    /// cone-restricted incremental replay ([`EvalMode::Cone`], the default)
-    /// or full re-simulation ([`EvalMode::Full`], the differential oracle).
-    /// Both produce identical outcomes; the scalar backend ignores this
-    /// knob.
+    /// Runs on the original graph-walking [`AltSeqDriver`] oracle instead of
+    /// a compiled backend — shorthand for `.backend(SeqBackend::Graph)`.
+    #[must_use]
+    pub fn scalar(self) -> Self {
+        self.backend(SeqBackend::Graph)
+    }
+
+    /// Selects the per-fault replay strategy on the [`SeqBackend::Scalar`]
+    /// backend: cone-restricted incremental replay ([`EvalMode::Cone`], the
+    /// default) or full re-simulation ([`EvalMode::Full`], the differential
+    /// oracle). Both produce identical outcomes; the packed and graph
+    /// backends ignore this knob.
     #[must_use]
     pub fn eval_mode(mut self, mode: EvalMode) -> Self {
         self.eval_mode = mode;
         self
     }
 
-    /// Runs the campaign.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`CompiledCircuit::try_compile`] errors on the engine
-    /// backend (the scalar oracle never compiles, so it only errors on
-    /// future validations).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a word's width mismatches the machine's external inputs.
-    pub fn run(self) -> Result<SeqCampaign, EngineError> {
-        let total_t = Instant::now();
-        let faults = self.machine.checkable_faults();
-        // Fan out to the plain observer and/or the coverage map; an empty
-        // fan-out reports enabled() == false, preserving the fast path.
+    /// Builds the observer fan-out (plain observer and/or coverage map); an
+    /// empty fan-out reports `enabled() == false`, preserving the fast path.
+    fn fan_out(&self, faults: &[Fault]) -> MultiObserver<'a> {
         let mut fan = MultiObserver::new();
         if let Some(o) = self.observer {
             fan.push(o);
@@ -269,48 +333,327 @@ impl<'a> Campaign<'a> {
             );
             fan.push(cov);
         }
+        fan
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledCircuit::try_compile`] errors on the compiled
+    /// backends (the graph oracle never compiles, so it only errors on
+    /// future validations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word's width mismatches the machine's external inputs.
+    pub fn run(self) -> Result<SeqCampaign, EngineError> {
+        match self.backend {
+            SeqBackend::Packed => self.run_packed(),
+            SeqBackend::Scalar | SeqBackend::Graph => self.run_per_fault(),
+        }
+    }
+
+    /// The packed fault-per-lane path: up to 63 faults per batch ride the
+    /// lanes of one word (lane 0 golden) and the driven sequence is replayed
+    /// once per batch, with lanes retiring as they are classified.
+    fn run_packed(self) -> Result<SeqCampaign, EngineError> {
+        let total_t = Instant::now();
+        let faults = self.machine.checkable_faults();
+        let fan = self.fan_out(&faults);
         let observer: &dyn CampaignObserver = &fan;
         let obs = observer.enabled();
+        let batches: Vec<&[Fault]> = faults.chunks(PackedSeqSim::FAULT_LANES).collect();
+        let n_batches = batches.len();
         if obs {
             observer.on_event(&CampaignEvent::CampaignStart {
-                campaign: match self.backend {
-                    Backend::Engine => "seq",
-                    Backend::Scalar => "seq_scalar",
+                campaign: "seq",
+                faults: faults.len(),
+                inputs: self.machine.circuit.inputs().len(),
+                outputs: self.machine.circuit.outputs().len(),
+                threads: effective_threads(self.threads, n_batches),
+            });
+        }
+
+        // Compile phase: the schedule plus every batch's lane plan —
+        // mapping faults onto lanes is planning, not evaluation, so the
+        // fault-sim phase below only sets up evaluator scratch and sweeps.
+        let t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::Compile,
+            });
+        }
+        let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
+        let plans: Vec<PackedBatchPlan> = {
+            let mut overrides: Vec<[Override; 1]> = Vec::with_capacity(PackedSeqSim::FAULT_LANES);
+            batches
+                .iter()
+                .map(|batch| {
+                    overrides.clear();
+                    overrides.extend(batch.iter().map(|f| [f.to_override()]));
+                    let refs: Vec<&[Override]> = overrides.iter().map(|o| o.as_slice()).collect();
+                    PackedBatchPlan::build(&compiled, &refs)
+                })
+                .collect()
+        };
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::Compile,
+                micros: duration_micros(t.elapsed()),
+            });
+        }
+
+        // Golden phase: the golden machine rides lane 0 of every batch, so
+        // nothing is simulated up front — each driven word is just expanded
+        // once into its two alternating periods, shared by every batch.
+        let t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::Golden,
+            });
+        }
+        let periods: Vec<(Vec<bool>, Vec<bool>)> = self
+            .words
+            .iter()
+            .map(|w| {
+                let (mut p1, mut p2) = (Vec::new(), Vec::new());
+                alt_periods(w, &mut p1, &mut p2);
+                (p1, p2)
+            })
+            .collect();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::Golden,
+                micros: duration_micros(t.elapsed()),
+            });
+        }
+
+        // Fault simulation: one packed replay per batch, cancellable at
+        // batch boundaries.
+        let t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::FaultSim,
+            });
+        }
+        let mon = self.machine.monitored();
+        let code_pair = self.machine.code_pair;
+        let n_outputs = self.machine.circuit.outputs().len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let run_batch = |worker: usize,
+                         batch: &[Fault],
+                         plan: &PackedBatchPlan|
+         -> (usize, Vec<SeqOutcome>, u64, usize) {
+            let mut sim = PackedSeqSim::from_plan(&compiled, plan);
+            let mut outcomes = vec![SeqOutcome::Dormant; batch.len()];
+            let mut active = sim.lane_mask();
+            let mut words_run = 0u64;
+            let mut o1 = vec![0u64; n_outputs];
+            // Broadcasts the golden lane's bit across all 64 lanes.
+            let splat = |w: u64| 0u64.wrapping_sub(w & 1);
+            for (i, (p1, p2)) in periods.iter().enumerate() {
+                sim.step(p1);
+                for (k, slot) in o1.iter_mut().enumerate() {
+                    *slot = sim.output(k);
+                }
+                sim.step(p2);
+                words_run = i as u64 + 1;
+                // A lane manifests at the first word where any monitored
+                // line deviates from the golden lane; the flag masks mirror
+                // classify_trace lane-wise.
+                let mut wrong = 0u64;
+                let mut nonalt = 0u64;
+                for k in mon.clone() {
+                    let (o1k, o2k) = (o1[k], sim.output(k));
+                    wrong |= (o1k ^ splat(o1k)) | (o2k ^ splat(o2k));
+                    nonalt |= !(o1k ^ o2k);
+                }
+                let code_bad = code_pair.map_or(0, |(f, g)| {
+                    !(o1[f] ^ o1[g]) | !(sim.output(f) ^ sim.output(g))
+                });
+                let newly = wrong & active;
+                if newly != 0 {
+                    let flagged = nonalt | code_bad;
+                    for (l, outcome) in outcomes.iter_mut().enumerate() {
+                        let bit = 1u64 << (l + 1);
+                        if newly & bit != 0 {
+                            *outcome = if flagged & bit != 0 {
+                                SeqOutcome::Detected { word: i }
+                            } else {
+                                SeqOutcome::Violation { word: i }
+                            };
+                        }
+                    }
+                    active &= !newly;
+                    if active == 0 {
+                        break;
+                    }
+                }
+            }
+            if obs {
+                observer.on_event(&CampaignEvent::Progress {
+                    done: done.fetch_add(batch.len(), std::sync::atomic::Ordering::Relaxed)
+                        + batch.len(),
+                    total: faults.len(),
+                });
+            }
+            let retired = outcomes
+                .iter()
+                .filter(|o| !matches!(o, SeqOutcome::Dormant))
+                .count();
+            (worker, outcomes, words_run, retired)
+        };
+        let items: Vec<(&[Fault], &PackedBatchPlan)> =
+            batches.iter().copied().zip(plans.iter()).collect();
+        let slots = par_map_cancellable(
+            &items,
+            self.threads,
+            self.cancel,
+            |worker, _, (batch, plan)| run_batch(worker, batch, plan),
+        );
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::FaultSim,
+                micros: duration_micros(t.elapsed()),
+            });
+        }
+        drop(items);
+        drop(batches);
+
+        // Merge: deterministic fault-ordered prefix (whole batches) with
+        // event replay — one LaneBatch per batch, then its faults' events.
+        let merge_t = Instant::now();
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseStart {
+                phase: Phase::Merge,
+            });
+        }
+        let completed_batches = slots.iter().take_while(|s| s.is_some()).count();
+        let cancelled = completed_batches < n_batches;
+        let mut fault_iter = faults.into_iter();
+        let mut fault_idx = 0usize;
+        let mut outcomes = Vec::new();
+        let mut pairs_total = 0u64;
+        let mut words_total = 0u64;
+        for (b, slot) in slots.into_iter().take(completed_batches).enumerate() {
+            let (worker, batch_outcomes, words_run, retired) = slot.expect("prefix is complete");
+            words_total += words_run;
+            if obs {
+                observer.on_event(&CampaignEvent::LaneBatch {
+                    batch: b,
+                    worker,
+                    lanes: batch_outcomes.len(),
+                    words: words_run,
+                    retired,
+                });
+            }
+            for outcome in batch_outcomes {
+                let fault = fault_iter.next().expect("one fault per packed lane");
+                let pairs = words_consumed(&outcome, self.words.len()) as u64;
+                pairs_total += pairs;
+                if obs {
+                    observer.on_event(&CampaignEvent::FaultStart {
+                        fault: fault_idx,
+                        worker,
+                    });
+                    observer.on_event(&CampaignEvent::FaultFinish {
+                        fault: fault_idx,
+                        worker,
+                        detected: usize::from(matches!(outcome, SeqOutcome::Detected { .. })),
+                        violations: usize::from(matches!(outcome, SeqOutcome::Violation { .. })),
+                        observable: !matches!(outcome, SeqOutcome::Dormant),
+                        dropped: false,
+                        first_detected: match outcome {
+                            SeqOutcome::Detected { word } => u32::try_from(word).ok(),
+                            _ => None,
+                        },
+                        pairs,
+                    });
+                }
+                outcomes.push((fault, outcome));
+                fault_idx += 1;
+            }
+        }
+        if obs {
+            observer.on_event(&CampaignEvent::PhaseEnd {
+                phase: Phase::Merge,
+                micros: duration_micros(merge_t.elapsed()),
+            });
+            if cancelled {
+                observer.on_event(&CampaignEvent::Cancelled {
+                    completed: outcomes.len(),
+                });
+            }
+            observer.on_event(&CampaignEvent::CampaignEnd {
+                faults: outcomes.len(),
+                dropped: 0,
+                pairs: pairs_total,
+                // Each batch replays `words_run` driven words of two clocked
+                // periods each; the golden machine rides lane 0, so it costs
+                // no extra pass over the schedule.
+                words: words_total * 2,
+                micros: duration_micros(total_t.elapsed()),
+                cancelled,
+            });
+        }
+        Ok(SeqCampaign {
+            outcomes,
+            cancelled,
+        })
+    }
+
+    /// The per-fault replay path: [`SeqBackend::Scalar`] (compiled, one
+    /// fault at a time, cone-restricted or full) and [`SeqBackend::Graph`]
+    /// (the original graph-walking driver).
+    fn run_per_fault(self) -> Result<SeqCampaign, EngineError> {
+        let total_t = Instant::now();
+        let faults = self.machine.checkable_faults();
+        let fan = self.fan_out(&faults);
+        let observer: &dyn CampaignObserver = &fan;
+        let obs = observer.enabled();
+        let compiled_backend = self.backend == SeqBackend::Scalar;
+        if obs {
+            observer.on_event(&CampaignEvent::CampaignStart {
+                campaign: if compiled_backend {
+                    "seq"
+                } else {
+                    "seq_scalar"
                 },
                 faults: faults.len(),
                 inputs: self.machine.circuit.inputs().len(),
                 outputs: self.machine.circuit.outputs().len(),
-                threads: match self.backend {
-                    Backend::Engine => self.threads,
-                    Backend::Scalar => 1,
+                threads: if compiled_backend {
+                    effective_threads(self.threads, faults.len())
+                } else {
+                    1
                 },
             });
-            if self.backend == Backend::Engine {
+            if compiled_backend {
                 observer.on_event(&CampaignEvent::EvalMode {
                     mode: self.eval_mode.name(),
                 });
             }
         }
 
-        // Compile phase (engine backend only).
-        let compiled = match self.backend {
-            Backend::Engine => {
-                let t = Instant::now();
-                if obs {
-                    observer.on_event(&CampaignEvent::PhaseStart {
-                        phase: Phase::Compile,
-                    });
-                }
-                let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
-                if obs {
-                    observer.on_event(&CampaignEvent::PhaseEnd {
-                        phase: Phase::Compile,
-                        micros: duration_micros(t.elapsed()),
-                    });
-                }
-                Some(compiled)
+        // Compile phase (compiled backend only).
+        let compiled = if compiled_backend {
+            let t = Instant::now();
+            if obs {
+                observer.on_event(&CampaignEvent::PhaseStart {
+                    phase: Phase::Compile,
+                });
             }
-            Backend::Scalar => None,
+            let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
+            if obs {
+                observer.on_event(&CampaignEvent::PhaseEnd {
+                    phase: Phase::Compile,
+                    micros: duration_micros(t.elapsed()),
+                });
+            }
+            Some(compiled)
+        } else {
+            None
         };
 
         // Golden trace.
@@ -350,9 +693,10 @@ impl<'a> Campaign<'a> {
                 .collect(),
             (None, Some(compiled)) => {
                 let mut sim = CompiledSim::new(compiled);
+                let (mut p1, mut p2) = (Vec::new(), Vec::new());
                 self.words
                     .iter()
-                    .map(|w| apply_compiled(&mut sim, w))
+                    .map(|w| apply_compiled(&mut sim, w, &mut p1, &mut p2))
                     .collect()
             }
             (None, None) => {
@@ -400,10 +744,11 @@ impl<'a> Campaign<'a> {
                 (Some(compiled), None) => {
                     let mut sim = CompiledSim::new(compiled);
                     sim.attach(&[fault.to_override()]);
+                    let (mut p1, mut p2) = (Vec::new(), Vec::new());
                     let outcome = classify_trace(
                         self.machine,
                         &golden,
-                        |w| apply_compiled(&mut sim, w),
+                        |w| apply_compiled(&mut sim, w, &mut p1, &mut p2),
                         self.words,
                     );
                     (outcome, None)
@@ -424,13 +769,12 @@ impl<'a> Campaign<'a> {
             }
             (worker, outcome, cone_stats)
         };
-        let slots: Vec<Option<(usize, SeqOutcome, Option<ConeSimStats>)>> = match self.backend {
-            Backend::Engine => {
-                par_map_cancellable(&faults, self.threads, self.cancel, |worker, _, fault| {
-                    sim_one(worker, fault)
-                })
-            }
-            Backend::Scalar => faults
+        let slots: Vec<Option<(usize, SeqOutcome, Option<ConeSimStats>)>> = if compiled_backend {
+            par_map_cancellable(&faults, self.threads, self.cancel, |worker, _, fault| {
+                sim_one(worker, fault)
+            })
+        } else {
+            faults
                 .iter()
                 .map(|fault| {
                     if self.cancel.is_some_and(CancelToken::is_cancelled) {
@@ -439,7 +783,7 @@ impl<'a> Campaign<'a> {
                         Some(sim_one(0, fault))
                     }
                 })
-                .collect(),
+                .collect()
         };
         if obs {
             observer.on_event(&CampaignEvent::PhaseEnd {
@@ -567,16 +911,22 @@ mod tests {
     }
 
     #[test]
-    fn engine_campaign_matches_scalar_oracle() {
+    fn all_backends_agree() {
         let m = kohavi_0101();
         let words = bit_words(&[0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]);
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
-            assert_eq!(
-                Campaign::new(&machine, &words).run().unwrap(),
-                Campaign::new(&machine, &words).scalar().run().unwrap(),
-                "{}",
-                machine.design
-            );
+            let packed = Campaign::new(&machine, &words).run().unwrap();
+            for backend in [SeqBackend::Scalar, SeqBackend::Graph] {
+                assert_eq!(
+                    packed,
+                    Campaign::new(&machine, &words)
+                        .backend(backend)
+                        .run()
+                        .unwrap(),
+                    "{} vs {backend}",
+                    machine.design
+                );
+            }
         }
     }
 
@@ -585,8 +935,12 @@ mod tests {
         let m = kohavi_0101();
         let words = bit_words(&[0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]);
         for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
-            let cone = Campaign::new(&machine, &words).run().unwrap();
+            let cone = Campaign::new(&machine, &words)
+                .backend(SeqBackend::Scalar)
+                .run()
+                .unwrap();
             let full = Campaign::new(&machine, &words)
+                .backend(SeqBackend::Scalar)
                 .eval_mode(EvalMode::Full)
                 .run()
                 .unwrap();
@@ -601,6 +955,7 @@ mod tests {
         let machine = dual_ff_machine(&m);
         let collect = CollectObserver::default();
         let campaign = Campaign::new(&machine, &words)
+            .backend(SeqBackend::Scalar)
             .threads(1)
             .observer(&collect)
             .run()
@@ -624,6 +979,7 @@ mod tests {
 
         let collect2 = CollectObserver::default();
         let _ = Campaign::new(&machine, &words)
+            .backend(SeqBackend::Scalar)
             .eval_mode(EvalMode::Full)
             .observer(&collect2)
             .run()
@@ -656,6 +1012,7 @@ mod tests {
         let machine = dual_ff_machine(&m);
         let cov = scal_obs::CoverageObserver::new();
         let campaign = Campaign::new(&machine, &words)
+            .backend(SeqBackend::Scalar)
             .coverage(&cov)
             .run()
             .unwrap();
@@ -670,15 +1027,9 @@ mod tests {
                 _ => assert_eq!(record.first_detected, None),
             }
         }
-        // Cone mode annotates every record; the scalar oracle yields the
-        // identical verdicts without cone stats.
+        // Cone mode annotates every record; the graph oracle and the packed
+        // backend yield the identical verdicts without cone stats.
         assert!(map.records.iter().all(|r| r.cone_ops.is_some()));
-        let cov2 = scal_obs::CoverageObserver::new();
-        let _ = Campaign::new(&machine, &words)
-            .scalar()
-            .coverage(&cov2)
-            .run()
-            .unwrap();
         let stripped: Vec<_> = map
             .records
             .iter()
@@ -689,7 +1040,64 @@ mod tests {
                 ..r.clone()
             })
             .collect();
-        assert_eq!(cov2.latest().expect("scalar map").records, stripped);
+        for backend in [SeqBackend::Packed, SeqBackend::Graph] {
+            let cov2 = scal_obs::CoverageObserver::new();
+            let _ = Campaign::new(&machine, &words)
+                .backend(backend)
+                .coverage(&cov2)
+                .run()
+                .unwrap();
+            let map2 = cov2.latest().expect("coverage map");
+            assert_eq!(map2.records, stripped, "{backend}");
+        }
+    }
+
+    #[test]
+    fn packed_emits_lane_batches_and_no_eval_mode() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0]);
+        let machine = code_conversion_machine(&m);
+        let faults = machine.checkable_faults().len();
+        assert!(faults > 2 * 63, "want ≥3 batches, got {faults} faults");
+        let collect = CollectObserver::default();
+        let campaign = Campaign::new(&machine, &words)
+            .threads(1)
+            .observer(&collect)
+            .run()
+            .unwrap();
+        let events = collect.events();
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::EvalMode { .. })));
+        let batches: Vec<(usize, usize, u64, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::LaneBatch {
+                    batch,
+                    lanes,
+                    words,
+                    retired,
+                    ..
+                } => Some((*batch, *lanes, *words, *retired)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), faults.div_ceil(63));
+        assert_eq!(
+            batches.iter().map(|b| b.0).collect::<Vec<_>>(),
+            (0..batches.len()).collect::<Vec<_>>()
+        );
+        assert_eq!(batches.iter().map(|b| b.1).sum::<usize>(), faults);
+        let observable = campaign
+            .outcomes
+            .iter()
+            .filter(|(_, o)| !matches!(o, SeqOutcome::Dormant))
+            .count();
+        assert_eq!(batches.iter().map(|b| b.3).sum::<usize>(), observable);
+        for (_, lanes, batch_words, retired) in &batches {
+            assert!(*batch_words <= words.len() as u64);
+            assert!(retired <= lanes);
+        }
     }
 
     #[test]

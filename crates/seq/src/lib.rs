@@ -35,7 +35,7 @@ pub mod patterns;
 pub mod synth;
 pub mod translator;
 
-pub use campaign::{Campaign, SeqCampaign, SeqOutcome};
+pub use campaign::{Campaign, SeqBackend, SeqCampaign, SeqOutcome};
 pub use dual_ff::{dual_ff_machine, ScalMachine};
 pub use machine::StateMachine;
 pub use synth::{self_dual_core, synthesize};

@@ -188,6 +188,15 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Accepted for builder parity with [`scal_seq::Campaign::backend`], but
+    /// currently a no-op: the interpreted datapath has no packed
+    /// fault-per-lane path, so fault runs behave as
+    /// [`scal_seq::SeqBackend::Graph`] regardless of `backend`.
+    #[must_use]
+    pub fn seq_backend(self, _backend: scal_seq::SeqBackend) -> Self {
+        self
+    }
+
     /// Runs the campaign.
     ///
     /// # Panics

@@ -46,6 +46,18 @@ fn mode_under_test() -> EvalMode {
     }
 }
 
+/// Backend for the sequential campaigns under differential test. CI sets
+/// `SCAL_SEQ_BACKEND=packed|scalar` to run the suite once per backend;
+/// unset runs the default (packed).
+fn seq_backend_under_test() -> scal::seq::SeqBackend {
+    match std::env::var("SCAL_SEQ_BACKEND") {
+        Ok(s) => s
+            .parse()
+            .expect("SCAL_SEQ_BACKEND must be packed|scalar|graph"),
+        Err(_) => scal::seq::SeqBackend::default(),
+    }
+}
+
 /// Every combinational alternating paper circuit: full collapsed fault
 /// universe through both campaigns, results compared including ordering.
 #[test]
@@ -209,6 +221,7 @@ fn cone_eval_matches_full_on_paper_circuits() {
 /// designs, across thread counts.
 #[test]
 fn seq_cone_eval_matches_full_on_kohavi_designs() {
+    use scal::seq::SeqBackend;
     let m = scal::seq::kohavi::kohavi_0101();
     let words: Vec<Vec<bool>> = [0u32, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0]
         .iter()
@@ -221,16 +234,148 @@ fn seq_cone_eval_matches_full_on_kohavi_designs() {
         for threads in [1, 2, 4] {
             let full = scal::seq::Campaign::new(&machine, &words)
                 .threads(threads)
+                .backend(SeqBackend::Scalar)
                 .eval_mode(EvalMode::Full)
                 .run()
                 .expect("full seq campaign");
             let cone = scal::seq::Campaign::new(&machine, &words)
                 .threads(threads)
+                .backend(SeqBackend::Scalar)
                 .run()
                 .expect("cone seq campaign");
             assert_eq!(full, cone, "{}: threads {threads}", machine.design);
         }
     }
+}
+
+/// The Chapter-4 sequential machines and the 4-bit up/down counter under
+/// both SCAL conversions.
+fn seq_differential_machines() -> Vec<scal::seq::ScalMachine> {
+    let m = scal::seq::kohavi::kohavi_0101();
+    let counter = scal::seq::counters::up_down_counter(4);
+    vec![
+        scal::seq::dual_ff_machine(&m),
+        scal::seq::code_conversion_machine(&m),
+        scal::seq::dual_ff_machine(&counter),
+        scal::seq::code_conversion_machine(&counter),
+    ]
+}
+
+/// A driven word sequence of `width`-bit words exercising every machine.
+fn seq_drive(width: usize) -> Vec<Vec<bool>> {
+    (0..14u32)
+        .map(|step| {
+            (0..width)
+                .map(|i| (step.wrapping_mul(7).wrapping_add(i as u32 * 5)) % 4 < 2)
+                .collect()
+        })
+        .collect()
+}
+
+/// The packed fault-per-lane backend is bit-identical to the per-fault
+/// scalar backend — outcomes, `first_detected` words, and coverage maps —
+/// on every sequential design, across thread counts and both scalar-oracle
+/// eval modes. (Sequential campaigns have no fault-dropping knob — a
+/// classified fault inherently stops consuming words — so the scalar
+/// oracle's eval-mode axis stands in for the pair campaign's drop axis.)
+#[test]
+fn seq_packed_matches_scalar_backend() {
+    use scal::obs::CoverageObserver;
+    use scal::seq::SeqBackend;
+    for machine in seq_differential_machines() {
+        let words = seq_drive(machine.circuit.inputs().len() - 1);
+        for threads in [1, 2, 4] {
+            for oracle_mode in [EvalMode::Full, EvalMode::Cone] {
+                let packed_cov = CoverageObserver::new();
+                let packed = scal::seq::Campaign::new(&machine, &words)
+                    .threads(threads)
+                    .backend(seq_backend_under_test())
+                    .coverage(&packed_cov)
+                    .run()
+                    .expect("packed seq campaign");
+                let scalar_cov = CoverageObserver::new();
+                let scalar = scal::seq::Campaign::new(&machine, &words)
+                    .threads(threads)
+                    .backend(SeqBackend::Scalar)
+                    .eval_mode(oracle_mode)
+                    .coverage(&scalar_cov)
+                    .run()
+                    .expect("scalar seq campaign");
+                assert_eq!(
+                    packed, scalar,
+                    "{}: threads {threads}, oracle {oracle_mode}",
+                    machine.design
+                );
+                for ((p, s), (fault, _)) in packed_cov
+                    .latest()
+                    .expect("packed map")
+                    .records
+                    .iter()
+                    .zip(&scalar_cov.latest().expect("scalar map").records)
+                    .zip(&packed.outcomes)
+                {
+                    assert_eq!(p.first_detected, s.first_detected, "{fault:?}");
+                    assert_eq!(p.detected, s.detected, "{fault:?}");
+                    assert_eq!(p.violations, s.violations, "{fault:?}");
+                    assert_eq!(p.observable, s.observable, "{fault:?}");
+                    assert_eq!(p.pairs, s.pairs, "{fault:?}");
+                    assert_eq!(p.label, s.label, "{fault:?}");
+                }
+            }
+        }
+    }
+}
+
+/// A cancelled packed campaign's fault-ordered prefix is bit-identical to
+/// the same prefix of an uncancelled scalar-backend run; packed
+/// cancellation lands on a whole-batch boundary.
+#[test]
+fn cancelled_packed_seq_prefix_matches_scalar_run() {
+    use scal::obs::{CampaignEvent, CampaignObserver, CancelToken};
+    use scal::seq::SeqBackend;
+    struct CancelAfter<'a> {
+        token: &'a CancelToken,
+        after: usize,
+    }
+    impl CampaignObserver for CancelAfter<'_> {
+        fn on_event(&self, event: &CampaignEvent) {
+            if let CampaignEvent::Progress { done, .. } = event {
+                if *done >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+    }
+    let m = scal::seq::kohavi::kohavi_0101();
+    let machine = scal::seq::code_conversion_machine(&m);
+    let words = seq_drive(machine.circuit.inputs().len() - 1);
+    let total = machine.checkable_faults().len();
+    assert!(total > 63, "want multiple packed batches, got {total}");
+    let full = scal::seq::Campaign::new(&machine, &words)
+        .threads(1)
+        .backend(SeqBackend::Scalar)
+        .run()
+        .expect("scalar seq campaign");
+    let token = CancelToken::new();
+    let observer = CancelAfter {
+        token: &token,
+        after: 1,
+    };
+    let partial = scal::seq::Campaign::new(&machine, &words)
+        .threads(1)
+        .observer(&observer)
+        .cancel(&token)
+        .run()
+        .expect("cancelled packed campaign");
+    assert!(partial.cancelled, "token must cancel the run");
+    let k = partial.outcomes.len();
+    assert!(k > 0 && k < total, "cancellation must stop early ({k})");
+    assert_eq!(k % 63, 0, "packed cancellation lands on a batch boundary");
+    assert_eq!(
+        partial.outcomes[..],
+        full.outcomes[..k],
+        "packed prefix must match the scalar run"
+    );
 }
 
 /// A cancelled cone campaign's fault-ordered prefix is bit-identical to the
