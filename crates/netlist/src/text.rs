@@ -39,6 +39,17 @@ pub enum TextError {
         /// 1-based line number.
         line: usize,
     },
+    /// A `connect` line targeted a node that is not a flip-flop.
+    NotAFlipFlop {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `connect` line targeted a flip-flop whose D input was already
+    /// wired by an earlier `connect`.
+    AlreadyConnected {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl core::fmt::Display for TextError {
@@ -47,6 +58,12 @@ impl core::fmt::Display for TextError {
             TextError::BadHeader => write!(f, "missing 'scal-netlist v1' header"),
             TextError::BadLine { line, text } => write!(f, "cannot parse line {line}: {text:?}"),
             TextError::BadNodeRef { line } => write!(f, "bad node reference on line {line}"),
+            TextError::NotAFlipFlop { line } => {
+                write!(f, "connect target on line {line} is not a flip-flop")
+            }
+            TextError::AlreadyConnected { line } => {
+                write!(f, "flip-flop on line {line} is already connected")
+            }
         }
     }
 }
@@ -141,10 +158,7 @@ impl Circuit {
 
         let mut c = Circuit::new();
         let parse_id = |tok: &str, line: usize, max: usize| -> Result<NodeId, TextError> {
-            let idx: usize = tok
-                .strip_prefix('n')
-                .and_then(|d| d.parse().ok())
-                .ok_or(TextError::BadNodeRef { line })?;
+            let idx = parse_index(tok).ok_or(TextError::BadNodeRef { line })?;
             if idx >= max {
                 return Err(TextError::BadNodeRef { line });
             }
@@ -204,6 +218,14 @@ impl Circuit {
                 "connect" if toks.len() == 3 => {
                     let ff = parse_id(toks[1], line, c.len())?;
                     let d = parse_id(toks[2], line, c.len())?;
+                    // connect_dff panics on these; the parser reads untrusted
+                    // bytes, so pre-check and return typed errors instead.
+                    if !matches!(c.view(ff), NodeView::Dff { .. }) {
+                        return Err(TextError::NotAFlipFlop { line });
+                    }
+                    if !c.fanins(ff).is_empty() {
+                        return Err(TextError::AlreadyConnected { line });
+                    }
                     c.connect_dff(ff, d);
                 }
                 "name" if toks.len() == 3 => {
@@ -221,11 +243,19 @@ impl Circuit {
     }
 }
 
+/// Parses `n<digits>` strictly: ASCII digits only (no sign, no whitespace —
+/// `usize::from_str` would accept `"+3"`), `None` on overflow or any other
+/// shape.
+fn parse_index(tok: &str) -> Option<usize> {
+    let digits = tok.strip_prefix('n')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
 fn parse_new_id(tok: &str, line: usize, len: usize) -> Result<usize, TextError> {
-    let idx: usize = tok
-        .strip_prefix('n')
-        .and_then(|d| d.parse().ok())
-        .ok_or(TextError::BadNodeRef { line })?;
+    let idx = parse_index(tok).ok_or(TextError::BadNodeRef { line })?;
     if idx != len {
         return Err(TextError::BadNodeRef { line });
     }
@@ -319,6 +349,74 @@ mod tests {
         assert!(matches!(
             Circuit::from_text(text),
             Err(TextError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_on_non_dff_is_a_typed_error() {
+        let text = "scal-netlist v1\ninput n0 a\ngate n1 not n0\nconnect n1 n0\n";
+        assert!(matches!(
+            Circuit::from_text(text),
+            Err(TextError::NotAFlipFlop { line: 4 })
+        ));
+    }
+
+    #[test]
+    fn double_connect_is_a_typed_error() {
+        let text = "scal-netlist v1\ninput n0 a\ndff n1 0\nconnect n1 n0\nconnect n1 n0\n";
+        assert!(matches!(
+            Circuit::from_text(text),
+            Err(TextError::AlreadyConnected { line: 5 })
+        ));
+    }
+
+    #[test]
+    fn signed_and_padded_node_ids_are_rejected() {
+        for tok in [
+            "n+0",
+            "n-0",
+            "n 0",
+            "n0x",
+            "n",
+            "x0",
+            "n18446744073709551616",
+        ] {
+            let text = format!("scal-netlist v1\ninput {tok} a\n");
+            assert!(
+                matches!(
+                    Circuit::from_text(&text),
+                    Err(TextError::BadNodeRef { .. } | TextError::BadLine { .. })
+                ),
+                "token {tok:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_arity_violating_lines_are_rejected() {
+        for body in [
+            "gate n0",
+            "gate n0 nand",
+            "gate n0 not",
+            "input n0",
+            "dff n0",
+            "dff n0 2",
+            "const n0 x",
+            "connect n0",
+            "output f",
+            "name n0",
+        ] {
+            let text = format!("scal-netlist v1\n{body}\n");
+            assert!(
+                Circuit::from_text(&text).is_err(),
+                "line {body:?} must be rejected"
+            );
+        }
+        // `not` is unary: two fanins violate arity.
+        let text = "scal-netlist v1\ninput n0 a\ninput n1 b\ngate n2 not n0 n1\n";
+        assert!(matches!(
+            Circuit::from_text(text),
+            Err(TextError::BadLine { line: 4, .. })
         ));
     }
 

@@ -1,7 +1,8 @@
 //! Cooperative cancellation for long-running campaigns.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A cloneable cancellation flag.
 ///
@@ -35,6 +36,88 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
+
+    /// Arms a deadline: unless the returned [`DeadlineGuard`] is dropped
+    /// first, the token is cancelled once `after` has elapsed.
+    ///
+    /// A timer thread carries the deadline; dropping the guard disarms it
+    /// and joins the thread, so a request that finishes before its timeout
+    /// leaves no timer behind. The guard may also be [`DeadlineGuard::leak`]ed
+    /// for fire-and-forget CLI use. Cancellation remains sticky — a token
+    /// cancelled by a deadline behaves exactly like one cancelled by hand.
+    #[must_use]
+    pub fn cancel_after(&self, after: Duration) -> DeadlineGuard {
+        let token = self.clone();
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let timer_state = Arc::clone(&state);
+        let timer = std::thread::spawn(move || {
+            let (lock, cvar) = &*timer_state;
+            let mut disarmed = lock.lock().expect("deadline lock");
+            let mut remaining = after;
+            let start = std::time::Instant::now();
+            while !*disarmed {
+                let (guard, timeout) = cvar
+                    .wait_timeout(disarmed, remaining)
+                    .expect("deadline lock");
+                disarmed = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+                // Spurious wakeup: keep waiting out the original deadline.
+                remaining = after.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    break;
+                }
+            }
+            if !*disarmed {
+                token.cancel();
+            }
+        });
+        DeadlineGuard {
+            state,
+            timer: Some(timer),
+            leaked: false,
+        }
+    }
+}
+
+/// Disarms a [`CancelToken::cancel_after`] deadline when dropped.
+///
+/// Dropping the guard before the deadline fires disarms the timer and joins
+/// its thread; dropping it afterwards just reaps the (already finished)
+/// thread. Either way no timer thread outlives the guard.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    timer: Option<std::thread::JoinHandle<()>>,
+    leaked: bool,
+}
+
+impl DeadlineGuard {
+    /// Detaches the timer thread, letting the deadline stand even after the
+    /// guard goes out of scope (fire-and-forget). The thread exits when the
+    /// deadline fires.
+    pub fn leak(mut self) {
+        self.leaked = true;
+        self.timer = None;
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        if self.leaked {
+            return;
+        }
+        {
+            let (lock, cvar) = &*self.state;
+            let mut disarmed = lock.lock().expect("deadline lock");
+            *disarmed = true;
+            cvar.notify_all();
+        }
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -58,5 +141,87 @@ mod tests {
         let u = t.clone();
         std::thread::spawn(move || u.cancel()).join().expect("join");
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_after_duration() {
+        let t = CancelToken::new();
+        let guard = t.cancel_after(Duration::from_millis(10));
+        assert!(!t.is_cancelled());
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t.is_cancelled());
+        drop(guard); // reaps the finished timer thread
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms_the_deadline() {
+        let t = CancelToken::new();
+        let guard = t.cancel_after(Duration::from_millis(20));
+        drop(guard); // well before the deadline
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_cancels_immediately() {
+        let t = CancelToken::new();
+        let guard = t.cancel_after(Duration::ZERO);
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(guard);
+    }
+
+    #[test]
+    fn leaked_deadline_still_fires() {
+        let t = CancelToken::new();
+        t.cancel_after(Duration::from_millis(10)).leak();
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn deadline_on_an_already_cancelled_token_is_harmless() {
+        let t = CancelToken::new();
+        t.cancel();
+        let guard = t.cancel_after(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(t.is_cancelled());
+        drop(guard);
+    }
+
+    #[test]
+    fn multiple_deadlines_earliest_wins() {
+        let t = CancelToken::new();
+        let early = t.cancel_after(Duration::from_millis(5));
+        let late = t.cancel_after(Duration::from_secs(30));
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(early);
+        drop(late); // disarms the long timer without waiting 30 s
     }
 }

@@ -192,6 +192,59 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serializes back to one compact JSON line (no trailing newline).
+    /// Whole numbers print without a fractional part; non-finite numbers
+    /// (unrepresentable in JSON) degrade to `null`.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) if n.is_finite() => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parses one JSON value from `text` (surrounding whitespace allowed).
@@ -597,6 +650,18 @@ mod tests {
         assert_eq!(v.get("pairs").and_then(JsonValue::as_f64), Some(128.0));
         assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(0.5));
         assert_eq!(v.get("ok"), Some(&JsonValue::Bool(false)));
+    }
+
+    #[test]
+    fn to_json_line_round_trips() {
+        let text = "{\"name\":\"s0 \\\"x\\\"\",\"n\":128,\"rate\":0.5,\"ok\":false,\
+                    \"none\":null,\"list\":[1,\"two\",{\"k\":-3.25}],\"empty\":{}}";
+        let v = parse(text).unwrap();
+        let line = v.to_json_line();
+        assert_eq!(parse(&line).unwrap(), v);
+        // Whole numbers keep integer spelling across the round trip.
+        assert!(line.contains("\"n\":128"), "{line}");
+        assert_eq!(validate_jsonl(&line), Ok(1));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod profile;
 mod progress;
 mod trace;
 
-pub use cancel::CancelToken;
+pub use cancel::{CancelToken, DeadlineGuard};
 pub use coverage::{CoverageMap, CoverageObserver, FaultRecord};
 pub use event::{CampaignEvent, Phase};
 pub use metrics::{Counter, Histogram, Metrics};

@@ -26,7 +26,7 @@ pub struct ScalMachine {
     /// 1-out-of-2 code in the second period, if the design has any.
     pub code_pair: Option<(usize, usize)>,
     /// Human label for reports.
-    pub design: &'static str,
+    pub design: String,
 }
 
 impl ScalMachine {
@@ -114,7 +114,7 @@ pub fn dual_ff_machine(m: &StateMachine) -> ScalMachine {
         z_count: zb,
         y_count: sb,
         code_pair: None,
-        design: "dual flip-flop (Reynolds)",
+        design: "dual flip-flop (Reynolds)".to_owned(),
     }
 }
 

@@ -201,7 +201,7 @@ pub fn code_conversion_machine(m: &StateMachine) -> ScalMachine {
         z_count: zb,
         y_count: sb,
         code_pair: Some((zb + sb, zb + sb + 1)),
-        design: "code conversion (translator)",
+        design: "code conversion (translator)".to_owned(),
     }
 }
 

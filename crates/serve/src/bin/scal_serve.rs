@@ -1,0 +1,65 @@
+//! `scal_serve` — the campaign service daemon.
+//!
+//! ```text
+//! scal_serve [--addr HOST:PORT] [--workers N] [--job-threads N]
+//!            [--queue-cap N]
+//! ```
+//!
+//! Prints `listening on ADDR` once ready, then serves until a client sends
+//! `{"cmd":"shutdown"}`. Exits 0 on a clean drain.
+
+use scal_serve::{serve, ServeConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scal_serve [--addr HOST:PORT] [--workers N] [--job-threads N] [--queue-cap N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7444".to_owned(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => config.sched.workers = n,
+                _ => usage(),
+            },
+            "--job-threads" => match value("--job-threads").parse() {
+                Ok(n) if n > 0 => config.sched.max_threads_per_job = n,
+                _ => usage(),
+            },
+            "--queue-cap" => match value("--queue-cap").parse() {
+                Ok(n) => config.sched.queue_cap = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    handle.join();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,231 @@
+//! The client side: one-request connections, a frame iterator, and demo
+//! request builders shared by the `scal_client` binary, the CI smoke job,
+//! and the soak test.
+
+use crate::proto::{JobSpec, PROTOCOL_VERSION};
+use scal_obs::json::{self, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A campaign-service client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+/// One parsed response frame.
+pub type Frame = JsonValue;
+
+/// Iterates the frames of one request's response stream.
+#[derive(Debug)]
+pub struct FrameStream {
+    reader: BufReader<TcpStream>,
+}
+
+impl Iterator for FrameStream {
+    type Item = std::io::Result<Frame>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => {
+                let line = line.trim_end();
+                if line.is_empty() {
+                    return self.next();
+                }
+                Some(json::parse(line).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad frame: {e}"))
+                }))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl Client {
+    /// A client for the server at `addr` (e.g. `"127.0.0.1:7444"`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    /// Sends one raw request line and returns the response frame stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and write failures.
+    pub fn request(&self, line: &str) -> std::io::Result<FrameStream> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        Ok(FrameStream {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Submits a job and returns the frame stream (`accepted`, `event`…,
+    /// then a terminal `result` or `error`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and write failures.
+    pub fn submit(&self, spec: &JobSpec) -> std::io::Result<FrameStream> {
+        self.request(&spec.to_request_line())
+    }
+
+    /// Cancels job `id`. Returns whether the server still knew the job.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a non-`cancel_ack` response.
+    pub fn cancel(&self, id: u64) -> std::io::Result<bool> {
+        let line = format!("{{\"cmd\":\"cancel\",\"v\":{PROTOCOL_VERSION},\"id\":{id}}}");
+        let frame = self.single_frame(&line)?;
+        match frame.get("found") {
+            Some(JsonValue::Bool(found)) => Ok(*found),
+            _ => Err(bad_frame("cancel_ack without \"found\"")),
+        }
+    }
+
+    /// Fetches scheduler counters `(queued, running, done)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a non-`status` response.
+    pub fn status(&self) -> std::io::Result<(u64, u64, u64)> {
+        let line = format!("{{\"cmd\":\"status\",\"v\":{PROTOCOL_VERSION}}}");
+        let frame = self.single_frame(&line)?;
+        let num = |k: &str| {
+            frame
+                .get(k)
+                .and_then(JsonValue::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| bad_frame("status frame missing counters"))
+        };
+        Ok((num("queued")?, num("running")?, num("done")?))
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a missing ack.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        let line = format!("{{\"cmd\":\"shutdown\",\"v\":{PROTOCOL_VERSION}}}");
+        let frame = self.single_frame(&line)?;
+        match frame.get("frame").and_then(JsonValue::as_str) {
+            Some("shutdown_ack") => Ok(()),
+            _ => Err(bad_frame("expected shutdown_ack")),
+        }
+    }
+
+    fn single_frame(&self, line: &str) -> std::io::Result<Frame> {
+        self.request(line)?
+            .next()
+            .ok_or_else(|| bad_frame("connection closed without a frame"))?
+    }
+
+    /// Polls until the server accepts connections (handy right after
+    /// spawning it). Returns `false` on timeout.
+    #[must_use]
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < timeout {
+            if self.status().is_ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        false
+    }
+}
+
+fn bad_frame(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Ready-made job specs over the workspace's own circuits — the demo/smoke
+/// request vocabulary.
+pub mod demo {
+    use crate::proto::{FaultSpec, JobKind, JobSpec};
+    use scal_engine::EvalMode;
+    use scal_netlist::{Circuit, GateKind};
+    use scal_seq::SeqBackend;
+    use scal_system::campaign::CpuUnit;
+
+    /// A 3-input XOR tree — self-dual, so a valid alternating network.
+    #[must_use]
+    pub fn xor3() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let d = c.input("c");
+        let ab = c.gate(GateKind::Xor, &[a, b]);
+        let x = c.gate(GateKind::Xor, &[ab, d]);
+        c.mark_output("f", x);
+        c
+    }
+
+    /// A pair-campaign spec over [`xor3`].
+    #[must_use]
+    pub fn pair_spec(priority: u8, scalar: bool) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Pair {
+                circuit: xor3(),
+                faults: FaultSpec::All,
+                drop_after_detection: false,
+                eval_mode: EvalMode::Cone,
+                scalar,
+            },
+            priority,
+            timeout_ms: None,
+            threads: 1,
+            stream: true,
+        }
+    }
+
+    /// The driven word sequence used by the seq demos: every length-`n`
+    /// prefix pattern of alternating 0/1 plus a 0101 burst, exercising the
+    /// Kohavi detector's accept path.
+    #[must_use]
+    pub fn demo_words(n: usize) -> Vec<Vec<bool>> {
+        (0..n).map(|i| vec![matches!(i % 4, 1 | 3)]).collect()
+    }
+
+    /// A seq-campaign spec over the Reynolds dual flip-flop Kohavi machine.
+    #[must_use]
+    pub fn seq_spec(priority: u8, backend: SeqBackend, words: usize) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Seq {
+                machine: scal_seq::kohavi::reynolds_circuit(),
+                words: demo_words(words),
+                backend,
+                eval_mode: EvalMode::Cone,
+            },
+            priority,
+            timeout_ms: None,
+            threads: 1,
+            stream: true,
+        }
+    }
+
+    /// A CPU-campaign spec over the logic unit with one workload (the
+    /// cheapest CPU campaign — CPU jobs are the service's heavyweights).
+    #[must_use]
+    pub fn cpu_spec(priority: u8) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Cpu {
+                unit: CpuUnit::Logic,
+                budget: 50_000,
+                workloads: Some(vec!["popcount(0xB7)".to_owned()]),
+            },
+            priority,
+            timeout_ms: None,
+            threads: 1,
+            stream: true,
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The TCP/JSONL campaign server.
+//!
+//! One listener thread accepts connections; each connection gets its own
+//! handler thread. A connection carries exactly **one** request line and
+//! receives that request's frame stream (a submit streams `accepted`,
+//! `event`… and a terminal `result`/`error`; control requests get a single
+//! ack frame). Campaigns themselves run on the shared [`Scheduler`] pool,
+//! so a thousand connections never mean a thousand campaigns at once.
+//!
+//! Client death is detected at the first failed frame write: the handler
+//! cancels the job's token and then *drains* the job's channel (discarding
+//! frames) so a worker blocked on the bounded channel's backpressure can
+//! reach its next cancellation checkpoint instead of deadlocking.
+
+use crate::proto::{
+    frame_accepted, frame_cancel_ack, frame_error, frame_shutdown_ack, frame_status, Request,
+};
+use crate::sched::{SchedConfig, Scheduler};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-job frame-channel depth: how many rendered frames may sit between a
+/// campaign worker and a slow client before backpressure throttles the
+/// campaign.
+pub const FRAME_BUFFER: usize = 256;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Scheduler pool configuration.
+    pub sched: SchedConfig,
+    /// Longest accepted request line, in bytes (hostile-input guard).
+    pub max_request_bytes: usize,
+    /// Per-connection socket read timeout. Bounds how long an idle
+    /// connection (one that never sends its request line) can pin its
+    /// handler thread.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            sched: SchedConfig::default(),
+            max_request_bytes: 16 << 20,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::join`] (after a `shutdown` request) or
+/// [`ServerHandle::shutdown_and_join`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sched: Option<Arc<SchedulerCell>>,
+}
+
+/// Shared ownership wrapper so connection handlers and the handle all see
+/// one scheduler, which `join` can still consume to drain the pool.
+#[derive(Debug)]
+struct SchedulerCell {
+    sched: Mutex<Option<Scheduler>>,
+}
+
+impl SchedulerCell {
+    fn with<R>(&self, f: impl FnOnce(&Scheduler) -> R) -> Option<R> {
+        self.sched.lock().expect("scheduler cell").as_ref().map(f)
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown exactly like a `{"cmd":"shutdown"}` request:
+    /// reject new submissions, cancel live jobs, stop accepting.
+    pub fn shutdown(&self) {
+        if let Some(cell) = &self.sched {
+            let _ = cell.with(Scheduler::shutdown);
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Self-connect to unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the accept loop, every connection handler, and the worker
+    /// pool to finish. Call after [`ServerHandle::shutdown`] (or after a
+    /// client sent `{"cmd":"shutdown"}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread or a scheduler worker panicked.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread");
+        }
+        if let Some(cell) = self.sched.take() {
+            if let Some(sched) = cell.sched.lock().expect("scheduler cell").take() {
+                sched.shutdown();
+                sched.join();
+            }
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread or a scheduler worker panicked.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Binds and starts the server.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let cell = Arc::new(SchedulerCell {
+        sched: Mutex::new(Some(Scheduler::new(config.sched.clone()))),
+    });
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_cell = Arc::clone(&cell);
+    let accept_thread = std::thread::spawn(move || {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let cell = Arc::clone(&accept_cell);
+            let shutdown = Arc::clone(&accept_shutdown);
+            let cfg = config.clone();
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &cell, &shutdown, &cfg);
+            }));
+            // Reap finished handlers so the vec doesn't grow with every
+            // connection ever accepted.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        sched: Some(cell),
+    })
+}
+
+/// Writes one frame line; `false` on failure (client gone).
+fn send_line(stream: &mut TcpStream, frame: &str) -> bool {
+    stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    cell: &SchedulerCell,
+    shutdown: &AtomicBool,
+    config: &ServeConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut line = String::new();
+    {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        // take() bounds hostile over-long requests; a line that exhausts
+        // the limit without a newline parses as garbage and errors out.
+        let mut bounded = std::io::Read::take(&mut reader, config.max_request_bytes as u64);
+        if bounded.read_line(&mut line).is_err() {
+            return;
+        }
+    }
+    let line = line.trim_end_matches(['\n', '\r']);
+    if line.is_empty() {
+        return;
+    }
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = send_line(&mut stream, &frame_error(None, e.code, &e.message));
+            return;
+        }
+    };
+    match request {
+        Request::Submit(spec) => {
+            let kind = spec.kind.name();
+            let priority = spec.priority;
+            let (tx, rx) = sync_channel::<String>(FRAME_BUFFER);
+            let submitted = cell.with(|s| s.submit(*spec, tx));
+            match submitted {
+                Some(Ok((id, queued))) => {
+                    let mut client_alive =
+                        send_line(&mut stream, &frame_accepted(id, kind, priority, queued));
+                    if !client_alive {
+                        let _ = cell.with(|s| s.cancel(id));
+                    }
+                    // Stream frames until the worker drops its sender. On a
+                    // failed write, cancel the job but KEEP draining the
+                    // channel: a worker blocked on the bounded channel's
+                    // backpressure must be released to reach its next
+                    // cancellation checkpoint.
+                    while let Ok(frame) = rx.recv() {
+                        if client_alive && !send_line(&mut stream, &frame) {
+                            client_alive = false;
+                            let _ = cell.with(|s| s.cancel(id));
+                        }
+                    }
+                }
+                Some(Err((code, message))) => {
+                    let _ = send_line(&mut stream, &frame_error(None, code, &message));
+                }
+                None => {
+                    let _ = send_line(
+                        &mut stream,
+                        &frame_error(None, "shutting_down", "server is draining"),
+                    );
+                }
+            }
+        }
+        Request::Cancel { id } => {
+            let found = cell.with(|s| s.cancel(id)).unwrap_or(false);
+            let _ = send_line(&mut stream, &frame_cancel_ack(id, found));
+        }
+        Request::Status => {
+            let frame = cell
+                .with(|s| {
+                    let (queued, running, done) = s.counters();
+                    frame_status(s.workers(), queued, running, done, s.is_shutting_down())
+                })
+                .unwrap_or_else(|| frame_status(0, 0, 0, 0, true));
+            let _ = send_line(&mut stream, &frame);
+        }
+        Request::Shutdown => {
+            let _ = cell.with(Scheduler::shutdown);
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = send_line(&mut stream, &frame_shutdown_ack());
+            // Self-connect to pop the accept loop out of `incoming()`.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Bridging a campaign's event stream onto a connection channel.
+
+use crate::proto::frame_event;
+use scal_obs::{CampaignEvent, CampaignObserver};
+use std::sync::mpsc::SyncSender;
+
+/// A [`CampaignObserver`] that renders every event as an `event` frame and
+/// sends it down a **bounded** channel toward the connection handler.
+///
+/// The bounded channel is the service's backpressure: when a client reads
+/// slower than the campaign produces events, the send blocks the worker at
+/// the next event, throttling the campaign instead of buffering without
+/// limit. A closed channel (client gone, job detached) makes sends fail
+/// silently — the campaign keeps running and the result is still recorded
+/// by the scheduler, so a vanished client never corrupts a run.
+#[derive(Debug)]
+pub struct WireObserver {
+    id: u64,
+    tx: SyncSender<String>,
+}
+
+impl WireObserver {
+    /// Wraps channel `tx` as the event sink for job `id`.
+    #[must_use]
+    pub fn new(id: u64, tx: SyncSender<String>) -> Self {
+        WireObserver { id, tx }
+    }
+}
+
+impl CampaignObserver for WireObserver {
+    fn on_event(&self, event: &CampaignEvent) {
+        let _ = self.tx.send(frame_event(self.id, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn events_become_frames() {
+        let (tx, rx) = sync_channel(4);
+        let obs = WireObserver::new(7, tx);
+        obs.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("\"frame\":\"event\""));
+        assert!(frame.contains("\"id\":7"));
+        assert!(frame.contains("\"ev\":\"progress\""));
+    }
+
+    #[test]
+    fn a_closed_channel_is_harmless() {
+        let (tx, rx) = sync_channel(1);
+        drop(rx);
+        let obs = WireObserver::new(1, tx);
+        obs.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end protocol tests over a real TCP server: error frames for
+//! hostile input, cancel acks, status counters, non-streaming submits,
+//! deadline timeouts, and clean shutdown.
+
+use scal_obs::json::JsonValue;
+use scal_serve::client::demo;
+use scal_serve::{serve, Client, SchedConfig, ServeConfig};
+use std::time::Duration;
+
+fn start() -> (scal_serve::ServerHandle, Client) {
+    let server = serve(ServeConfig {
+        sched: SchedConfig {
+            workers: 2,
+            max_threads_per_job: 2,
+            queue_cap: 64,
+        },
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let client = Client::new(server.addr().to_string());
+    assert!(client.wait_ready(Duration::from_secs(10)));
+    (server, client)
+}
+
+fn field<'a>(frame: &'a JsonValue, key: &str) -> &'a str {
+    frame
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("frame missing {key:?}: {frame:?}"))
+}
+
+#[test]
+fn hostile_requests_get_typed_error_frames() {
+    let (server, client) = start();
+    for (line, code) in [
+        ("this is not json", "bad_json"),
+        ("{\"v\":1}", "bad_request"),
+        (
+            "{\"cmd\":\"submit\",\"v\":1,\"kind\":\"pair\"}",
+            "bad_request",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"v\":1,\"kind\":\"pair\",\"netlist\":\"gate bogus\"}",
+            "bad_netlist",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"v\":99,\"kind\":\"pair\"}",
+            "bad_version",
+        ),
+        ("{\"cmd\":\"cancel\",\"v\":1}", "bad_request"),
+    ] {
+        let frame = client
+            .request(line)
+            .expect("connect")
+            .next()
+            .expect("one frame")
+            .expect("parse");
+        assert_eq!(field(&frame, "frame"), "error", "for {line:?}");
+        assert_eq!(field(&frame, "code"), code, "for {line:?}");
+        assert!(!field(&frame, "message").is_empty(), "for {line:?}");
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn cancel_of_unknown_id_reports_not_found() {
+    let (server, client) = start();
+    assert!(!client.cancel(123_456).expect("cancel_ack"));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn status_counts_completed_jobs() {
+    let (server, client) = start();
+    let frames: Vec<_> = client
+        .submit(&demo::pair_spec(4, false))
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    assert_eq!(field(&frames[0], "frame"), "accepted");
+    assert_eq!(
+        field(frames.last().expect("terminal frame"), "frame"),
+        "result"
+    );
+    let (queued, running, done) = client.status().expect("status");
+    assert_eq!((queued, running, done), (0, 0, 1));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn non_streaming_submit_returns_only_accepted_and_result() {
+    let (server, client) = start();
+    let mut spec = demo::seq_spec(4, scal_seq::SeqBackend::Packed, 12);
+    spec.stream = false;
+    let frames: Vec<_> = client
+        .submit(&spec)
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    assert_eq!(frames.len(), 2, "{frames:?}");
+    assert_eq!(field(&frames[0], "frame"), "accepted");
+    assert_eq!(field(&frames[1], "frame"), "result");
+    let report = frames[1].get("report").expect("report");
+    assert_eq!(report.get("cancelled"), Some(&JsonValue::Bool(false)));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn deadline_timeout_cancels_into_a_valid_prefix() {
+    let (server, client) = start();
+    // Scalar replay of a long word sequence: far slower than the 1 ms
+    // deadline, and cancellation is checkpointed per fault, so the result
+    // must come back as a cancelled prefix.
+    let mut spec = demo::seq_spec(4, scal_seq::SeqBackend::Scalar, 4096);
+    spec.timeout_ms = Some(1);
+    let frames: Vec<_> = client
+        .submit(&spec)
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    let last = frames.last().expect("terminal frame");
+    assert_eq!(field(last, "frame"), "result");
+    let report = last.get("report").expect("report");
+    assert_eq!(report.get("cancelled"), Some(&JsonValue::Bool(true)));
+    let coverage = last.get("coverage").expect("coverage");
+    assert_eq!(coverage.get("cancelled"), Some(&JsonValue::Bool(true)));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_acks_then_stops_accepting() {
+    let (server, client) = start();
+    client.shutdown().expect("ack");
+    server.join();
+    // The listener is gone: either the connection is refused or the probe
+    // times out — it must not succeed.
+    assert!(client.status().is_err());
+}

@@ -25,6 +25,7 @@
 //! | [`minority`] | `scal-minority` | minority modules, NAND/NOR → alternating conversion |
 //! | [`seq`] | `scal-seq` | sequential SCAL: dual flip-flop & code-conversion designs, ALPT/PALT |
 //! | [`system`] | `scal-system` | the SCAL computer, ADR/TMR, space codes, economics |
+//! | [`serve`] | `scal-serve` | the campaign service: TCP/JSONL server, shared worker pool, client |
 //!
 //! ```
 //! use scal::core::{dualize_synthesized, verify};
@@ -58,4 +59,5 @@ pub use scal_minority as minority;
 pub use scal_netlist as netlist;
 pub use scal_obs as obs;
 pub use scal_seq as seq;
+pub use scal_serve as serve;
 pub use scal_system as system;

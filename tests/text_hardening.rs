@@ -1,0 +1,176 @@
+//! Property-based hardening of the `netlist::text` parser: random valid
+//! circuits round-trip exactly, and arbitrary mutations of valid text —
+//! the classic way hand-edited netlist files go wrong — always produce a
+//! typed `TextError` or a valid circuit, never a panic.
+
+use proptest::prelude::*;
+use scal::netlist::{Circuit, GateKind};
+
+fn from_text(text: &str) -> Result<Circuit, scal::netlist::TextError> {
+    Circuit::from_text(text)
+}
+
+const KINDS: [GateKind; 10] = [
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Minority,
+    GateKind::Majority,
+];
+
+/// A recipe for one random DAG circuit: per-gate (kind index, fanin picks).
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    gates: Vec<(usize, Vec<usize>)>,
+    outputs: Vec<usize>,
+}
+
+fn build(recipe: &Recipe) -> Circuit {
+    let mut c = Circuit::new();
+    let mut nodes = Vec::new();
+    for i in 0..recipe.inputs {
+        nodes.push(c.input(format!("i{i}")));
+    }
+    for (kind_ix, picks) in &recipe.gates {
+        let kind = KINDS[kind_ix % KINDS.len()];
+        // Respect each kind's arity constraints: 1 input for Buf/Not, an
+        // odd count ≥ 3 for the threshold modules.
+        let wanted = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::Minority | GateKind::Majority => 3,
+            _ => 1 + picks.len() % 3,
+        };
+        let fanins: Vec<_> = (0..wanted)
+            .map(|k| nodes[picks[k % picks.len()] % nodes.len()])
+            .collect();
+        nodes.push(c.gate(kind, &fanins));
+    }
+    for (ord, pick) in recipe.outputs.iter().enumerate() {
+        c.mark_output(format!("o{ord}"), nodes[pick % nodes.len()]);
+    }
+    c
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..5,
+        prop::collection::vec(
+            (0usize..KINDS.len(), prop::collection::vec(0usize..64, 3)),
+            1..12,
+        ),
+        prop::collection::vec(0usize..64, 1..4),
+    )
+        .prop_map(|(inputs, gates, outputs)| Recipe {
+            inputs,
+            gates,
+            outputs,
+        })
+}
+
+/// One text mutation: (what, position seed, payload byte).
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    Replace(usize, u8),
+    Insert(usize, u8),
+    Delete(usize),
+    Truncate(usize),
+    DuplicateLine(usize),
+    SwapLines(usize, usize),
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (any::<usize>(), any::<u8>()).prop_map(|(p, b)| Edit::Replace(p, b)),
+        (any::<usize>(), any::<u8>()).prop_map(|(p, b)| Edit::Insert(p, b)),
+        any::<usize>().prop_map(Edit::Delete),
+        any::<usize>().prop_map(Edit::Truncate),
+        any::<usize>().prop_map(Edit::DuplicateLine),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Edit::SwapLines(a, b)),
+    ]
+}
+
+fn apply(text: &str, edit: Edit) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    match edit {
+        Edit::Replace(p, b) if !bytes.is_empty() => {
+            let at = p % bytes.len();
+            bytes[at] = b;
+        }
+        Edit::Replace(..) => {}
+        Edit::Insert(p, b) => {
+            let at = p % (bytes.len() + 1);
+            bytes.insert(at, b);
+        }
+        Edit::Delete(p) if !bytes.is_empty() => {
+            let at = p % bytes.len();
+            bytes.remove(at);
+        }
+        Edit::Delete(_) => {}
+        Edit::Truncate(p) if !bytes.is_empty() => bytes.truncate(p % bytes.len()),
+        Edit::Truncate(_) => {}
+        Edit::DuplicateLine(p) => {
+            let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+            if !lines.is_empty() {
+                let at = p % lines.len();
+                lines.insert(at, lines[at]);
+            }
+            bytes = lines.join(&b'\n');
+        }
+        Edit::SwapLines(a, b) => {
+            let mut lines: Vec<&[u8]> = bytes.split(|&x| x == b'\n').collect();
+            if !lines.is_empty() {
+                let (a, b) = (a % lines.len(), b % lines.len());
+                lines.swap(a, b);
+            }
+            bytes = lines.join(&b'\n');
+        }
+    }
+    // Mutations can split UTF-8 sequences; the parser must survive that
+    // too, so feed it back lossily (all valid netlist text is ASCII).
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every generated circuit prints to text that parses back to a
+    /// circuit printing identically — `to_text ∘ from_text` is the
+    /// identity on the printer's image.
+    #[test]
+    fn valid_circuits_round_trip(recipe in arb_recipe()) {
+        let circuit = build(&recipe);
+        let text = circuit.to_text();
+        let reparsed = from_text(&text).expect("printer output must parse");
+        prop_assert_eq!(reparsed.to_text(), text);
+    }
+
+    /// A burst of arbitrary edits to valid text never panics the parser,
+    /// and whatever it accepts must itself round-trip cleanly.
+    #[test]
+    fn mutated_text_never_panics(
+        recipe in arb_recipe(),
+        edits in prop::collection::vec(arb_edit(), 1..8),
+    ) {
+        let mut text = build(&recipe).to_text();
+        for edit in edits {
+            text = apply(&text, edit);
+        }
+        if let Ok(circuit) = from_text(&text) {
+            let reprinted = circuit.to_text();
+            let again = from_text(&reprinted).expect("accepted text must reprint parseably");
+            prop_assert_eq!(again.to_text(), reprinted);
+        }
+    }
+
+    /// Pure noise (not derived from any valid netlist) is also safe.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = from_text(&String::from_utf8_lossy(&bytes));
+    }
+}

@@ -1,0 +1,241 @@
+//! Golden wire-schema test: pins the JSON shape of every `scal-obs`
+//! campaign-event variant and every `scal-serve` response frame.
+//!
+//! The serialized forms below are the service's wire contract — remote
+//! consumers parse these exact field names. Any drift (renamed field,
+//! changed optionality, new variant) must show up as a diff against
+//! `tests/golden/wire_schema.jsonl` and be committed deliberately:
+//! regenerate with `UPDATE_GOLDEN=1 cargo test --test wire_schema`.
+
+use scal::obs::json::validate_jsonl;
+use scal::obs::{CampaignEvent, Phase};
+use scal::serve::proto::{
+    frame_accepted, frame_cancel_ack, frame_error, frame_event, frame_result, frame_shutdown_ack,
+    frame_status,
+};
+use scal::serve::{client::demo, run_job, JobKind};
+use scal_obs::NullObserver;
+
+/// One instance of every event variant, with optional fields *present* so
+/// the golden file shows the full shape (omission when `None` is pinned by
+/// separate assertions below).
+fn all_events() -> Vec<CampaignEvent> {
+    vec![
+        CampaignEvent::CampaignStart {
+            campaign: "pair",
+            faults: 10,
+            inputs: 3,
+            outputs: 1,
+            threads: 2,
+        },
+        CampaignEvent::EvalMode { mode: "cone" },
+        CampaignEvent::PhaseStart {
+            phase: Phase::Compile,
+        },
+        CampaignEvent::PhaseEnd {
+            phase: Phase::FaultSim,
+            micros: 1234,
+        },
+        CampaignEvent::Span {
+            name: "levelize",
+            parent: "compile",
+            micros: 56,
+            count: 1,
+            items: 12,
+        },
+        CampaignEvent::LevelGates { level: 2, gates: 5 },
+        CampaignEvent::FaultStart {
+            fault: 3,
+            worker: 1,
+        },
+        CampaignEvent::BatchDone {
+            fault: 3,
+            worker: 1,
+            batch: 0,
+            pairs: 64,
+        },
+        CampaignEvent::LaneBatch {
+            batch: 1,
+            worker: 0,
+            lanes: 63,
+            words: 16,
+            retired: 40,
+        },
+        CampaignEvent::FaultDropped {
+            fault: 3,
+            worker: 1,
+            batch: 2,
+        },
+        CampaignEvent::ConeStats {
+            fault: 3,
+            worker: 1,
+            cone_ops: 9,
+            ops_evaluated: 40,
+            ops_skipped: 88,
+            frontier_died_at_level: Some(2),
+        },
+        CampaignEvent::FaultFinish {
+            fault: 3,
+            worker: 1,
+            detected: 4,
+            violations: 0,
+            observable: true,
+            dropped: false,
+            pairs: 4,
+            first_detected: Some(1),
+        },
+        CampaignEvent::Progress { done: 7, total: 10 },
+        CampaignEvent::Cancelled { completed: 7 },
+        CampaignEvent::CampaignEnd {
+            faults: 10,
+            dropped: 1,
+            pairs: 40,
+            words: 22,
+            micros: 9876,
+            cancelled: false,
+        },
+    ]
+}
+
+/// The full wire surface as one JSONL document: every event (bare and
+/// wrapped in an `event` frame for one sample), then every frame type. The
+/// result frame embeds a real single-threaded xor3 pair campaign, so the
+/// report and coverage-record schemas are pinned too.
+fn wire_surface() -> String {
+    let mut lines: Vec<String> = all_events().iter().map(CampaignEvent::to_json).collect();
+    lines.push(frame_accepted(7, "pair", 4, 3));
+    lines.push(frame_event(7, &all_events()[0]));
+    let spec = demo::pair_spec(4, false);
+    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("demo campaign");
+    lines.push(frame_result(7, &out.report, &out.coverage, 0));
+    lines.push(frame_error(Some(7), "bad_request", "missing \"kind\""));
+    lines.push(frame_error(None, "bad_json", "line 1: expected value"));
+    lines.push(frame_cancel_ack(7, true));
+    lines.push(frame_status(4, 2, 1, 9, false));
+    lines.push(frame_shutdown_ack());
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text
+}
+
+#[test]
+fn wire_surface_matches_golden_file() {
+    let got = wire_surface();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/wire_schema.jsonl"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden/wire_schema.jsonl");
+    assert_eq!(
+        got, want,
+        "wire schema drifted from tests/golden/wire_schema.jsonl; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
+    let text = wire_surface();
+    validate_jsonl(&text).expect("valid JSONL");
+    let events = all_events();
+    assert_eq!(events.len(), 15, "new event variant? extend all_events()");
+    for e in &events {
+        assert!(
+            text.contains(&format!("\"ev\":\"{}\"", e.name())),
+            "missing {}",
+            e.name()
+        );
+    }
+    for frame in [
+        "accepted",
+        "event",
+        "result",
+        "error",
+        "cancel_ack",
+        "status",
+        "shutdown_ack",
+    ] {
+        assert!(
+            text.contains(&format!("\"frame\":\"{frame}\"")),
+            "missing frame {frame}"
+        );
+    }
+}
+
+#[test]
+fn optional_fields_are_omitted_when_absent() {
+    let undetected = CampaignEvent::FaultFinish {
+        fault: 0,
+        worker: 0,
+        detected: 0,
+        violations: 2,
+        observable: true,
+        dropped: false,
+        pairs: 4,
+        first_detected: None,
+    };
+    assert!(!undetected.to_json().contains("first_detected"));
+    let live_frontier = CampaignEvent::ConeStats {
+        fault: 0,
+        worker: 0,
+        cone_ops: 9,
+        ops_evaluated: 40,
+        ops_skipped: 0,
+        frontier_died_at_level: None,
+    };
+    assert!(!live_frontier.to_json().contains("frontier_died_at_level"));
+    assert!(!frame_error(None, "bad_json", "x").contains("\"id\""));
+}
+
+#[test]
+fn cpu_and_seq_reports_match_pinned_field_sets() {
+    // The per-kind report objects are part of the result-frame contract;
+    // pin their key sets (values vary with the demo circuits).
+    let keys = |report: &str| -> Vec<String> {
+        match scal::obs::json::parse(report).expect("report json") {
+            scal::obs::json::JsonValue::Object(members) => {
+                members.into_iter().map(|(k, _)| k).collect()
+            }
+            other => panic!("report not an object: {other:?}"),
+        }
+    };
+    let spec = demo::seq_spec(4, scal::seq::SeqBackend::Packed, 8);
+    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("seq campaign");
+    // `first_violation_word` rides along only when a violation occurred.
+    let mut seq_keys = keys(&out.report);
+    seq_keys.retain(|k| k != "first_violation_word");
+    assert_eq!(
+        seq_keys,
+        [
+            "campaign",
+            "faults",
+            "total_faults",
+            "dormant",
+            "detected",
+            "violations",
+            "fault_secure",
+            "cancelled",
+        ],
+        "seq report schema drifted"
+    );
+    let spec = demo::cpu_spec(4);
+    let JobKind::Cpu { .. } = spec.kind else {
+        panic!("demo cpu spec changed kind")
+    };
+    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("cpu campaign");
+    assert_eq!(
+        keys(&out.report),
+        [
+            "campaign",
+            "faults",
+            "undetected_wrong",
+            "periods",
+            "cancelled"
+        ],
+        "cpu report schema drifted"
+    );
+}
