@@ -13,7 +13,7 @@
 //! `2` coverage regression (blocking), `3` throughput regression beyond the
 //! threshold (warning-grade; default 20%).
 
-use scal_bench::report::{compare, run_suite, Snapshot, DEFAULT_MAX_PERF_DROP};
+use scal_bench::report::{compare, run_large_suite, run_suite, Snapshot, DEFAULT_MAX_PERF_DROP};
 use scal_engine::EvalMode;
 use scal_seq::SeqBackend;
 use std::process::ExitCode;
@@ -21,7 +21,8 @@ use std::process::ExitCode;
 fn usage() {
     eprintln!(
         "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
-         [--threads N] [--eval-mode full|cone] [--seq-backend packed|scalar|graph] [--quiet]"
+         [--threads N] [--eval-mode full|cone] [--seq-backend packed|scalar|graph] \
+         [--suite standard|large] [--large-gates N] [--quiet]"
     );
     eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
     eprintln!("  --baseline FILE      committed snapshot to diff against");
@@ -29,6 +30,8 @@ fn usage() {
     eprintln!("  --threads N          engine worker threads (default 0 = auto)");
     eprintln!("  --eval-mode MODE     engine faulty-sweep strategy (default cone)");
     eprintln!("  --seq-backend NAME   sequential-campaign backend (default packed)");
+    eprintln!("  --suite NAME         standard paper suite or synthetic large tier");
+    eprintln!("  --large-gates N      target gate count of large-suite designs (default 100000)");
     eprintln!("  --quiet              suppress the human-readable summary");
 }
 
@@ -39,6 +42,8 @@ struct Options {
     threads: usize,
     eval_mode: EvalMode,
     seq_backend: SeqBackend,
+    large: bool,
+    large_gates: usize,
     quiet: bool,
 }
 
@@ -50,6 +55,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         threads: 0,
         eval_mode: EvalMode::default(),
         seq_backend: SeqBackend::default(),
+        large: false,
+        large_gates: 100_000,
         quiet: false,
     };
     let mut iter = args.into_iter();
@@ -86,6 +93,22 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     format!("bad --seq-backend value {raw:?} (want packed|scalar|graph)")
                 })?;
             }
+            "--suite" => {
+                let raw = value("--suite")?;
+                opts.large = match raw.as_str() {
+                    "standard" => false,
+                    "large" => true,
+                    _ => return Err(format!("bad --suite value {raw:?} (want standard|large)")),
+                };
+            }
+            "--large-gates" => {
+                let raw = value("--large-gates")?;
+                opts.large_gates = raw
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("bad --large-gates value {raw:?}"))?;
+            }
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -94,7 +117,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 }
 
 fn report(opts: &Options) -> Result<ExitCode, String> {
-    let snap: Snapshot = run_suite(opts.threads, opts.eval_mode, opts.seq_backend);
+    let snap: Snapshot = if opts.large {
+        run_large_suite(opts.threads, opts.eval_mode, opts.large_gates)
+    } else {
+        run_suite(opts.threads, opts.eval_mode, opts.seq_backend)
+    };
     if !opts.quiet {
         print!("{}", snap.render());
     }

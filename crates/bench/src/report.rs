@@ -16,7 +16,8 @@
 //! best-effort `git rev-parse`.
 
 use scal_core::paper;
-use scal_engine::{resolved_threads, EvalMode};
+use scal_engine::{resolved_threads, CompiledCircuit, EvalMode};
+use scal_netlist::synth::{self, SynthKind};
 use scal_obs::json::{escape, JsonObject, JsonValue};
 use scal_obs::{CoverageMap, CoverageObserver, Profile, Profiler};
 use scal_seq::kohavi::kohavi_0101;
@@ -36,6 +37,9 @@ const MIN_EVAL_MICROS: u64 = 100_000;
 
 /// Repetition cap per suite entry (guards against a zero-time eval loop).
 const MAX_REPS: usize = 500;
+
+/// Bytes per mebibyte, for the render's compile-memory lines.
+const MIB: f64 = 1024.0 * 1024.0;
 
 /// Repeats `run` until [`MIN_EVAL_MICROS`] of eval time accumulates on
 /// `prof`'s latest profiles, returning the aggregate pairs-per-second over
@@ -61,7 +65,10 @@ fn aggregate_rate(prof: &Profiler, mut run: impl FnMut()) -> Option<f64> {
 pub struct CircuitBench {
     /// Suite entry name (`"fig3_4"`, `"adder8_drop"`, …).
     pub name: String,
-    /// Campaign flavour that produced it (`"pair"`, `"seq"`, `"cpu_adder"`).
+    /// Suite tier the row belongs to (`"standard"` or `"large"`).
+    pub suite: String,
+    /// Campaign flavour that produced it (`"pair"`, `"seq"`, `"cpu_adder"`,
+    /// or `"compile"` for compile-only scaling rows).
     pub campaign: String,
     /// Faults simulated.
     pub faults: usize,
@@ -77,12 +84,19 @@ pub struct CircuitBench {
     pub pairs_per_sec: Option<f64>,
     /// Per-phase wall times in microseconds, in emission order.
     pub phases: Vec<(String, u64)>,
+    /// Compile-phase wall time in microseconds, when the campaign compiled
+    /// through the engine.
+    pub compile_micros: Option<u64>,
+    /// Peak resident bytes of the compiled schedule (the engine's
+    /// `compile_mem` span), when available.
+    pub compile_bytes: Option<u64>,
 }
 
 impl CircuitBench {
     fn from_parts(name: &str, map: &CoverageMap, profile: &Profile, rate: Option<f64>) -> Self {
         CircuitBench {
             name: name.to_string(),
+            suite: "standard".to_string(),
             campaign: map.campaign.clone(),
             faults: map.records.len(),
             detected: map.detected_count(),
@@ -104,6 +118,12 @@ impl CircuitBench {
                 .iter()
                 .map(|p| (p.name.clone(), p.micros))
                 .collect(),
+            compile_micros: profile.phase_micros("compile"),
+            compile_bytes: profile
+                .spans
+                .iter()
+                .find(|s| s.name == "compile_mem")
+                .map(|s| s.items),
         }
     }
 }
@@ -151,6 +171,8 @@ pub struct Snapshot {
     /// Backend the sequential entries ran on (`"packed"`, `"scalar"`,
     /// `"graph"`).
     pub seq_backend: String,
+    /// Suite tier the snapshot ran (`"standard"` or `"large"`).
+    pub suite: String,
     /// Per-circuit results, in suite order.
     pub circuits: Vec<CircuitBench>,
     /// Measured full-vs-cone throughput on the adder8 full-fault campaign.
@@ -172,6 +194,7 @@ impl Snapshot {
         o.num("threads", self.threads as u64);
         o.str("eval_mode", &self.eval_mode);
         o.str("seq_backend", &self.seq_backend);
+        o.str("suite", &self.suite);
         let mut circuits = String::from("[");
         for (i, c) in self.circuits.iter().enumerate() {
             if i > 0 {
@@ -179,6 +202,7 @@ impl Snapshot {
             }
             let mut co = JsonObject::new();
             co.str("name", &c.name);
+            co.str("suite", &c.suite);
             co.str("campaign", &c.campaign);
             co.num("faults", c.faults as u64);
             co.num("detected", c.detected as u64);
@@ -192,6 +216,12 @@ impl Snapshot {
             co.num("pairs", c.pairs);
             if let Some(r) = c.pairs_per_sec {
                 co.float("pairs_per_sec", r);
+            }
+            if let Some(us) = c.compile_micros {
+                co.num("compile_micros", us);
+            }
+            if let Some(bytes) = c.compile_bytes {
+                co.num("compile_bytes", bytes);
             }
             let mut po = JsonObject::new();
             for (name, micros) in &c.phases {
@@ -227,8 +257,8 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "BENCH snapshot {} @ {} (threads {}, {} eval, {} seq backend)",
-            self.date, self.git_rev, self.threads, self.eval_mode, self.seq_backend
+            "BENCH snapshot {} @ {} ({} suite, threads {}, {} eval, {} seq backend)",
+            self.date, self.git_rev, self.suite, self.threads, self.eval_mode, self.seq_backend
         );
         for c in &self.circuits {
             let rate = match c.pairs_per_sec {
@@ -245,6 +275,12 @@ impl Snapshot {
                 c.faults,
                 c.pairs
             );
+            if let Some(us) = c.compile_micros {
+                let bytes = c
+                    .compile_bytes
+                    .map_or("n/a".to_string(), |b| format!("{:.1} MiB", b as f64 / MIB));
+                let _ = writeln!(out, "      compile: {:.1} ms, {bytes}", us as f64 / 1e3);
+            }
             for label in &c.undetected {
                 let _ = writeln!(out, "      undetected: {label}");
             }
@@ -441,9 +477,105 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -
         threads: resolved_threads(threads),
         eval_mode: eval_mode.name().to_string(),
         seq_backend: seq_backend.name().to_string(),
+        suite: "standard".to_string(),
         circuits,
         adder8_speedup: measure_adder8_speedup(threads),
         seq_speedup: measure_seq_speedup(threads),
+    }
+}
+
+/// Fault budget of the large suite's campaign row: enough faults to pin the
+/// engine's scaling behaviour without sweeping the full 100k+ site list.
+const LARGE_SUITE_FAULTS: usize = 256;
+
+/// Deterministic seed of the large suite's generated circuits.
+const LARGE_SUITE_SEED: u64 = 42;
+
+/// A compile-only scaling row: generates the circuit, compiles it through
+/// the engine with stage timing, and records schedule size and footprint
+/// (coverage fields are vacuous — no faults are simulated).
+fn compile_only_row(name: &str, kind: SynthKind, target_gates: usize) -> CircuitBench {
+    let circuit = synth::generate(kind, target_gates, LARGE_SUITE_SEED);
+    let t = std::time::Instant::now();
+    let (cc, _spans) =
+        CompiledCircuit::try_compile_timed(&circuit).expect("generated circuits are engine-clean");
+    let compile_micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+    CircuitBench {
+        name: name.to_string(),
+        suite: "large".to_string(),
+        campaign: "compile".to_string(),
+        faults: 0,
+        detected: 0,
+        coverage: 1.0,
+        undetected: Vec::new(),
+        pairs: 0,
+        pairs_per_sec: None,
+        phases: vec![("compile".to_string(), compile_micros)],
+        compile_micros: Some(compile_micros),
+        compile_bytes: Some(cc.memory_bytes()),
+    }
+}
+
+/// Runs the synthetic large-circuit suite and returns the stamped snapshot.
+///
+/// `target_gates` sizes every generated design (gate counts land within a
+/// constructive rounding of the target). One row — the self-dualized random
+/// network, whose 13 inputs keep the pair sweep tractable — runs a real
+/// engine campaign over the first [`LARGE_SUITE_FAULTS`] collapsed faults;
+/// the remaining generators produce compile-only scaling rows (compile wall
+/// time + schedule footprint), since their input counts exceed the engine's
+/// exhaustive-sweep domain.
+///
+/// # Panics
+///
+/// Panics if a generated circuit fails to compile or simulate — the
+/// generators are deterministic and tested, so that is a build break.
+#[must_use]
+pub fn run_large_suite(threads: usize, eval_mode: EvalMode, target_gates: usize) -> Snapshot {
+    let mut circuits = Vec::new();
+
+    // Campaign row: truncated fault sweep on the self-dualized random DAG.
+    let selfdual = synth::generate(SynthKind::RandomSelfDual, target_gates, LARGE_SUITE_SEED);
+    let faults: Vec<_> = scal_faults::enumerate_faults(&selfdual)
+        .into_iter()
+        .take(LARGE_SUITE_FAULTS)
+        .collect();
+    let cov = CoverageObserver::new();
+    let prof = Profiler::new();
+    let _ = scal_faults::Campaign::new(&selfdual)
+        .faults(faults)
+        .threads(threads)
+        .eval_mode(eval_mode)
+        .observer(&prof)
+        .coverage(&cov)
+        .run()
+        .expect("self-dual generator emits engine-compatible circuits");
+    let map = cov.latest().expect("coverage map");
+    let profile = prof.latest().expect("profile");
+    let mut row = CircuitBench::from_parts("synth_selfdual", &map, &profile, None);
+    row.suite = "large".to_string();
+    circuits.push(row);
+
+    // Compile-only scaling rows over the wide arithmetic generators.
+    for (name, kind) in [
+        ("synth_ripple", SynthKind::RippleAdder),
+        ("synth_csel", SynthKind::CarrySelect),
+        ("synth_mult", SynthKind::MultiplierTree),
+        ("synth_chain", SynthKind::ChainedMachines),
+    ] {
+        circuits.push(compile_only_row(name, kind, target_gates));
+    }
+
+    Snapshot {
+        date: today_utc(),
+        git_rev: git_rev(),
+        threads: resolved_threads(threads),
+        eval_mode: eval_mode.name().to_string(),
+        seq_backend: "n/a".to_string(),
+        suite: "large".to_string(),
+        circuits,
+        adder8_speedup: None,
+        seq_speedup: None,
     }
 }
 
@@ -633,6 +765,43 @@ mod tests {
         for c in &snap.circuits {
             assert!(text.contains(&c.name), "{text}");
         }
+    }
+
+    #[test]
+    fn large_suite_snapshot_records_compile_scaling() {
+        let snap = run_large_suite(1, EvalMode::Cone, 4_000);
+        assert_eq!(snap.suite, "large");
+        let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "synth_selfdual",
+                "synth_ripple",
+                "synth_csel",
+                "synth_mult",
+                "synth_chain"
+            ]
+        );
+        // The campaign row really swept faults; every row pins compile cost.
+        let selfdual = &snap.circuits[0];
+        assert_eq!(selfdual.faults, LARGE_SUITE_FAULTS);
+        assert!(selfdual.pairs > 0);
+        for c in &snap.circuits {
+            assert_eq!(c.suite, "large", "{}", c.name);
+            assert!(c.compile_micros.is_some(), "{}", c.name);
+            assert!(c.compile_bytes.unwrap_or(0) > 0, "{}", c.name);
+        }
+        let json = snap.to_json();
+        assert_eq!(validate_jsonl(&json), Ok(1));
+        let v = parse(&json).expect("snapshot parses");
+        assert_eq!(v.get("suite").and_then(JsonValue::as_str), Some("large"));
+        let rows = v.get("circuits").and_then(JsonValue::as_array).unwrap();
+        assert!(rows.iter().all(|r| {
+            r.get("suite").and_then(JsonValue::as_str) == Some("large")
+                && r.get("compile_bytes").and_then(JsonValue::as_f64).is_some()
+        }));
+        // The render surfaces the compile lines.
+        assert!(snap.render().contains("compile:"));
     }
 
     #[test]

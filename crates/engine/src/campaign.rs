@@ -825,6 +825,15 @@ pub fn try_run_pair_campaign(
             count: 1,
             items: (compiled.num_inputs() + compiled.num_outputs()) as u64,
         });
+        // Memory accounting rides the span channel: `items` carries the
+        // compiled schedule's heap footprint in bytes.
+        observer.on_event(&CampaignEvent::Span {
+            name: "compile_mem",
+            parent: "compile",
+            micros: 0,
+            count: 1,
+            items: compiled.memory_bytes(),
+        });
         for (level, &gates) in compiled.level_gates().iter().enumerate() {
             observer.on_event(&CampaignEvent::LevelGates { level, gates });
         }
@@ -1326,7 +1335,7 @@ mod tests {
         };
         let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
         let events = collect.events();
-        for span in ["levelize", "pack", "eval_batch"] {
+        for span in ["levelize", "pack", "compile_mem", "eval_batch"] {
             assert!(
                 events
                     .iter()

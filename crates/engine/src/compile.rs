@@ -278,6 +278,31 @@ impl CompiledCircuit {
         &self.level_gates
     }
 
+    /// Heap bytes held by the compiled schedule itself (ops, fanin and
+    /// fanout CSRs, slot tables) — the compile-phase memory footprint
+    /// reported in BENCH rows. Per-evaluation scratch words are not
+    /// included; they scale with thread count, not circuit size.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        use core::mem::size_of;
+        let vec_bytes = [
+            self.ops.len() * size_of::<Op>(),
+            self.fanins.len() * size_of::<u32>(),
+            self.input_slots.len() * size_of::<u32>(),
+            self.dff_slots.len() * size_of::<u32>(),
+            self.dff_d_slots.len() * size_of::<u32>(),
+            self.dff_init.len() * size_of::<bool>(),
+            self.const_slots.len() * size_of::<(u32, bool)>(),
+            self.output_slots.len() * size_of::<u32>(),
+            self.op_of_node.len() * size_of::<u32>(),
+            self.level_gates.len() * size_of::<usize>(),
+            self.op_levels.len() * size_of::<u32>(),
+            self.fanout_start.len() * size_of::<u32>(),
+            self.fanout_ops.len() * size_of::<u32>(),
+        ];
+        vec_bytes.iter().map(|&b| b as u64).sum::<u64>() + size_of::<Self>() as u64
+    }
+
     /// The constant slot carrying `value`.
     pub(crate) fn const_slot(&self, value: bool) -> u32 {
         if value {

@@ -1,0 +1,595 @@
+//! ISCAS-85/89-style `.bench` netlists as a [`Circuit`] interchange format.
+//!
+//! ```text
+//! # scal-netlist bench
+//! INPUT(a)
+//! INPUT(b)
+//! g = NAND(a, b)
+//! q = DFF(g)
+//! OUTPUT(q)
+//! ```
+//!
+//! The classic dialect (`INPUT`/`OUTPUT` declarations, `sig = KIND(…)`
+//! assignments, `DFF` for state) is extended with `CONST0()`/`CONST1()`
+//! sources and `MINORITY`/`MAJORITY` for the threshold gates. Everything
+//! bench cannot say natively — duplicate or non-identifier node names,
+//! flip-flop power-up values, output names that differ from their signal —
+//! rides in `#@` fidelity directives (`#@name <sig> <name>`,
+//! `#@init <sig> <0|1>`, `#@out <ord> <name>`), which foreign tools skip as
+//! comments. The writer emits node statements in id order, so round trips
+//! through the reader are bit-identical; hand-written files may list
+//! statements in any order (a deferral worklist resolves forward
+//! references, as ISCAS benchmarks require).
+
+use crate::circuit::NodeView;
+use crate::{Circuit, GateKind, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Error from the bench reader: the offending 1-based line and a
+/// description of the first problem found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, BenchError> {
+    Err(BenchError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Buf => "BUFF",
+        GateKind::Not => "NOT",
+        GateKind::And => "AND",
+        GateKind::Or => "OR",
+        GateKind::Nand => "NAND",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Minority => "MINORITY",
+        GateKind::Majority => "MAJORITY",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<GateKind> {
+    Some(match name.to_ascii_uppercase().as_str() {
+        "BUFF" | "BUF" => GateKind::Buf,
+        "NOT" => GateKind::Not,
+        "AND" => GateKind::And,
+        "OR" => GateKind::Or,
+        "NAND" => GateKind::Nand,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "MINORITY" | "MIN" => GateKind::Minority,
+        "MAJORITY" | "MAJ" => GateKind::Majority,
+        _ => return None,
+    })
+}
+
+/// `true` for signals the writer reserves for unnamed nodes (`N<digits>`).
+fn is_canonical(sig: &str) -> bool {
+    sig.strip_prefix('N')
+        .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn is_valid_signal(sig: &str) -> bool {
+    !sig.is_empty() && sig.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Serializes the circuit in the bench format.
+pub(crate) fn emit(c: &Circuit) -> String {
+    // Pick one signal per node: its own name when bench can express it and
+    // no earlier node claimed it, else the canonical N<idx>.
+    let mut used: HashMap<&str, NodeId> = HashMap::new();
+    let mut signals: Vec<String> = Vec::with_capacity(c.len());
+    let mut name_directives: Vec<(usize, &str)> = Vec::new();
+    for id in c.node_ids() {
+        let sig = match c.name(id) {
+            Some(n) if is_valid_signal(n) && !is_canonical(n) && !used.contains_key(n) => {
+                used.insert(n, id);
+                n.to_owned()
+            }
+            other => {
+                if let Some(n) = other {
+                    name_directives.push((id.index(), n));
+                }
+                format!("N{}", id.index())
+            }
+        };
+        signals.push(sig);
+    }
+
+    let mut s = String::from("# scal-netlist bench\n");
+    for id in c.node_ids() {
+        let sig = &signals[id.index()];
+        match c.view(id) {
+            NodeView::Input => {
+                let _ = writeln!(s, "INPUT({sig})");
+            }
+            NodeView::Const(v) => {
+                let _ = writeln!(s, "{sig} = CONST{}()", u8::from(v));
+            }
+            NodeView::Gate(kind) => {
+                let fanins: Vec<&str> = c
+                    .fanins(id)
+                    .iter()
+                    .map(|f| signals[f.index()].as_str())
+                    .collect();
+                let _ = writeln!(s, "{sig} = {}({})", kind_name(kind), fanins.join(", "));
+            }
+            NodeView::Dff { .. } => {
+                let d = c
+                    .fanins(id)
+                    .first()
+                    .map_or("", |f| signals[f.index()].as_str());
+                let _ = writeln!(s, "{sig} = DFF({d})");
+            }
+        }
+    }
+    for o in c.outputs() {
+        let _ = writeln!(s, "OUTPUT({})", signals[o.node.index()]);
+    }
+    for (idx, name) in name_directives {
+        let _ = writeln!(s, "#@name {} {name}", signals[idx]);
+    }
+    for &ff in c.dffs() {
+        if let NodeView::Dff { init: true } = c.view(ff) {
+            let _ = writeln!(s, "#@init {} 1", signals[ff.index()]);
+        }
+    }
+    for (ord, o) in c.outputs().iter().enumerate() {
+        if o.name != signals[o.node.index()] {
+            let _ = writeln!(s, "#@out {ord} {}", o.name);
+        }
+    }
+    s
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Input {
+        sig: String,
+    },
+    Gate {
+        sig: String,
+        kind: GateKind,
+        fanins: Vec<String>,
+    },
+    Dff {
+        sig: String,
+        d: String,
+    },
+    Const {
+        sig: String,
+        value: bool,
+    },
+}
+
+impl Stmt {
+    fn sig(&self) -> &str {
+        match self {
+            Stmt::Input { sig }
+            | Stmt::Gate { sig, .. }
+            | Stmt::Dff { sig, .. }
+            | Stmt::Const { sig, .. } => sig,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Directive {
+    Name { sig: String, name: String },
+    Init { sig: String, value: bool },
+    Out { ord: usize, name: String },
+}
+
+/// Parses the bench format (classic files and this writer's output alike).
+pub(crate) fn parse(src: &str) -> Result<Circuit, BenchError> {
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut directives: Vec<(usize, Directive)> = Vec::new();
+
+    for (ln0, raw) in src.lines().enumerate() {
+        let line = ln0 + 1;
+        let trimmed = raw.trim();
+        if let Some(rest) = trimmed.strip_prefix("#@") {
+            directives.push((line, parse_directive(rest, line)?));
+            continue;
+        }
+        // Anything from '#' on is a comment (ISCAS convention).
+        let code = trimmed.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(sig) = strip_call(code, "INPUT") {
+            let sig = sig.trim();
+            if !is_valid_signal_lenient(sig) {
+                return err(line, format!("bad INPUT signal {sig:?}"));
+            }
+            stmts.push((
+                line,
+                Stmt::Input {
+                    sig: sig.to_owned(),
+                },
+            ));
+        } else if let Some(sig) = strip_call(code, "OUTPUT") {
+            let sig = sig.trim();
+            if !is_valid_signal_lenient(sig) {
+                return err(line, format!("bad OUTPUT signal {sig:?}"));
+            }
+            outputs.push((line, sig.to_owned()));
+        } else if let Some((lhs, rhs)) = code.split_once('=') {
+            let sig = lhs.trim().to_owned();
+            if !is_valid_signal_lenient(&sig) {
+                return err(line, format!("bad signal {sig:?}"));
+            }
+            let rhs = rhs.trim();
+            let Some(open) = rhs.find('(') else {
+                return err(line, format!("expected KIND(...) after '=', got {rhs:?}"));
+            };
+            let Some(stripped) = rhs[open..]
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+            else {
+                return err(line, format!("unbalanced parentheses in {rhs:?}"));
+            };
+            let kind_str = rhs[..open].trim();
+            let args: Vec<&str> = if stripped.trim().is_empty() {
+                Vec::new()
+            } else {
+                stripped.split(',').map(str::trim).collect()
+            };
+            if args.iter().any(|a| !is_valid_signal_lenient(a)) {
+                return err(line, format!("bad argument signal in {rhs:?}"));
+            }
+            let stmt = match kind_str.to_ascii_uppercase().as_str() {
+                "DFF" => {
+                    if args.len() != 1 {
+                        return err(line, "DFF takes exactly one argument");
+                    }
+                    Stmt::Dff {
+                        sig,
+                        d: args[0].to_owned(),
+                    }
+                }
+                "CONST0" | "CONST1" => {
+                    if !args.is_empty() {
+                        return err(line, "CONST0/CONST1 take no arguments");
+                    }
+                    Stmt::Const {
+                        sig,
+                        value: kind_str.ends_with('1'),
+                    }
+                }
+                other => {
+                    let Some(kind) = kind_from_name(other) else {
+                        return err(line, format!("unknown gate kind {other:?}"));
+                    };
+                    if !kind.arity_ok(args.len()) {
+                        return err(line, format!("arity {} invalid for {other}", args.len()));
+                    }
+                    Stmt::Gate {
+                        sig,
+                        kind,
+                        fanins: args.iter().map(|&a| a.to_owned()).collect(),
+                    }
+                }
+            };
+            stmts.push((line, stmt));
+        } else {
+            return err(line, format!("cannot parse {code:?}"));
+        }
+    }
+
+    build(stmts, &outputs, &directives)
+}
+
+fn is_valid_signal_lenient(sig: &str) -> bool {
+    // Classic benchmarks use identifiers; be permissive about charset but
+    // firm about structure so arbitrary bytes still produce typed errors.
+    !sig.is_empty()
+        && !sig.contains(|c: char| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '#'))
+}
+
+fn strip_call<'a>(code: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = code.strip_prefix(kw)?.trim_start();
+    rest.strip_prefix('(')?.trim_end().strip_suffix(')')
+}
+
+fn parse_directive(rest: &str, line: usize) -> Result<Directive, BenchError> {
+    let rest = rest.trim();
+    let (kw, rest) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    match kw {
+        "name" => {
+            let (sig, name) = rest
+                .trim()
+                .split_once(char::is_whitespace)
+                .ok_or(())
+                .or_else(|()| err(line, "#@name needs <signal> <name>"))?;
+            Ok(Directive::Name {
+                sig: sig.to_owned(),
+                name: name.trim().to_owned(),
+            })
+        }
+        "init" => {
+            let (sig, v) = rest
+                .trim()
+                .split_once(char::is_whitespace)
+                .ok_or(())
+                .or_else(|()| err(line, "#@init needs <signal> <0|1>"))?;
+            let value = match v.trim() {
+                "0" => false,
+                "1" => true,
+                other => return err(line, format!("bad #@init value {other:?}")),
+            };
+            Ok(Directive::Init {
+                sig: sig.to_owned(),
+                value,
+            })
+        }
+        "out" => {
+            let (ord, name) = rest
+                .trim()
+                .split_once(char::is_whitespace)
+                .ok_or(())
+                .or_else(|()| err(line, "#@out needs <ord> <name>"))?;
+            let ord: usize = ord
+                .parse()
+                .ok()
+                .ok_or(())
+                .or_else(|()| err(line, format!("bad #@out ordinal {ord:?}")))?;
+            Ok(Directive::Out {
+                ord,
+                name: name.trim().to_owned(),
+            })
+        }
+        other => err(line, format!("unknown directive #@{other}")),
+    }
+}
+
+fn build(
+    stmts: Vec<(usize, Stmt)>,
+    outputs: &[(usize, String)],
+    directives: &[(usize, Directive)],
+) -> Result<Circuit, BenchError> {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for (line, s) in &stmts {
+        if seen.insert(s.sig(), *line).is_some() {
+            return err(*line, format!("signal {:?} defined twice", s.sig()));
+        }
+    }
+    // Power-up values must be known at flip-flop creation time, so resolve
+    // `#@init` directives against signals up front.
+    let mut init_of: HashMap<&str, bool> = HashMap::new();
+    for (line, d) in directives {
+        if let Directive::Init { sig, value } = d {
+            match seen.get(sig.as_str()) {
+                Some(_) => {
+                    init_of.insert(sig, *value);
+                }
+                None => return err(*line, format!("#@init references unknown signal {sig:?}")),
+            }
+        }
+    }
+
+    // Replay in file order with deferral: ISCAS files commonly reference
+    // signals defined further down, and DFF feedback requires it anyway.
+    let mut c = Circuit::new();
+    let mut map: HashMap<String, NodeId> = HashMap::new();
+    let mut dff_connects: Vec<(usize, NodeId, String)> = Vec::new();
+    let mut pending = stmts;
+    while !pending.is_empty() {
+        let mut next_round = Vec::new();
+        let mut progressed = false;
+        for (line, s) in pending {
+            let ready = match &s {
+                Stmt::Input { .. } | Stmt::Dff { .. } | Stmt::Const { .. } => true,
+                Stmt::Gate { fanins, .. } => fanins.iter().all(|f| map.contains_key(f)),
+            };
+            if !ready {
+                next_round.push((line, s));
+                continue;
+            }
+            progressed = true;
+            let (sig, id) = match s {
+                Stmt::Input { sig } => {
+                    let id = c.input(sig.clone());
+                    (sig, id)
+                }
+                Stmt::Gate { sig, kind, fanins } => {
+                    let ids: Vec<_> = fanins.iter().map(|f| map[f.as_str()]).collect();
+                    let id = c.gate(kind, &ids);
+                    if !is_canonical(&sig) {
+                        c.set_name(id, sig.clone());
+                    }
+                    (sig, id)
+                }
+                Stmt::Dff { sig, d } => {
+                    let id = c.dff(init_of.get(sig.as_str()).copied().unwrap_or(false));
+                    dff_connects.push((line, id, d));
+                    if !is_canonical(&sig) {
+                        c.set_name(id, sig.clone());
+                    }
+                    (sig, id)
+                }
+                Stmt::Const { sig, value } => {
+                    let id = c.constant(value);
+                    if !is_canonical(&sig) {
+                        c.set_name(id, sig.clone());
+                    }
+                    (sig, id)
+                }
+            };
+            map.insert(sig, id);
+        }
+        if !progressed {
+            let (line, s) = &next_round[0];
+            return err(
+                *line,
+                format!(
+                    "signal {:?} is part of an undefined or cyclic chain",
+                    s.sig()
+                ),
+            );
+        }
+        pending = next_round;
+    }
+
+    for (line, ff, d) in dff_connects {
+        match map.get(d.as_str()) {
+            Some(&id) => c.connect_dff(ff, id),
+            None => return err(line, format!("DFF input signal {d:?} is never defined")),
+        }
+    }
+
+    let mut output_names: Vec<Option<&str>> = vec![None; outputs.len()];
+    for (line, d) in directives {
+        match d {
+            Directive::Name { sig, name } => match map.get(sig.as_str()) {
+                Some(&id) => c.set_name(id, name.clone()),
+                None => return err(*line, format!("#@name references unknown signal {sig:?}")),
+            },
+            Directive::Init { sig, .. } => {
+                // Applied at creation via `init_of`; only validate the
+                // target's kind here.
+                let id = map[sig.as_str()];
+                if !matches!(c.view(id), NodeView::Dff { .. }) {
+                    return err(*line, format!("#@init target {sig:?} is not a DFF"));
+                }
+            }
+            Directive::Out { ord, name } => match output_names.get_mut(*ord) {
+                Some(slot) => *slot = Some(name),
+                None => return err(*line, format!("#@out ordinal {ord} out of range")),
+            },
+        }
+    }
+    for (ord, (line, sig)) in outputs.iter().enumerate() {
+        match map.get(sig.as_str()) {
+            Some(&id) => {
+                let name = output_names[ord].unwrap_or(sig.as_str());
+                c.mark_output(name, id);
+            }
+            None => return err(*line, format!("OUTPUT references unknown signal {sig:?}")),
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let one = c.constant(true);
+        let g = c.nand(&[a, b, one]);
+        c.set_name(g, "front");
+        let ff = c.dff(true);
+        let x = c.xor(&[g, ff]);
+        c.connect_dff(ff, x);
+        c.mark_output("q", x);
+        c
+    }
+
+    #[test]
+    fn writer_output_is_bit_stable() {
+        let c = sample();
+        let b = emit(&c);
+        let back = parse(&b).unwrap_or_else(|e| panic!("{e}\n{b}"));
+        assert_eq!(emit(&back), b);
+        crate::io::assert_circuit_eq(&c, &back);
+    }
+
+    #[test]
+    fn classic_iscas_style_file_parses() {
+        let src = "\
+            # s27-flavoured hand-written file\n\
+            INPUT(G0)\n\
+            OUTPUT(G17)\n\
+            G17 = NOT(G11)\n\
+            G11 = AND(G0, G5)\n\
+            G5 = DFF(G10)\n\
+            G10 = NOR(G17, G0)\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.dffs().len(), 1);
+        assert_eq!(c.outputs()[0].name, "G17");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_round_trip_via_directives() {
+        let mut c = Circuit::new();
+        let a = c.input("sig");
+        let g = c.not(a);
+        c.set_name(g, "sig");
+        let h = c.not(g);
+        c.set_name(h, "space name");
+        c.mark_output("sig", h);
+        let b = emit(&c);
+        let back = parse(&b).unwrap();
+        crate::io::assert_circuit_eq(&c, &back);
+        assert_eq!(emit(&back), b);
+    }
+
+    #[test]
+    fn init_directive_sets_power_up_value() {
+        let src = "INPUT(x)\nq = DFF(x)\nOUTPUT(q)\n#@init q 1\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.view(c.dffs()[0]), NodeView::Dff { init: true });
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        for (src, needle) in [
+            ("garbage line", "cannot parse"),
+            ("INPUT(a)\nINPUT(a)", "defined twice"),
+            ("a = AND(b, c)", "undefined or cyclic"),
+            ("a = NOT(a)", "undefined or cyclic"),
+            ("a = FROB(b)", "unknown gate kind"),
+            ("INPUT(a)\nb = NOT(a, a)", "arity"),
+            ("INPUT(a)\nb = DFF(a, a)", "exactly one"),
+            ("b = CONST0(x)", "no arguments"),
+            ("OUTPUT(zz)", "unknown signal"),
+            ("q = DFF(nothing)", "never defined"),
+            ("INPUT(a)\n#@init a 1", "not a DFF"),
+            ("#@init q 1", "unknown signal"),
+            ("#@out 3 f", "out of range"),
+            ("#@frob x", "unknown directive"),
+            ("INPUT(a b)", "bad INPUT signal"),
+            ("x = AND(", "unbalanced parentheses"),
+            ("x = 5", "expected KIND"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "{src:?}: got {e}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let src = "INPUT(a)  # primary input\nb = NOT(a)\nOUTPUT(b)";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,497 @@
+//! Parameterized synthetic circuit generators for scaling studies.
+//!
+//! The paper's fixtures top out around 120 nodes; these generators produce
+//! structurally varied designs from 1k to 1M gates so the compile and
+//! campaign pipelines are measured where production netlists live. Every
+//! generator is deterministic: the same `(kind, target_gates, seed)` triple
+//! always yields the identical circuit, node ids included, so BENCH rows
+//! and CI smoke runs are reproducible.
+//!
+//! Kinds:
+//!
+//! * [`SynthKind::RippleAdder`] — a wide ripple-carry adder (deep carry
+//!   chain, minimal reconvergence);
+//! * [`SynthKind::CarrySelect`] — a carry-select adder (duplicated blocks
+//!   and mux trees, wide + moderately deep);
+//! * [`SynthKind::MultiplierTree`] — an array multiplier reduced
+//!   column-wise with full/half adders (massive reconvergent fanout);
+//! * [`SynthKind::ChainedMachines`] — a cascade of small two-flip-flop
+//!   Kohavi-style detector cells (sequential, long state chains);
+//! * [`SynthKind::RandomSelfDual`] — a seeded random DAG completed to a
+//!   self-dual function, so alternating-pair campaigns run on it with few
+//!   enough primary inputs for exhaustive pair sweeps.
+
+use crate::{Circuit, GateKind, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A synthetic circuit family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthKind {
+    /// Wide ripple-carry adder.
+    RippleAdder,
+    /// Carry-select adder with 8-bit blocks.
+    CarrySelect,
+    /// Array multiplier with column-wise adder-tree reduction.
+    MultiplierTree,
+    /// Cascaded two-flip-flop sequence-detector cells.
+    ChainedMachines,
+    /// Seeded random DAG, self-dualized output by output.
+    RandomSelfDual,
+}
+
+impl SynthKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [SynthKind; 5] = [
+        SynthKind::RippleAdder,
+        SynthKind::CarrySelect,
+        SynthKind::MultiplierTree,
+        SynthKind::ChainedMachines,
+        SynthKind::RandomSelfDual,
+    ];
+
+    /// Stable lower-case name, accepted back by `FromStr`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SynthKind::RippleAdder => "ripple",
+            SynthKind::CarrySelect => "csel",
+            SynthKind::MultiplierTree => "mult",
+            SynthKind::ChainedMachines => "chain",
+            SynthKind::RandomSelfDual => "selfdual",
+        }
+    }
+}
+
+impl core::fmt::Display for SynthKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl core::str::FromStr for SynthKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ripple" | "adder" => Ok(SynthKind::RippleAdder),
+            "csel" | "carry-select" => Ok(SynthKind::CarrySelect),
+            "mult" | "multiplier" => Ok(SynthKind::MultiplierTree),
+            "chain" | "machines" => Ok(SynthKind::ChainedMachines),
+            "selfdual" | "random" => Ok(SynthKind::RandomSelfDual),
+            other => Err(format!(
+                "unknown synthetic kind {other:?} (want ripple|csel|mult|chain|selfdual)"
+            )),
+        }
+    }
+}
+
+/// Generates a circuit of roughly `target_gates` gates (within ~2× for the
+/// structured families, whose size quantizes to their cell counts).
+///
+/// `seed` only affects [`SynthKind::RandomSelfDual`]; the structured
+/// families are fully determined by the target size.
+#[must_use]
+pub fn generate(kind: SynthKind, target_gates: usize, seed: u64) -> Circuit {
+    let c = match kind {
+        SynthKind::RippleAdder => ripple_adder_wide(target_gates.div_ceil(5).max(1)),
+        SynthKind::CarrySelect => carry_select_adder(target_gates.div_ceil(15).max(8), 8),
+        SynthKind::MultiplierTree => multiplier_tree(isqrt(target_gates / 6).max(2)),
+        SynthKind::ChainedMachines => chained_machines(target_gates.div_ceil(9).max(1)),
+        SynthKind::RandomSelfDual => {
+            // Two identical cores plus the dualizing mux layer; round the
+            // per-core budget up so the assembled circuit meets the target.
+            random_selfdual(12, target_gates.div_ceil(2).max(8), seed)
+        }
+    };
+    debug_assert!(c.validate().is_ok(), "generator built invalid circuit");
+    c
+}
+
+fn isqrt(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r
+}
+
+/// One full adder out of classic two-level logic: 5 gates.
+fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let p = c.xor(&[a, b]);
+    let s = c.xor(&[p, cin]);
+    let g = c.and(&[a, b]);
+    let t = c.and(&[p, cin]);
+    let cout = c.or(&[g, t]);
+    (s, cout)
+}
+
+/// A `bits`-wide ripple-carry adder (~5·bits gates, carry chain depth
+/// ~2·bits).
+#[must_use]
+pub fn ripple_adder_wide(bits: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let a: Vec<_> = (0..bits).map(|i| c.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..bits).map(|i| c.input(format!("b{i}"))).collect();
+    let mut carry = c.input("cin");
+    for i in 0..bits {
+        let (s, cout) = full_adder(&mut c, a[i], b[i], carry);
+        c.mark_output(format!("s{i}"), s);
+        carry = cout;
+    }
+    c.mark_output("cout", carry);
+    c
+}
+
+/// A carry-select adder: `bits` total width in `block`-bit blocks, each
+/// block computed for both carry-in values and muxed (~15 gates/bit).
+///
+/// # Panics
+///
+/// Panics if `block` is zero.
+#[must_use]
+pub fn carry_select_adder(bits: usize, block: usize) -> Circuit {
+    assert!(block > 0, "block width must be positive");
+    let mut c = Circuit::new();
+    let a: Vec<_> = (0..bits).map(|i| c.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..bits).map(|i| c.input(format!("b{i}"))).collect();
+    let mut carry = c.input("cin");
+    let zero = c.constant(false);
+    let one = c.constant(true);
+    let mut lo = 0;
+    while lo < bits {
+        let hi = (lo + block).min(bits);
+        // Both speculative block results.
+        let (mut c0, mut c1) = (zero, one);
+        let mut sums = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (s0, n0) = full_adder(&mut c, a[i], b[i], c0);
+            let (s1, n1) = full_adder(&mut c, a[i], b[i], c1);
+            sums.push((s0, s1));
+            c0 = n0;
+            c1 = n1;
+        }
+        // Select with the real carry-in.
+        let nsel = c.not(carry);
+        for (i, (s0, s1)) in sums.into_iter().enumerate() {
+            let t1 = c.and(&[carry, s1]);
+            let t0 = c.and(&[nsel, s0]);
+            let s = c.or(&[t1, t0]);
+            c.mark_output(format!("s{}", lo + i), s);
+        }
+        let t1 = c.and(&[carry, c1]);
+        let t0 = c.and(&[nsel, c0]);
+        carry = c.or(&[t1, t0]);
+        lo = hi;
+    }
+    c.mark_output("cout", carry);
+    c
+}
+
+/// A `bits`×`bits` array multiplier: partial products reduced column by
+/// column with full/half adders (~6·bits² gates).
+#[must_use]
+pub fn multiplier_tree(bits: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let a: Vec<_> = (0..bits).map(|i| c.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..bits).map(|i| c.input(format!("b{i}"))).collect();
+    // Column j collects all partial-product bits of weight 2^j.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * bits];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = c.and(&[ai, bj]);
+            columns[i + j].push(pp);
+        }
+    }
+    // Carry-save reduction: compress every column to a single bit, pushing
+    // carries rightward — the adder tree the family is named for. Carries
+    // can structurally spill one column past the arithmetic width, so the
+    // column list grows on demand.
+    let mut j = 0;
+    while j < columns.len() {
+        if columns[j].len() > 1 && j + 1 == columns.len() {
+            columns.push(Vec::new());
+        }
+        while columns[j].len() > 1 {
+            if columns[j].len() >= 3 {
+                let (x, y, z) = {
+                    let col = &mut columns[j];
+                    (col.pop().unwrap(), col.pop().unwrap(), col.pop().unwrap())
+                };
+                let (s, cout) = full_adder(&mut c, x, y, z);
+                columns[j].push(s);
+                columns[j + 1].push(cout);
+            } else {
+                let (x, y) = {
+                    let col = &mut columns[j];
+                    (col.pop().unwrap(), col.pop().unwrap())
+                };
+                let s = c.xor(&[x, y]);
+                let cout = c.and(&[x, y]);
+                columns[j].push(s);
+                columns[j + 1].push(cout);
+            }
+        }
+        j += 1;
+    }
+    for (j, col) in columns.iter().enumerate() {
+        if let Some(&bit) = col.first() {
+            c.mark_output(format!("p{j}"), bit);
+        }
+    }
+    c
+}
+
+/// A cascade of `cells` two-flip-flop sequence-detector cells in the style
+/// of the paper's Kohavi machines (~9 gates + 2 flip-flops per cell). Each
+/// cell's detect output feeds the next cell's data input; the shared clock
+/// is implicit, a single primary input drives the head of the chain.
+#[must_use]
+pub fn chained_machines(cells: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let x = c.input("x");
+    let mut w = x;
+    for i in 0..cells {
+        // State (y1 y0), next-state and output logic of a small Mealy
+        // detector: y0 tracks the last symbol, y1 arms on a 01 pattern,
+        // z fires while armed and the history re-matches.
+        let y0 = c.dff(false);
+        let y1 = c.dff(i % 2 == 1);
+        let nw = c.not(w);
+        let ny0 = c.not(y0);
+        let arm = c.and(&[ny0, w]);
+        let hold = c.and(&[y1, nw]);
+        let next1 = c.or(&[arm, hold]);
+        c.connect_dff(y0, w);
+        c.connect_dff(y1, next1);
+        let hist = c.xor(&[y0, w]);
+        let z = c.and(&[y1, hist]);
+        if i == cells - 1 {
+            c.set_name(z, format!("z{i}"));
+        }
+        w = z;
+    }
+    c.mark_output("z", w);
+    c
+}
+
+/// The gate kinds the random DAG draws from (no threshold gates: the core
+/// is instantiated twice and the sizes must stay predictable).
+const RANDOM_KINDS: [GateKind; 7] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Not,
+];
+
+/// A seeded random DAG over `inputs` variables, completed output by output
+/// to the self-dual closure f*(s, x) = s·f(x) ∨ s̄·¬f(x̄).
+///
+/// Self-duality of every output is guaranteed by construction — that is
+/// exactly the alternating property pair campaigns require — so the result
+/// is campaign-runnable whenever `inputs + 1 ≤ 24`. Roughly
+/// `2·core_gates + 3·inputs` gates total.
+#[must_use]
+pub fn random_selfdual(inputs: usize, core_gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Draw the core as a reusable recipe so the true and complemented
+    // instantiations are structurally identical.
+    let mut recipe: Vec<(GateKind, Vec<usize>)> = Vec::with_capacity(core_gates);
+    for g in 0..core_gates {
+        let kind = RANDOM_KINDS[rng.gen_range(0..RANDOM_KINDS.len())];
+        let arity = match kind {
+            GateKind::Not => 1,
+            _ => 2 + usize::from(rng.gen_bool(0.25)),
+        };
+        let pool = inputs + g;
+        let picks = (0..arity)
+            .map(|_| {
+                if pool > 24 && rng.gen_bool(0.7) {
+                    // Bias toward recent nodes to keep the DAG deep rather
+                    // than bushy-at-the-inputs.
+                    pool - 1 - rng.gen_range(0..24)
+                } else {
+                    rng.gen_range(0..pool)
+                }
+            })
+            .collect();
+        recipe.push((kind, picks));
+    }
+    let outs = 4.min(core_gates);
+
+    let build_core = |c: &mut Circuit, leaves: &[NodeId]| -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = leaves.to_vec();
+        for (kind, picks) in &recipe {
+            let fanins: Vec<NodeId> = picks.iter().map(|&p| pool[p]).collect();
+            pool.push(c.gate(*kind, &fanins));
+        }
+        pool[pool.len() - outs..].to_vec()
+    };
+
+    let mut c = Circuit::new();
+    let s = c.input("s");
+    let xs: Vec<_> = (0..inputs).map(|i| c.input(format!("x{i}"))).collect();
+    let nxs: Vec<_> = xs.iter().map(|&x| c.not(x)).collect();
+    let pos = build_core(&mut c, &xs);
+    let neg = build_core(&mut c, &nxs);
+    let ns = c.not(s);
+    for (k, (&f, &fneg)) in pos.iter().zip(&neg).enumerate() {
+        let nfneg = c.not(fneg);
+        let t1 = c.and(&[s, f]);
+        let t0 = c.and(&[ns, nfneg]);
+        let z = c.or(&[t1, t0]);
+        c.mark_output(format!("z{k}"), z);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::assert_circuit_eq;
+    use crate::NetlistFormat;
+
+    #[test]
+    fn generators_are_deterministic_and_valid() {
+        for kind in SynthKind::ALL {
+            let a = generate(kind, 2000, 7);
+            let b = generate(kind, 2000, 7);
+            assert!(a.validate().is_ok(), "{kind}: invalid");
+            assert_circuit_eq(&a, &b);
+            assert!(!a.outputs().is_empty(), "{kind}: no outputs");
+            // Within a factor of ~2.5 of the target (cell quantization).
+            assert!(
+                a.len() >= 800 && a.len() <= 5000,
+                "{kind}: {} nodes for target 2000",
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_random_dag() {
+        let a = generate(SynthKind::RandomSelfDual, 1000, 1);
+        let b = generate(SynthKind::RandomSelfDual, 1000, 2);
+        let fa = a.write_string(NetlistFormat::ScalText);
+        let fb = b.write_string(NetlistFormat::ScalText);
+        assert_ne!(fa, fb, "different seeds must differ");
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let c = ripple_adder_wide(4);
+        // 11 + 6 + 1 = 18 = 0b10010.
+        let mut ins = vec![false; 9];
+        for (i, bit) in [true, true, false, true].into_iter().enumerate() {
+            ins[i] = bit;
+        }
+        for (i, bit) in [false, true, true, false].into_iter().enumerate() {
+            ins[4 + i] = bit;
+        }
+        ins[8] = true;
+        let out = c.eval(&ins);
+        assert_eq!(out, vec![false, true, false, false, true]);
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let bits = 6;
+        let csel = carry_select_adder(bits, 3);
+        let ripple = ripple_adder_wide(bits);
+        for case in [0u32, 1, 9, 63, 64, 1000, 4095, 8191] {
+            let mut ins = Vec::with_capacity(2 * bits + 1);
+            for i in 0..bits {
+                ins.push(case >> i & 1 == 1);
+            }
+            for i in 0..bits {
+                ins.push(case >> (bits + i) & 1 == 1);
+            }
+            ins.push(case >> (2 * bits) & 1 == 1);
+            assert_eq!(csel.eval(&ins), ripple.eval(&ins), "case {case}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let bits = 4;
+        let c = multiplier_tree(bits);
+        for (x, y) in [(0u32, 0u32), (1, 1), (3, 5), (7, 9), (15, 15), (12, 11)] {
+            let mut ins = Vec::new();
+            for i in 0..bits {
+                ins.push(x >> i & 1 == 1);
+            }
+            for i in 0..bits {
+                ins.push(y >> i & 1 == 1);
+            }
+            let out = c.eval(&ins);
+            let mut got = 0u32;
+            for (j, &bit) in out.iter().enumerate() {
+                got |= u32::from(bit) << j;
+            }
+            assert_eq!(got, x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn chained_machines_are_sequential_and_single_input() {
+        let c = chained_machines(50);
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.dffs().len(), 100);
+        assert!(c.validate().is_ok());
+        // The chain must actually react to stimuli somewhere.
+        let mut sim = crate::Sim::new(&c);
+        for step in 0..32 {
+            let _ = sim.step(&[step % 3 != 0]);
+        }
+    }
+
+    #[test]
+    fn selfdual_outputs_alternate() {
+        // ¬f(¬inputs) == f(inputs) for every output — the property the
+        // engine's alternating-pair sweep depends on.
+        let c = random_selfdual(6, 40, 3);
+        assert_eq!(c.inputs().len(), 7);
+        for case in 0u32..128 {
+            let ins: Vec<bool> = (0..7).map(|i| case >> i & 1 == 1).collect();
+            let inv: Vec<bool> = ins.iter().map(|b| !b).collect();
+            let a = c.eval(&ins);
+            let b: Vec<bool> = c.eval(&inv).iter().map(|b| !b).collect();
+            assert_eq!(a, b, "case {case:07b}");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SynthKind::ALL {
+            assert_eq!(kind.name().parse::<SynthKind>(), Ok(kind));
+        }
+        assert!("frob".parse::<SynthKind>().is_err());
+    }
+
+    #[test]
+    fn all_kinds_round_trip_all_formats_at_2k_gates() {
+        for kind in SynthKind::ALL {
+            let c = generate(kind, 2000, 11);
+            for format in [
+                NetlistFormat::ScalText,
+                NetlistFormat::Verilog,
+                NetlistFormat::Bench,
+            ] {
+                let s = c.write_string(format);
+                let back =
+                    Circuit::read(&s, format).unwrap_or_else(|e| panic!("{kind}/{format}: {e}"));
+                assert_circuit_eq(&c, &back);
+                assert_eq!(
+                    back.write_string(format),
+                    s,
+                    "{kind}/{format} not bit-stable"
+                );
+            }
+        }
+    }
+}

@@ -21,7 +21,7 @@ use crate::circuit::NodeView;
 use crate::{Circuit, GateKind, NodeId};
 use std::fmt::Write as _;
 
-/// Errors from [`Circuit::from_text`].
+/// Errors from parsing the v1 text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TextError {
@@ -92,50 +92,13 @@ fn kind_from_name(s: &str) -> Option<GateKind> {
 
 impl Circuit {
     /// Serializes the netlist to the v1 text format.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Circuit::write_string(NetlistFormat::ScalText)` instead"
+    )]
     #[must_use]
     pub fn to_text(&self) -> String {
-        let mut s = String::from("scal-netlist v1\n");
-        let mut connects = Vec::new();
-        let mut names = Vec::new();
-        for id in self.node_ids() {
-            match self.view(id) {
-                NodeView::Input => {
-                    let _ = writeln!(s, "input {id} {}", self.name(id).unwrap_or("_"));
-                }
-                NodeView::Const(v) => {
-                    let _ = writeln!(s, "const {id} {}", u8::from(v));
-                }
-                NodeView::Gate(kind) => {
-                    let _ = write!(s, "gate {id} {}", kind_name(kind));
-                    for f in self.fanins(id) {
-                        let _ = write!(s, " {f}");
-                    }
-                    s.push('\n');
-                    if let Some(n) = self.name(id) {
-                        names.push((id, n.to_owned()));
-                    }
-                }
-                NodeView::Dff { init } => {
-                    let _ = writeln!(s, "dff {id} {}", u8::from(init));
-                    if let Some(&d) = self.fanins(id).first() {
-                        connects.push((id, d));
-                    }
-                    if let Some(n) = self.name(id) {
-                        names.push((id, n.to_owned()));
-                    }
-                }
-            }
-        }
-        for (ff, d) in connects {
-            let _ = writeln!(s, "connect {ff} {d}");
-        }
-        for (id, n) in names {
-            let _ = writeln!(s, "name {id} {n}");
-        }
-        for o in self.outputs() {
-            let _ = writeln!(s, "output {} {}", o.name, o.node);
-        }
-        s
+        emit(self)
     }
 
     /// Parses the v1 text format.
@@ -143,104 +106,175 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns a [`TextError`] describing the first problem.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Circuit::read(src, NetlistFormat::ScalText)` instead"
+    )]
     pub fn from_text(text: &str) -> Result<Circuit, TextError> {
-        let mut lines = text.lines().enumerate();
-        let header = loop {
-            match lines.next() {
-                Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => {}
-                Some((_, l)) => break l.trim(),
-                None => return Err(TextError::BadHeader),
-            }
-        };
-        if header != "scal-netlist v1" {
-            return Err(TextError::BadHeader);
-        }
-
-        let mut c = Circuit::new();
-        let parse_id = |tok: &str, line: usize, max: usize| -> Result<NodeId, TextError> {
-            let idx = parse_index(tok).ok_or(TextError::BadNodeRef { line })?;
-            if idx >= max {
-                return Err(TextError::BadNodeRef { line });
-            }
-            Ok(crate::circuit::node_id_from_index(idx))
-        };
-
-        for (ln0, raw) in lines {
-            let line = ln0 + 1;
-            let l = raw.trim();
-            if l.is_empty() || l.starts_with('#') {
-                continue;
-            }
-            let toks: Vec<&str> = l.split_whitespace().collect();
-            let bad = || TextError::BadLine {
-                line,
-                text: raw.to_owned(),
-            };
-            match toks[0] {
-                "input" if toks.len() == 3 => {
-                    let expect = parse_new_id(toks[1], line, c.len())?;
-                    let got = c.input(toks[2]);
-                    check_id(expect, got, line)?;
-                }
-                "const" if toks.len() == 3 => {
-                    let expect = parse_new_id(toks[1], line, c.len())?;
-                    let v = match toks[2] {
-                        "0" => false,
-                        "1" => true,
-                        _ => return Err(bad()),
-                    };
-                    let got = c.constant(v);
-                    check_id(expect, got, line)?;
-                }
-                "gate" if toks.len() >= 4 => {
-                    let expect = parse_new_id(toks[1], line, c.len())?;
-                    let kind = kind_from_name(toks[2]).ok_or_else(bad)?;
-                    let mut fanins = Vec::with_capacity(toks.len() - 3);
-                    for t in &toks[3..] {
-                        fanins.push(parse_id(t, line, c.len())?);
-                    }
-                    if !kind.arity_ok(fanins.len()) {
-                        return Err(bad());
-                    }
-                    let got = c.gate(kind, &fanins);
-                    check_id(expect, got, line)?;
-                }
-                "dff" if toks.len() == 3 => {
-                    let expect = parse_new_id(toks[1], line, c.len())?;
-                    let init = match toks[2] {
-                        "0" => false,
-                        "1" => true,
-                        _ => return Err(bad()),
-                    };
-                    let got = c.dff(init);
-                    check_id(expect, got, line)?;
-                }
-                "connect" if toks.len() == 3 => {
-                    let ff = parse_id(toks[1], line, c.len())?;
-                    let d = parse_id(toks[2], line, c.len())?;
-                    // connect_dff panics on these; the parser reads untrusted
-                    // bytes, so pre-check and return typed errors instead.
-                    if !matches!(c.view(ff), NodeView::Dff { .. }) {
-                        return Err(TextError::NotAFlipFlop { line });
-                    }
-                    if !c.fanins(ff).is_empty() {
-                        return Err(TextError::AlreadyConnected { line });
-                    }
-                    c.connect_dff(ff, d);
-                }
-                "name" if toks.len() == 3 => {
-                    let id = parse_id(toks[1], line, c.len())?;
-                    c.set_name(id, toks[2]);
-                }
-                "output" if toks.len() == 3 => {
-                    let id = parse_id(toks[2], line, c.len())?;
-                    c.mark_output(toks[1], id);
-                }
-                _ => return Err(bad()),
-            }
-        }
-        Ok(c)
+        parse(text)
     }
+}
+
+/// Serializes the netlist to the v1 text format (the implementation behind
+/// [`crate::NetlistFormat::ScalText`]).
+pub(crate) fn emit(c: &Circuit) -> String {
+    let mut s = String::from("scal-netlist v1\n");
+    let mut connects = Vec::new();
+    let mut names = Vec::new();
+    for id in c.node_ids() {
+        match c.view(id) {
+            NodeView::Input => {
+                let _ = writeln!(s, "input {id} {}", c.name(id).unwrap_or("_"));
+            }
+            NodeView::Const(v) => {
+                let _ = writeln!(s, "const {id} {}", u8::from(v));
+                if let Some(n) = c.name(id) {
+                    names.push((id, n.to_owned()));
+                }
+            }
+            NodeView::Gate(kind) => {
+                let _ = write!(s, "gate {id} {}", kind_name(kind));
+                for f in c.fanins(id) {
+                    let _ = write!(s, " {f}");
+                }
+                s.push('\n');
+                if let Some(n) = c.name(id) {
+                    names.push((id, n.to_owned()));
+                }
+            }
+            NodeView::Dff { init } => {
+                let _ = writeln!(s, "dff {id} {}", u8::from(init));
+                if let Some(&d) = c.fanins(id).first() {
+                    connects.push((id, d));
+                }
+                if let Some(n) = c.name(id) {
+                    names.push((id, n.to_owned()));
+                }
+            }
+        }
+    }
+    for (ff, d) in connects {
+        let _ = writeln!(s, "connect {ff} {d}");
+    }
+    for (id, n) in names {
+        let _ = writeln!(s, "name {id} {n}");
+    }
+    for o in c.outputs() {
+        let _ = writeln!(s, "output {} {}", o.name, o.node);
+    }
+    s
+}
+
+/// Parses the v1 text format (the implementation behind
+/// [`crate::NetlistFormat::ScalText`]).
+pub(crate) fn parse(text: &str) -> Result<Circuit, TextError> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => {}
+            Some((_, l)) => break l.trim(),
+            None => return Err(TextError::BadHeader),
+        }
+    };
+    if header != "scal-netlist v1" {
+        return Err(TextError::BadHeader);
+    }
+
+    let mut c = Circuit::new();
+    let parse_id = |tok: &str, line: usize, max: usize| -> Result<NodeId, TextError> {
+        let idx = parse_index(tok).ok_or(TextError::BadNodeRef { line })?;
+        if idx >= max {
+            return Err(TextError::BadNodeRef { line });
+        }
+        Ok(crate::circuit::node_id_from_index(idx))
+    };
+
+    for (ln0, raw) in lines {
+        let line = ln0 + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        let bad = || TextError::BadLine {
+            line,
+            text: raw.to_owned(),
+        };
+        // Names occupy the rest of the line (they may contain spaces); the
+        // line is already end-trimmed, so this is exact.
+        let rest_after = |n_toks: usize| -> &str {
+            let mut s = l;
+            for _ in 0..n_toks {
+                s = s.trim_start();
+                let end = s.find(char::is_whitespace).unwrap_or(s.len());
+                s = &s[end..];
+            }
+            s.trim_start()
+        };
+        match toks[0] {
+            "input" if toks.len() >= 3 => {
+                let expect = parse_new_id(toks[1], line, c.len())?;
+                let got = c.input(rest_after(2));
+                check_id(expect, got, line)?;
+            }
+            "const" if toks.len() == 3 => {
+                let expect = parse_new_id(toks[1], line, c.len())?;
+                let v = match toks[2] {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad()),
+                };
+                let got = c.constant(v);
+                check_id(expect, got, line)?;
+            }
+            "gate" if toks.len() >= 4 => {
+                let expect = parse_new_id(toks[1], line, c.len())?;
+                let kind = kind_from_name(toks[2]).ok_or_else(bad)?;
+                let mut fanins = Vec::with_capacity(toks.len() - 3);
+                for t in &toks[3..] {
+                    fanins.push(parse_id(t, line, c.len())?);
+                }
+                if !kind.arity_ok(fanins.len()) {
+                    return Err(bad());
+                }
+                let got = c.gate(kind, &fanins);
+                check_id(expect, got, line)?;
+            }
+            "dff" if toks.len() == 3 => {
+                let expect = parse_new_id(toks[1], line, c.len())?;
+                let init = match toks[2] {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(bad()),
+                };
+                let got = c.dff(init);
+                check_id(expect, got, line)?;
+            }
+            "connect" if toks.len() == 3 => {
+                let ff = parse_id(toks[1], line, c.len())?;
+                let d = parse_id(toks[2], line, c.len())?;
+                // connect_dff panics on these; the parser reads untrusted
+                // bytes, so pre-check and return typed errors instead.
+                if !matches!(c.view(ff), NodeView::Dff { .. }) {
+                    return Err(TextError::NotAFlipFlop { line });
+                }
+                if !c.fanins(ff).is_empty() {
+                    return Err(TextError::AlreadyConnected { line });
+                }
+                c.connect_dff(ff, d);
+            }
+            "name" if toks.len() >= 3 => {
+                let id = parse_id(toks[1], line, c.len())?;
+                c.set_name(id, rest_after(2));
+            }
+            "output" if toks.len() >= 3 => {
+                let id = parse_id(toks[toks.len() - 1], line, c.len())?;
+                c.mark_output(toks[1..toks.len() - 1].join(" "), id);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(c)
 }
 
 /// Parses `n<digits>` strictly: ASCII digits only (no sign, no whitespace —
@@ -291,8 +325,8 @@ mod tests {
     #[test]
     fn round_trip_preserves_everything() {
         let c = sample();
-        let text = c.to_text();
-        let back = Circuit::from_text(&text).unwrap();
+        let text = emit(&c);
+        let back = parse(&text).unwrap();
         assert_eq!(back.len(), c.len());
         assert_eq!(back.inputs().len(), 2);
         assert_eq!(back.outputs().len(), 1);
@@ -312,24 +346,21 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_ignored() {
         let text = "\n# hello\nscal-netlist v1\n# a comment\ninput n0 a\n\noutput f n0\n";
-        let c = Circuit::from_text(text).unwrap();
+        let c = parse(text).unwrap();
         assert_eq!(c.inputs().len(), 1);
         assert_eq!(c.outputs().len(), 1);
     }
 
     #[test]
     fn bad_header_rejected() {
-        assert!(matches!(
-            Circuit::from_text("nope\n"),
-            Err(TextError::BadHeader)
-        ));
+        assert!(matches!(parse("nope\n"), Err(TextError::BadHeader)));
     }
 
     #[test]
     fn forward_references_rejected() {
         let text = "scal-netlist v1\ngate n0 not n1\n";
         assert!(matches!(
-            Circuit::from_text(text),
+            parse(text),
             Err(TextError::BadNodeRef { line: 2 })
         ));
     }
@@ -337,26 +368,20 @@ mod tests {
     #[test]
     fn out_of_order_ids_rejected() {
         let text = "scal-netlist v1\ninput n5 a\n";
-        assert!(matches!(
-            Circuit::from_text(text),
-            Err(TextError::BadNodeRef { .. })
-        ));
+        assert!(matches!(parse(text), Err(TextError::BadNodeRef { .. })));
     }
 
     #[test]
     fn bad_gate_kind_rejected() {
         let text = "scal-netlist v1\ninput n0 a\ngate n1 frob n0\n";
-        assert!(matches!(
-            Circuit::from_text(text),
-            Err(TextError::BadLine { .. })
-        ));
+        assert!(matches!(parse(text), Err(TextError::BadLine { .. })));
     }
 
     #[test]
     fn connect_on_non_dff_is_a_typed_error() {
         let text = "scal-netlist v1\ninput n0 a\ngate n1 not n0\nconnect n1 n0\n";
         assert!(matches!(
-            Circuit::from_text(text),
+            parse(text),
             Err(TextError::NotAFlipFlop { line: 4 })
         ));
     }
@@ -365,7 +390,7 @@ mod tests {
     fn double_connect_is_a_typed_error() {
         let text = "scal-netlist v1\ninput n0 a\ndff n1 0\nconnect n1 n0\nconnect n1 n0\n";
         assert!(matches!(
-            Circuit::from_text(text),
+            parse(text),
             Err(TextError::AlreadyConnected { line: 5 })
         ));
     }
@@ -384,7 +409,7 @@ mod tests {
             let text = format!("scal-netlist v1\ninput {tok} a\n");
             assert!(
                 matches!(
-                    Circuit::from_text(&text),
+                    parse(&text),
                     Err(TextError::BadNodeRef { .. } | TextError::BadLine { .. })
                 ),
                 "token {tok:?} must be rejected"
@@ -407,15 +432,12 @@ mod tests {
             "name n0",
         ] {
             let text = format!("scal-netlist v1\n{body}\n");
-            assert!(
-                Circuit::from_text(&text).is_err(),
-                "line {body:?} must be rejected"
-            );
+            assert!(parse(&text).is_err(), "line {body:?} must be rejected");
         }
         // `not` is unary: two fanins violate arity.
         let text = "scal-netlist v1\ninput n0 a\ninput n1 b\ngate n2 not n0 n1\n";
         assert!(matches!(
-            Circuit::from_text(text),
+            parse(text),
             Err(TextError::BadLine { line: 4, .. })
         ));
     }
@@ -428,7 +450,7 @@ mod tests {
         let d = c.input("d");
         let m = c.gate(GateKind::Minority, &[a, b, d]);
         c.mark_output("m", m);
-        let back = Circuit::from_text(&c.to_text()).unwrap();
+        let back = parse(&emit(&c)).unwrap();
         assert_eq!(back.output_tt(0), c.output_tt(0));
     }
 }

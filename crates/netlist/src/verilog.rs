@@ -1,0 +1,847 @@
+//! A structural Verilog subset as a [`Circuit`] interchange format.
+//!
+//! The emitted dialect is deliberately small and fully round-trippable:
+//!
+//! ```verilog
+//! // scal-netlist Verilog subset
+//! module scal_netlist (n0, n1, o0);
+//!   (* scal_name = "f" *) output o0;
+//!   wire n2;
+//!   wire n3;
+//!   (* scal_name = "a" *) input n0;
+//!   (* scal_name = "b" *) input n1;
+//!   nand g2 (n2, n0, n1);
+//!   scal_dff #(1'b0) g3 (n3, n2);
+//!   assign o0 = n3;
+//! endmodule
+//! ```
+//!
+//! Gate primitives (`and`, `or`, `nand`, `nor`, `xor`, `xnor`, `not`,
+//! `buf`) use the standard output-first port order; flip-flops and the
+//! threshold gates are instances of `scal_dff` (init value as a `#(1'b_)`
+//! parameter), `scal_minority` and `scal_majority`. Constants are literal
+//! `assign`s. Exact node and output names ride in `(* scal_name = "…" *)`
+//! attributes, so the reader reconstructs the circuit bit-identically —
+//! node ids included, because creation statements appear in node-id order.
+//!
+//! The reader additionally accepts hand-written files in this subset:
+//! statements in any order (resolved by a deferral worklist), multi-net
+//! declarations, net-to-net `assign`s (read as buffers), and gates driving
+//! output ports directly.
+
+use crate::circuit::NodeView;
+use crate::{Circuit, GateKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Error from the Verilog reader: the offending 1-based line and a
+/// description of the first problem found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, VerilogError> {
+    Err(VerilogError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn prim_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Buf => "buf",
+        GateKind::Not => "not",
+        GateKind::And => "and",
+        GateKind::Or => "or",
+        GateKind::Nand => "nand",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+        GateKind::Minority => "scal_minority",
+        GateKind::Majority => "scal_majority",
+    }
+}
+
+fn prim_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "buf" => GateKind::Buf,
+        "not" => GateKind::Not,
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "scal_minority" => GateKind::Minority,
+        "scal_majority" => GateKind::Majority,
+        _ => return None,
+    })
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn attr_prefix(name: &str) -> String {
+    format!("(* scal_name = \"{}\" *) ", escape(name))
+}
+
+/// Serializes the circuit as the structural Verilog subset.
+pub(crate) fn emit(c: &Circuit) -> String {
+    let mut s = String::from("// scal-netlist Verilog subset\n");
+    let mut ports: Vec<String> = c.inputs().iter().map(ToString::to_string).collect();
+    for ord in 0..c.outputs().len() {
+        ports.push(format!("o{ord}"));
+    }
+    let _ = writeln!(s, "module scal_netlist ({});", ports.join(", "));
+    for (ord, o) in c.outputs().iter().enumerate() {
+        let port = format!("o{ord}");
+        let attr = if o.name == port {
+            String::new()
+        } else {
+            attr_prefix(&o.name)
+        };
+        let _ = writeln!(s, "  {attr}output {port};");
+    }
+    for id in c.node_ids() {
+        if c.view(id) != NodeView::Input {
+            let _ = writeln!(s, "  wire {id};");
+        }
+    }
+    // Creation statements in node-id order: the reader replays them in file
+    // order, so node ids survive the round trip exactly.
+    for id in c.node_ids() {
+        let net = id.to_string();
+        let attr = match c.name(id) {
+            // An input's name defaults to its net name on read; everything
+            // else defaults to unnamed.
+            Some(n) if c.view(id) == NodeView::Input && n == net => String::new(),
+            Some(n) => attr_prefix(n),
+            None => String::new(),
+        };
+        match c.view(id) {
+            NodeView::Input => {
+                let _ = writeln!(s, "  {attr}input {net};");
+            }
+            NodeView::Const(v) => {
+                let _ = writeln!(s, "  {attr}assign {net} = 1'b{};", u8::from(v));
+            }
+            NodeView::Gate(kind) => {
+                let fanins: Vec<String> = c.fanins(id).iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    s,
+                    "  {attr}{} g{} ({net}, {});",
+                    prim_name(kind),
+                    id.index(),
+                    fanins.join(", ")
+                );
+            }
+            NodeView::Dff { init } => {
+                let _ = writeln!(
+                    s,
+                    "  {attr}scal_dff #(1'b{}) g{} ({net}, {});",
+                    u8::from(init),
+                    id.index(),
+                    c.fanins(id)
+                        .first()
+                        .map_or_else(|| "1'bx".to_owned(), ToString::to_string)
+                );
+            }
+        }
+    }
+    for (ord, o) in c.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  assign o{ord} = {};", o.node);
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Id(String),
+    Lit(bool),
+    Str(String),
+    LPar,
+    RPar,
+    Comma,
+    Semi,
+    Eq,
+    Hash,
+    AttrOpen,
+    AttrClose,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, VerilogError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    while let Some((i, ch)) = chars.next() {
+        match ch {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' => match chars.peek() {
+                Some((_, '/')) => {
+                    for (_, c) in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                }
+                Some((_, '*')) => {
+                    chars.next();
+                    let mut closed = false;
+                    while let Some((_, c)) = chars.next() {
+                        if c == '\n' {
+                            line += 1;
+                        } else if c == '*' && matches!(chars.peek(), Some((_, '/'))) {
+                            chars.next();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return err(line, "unterminated block comment");
+                    }
+                }
+                _ => return err(line, "unexpected '/'"),
+            },
+            '(' => {
+                if matches!(chars.peek(), Some((_, '*'))) {
+                    chars.next();
+                    toks.push((line, Tok::AttrOpen));
+                } else {
+                    toks.push((line, Tok::LPar));
+                }
+            }
+            '*' => {
+                if matches!(chars.peek(), Some((_, ')'))) {
+                    chars.next();
+                    toks.push((line, Tok::AttrClose));
+                } else {
+                    return err(line, "unexpected '*'");
+                }
+            }
+            ')' => toks.push((line, Tok::RPar)),
+            ',' => toks.push((line, Tok::Comma)),
+            ';' => toks.push((line, Tok::Semi)),
+            '=' => toks.push((line, Tok::Eq)),
+            '#' => toks.push((line, Tok::Hash)),
+            '"' => {
+                let mut out = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, e @ ('"' | '\\'))) => out.push(e),
+                            _ => return err(line, "bad string escape"),
+                        },
+                        '\n' => return err(line, "unterminated string"),
+                        c => out.push(c),
+                    }
+                }
+                if !closed {
+                    return err(line, "unterminated string");
+                }
+                toks.push((line, Tok::Str(out)));
+            }
+            c if c.is_ascii_digit() => {
+                // Only the bit literals 1'b0 / 1'b1 exist in this subset.
+                let start = i;
+                let mut end = i + 1;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '\'' || c2 == '_' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match &src[start..end] {
+                    "1'b0" | "1'B0" => toks.push((line, Tok::Lit(false))),
+                    "1'b1" | "1'B1" => toks.push((line, Tok::Lit(true))),
+                    other => return err(line, format!("unsupported literal {other:?}")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' || c2 == '$' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((line, Tok::Id(src[start..end].to_owned())));
+            }
+            other => return err(line, format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+/// One parsed module item that can create or drive a net.
+#[derive(Debug)]
+enum Stmt {
+    /// `input n0;` — creates a primary input.
+    Input { net: String, attr: Option<String> },
+    /// A gate-primitive or `scal_minority`/`scal_majority` instance.
+    Gate {
+        kind: GateKind,
+        target: String,
+        fanins: Vec<String>,
+        attr: Option<String>,
+    },
+    /// A `scal_dff #(init)` instance; `d` resolves after creation.
+    Dff {
+        init: bool,
+        target: String,
+        d: String,
+        attr: Option<String>,
+    },
+    /// `assign net = 1'b_;` — a constant source.
+    Const {
+        value: bool,
+        target: String,
+        attr: Option<String>,
+    },
+    /// `assign net = other;` — a buffer (or an output-port alias).
+    Alias {
+        target: String,
+        src: String,
+        attr: Option<String>,
+    },
+}
+
+impl Stmt {
+    fn target(&self) -> &str {
+        match self {
+            Stmt::Input { net, .. } => net,
+            Stmt::Gate { target, .. }
+            | Stmt::Dff { target, .. }
+            | Stmt::Const { target, .. }
+            | Stmt::Alias { target, .. } => target,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Net {
+    Input,
+    Wire,
+    OutputPort,
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |(l, _)| *l)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t);
+        self.pos += 1;
+        t
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), VerilogError> {
+        let line = self.line();
+        if self.eat(want) {
+            Ok(())
+        } else {
+            err(line, format!("expected {what}"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, VerilogError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Id(s)) => Ok(s.clone()),
+            _ => err(line, format!("expected {what}")),
+        }
+    }
+
+    /// Parses an attribute instance, returning its `scal_name` value if
+    /// present; other attribute names are skipped.
+    fn attribute(&mut self) -> Result<Option<String>, VerilogError> {
+        let mut name = None;
+        loop {
+            let key = self.ident("attribute name")?;
+            let mut value = None;
+            if self.eat(&Tok::Eq) {
+                let line = self.line();
+                value = match self.next() {
+                    Some(Tok::Str(s)) => Some(s.clone()),
+                    Some(Tok::Lit(_) | Tok::Id(_)) => None,
+                    _ => return err(line, "expected attribute value"),
+                };
+            }
+            if key == "scal_name" {
+                match value {
+                    Some(v) => name = Some(v),
+                    None => return err(self.line(), "scal_name needs a string value"),
+                }
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::AttrClose, "*)")?;
+        Ok(name)
+    }
+}
+
+/// Parses the structural Verilog subset back into a [`Circuit`].
+pub(crate) fn parse(src: &str) -> Result<Circuit, VerilogError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let line = p.line();
+    if p.ident("keyword 'module'")? != "module" {
+        return err(line, "expected 'module'");
+    }
+    let _module_name = p.ident("module name")?;
+    if p.eat(&Tok::LPar) {
+        // The port list is redundant with the declarations; skip it.
+        let mut depth = 1usize;
+        loop {
+            let line = p.line();
+            match p.next() {
+                Some(Tok::LPar | Tok::AttrOpen) => depth += 1,
+                Some(Tok::RPar | Tok::AttrClose) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => return err(line, "unterminated port list"),
+            }
+        }
+    }
+    p.expect(&Tok::Semi, "';' after module header")?;
+
+    let mut nets: HashMap<String, Net> = HashMap::new();
+    let mut output_ports: Vec<(String, Option<String>)> = Vec::new();
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut declare = |net: String, kind: Net, line: usize| -> Result<(), VerilogError> {
+        if nets.insert(net.clone(), kind).is_some() {
+            return err(line, format!("net {net:?} declared twice"));
+        }
+        Ok(())
+    };
+
+    loop {
+        let mut attr = None;
+        if p.eat(&Tok::AttrOpen) {
+            attr = p.attribute()?;
+        }
+        let line = p.line();
+        let kw = p.ident("module item")?;
+        match kw.as_str() {
+            "endmodule" => {
+                if attr.is_some() {
+                    return err(line, "attribute before endmodule");
+                }
+                break;
+            }
+            "input" | "output" | "wire" => {
+                loop {
+                    let line = p.line();
+                    let net = p.ident("net name")?;
+                    match kw.as_str() {
+                        "input" => {
+                            declare(net.clone(), Net::Input, line)?;
+                            stmts.push((
+                                line,
+                                Stmt::Input {
+                                    net,
+                                    attr: attr.clone(),
+                                },
+                            ));
+                        }
+                        "output" => {
+                            declare(net.clone(), Net::OutputPort, line)?;
+                            output_ports.push((net, attr.clone()));
+                        }
+                        _ => declare(net, Net::Wire, line)?,
+                    }
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&Tok::Semi, "';' after declaration")?;
+            }
+            "assign" => {
+                let target = p.ident("assign target")?;
+                p.expect(&Tok::Eq, "'=' in assign")?;
+                let line2 = p.line();
+                let stmt = match p.next() {
+                    Some(Tok::Lit(v)) => Stmt::Const {
+                        value: *v,
+                        target,
+                        attr,
+                    },
+                    Some(Tok::Id(src)) => Stmt::Alias {
+                        target,
+                        src: src.clone(),
+                        attr,
+                    },
+                    _ => return err(line2, "expected net or literal on assign rhs"),
+                };
+                p.expect(&Tok::Semi, "';' after assign")?;
+                stmts.push((line, stmt));
+            }
+            prim => {
+                let is_dff = prim == "scal_dff";
+                let kind = prim_kind(prim);
+                if !is_dff && kind.is_none() {
+                    return err(line, format!("unknown module item {prim:?}"));
+                }
+                let mut init = false;
+                if p.eat(&Tok::Hash) {
+                    if !is_dff {
+                        return err(line, format!("{prim} takes no parameters"));
+                    }
+                    p.expect(&Tok::LPar, "'(' after '#'")?;
+                    let line2 = p.line();
+                    match p.next() {
+                        Some(Tok::Lit(v)) => init = *v,
+                        _ => return err(line2, "expected 1'b0 or 1'b1 init parameter"),
+                    }
+                    p.expect(&Tok::RPar, "')' after init parameter")?;
+                }
+                if matches!(p.peek(), Some(Tok::Id(_))) {
+                    let _instance_name = p.ident("instance name")?;
+                }
+                p.expect(&Tok::LPar, "'(' starting port connections")?;
+                let mut conns = Vec::new();
+                loop {
+                    conns.push(p.ident("port connection")?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&Tok::RPar, "')' after port connections")?;
+                p.expect(&Tok::Semi, "';' after instance")?;
+                let target = conns.remove(0);
+                let stmt = if is_dff {
+                    if conns.len() != 1 {
+                        return err(line, "scal_dff takes exactly (q, d)");
+                    }
+                    Stmt::Dff {
+                        init,
+                        target,
+                        d: conns.remove(0),
+                        attr,
+                    }
+                } else {
+                    let kind = kind.expect("checked above");
+                    if !kind.arity_ok(conns.len()) {
+                        return err(line, format!("arity {} invalid for {prim}", conns.len()));
+                    }
+                    Stmt::Gate {
+                        kind,
+                        target,
+                        fanins: conns,
+                        attr,
+                    }
+                };
+                stmts.push((line, stmt));
+            }
+        }
+    }
+    if p.peek().is_some() {
+        return err(p.line(), "trailing tokens after endmodule");
+    }
+
+    build(&nets, &output_ports, stmts)
+}
+
+fn build(
+    nets: &HashMap<String, Net>,
+    output_ports: &[(String, Option<String>)],
+    stmts: Vec<(usize, Stmt)>,
+) -> Result<Circuit, VerilogError> {
+    // Every net may have at most one driver; inputs have none.
+    let mut driven: HashMap<&str, usize> = HashMap::new();
+    for (line, s) in &stmts {
+        let target = s.target();
+        match (nets.get(target), s) {
+            (None, _) => return err(*line, format!("net {target:?} is not declared")),
+            (Some(Net::Input), Stmt::Input { .. }) => {}
+            (Some(Net::Input), _) => return err(*line, format!("input {target:?} is driven")),
+            (_, Stmt::Input { .. }) => {
+                return err(*line, format!("{target:?} redeclared as input"))
+            }
+            (Some(Net::Wire | Net::OutputPort), _) => {
+                if driven.insert(target, *line).is_some() {
+                    return err(*line, format!("net {target:?} has two drivers"));
+                }
+            }
+        }
+    }
+
+    // Replay creation statements in file order; statements whose fanins are
+    // not resolved yet are deferred to the next sweep, so hand-written files
+    // with forward references still build (at the cost of renumbered ids).
+    let mut c = Circuit::new();
+    let mut map: HashMap<String, crate::NodeId> = HashMap::new();
+    let mut dff_connects: Vec<(usize, crate::NodeId, String)> = Vec::new();
+    let mut pending: Vec<(usize, Stmt)> = stmts;
+    while !pending.is_empty() {
+        let mut next_round = Vec::new();
+        let mut progressed = false;
+        for (line, s) in pending {
+            let ready = match &s {
+                Stmt::Input { .. } | Stmt::Dff { .. } | Stmt::Const { .. } => true,
+                Stmt::Gate { fanins, .. } => fanins.iter().all(|f| map.contains_key(f)),
+                Stmt::Alias { src, .. } => map.contains_key(src),
+            };
+            if !ready {
+                next_round.push((line, s));
+                continue;
+            }
+            progressed = true;
+            let target = s.target().to_owned();
+            let is_output_port = nets.get(target.as_str()) == Some(&Net::OutputPort);
+            let (id, attr) = match s {
+                Stmt::Input { net, attr } => {
+                    let name = attr.unwrap_or_else(|| net.clone());
+                    (c.input(name), None)
+                }
+                Stmt::Gate {
+                    kind, fanins, attr, ..
+                } => {
+                    let ids: Vec<_> = fanins.iter().map(|f| map[f.as_str()]).collect();
+                    (c.gate(kind, &ids), attr)
+                }
+                Stmt::Dff { init, d, attr, .. } => {
+                    let ff = c.dff(init);
+                    dff_connects.push((line, ff, d));
+                    (ff, attr)
+                }
+                Stmt::Const { value, attr, .. } => (c.constant(value), attr),
+                Stmt::Alias { src, attr, .. } => {
+                    if is_output_port {
+                        // A pure port alias: no node, the port resolves to
+                        // the source node.
+                        map.insert(target, map[src.as_str()]);
+                        continue;
+                    }
+                    (c.buf(map[src.as_str()]), attr)
+                }
+            };
+            if let Some(name) = attr.or_else(|| {
+                // Non-canonical net names on hand-written wires are worth
+                // keeping as node names.
+                (target != id.to_string() && !is_output_port).then(|| target.clone())
+            }) {
+                c.set_name(id, name);
+            }
+            map.insert(target, id);
+        }
+        if !progressed {
+            let (line, s) = &next_round[0];
+            return err(
+                *line,
+                format!(
+                    "net {:?} is part of an undriven or cyclic chain",
+                    s.target()
+                ),
+            );
+        }
+        pending = next_round;
+    }
+
+    for (line, ff, d) in dff_connects {
+        match map.get(d.as_str()) {
+            Some(&id) => c.connect_dff(ff, id),
+            None => return err(line, format!("flip-flop D net {d:?} is never driven")),
+        }
+    }
+
+    for (port, attr) in output_ports {
+        match map.get(port.as_str()) {
+            Some(&id) => {
+                let name = attr.clone().unwrap_or_else(|| port.clone());
+                c.mark_output(name, id);
+            }
+            None => {
+                return err(1, format!("output {port:?} is never driven"));
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let one = c.constant(true);
+        let g = c.nand(&[a, b, one]);
+        c.set_name(g, "front");
+        let ff = c.dff(true);
+        let x = c.xor(&[g, ff]);
+        c.connect_dff(ff, x);
+        c.mark_output("q", x);
+        c
+    }
+
+    #[test]
+    fn writer_output_is_bit_stable() {
+        let c = sample();
+        let v = emit(&c);
+        let back = parse(&v).unwrap_or_else(|e| panic!("{e}\n{v}"));
+        assert_eq!(emit(&back), v);
+        crate::io::assert_circuit_eq(&c, &back);
+    }
+
+    #[test]
+    fn hand_written_forward_references_resolve() {
+        let src = r#"
+            // out-of-order hand-written file
+            module adder (a, b, s);
+              input a, b;
+              output s;
+              wire t;
+              assign s = t;   /* forward reference */
+              xor (t, a, b);
+            endmodule
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.outputs()[0].name, "s");
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn gate_driving_output_port_directly() {
+        let src = "module m (a, y); input a; output y; not (y, a); endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn wire_alias_becomes_buffer_and_keeps_net_name() {
+        let src = "module m (a, y); input a; output y; wire stage1; \
+                   assign stage1 = a; assign y = stage1; endmodule";
+        let c = parse(src).unwrap();
+        let buf = c
+            .node_ids()
+            .find(|&id| c.view(id) == NodeView::Gate(GateKind::Buf))
+            .unwrap();
+        assert_eq!(c.name(buf), Some("stage1"));
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        for (src, needle) in [
+            ("", "module"),
+            ("module m (; endmodule", "unterminated port list"),
+            ("module m; wire w; endmodule trailing", "trailing"),
+            ("module m; and (y, a); endmodule", "not declared"),
+            ("module m; input a; assign a = 1'b0; endmodule", "driven"),
+            (
+                "module m; wire y; wire a; assign y = a; endmodule",
+                "undriven or cyclic",
+            ),
+            (
+                "module m; wire a; wire b; assign a = b; assign b = a; endmodule",
+                "undriven or cyclic",
+            ),
+            (
+                "module m; output y; input a; not (y, a); not g2 (y, a); endmodule",
+                "two drivers",
+            ),
+            (
+                "module m; input a; wire y; not #(1'b0) (y, a); endmodule",
+                "parameters",
+            ),
+            (
+                "module m; input a; wire y; not (y, a, a); endmodule",
+                "arity",
+            ),
+            ("module m; output y; endmodule", "never driven"),
+            ("module m; wire w; assign w = 2'b10; endmodule", "literal"),
+            ("module m; wire w; @ endmodule", "unexpected character"),
+            ("module m; /* unterminated", "unterminated block comment"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains(needle) || e.to_string().contains(needle),
+                "{src:?}: got {e}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scal_name_attributes_survive_escaping() {
+        let mut c = Circuit::new();
+        let a = c.input("weird \"quoted\" \\ name");
+        c.mark_output("out \"x\"", a);
+        let v = emit(&c);
+        let back = parse(&v).unwrap();
+        crate::io::assert_circuit_eq(&c, &back);
+    }
+
+    #[test]
+    fn unknown_attributes_are_skipped() {
+        let src = "module m (a, y); (* keep, full_case = 1'b1 *) input a; \
+                   output y; (* synth = x *) buf (y, a); endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.name(c.inputs()[0]), Some("a"));
+    }
+}

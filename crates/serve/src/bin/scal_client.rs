@@ -27,6 +27,7 @@ fn usage() -> ! {
          \x20 submit (pair|seq|cpu) [--priority 0..9] [--threads N]\n\
          \x20        [--timeout-ms T] [--no-stream] [--scalar]\n\
          \x20        [--seq-backend packed|scalar|graph] [--words N]\n\
+         \x20        [--format text|verilog|bench]\n\
          \x20 batch --jobs N [--cancel-one]\n\
          \x20 raw            read one request line from stdin, stream frames\n\
          \x20 cancel ID\n\
@@ -180,6 +181,10 @@ fn main() -> ExitCode {
                             *b = backend;
                         }
                     }
+                    "--format" => match value().parse() {
+                        Ok(f) => spec.netlist_format = f,
+                        Err(_) => usage(),
+                    },
                     "--words" => match value().parse() {
                         Ok(n) => {
                             if let scal_serve::JobKind::Seq { words, .. } = &mut spec.kind {

@@ -152,7 +152,7 @@ fn bad_frame(msg: &str) -> std::io::Error {
 pub mod demo {
     use crate::proto::{FaultSpec, JobKind, JobSpec};
     use scal_engine::EvalMode;
-    use scal_netlist::{Circuit, GateKind};
+    use scal_netlist::{Circuit, GateKind, NetlistFormat};
     use scal_seq::SeqBackend;
     use scal_system::campaign::CpuUnit;
 
@@ -184,6 +184,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         }
     }
 
@@ -209,6 +210,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         }
     }
 
@@ -226,6 +228,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         }
     }
 }

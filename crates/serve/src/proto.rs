@@ -8,7 +8,7 @@
 
 use scal_engine::EvalMode;
 use scal_faults::Fault;
-use scal_netlist::{Circuit, Site};
+use scal_netlist::{Circuit, NetlistFormat, Site};
 use scal_obs::json::{self, JsonObject, JsonValue};
 use scal_obs::{CampaignEvent, CoverageMap};
 use scal_seq::{ScalMachine, SeqBackend};
@@ -151,6 +151,10 @@ pub struct JobSpec {
     pub threads: usize,
     /// Stream per-event frames (`false` = result frame only).
     pub stream: bool,
+    /// Serialization of the `"netlist"` field (`"text"`, `"verilog"`,
+    /// `"bench"`); omitted on the wire when it is the text default, so v1
+    /// request lines are byte-identical to pre-format builds.
+    pub netlist_format: NetlistFormat,
 }
 
 /// One parsed request line.
@@ -235,9 +239,9 @@ fn parse_word(v: &JsonValue) -> Result<Vec<bool>, ProtoError> {
 /// exists and (for branches) that the pin is a real fanin position.
 fn parse_fault(v: &JsonValue, circuit: &Circuit) -> Result<Fault, ProtoError> {
     let node_of = |idx: u64| {
-        circuit
-            .node_ids()
-            .find(|n| n.index() as u64 == idx)
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| circuit.node_id(i))
             .ok_or_else(|| ProtoError::new("bad_faults", format!("no node with index {idx}")))
     };
     let stuck = as_bool(
@@ -273,10 +277,19 @@ fn parse_fault(v: &JsonValue, circuit: &Circuit) -> Result<Fault, ProtoError> {
     Ok(Fault::new(site, stuck))
 }
 
-fn parse_netlist(obj: &JsonValue) -> Result<Circuit, ProtoError> {
+fn parse_netlist_format(obj: &JsonValue) -> Result<NetlistFormat, ProtoError> {
+    match field_str(obj, "netlist_format")? {
+        None => Ok(NetlistFormat::ScalText),
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| ProtoError::new("bad_request", e)),
+    }
+}
+
+fn parse_netlist(obj: &JsonValue, format: NetlistFormat) -> Result<Circuit, ProtoError> {
     let text = field_str(obj, "netlist")?
         .ok_or_else(|| ProtoError::new("bad_request", "submit missing \"netlist\""))?;
-    let circuit = Circuit::from_text(text)
+    let circuit = Circuit::read(text, format)
         .map_err(|e| ProtoError::new("bad_netlist", format!("netlist parse: {e}")))?;
     circuit
         .validate()
@@ -294,9 +307,10 @@ fn parse_eval_mode(obj: &JsonValue) -> Result<EvalMode, ProtoError> {
 }
 
 fn parse_submit(obj: &JsonValue) -> Result<JobSpec, ProtoError> {
+    let netlist_format = parse_netlist_format(obj)?;
     let kind = match field_str(obj, "kind")? {
         Some("pair") => {
-            let circuit = parse_netlist(obj)?;
+            let circuit = parse_netlist(obj, netlist_format)?;
             let faults = match obj.get("faults") {
                 None | Some(JsonValue::Null) | Some(JsonValue::Str(_)) => {
                     match field_str(obj, "faults")? {
@@ -341,7 +355,7 @@ fn parse_submit(obj: &JsonValue) -> Result<JobSpec, ProtoError> {
             }
         }
         Some("seq") => {
-            let circuit = parse_netlist(obj)?;
+            let circuit = parse_netlist(obj, netlist_format)?;
             let inputs = circuit.inputs().len();
             if inputs == 0 {
                 return Err(ProtoError::new(
@@ -507,6 +521,7 @@ fn parse_submit(obj: &JsonValue) -> Result<JobSpec, ProtoError> {
         timeout_ms: field_u64(obj, "timeout_ms")?,
         threads: field_u64(obj, "threads")?.unwrap_or(0) as usize,
         stream: field_bool(obj, "stream", true)?,
+        netlist_format,
     })
 }
 
@@ -587,7 +602,10 @@ impl JobSpec {
                 eval_mode,
                 scalar,
             } => {
-                o.str("netlist", &circuit.to_text());
+                if self.netlist_format != NetlistFormat::ScalText {
+                    o.str("netlist_format", self.netlist_format.name());
+                }
+                o.str("netlist", &circuit.write_string(self.netlist_format));
                 match faults {
                     FaultSpec::All => o.str("faults", "all"),
                     FaultSpec::List(list) => {
@@ -625,7 +643,13 @@ impl JobSpec {
                 backend,
                 eval_mode,
             } => {
-                o.str("netlist", &machine.circuit.to_text());
+                if self.netlist_format != NetlistFormat::ScalText {
+                    o.str("netlist_format", self.netlist_format.name());
+                }
+                o.str(
+                    "netlist",
+                    &machine.circuit.write_string(self.netlist_format),
+                );
                 o.num("z", machine.z_count as u64);
                 o.num("y", machine.y_count as u64);
                 if let Some((f, g)) = machine.code_pair {
@@ -788,6 +812,7 @@ mod tests {
             timeout_ms: Some(1000),
             threads: 2,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         };
         let line = spec.to_request_line();
         let parsed = match Request::parse(&line).unwrap() {
@@ -805,7 +830,7 @@ mod tests {
                 eval_mode: EvalMode::Full,
                 scalar: false,
             } => {
-                assert_eq!(circuit.to_text(), c.to_text());
+                scal_netlist::assert_circuit_eq(&circuit, &c);
                 assert_eq!(parsed_faults, faults);
             }
             other => panic!("bad kind: {other:?}"),
@@ -827,8 +852,11 @@ mod tests {
             timeout_ms: None,
             threads: 0,
             stream: false,
+            netlist_format: NetlistFormat::Bench,
         };
-        let parsed = match Request::parse(&spec.to_request_line()).unwrap() {
+        let line = spec.to_request_line();
+        assert!(line.contains("\"netlist_format\":\"bench\""));
+        let parsed = match Request::parse(&line).unwrap() {
             Request::Submit(s) => *s,
             other => panic!("expected submit, got {other:?}"),
         };
@@ -840,7 +868,7 @@ mod tests {
                 backend: SeqBackend::Scalar,
                 ..
             } => {
-                assert_eq!(m.circuit.to_text(), machine.circuit.to_text());
+                scal_netlist::assert_circuit_eq(&m.circuit, &machine.circuit);
                 assert_eq!(m.z_count, machine.z_count);
                 assert_eq!(m.y_count, machine.y_count);
                 assert_eq!(m.code_pair, machine.code_pair);
@@ -862,6 +890,7 @@ mod tests {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         };
         let parsed = match Request::parse(&spec.to_request_line()).unwrap() {
             Request::Submit(s) => *s,
@@ -886,6 +915,10 @@ mod tests {
             (
                 "{\"cmd\":\"submit\",\"kind\":\"pair\",\"netlist\":\"garbage\"}",
                 "bad_netlist",
+            ),
+            (
+                "{\"cmd\":\"submit\",\"kind\":\"pair\",\"netlist_format\":\"edif\",\"netlist\":\"x\"}",
+                "bad_request",
             ),
             ("{\"cmd\":\"cancel\"}", "bad_request"),
             ("{\"cmd\":\"status\",\"v\":99}", "bad_version"),
@@ -920,6 +953,7 @@ mod tests {
             timeout_ms: None,
             threads: 0,
             stream: true,
+            netlist_format: NetlistFormat::ScalText,
         };
         let err = Request::parse(&spec.to_request_line()).unwrap_err();
         assert_eq!(err.code, "bad_words");
@@ -930,7 +964,7 @@ mod tests {
         let c = xor3();
         let line = format!(
             "{{\"cmd\":\"submit\",\"kind\":\"pair\",\"netlist\":\"{}\",\"faults\":[{{\"site\":\"branch\",\"node\":3,\"pin\":9,\"stuck\":true}}]}}",
-            json::escape(&c.to_text())
+            json::escape(&c.write_string(NetlistFormat::ScalText))
         );
         assert_eq!(Request::parse(&line).unwrap_err().code, "bad_faults");
     }

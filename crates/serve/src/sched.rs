@@ -331,6 +331,7 @@ mod tests {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            netlist_format: scal_netlist::NetlistFormat::ScalText,
         }
     }
 

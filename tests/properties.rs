@@ -249,9 +249,10 @@ proptest! {
     /// Netlist text serialization round-trips functionally.
     #[test]
     fn netlist_text_round_trip(e in arb_expr()) {
+        use scal::netlist::NetlistFormat;
         let circuit = Circuit::from_exprs(&[("f", &e)]).expect("buildable");
-        let text = circuit.to_text();
-        let back = Circuit::from_text(&text).expect("parses");
+        let text = circuit.write_string(NetlistFormat::ScalText);
+        let back = Circuit::read(&text, NetlistFormat::ScalText).expect("parses");
         prop_assert_eq!(back.len(), circuit.len());
         if !circuit.inputs().is_empty() {
             prop_assert_eq!(back.output_tt(0), circuit.output_tt(0));

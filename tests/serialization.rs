@@ -3,7 +3,15 @@
 //! export stays well-formed.
 
 use scal::core::paper;
-use scal::netlist::Circuit;
+use scal::netlist::{Circuit, NetlistFormat};
+
+/// Round-trips a circuit through the text interchange format.
+fn round_trip(c: &Circuit) -> Result<Circuit, scal::netlist::IoError> {
+    Circuit::read(
+        &c.write_string(NetlistFormat::ScalText),
+        NetlistFormat::ScalText,
+    )
+}
 
 fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
     vec![
@@ -28,8 +36,7 @@ fn all_paper_circuits() -> Vec<(&'static str, Circuit)> {
 #[test]
 fn text_round_trip_preserves_combinational_behaviour() {
     for (name, c) in all_paper_circuits() {
-        let text = c.to_text();
-        let back = Circuit::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back = round_trip(&c).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(back.len(), c.len(), "{name}: node count");
         assert_eq!(back.cost(), c.cost(), "{name}: cost");
         assert!(back.validate().is_ok(), "{name}: validity");
@@ -45,7 +52,7 @@ fn text_round_trip_preserves_sequential_behaviour() {
         if !c.is_sequential() {
             continue;
         }
-        let back = Circuit::from_text(&c.to_text()).unwrap();
+        let back = round_trip(&c).unwrap();
         let mut s1 = scal::netlist::Sim::new(&c);
         let mut s2 = scal::netlist::Sim::new(&back);
         let n = c.inputs().len();
@@ -63,11 +70,11 @@ fn verification_verdicts_survive_round_trip() {
     // The broken network stays broken, the fixed one stays fixed, through
     // serialization.
     let broken = paper::fig3_4().circuit;
-    let back = Circuit::from_text(&broken.to_text()).unwrap();
+    let back = round_trip(&broken).unwrap();
     assert!(!scal::core::verify(&back).unwrap().fault_secure);
 
     let fixed = paper::fig3_7().circuit;
-    let back = Circuit::from_text(&fixed.to_text()).unwrap();
+    let back = round_trip(&fixed).unwrap();
     assert!(scal::core::verify(&back).unwrap().is_self_checking());
 }
 
@@ -92,7 +99,7 @@ fn dot_export_is_well_formed_for_all_circuits() {
 #[test]
 fn depth_accounting_is_stable_across_round_trip() {
     for (name, c) in all_paper_circuits() {
-        let back = Circuit::from_text(&c.to_text()).unwrap();
+        let back = round_trip(&c).unwrap();
         assert_eq!(back.depth(), c.depth(), "{name}");
     }
 }

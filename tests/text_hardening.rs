@@ -1,13 +1,20 @@
-//! Property-based hardening of the `netlist::text` parser: random valid
-//! circuits round-trip exactly, and arbitrary mutations of valid text —
-//! the classic way hand-edited netlist files go wrong — always produce a
-//! typed `TextError` or a valid circuit, never a panic.
+//! Property-based hardening of the netlist interchange parsers: random
+//! valid circuits — gates, constants, flip-flops, exotic names — round-trip
+//! exactly through every [`NetlistFormat`], and arbitrary mutations of
+//! valid files — the classic way hand-edited netlists go wrong — always
+//! produce a typed error or a valid circuit, never a panic.
 
 use proptest::prelude::*;
-use scal::netlist::{Circuit, GateKind};
+use scal::netlist::{circuit_eq, Circuit, GateKind, IoError, NetlistFormat};
 
-fn from_text(text: &str) -> Result<Circuit, scal::netlist::TextError> {
-    Circuit::from_text(text)
+const FORMATS: [NetlistFormat; 3] = [
+    NetlistFormat::ScalText,
+    NetlistFormat::Verilog,
+    NetlistFormat::Bench,
+];
+
+fn read(text: &str, format: NetlistFormat) -> Result<Circuit, IoError> {
+    Circuit::read(text, format)
 }
 
 const KINDS: [GateKind; 10] = [
@@ -23,11 +30,15 @@ const KINDS: [GateKind; 10] = [
     GateKind::Majority,
 ];
 
-/// A recipe for one random DAG circuit: per-gate (kind index, fanin picks).
+/// A recipe for one random circuit: constants, flip-flops (init, driver
+/// pick), per-gate (kind index, fanin picks), extra node names, outputs.
 #[derive(Debug, Clone)]
 struct Recipe {
     inputs: usize,
+    consts: Vec<bool>,
+    dffs: Vec<(bool, usize)>,
     gates: Vec<(usize, Vec<usize>)>,
+    names: Vec<(usize, String)>,
     outputs: Vec<usize>,
 }
 
@@ -36,6 +47,12 @@ fn build(recipe: &Recipe) -> Circuit {
     let mut nodes = Vec::new();
     for i in 0..recipe.inputs {
         nodes.push(c.input(format!("i{i}")));
+    }
+    for &value in &recipe.consts {
+        nodes.push(c.constant(value));
+    }
+    for &(init, _) in &recipe.dffs {
+        nodes.push(c.dff(init));
     }
     for (kind_ix, picks) in &recipe.gates {
         let kind = KINDS[kind_ix % KINDS.len()];
@@ -51,24 +68,68 @@ fn build(recipe: &Recipe) -> Circuit {
             .collect();
         nodes.push(c.gate(kind, &fanins));
     }
+    // Flip-flop drivers can be any node, forward references included.
+    for (k, &(_, driver)) in recipe.dffs.iter().enumerate() {
+        let ff = nodes[recipe.inputs + recipe.consts.len() + k];
+        c.connect_dff(ff, nodes[driver % nodes.len()]);
+    }
+    for (pick, name) in &recipe.names {
+        c.set_name(nodes[pick % nodes.len()], name);
+    }
     for (ord, pick) in recipe.outputs.iter().enumerate() {
         c.mark_output(format!("o{ord}"), nodes[pick % nodes.len()]);
     }
     c
 }
 
+/// Node names stressing the fidelity side channels: spaces and dots force
+/// the bench `#@name` directive and the Verilog `scal_name` attribute.
+fn arb_name() -> impl Strategy<Value = String> {
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    (
+        0usize..4,
+        0usize..26,
+        prop::collection::vec(0usize..TAIL.len(), 0..6),
+    )
+        .prop_map(|(flavour, head, tail)| {
+            let head = (b'a' + head as u8) as char;
+            let tail: String = tail.iter().map(|&i| TAIL[i] as char).collect();
+            match flavour {
+                // Plain identifier — representable as a net/signal name.
+                0 => format!("{head}{tail}"),
+                // Interior space ("line 20"-style) — side channel only.
+                1 if !tail.is_empty() => format!("{head} {tail}"),
+                1 => head.to_string(),
+                // Canonical-looking N<digits> — must NOT claim that signal.
+                2 => format!("N{}", tail.len()),
+                // Dotted hierarchical name — side channel only.
+                _ => format!("{head}.{tail}"),
+            }
+        })
+}
+
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (
-        1usize..5,
-        prop::collection::vec(
-            (0usize..KINDS.len(), prop::collection::vec(0usize..64, 3)),
-            1..12,
+        (
+            1usize..5,
+            prop::collection::vec(any::<bool>(), 0..3),
+            prop::collection::vec((any::<bool>(), 0usize..64), 0..3),
         ),
-        prop::collection::vec(0usize..64, 1..4),
+        (
+            prop::collection::vec(
+                (0usize..KINDS.len(), prop::collection::vec(0usize..64, 3)),
+                1..12,
+            ),
+            prop::collection::vec((0usize..64, arb_name()), 0..4),
+            prop::collection::vec(0usize..64, 1..4),
+        ),
     )
-        .prop_map(|(inputs, gates, outputs)| Recipe {
+        .prop_map(|((inputs, consts, dffs), (gates, names, outputs))| Recipe {
             inputs,
+            consts,
+            dffs,
             gates,
+            names,
             outputs,
         })
 }
@@ -131,7 +192,7 @@ fn apply(text: &str, edit: Edit) -> String {
             bytes = lines.join(&b'\n');
         }
     }
-    // Mutations can split UTF-8 sequences; the parser must survive that
+    // Mutations can split UTF-8 sequences; the parsers must survive that
     // too, so feed it back lossily (all valid netlist text is ASCII).
     String::from_utf8_lossy(&bytes).into_owned()
 }
@@ -139,38 +200,56 @@ fn apply(text: &str, edit: Edit) -> String {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Every generated circuit prints to text that parses back to a
-    /// circuit printing identically — `to_text ∘ from_text` is the
-    /// identity on the printer's image.
+    /// Every generated circuit prints, in every format, to text that
+    /// parses back to the same circuit and reprints bit-identically —
+    /// `write ∘ read` is the identity on each printer's image.
     #[test]
     fn valid_circuits_round_trip(recipe in arb_recipe()) {
         let circuit = build(&recipe);
-        let text = circuit.to_text();
-        let reparsed = from_text(&text).expect("printer output must parse");
-        prop_assert_eq!(reparsed.to_text(), text);
+        for format in FORMATS {
+            let text = circuit.write_string(format);
+            let reparsed = read(&text, format)
+                .unwrap_or_else(|e| panic!("{} output must parse: {e}\n{text}", format.name()));
+            prop_assert!(
+                circuit_eq(&circuit, &reparsed).is_ok(),
+                "{}: {:?}",
+                format.name(),
+                circuit_eq(&circuit, &reparsed)
+            );
+            prop_assert_eq!(reparsed.write_string(format), text, "{}", format.name());
+        }
     }
 
-    /// A burst of arbitrary edits to valid text never panics the parser,
-    /// and whatever it accepts must itself round-trip cleanly.
+    /// A burst of arbitrary edits to a valid file never panics any parser,
+    /// and whatever a parser accepts must itself round-trip cleanly.
     #[test]
     fn mutated_text_never_panics(
         recipe in arb_recipe(),
         edits in prop::collection::vec(arb_edit(), 1..8),
     ) {
-        let mut text = build(&recipe).to_text();
-        for edit in edits {
-            text = apply(&text, edit);
-        }
-        if let Ok(circuit) = from_text(&text) {
-            let reprinted = circuit.to_text();
-            let again = from_text(&reprinted).expect("accepted text must reprint parseably");
-            prop_assert_eq!(again.to_text(), reprinted);
+        let circuit = build(&recipe);
+        for format in FORMATS {
+            let mut text = circuit.write_string(format);
+            for &edit in &edits {
+                text = apply(&text, edit);
+            }
+            if let Ok(parsed) = read(&text, format) {
+                let reprinted = parsed.write_string(format);
+                let again = read(&reprinted, format)
+                    .expect("accepted text must reprint parseably");
+                prop_assert_eq!(again.write_string(format), reprinted, "{}", format.name());
+            }
         }
     }
 
-    /// Pure noise (not derived from any valid netlist) is also safe.
+    /// Pure noise (not derived from any valid netlist) is also safe, in
+    /// every format and through the content sniffer.
     #[test]
     fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        let _ = from_text(&String::from_utf8_lossy(&bytes));
+        let text = String::from_utf8_lossy(&bytes);
+        for format in FORMATS {
+            let _ = read(&text, format);
+        }
+        let _ = read(&text, NetlistFormat::sniff(&text));
     }
 }

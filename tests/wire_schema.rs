@@ -14,6 +14,7 @@ use scal::serve::proto::{
     frame_status,
 };
 use scal::serve::{client::demo, run_job, JobKind};
+use scal_netlist::NetlistFormat;
 use scal_obs::NullObserver;
 
 /// One instance of every event variant, with optional fields *present* so
@@ -113,6 +114,18 @@ fn wire_surface() -> String {
     lines.push(frame_cancel_ack(7, true));
     lines.push(frame_status(4, 2, 1, 9, false));
     lines.push(frame_shutdown_ack());
+    // Submit request lines, one per netlist interchange format. The text
+    // line must stay byte-identical to pre-format clients (no
+    // "netlist_format" member); verilog/bench lines pin the opt-in field.
+    for format in [
+        NetlistFormat::ScalText,
+        NetlistFormat::Verilog,
+        NetlistFormat::Bench,
+    ] {
+        let mut spec = demo::pair_spec(4, false);
+        spec.netlist_format = format;
+        lines.push(spec.to_request_line());
+    }
     let mut text = lines.join("\n");
     text.push('\n');
     text
@@ -164,6 +177,11 @@ fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
             "missing frame {frame}"
         );
     }
+    // Non-default formats announce themselves; the text default stays silent
+    // so pre-format request lines remain byte-identical.
+    assert!(text.contains("\"netlist_format\":\"verilog\""));
+    assert!(text.contains("\"netlist_format\":\"bench\""));
+    assert!(!text.contains("\"netlist_format\":\"text\""));
 }
 
 #[test]
