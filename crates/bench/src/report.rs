@@ -143,6 +143,28 @@ pub struct ConeSpeedup {
     pub ops_skipped_fraction: f64,
 }
 
+/// Serve-path latency quantiles measured over an in-process campaign
+/// service: a throwaway server on a loopback port runs a burst of demo
+/// pair jobs and the scheduler's own telemetry histograms are read back
+/// directly (no scrape). All values in microseconds.
+#[derive(Debug, Clone)]
+pub struct ServeLatency {
+    /// Jobs in the burst.
+    pub jobs: u64,
+    /// Request-line read → `accepted` frame sent, p50.
+    pub submit_accept_p50: u64,
+    /// Request-line read → `accepted` frame sent, p99.
+    pub submit_accept_p99: u64,
+    /// Accepted → execution start, p50.
+    pub queue_wait_p50: u64,
+    /// Accepted → execution start, p99.
+    pub queue_wait_p99: u64,
+    /// Campaign wall time, p50.
+    pub run_p50: u64,
+    /// Campaign wall time, p99.
+    pub run_p99: u64,
+}
+
 /// Scalar-vs-packed throughput measurement on the kohavi_codeconv
 /// sequential campaign — the headline number of the fault-per-lane backend.
 #[derive(Debug, Clone)]
@@ -180,6 +202,8 @@ pub struct Snapshot {
     /// Measured scalar-vs-packed throughput on the kohavi_codeconv
     /// sequential campaign.
     pub seq_speedup: Option<SeqSpeedup>,
+    /// Serve-path latency quantiles from an in-process service burst.
+    pub serve_latency: Option<ServeLatency>,
 }
 
 impl Snapshot {
@@ -247,6 +271,17 @@ impl Snapshot {
             so.float("speedup", s.speedup);
             o.raw("seq_speedup", &so.finish());
         }
+        if let Some(s) = &self.serve_latency {
+            let mut so = JsonObject::new();
+            so.num("jobs", s.jobs);
+            so.num("submit_accept_p50_micros", s.submit_accept_p50);
+            so.num("submit_accept_p99_micros", s.submit_accept_p99);
+            so.num("queue_wait_p50_micros", s.queue_wait_p50);
+            so.num("queue_wait_p99_micros", s.queue_wait_p99);
+            so.num("run_p50_micros", s.run_p50);
+            so.num("run_p99_micros", s.run_p99);
+            o.raw("serve_latency", &so.finish());
+        }
         o.finish()
     }
 
@@ -302,6 +337,20 @@ impl Snapshot {
                 "  kohavi_codeconv seq eval: {:.0} pairs/s scalar -> {:.0} pairs/s packed \
                  ({:.1}x)",
                 s.scalar_pairs_per_sec, s.packed_pairs_per_sec, s.speedup
+            );
+        }
+        if let Some(s) = &self.serve_latency {
+            let _ = writeln!(
+                out,
+                "  serve path ({} jobs): submit->accept {}/{} µs, queue wait {}/{} µs, \
+                 run {}/{} µs (p50/p99)",
+                s.jobs,
+                s.submit_accept_p50,
+                s.submit_accept_p99,
+                s.queue_wait_p50,
+                s.queue_wait_p99,
+                s.run_p50,
+                s.run_p99
             );
         }
         out
@@ -378,6 +427,66 @@ fn measure_seq_speedup(threads: usize) -> Option<SeqSpeedup> {
         scalar_pairs_per_sec: rates[0],
         packed_pairs_per_sec: rates[1],
         speedup: rates[1] / rates[0],
+    })
+}
+
+/// Jobs in the serve-latency burst: enough samples for a meaningful p99
+/// on small loopback latencies without stretching the suite run.
+const SERVE_LATENCY_JOBS: usize = 32;
+
+/// Measures serve-path latency quantiles: starts an in-process campaign
+/// service on a loopback port, fires [`SERVE_LATENCY_JOBS`] concurrent
+/// demo pair jobs through real TCP submissions, and reads the scheduler's
+/// own telemetry histograms back through [`scal_serve::ServerHandle::telemetry`]
+/// (no HTTP scrape involved). `None` when the loopback bind fails (e.g. a
+/// sandbox without sockets).
+fn measure_serve_latency() -> Option<ServeLatency> {
+    use scal_serve::client::demo;
+    let server = scal_serve::serve(scal_serve::ServeConfig::default()).ok()?;
+    let client = scal_serve::Client::new(server.addr().to_string());
+    if !client.wait_ready(std::time::Duration::from_secs(5)) {
+        server.shutdown_and_join();
+        return None;
+    }
+    let handles: Vec<_> = (0..SERVE_LATENCY_JOBS)
+        .map(|_| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let Ok(stream) = client.submit(&demo::pair_spec(4, false)) else {
+                    return false;
+                };
+                stream
+                    .filter_map(Result::ok)
+                    .any(|f| f.get("frame").and_then(JsonValue::as_str) == Some("result"))
+            })
+        })
+        .collect();
+    let completed = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(false))
+        .filter(|&ok| ok)
+        .count();
+    let metrics = std::sync::Arc::clone(server.telemetry());
+    server.shutdown_and_join();
+    if completed == 0 {
+        return None;
+    }
+    let m = metrics.metrics();
+    let q = |name: &str| {
+        let snap = m.histogram(name).snapshot();
+        (snap.quantile(0.5), snap.quantile(0.99))
+    };
+    let (sa50, sa99) = q("scal_serve_submit_accept_micros");
+    let (qw50, qw99) = q("scal_serve_queue_wait_micros");
+    let (run50, run99) = q("scal_serve_run_micros");
+    Some(ServeLatency {
+        jobs: completed as u64,
+        submit_accept_p50: sa50,
+        submit_accept_p99: sa99,
+        queue_wait_p50: qw50,
+        queue_wait_p99: qw99,
+        run_p50: run50,
+        run_p99: run99,
     })
 }
 
@@ -481,6 +590,7 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -
         circuits,
         adder8_speedup: measure_adder8_speedup(threads),
         seq_speedup: measure_seq_speedup(threads),
+        serve_latency: measure_serve_latency(),
     }
 }
 
@@ -576,6 +686,7 @@ pub fn run_large_suite(threads: usize, eval_mode: EvalMode, target_gates: usize)
         circuits,
         adder8_speedup: None,
         seq_speedup: None,
+        serve_latency: None,
     }
 }
 
@@ -737,6 +848,21 @@ mod tests {
         assert!(
             v.get("adder8_speedup")
                 .and_then(|s| s.get("speedup"))
+                .and_then(JsonValue::as_f64)
+                .is_some(),
+            "{json}"
+        );
+        let serve = snap.serve_latency.as_ref().expect("serve latency burst");
+        assert_eq!(serve.jobs, 32);
+        assert!(serve.run_p50 > 0, "{serve:?}");
+        assert!(
+            serve.submit_accept_p99 >= serve.submit_accept_p50,
+            "{serve:?}"
+        );
+        assert!(serve.queue_wait_p99 >= serve.queue_wait_p50, "{serve:?}");
+        assert!(
+            v.get("serve_latency")
+                .and_then(|s| s.get("run_p50_micros"))
                 .and_then(JsonValue::as_f64)
                 .is_some(),
             "{json}"

@@ -49,7 +49,9 @@ impl CancelToken {
     pub fn cancel_after(&self, after: Duration) -> DeadlineGuard {
         let token = self.clone();
         let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let fired = Arc::new(AtomicBool::new(false));
         let timer_state = Arc::clone(&state);
+        let timer_fired = Arc::clone(&fired);
         let timer = std::thread::spawn(move || {
             let (lock, cvar) = &*timer_state;
             let mut disarmed = lock.lock().expect("deadline lock");
@@ -70,11 +72,13 @@ impl CancelToken {
                 }
             }
             if !*disarmed {
+                timer_fired.store(true, Ordering::SeqCst);
                 token.cancel();
             }
         });
         DeadlineGuard {
             state,
+            fired,
             timer: Some(timer),
             leaked: false,
         }
@@ -89,6 +93,7 @@ impl CancelToken {
 #[derive(Debug)]
 pub struct DeadlineGuard {
     state: Arc<(Mutex<bool>, Condvar)>,
+    fired: Arc<AtomicBool>,
     timer: Option<std::thread::JoinHandle<()>>,
     leaked: bool,
 }
@@ -100,6 +105,14 @@ impl DeadlineGuard {
     pub fn leak(mut self) {
         self.leaked = true;
         self.timer = None;
+    }
+
+    /// `true` once *this* deadline cancelled the token — distinguishing a
+    /// timeout from an explicit [`CancelToken::cancel`] on a token with
+    /// both in play.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
     }
 }
 
@@ -157,6 +170,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(t.is_cancelled());
+        assert!(guard.fired());
         drop(guard); // reaps the finished timer thread
     }
 
@@ -164,9 +178,20 @@ mod tests {
     fn dropping_the_guard_disarms_the_deadline() {
         let t = CancelToken::new();
         let guard = t.cancel_after(Duration::from_millis(20));
+        assert!(!guard.fired());
         drop(guard); // well before the deadline
         std::thread::sleep(Duration::from_millis(60));
         assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_does_not_count_as_fired() {
+        let t = CancelToken::new();
+        let guard = t.cancel_after(Duration::from_secs(30));
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!guard.fired());
+        drop(guard);
     }
 
     #[test]

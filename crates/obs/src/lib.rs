@@ -52,7 +52,7 @@ mod trace;
 pub use cancel::{CancelToken, DeadlineGuard};
 pub use coverage::{CoverageMap, CoverageObserver, FaultRecord};
 pub use event::{CampaignEvent, Phase};
-pub use metrics::{Counter, Histogram, Metrics};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics};
 pub use observer::{CampaignObserver, CollectObserver, MultiObserver, NullObserver};
 pub use profile::{PhaseTiming, Profile, Profiler, SpanTiming};
 pub use progress::ProgressMeter;

@@ -1,11 +1,12 @@
-//! A tiny metrics registry: named counters and log-scale wall-time
-//! histograms, all lock-free on the hot path.
+//! A tiny metrics registry: named (and optionally labeled) counters,
+//! gauges, and log-linear wall-time histograms with quantile estimates,
+//! all lock-free on the hot path, plus Prometheus text exposition.
 
 use crate::event::CampaignEvent;
 use crate::observer::CampaignObserver;
 use std::collections::BTreeMap;
 use std::fmt::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing counter.
@@ -30,11 +31,86 @@ impl Counter {
     }
 }
 
-/// Number of power-of-two histogram buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also catches 0).
-const BUCKETS: usize = 40;
+/// An instantaneous signed value (queue depth, workers busy, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
 
-/// A log₂-bucketed histogram of microsecond durations.
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave (relative bucket error ≤ 1/4).
+const SUB: usize = 4;
+/// log₂ of [`SUB`].
+const SUB_BITS: u32 = 2;
+/// Highest octave tracked exactly: values below `2^(MAX_OCTAVE+1)` µs
+/// land in a real bucket, larger ones clamp into the overflow bucket.
+/// `2^40` µs ≈ 12.7 days — far beyond any span this workspace times.
+const MAX_OCTAVE: usize = 39;
+/// Total bucket count: `SUB` linear buckets for values `0..SUB`, then
+/// `SUB` sub-buckets per octave `SUB_BITS..=MAX_OCTAVE`.
+const BUCKETS: usize = SUB + (MAX_OCTAVE - SUB_BITS as usize + 1) * SUB;
+
+/// Bucket index for a microsecond value under the log-linear layout.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let octave = (63 - v.leading_zeros()) as usize;
+    let sub = ((v >> (octave as u32 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (SUB + (octave - SUB_BITS as usize) * SUB + sub).min(BUCKETS - 1)
+}
+
+/// Exclusive upper bound (µs) of bucket `idx`.
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64 + 1;
+    }
+    let octave = (idx - SUB) / SUB + SUB_BITS as usize;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let width = 1u64 << (octave as u32 - SUB_BITS);
+    (1u64 << octave) + (sub + 1) * width
+}
+
+/// Inclusive lower bound (µs) of bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_bound(idx - 1)
+    }
+}
+
+/// A log-linear bucketed histogram of microsecond durations.
+///
+/// Each power-of-two octave is split into four sub-buckets, so any
+/// quantile estimate is within 25% of the true sample value; values
+/// `0..4` µs get exact unit buckets. Recording is a few relaxed
+/// atomics — safe to call from every worker thread.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
@@ -55,8 +131,7 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one duration in microseconds.
     pub fn record(&self, micros: u64) {
-        let b = (63 - u64::leading_zeros(micros.max(1)) as usize).min(BUCKETS - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(micros, Ordering::Relaxed);
     }
@@ -85,14 +160,149 @@ impl Histogram {
     pub fn max_bucket_bound(&self) -> u64 {
         for b in (0..BUCKETS).rev() {
             if self.buckets[b].load(Ordering::Relaxed) != 0 {
-                return 1u64 << (b + 1);
+                return bucket_bound(b);
             }
         }
         0
     }
+
+    /// Estimated `q`-quantile in microseconds (see
+    /// [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the bucket contents, suitable for merging
+    /// with other snapshots and for quantile queries.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
 }
 
-/// A registry of named [`Counter`]s and [`Histogram`]s.
+/// An immutable copy of a [`Histogram`]'s buckets.
+///
+/// Snapshots from different histograms (e.g. one per worker) merge into
+/// a single distribution; bucket layouts are identical by construction.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in microseconds.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Estimated `q`-quantile in microseconds.
+    ///
+    /// `q` is clamped to `[0, 1]`; an empty snapshot reports 0. The
+    /// estimate interpolates linearly inside the target bucket, so it is
+    /// within one sub-bucket width (≤ 25% relative) of the true sample.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile falls on.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let lower = bucket_lower(idx) as f64;
+                let upper = bucket_bound(idx) as f64;
+                let into = (target - cum) as f64 / n as f64;
+                return (lower + (upper - lower) * into).round() as u64;
+            }
+            cum += n;
+        }
+        self.max_bound()
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    fn max_bound(&self) -> u64 {
+        for b in (0..BUCKETS).rev() {
+            if self.buckets[b] != 0 {
+                return bucket_bound(b);
+            }
+        }
+        0
+    }
+
+    /// Non-empty `(upper_bound_micros, cumulative_count)` pairs in
+    /// ascending bound order — the Prometheus `le` series.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n != 0 {
+                cum += n;
+                out.push((bucket_bound(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+/// A series key: metric name plus sorted `(label, value)` pairs.
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut pairs: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    pairs.sort();
+    (name.to_owned(), pairs)
+}
+
+/// A registry of named [`Counter`]s, [`Gauge`]s, and [`Histogram`]s,
+/// each optionally carrying `(key, value)` labels.
 ///
 /// Lookup takes a lock; the returned handles are `Arc`s whose updates are
 /// plain atomics, so emitters resolve a handle once and update it freely.
@@ -100,10 +310,15 @@ impl Histogram {
 /// accumulates the standard counters (`campaign.faults`, `campaign.pairs`,
 /// `campaign.dropped`, `campaign.cancelled`) and per-phase wall-time
 /// histograms (`phase.compile_micros`, `phase.fault_sim_micros`, …).
+///
+/// [`Metrics::render_prometheus`] serializes the whole registry in
+/// Prometheus text exposition format v0.0.4.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Metrics {
@@ -113,44 +328,112 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// The counter named `name`, created on first use.
+    /// The unlabeled counter named `name`, created on first use.
     ///
     /// # Panics
     ///
     /// Panics if the registry lock was poisoned.
     #[must_use]
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("metrics lock");
-        map.entry(name.to_owned()).or_default().clone()
+        self.counter_with(name, &[])
     }
 
-    /// The histogram named `name`, created on first use.
+    /// The counter `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock");
+        map.entry(series_key(name, labels)).or_default().clone()
+    }
+
+    /// The unlabeled gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics lock");
+        map.entry(series_key(name, labels)).or_default().clone()
+    }
+
+    /// The unlabeled histogram named `name`, created on first use.
     ///
     /// # Panics
     ///
     /// Panics if the registry lock was poisoned.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("metrics lock");
-        map.entry(name.to_owned()).or_default().clone()
+        self.histogram_with(name, &[])
     }
 
-    /// Renders every metric as sorted `name value` lines (counters), and
-    /// `name count=N sum=S mean=M` lines (histograms).
+    /// The histogram `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock");
+        map.entry(series_key(name, labels)).or_default().clone()
+    }
+
+    /// Attaches a `# HELP` line to metric family `name` for
+    /// [`Metrics::render_prometheus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("metrics lock")
+            .insert(name.to_owned(), help.to_owned());
+    }
+
+    /// Renders every metric as sorted `name value` lines (counters and
+    /// gauges) and `name count=N sum=S mean=M` lines (histograms), with
+    /// `{k=v,…}` label suffixes on labeled series.
     ///
     /// # Panics
     ///
     /// Panics if the registry lock was poisoned.
     #[must_use]
     pub fn render(&self) -> String {
+        let plain = |key: &SeriesKey| {
+            let (name, labels) = key;
+            if labels.is_empty() {
+                name.clone()
+            } else {
+                let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{name}{{{}}}", body.join(","))
+            }
+        };
         let mut s = String::new();
-        for (name, c) in self.counters.lock().expect("metrics lock").iter() {
-            let _ = writeln!(s, "{name} {}", c.get());
+        for (key, c) in self.counters.lock().expect("metrics lock").iter() {
+            let _ = writeln!(s, "{} {}", plain(key), c.get());
         }
-        for (name, h) in self.histograms.lock().expect("metrics lock").iter() {
+        for (key, g) in self.gauges.lock().expect("metrics lock").iter() {
+            let _ = writeln!(s, "{} {}", plain(key), g.get());
+        }
+        for (key, h) in self.histograms.lock().expect("metrics lock").iter() {
             let _ = writeln!(
                 s,
-                "{name} count={} sum={}us mean={}us max<{}us",
+                "{} count={} sum={}us mean={}us max<{}us",
+                plain(key),
                 h.count(),
                 h.sum(),
                 h.mean(),
@@ -159,6 +442,136 @@ impl Metrics {
         }
         s
     }
+
+    /// Renders the registry in Prometheus text exposition format v0.0.4.
+    ///
+    /// Metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+    /// underscores), label values are escaped per the spec, and each
+    /// histogram expands into `_bucket{le=…}` / `_sum` / `_count` series
+    /// with cumulative counts over its non-empty buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock was poisoned.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let help = self.help.lock().expect("metrics lock").clone();
+        let mut s = String::new();
+        let mut seen_type: Vec<String> = Vec::new();
+        let mut header = |s: &mut String, name: &str, kind: &str| {
+            if seen_type.iter().any(|n| n == name) {
+                return;
+            }
+            seen_type.push(name.to_owned());
+            if let Some(h) = help.get(name).or_else(|| {
+                // Help may be registered under the unsanitized name.
+                help.iter()
+                    .find(|(k, _)| sanitize_name(k) == name)
+                    .map(|(_, v)| v)
+            }) {
+                let _ = writeln!(s, "# HELP {name} {}", escape_help(h));
+            }
+            let _ = writeln!(s, "# TYPE {name} {kind}");
+        };
+
+        for (key, c) in self.counters.lock().expect("metrics lock").iter() {
+            let name = sanitize_name(&key.0);
+            header(&mut s, &name, "counter");
+            let _ = writeln!(s, "{}{} {}", name, render_labels(&key.1, &[]), c.get());
+        }
+        for (key, g) in self.gauges.lock().expect("metrics lock").iter() {
+            let name = sanitize_name(&key.0);
+            header(&mut s, &name, "gauge");
+            let _ = writeln!(s, "{}{} {}", name, render_labels(&key.1, &[]), g.get());
+        }
+        for (key, h) in self.histograms.lock().expect("metrics lock").iter() {
+            let name = sanitize_name(&key.0);
+            header(&mut s, &name, "histogram");
+            let snap = h.snapshot();
+            for (bound, cum) in snap.cumulative_buckets() {
+                let le = (("le".to_owned()), bound.to_string());
+                let _ = writeln!(
+                    s,
+                    "{name}_bucket{} {cum}",
+                    render_labels(&key.1, std::slice::from_ref(&le))
+                );
+            }
+            let inf = ("le".to_owned(), "+Inf".to_owned());
+            let _ = writeln!(
+                s,
+                "{name}_bucket{} {}",
+                render_labels(&key.1, std::slice::from_ref(&inf)),
+                snap.count()
+            );
+            let _ = writeln!(s, "{name}_sum{} {}", render_labels(&key.1, &[]), snap.sum());
+            let _ = writeln!(
+                s,
+                "{name}_count{} {}",
+                render_labels(&key.1, &[]),
+                snap.count()
+            );
+        }
+        s
+    }
+}
+
+/// Maps a registry name to a legal Prometheus metric name.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition spec (`\` `"` and newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text (`\` and newline).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` from base labels plus extras (empty string when
+/// there are none).
+fn render_labels(labels: &[(String, String)], extra: &[(String, String)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .chain(extra.iter())
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 impl CampaignObserver for Metrics {
@@ -205,6 +618,38 @@ mod tests {
     }
 
     #[test]
+    fn labeled_series_are_distinct() {
+        let m = Metrics::new();
+        m.counter_with("jobs", &[("state", "done")]).add(3);
+        m.counter_with("jobs", &[("state", "failed")]).inc();
+        assert_eq!(m.counter_with("jobs", &[("state", "done")]).get(), 3);
+        assert_eq!(m.counter_with("jobs", &[("state", "failed")]).get(), 1);
+        assert_eq!(m.counter_with("jobs", &[]).get(), 0);
+        let text = m.render();
+        assert!(text.contains("jobs{state=done} 3"), "{text}");
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let m = Metrics::new();
+        m.counter_with("c", &[("a", "1"), ("b", "2")]).inc();
+        m.counter_with("c", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(m.counter_with("c", &[("a", "1"), ("b", "2")]).get(), 2);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        g.set(5);
+        g.dec();
+        g.add(-2);
+        assert_eq!(g.get(), 2);
+        m.gauge_with("depth", &[("priority", "9")]).inc();
+        assert_eq!(m.gauge_with("depth", &[("priority", "9")]).get(), 1);
+    }
+
+    #[test]
     fn histogram_buckets_and_mean() {
         let h = Histogram::default();
         h.record(0);
@@ -214,6 +659,118 @@ mod tests {
         assert_eq!(h.sum(), 1007);
         assert_eq!(h.mean(), 335);
         assert_eq!(h.max_bucket_bound(), 1024);
+    }
+
+    #[test]
+    fn bucket_layout_is_log_linear_and_total() {
+        // Every value maps into a bucket whose [lower, upper) range
+        // contains it, and bounds are strictly increasing.
+        for v in (0..4096u64).chain([1 << 20, (1 << 30) + 17, u64::MAX]) {
+            let idx = bucket_index(v);
+            assert!(v >= bucket_lower(idx) || idx == BUCKETS - 1, "{v}");
+            assert!(v < bucket_bound(idx) || idx == BUCKETS - 1, "{v}");
+        }
+        for idx in 1..BUCKETS {
+            assert!(bucket_bound(idx) > bucket_bound(idx - 1));
+            assert_eq!(bucket_lower(idx), bucket_bound(idx - 1));
+        }
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_within_bounds() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        // 100 µs lands in [96, 112); every quantile must stay inside.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((96..=112).contains(&est), "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn quantile_orders_distinct_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((10..=12).contains(&p50), "p50={p50}");
+        assert!((10_000..=12_500).contains(&p99), "p99={p99}");
+        assert!(h.quantile(0.0) <= p50 && p50 <= p99);
+    }
+
+    #[test]
+    fn snapshots_merge_into_combined_distribution() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for _ in 0..50 {
+            a.record(8);
+        }
+        for _ in 0..50 {
+            b.record(2048);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 100);
+        assert_eq!(merged.sum(), 50 * 8 + 50 * 2048);
+        let p25 = merged.quantile(0.25);
+        let p90 = merged.quantile(0.9);
+        assert!(p25 <= 10, "p25={p25}");
+        assert!((2048..=2560).contains(&p90), "p90={p90}");
+        // Merging an empty snapshot is the identity.
+        let before = merged.quantile(0.5);
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged.count(), 100);
+        assert_eq!(merged.quantile(0.5), before);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let m = Metrics::new();
+        m.describe("campaign.runs", "Campaigns started");
+        m.counter("campaign.runs").add(2);
+        m.gauge_with("queue_depth", &[("priority", "3")]).set(7);
+        let h = m.histogram("queue_wait_micros");
+        h.record(5);
+        h.record(5);
+        h.record(900);
+        let text = m.render_prometheus();
+        assert!(text.contains("# HELP campaign_runs Campaigns started"));
+        assert!(text.contains("# TYPE campaign_runs counter"));
+        assert!(text.contains("campaign_runs 2"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth{priority=\"3\"} 7"));
+        assert!(text.contains("# TYPE queue_wait_micros histogram"));
+        assert!(text.contains("queue_wait_micros_bucket{le=\"6\"} 2"));
+        assert!(text.contains("queue_wait_micros_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("queue_wait_micros_sum 910"));
+        assert!(text.contains("queue_wait_micros_count 3"));
+        // Exactly one TYPE line per family.
+        assert_eq!(text.matches("# TYPE campaign_runs").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_names() {
+        let m = Metrics::new();
+        m.counter_with("odd.name", &[("path", "a\\b\"c\nd")]).inc();
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("odd_name{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -228,6 +228,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_elapsed_ticks_leave_the_rate_untouched() {
+        let meter = ProgressMeter::with_interval(Duration::from_millis(0));
+        {
+            let mut state = meter.state.lock().expect("lock");
+            state.ewma_rate = Some(7.5);
+            // A previous sample stamped in the future makes the next delta
+            // saturate to zero elapsed time — the degenerate case the
+            // division-by-zero guard exists for (two ticks landing inside
+            // one timer quantum).
+            state.last_progress = Some((1, Instant::now() + Duration::from_secs(60)));
+        }
+        meter.on_event(&CampaignEvent::Progress { done: 9, total: 10 });
+        assert_eq!(meter.state.lock().expect("lock").ewma_rate, Some(7.5));
+    }
+
+    #[test]
+    fn backwards_progress_leaves_the_rate_untouched() {
+        // A merged multi-worker stream can replay a lower `done` after a
+        // higher one; a negative delta carries no rate information.
+        let meter = ProgressMeter::with_interval(Duration::from_millis(0));
+        {
+            let mut state = meter.state.lock().expect("lock");
+            state.ewma_rate = Some(3.0);
+            state.last_progress = Some((8, Instant::now() - Duration::from_millis(10)));
+        }
+        meter.on_event(&CampaignEvent::Progress { done: 2, total: 10 });
+        assert_eq!(meter.state.lock().expect("lock").ewma_rate, Some(3.0));
+    }
+
+    #[test]
     fn eta_formats_all_magnitudes() {
         assert_eq!(fmt_eta(42.4), "42s");
         assert_eq!(fmt_eta(190.0), "3m10s");

@@ -6,6 +6,7 @@
 //! scal_client [--addr HOST:PORT] raw        # request line on stdin
 //! scal_client [--addr HOST:PORT] cancel ID
 //! scal_client [--addr HOST:PORT] status
+//! scal_client [--addr HOST:PORT] dump
 //! scal_client [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -32,6 +33,7 @@ fn usage() -> ! {
          \x20 raw            read one request line from stdin, stream frames\n\
          \x20 cancel ID\n\
          \x20 status\n\
+         \x20 dump           recent job lifecycle events (flight recorder)\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -257,15 +259,25 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "status" => match client.status() {
-            Ok((queued, running, done)) => {
-                println!(
-                    "{{\"frame\":\"status\",\"queued\":{queued},\"running\":{running},\"done\":{done}}}"
-                );
+        "status" => match client.status_frame() {
+            Ok(frame) => {
+                println!("{}", frame.to_json_line());
                 true
             }
             Err(e) => {
                 eprintln!("status failed: {e}");
+                false
+            }
+        },
+        "dump" => match client.dump() {
+            Ok(events) => {
+                for event in events {
+                    println!("{}", event.to_json_line());
+                }
+                true
+            }
+            Err(e) => {
+                eprintln!("dump failed: {e}");
                 false
             }
         },

@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! scal_serve [--addr HOST:PORT] [--workers N] [--job-threads N]
-//!            [--queue-cap N]
+//!            [--queue-cap N] [--metrics-addr HOST:PORT] [--no-log]
 //! ```
 //!
 //! Prints `listening on ADDR` once ready, then serves until a client sends
 //! `{"cmd":"shutdown"}`. Exits 0 on a clean drain.
+//!
+//! With `--metrics-addr` a second listener serves `GET /metrics`
+//! (Prometheus text exposition) and `GET /healthz` over HTTP/1.1. Job
+//! state transitions are logged to stderr as structured JSONL unless
+//! `--no-log` is given.
 
 use scal_serve::{serve, ServeConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scal_serve [--addr HOST:PORT] [--workers N] [--job-threads N] [--queue-cap N]"
+        "usage: scal_serve [--addr HOST:PORT] [--workers N] [--job-threads N] \
+         [--queue-cap N] [--metrics-addr HOST:PORT] [--no-log]"
     );
     std::process::exit(2);
 }
@@ -23,6 +29,7 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:7444".to_owned(),
         ..ServeConfig::default()
     };
+    config.sched.log_transitions = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -33,6 +40,8 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--addr" => config.addr = value("--addr"),
+            "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")),
+            "--no-log" => config.sched.log_transitions = false,
             "--workers" => match value("--workers").parse() {
                 Ok(n) if n > 0 => config.sched.workers = n,
                 _ => usage(),
@@ -60,6 +69,9 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", handle.addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics on http://{maddr}/metrics");
+    }
     handle.join();
     ExitCode::SUCCESS
 }

@@ -108,6 +108,32 @@ impl Client {
         Ok((num("queued")?, num("running")?, num("done")?))
     }
 
+    /// Fetches the full status frame, extended counters (uptime,
+    /// per-priority queue depths, cumulative job outcomes) included.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a missing response frame.
+    pub fn status_frame(&self) -> std::io::Result<Frame> {
+        let line = format!("{{\"cmd\":\"status\",\"v\":{PROTOCOL_VERSION}}}");
+        self.single_frame(&line)
+    }
+
+    /// Fetches the flight-recorder dump: the most recent job lifecycle
+    /// events as parsed JSON objects, oldest → newest.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a non-`dump` response.
+    pub fn dump(&self) -> std::io::Result<Vec<Frame>> {
+        let line = format!("{{\"cmd\":\"dump\",\"v\":{PROTOCOL_VERSION}}}");
+        let frame = self.single_frame(&line)?;
+        match frame.get("events").and_then(JsonValue::as_array) {
+            Some(events) => Ok(events.to_vec()),
+            None => Err(bad_frame("dump frame without \"events\"")),
+        }
+    }
+
     /// Asks the server to drain and exit.
     ///
     /// # Errors
@@ -145,6 +171,44 @@ impl Client {
 
 fn bad_frame(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Fetches `path` (e.g. `"/metrics"`, `"/healthz"`) from the server's
+/// metrics listener at `addr` over HTTP/1.1 and returns the response body.
+/// The minimal consumer-side counterpart of the server's minimal
+/// responder, used by `scal_top` and the tests; a real deployment points a
+/// real Prometheus scraper at the same endpoint.
+///
+/// # Errors
+///
+/// Fails on connection errors or a non-`200` status line.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    if !status.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("http status: {}", status.trim()),
+        ));
+    }
+    // Skip headers (Connection: close lets us read the body to EOF).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok(body)
 }
 
 /// Ready-made job specs over the workspace's own circuits — the demo/smoke

@@ -36,11 +36,13 @@ pub mod job;
 pub mod proto;
 pub mod sched;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::{Client, Frame, FrameStream};
 pub use job::{run_job, JobOutput, ServeError};
-pub use proto::{FaultSpec, JobKind, JobSpec, ProtoError, Request, PROTOCOL_VERSION};
+pub use proto::{FaultSpec, JobKind, JobSpec, ProtoError, Request, StatusInfo, PROTOCOL_VERSION};
 pub use sched::{SchedConfig, Scheduler};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use telemetry::{FlightEvent, FlightRecorder, PromSample, PromText, Telemetry};
 pub use wire::WireObserver;

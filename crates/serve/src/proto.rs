@@ -169,6 +169,8 @@ pub enum Request {
     },
     /// Report scheduler counters.
     Status,
+    /// Dump the flight recorder's recent lifecycle events.
+    Dump,
     /// Drain and stop the server.
     Shutdown,
 }
@@ -550,10 +552,11 @@ impl Request {
                 Ok(Request::Cancel { id })
             }
             Some("status") => Ok(Request::Status),
+            Some("dump") => Ok(Request::Dump),
             Some("shutdown") => Ok(Request::Shutdown),
             other => Err(ProtoError::new(
                 "bad_request",
-                format!("\"cmd\" must be \"submit\", \"cancel\", \"status\" or \"shutdown\", got {other:?}"),
+                format!("\"cmd\" must be \"submit\", \"cancel\", \"status\", \"dump\" or \"shutdown\", got {other:?}"),
             )),
         }
     }
@@ -692,24 +695,28 @@ impl JobSpec {
     }
 }
 
-/// `{"frame":"accepted",...}` — the job was queued under `id`.
+/// `{"frame":"accepted",...}` — the job was queued under `id`, traced as
+/// `trace` in every subsequent frame, flight-recorder entry, and log line.
 #[must_use]
-pub fn frame_accepted(id: u64, kind: &str, priority: u8, queued: usize) -> String {
+pub fn frame_accepted(id: u64, trace: u64, kind: &str, priority: u8, queued: usize) -> String {
     let mut o = JsonObject::new();
     o.str("frame", "accepted");
     o.num("id", id);
+    o.num("trace", trace);
     o.str("kind", kind);
     o.num("priority", u64::from(priority));
     o.num("queued", queued as u64);
     o.finish()
 }
 
-/// `{"frame":"event",...}` — one campaign event, spliced verbatim.
+/// `{"frame":"event",...}` — one campaign event, spliced verbatim into an
+/// envelope carrying the job's id and trace.
 #[must_use]
-pub fn frame_event(id: u64, event: &CampaignEvent) -> String {
+pub fn frame_event(id: u64, trace: u64, event: &CampaignEvent) -> String {
     let mut o = JsonObject::new();
     o.str("frame", "event");
     o.num("id", id);
+    o.num("trace", trace);
     o.raw("event", &event.to_json());
     o.finish()
 }
@@ -719,23 +726,35 @@ pub fn frame_event(id: u64, event: &CampaignEvent) -> String {
 /// only wall-clock measurement and is a separate field so consumers can
 /// strip it.
 #[must_use]
-pub fn frame_result(id: u64, report: &str, coverage: &CoverageMap, micros: u64) -> String {
+pub fn frame_result(
+    id: u64,
+    trace: u64,
+    report: &str,
+    coverage: &CoverageMap,
+    micros: u64,
+) -> String {
     let mut o = JsonObject::new();
     o.str("frame", "result");
     o.num("id", id);
+    o.num("trace", trace);
     o.raw("report", report);
     o.raw("coverage", &coverage.to_json());
     o.num("micros", micros);
     o.finish()
 }
 
-/// `{"frame":"error",...}` — the request (or job `id`) failed.
+/// `{"frame":"error",...}` — the request (or job `id`, traced as `trace`)
+/// failed. Request-level errors (malformed line, full queue) have neither
+/// id nor trace.
 #[must_use]
-pub fn frame_error(id: Option<u64>, code: &str, message: &str) -> String {
+pub fn frame_error(id: Option<u64>, trace: Option<u64>, code: &str, message: &str) -> String {
     let mut o = JsonObject::new();
     o.str("frame", "error");
     if let Some(id) = id {
         o.num("id", id);
+    }
+    if let Some(trace) = trace {
+        o.num("trace", trace);
     }
     o.str("code", code);
     o.str("message", message);
@@ -754,22 +773,66 @@ pub fn frame_cancel_ack(id: u64, found: bool) -> String {
     o.finish()
 }
 
-/// `{"frame":"status",...}` — scheduler counters.
+/// Everything a `status` frame reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs fully processed (result or error frame sent).
+    pub done: u64,
+    /// `true` once the server is draining.
+    pub shutting_down: bool,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Queue depth per priority `0..=9` (index = priority).
+    pub queue_depths: [u64; 10],
+    /// Cumulative jobs accepted.
+    pub jobs_accepted: u64,
+    /// Cumulative jobs finished un-cancelled.
+    pub jobs_finished: u64,
+    /// Cumulative jobs cancelled by request or client death.
+    pub jobs_cancelled: u64,
+    /// Cumulative jobs cancelled by their deadline.
+    pub jobs_timed_out: u64,
+    /// Cumulative jobs that panicked (isolated, reported as errors).
+    pub jobs_panicked: u64,
+}
+
+/// `{"frame":"status",...}` — scheduler counters. The first five fields
+/// predate telemetry and keep their order, so old clients keep parsing.
 #[must_use]
-pub fn frame_status(
-    workers: usize,
-    queued: usize,
-    running: usize,
-    done: u64,
-    shutting_down: bool,
-) -> String {
+pub fn frame_status(info: &StatusInfo) -> String {
     let mut o = JsonObject::new();
     o.str("frame", "status");
-    o.num("workers", workers as u64);
-    o.num("queued", queued as u64);
-    o.num("running", running as u64);
-    o.num("done", done);
-    o.bool("shutting_down", shutting_down);
+    o.num("workers", info.workers as u64);
+    o.num("queued", info.queued as u64);
+    o.num("running", info.running as u64);
+    o.num("done", info.done);
+    o.bool("shutting_down", info.shutting_down);
+    o.num("uptime_ms", info.uptime_ms);
+    let depths: Vec<String> = info.queue_depths.iter().map(u64::to_string).collect();
+    o.raw("queue_depths", &format!("[{}]", depths.join(",")));
+    let mut jobs = JsonObject::new();
+    jobs.num("accepted", info.jobs_accepted);
+    jobs.num("finished", info.jobs_finished);
+    jobs.num("cancelled", info.jobs_cancelled);
+    jobs.num("timed_out", info.jobs_timed_out);
+    jobs.num("panicked", info.jobs_panicked);
+    o.raw("jobs", &jobs.finish());
+    o.finish()
+}
+
+/// `{"frame":"dump",...}` — the flight recorder's surviving lifecycle
+/// events, oldest → newest, each already a JSON object line.
+#[must_use]
+pub fn frame_dump(events: &[String]) -> String {
+    let mut o = JsonObject::new();
+    o.str("frame", "dump");
+    o.raw("events", &format!("[{}]", events.join(",")));
     o.finish()
 }
 
@@ -972,19 +1035,82 @@ mod tests {
     #[test]
     fn frames_are_valid_jsonl() {
         let cov = CoverageMap::default();
+        let status = StatusInfo {
+            workers: 4,
+            running: 1,
+            done: 7,
+            uptime_ms: 1234,
+            jobs_accepted: 8,
+            jobs_finished: 7,
+            ..StatusInfo::default()
+        };
         let frames = [
-            frame_accepted(1, "pair", 4, 0),
-            frame_event(1, &CampaignEvent::Progress { done: 1, total: 10 }),
-            frame_result(1, "{\"campaign\":\"pair\"}", &cov, 12),
-            frame_error(Some(1), "bad_request", "nope"),
-            frame_error(None, "bad_json", "nope"),
+            frame_accepted(1, 42, "pair", 4, 0),
+            frame_event(1, 42, &CampaignEvent::Progress { done: 1, total: 10 }),
+            frame_result(1, 42, "{\"campaign\":\"pair\"}", &cov, 12),
+            frame_error(Some(1), Some(42), "bad_request", "nope"),
+            frame_error(None, None, "bad_json", "nope"),
             frame_cancel_ack(1, true),
-            frame_status(4, 0, 1, 7, false),
+            frame_status(&status),
+            frame_dump(&["{\"ms\":1,\"id\":1,\"trace\":42,\"state\":\"submit\"}".to_owned()]),
+            frame_dump(&[]),
             frame_shutdown_ack(),
         ];
         for f in &frames {
             json::validate_jsonl(f).expect("valid frame");
             assert_eq!(f.lines().count(), 1);
+        }
+    }
+
+    #[test]
+    fn job_frames_carry_their_trace() {
+        let cov = CoverageMap::default();
+        for f in [
+            frame_accepted(3, 99, "seq", 1, 2),
+            frame_event(3, 99, &CampaignEvent::Progress { done: 1, total: 2 }),
+            frame_result(3, 99, "{}", &cov, 1),
+            frame_error(Some(3), Some(99), "engine", "x"),
+        ] {
+            let v = json::parse(&f).unwrap();
+            assert_eq!(
+                v.get("trace").and_then(JsonValue::as_f64),
+                Some(99.0),
+                "{f}"
+            );
+            assert_eq!(v.get("id").and_then(JsonValue::as_f64), Some(3.0), "{f}");
+        }
+        // Request-level errors have no id and no trace.
+        let v = json::parse(&frame_error(None, None, "bad_json", "x")).unwrap();
+        assert!(v.get("trace").is_none() && v.get("id").is_none());
+    }
+
+    #[test]
+    fn status_frame_reports_extended_counters() {
+        let mut info = StatusInfo {
+            workers: 2,
+            queued: 3,
+            uptime_ms: 500,
+            jobs_accepted: 10,
+            jobs_cancelled: 2,
+            jobs_timed_out: 1,
+            ..StatusInfo::default()
+        };
+        info.queue_depths[9] = 3;
+        let v = json::parse(&frame_status(&info)).unwrap();
+        assert_eq!(v.get("uptime_ms").and_then(JsonValue::as_f64), Some(500.0));
+        let depths = v.get("queue_depths").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(depths.len(), 10);
+        assert_eq!(depths[9].as_f64(), Some(3.0));
+        let jobs = v.get("jobs").expect("jobs object");
+        assert_eq!(jobs.get("accepted").and_then(JsonValue::as_f64), Some(10.0));
+        assert_eq!(jobs.get("timed_out").and_then(JsonValue::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn dump_requests_parse() {
+        match Request::parse("{\"cmd\":\"dump\",\"v\":1}").unwrap() {
+            Request::Dump => {}
+            other => panic!("expected dump, got {other:?}"),
         }
     }
 }

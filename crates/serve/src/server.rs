@@ -11,18 +11,27 @@
 //! cancels the job's token and then *drains* the job's channel (discarding
 //! frames) so a worker blocked on the bounded channel's backpressure can
 //! reach its next cancellation checkpoint instead of deadlocking.
+//!
+//! With [`ServeConfig::metrics_addr`] set, a second listener thread speaks
+//! just enough HTTP/1.1 to serve `GET /metrics` (Prometheus text
+//! exposition of the shared [`Telemetry`] registry) and `GET /healthz`
+//! (liveness + uptime). The scrape path never touches the campaign path:
+//! it reads atomics and renders text.
 
 use crate::proto::{
-    frame_accepted, frame_cancel_ack, frame_error, frame_shutdown_ack, frame_status, Request,
+    frame_accepted, frame_cancel_ack, frame_dump, frame_error, frame_shutdown_ack, frame_status,
+    Request, StatusInfo,
 };
 use crate::sched::{SchedConfig, Scheduler};
+use crate::telemetry::Telemetry;
+use scal_obs::{Counter, Histogram};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-job frame-channel depth: how many rendered frames may sit between a
 /// campaign worker and a slow client before backpressure throttles the
@@ -43,6 +52,10 @@ pub struct ServeConfig {
     /// connection (one that never sends its request line) can pin its
     /// handler thread.
     pub read_timeout: Duration,
+    /// When set, bind a second listener here serving `GET /metrics`
+    /// (Prometheus text) and `GET /healthz` over HTTP/1.1. Port `0` picks
+    /// a free port (see [`ServerHandle::metrics_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +65,29 @@ impl Default for ServeConfig {
             sched: SchedConfig::default(),
             max_request_bytes: 16 << 20,
             read_timeout: Duration::from_secs(30),
+            metrics_addr: None,
+        }
+    }
+}
+
+/// Connection-path instruments, pre-resolved once at startup so handlers
+/// never take the registry lock.
+#[derive(Debug)]
+struct ConnStats {
+    connections: Arc<Counter>,
+    frames_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    submit_accept: Arc<Histogram>,
+}
+
+impl ConnStats {
+    fn new(telemetry: &Telemetry) -> Self {
+        let m = telemetry.metrics();
+        ConnStats {
+            connections: m.counter("scal_serve_connections_total"),
+            frames_sent: m.counter("scal_serve_frames_sent_total"),
+            bytes_sent: m.counter("scal_serve_bytes_sent_total"),
+            submit_accept: m.histogram("scal_serve_submit_accept_micros"),
         }
     }
 }
@@ -62,9 +98,12 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
     sched: Option<Arc<SchedulerCell>>,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Shared ownership wrapper so connection handlers and the handle all see
@@ -87,6 +126,21 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound metrics address, when [`ServeConfig::metrics_addr`] was
+    /// set (resolves port `0`).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The telemetry hub shared by the scheduler, the connection handlers
+    /// and the `/metrics` responder — inspectable in-process (used by the
+    /// bench suite to read latency quantiles without a scrape).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Requests shutdown exactly like a `{"cmd":"shutdown"}` request:
     /// reject new submissions, cancel live jobs, stop accepting.
     pub fn shutdown(&self) {
@@ -94,13 +148,17 @@ impl ServerHandle {
             let _ = cell.with(Scheduler::shutdown);
         }
         self.shutdown.store(true, Ordering::SeqCst);
-        // Self-connect to unblock the accept loop.
+        // Self-connect to unblock the accept loops.
         let _ = TcpStream::connect(self.addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
     }
 
-    /// Waits for the accept loop, every connection handler, and the worker
-    /// pool to finish. Call after [`ServerHandle::shutdown`] (or after a
-    /// client sent `{"cmd":"shutdown"}`).
+    /// Waits for the accept loop, every connection handler, the metrics
+    /// responder, and the worker pool to finish. Call after
+    /// [`ServerHandle::shutdown`] (or after a client sent
+    /// `{"cmd":"shutdown"}`).
     ///
     /// # Panics
     ///
@@ -108,6 +166,16 @@ impl ServerHandle {
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             t.join().expect("accept thread");
+        }
+        // The JSONL accept loop may have been popped by a client
+        // `shutdown` request; make sure the metrics loop sees the flag
+        // and gets its wakeup connection too.
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(t) = self.metrics_thread.take() {
+            t.join().expect("metrics thread");
         }
         if let Some(cell) = self.sched.take() {
             if let Some(sched) = cell.sched.lock().expect("scheduler cell").take() {
@@ -132,17 +200,34 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates the bind failure.
+/// Propagates a bind failure (either listener).
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let mut telemetry = Telemetry::new();
+    telemetry.log_transitions = config.sched.log_transitions;
+    let telemetry = Arc::new(telemetry);
     let shutdown = Arc::new(AtomicBool::new(false));
     let cell = Arc::new(SchedulerCell {
-        sched: Mutex::new(Some(Scheduler::new(config.sched.clone()))),
+        sched: Mutex::new(Some(Scheduler::with_telemetry(
+            config.sched.clone(),
+            Arc::clone(&telemetry),
+        ))),
     });
+    let stats = Arc::new(ConnStats::new(&telemetry));
+
+    let (metrics_listener, metrics_addr) = match &config.metrics_addr {
+        Some(maddr) => {
+            let l = TcpListener::bind(maddr)?;
+            let a = l.local_addr()?;
+            (Some(l), Some(a))
+        }
+        None => (None, None),
+    };
 
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_cell = Arc::clone(&cell);
+    let accept_stats = Arc::clone(&stats);
     let accept_thread = std::thread::spawn(move || {
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
         for stream in listener.incoming() {
@@ -150,11 +235,13 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            accept_stats.connections.inc();
             let cell = Arc::clone(&accept_cell);
             let shutdown = Arc::clone(&accept_shutdown);
+            let stats = Arc::clone(&accept_stats);
             let cfg = config.clone();
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &cell, &shutdown, &cfg);
+                handle_connection(stream, &cell, &shutdown, &stats, &cfg);
             }));
             // Reap finished handlers so the vec doesn't grow with every
             // connection ever accepted.
@@ -165,27 +252,115 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         }
     });
 
+    let metrics_thread = metrics_listener.map(|listener| {
+        let shutdown = Arc::clone(&shutdown);
+        let telemetry = Arc::clone(&telemetry);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                serve_metrics_request(&mut stream, &telemetry);
+            }
+        })
+    });
+
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         shutdown,
         accept_thread: Some(accept_thread),
+        metrics_thread,
         sched: Some(cell),
+        telemetry,
     })
 }
 
-/// Writes one frame line; `false` on failure (client gone).
-fn send_line(stream: &mut TcpStream, frame: &str) -> bool {
-    stream
+/// Answers one HTTP/1.1 request on the metrics listener: `GET /metrics` →
+/// Prometheus text exposition, `GET /healthz` → liveness JSON, anything
+/// else → 404. Always `Connection: close` — scrapers reconnect per
+/// scrape, which keeps the responder a simple loop.
+fn serve_metrics_request(stream: &mut TcpStream, telemetry: &Telemetry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut request_line = String::new();
+    {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let mut bounded = std::io::Read::take(&mut reader, 8192);
+        if bounded.read_line(&mut request_line).is_err() {
+            return;
+        }
+        // Drain the header block so well-behaved clients don't see a reset
+        // mid-request; errors and EOF just end the drain.
+        let mut header = String::new();
+        loop {
+            header.clear();
+            match bounded.read_line(&mut header) {
+                Ok(0) => break,
+                Ok(_) if header == "\r\n" || header == "\n" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                telemetry.metrics().render_prometheus(),
+            ),
+            "/healthz" => (
+                "200 OK",
+                "application/json",
+                format!("{{\"ok\":true,\"uptime_ms\":{}}}\n", telemetry.uptime_ms()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_owned(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes one frame line, counting it; `false` on failure (client gone).
+fn send_line(stream: &mut TcpStream, frame: &str, stats: &ConnStats) -> bool {
+    let ok = stream
         .write_all(frame.as_bytes())
         .and_then(|()| stream.write_all(b"\n"))
         .and_then(|()| stream.flush())
-        .is_ok()
+        .is_ok();
+    if ok {
+        stats.frames_sent.inc();
+        stats.bytes_sent.add(frame.len() as u64 + 1);
+    }
+    ok
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     cell: &SchedulerCell,
     shutdown: &AtomicBool,
+    stats: &ConnStats,
     config: &ServeConfig,
 ) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
@@ -202,6 +377,7 @@ fn handle_connection(
             return;
         }
     }
+    let received = Instant::now();
     let line = line.trim_end_matches(['\n', '\r']);
     if line.is_empty() {
         return;
@@ -209,7 +385,11 @@ fn handle_connection(
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
-            let _ = send_line(&mut stream, &frame_error(None, e.code, &e.message));
+            let _ = send_line(
+                &mut stream,
+                &frame_error(None, None, e.code, &e.message),
+                stats,
+            );
             return;
         }
     };
@@ -220,9 +400,15 @@ fn handle_connection(
             let (tx, rx) = sync_channel::<String>(FRAME_BUFFER);
             let submitted = cell.with(|s| s.submit(*spec, tx));
             match submitted {
-                Some(Ok((id, queued))) => {
-                    let mut client_alive =
-                        send_line(&mut stream, &frame_accepted(id, kind, priority, queued));
+                Some(Ok((id, trace, queued))) => {
+                    let mut client_alive = send_line(
+                        &mut stream,
+                        &frame_accepted(id, trace, kind, priority, queued),
+                        stats,
+                    );
+                    stats
+                        .submit_accept
+                        .record(u64::try_from(received.elapsed().as_micros()).unwrap_or(u64::MAX));
                     if !client_alive {
                         let _ = cell.with(|s| s.cancel(id));
                     }
@@ -232,40 +418,47 @@ fn handle_connection(
                     // backpressure must be released to reach its next
                     // cancellation checkpoint.
                     while let Ok(frame) = rx.recv() {
-                        if client_alive && !send_line(&mut stream, &frame) {
+                        if client_alive && !send_line(&mut stream, &frame, stats) {
                             client_alive = false;
                             let _ = cell.with(|s| s.cancel(id));
                         }
                     }
                 }
                 Some(Err((code, message))) => {
-                    let _ = send_line(&mut stream, &frame_error(None, code, &message));
+                    let _ = send_line(&mut stream, &frame_error(None, None, code, &message), stats);
                 }
                 None => {
                     let _ = send_line(
                         &mut stream,
-                        &frame_error(None, "shutting_down", "server is draining"),
+                        &frame_error(None, None, "shutting_down", "server is draining"),
+                        stats,
                     );
                 }
             }
         }
         Request::Cancel { id } => {
             let found = cell.with(|s| s.cancel(id)).unwrap_or(false);
-            let _ = send_line(&mut stream, &frame_cancel_ack(id, found));
+            let _ = send_line(&mut stream, &frame_cancel_ack(id, found), stats);
         }
         Request::Status => {
-            let frame = cell
-                .with(|s| {
-                    let (queued, running, done) = s.counters();
-                    frame_status(s.workers(), queued, running, done, s.is_shutting_down())
+            let frame = cell.with(|s| frame_status(&s.status())).unwrap_or_else(|| {
+                frame_status(&StatusInfo {
+                    shutting_down: true,
+                    ..StatusInfo::default()
                 })
-                .unwrap_or_else(|| frame_status(0, 0, 0, 0, true));
-            let _ = send_line(&mut stream, &frame);
+            });
+            let _ = send_line(&mut stream, &frame, stats);
+        }
+        Request::Dump => {
+            let frame = cell
+                .with(|s| frame_dump(&s.telemetry().recorder().dump_jsonl()))
+                .unwrap_or_else(|| frame_dump(&[]));
+            let _ = send_line(&mut stream, &frame, stats);
         }
         Request::Shutdown => {
             let _ = cell.with(Scheduler::shutdown);
             shutdown.store(true, Ordering::SeqCst);
-            let _ = send_line(&mut stream, &frame_shutdown_ack());
+            let _ = send_line(&mut stream, &frame_shutdown_ack(), stats);
             // Self-connect to pop the accept loop out of `incoming()`.
             if let Ok(addr) = stream.local_addr() {
                 let _ = TcpStream::connect(addr);

@@ -1,8 +1,10 @@
 //! Bridging a campaign's event stream onto a connection channel.
 
 use crate::proto::frame_event;
-use scal_obs::{CampaignEvent, CampaignObserver};
+use scal_obs::{CampaignEvent, CampaignObserver, Histogram};
 use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A [`CampaignObserver`] that renders every event as an `event` frame and
 /// sends it down a **bounded** channel toward the connection handler.
@@ -13,23 +15,55 @@ use std::sync::mpsc::SyncSender;
 /// limit. A closed channel (client gone, job detached) makes sends fail
 /// silently — the campaign keeps running and the result is still recorded
 /// by the scheduler, so a vanished client never corrupts a run.
+///
+/// When a stall histogram is attached, the time each send spends blocked on
+/// the full channel is recorded (`scal_serve_frame_stall_micros`), making
+/// slow-reader backpressure visible in `/metrics`.
 #[derive(Debug)]
 pub struct WireObserver {
     id: u64,
+    trace: u64,
     tx: SyncSender<String>,
+    stall: Option<Arc<Histogram>>,
 }
 
 impl WireObserver {
-    /// Wraps channel `tx` as the event sink for job `id`.
+    /// Wraps channel `tx` as the event sink for job `id` with trace id
+    /// `trace`; `stall` (if any) receives per-send blocked-time samples in
+    /// microseconds.
     #[must_use]
-    pub fn new(id: u64, tx: SyncSender<String>) -> Self {
-        WireObserver { id, tx }
+    pub fn new(id: u64, trace: u64, tx: SyncSender<String>, stall: Option<Arc<Histogram>>) -> Self {
+        WireObserver {
+            id,
+            trace,
+            tx,
+            stall,
+        }
     }
 }
 
 impl CampaignObserver for WireObserver {
     fn on_event(&self, event: &CampaignEvent) {
-        let _ = self.tx.send(frame_event(self.id, event));
+        let frame = frame_event(self.id, self.trace, event);
+        match &self.stall {
+            Some(h) => {
+                // try_send first: the common un-blocked case costs no clock
+                // reads beyond the miss, and a full channel falls back to
+                // the timed blocking send.
+                match self.tx.try_send(frame) {
+                    Ok(()) => h.record(0),
+                    Err(std::sync::mpsc::TrySendError::Full(frame)) => {
+                        let start = Instant::now();
+                        let _ = self.tx.send(frame);
+                        h.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {}
+                }
+            }
+            None => {
+                let _ = self.tx.send(frame);
+            }
+        }
     }
 }
 
@@ -41,11 +75,12 @@ mod tests {
     #[test]
     fn events_become_frames() {
         let (tx, rx) = sync_channel(4);
-        let obs = WireObserver::new(7, tx);
+        let obs = WireObserver::new(7, 42, tx, None);
         obs.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
         let frame = rx.recv().unwrap();
         assert!(frame.contains("\"frame\":\"event\""));
         assert!(frame.contains("\"id\":7"));
+        assert!(frame.contains("\"trace\":42"));
         assert!(frame.contains("\"ev\":\"progress\""));
     }
 
@@ -53,7 +88,32 @@ mod tests {
     fn a_closed_channel_is_harmless() {
         let (tx, rx) = sync_channel(1);
         drop(rx);
-        let obs = WireObserver::new(1, tx);
+        let obs = WireObserver::new(1, 1, tx, None);
         obs.on_event(&CampaignEvent::Progress { done: 1, total: 2 });
+    }
+
+    #[test]
+    fn stall_time_is_recorded() {
+        let h = Arc::new(Histogram::default());
+        let (tx, rx) = sync_channel(1);
+        let obs = WireObserver::new(1, 1, tx, Some(Arc::clone(&h)));
+        obs.on_event(&CampaignEvent::Progress { done: 1, total: 4 });
+        assert_eq!(h.count(), 1); // un-blocked send records a zero sample
+                                  // The channel (capacity 1) is now full; a reader drains it only
+                                  // after a delay, so the next send measurably blocks.
+        let reader = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut got = Vec::new();
+            while let Ok(f) = rx.recv() {
+                got.push(f);
+            }
+            got
+        });
+        obs.on_event(&CampaignEvent::Progress { done: 2, total: 4 });
+        drop(obs);
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() >= 1000, "stall sum {} too small", h.sum());
     }
 }

@@ -13,7 +13,9 @@ fn start() -> (scal_serve::ServerHandle, Client) {
             workers: 2,
             max_threads_per_job: 2,
             queue_cap: 64,
+            log_transitions: false,
         },
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
         ..ServeConfig::default()
     })
     .expect("bind");
@@ -124,6 +126,174 @@ fn deadline_timeout_cancels_into_a_valid_prefix() {
     assert_eq!(report.get("cancelled"), Some(&JsonValue::Bool(true)));
     let coverage = last.get("coverage").expect("coverage");
     assert_eq!(coverage.get("cancelled"), Some(&JsonValue::Bool(true)));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn every_job_frame_carries_the_accepted_trace() {
+    let (server, client) = start();
+    let frames: Vec<_> = client
+        .submit(&demo::pair_spec(4, false))
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    let trace = frames[0]
+        .get("trace")
+        .and_then(JsonValue::as_f64)
+        .expect("trace in accepted frame");
+    assert!(trace >= 1.0);
+    for frame in &frames {
+        assert_eq!(
+            frame.get("trace").and_then(JsonValue::as_f64),
+            Some(trace),
+            "{frame:?}"
+        );
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn status_frame_reports_uptime_depths_and_job_outcomes() {
+    let (server, client) = start();
+    let frames: Vec<_> = client
+        .submit(&demo::pair_spec(4, false))
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    assert_eq!(
+        field(frames.last().expect("terminal frame"), "frame"),
+        "result"
+    );
+    let status = client.status_frame().expect("status");
+    let num = |k: &str| {
+        status
+            .get(k)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("status missing {k:?}: {status:?}"))
+    };
+    assert!(num("uptime_ms") < 3_600_000.0);
+    assert_eq!(num("done"), 1.0);
+    let jobs = status.get("jobs").expect("jobs object");
+    assert_eq!(jobs.get("accepted").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(jobs.get("finished").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(jobs.get("cancelled").and_then(JsonValue::as_f64), Some(0.0));
+    let depths = status
+        .get("queue_depths")
+        .and_then(JsonValue::as_array)
+        .expect("queue_depths");
+    assert_eq!(depths.len(), 10);
+    assert!(depths.iter().all(|d| d.as_f64() == Some(0.0)));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn dump_returns_the_flight_recorder_as_events() {
+    let (server, client) = start();
+    let frames: Vec<_> = client
+        .submit(&demo::pair_spec(4, false))
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    let trace = frames[0]
+        .get("trace")
+        .and_then(JsonValue::as_f64)
+        .expect("trace");
+    let events = client.dump().expect("dump");
+    assert!(
+        events.len() >= 3,
+        "submit/start/finish at least: {events:?}"
+    );
+    let states: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("trace").and_then(JsonValue::as_f64) == Some(trace))
+        .map(|e| field(e, "state"))
+        .collect();
+    assert_eq!(states, ["submit", "start", "finish"], "{events:?}");
+    // Timestamps are monotone oldest → newest.
+    let times: Vec<f64> = events
+        .iter()
+        .filter_map(|e| e.get("ms").and_then(JsonValue::as_f64))
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text_and_health() {
+    let (server, client) = start();
+    let maddr = server.metrics_addr().expect("metrics listener").to_string();
+    let health = scal_serve::client::http_get(&maddr, "/healthz").expect("healthz");
+    assert!(health.contains("\"ok\":true"), "{health}");
+    assert!(health.contains("uptime_ms"), "{health}");
+
+    let frames: Vec<_> = client
+        .submit(&demo::pair_spec(4, false))
+        .expect("submit")
+        .map(|f| f.expect("frame"))
+        .collect();
+    assert_eq!(
+        field(frames.last().expect("terminal frame"), "frame"),
+        "result"
+    );
+
+    let body = scal_serve::client::http_get(&maddr, "/metrics").expect("metrics");
+    assert!(
+        body.contains("# TYPE scal_serve_jobs_total counter"),
+        "{body}"
+    );
+    let parsed = scal_serve::PromText::parse(&body);
+    assert_eq!(
+        parsed.value("scal_serve_jobs_total", &[("state", "accepted")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        parsed.value("scal_serve_jobs_total", &[("state", "finished")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        parsed.value("scal_serve_workers_idle", &[]),
+        Some(2.0),
+        "both workers idle again"
+    );
+    for p in 0..10 {
+        assert_eq!(
+            parsed.value("scal_serve_queue_depth", &[("priority", &p.to_string())]),
+            Some(0.0),
+            "priority {p}"
+        );
+    }
+    assert_eq!(
+        parsed.value("scal_serve_queue_wait_micros_count", &[]),
+        Some(1.0)
+    );
+    assert_eq!(parsed.value("scal_serve_run_micros_count", &[]), Some(1.0));
+    assert!(
+        parsed
+            .histogram_quantile("scal_serve_run_micros", 0.5)
+            .expect("run p50")
+            > 0.0
+    );
+    assert!(
+        parsed
+            .value("scal_serve_connections_total", &[])
+            .expect("conns")
+            >= 2.0
+    );
+    assert!(
+        parsed
+            .value("scal_serve_frames_sent_total", &[])
+            .expect("frames")
+            >= 2.0
+    );
+    assert!(
+        parsed
+            .value("scal_serve_bytes_sent_total", &[])
+            .expect("bytes")
+            >= 100.0
+    );
+
+    // Unknown paths 404, and that is an error for the helper.
+    assert!(scal_serve::client::http_get(&maddr, "/nope").is_err());
     server.shutdown_and_join();
 }
 

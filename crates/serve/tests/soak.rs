@@ -138,6 +138,7 @@ fn soak_mixed_concurrent_campaigns_with_cancellations() {
             workers: WORKERS,
             max_threads_per_job: MAX_JOB_THREADS,
             queue_cap: 4096,
+            log_transitions: false,
         },
         ..ServeConfig::default()
     })
@@ -215,6 +216,7 @@ fn soak_mixed_concurrent_campaigns_with_cancellations() {
     let mut local_cache: HashMap<String, LocalRun> = HashMap::new();
     let mut completed = 0usize;
     let mut cancelled = 0usize;
+    let mut seen_traces = std::collections::HashSet::new();
     for (i, (spec, frames)) in responses.iter().enumerate() {
         assert!(!frames.is_empty(), "request {i}: empty response");
         let first = &frames[0];
@@ -223,6 +225,26 @@ fn soak_mixed_concurrent_campaigns_with_cancellations() {
             Some("accepted"),
             "request {i}: first frame {first:?}"
         );
+        // Trace-id contract: every frame of a job — cancelled-prefix jobs
+        // included — carries the trace id minted in its `accepted` frame,
+        // and traces never collide across jobs.
+        let trace = first
+            .get("trace")
+            .and_then(JsonValue::as_f64)
+            .map(|n| n as u64)
+            .expect("accepted frame carries a trace id");
+        assert!(trace > 0, "request {i}: trace ids start at 1");
+        assert!(
+            seen_traces.insert(trace),
+            "request {i}: trace {trace} reused across jobs"
+        );
+        for (j, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                frame.get("trace").and_then(JsonValue::as_f64),
+                Some(trace as f64),
+                "request {i} frame {j}: trace mismatch ({frame:?})"
+            );
+        }
         assert_eq!(
             first.get("kind").and_then(JsonValue::as_str),
             Some(spec.kind.name()),

@@ -10,9 +10,10 @@
 use scal::obs::json::validate_jsonl;
 use scal::obs::{CampaignEvent, Phase};
 use scal::serve::proto::{
-    frame_accepted, frame_cancel_ack, frame_error, frame_event, frame_result, frame_shutdown_ack,
-    frame_status,
+    frame_accepted, frame_cancel_ack, frame_dump, frame_error, frame_event, frame_result,
+    frame_shutdown_ack, frame_status, StatusInfo,
 };
+use scal::serve::telemetry::FlightEvent;
 use scal::serve::{client::demo, run_job, JobKind};
 use scal_netlist::NetlistFormat;
 use scal_obs::NullObserver;
@@ -104,15 +105,58 @@ fn all_events() -> Vec<CampaignEvent> {
 /// report and coverage-record schemas are pinned too.
 fn wire_surface() -> String {
     let mut lines: Vec<String> = all_events().iter().map(CampaignEvent::to_json).collect();
-    lines.push(frame_accepted(7, "pair", 4, 3));
-    lines.push(frame_event(7, &all_events()[0]));
+    lines.push(frame_accepted(7, 42, "pair", 4, 3));
+    lines.push(frame_event(7, 42, &all_events()[0]));
     let spec = demo::pair_spec(4, false);
     let out = run_job(&spec.kind, 1, &NullObserver, None).expect("demo campaign");
-    lines.push(frame_result(7, &out.report, &out.coverage, 0));
-    lines.push(frame_error(Some(7), "bad_request", "missing \"kind\""));
-    lines.push(frame_error(None, "bad_json", "line 1: expected value"));
+    lines.push(frame_result(7, 42, &out.report, &out.coverage, 0));
+    lines.push(frame_error(
+        Some(7),
+        Some(42),
+        "bad_request",
+        "missing \"kind\"",
+    ));
+    lines.push(frame_error(
+        None,
+        None,
+        "bad_json",
+        "line 1: expected value",
+    ));
     lines.push(frame_cancel_ack(7, true));
-    lines.push(frame_status(4, 2, 1, 9, false));
+    let mut status = StatusInfo {
+        workers: 4,
+        queued: 2,
+        running: 1,
+        done: 9,
+        shutting_down: false,
+        uptime_ms: 120_000,
+        jobs_accepted: 12,
+        jobs_finished: 9,
+        jobs_cancelled: 2,
+        jobs_timed_out: 1,
+        jobs_panicked: 0,
+        ..StatusInfo::default()
+    };
+    status.queue_depths[4] = 2;
+    lines.push(frame_status(&status));
+    lines.push(frame_dump(&[
+        FlightEvent {
+            ms: 5,
+            id: 7,
+            trace: 42,
+            state: "submit",
+            detail: "kind=pair priority=4 queued=3".to_owned(),
+        }
+        .to_json(),
+        FlightEvent {
+            ms: 9,
+            id: 7,
+            trace: 42,
+            state: "start",
+            detail: String::new(),
+        }
+        .to_json(),
+    ]));
     lines.push(frame_shutdown_ack());
     // Submit request lines, one per netlist interchange format. The text
     // line must stay byte-identical to pre-format clients (no
@@ -170,6 +214,7 @@ fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
         "error",
         "cancel_ack",
         "status",
+        "dump",
         "shutdown_ack",
     ] {
         assert!(
@@ -206,7 +251,9 @@ fn optional_fields_are_omitted_when_absent() {
         frontier_died_at_level: None,
     };
     assert!(!live_frontier.to_json().contains("frontier_died_at_level"));
-    assert!(!frame_error(None, "bad_json", "x").contains("\"id\""));
+    let anonymous = frame_error(None, None, "bad_json", "x");
+    assert!(!anonymous.contains("\"id\""));
+    assert!(!anonymous.contains("\"trace\""));
 }
 
 #[test]
