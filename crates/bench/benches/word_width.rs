@@ -1,0 +1,75 @@
+//! Wide-word sweep: pair-campaign throughput at evaluation word widths
+//! W ∈ {1, 4, 8}, on the 8-bit ripple adder (drop mode, pattern-lane
+//! parallelism) and a 100k-gate self-dualized synthetic (truncated fault
+//! list). The adder additionally runs with fault-per-lane packing, the 2-D
+//! configuration (63 fault lanes × W pattern lanes per sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scal_core::paper;
+use scal_faults::Campaign;
+use scal_netlist::synth::{self, SynthKind};
+
+/// Faults swept on the synthetic circuit — enough to exercise the wide
+/// path without sweeping the full 100k+ site list per sample.
+const SYNTH_FAULTS: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("word_width");
+    let adder = paper::ripple_adder(8);
+    for width in [1usize, 4, 8] {
+        group.bench_function(format!("adder8_drop_w{width}"), |b| {
+            b.iter(|| {
+                Campaign::new(&adder)
+                    .threads(1)
+                    .drop_after_detection(true)
+                    .word_width(width)
+                    .run()
+                    .expect("adder is engine-compatible")
+            });
+        });
+        group.bench_function(format!("adder8_drop_packed_w{width}"), |b| {
+            b.iter(|| {
+                Campaign::new(&adder)
+                    .threads(1)
+                    .drop_after_detection(true)
+                    .word_width(width)
+                    .fault_packing(true)
+                    .run()
+                    .expect("adder is engine-compatible")
+            });
+        });
+    }
+
+    let selfdual = synth::generate(SynthKind::RandomSelfDual, 100_000, 42);
+    let faults: Vec<_> = scal_faults::enumerate_faults(&selfdual)
+        .into_iter()
+        .take(SYNTH_FAULTS)
+        .collect();
+    for width in [1usize, 4, 8] {
+        group.bench_function(format!("selfdual100k_w{width}"), |b| {
+            b.iter(|| {
+                Campaign::new(&selfdual)
+                    .faults(faults.clone())
+                    .threads(1)
+                    .word_width(width)
+                    .run()
+                    .expect("self-dual generator emits engine-compatible circuits")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -22,7 +22,7 @@ fn usage() {
     eprintln!(
         "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
          [--threads N] [--eval-mode full|cone] [--seq-backend packed|scalar|graph] \
-         [--suite standard|large] [--large-gates N] [--quiet]"
+         [--word-width 0|1|4|8] [--suite standard|large] [--large-gates N] [--quiet]"
     );
     eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
     eprintln!("  --baseline FILE      committed snapshot to diff against");
@@ -30,6 +30,9 @@ fn usage() {
     eprintln!("  --threads N          engine worker threads (default 0 = auto)");
     eprintln!("  --eval-mode MODE     engine faulty-sweep strategy (default cone)");
     eprintln!("  --seq-backend NAME   sequential-campaign backend (default packed)");
+    eprintln!(
+        "  --word-width W       evaluation word width in 64-bit sub-words (default 0 = auto)"
+    );
     eprintln!("  --suite NAME         standard paper suite or synthetic large tier");
     eprintln!("  --large-gates N      target gate count of large-suite designs (default 100000)");
     eprintln!("  --quiet              suppress the human-readable summary");
@@ -42,6 +45,7 @@ struct Options {
     threads: usize,
     eval_mode: EvalMode,
     seq_backend: SeqBackend,
+    word_width: usize,
     large: bool,
     large_gates: usize,
     quiet: bool,
@@ -55,6 +59,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         threads: 0,
         eval_mode: EvalMode::default(),
         seq_backend: SeqBackend::default(),
+        word_width: 0,
         large: false,
         large_gates: 100_000,
         quiet: false,
@@ -93,6 +98,16 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     format!("bad --seq-backend value {raw:?} (want packed|scalar|graph)")
                 })?;
             }
+            "--word-width" => {
+                let raw = value("--word-width")?;
+                opts.word_width = raw
+                    .parse()
+                    .ok()
+                    .filter(|&w| w == 0 || scal_engine::WORD_WIDTHS.contains(&w))
+                    .ok_or(format!(
+                        "bad --word-width value {raw:?} (want 0, 1, 4 or 8)"
+                    ))?;
+            }
             "--suite" => {
                 let raw = value("--suite")?;
                 opts.large = match raw.as_str() {
@@ -118,9 +133,19 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 
 fn report(opts: &Options) -> Result<ExitCode, String> {
     let snap: Snapshot = if opts.large {
-        run_large_suite(opts.threads, opts.eval_mode, opts.large_gates)
+        run_large_suite(
+            opts.threads,
+            opts.eval_mode,
+            opts.large_gates,
+            opts.word_width,
+        )
     } else {
-        run_suite(opts.threads, opts.eval_mode, opts.seq_backend)
+        run_suite(
+            opts.threads,
+            opts.eval_mode,
+            opts.seq_backend,
+            opts.word_width,
+        )
     };
     if !opts.quiet {
         print!("{}", snap.render());

@@ -30,6 +30,7 @@ fn usage() -> ExitCode {
          \x20 scal_run convert IN OUT\n\
          \x20 scal_run info FILE\n\
          \x20 scal_run run FILE [--threads N] [--max-faults N] [--eval-mode full|cone]\n\
+         \x20               [--word-width 0|1|4|8] [--fault-packing on|off]\n\
          formats are chosen by extension (.v, .bench, .scal/.txt) and sniffed on read"
     );
     ExitCode::FAILURE
@@ -149,6 +150,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut threads = 0usize;
     let mut max_faults = None;
     let mut eval_mode = EvalMode::default();
+    let mut word_width = 0usize;
+    let mut fault_packing = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let Some(raw) = it.next() else {
@@ -166,6 +169,15 @@ fn run(args: &[String]) -> ExitCode {
             "--eval-mode" => match raw.parse() {
                 Ok(m) => eval_mode = m,
                 Err(_) => return usage(),
+            },
+            "--word-width" => match raw.parse::<usize>() {
+                Ok(w) if w == 0 || scal_engine::WORD_WIDTHS.contains(&w) => word_width = w,
+                _ => return usage(),
+            },
+            "--fault-packing" => match raw.as_str() {
+                "on" => fault_packing = true,
+                "off" => fault_packing = false,
+                _ => return usage(),
             },
             _ => return usage(),
         }
@@ -189,6 +201,8 @@ fn run(args: &[String]) -> ExitCode {
         .faults(faults)
         .threads(threads)
         .eval_mode(eval_mode)
+        .word_width(word_width)
+        .fault_packing(fault_packing)
         .observer(&prof)
         .coverage(&cov)
         .run()

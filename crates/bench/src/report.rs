@@ -16,7 +16,9 @@
 //! best-effort `git rev-parse`.
 
 use scal_core::paper;
-use scal_engine::{resolved_threads, CompiledCircuit, EvalMode};
+use scal_engine::{
+    detected_cpu_features, resolve_word_width, resolved_threads, CompiledCircuit, EvalMode,
+};
 use scal_netlist::synth::{self, SynthKind};
 use scal_obs::json::{escape, JsonObject, JsonValue};
 use scal_obs::{CoverageMap, CoverageObserver, Profile, Profiler};
@@ -90,6 +92,15 @@ pub struct CircuitBench {
     /// Peak resident bytes of the compiled schedule (the engine's
     /// `compile_mem` span), when available.
     pub compile_bytes: Option<u64>,
+    /// Evaluation word width in 64-bit sub-words, from the campaign's
+    /// `lane_geometry` event (`0` when the campaign emitted none).
+    pub word_width: u64,
+    /// Distinct faults packed into the bit lanes of one evaluation word.
+    pub fault_lanes: u64,
+    /// Alternating pairs evaluated per wide sweep.
+    pub pattern_lanes: u64,
+    /// Lane-packing flavour (`"pattern"`, `"fault"`, `"seq"`, or empty).
+    pub packing: String,
 }
 
 impl CircuitBench {
@@ -124,6 +135,10 @@ impl CircuitBench {
                 .iter()
                 .find(|s| s.name == "compile_mem")
                 .map(|s| s.items),
+            word_width: profile.word_width,
+            fault_lanes: profile.fault_lanes,
+            pattern_lanes: profile.pattern_lanes,
+            packing: profile.packing.clone(),
         }
     }
 }
@@ -193,6 +208,13 @@ pub struct Snapshot {
     /// Backend the sequential entries ran on (`"packed"`, `"scalar"`,
     /// `"graph"`).
     pub seq_backend: String,
+    /// Resolved evaluation word width in 64-bit sub-words (a `0` request is
+    /// resolved through `SCAL_WORD_WIDTH` and CPU-feature detection before
+    /// recording, so snapshots document what actually ran).
+    pub word_width: usize,
+    /// Wide-word CPU features detected on the suite machine (`"avx2"`,
+    /// `"avx512f"`); empty on other architectures.
+    pub cpu_features: Vec<String>,
     /// Suite tier the snapshot ran (`"standard"` or `"large"`).
     pub suite: String,
     /// Per-circuit results, in suite order.
@@ -218,6 +240,13 @@ impl Snapshot {
         o.num("threads", self.threads as u64);
         o.str("eval_mode", &self.eval_mode);
         o.str("seq_backend", &self.seq_backend);
+        o.num("word_width", self.word_width as u64);
+        let features: Vec<String> = self
+            .cpu_features
+            .iter()
+            .map(|f| format!("\"{}\"", escape(f)))
+            .collect();
+        o.raw("cpu_features", &format!("[{}]", features.join(",")));
         o.str("suite", &self.suite);
         let mut circuits = String::from("[");
         for (i, c) in self.circuits.iter().enumerate() {
@@ -246,6 +275,12 @@ impl Snapshot {
             }
             if let Some(bytes) = c.compile_bytes {
                 co.num("compile_bytes", bytes);
+            }
+            if c.word_width > 0 {
+                co.num("word_width", c.word_width);
+                co.num("fault_lanes", c.fault_lanes);
+                co.num("pattern_lanes", c.pattern_lanes);
+                co.str("packing", &c.packing);
             }
             let mut po = JsonObject::new();
             for (name, micros) in &c.phases {
@@ -292,17 +327,34 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "BENCH snapshot {} @ {} ({} suite, threads {}, {} eval, {} seq backend)",
-            self.date, self.git_rev, self.suite, self.threads, self.eval_mode, self.seq_backend
+            "BENCH snapshot {} @ {} ({} suite, threads {}, {} eval, {} seq backend, \
+             W={} [{}])",
+            self.date,
+            self.git_rev,
+            self.suite,
+            self.threads,
+            self.eval_mode,
+            self.seq_backend,
+            self.word_width,
+            if self.cpu_features.is_empty() {
+                "no wide-word features".to_string()
+            } else {
+                self.cpu_features.join(",")
+            }
         );
         for c in &self.circuits {
             let rate = match c.pairs_per_sec {
                 Some(r) => format!("{r:.0} pairs/s"),
                 None => "n/a".to_string(),
             };
+            let lanes = if c.word_width > 0 {
+                format!(", W={} {}", c.word_width, c.packing)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  {:<16} [{:<10}] coverage {:>5.1}% ({}/{}), {} pairs, {rate}",
+                "  {:<16} [{:<10}] coverage {:>5.1}% ({}/{}), {} pairs, {rate}{lanes}",
                 c.name,
                 c.campaign,
                 100.0 * c.coverage,
@@ -506,24 +558,34 @@ fn suite_words() -> Vec<Vec<bool>> {
 /// faulty-sweep strategy of the engine entries and `seq_backend` the
 /// sequential-campaign backend; the adder8 full-vs-cone and the seq
 /// scalar-vs-packed speedups are measured in both respective configurations
-/// regardless.
+/// regardless. `word_width` is the evaluation word width in 64-bit
+/// sub-words (`0` = resolve through `SCAL_WORD_WIDTH` and CPU-feature
+/// detection); the small Ch. 3 networks additionally enable fault-per-lane
+/// packing, which is where wide words pay off on short pattern spaces.
 ///
 /// # Panics
 ///
 /// Panics if a suite circuit fails to compile or simulate — the suite is
-/// fixed and known-good, so that is a build break, not a report outcome.
+/// fixed and known-good, so that is a build break, not a report outcome —
+/// or if `word_width` (or `SCAL_WORD_WIDTH`) names an unusable width.
 #[must_use]
-pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -> Snapshot {
+pub fn run_suite(
+    threads: usize,
+    eval_mode: EvalMode,
+    seq_backend: SeqBackend,
+    word_width: usize,
+) -> Snapshot {
     let mut circuits = Vec::new();
 
     // Combinational pair campaigns (Ch. 3 networks + the ripple adder in
-    // classic fault-dropping mode).
+    // classic fault-dropping mode). The Ch. 3 networks pack faults into
+    // lanes: their 4-pair pattern spaces leave wide words idle otherwise.
     let pair_suite = [
-        ("fig3_4", paper::fig3_4().circuit, false),
-        ("fig3_7", paper::fig3_7().circuit, false),
-        ("adder8_drop", paper::ripple_adder(8), true),
+        ("fig3_4", paper::fig3_4().circuit, false, true),
+        ("fig3_7", paper::fig3_7().circuit, false, true),
+        ("adder8_drop", paper::ripple_adder(8), true, false),
     ];
-    for (name, circuit, drop) in pair_suite {
+    for (name, circuit, drop, pack) in pair_suite {
         let cov = CoverageObserver::new();
         let prof = Profiler::new();
         let rate = aggregate_rate(&prof, || {
@@ -531,6 +593,8 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -
                 .threads(threads)
                 .drop_after_detection(drop)
                 .eval_mode(eval_mode)
+                .word_width(word_width)
+                .fault_packing(pack)
                 .observer(&prof)
                 .coverage(&cov)
                 .run()
@@ -556,6 +620,7 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -
                 .threads(threads)
                 .backend(seq_backend)
                 .eval_mode(eval_mode)
+                .word_width(word_width)
                 .observer(&prof)
                 .coverage(&cov)
                 .run()
@@ -586,6 +651,11 @@ pub fn run_suite(threads: usize, eval_mode: EvalMode, seq_backend: SeqBackend) -
         threads: resolved_threads(threads),
         eval_mode: eval_mode.name().to_string(),
         seq_backend: seq_backend.name().to_string(),
+        word_width: resolve_word_width(word_width).expect("suite word width is usable"),
+        cpu_features: detected_cpu_features()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
         suite: "standard".to_string(),
         circuits,
         adder8_speedup: measure_adder8_speedup(threads),
@@ -623,6 +693,10 @@ fn compile_only_row(name: &str, kind: SynthKind, target_gates: usize) -> Circuit
         phases: vec![("compile".to_string(), compile_micros)],
         compile_micros: Some(compile_micros),
         compile_bytes: Some(cc.memory_bytes()),
+        word_width: 0,
+        fault_lanes: 0,
+        pattern_lanes: 0,
+        packing: String::new(),
     }
 }
 
@@ -639,9 +713,15 @@ fn compile_only_row(name: &str, kind: SynthKind, target_gates: usize) -> Circuit
 /// # Panics
 ///
 /// Panics if a generated circuit fails to compile or simulate — the
-/// generators are deterministic and tested, so that is a build break.
+/// generators are deterministic and tested, so that is a build break — or
+/// if `word_width` (or `SCAL_WORD_WIDTH`) names an unusable width.
 #[must_use]
-pub fn run_large_suite(threads: usize, eval_mode: EvalMode, target_gates: usize) -> Snapshot {
+pub fn run_large_suite(
+    threads: usize,
+    eval_mode: EvalMode,
+    target_gates: usize,
+    word_width: usize,
+) -> Snapshot {
     let mut circuits = Vec::new();
 
     // Campaign row: truncated fault sweep on the self-dualized random DAG.
@@ -656,6 +736,7 @@ pub fn run_large_suite(threads: usize, eval_mode: EvalMode, target_gates: usize)
         .faults(faults)
         .threads(threads)
         .eval_mode(eval_mode)
+        .word_width(word_width)
         .observer(&prof)
         .coverage(&cov)
         .run()
@@ -682,6 +763,11 @@ pub fn run_large_suite(threads: usize, eval_mode: EvalMode, target_gates: usize)
         threads: resolved_threads(threads),
         eval_mode: eval_mode.name().to_string(),
         seq_backend: "n/a".to_string(),
+        word_width: resolve_word_width(word_width).expect("suite word width is usable"),
+        cpu_features: detected_cpu_features()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
         suite: "large".to_string(),
         circuits,
         adder8_speedup: None,
@@ -804,9 +890,10 @@ mod tests {
 
     #[test]
     fn suite_snapshot_is_complete_and_json_valid() {
-        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed);
+        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed, 1);
         assert_eq!(snap.threads, 1);
         assert_eq!(snap.seq_backend, "packed");
+        assert_eq!(snap.word_width, 1);
         let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
@@ -834,6 +921,10 @@ mod tests {
             assert!((c.coverage - 1.0).abs() < 1e-12, "{}", c.name);
             assert!(c.undetected.is_empty(), "{}", c.name);
         }
+        // The Ch. 3 rows pack faults into lanes; the seq rows ran packed.
+        assert_eq!(snap.circuits[0].packing, "fault");
+        assert_eq!(snap.circuits[0].word_width, 1);
+        assert_eq!(snap.circuits[3].packing, "seq");
         let json = snap.to_json();
         assert_eq!(validate_jsonl(&json), Ok(1));
         let v = parse(&json).expect("snapshot parses");
@@ -841,6 +932,13 @@ mod tests {
         assert_eq!(
             v.get("seq_backend").and_then(JsonValue::as_str),
             Some("packed")
+        );
+        assert_eq!(v.get("word_width").and_then(JsonValue::as_f64), Some(1.0));
+        assert!(
+            v.get("cpu_features")
+                .and_then(JsonValue::as_array)
+                .is_some(),
+            "{json}"
         );
         let speedup = snap.adder8_speedup.as_ref().expect("adder8 measurement");
         assert!(speedup.full_pairs_per_sec > 0.0);
@@ -895,7 +993,7 @@ mod tests {
 
     #[test]
     fn large_suite_snapshot_records_compile_scaling() {
-        let snap = run_large_suite(1, EvalMode::Cone, 4_000);
+        let snap = run_large_suite(1, EvalMode::Cone, 4_000, 1);
         assert_eq!(snap.suite, "large");
         let names: Vec<&str> = snap.circuits.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
@@ -932,7 +1030,7 @@ mod tests {
 
     #[test]
     fn doctored_baselines_trigger_regressions() {
-        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed);
+        let snap = run_suite(1, EvalMode::Cone, SeqBackend::Packed, 1);
         // A baseline claiming impossible coverage and throughput.
         let baseline = parse(
             r#"{"circuits": [

@@ -9,6 +9,26 @@
 //! output detects the word even if another alternates incorrectly) falls out
 //! of OR-ing those masks across outputs before extracting lanes.
 //!
+//! # Wide words and 2-D packing
+//!
+//! The sweep is generic over the word width `W` ([`crate::Word`]): one
+//! evaluation word carries `W` 64-lane sub-words, so a pattern-major sweep
+//! evaluates up to `64 × W` pairs per pass over the schedule. Classification
+//! still happens per 64-pair sub-batch in scalar batch order, so reports,
+//! buffered events and work counters are bit-identical at every width —
+//! width only changes throughput. [`EngineConfig::word_width`] selects `W`
+//! (`0` = auto-detected from CPU features, overridable via the
+//! `SCAL_WORD_WIDTH` environment variable).
+//!
+//! [`EngineConfig::fault_packing`] turns the sweep two-dimensional: up to 63
+//! faults are broadcast into the bit lanes of every sub-word (lane 0 stays
+//! golden) while each sub-word carries a distinct input pattern, so one
+//! sweep evaluates `63 faults × W patterns` simultaneously. Detection then
+//! compares against the in-word golden lane; per-fault accounting — pairs,
+//! drop truncation, report contents — stays bit-identical to the unpacked
+//! path, and retired (dropped) lanes stop counting even though the datapath
+//! keeps carrying them until their whole chunk retires.
+//!
 //! # Observability and cancellation
 //!
 //! [`try_run_pair_campaign`] drives a [`CampaignObserver`] through the whole
@@ -24,10 +44,11 @@
 //! prefix of completed reports, bit-identical to the same prefix of an
 //! uncancelled run.
 
-use crate::compile::{CompiledCircuit, FaultCone, CONE_SEED};
+use crate::compile::{CompiledCircuit, FaultCone, LanePlan, CONE_SEED};
 use crate::error::EngineError;
-use crate::eval::Evaluator;
+use crate::eval::WideEvaluator;
 use crate::pool::effective_threads;
+use crate::word::{resolve_word_width, Word, WORD_WIDTHS};
 use scal_netlist::{Circuit, Override};
 use scal_obs::{CampaignEvent, CampaignObserver, CancelToken, NullObserver, Phase};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -113,6 +134,21 @@ pub struct EngineConfig {
     /// golden re-evaluations per batch instead — still bit-identical, but
     /// slower than [`EvalMode::Full`]. Ignored in full mode.
     pub golden_cache_bytes: usize,
+    /// Wide-word width `W`: 64-lane sub-words per evaluation word. Valid
+    /// values are `1`, `4`, `8`, or `0` = auto (the `SCAL_WORD_WIDTH`
+    /// environment variable if set, else the widest width the detected CPU
+    /// features profit from — see [`crate::resolve_word_width`]). Every
+    /// width produces bit-identical reports, events and counters; only
+    /// throughput changes.
+    pub word_width: usize,
+    /// When `true`, up to 63 faults are packed into the bit lanes of every
+    /// pattern sub-word (lane 0 golden), evaluating `63 × W` fault-pattern
+    /// cells per sweep instead of one fault across `64 × W` patterns.
+    /// Implies full-schedule evaluation (cone restriction does not apply);
+    /// reports and per-fault accounting stay bit-identical to the unpacked
+    /// path. Pays off on small-pattern circuits where the per-fault sweep
+    /// is too short to fill the machine.
+    pub fault_packing: bool,
 }
 
 impl EngineConfig {
@@ -132,6 +168,8 @@ pub struct EngineConfigBuilder {
     drop_after_detection: bool,
     eval_mode: EvalMode,
     golden_cache_bytes: usize,
+    word_width: usize,
+    fault_packing: bool,
 }
 
 impl EngineConfigBuilder {
@@ -165,12 +203,28 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Wide-word width; `0` = auto (see [`EngineConfig::word_width`]).
+    #[must_use]
+    pub fn word_width(mut self, width: usize) -> Self {
+        self.word_width = width;
+        self
+    }
+
+    /// Enables 2-D fault × pattern lane packing (see
+    /// [`EngineConfig::fault_packing`]).
+    #[must_use]
+    pub fn fault_packing(mut self, on: bool) -> Self {
+        self.fault_packing = on;
+        self
+    }
+
     /// Validates and produces the config.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidConfig`] if `threads` exceeds
-    /// [`MAX_THREADS`].
+    /// [`MAX_THREADS`] or `word_width` is not `0` (auto) or one of the
+    /// supported widths ([`crate::WORD_WIDTHS`]).
     pub fn build(self) -> Result<EngineConfig, EngineError> {
         if self.threads > MAX_THREADS {
             return Err(EngineError::InvalidConfig {
@@ -180,11 +234,21 @@ impl EngineConfigBuilder {
                 ),
             });
         }
+        if self.word_width != 0 && !WORD_WIDTHS.contains(&self.word_width) {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "word width must be 0 (auto) or one of {WORD_WIDTHS:?}, got {}",
+                    self.word_width
+                ),
+            });
+        }
         Ok(EngineConfig {
             threads: self.threads,
             drop_after_detection: self.drop_after_detection,
             eval_mode: self.eval_mode,
             golden_cache_bytes: self.golden_cache_bytes,
+            word_width: self.word_width,
+            fault_packing: self.fault_packing,
         })
     }
 }
@@ -218,10 +282,18 @@ pub struct EngineStats {
     /// Alternating pairs evaluated across all returned faults (golden
     /// excluded). Dropped faults contribute every pair of every batch they
     /// actually swept, including the batch that triggered the drop, so this
-    /// counter and [`EngineStats::words_evaluated`] stay consistent.
+    /// counter and [`EngineStats::words_evaluated`] stay consistent. Under
+    /// fault packing each (fault, pair) cell still counts exactly once — a
+    /// retired lane stops counting at the end of its detecting batch even
+    /// though the datapath keeps carrying it — so the counter is identical
+    /// to the unpacked run's at every width.
     pub pairs_evaluated: u64,
-    /// 64-lane evaluation sweeps executed, golden included (each sweep
-    /// evaluates one word of up to 64 patterns through the whole schedule).
+    /// 64-lane sub-word sweeps executed, golden included (each counts one
+    /// 64-pattern sub-word pushed through the whole schedule; a wide sweep
+    /// contributes one per *real*, non-padding sub-word). On the
+    /// pattern-major path this is width-invariant; under fault packing the
+    /// same pattern sub-word serves 63 fault lanes at once, which is
+    /// exactly the work reduction the mode exists for.
     pub words_evaluated: u64,
     /// Wall time spent compiling the circuit.
     pub compile_time: Duration,
@@ -308,52 +380,61 @@ pub struct PairCampaign {
     pub cancelled: bool,
 }
 
-/// The precomputed pair sweep: input words for every 64-pair batch plus the
-/// golden (fault-free) output words.
-struct Sweep {
+/// The precomputed pair sweep: wide input words for every *group* of `W`
+/// consecutive 64-pair batches plus the scalar golden (fault-free) output
+/// words.
+///
+/// Batches keep their scalar identity — group `g` carries batches
+/// `g·W .. min((g+1)·W, B)`, batch `b` in sub-word `b % W` — so
+/// classification, events and accounting stay per 64-pair batch and
+/// bit-identical at every width. Padding sub-words of the last group hold
+/// all-zero inputs and a zero lane mask.
+struct Sweep<const W: usize> {
     n_inputs: usize,
     n_outputs: usize,
-    /// Batch base minterms, ascending.
+    /// Batch base minterms, ascending (scalar, one per batch).
     bases: Vec<u32>,
-    /// Valid-lane masks per batch.
+    /// Valid-lane masks per batch (scalar, one per batch).
     masks: Vec<u64>,
-    /// Period-1 input words, `[batch][input]` flattened.
-    words1: Vec<u64>,
-    /// Period-2 input words (`!words1`), same layout.
-    words2: Vec<u64>,
-    /// Golden output words, `[batch][output][period]` flattened.
+    /// Period-1 input words, `[group][input]` flattened; batch `b` occupies
+    /// sub-word `b % W` of group `b / W`.
+    words1: Vec<Word<W>>,
+    /// Period-2 input words (`!words1` on real sub-words), same layout.
+    words2: Vec<Word<W>>,
+    /// Golden output words, `[batch][period][output]` flattened (scalar).
     golden: Vec<u64>,
     /// Slot count of the compiled circuit (slot-cache row width).
     num_slots: usize,
-    /// Every golden slot word, `[batch][period][slot]` flattened — the seed
+    /// Every golden slot word, `[group][period][slot]` flattened — the seed
     /// store for cone-restricted evaluation. Empty in full mode or when the
     /// cache would blow the configured byte budget (cone workers then stream
-    /// golden re-evaluations per batch).
-    slot_cache: Vec<u64>,
+    /// golden re-evaluations per group).
+    slot_cache: Vec<Word<W>>,
 }
 
-impl Sweep {
+impl<const W: usize> Sweep<W> {
     fn try_build(
         compiled: &CompiledCircuit,
-        ev: &mut Evaluator,
+        ev: &mut WideEvaluator<W>,
         cache_bytes: Option<usize>,
     ) -> Result<(Self, u64), EngineError> {
         let n = compiled.num_inputs();
         let n_out = compiled.num_outputs();
         let total_pairs = 1u32 << (n - 1);
         let batches = (total_pairs as usize).div_ceil(64);
-        let cache = cache_bytes.is_some_and(|cap| batches * 2 * compiled.num_slots * 8 <= cap);
+        let groups = batches.div_ceil(W);
+        let cache = cache_bytes.is_some_and(|cap| groups * 2 * compiled.num_slots * 8 * W <= cap);
         let mut sweep = Sweep {
             n_inputs: n,
             n_outputs: n_out,
             bases: Vec::with_capacity(batches),
             masks: Vec::with_capacity(batches),
-            words1: Vec::with_capacity(batches * n),
-            words2: Vec::with_capacity(batches * n),
+            words1: vec![Word::ZERO; groups * n],
+            words2: vec![Word::ZERO; groups * n],
             golden: Vec::with_capacity(batches * n_out * 2),
             num_slots: compiled.num_slots,
             slot_cache: Vec::with_capacity(if cache {
-                batches * 2 * compiled.num_slots
+                groups * 2 * compiled.num_slots
             } else {
                 0
             }),
@@ -361,8 +442,10 @@ impl Sweep {
         let mut base = 0u32;
         while base < total_pairs {
             let lanes = (total_pairs - base).min(64);
+            let b = sweep.bases.len();
             sweep.bases.push(base);
             sweep.masks.push(lane_mask(lanes));
+            let (g, s) = (b / W, b % W);
             for i in 0..n {
                 let mut w = 0u64;
                 for lane in 0..lanes {
@@ -370,65 +453,108 @@ impl Sweep {
                         w |= 1 << lane;
                     }
                 }
-                sweep.words1.push(w);
-                sweep.words2.push(!w);
+                sweep.words1[g * n + i].set_sub(s, w);
+                sweep.words2[g * n + i].set_sub(s, !w);
             }
             base += lanes;
         }
-        // Golden responses and the alternation sanity check.
+        // Golden responses and the alternation sanity check, W batches per
+        // sweep. `words` counts real 64-lane sub-word sweeps (2 per batch),
+        // so the counter matches the scalar path at every width.
         let mut words = 0u64;
-        for b in 0..sweep.bases.len() {
-            let mask = sweep.masks[b];
-            ev.eval(compiled, sweep.batch_words1(b), &[]);
-            words += 1;
+        let mut out1 = vec![Word::<W>::ZERO; n_out];
+        let mut out2 = vec![Word::<W>::ZERO; n_out];
+        for g in 0..sweep.groups() {
+            let real = sweep.group_real(g);
+            ev.try_eval_w(compiled, sweep.group_words1(g), &[])?;
+            words += real as u64;
             if cache {
-                sweep.slot_cache.extend_from_slice(ev.slots());
+                sweep.slot_cache.extend_from_slice(ev.slots_w());
             }
-            for k in 0..n_out {
-                sweep.golden.push(ev.output(compiled, k));
+            for (k, o) in out1.iter_mut().enumerate() {
+                *o = ev.output_w(compiled, k);
             }
-            ev.eval(compiled, sweep.batch_words2(b), &[]);
-            words += 1;
+            ev.try_eval_w(compiled, sweep.group_words2(g), &[])?;
+            words += real as u64;
             if cache {
-                sweep.slot_cache.extend_from_slice(ev.slots());
+                sweep.slot_cache.extend_from_slice(ev.slots_w());
             }
-            for k in 0..n_out {
-                sweep.golden.push(ev.output(compiled, k));
+            for (k, o) in out2.iter_mut().enumerate() {
+                *o = ev.output_w(compiled, k);
             }
-            for k in 0..n_out {
-                let g1 = sweep.golden[b * n_out * 2 + k];
-                let g2 = sweep.golden[b * n_out * 2 + n_out + k];
-                let stuck = !(g1 ^ g2) & mask;
-                if stuck != 0 {
-                    return Err(EngineError::NotAlternating {
-                        output: k,
-                        pair: sweep.bases[b] + stuck.trailing_zeros(),
-                    });
+            for s in 0..real {
+                let b = g * W + s;
+                let mask = sweep.masks[b];
+                for o in out1.iter().take(n_out) {
+                    sweep.golden.push(o.sub(s));
+                }
+                for o in out2.iter().take(n_out) {
+                    sweep.golden.push(o.sub(s));
+                }
+                for k in 0..n_out {
+                    let g1 = out1[k].sub(s);
+                    let g2 = out2[k].sub(s);
+                    let stuck = !(g1 ^ g2) & mask;
+                    if stuck != 0 {
+                        return Err(EngineError::NotAlternating {
+                            output: k,
+                            pair: sweep.bases[b] + stuck.trailing_zeros(),
+                        });
+                    }
                 }
             }
         }
         Ok((sweep, words))
     }
 
-    fn batch_words1(&self, b: usize) -> &[u64] {
-        &self.words1[b * self.n_inputs..(b + 1) * self.n_inputs]
+    fn groups(&self) -> usize {
+        self.bases.len().div_ceil(W)
     }
 
-    fn batch_words2(&self, b: usize) -> &[u64] {
-        &self.words2[b * self.n_inputs..(b + 1) * self.n_inputs]
+    /// Real (non-padding) batches in group `g`.
+    fn group_real(&self, g: usize) -> usize {
+        (self.bases.len() - g * W).min(W)
+    }
+
+    fn group_words1(&self, g: usize) -> &[Word<W>] {
+        &self.words1[g * self.n_inputs..(g + 1) * self.n_inputs]
+    }
+
+    fn group_words2(&self, g: usize) -> &[Word<W>] {
+        &self.words2[g * self.n_inputs..(g + 1) * self.n_inputs]
     }
 
     fn batch_golden(&self, b: usize, period: usize, k: usize) -> u64 {
         self.golden[b * self.n_outputs * 2 + period * self.n_outputs + k]
     }
 
+    /// Golden output `k` of every batch in group `g` as one wide word
+    /// (padding sub-words zero).
+    fn golden_wide(&self, g: usize, period: usize, k: usize) -> Word<W> {
+        let real = self.group_real(g);
+        Word::from_fn(|s| {
+            if s < real {
+                self.batch_golden(g * W + s, period, k)
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Valid-lane masks of every batch in group `g` as one wide word
+    /// (padding sub-words zero).
+    fn group_mask(&self, g: usize) -> Word<W> {
+        let real = self.group_real(g);
+        Word::from_fn(|s| if s < real { self.masks[g * W + s] } else { 0 })
+    }
+
     fn has_slot_cache(&self) -> bool {
         !self.slot_cache.is_empty()
     }
 
-    /// Cached golden slot words for one batch period.
-    fn batch_slots(&self, b: usize, period: usize) -> &[u64] {
-        let start = (b * 2 + period) * self.num_slots;
+    /// Cached golden slot words for one group period.
+    fn group_slots(&self, g: usize, period: usize) -> &[Word<W>] {
+        let start = (g * 2 + period) * self.num_slots;
         &self.slot_cache[start..start + self.num_slots]
     }
 }
@@ -441,53 +567,54 @@ fn lane_mask(lanes: u32) -> u64 {
     }
 }
 
-/// Per-worker reusable output buffers.
-struct Scratch {
-    out1: Vec<u64>,
-    out2: Vec<u64>,
+/// Per-worker reusable wide output buffers.
+struct Scratch<const W: usize> {
+    out1: Vec<Word<W>>,
+    out2: Vec<Word<W>>,
 }
 
-impl Scratch {
+impl<const W: usize> Scratch<W> {
     fn new(n_outputs: usize) -> Self {
         Scratch {
-            out1: vec![0; n_outputs],
-            out2: vec![0; n_outputs],
+            out1: vec![Word::ZERO; n_outputs],
+            out2: vec![Word::ZERO; n_outputs],
         }
     }
 }
 
 /// Extra per-worker state for cone-restricted evaluation.
-struct ConeWorker {
-    /// Liveness-expiry scratch for [`Evaluator::eval_cone`], sized for the
-    /// whole schedule (every cone is a subset); kept all-zero between calls.
+struct ConeWorker<const W: usize> {
+    /// Liveness-expiry scratch for [`WideEvaluator::eval_cone_w`], sized for
+    /// the whole schedule (every cone is a subset); kept all-zero between
+    /// calls.
     expire: Vec<u64>,
     /// Streaming golden evaluator, present only when the slot cache did not
-    /// fit its byte budget: re-runs the fault-free sweep per batch so cone
+    /// fit its byte budget: re-runs the fault-free sweep per group so cone
     /// seeds still have golden words to read.
-    stream: Option<Evaluator>,
+    stream: Option<WideEvaluator<W>>,
 }
 
 /// Everything one worker thread owns across faults.
-struct WorkerState {
-    ev: Evaluator,
-    scratch: Scratch,
-    cone: Option<ConeWorker>,
+struct WorkerState<const W: usize> {
+    ev: WideEvaluator<W>,
+    scratch: Scratch<W>,
+    cone: Option<ConeWorker<W>>,
 }
 
-impl WorkerState {
-    fn new(compiled: &CompiledCircuit, sweep: &Sweep, config: &EngineConfig) -> Self {
-        WorkerState::with_evaluator(Evaluator::new(compiled), compiled, sweep, config)
+impl<const W: usize> WorkerState<W> {
+    fn new(compiled: &CompiledCircuit, sweep: &Sweep<W>, config: &EngineConfig) -> Self {
+        WorkerState::with_evaluator(WideEvaluator::new(compiled), compiled, sweep, config)
     }
 
     fn with_evaluator(
-        ev: Evaluator,
+        ev: WideEvaluator<W>,
         compiled: &CompiledCircuit,
-        sweep: &Sweep,
+        sweep: &Sweep<W>,
         config: &EngineConfig,
     ) -> Self {
         let cone = (config.eval_mode == EvalMode::Cone).then(|| ConeWorker {
             expire: vec![0; compiled.num_ops()],
-            stream: (!sweep.has_slot_cache()).then(|| Evaluator::new(compiled)),
+            stream: (!sweep.has_slot_cache()).then(|| WideEvaluator::new(compiled)),
         });
         WorkerState {
             ev,
@@ -497,14 +624,15 @@ impl WorkerState {
     }
 }
 
-/// Everything one fault simulation produced: the report, its work counters,
-/// and (when tracing) the per-fault events buffered for the deterministic
-/// merge replay.
+/// Everything one unit of fault simulation produced: the reports (one per
+/// fault — a single fault on the pattern-major path, a whole chunk under
+/// fault packing), work counters, and (when tracing) the events buffered
+/// for the deterministic merge replay.
 struct SimOutcome {
-    report: PairReport,
+    reports: Vec<PairReport>,
     pairs: u64,
     words: u64,
-    /// Wall time this worker spent inside the fault's sweep.
+    /// Wall time this worker spent inside the unit's sweeps.
     eval_micros: u64,
     events: Vec<CampaignEvent>,
 }
@@ -522,15 +650,18 @@ fn note_death(died_min: &mut Option<u32>, cone: &FaultCone, evaluated: u32) {
     }
 }
 
-/// Simulates one fault against the whole pair sweep. Returns `None` if the
-/// token cancelled the sweep at a batch boundary (the fault's partial work is
-/// discarded); the evaluator is left clean either way.
+/// Simulates one fault against the whole pair sweep, `W` batches per pass.
+/// Classification stays per 64-pair sub-batch in scalar batch order, so the
+/// report, buffered events and counters are bit-identical at every width.
+/// Returns `None` if the token cancelled the sweep at a group boundary (the
+/// fault's partial work is discarded); the evaluator is left clean either
+/// way.
 #[allow(clippy::too_many_arguments)]
-fn sim_fault(
+fn sim_fault<const W: usize>(
     compiled: &CompiledCircuit,
-    sweep: &Sweep,
+    sweep: &Sweep<W>,
     config: &EngineConfig,
-    ws: &mut WorkerState,
+    ws: &mut WorkerState<W>,
     fault: Override,
     index: usize,
     worker: usize,
@@ -558,119 +689,145 @@ fn sim_fault(
     let mut ops_evaluated = 0u64;
     let mut died_min: Option<u32> = None;
     ev.install(compiled, std::slice::from_ref(&fault));
-    for b in 0..sweep.bases.len() {
+    let batches = sweep.bases.len();
+    'groups: for g in 0..sweep.groups() {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             ev.uninstall();
             return None;
         }
-        let mask = sweep.masks[b];
-        let mut det = 0u64;
-        let mut wrong = 0u64;
-        let mut diff = 0u64;
+        let real = sweep.group_real(g);
+        let wide_mask = sweep.group_mask(g);
         if let (Some(fc), Some(cw)) = (&fault_cone, cone.as_mut()) {
             // Cone path: evaluate only the fault's fanout cone, seeded from
             // golden slot words, and classify only the reachable outputs —
             // every other output provably equals golden, contributing
-            // nothing to det/wrong/diff on the masked lanes.
-            let g1: &[u64] = if sweep.has_slot_cache() {
-                sweep.batch_slots(b, 0)
+            // nothing to det/wrong/diff on the masked lanes. Padding
+            // sub-words are masked out of the frontier-death dirtiness
+            // check, so they can neither keep a cone alive nor kill it
+            // early.
+            let e1 = if sweep.has_slot_cache() {
+                let cached = sweep.group_slots(g, 0);
+                ev.eval_cone_w(compiled, fc, |s| cached[s], &[], wide_mask, &mut cw.expire)
             } else {
                 let stream = cw.stream.as_mut().expect("streaming golden evaluator");
-                stream.eval(compiled, sweep.batch_words1(b), &[]);
-                stream.slots()
+                stream
+                    .try_eval_w(compiled, sweep.group_words1(g), &[])
+                    .expect("golden sweep arity");
+                let slots = stream.slots_w();
+                ev.eval_cone_w(compiled, fc, |s| slots[s], &[], wide_mask, &mut cw.expire)
             };
-            let e1 = ev.eval_cone(compiled, fc, g1, &[], mask, &mut cw.expire);
             for &(k, ord) in &fc.outputs {
                 let k = k as usize;
                 scratch.out1[k] = if ord == CONE_SEED || ord < e1 {
-                    ev.output(compiled, k)
+                    ev.output_w(compiled, k)
                 } else {
-                    sweep.batch_golden(b, 0, k)
+                    sweep.golden_wide(g, 0, k)
                 };
             }
-            let g2: &[u64] = if sweep.has_slot_cache() {
-                sweep.batch_slots(b, 1)
+            let e2 = if sweep.has_slot_cache() {
+                let cached = sweep.group_slots(g, 1);
+                ev.eval_cone_w(compiled, fc, |s| cached[s], &[], wide_mask, &mut cw.expire)
             } else {
                 let stream = cw.stream.as_mut().expect("streaming golden evaluator");
-                stream.eval(compiled, sweep.batch_words2(b), &[]);
-                stream.slots()
+                stream
+                    .try_eval_w(compiled, sweep.group_words2(g), &[])
+                    .expect("golden sweep arity");
+                let slots = stream.slots_w();
+                ev.eval_cone_w(compiled, fc, |s| slots[s], &[], wide_mask, &mut cw.expire)
             };
-            let e2 = ev.eval_cone(compiled, fc, g2, &[], mask, &mut cw.expire);
             ops_evaluated += u64::from(e1) + u64::from(e2);
             note_death(&mut died_min, fc, e1);
             note_death(&mut died_min, fc, e2);
             for &(k, ord) in &fc.outputs {
                 let k = k as usize;
-                let f1 = scratch.out1[k];
-                let f2 = if ord == CONE_SEED || ord < e2 {
-                    ev.output(compiled, k)
+                scratch.out2[k] = if ord == CONE_SEED || ord < e2 {
+                    ev.output_w(compiled, k)
                 } else {
-                    sweep.batch_golden(b, 1, k)
+                    sweep.golden_wide(g, 1, k)
                 };
-                let gg1 = sweep.batch_golden(b, 0, k);
-                let gg2 = sweep.batch_golden(b, 1, k);
-                let alt = f1 ^ f2;
-                det |= !alt;
-                wrong |= alt & (f1 ^ gg1);
-                diff |= (f1 ^ gg1) | (f2 ^ gg2);
             }
         } else {
-            ev.eval(compiled, sweep.batch_words1(b), &[]);
+            ev.try_eval_w(compiled, sweep.group_words1(g), &[])
+                .expect("sweep arity");
             for k in 0..sweep.n_outputs {
-                scratch.out1[k] = ev.output(compiled, k);
+                scratch.out1[k] = ev.output_w(compiled, k);
             }
-            ev.eval(compiled, sweep.batch_words2(b), &[]);
+            ev.try_eval_w(compiled, sweep.group_words2(g), &[])
+                .expect("sweep arity");
             for k in 0..sweep.n_outputs {
-                scratch.out2[k] = ev.output(compiled, k);
-            }
-            for k in 0..sweep.n_outputs {
-                let f1 = scratch.out1[k];
-                let f2 = scratch.out2[k];
-                let g1 = sweep.batch_golden(b, 0, k);
-                let g2 = sweep.batch_golden(b, 1, k);
-                let alt = f1 ^ f2;
-                det |= !alt;
-                wrong |= alt & (f1 ^ g1);
-                diff |= (f1 ^ g1) | (f2 ^ g2);
+                scratch.out2[k] = ev.output_w(compiled, k);
             }
         }
-        words += 2;
-        let batch_pairs = u64::from(mask.count_ones());
-        pairs += batch_pairs;
-        det &= mask;
-        let viol = wrong & !det & mask;
-        if diff & mask != 0 {
-            observable = true;
-        }
-        let base = sweep.bases[b];
-        let mut bits = det;
-        while bits != 0 {
-            detected.push(base + bits.trailing_zeros());
-            bits &= bits - 1;
-        }
-        bits = viol;
-        while bits != 0 {
-            violations.push(base + bits.trailing_zeros());
-            bits &= bits - 1;
-        }
-        if record {
-            events.push(CampaignEvent::BatchDone {
-                fault: index,
-                worker,
-                batch: b,
-                pairs: batch_pairs,
-            });
-        }
-        if config.drop_after_detection && det != 0 && b + 1 < sweep.bases.len() {
-            dropped = true;
+        // Classify per 64-pair sub-batch in scalar batch order: reports,
+        // events and counters are width-invariant.
+        for s in 0..real {
+            let b = g * W + s;
+            let mask = sweep.masks[b];
+            let mut det = 0u64;
+            let mut wrong = 0u64;
+            let mut diff = 0u64;
+            if let Some(fc) = &fault_cone {
+                for &(k, _) in &fc.outputs {
+                    let k = k as usize;
+                    let f1 = scratch.out1[k].sub(s);
+                    let f2 = scratch.out2[k].sub(s);
+                    let g1 = sweep.batch_golden(b, 0, k);
+                    let g2 = sweep.batch_golden(b, 1, k);
+                    let alt = f1 ^ f2;
+                    det |= !alt;
+                    wrong |= alt & (f1 ^ g1);
+                    diff |= (f1 ^ g1) | (f2 ^ g2);
+                }
+            } else {
+                for k in 0..sweep.n_outputs {
+                    let f1 = scratch.out1[k].sub(s);
+                    let f2 = scratch.out2[k].sub(s);
+                    let g1 = sweep.batch_golden(b, 0, k);
+                    let g2 = sweep.batch_golden(b, 1, k);
+                    let alt = f1 ^ f2;
+                    det |= !alt;
+                    wrong |= alt & (f1 ^ g1);
+                    diff |= (f1 ^ g1) | (f2 ^ g2);
+                }
+            }
+            words += 2;
+            let batch_pairs = u64::from(mask.count_ones());
+            pairs += batch_pairs;
+            det &= mask;
+            let viol = wrong & !det & mask;
+            if diff & mask != 0 {
+                observable = true;
+            }
+            let base = sweep.bases[b];
+            let mut bits = det;
+            while bits != 0 {
+                detected.push(base + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+            bits = viol;
+            while bits != 0 {
+                violations.push(base + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
             if record {
-                events.push(CampaignEvent::FaultDropped {
+                events.push(CampaignEvent::BatchDone {
                     fault: index,
                     worker,
                     batch: b,
+                    pairs: batch_pairs,
                 });
             }
-            break;
+            if config.drop_after_detection && det != 0 && b + 1 < batches {
+                dropped = true;
+                if record {
+                    events.push(CampaignEvent::FaultDropped {
+                        fault: index,
+                        worker,
+                        batch: b,
+                    });
+                }
+                break 'groups;
+            }
         }
     }
     ev.uninstall();
@@ -690,7 +847,9 @@ fn sim_fault(
                 worker,
                 cone_ops: fc.ops.len() as u64,
                 ops_evaluated,
-                ops_skipped: compiled.num_ops() as u64 * words - ops_evaluated,
+                // Saturating: a drop mid-group can leave evaluated-but-
+                // unclassified sub-batches out of `words`.
+                ops_skipped: (compiled.num_ops() as u64 * words).saturating_sub(ops_evaluated),
                 frontier_died_at_level: died_min,
             });
         }
@@ -708,12 +867,215 @@ fn sim_fault(
         });
     }
     Some(SimOutcome {
-        report: PairReport {
+        reports: vec![PairReport {
             detected_pairs: detected,
             violation_pairs: violations,
             observable,
             dropped,
-        },
+        }],
+        pairs,
+        words,
+        eval_micros,
+        events,
+    })
+}
+
+/// Simulates one fault-packed chunk: up to 63 faults broadcast into the bit
+/// lanes of every pattern sub-word (lane 0 golden), swept across every
+/// canonical pair — `63 faults × W patterns` cells per wide sweep over the
+/// full schedule.
+///
+/// Classification compares each fault lane against the in-word golden lane
+/// (`sg = -(out & 1)`, the golden bit splatted across the word). Per-fault
+/// accounting matches the unpacked sweep bit for bit: pairs count per
+/// (fault, pair) cell; under fault dropping a fault stops counting at the
+/// end of its first detecting 64-pair batch (its lane retires from the live
+/// mask at the next batch boundary), and the sweep exits early once every
+/// lane has retired. Returns `None` if the token cancelled mid-chunk (the
+/// chunk's partial work is discarded).
+#[allow(clippy::too_many_arguments)]
+fn sim_fault_chunk<const W: usize>(
+    compiled: &CompiledCircuit,
+    sweep: &Sweep<W>,
+    config: &EngineConfig,
+    faults: &[Override],
+    first: usize,
+    worker: usize,
+    record: bool,
+    cancel: Option<&CancelToken>,
+) -> Option<SimOutcome> {
+    let sweep_t = Instant::now();
+    let nf = faults.len();
+    debug_assert!((1..=63).contains(&nf));
+    let total_pairs = 1u32 << (sweep.n_inputs - 1);
+    let refs: Vec<&[Override]> = faults.iter().map(std::slice::from_ref).collect();
+    let plan: LanePlan<W> = LanePlan::build_broadcast(compiled, &refs);
+    let mut ev = WideEvaluator::<W>::with_aux(compiled, plan.aux.len());
+    for &(slot, mask, value) in &plan.stems {
+        ev.add_masked_stem(compiled, slot as usize, mask, value);
+    }
+    for &(flat, slot) in &plan.fanin_patches {
+        ev.patch_fanin(flat as usize, slot);
+    }
+    // Fault `i` lives on bit `i + 1`; bit 0 is the golden lane.
+    let all_lanes: u64 = (u64::MAX >> (63 - nf)) & !1;
+    let mut detected: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    let mut violations: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    let mut observable = vec![false; nf];
+    // First pattern index *not* counted for fault `i` under dropping: the
+    // end of its first detecting 64-pair batch. `u32::MAX` = never detected.
+    let mut limit = vec![u32::MAX; nf];
+    let mut live = all_lanes;
+    let mut events = Vec::new();
+    if record {
+        for i in 0..nf {
+            events.push(CampaignEvent::FaultStart {
+                fault: first + i,
+                worker,
+            });
+        }
+    }
+    let mut inputs1 = vec![Word::<W>::ZERO; sweep.n_inputs];
+    let mut inputs2 = vec![Word::<W>::ZERO; sweep.n_inputs];
+    let mut out1 = vec![Word::<W>::ZERO; sweep.n_outputs];
+    let mut words = 0u64;
+    let mut p0 = 0u32;
+    'sweep: while p0 < total_pairs {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
+        let real = ((total_pairs - p0) as usize).min(W);
+        // Sub-word s carries canonical pattern p0 + s, splatted across its
+        // 64 lanes (padding sub-words repeat the last real pattern).
+        for i in 0..sweep.n_inputs {
+            let w = Word::from_fn(|s| {
+                let p = p0 + s.min(real - 1) as u32;
+                0u64.wrapping_sub(u64::from((p >> i) & 1))
+            });
+            inputs1[i] = w;
+            inputs2[i] = !w;
+        }
+        ev.eval_packed_w(compiled, &inputs1, &[], &plan.aux);
+        for (k, o) in out1.iter_mut().enumerate() {
+            *o = ev.output_w(compiled, k);
+        }
+        ev.eval_packed_w(compiled, &inputs2, &[], &plan.aux);
+        words += 2 * real as u64;
+        for s in 0..real {
+            let p = p0 + s as u32;
+            if config.drop_after_detection && p % 64 == 0 {
+                // Batch boundary: retire every lane whose fault finished its
+                // detecting batch; exit once the whole chunk has retired.
+                for (i, &l) in limit.iter().enumerate() {
+                    if l <= p {
+                        live &= !(1u64 << (i + 1));
+                    }
+                }
+                if live == 0 {
+                    break 'sweep;
+                }
+            }
+            let mut det = 0u64;
+            let mut wrong = 0u64;
+            let mut diff = 0u64;
+            for (k, o1w) in out1.iter().enumerate() {
+                let o1 = o1w.sub(s);
+                let o2 = ev.output_w(compiled, k).sub(s);
+                let sg1 = 0u64.wrapping_sub(o1 & 1);
+                let sg2 = 0u64.wrapping_sub(o2 & 1);
+                let alt = o1 ^ o2;
+                det |= !alt;
+                wrong |= alt & (o1 ^ sg1);
+                diff |= (o1 ^ sg1) | (o2 ^ sg2);
+            }
+            det &= live;
+            let viol = wrong & !det & live;
+            diff &= live;
+            let mut bits = det;
+            while bits != 0 {
+                let f = bits.trailing_zeros() as usize - 1;
+                detected[f].push(p);
+                if limit[f] == u32::MAX {
+                    limit[f] = (p / 64 + 1) * 64;
+                }
+                bits &= bits - 1;
+            }
+            bits = viol;
+            while bits != 0 {
+                violations[bits.trailing_zeros() as usize - 1].push(p);
+                bits &= bits - 1;
+            }
+            bits = diff;
+            while bits != 0 {
+                observable[bits.trailing_zeros() as usize - 1] = true;
+                bits &= bits - 1;
+            }
+        }
+        p0 += real as u32;
+    }
+    let eval_micros = duration_micros(sweep_t.elapsed());
+    if record {
+        events.push(CampaignEvent::LaneBatch {
+            batch: first / 63,
+            worker,
+            lanes: nf,
+            words,
+            retired: limit.iter().filter(|&&l| l != u32::MAX).count(),
+        });
+    }
+    let mut reports = Vec::with_capacity(nf);
+    let mut pairs = 0u64;
+    for (f, ((det_pairs, viol_pairs), obs_f)) in detected
+        .into_iter()
+        .zip(violations)
+        .zip(observable)
+        .enumerate()
+    {
+        let fault_dropped = config.drop_after_detection && limit[f] < total_pairs;
+        let fault_pairs = if fault_dropped {
+            u64::from(limit[f])
+        } else {
+            u64::from(total_pairs)
+        };
+        pairs += fault_pairs;
+        if record {
+            if fault_dropped {
+                events.push(CampaignEvent::FaultDropped {
+                    fault: first + f,
+                    worker,
+                    batch: (limit[f] / 64 - 1) as usize,
+                });
+            }
+            events.push(CampaignEvent::FaultFinish {
+                fault: first + f,
+                worker,
+                detected: det_pairs.len(),
+                violations: viol_pairs.len(),
+                observable: obs_f,
+                dropped: fault_dropped,
+                pairs: fault_pairs,
+                first_detected: det_pairs.first().copied(),
+            });
+        }
+        reports.push(PairReport {
+            detected_pairs: det_pairs,
+            violation_pairs: viol_pairs,
+            observable: obs_f,
+            dropped: fault_dropped,
+        });
+    }
+    if record {
+        // One aggregated span per chunk: its whole 2-D sweep.
+        events.push(CampaignEvent::Span {
+            name: "eval_batch",
+            parent: "fault_sim",
+            micros: eval_micros,
+            count: words / 2,
+            items: pairs,
+        });
+    }
+    Some(SimOutcome {
+        reports,
         pairs,
         words,
         eval_micros,
@@ -761,11 +1123,30 @@ pub fn run_pair_campaign(
 /// # Errors
 ///
 /// [`EngineError::Sequential`] for sequential circuits,
-/// [`EngineError::UnsupportedInputs`] outside `1..=24` inputs, compile
-/// errors from [`CompiledCircuit::try_compile`], and
-/// [`EngineError::NotAlternating`] if a fault-free output fails to
-/// alternate.
+/// [`EngineError::UnsupportedInputs`] outside `1..=24` inputs,
+/// [`EngineError::InvalidConfig`] for an unusable word width (including an
+/// unparsable `SCAL_WORD_WIDTH` environment override), compile errors from
+/// [`CompiledCircuit::try_compile`], and [`EngineError::NotAlternating`] if
+/// a fault-free output fails to alternate.
 pub fn try_run_pair_campaign(
+    circuit: &Circuit,
+    faults: &[Override],
+    config: &EngineConfig,
+    observer: &dyn CampaignObserver,
+    cancel: Option<&CancelToken>,
+) -> Result<PairCampaign, EngineError> {
+    match resolve_word_width(config.word_width)? {
+        1 => run_campaign::<1>(circuit, faults, config, observer, cancel),
+        4 => run_campaign::<4>(circuit, faults, config, observer, cancel),
+        8 => run_campaign::<8>(circuit, faults, config, observer, cancel),
+        other => Err(EngineError::InvalidConfig {
+            reason: format!("unsupported word width {other}"),
+        }),
+    }
+}
+
+/// The width-monomorphized campaign body behind [`try_run_pair_campaign`].
+fn run_campaign<const W: usize>(
     circuit: &Circuit,
     faults: &[Override],
     config: &EngineConfig,
@@ -781,7 +1162,14 @@ pub fn try_run_pair_campaign(
     }
 
     let total_t = Instant::now();
-    let threads = effective_threads(config.threads, faults.len());
+    // Work units: one fault on the pattern-major path, one ≤63-fault chunk
+    // under fault packing.
+    let units = if config.fault_packing {
+        faults.len().div_ceil(63)
+    } else {
+        faults.len()
+    };
+    let threads = effective_threads(config.threads, units);
     let obs = observer.enabled();
     if obs {
         observer.on_event(&CampaignEvent::CampaignStart {
@@ -792,7 +1180,25 @@ pub fn try_run_pair_campaign(
             threads,
         });
         observer.on_event(&CampaignEvent::EvalMode {
-            mode: config.eval_mode.name(),
+            // Fault packing forces full-schedule evaluation: cone
+            // restriction does not compose with 63 distinct fanout cones
+            // per word.
+            mode: if config.fault_packing {
+                EvalMode::Full.name()
+            } else {
+                config.eval_mode.name()
+            },
+        });
+        let (fault_lanes, pattern_lanes, packing) = if config.fault_packing {
+            (63, W, "fault")
+        } else {
+            (0, 64 * W, "pattern")
+        };
+        observer.on_event(&CampaignEvent::LaneGeometry {
+            width: W,
+            fault_lanes,
+            pattern_lanes,
+            packing,
         });
     }
 
@@ -845,16 +1251,20 @@ pub fn try_run_pair_campaign(
             phase: Phase::Golden,
         });
     }
-    let cache_bytes = match config.eval_mode {
-        EvalMode::Full => None,
-        EvalMode::Cone => Some(if config.golden_cache_bytes == 0 {
-            DEFAULT_GOLDEN_CACHE_BYTES
-        } else {
-            config.golden_cache_bytes
-        }),
+    let cache_bytes = if config.fault_packing {
+        None
+    } else {
+        match config.eval_mode {
+            EvalMode::Full => None,
+            EvalMode::Cone => Some(if config.golden_cache_bytes == 0 {
+                DEFAULT_GOLDEN_CACHE_BYTES
+            } else {
+                config.golden_cache_bytes
+            }),
+        }
     };
-    let mut golden_ev = Evaluator::new(&compiled);
-    let (sweep, golden_words) = Sweep::try_build(&compiled, &mut golden_ev, cache_bytes)?;
+    let mut golden_ev = WideEvaluator::<W>::new(&compiled);
+    let (sweep, golden_words) = Sweep::<W>::try_build(&compiled, &mut golden_ev, cache_bytes)?;
     stats.golden_time = t.elapsed();
     stats.words_evaluated = golden_words;
     if obs {
@@ -870,9 +1280,84 @@ pub fn try_run_pair_campaign(
             phase: Phase::FaultSim,
         });
     }
-    let mut slots: Vec<Option<SimOutcome>> = Vec::with_capacity(faults.len());
-    slots.resize_with(faults.len(), || None);
-    if threads <= 1 {
+    let mut slots: Vec<Option<SimOutcome>> = Vec::with_capacity(units);
+    slots.resize_with(units, || None);
+    if config.fault_packing {
+        if threads <= 1 {
+            for (c, slot) in slots.iter_mut().enumerate() {
+                let (lo, hi) = (c * 63, ((c + 1) * 63).min(faults.len()));
+                let Some(outcome) = sim_fault_chunk::<W>(
+                    &compiled,
+                    &sweep,
+                    config,
+                    &faults[lo..hi],
+                    lo,
+                    0,
+                    obs,
+                    cancel,
+                ) else {
+                    break;
+                };
+                *slot = Some(outcome);
+                if obs {
+                    observer.on_event(&CampaignEvent::Progress {
+                        done: hi,
+                        total: faults.len(),
+                    });
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let (compiled, sweep, config) = (&compiled, &sweep, config);
+                        let (cursor, done) = (&cursor, &done);
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                if cancel.is_some_and(CancelToken::is_cancelled) {
+                                    break;
+                                }
+                                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                                if c >= units {
+                                    break;
+                                }
+                                let (lo, hi) = (c * 63, ((c + 1) * 63).min(faults.len()));
+                                let Some(outcome) = sim_fault_chunk::<W>(
+                                    compiled,
+                                    sweep,
+                                    config,
+                                    &faults[lo..hi],
+                                    lo,
+                                    worker,
+                                    obs,
+                                    cancel,
+                                ) else {
+                                    break;
+                                };
+                                local.push((c, outcome));
+                                if obs {
+                                    observer.on_event(&CampaignEvent::Progress {
+                                        done: done.fetch_add(hi - lo, Ordering::Relaxed)
+                                            + (hi - lo),
+                                        total: faults.len(),
+                                    });
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (c, outcome) in h.join().expect("campaign worker panicked") {
+                        slots[c] = Some(outcome);
+                    }
+                }
+            });
+        }
+    } else if threads <= 1 {
         // Reuse the warm golden evaluator's scratch.
         let mut ws = WorkerState::with_evaluator(golden_ev, &compiled, &sweep, config);
         for (i, &fault) in faults.iter().enumerate() {
@@ -949,24 +1434,23 @@ pub fn try_run_pair_campaign(
             phase: Phase::Merge,
         });
     }
-    let completed = slots.iter().take_while(|s| s.is_some()).count();
-    let cancelled = completed < faults.len();
-    let mut reports = Vec::with_capacity(completed);
-    for slot in slots.into_iter().take(completed) {
+    let completed_units = slots.iter().take_while(|s| s.is_some()).count();
+    let mut reports = Vec::with_capacity(faults.len());
+    for slot in slots.into_iter().take(completed_units) {
         let outcome = slot.expect("prefix is complete");
         stats.pairs_evaluated += outcome.pairs;
         stats.words_evaluated += outcome.words;
         stats.eval_time += Duration::from_micros(outcome.eval_micros);
-        if outcome.report.dropped {
-            stats.faults_dropped += 1;
-        }
+        stats.faults_dropped += outcome.reports.iter().filter(|r| r.dropped).count();
         if obs {
             for e in &outcome.events {
                 observer.on_event(e);
             }
         }
-        reports.push(outcome.report);
+        reports.extend(outcome.reports);
     }
+    let completed = reports.len();
+    let cancelled = completed < faults.len();
     stats.faults = completed;
     if obs {
         observer.on_event(&CampaignEvent::PhaseEnd {
@@ -1038,15 +1522,47 @@ mod tests {
         }
     }
 
-    #[test]
-    fn drop_mode_flags_and_counts() {
-        // 9 inputs (odd, so XOR is self-dual) -> 256 canonical pairs = four
-        // batches; XOR cone faults detect in batch 0, so drop mode skips the
-        // rest.
+    /// 9 inputs (odd, so XOR is self-dual) -> 256 canonical pairs = four
+    /// 64-pair batches.
+    fn xor9() -> Circuit {
         let mut c = Circuit::new();
         let ins: Vec<_> = (0..9).map(|i| c.input(format!("x{i}"))).collect();
         let x = c.xor(&ins);
         c.mark_output("p", x);
+        c
+    }
+
+    /// 11 inputs -> 1024 canonical pairs = 16 batches: several wide groups
+    /// even at `W = 8`.
+    fn xor11() -> Circuit {
+        let mut c = Circuit::new();
+        let ins: Vec<_> = (0..11).map(|i| c.input(format!("x{i}"))).collect();
+        let x = c.xor(&ins);
+        c.mark_output("p", x);
+        c
+    }
+
+    /// Observer that cancels its token once `done` reaches `after`.
+    struct CancelAfter {
+        token: CancelToken,
+        after: usize,
+    }
+
+    impl CampaignObserver for CancelAfter {
+        fn on_event(&self, event: &CampaignEvent) {
+            if let CampaignEvent::Progress { done, .. } = event {
+                if *done >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_mode_flags_and_counts() {
+        // XOR cone faults detect in batch 0, so drop mode skips the rest.
+        let c = xor9();
+        let x = c.outputs()[0].node;
         let faults = vec![Override {
             site: Site::Stem(x),
             value: false,
@@ -1461,19 +1977,6 @@ mod tests {
         let (full, _) = run_pair_campaign(&c, &faults, &EngineConfig::default());
         // Cancel from an observer after the third fault completes: the
         // returned prefix must match the uncancelled run exactly.
-        struct CancelAfter {
-            token: CancelToken,
-            after: usize,
-        }
-        impl CampaignObserver for CancelAfter {
-            fn on_event(&self, event: &CampaignEvent) {
-                if let CampaignEvent::Progress { done, .. } = event {
-                    if *done >= self.after {
-                        self.token.cancel();
-                    }
-                }
-            }
-        }
         let token = CancelToken::new();
         let obs = CancelAfter {
             token: token.clone(),
@@ -1488,5 +1991,248 @@ mod tests {
         assert_eq!(run.reports.len(), 3);
         assert_eq!(run.stats.faults, 3);
         assert_eq!(&run.reports[..], &full[..3]);
+    }
+
+    /// Every word width must be bit-identical to `W = 1` on reports and
+    /// work counters, across eval modes and drop settings — single-batch
+    /// circuits, a 4-batch circuit (padding at `W = 8`), and a 16-batch
+    /// circuit (several wide groups per fault).
+    #[test]
+    fn wide_widths_match_scalar_reports() {
+        for circuit in [xor3(), full_adder(), xor9(), xor11()] {
+            let faults = all_faults(&circuit);
+            for eval_mode in [EvalMode::Full, EvalMode::Cone] {
+                for drop_after_detection in [false, true] {
+                    let base = run_pair_campaign(
+                        &circuit,
+                        &faults,
+                        &EngineConfig {
+                            word_width: 1,
+                            eval_mode,
+                            drop_after_detection,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    for width in [4, 8] {
+                        let wide = run_pair_campaign(
+                            &circuit,
+                            &faults,
+                            &EngineConfig {
+                                word_width: width,
+                                eval_mode,
+                                drop_after_detection,
+                                ..EngineConfig::default()
+                            },
+                        );
+                        assert_eq!(base.0, wide.0, "width {width} mode {eval_mode}");
+                        assert_eq!(base.1.pairs_evaluated, wide.1.pairs_evaluated);
+                        assert_eq!(base.1.words_evaluated, wide.1.words_evaluated);
+                        assert_eq!(base.1.faults_dropped, wide.1.faults_dropped);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fault-packed campaigns must reproduce the unpacked reports and pair
+    /// accounting exactly, at every width, with and without dropping, and
+    /// across multiple 63-fault chunks.
+    #[test]
+    fn fault_packed_matches_unpacked() {
+        let c = xor9();
+        let base_faults = all_faults(&c);
+        let faults: Vec<Override> = base_faults.iter().cycle().take(100).copied().collect();
+        for drop_after_detection in [false, true] {
+            let plain = run_pair_campaign(
+                &c,
+                &faults,
+                &EngineConfig {
+                    drop_after_detection,
+                    ..EngineConfig::default()
+                },
+            );
+            for width in [1, 8] {
+                let packed = run_pair_campaign(
+                    &c,
+                    &faults,
+                    &EngineConfig {
+                        fault_packing: true,
+                        word_width: width,
+                        drop_after_detection,
+                        ..EngineConfig::default()
+                    },
+                );
+                assert_eq!(
+                    plain.0, packed.0,
+                    "width {width} drop {drop_after_detection}"
+                );
+                assert_eq!(plain.1.pairs_evaluated, packed.1.pairs_evaluated);
+                assert_eq!(plain.1.faults_dropped, packed.1.faults_dropped);
+            }
+        }
+    }
+
+    /// Pins the 2-D throughput arithmetic: pairs count per (fault, pair)
+    /// cell, never per sweep, and retired lanes stop counting at the end of
+    /// their detecting batch.
+    #[test]
+    fn fault_packed_pairs_accounting_is_exact() {
+        let c = xor9();
+        // Four input-stem faults: each flips the XOR output in exactly one
+        // period of every pair, so each is detected at every pair and drops
+        // at the end of batch 0.
+        let faults = all_single_faults(&c)[..4].to_vec();
+        let exact = run_pair_campaign(
+            &c,
+            &faults,
+            &EngineConfig {
+                fault_packing: true,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(exact.1.pairs_evaluated, 4 * 256);
+        let dropped = run_pair_campaign(
+            &c,
+            &faults,
+            &EngineConfig {
+                fault_packing: true,
+                drop_after_detection: true,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(dropped.1.pairs_evaluated, 4 * 64);
+        assert_eq!(dropped.1.faults_dropped, 4);
+        let plain = run_pair_campaign(
+            &c,
+            &faults,
+            &EngineConfig {
+                drop_after_detection: true,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(plain.1.pairs_evaluated, dropped.1.pairs_evaluated);
+    }
+
+    #[test]
+    fn fault_packed_emits_lane_geometry_and_full_mode() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let collect = CollectObserver::default();
+        let cfg = EngineConfig {
+            threads: 1,
+            fault_packing: true,
+            word_width: 4,
+            ..EngineConfig::default()
+        };
+        let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
+        let events = collect.events();
+        assert!(
+            matches!(
+                events.get(1),
+                Some(CampaignEvent::EvalMode { mode: "full" })
+            ),
+            "fault packing forces full-schedule evaluation"
+        );
+        assert!(matches!(
+            events.get(2),
+            Some(CampaignEvent::LaneGeometry {
+                width: 4,
+                fault_lanes: 63,
+                pattern_lanes: 4,
+                packing: "fault",
+            })
+        ));
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, CampaignEvent::BatchDone { .. })),
+            "fault-packed sweeps report lane batches, not per-fault batches"
+        );
+        assert!(events.iter().any(
+            |e| matches!(e, CampaignEvent::LaneBatch { lanes, .. } if *lanes == faults.len())
+        ));
+        let finish: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::FaultFinish { fault, .. } => Some(*fault),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finish, (0..faults.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pattern_path_emits_lane_geometry() {
+        let c = xor3();
+        let faults = all_single_faults(&c);
+        let collect = CollectObserver::default();
+        let cfg = EngineConfig {
+            threads: 1,
+            word_width: 4,
+            ..EngineConfig::default()
+        };
+        let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
+        assert!(matches!(
+            collect.events().get(2),
+            Some(CampaignEvent::LaneGeometry {
+                width: 4,
+                fault_lanes: 0,
+                pattern_lanes: 256,
+                packing: "pattern",
+            })
+        ));
+    }
+
+    /// Cancellation under fault packing discards whole chunks: the returned
+    /// prefix is the completed chunks' faults, bit-identical to the same
+    /// prefix of an uncancelled run.
+    #[test]
+    fn fault_packed_cancel_returns_chunk_prefix() {
+        let c = xor9();
+        let faults: Vec<Override> = all_faults(&c).iter().cycle().take(150).copied().collect();
+        let full = run_pair_campaign(
+            &c,
+            &faults,
+            &EngineConfig {
+                fault_packing: true,
+                ..EngineConfig::default()
+            },
+        );
+        let token = CancelToken::new();
+        let obs = CancelAfter {
+            token: token.clone(),
+            after: 63,
+        };
+        let cfg = EngineConfig {
+            threads: 1,
+            fault_packing: true,
+            ..EngineConfig::default()
+        };
+        let run = try_run_pair_campaign(&c, &faults, &cfg, &obs, Some(&token)).unwrap();
+        assert!(run.cancelled);
+        assert_eq!(
+            run.reports.len(),
+            63,
+            "first chunk completed, second discarded"
+        );
+        assert_eq!(run.stats.faults, 63);
+        assert_eq!(&run.reports[..], &full.0[..63]);
+    }
+
+    #[test]
+    fn builder_validates_word_width() {
+        let cfg = EngineConfig::builder()
+            .word_width(8)
+            .fault_packing(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.word_width, 8);
+        assert!(cfg.fault_packing);
+        match EngineConfig::builder().word_width(3).build() {
+            Err(EngineError::InvalidConfig { reason }) => {
+                assert!(reason.contains("word width"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

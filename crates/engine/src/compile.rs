@@ -3,6 +3,7 @@
 //! evaluation ([`CompiledCircuit::cone_for`]).
 
 use crate::error::EngineError;
+use crate::word::Word;
 use scal_netlist::{Circuit, GateKind, NodeId, NodeView, Override, Site};
 use std::time::Instant;
 
@@ -560,12 +561,12 @@ pub(crate) struct FaultCone {
 
 /// One per-lane branch-fault injection of a packed fault batch.
 ///
-/// [`crate::Evaluator::eval_packed`] materializes auxiliary slot `slot` as
-/// `(slots[orig] & !mask) | (value & mask)` immediately before schedule
-/// position `op` (the consuming gate), so the faulted lanes read the stuck
-/// value while every other lane reads the original source word.
+/// [`crate::WideEvaluator::eval_packed_w`] materializes auxiliary slot
+/// `slot` as `(slots[orig] & !mask) | (value & mask)` immediately before
+/// schedule position `op` (the consuming gate), so the faulted lanes read
+/// the stuck value while every other lane reads the original source word.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct AuxInject {
+pub(crate) struct AuxInject<const W: usize> {
     /// Schedule position of the consuming op.
     pub(crate) op: u32,
     /// Auxiliary slot written (at or past the compiled slot range).
@@ -573,48 +574,108 @@ pub(crate) struct AuxInject {
     /// Original source slot of the faulted pin.
     pub(crate) orig: u32,
     /// Lane mask of the faulting lanes.
-    pub(crate) mask: u64,
+    pub(crate) mask: Word<W>,
     /// Forced value word, meaningful under `mask`.
-    pub(crate) value: u64,
+    pub(crate) value: Word<W>,
 }
 
-/// Per-lane injection plan for one packed fault batch: how a slice of up to
-/// 63 faults maps onto lanes `1..=63` of a single evaluator word (lane 0
-/// stays golden).
+/// Per-lane injection plan for one packed fault batch: how a slice of
+/// faults maps onto the fault lanes of a wide evaluator word (lane 0 of
+/// every sub-word stays golden).
+///
+/// Two lane geometries exist:
+///
+/// - [`LanePlan::build_spread`] *spreads* up to `63 × W` distinct faults
+///   across the sub-words — fault `i` occupies bit `1 + (i % 63)` of
+///   sub-word `i / 63`. Used by the packed sequential backend, where the
+///   flip-flop state is temporal and every sub-word must carry its own
+///   faults.
+/// - [`LanePlan::build_broadcast`] *broadcasts* up to 63 faults to the same
+///   bit lane of **every** sub-word — fault `i` occupies bit `i + 1` in all
+///   sub-words. Used by the combinational fault-packed pair path, where
+///   each sub-word then carries a different input pattern, evaluating
+///   `63 faults × W patterns` per sweep.
 ///
 /// Mirrors [`crate::Evaluator::try_install`] site semantics *per lane*:
 /// within one fault the first override for a site wins, and sites the
 /// circuit does not have are ignored. Different lanes faulting the same
 /// site merge into one masked entry.
-#[derive(Debug, Default)]
-pub(crate) struct LanePlan {
+#[derive(Debug)]
+pub(crate) struct LanePlan<const W: usize> {
     /// Masked stem forces `(slot, lane mask, value word)`.
-    pub(crate) stems: Vec<(u32, u64, u64)>,
+    pub(crate) stems: Vec<(u32, Word<W>, Word<W>)>,
     /// Masked D-input forces `(dff index, lane mask, value word)`, blended
     /// over the latched word at the end of every period.
-    pub(crate) dff_forces: Vec<(u32, u64, u64)>,
+    pub(crate) dff_forces: Vec<(u32, Word<W>, Word<W>)>,
     /// Branch injections, sorted by consuming-op schedule position.
-    pub(crate) aux: Vec<AuxInject>,
+    pub(crate) aux: Vec<AuxInject<W>>,
     /// Fanin redirections `(flat index, aux slot)` wiring each faulted pin
     /// to its auxiliary landing pad.
     pub(crate) fanin_patches: Vec<(u32, u32)>,
 }
 
-impl LanePlan {
-    /// Builds the plan for `faults`: at most 63 override sets, fault `i`
-    /// occupying lane `i + 1`.
+impl<const W: usize> Default for LanePlan<W> {
+    fn default() -> Self {
+        LanePlan {
+            stems: Vec::new(),
+            dff_forces: Vec::new(),
+            aux: Vec::new(),
+            fanin_patches: Vec::new(),
+        }
+    }
+}
+
+impl<const W: usize> LanePlan<W> {
+    /// Builds the spread-geometry plan: at most `63 × W` override sets,
+    /// fault `i` occupying bit `1 + (i % 63)` of sub-word `i / 63`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `63 × W` faults are given.
+    pub(crate) fn build_spread(compiled: &CompiledCircuit, faults: &[&[Override]]) -> LanePlan<W> {
+        assert!(
+            faults.len() <= 63 * W,
+            "a spread lane plan packs at most {} faults",
+            63 * W
+        );
+        Self::build_with(compiled, faults, |i| {
+            let mut lane = Word::ZERO;
+            lane.set_sub(i / 63, 1u64 << (1 + i % 63));
+            lane
+        })
+    }
+
+    /// Builds the broadcast-geometry plan: at most 63 override sets, fault
+    /// `i` occupying bit `i + 1` of **every** sub-word (each sub-word then
+    /// carries a distinct input pattern).
     ///
     /// # Panics
     ///
     /// Panics if more than 63 faults are given.
-    pub(crate) fn build(compiled: &CompiledCircuit, faults: &[&[Override]]) -> LanePlan {
-        assert!(faults.len() <= 63, "a lane plan packs at most 63 faults");
+    pub(crate) fn build_broadcast(
+        compiled: &CompiledCircuit,
+        faults: &[&[Override]],
+    ) -> LanePlan<W> {
+        assert!(
+            faults.len() <= 63,
+            "a broadcast lane plan packs at most 63 faults"
+        );
+        Self::build_with(compiled, faults, |i| Word::splat(1u64 << (i + 1)))
+    }
+
+    /// The shared plan builder: `lane_of(i)` yields fault `i`'s wide lane
+    /// mask (exactly the geometry difference between the constructors).
+    fn build_with(
+        compiled: &CompiledCircuit,
+        faults: &[&[Override]],
+        lane_of: impl Fn(usize) -> Word<W>,
+    ) -> LanePlan<W> {
         let mut plan = LanePlan::default();
         // flat pin index -> (consuming op, lane mask, value word).
-        let mut branches: std::collections::BTreeMap<u32, (u32, u64, u64)> =
+        let mut branches: std::collections::BTreeMap<u32, (u32, Word<W>, Word<W>)> =
             std::collections::BTreeMap::new();
         // dff index -> (lane mask, value word).
-        let mut dffs: std::collections::BTreeMap<u32, (u64, u64)> =
+        let mut dffs: std::collections::BTreeMap<u32, (Word<W>, Word<W>)> =
             std::collections::BTreeMap::new();
         // Claimed-site scratch, reused across faults: each set is tiny (one
         // entry per override of one fault), so linear scans beat hashing and
@@ -623,7 +684,7 @@ impl LanePlan {
         let mut dff_claimed: Vec<usize> = Vec::new();
         let mut flat_claimed: Vec<usize> = Vec::new();
         for (i, ovs) in faults.iter().enumerate() {
-            let lane = 1u64 << (i + 1);
+            let lane = lane_of(i);
             stem_claimed.clear();
             dff_claimed.clear();
             flat_claimed.clear();
@@ -635,14 +696,17 @@ impl LanePlan {
                             continue; // unknown node, or an earlier override won
                         }
                         stem_claimed.push(slot);
-                        plan.stems
-                            .push((slot as u32, lane, if o.value { lane } else { 0 }));
+                        plan.stems.push((
+                            slot as u32,
+                            lane,
+                            if o.value { lane } else { Word::ZERO },
+                        ));
                     }
                     Site::Branch { node, pin } => {
                         if let Some(d) = compiled.dff_position(node) {
                             if pin == 0 && !dff_claimed.contains(&d) {
                                 dff_claimed.push(d);
-                                let e = dffs.entry(d as u32).or_insert((0, 0));
+                                let e = dffs.entry(d as u32).or_insert((Word::ZERO, Word::ZERO));
                                 e.0 |= lane;
                                 if o.value {
                                     e.1 |= lane;
@@ -668,7 +732,11 @@ impl LanePlan {
                             continue;
                         }
                         flat_claimed.push(flat);
-                        let e = branches.entry(flat as u32).or_insert((op_idx as u32, 0, 0));
+                        let e = branches.entry(flat as u32).or_insert((
+                            op_idx as u32,
+                            Word::ZERO,
+                            Word::ZERO,
+                        ));
                         e.1 |= lane;
                         if o.value {
                             e.2 |= lane;
@@ -679,11 +747,11 @@ impl LanePlan {
         }
         // Assign auxiliary slots in consuming-op schedule order so the
         // packed sweep applies each injection with a single forward cursor.
-        let mut entries: Vec<(u32, u32, u64, u64)> = branches
+        let mut entries: Vec<(u32, u32, Word<W>, Word<W>)> = branches
             .into_iter()
             .map(|(flat, (op, mask, value))| (op, flat, mask, value))
             .collect();
-        entries.sort_unstable();
+        entries.sort_unstable_by_key(|&(op, flat, _, _)| (op, flat));
         for (k, (op, flat, mask, value)) in entries.into_iter().enumerate() {
             let slot = (compiled.num_slots + k) as u32;
             plan.aux.push(AuxInject {

@@ -1,53 +1,64 @@
 //! The per-thread evaluator: scratch state plus the packed evaluation loop.
+//!
+//! The evaluator is generic over the word width `W` ([`Word`]): one sweep
+//! evaluates `64 × W` lanes through the schedule. [`Evaluator`] is the
+//! scalar (`W = 1`) alias and keeps the original `u64`-based API; wide
+//! instantiations are driven by the campaign hot paths through the
+//! `*_w`-suffixed generic methods.
 
 use crate::compile::{AuxInject, CompiledCircuit, FaultCone, CONE_NONE, NO_OP};
 use crate::error::EngineError;
+use crate::word::Word;
 use scal_netlist::{GateKind, NodeId, Override, Site};
 
-/// Mutable evaluation state for one [`CompiledCircuit`].
+/// Mutable evaluation state for one [`CompiledCircuit`], generic over the
+/// word width `W` — see [`Evaluator`] for the scalar alias.
 ///
 /// Holds the dense slot array, a private copy of the fanin index array (so
 /// branch faults are installed by *patching an index* rather than checked per
-/// pin per sweep), and the dense stem-force table. One `Evaluator` is created
+/// pin per sweep), and the dense stem-force table. One evaluator is created
 /// per worker thread and reused across faults; evaluation performs no
 /// allocation.
 ///
-/// Overrides are installed with [`Evaluator::install`] and removed with
-/// [`Evaluator::uninstall`]; the old linear-scan semantics are preserved:
+/// Overrides are installed with [`WideEvaluator::install`] and removed with
+/// [`WideEvaluator::uninstall`]; the old linear-scan semantics are preserved:
 /// the first override for a given site wins, and overrides naming sites the
 /// circuit does not have (e.g. a branch pin on an input) are ignored.
 #[derive(Debug)]
-pub struct Evaluator {
-    /// One 64-lane word per slot.
-    slots: Vec<u64>,
+pub struct WideEvaluator<const W: usize> {
+    /// One `64 × W`-lane word per slot.
+    slots: Vec<Word<W>>,
     /// Patched copy of [`CompiledCircuit::fanins`].
     fanins: Vec<u32>,
     /// Patched copy of [`CompiledCircuit::dff_d_slots`].
     dff_d: Vec<u32>,
     /// Per slot: lane mask of forced lanes (`0` = free). Scalar installs
-    /// force all 64 lanes; the packed sequential backend forces single
-    /// lanes so different faults share one word.
-    force_mask: Vec<u64>,
+    /// force all lanes; the packed backends force single lanes so different
+    /// faults share one word.
+    force_mask: Vec<Word<W>>,
     /// Per slot: forced value word, meaningful under `force_mask`.
-    force_value: Vec<u64>,
+    force_value: Vec<Word<W>>,
     /// Installed stem forces `(slot, mask, value)` — the complete list,
     /// applied as `slot_word = (slot_word & !mask) | (value & mask)`. Full
-    /// sweeps only need the [`Evaluator::source_stems`] subset (gate slots
-    /// are re-forced by the force tables inside the op loop), but a cone
-    /// pass never runs the forced slot's producing op, so it must write
+    /// sweeps only need the [`WideEvaluator::source_stems`] subset (gate
+    /// slots are re-forced by the force tables inside the op loop), but a
+    /// cone pass never runs the forced slot's producing op, so it must write
     /// every stem directly.
-    stems: Vec<(u32, u64, u64)>,
-    /// The subset of [`Evaluator::stems`] on *source* slots (inputs,
+    stems: Vec<(u32, Word<W>, Word<W>)>,
+    /// The subset of [`WideEvaluator::stems`] on *source* slots (inputs,
     /// flip-flop outputs, constants) — the only ones a full sweep must
     /// re-apply at sweep start, since no op writes them.
-    source_stems: Vec<(u32, u64, u64)>,
+    source_stems: Vec<(u32, Word<W>, Word<W>)>,
     /// Installed fanin patches `(flat index, original slot)` for uninstall.
     fanin_patches: Vec<(usize, u32)>,
     /// Installed D-slot patches `(dff index, original slot)` for uninstall.
     dff_patches: Vec<(usize, u32)>,
 }
 
-impl Evaluator {
+/// The scalar (`W = 1`) evaluator — 64 lanes per sweep, `u64` word API.
+pub type Evaluator = WideEvaluator<1>;
+
+impl<const W: usize> WideEvaluator<W> {
     /// Creates scratch state for `compiled`.
     #[must_use]
     pub fn new(compiled: &CompiledCircuit) -> Self {
@@ -56,14 +67,14 @@ impl Evaluator {
 
     /// Creates scratch state with `extra` auxiliary slots appended past the
     /// compiled slot range — landing pads for the per-lane branch
-    /// injections of [`Evaluator::eval_packed`].
+    /// injections of [`WideEvaluator::eval_packed_w`].
     pub(crate) fn with_aux(compiled: &CompiledCircuit, extra: usize) -> Self {
-        Evaluator {
-            slots: vec![0; compiled.num_slots + extra],
+        WideEvaluator {
+            slots: vec![Word::ZERO; compiled.num_slots + extra],
             fanins: compiled.fanins.clone(),
             dff_d: compiled.dff_d_slots.clone(),
-            force_mask: vec![0; compiled.num_slots],
-            force_value: vec![0; compiled.num_slots],
+            force_mask: vec![Word::ZERO; compiled.num_slots],
+            force_value: vec![Word::ZERO; compiled.num_slots],
             stems: Vec::new(),
             source_stems: Vec::new(),
             fanin_patches: Vec::new(),
@@ -72,7 +83,8 @@ impl Evaluator {
     }
 
     /// Installs overrides (typically one stuck-at fault), panicking on
-    /// misuse. Call [`Evaluator::uninstall`] before installing the next set.
+    /// misuse. Call [`WideEvaluator::uninstall`] before installing the next
+    /// set.
     ///
     /// # Panics
     ///
@@ -84,7 +96,7 @@ impl Evaluator {
     }
 
     /// Installs overrides (typically one stuck-at fault). Call
-    /// [`Evaluator::uninstall`] before installing the next set.
+    /// [`WideEvaluator::uninstall`] before installing the next set.
     ///
     /// # Errors
     ///
@@ -103,11 +115,11 @@ impl Evaluator {
             match o.site {
                 Site::Stem(node) => {
                     let slot = node.index();
-                    if slot >= compiled.num_slots - 2 || self.force_mask[slot] != 0 {
+                    if slot >= compiled.num_slots - 2 || !self.force_mask[slot].is_zero() {
                         continue; // unknown node, or an earlier override won
                     }
-                    let word = if o.value { u64::MAX } else { 0 };
-                    self.add_masked_stem(compiled, slot, u64::MAX, word);
+                    let word = Word::splat_bool(o.value);
+                    self.add_masked_stem(compiled, slot, Word::ones(), word);
                 }
                 Site::Branch { node, pin } => {
                     if let Some(i) = compiled.dff_position(node) {
@@ -145,8 +157,8 @@ impl Evaluator {
     /// Removes all installed overrides, restoring fault-free evaluation.
     pub fn uninstall(&mut self) {
         for (slot, _, _) in self.stems.drain(..) {
-            self.force_mask[slot as usize] = 0;
-            self.force_value[slot as usize] = 0;
+            self.force_mask[slot as usize] = Word::ZERO;
+            self.force_value[slot as usize] = Word::ZERO;
         }
         self.source_stems.clear();
         for (flat, original) in self.fanin_patches.drain(..) {
@@ -157,6 +169,261 @@ impl Evaluator {
         }
     }
 
+    /// The shared sweep body: loads sources through the access closures,
+    /// applies source stems, then runs the op schedule with the force
+    /// tables. Arity is the callers' responsibility.
+    #[inline]
+    fn eval_impl(
+        &mut self,
+        compiled: &CompiledCircuit,
+        input_at: impl Fn(usize) -> Word<W>,
+        state_at: impl Fn(usize) -> Word<W>,
+    ) {
+        let slots = &mut self.slots;
+        slots[compiled.zero_slot as usize] = Word::ZERO;
+        slots[compiled.one_slot as usize] = Word::ones();
+        for (i, &s) in compiled.input_slots.iter().enumerate() {
+            slots[s as usize] = input_at(i);
+        }
+        for (i, &s) in compiled.dff_slots.iter().enumerate() {
+            slots[s as usize] = state_at(i);
+        }
+        for &(s, v) in &compiled.const_slots {
+            slots[s as usize] = Word::splat_bool(v);
+        }
+        // Stem faults on source slots (inputs, flip-flop outputs, constants);
+        // gate-slot stems are re-forced by the op loop below.
+        for &(s, m, w) in &self.source_stems {
+            let slot = &mut slots[s as usize];
+            *slot = slot.blend(w, m);
+        }
+        for op in &compiled.ops {
+            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = eval_op(slots, fan, op.kind);
+            let out = op.out as usize;
+            slots[out] = v.blend(self.force_value[out], self.force_mask[out]);
+        }
+    }
+
+    /// Runs one wide combinational sweep: `64 × W` independent patterns per
+    /// call, one [`Word`] per primary input / flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ArityMismatch`] if `inputs` or `state` is
+    /// mis-sized for `compiled`.
+    pub fn try_eval_w(
+        &mut self,
+        compiled: &CompiledCircuit,
+        inputs: &[Word<W>],
+        state: &[Word<W>],
+    ) -> Result<(), EngineError> {
+        if inputs.len() != compiled.num_inputs() {
+            return Err(EngineError::ArityMismatch {
+                what: "input",
+                expected: compiled.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        if state.len() != compiled.num_dffs() {
+            return Err(EngineError::ArityMismatch {
+                what: "state",
+                expected: compiled.num_dffs(),
+                got: state.len(),
+            });
+        }
+        self.eval_impl(compiled, |i| inputs[i], |i| state[i]);
+        Ok(())
+    }
+
+    /// Runs one cone-restricted wide sweep: only the ops in `cone` are
+    /// evaluated, with every out-of-cone value read through `golden_at` (the
+    /// cached fault-free slot words for the same input batch, indexed by
+    /// slot). Returns the number of cone ops actually evaluated — the
+    /// readability horizon: a slot produced at cone ordinal `j` holds the
+    /// faulty value iff `j < returned count` (seeds marked
+    /// [`crate::compile::CONE_SEED`] are always readable).
+    ///
+    /// `state_seeds` injects faulty flip-flop state `(slot, word)` on top of
+    /// the golden state (sequential cone stepping); pair campaigns pass `&[]`.
+    /// `mask` selects the valid lanes for dirtiness checks per sub-word;
+    /// `expire` is a caller-owned all-zero scratch of at least
+    /// `cone.ops.len()` words, and is returned all-zero.
+    ///
+    /// The frontier-death exit: cone ops are sorted by (level, index), so
+    /// every cone reader of an op sits at a later ordinal. Each dirty value
+    /// increments a live counter until its last reading ordinal; when the
+    /// counter hits zero every remaining op reads only golden-identical
+    /// values, so all downstream slots — outputs and D inputs included —
+    /// already hold their golden words and the sweep can stop. A wide word
+    /// is dirty while *any* valid sub-word lane differs from golden.
+    pub(crate) fn eval_cone_w(
+        &mut self,
+        compiled: &CompiledCircuit,
+        cone: &FaultCone,
+        golden_at: impl Fn(usize) -> Word<W>,
+        state_seeds: &[(u32, Word<W>)],
+        mask: Word<W>,
+        expire: &mut [u64],
+    ) -> u32 {
+        let WideEvaluator {
+            slots,
+            fanins,
+            force_mask,
+            force_value,
+            stems,
+            ..
+        } = self;
+        slots[compiled.zero_slot as usize] = Word::ZERO;
+        slots[compiled.one_slot as usize] = Word::ones();
+        for &(s, w) in state_seeds {
+            slots[s as usize] = w;
+        }
+        for &(s, m, w) in stems.iter() {
+            let slot = &mut slots[s as usize];
+            *slot = slot.blend(w, m);
+        }
+        let mut live: u64 = 0;
+        for &(s, lr) in &cone.seeds {
+            if lr != CONE_NONE && !((slots[s as usize] ^ golden_at(s as usize)) & mask).is_zero() {
+                live += 1;
+                expire[lr as usize] += 1;
+            }
+        }
+        // Fault-rooted ops (patched branch pins) are dirty a priori: keep
+        // the loop alive at least until each has run, whatever the seeds do.
+        for &j in &cone.roots {
+            live += 1;
+            expire[j as usize] += 1;
+        }
+        let mut evaluated = 0u32;
+        if live > 0 {
+            for &s in &cone.support {
+                slots[s as usize] = golden_at(s as usize);
+            }
+        }
+        for (j, &op_idx) in cone.ops.iter().enumerate() {
+            if live == 0 {
+                break;
+            }
+            let op = &compiled.ops[op_idx as usize];
+            let fan = &fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = eval_op(slots, fan, op.kind);
+            let out = op.out as usize;
+            let w = v.blend(force_value[out], force_mask[out]);
+            slots[out] = w;
+            evaluated += 1;
+            let lr = cone.op_last_read[j];
+            if lr != CONE_NONE && !((w ^ golden_at(out)) & mask).is_zero() {
+                live += 1;
+                expire[lr as usize] += 1;
+            }
+            live -= expire[j];
+            expire[j] = 0;
+        }
+        evaluated
+    }
+
+    /// Installs a masked stem force: the lanes in `mask` read `value` on
+    /// `slot` every sweep — the packed backends' per-lane generalization of
+    /// the all-lane stem force installed by [`WideEvaluator::try_install`].
+    /// Removed by [`WideEvaluator::uninstall`].
+    pub(crate) fn add_masked_stem(
+        &mut self,
+        compiled: &CompiledCircuit,
+        slot: usize,
+        mask: Word<W>,
+        value: Word<W>,
+    ) {
+        self.force_mask[slot] |= mask;
+        self.force_value[slot] = self.force_value[slot].blend(value, mask);
+        self.stems.push((slot as u32, mask, value & mask));
+        // Gate slots are re-forced by the op loop's force tables; only
+        // source slots need the sweep-start pass.
+        if compiled.op_of_node.get(slot).copied().unwrap_or(NO_OP) == NO_OP {
+            self.source_stems.push((slot as u32, mask, value & mask));
+        }
+    }
+
+    /// Redirects flat fanin index `flat` to read `slot` — auxiliary landing
+    /// pads for per-lane branch injections. Restored by
+    /// [`WideEvaluator::uninstall`].
+    pub(crate) fn patch_fanin(&mut self, flat: usize, slot: u32) {
+        self.fanin_patches.push((flat, self.fanins[flat]));
+        self.fanins[flat] = slot;
+    }
+
+    /// One packed sweep for the fault-per-lane backends: like
+    /// [`WideEvaluator::try_eval_w`] but with mid-sweep auxiliary
+    /// injections. Each [`AuxInject`] materializes, immediately before its
+    /// consuming op runs, an auxiliary slot holding the faulted lanes' stuck
+    /// value blended over the original source word — per-lane branch faults
+    /// without disturbing the other lanes sharing the fanin index. `aux`
+    /// must be sorted by consuming-op schedule position (as
+    /// [`crate::compile::LanePlan`] builds it).
+    pub(crate) fn eval_packed_w(
+        &mut self,
+        compiled: &CompiledCircuit,
+        inputs: &[Word<W>],
+        state: &[Word<W>],
+        aux: &[AuxInject<W>],
+    ) {
+        debug_assert_eq!(inputs.len(), compiled.num_inputs());
+        debug_assert_eq!(state.len(), compiled.num_dffs());
+        let slots = &mut self.slots;
+        slots[compiled.zero_slot as usize] = Word::ZERO;
+        slots[compiled.one_slot as usize] = Word::ones();
+        for (i, &s) in compiled.input_slots.iter().enumerate() {
+            slots[s as usize] = inputs[i];
+        }
+        for (i, &s) in compiled.dff_slots.iter().enumerate() {
+            slots[s as usize] = state[i];
+        }
+        for &(s, v) in &compiled.const_slots {
+            slots[s as usize] = Word::splat_bool(v);
+        }
+        for &(s, m, w) in &self.source_stems {
+            let slot = &mut slots[s as usize];
+            *slot = slot.blend(w, m);
+        }
+        let mut cursor = 0usize;
+        for (j, op) in compiled.ops.iter().enumerate() {
+            while let Some(a) = aux.get(cursor).filter(|a| a.op as usize == j) {
+                slots[a.slot as usize] = slots[a.orig as usize].blend(a.value, a.mask);
+                cursor += 1;
+            }
+            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
+            let v = eval_op(slots, fan, op.kind);
+            let out = op.out as usize;
+            slots[out] = v.blend(self.force_value[out], self.force_mask[out]);
+        }
+        debug_assert_eq!(cursor, aux.len(), "aux injections must all be consumed");
+    }
+
+    /// The full wide slot array after the last sweep (golden-state caching).
+    pub(crate) fn slots_w(&self) -> &[Word<W>] {
+        &self.slots
+    }
+
+    /// Wide word of primary output `k` after the last sweep.
+    #[must_use]
+    pub fn output_w(&self, compiled: &CompiledCircuit, k: usize) -> Word<W> {
+        self.slots[compiled.output_slots[k] as usize]
+    }
+
+    /// Wide next-state word of flip-flop `i` (its possibly-faulted D value)
+    /// after the last sweep.
+    #[must_use]
+    pub fn next_state_w(&self, compiled: &CompiledCircuit, i: usize) -> Word<W> {
+        let _ = compiled;
+        self.slots[self.dff_d[i] as usize]
+    }
+}
+
+/// The scalar-width API: `u64` words, one 64-lane sub-word per slot. These
+/// are the historical entry points; everything below delegates to the
+/// generic wide implementations with `W = 1`.
+impl Evaluator {
     /// Runs one combinational sweep, panicking on arity mismatch.
     ///
     /// # Panics
@@ -199,53 +466,16 @@ impl Evaluator {
                 got: state.len(),
             });
         }
-        let slots = &mut self.slots;
-        slots[compiled.zero_slot as usize] = 0;
-        slots[compiled.one_slot as usize] = u64::MAX;
-        for (i, &s) in compiled.input_slots.iter().enumerate() {
-            slots[s as usize] = inputs[i];
-        }
-        for (i, &s) in compiled.dff_slots.iter().enumerate() {
-            slots[s as usize] = state[i];
-        }
-        for &(s, v) in &compiled.const_slots {
-            slots[s as usize] = if v { u64::MAX } else { 0 };
-        }
-        // Stem faults on source slots (inputs, flip-flop outputs, constants);
-        // gate-slot stems are re-forced by the op loop below.
-        for &(s, m, w) in &self.source_stems {
-            let slot = &mut slots[s as usize];
-            *slot = (*slot & !m) | (w & m);
-        }
-        for op in &compiled.ops {
-            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
-            let v = eval_op(slots, fan, op.kind);
-            let out = op.out as usize;
-            let m = self.force_mask[out];
-            slots[out] = (v & !m) | (self.force_value[out] & m);
-        }
+        self.eval_impl(
+            compiled,
+            |i| Word::from_u64(inputs[i]),
+            |i| Word::from_u64(state[i]),
+        );
         Ok(())
     }
 
-    /// Runs one cone-restricted sweep: only the ops in `cone` are evaluated,
-    /// with every out-of-cone value read from `golden` (the cached fault-free
-    /// slot words for the same input batch). Returns the number of cone ops
-    /// actually evaluated — the readability horizon: a slot produced at cone
-    /// ordinal `j` holds the faulty value iff `j < returned count` (seeds
-    /// marked [`crate::compile::CONE_SEED`] are always readable).
-    ///
-    /// `state_seeds` injects faulty flip-flop state `(slot, word)` on top of
-    /// the golden state (sequential cone stepping); pair campaigns pass `&[]`.
-    /// `mask` selects the valid lanes for dirtiness checks; `expire` is a
-    /// caller-owned all-zero scratch of at least `cone.ops.len()` words, and
-    /// is returned all-zero.
-    ///
-    /// The frontier-death exit: cone ops are sorted by (level, index), so
-    /// every cone reader of an op sits at a later ordinal. Each dirty value
-    /// increments a live counter until its last reading ordinal; when the
-    /// counter hits zero every remaining op reads only golden-identical
-    /// values, so all downstream slots — outputs and D inputs included —
-    /// already hold their golden words and the sweep can stop.
+    /// Scalar cone-restricted sweep over a `&[u64]` golden slot array — see
+    /// [`WideEvaluator::eval_cone_w`] for the semantics.
     pub(crate) fn eval_cone(
         &mut self,
         compiled: &CompiledCircuit,
@@ -255,186 +485,60 @@ impl Evaluator {
         mask: u64,
         expire: &mut [u64],
     ) -> u32 {
-        let Evaluator {
-            slots,
-            fanins,
-            force_mask,
-            force_value,
-            stems,
-            ..
-        } = self;
-        slots[compiled.zero_slot as usize] = 0;
-        slots[compiled.one_slot as usize] = u64::MAX;
-        for &(s, w) in state_seeds {
-            slots[s as usize] = w;
-        }
-        for &(s, m, w) in stems.iter() {
-            let slot = &mut slots[s as usize];
-            *slot = (*slot & !m) | (w & m);
-        }
-        let mut live: u64 = 0;
-        for &(s, lr) in &cone.seeds {
-            if lr != CONE_NONE && (slots[s as usize] ^ golden[s as usize]) & mask != 0 {
-                live += 1;
-                expire[lr as usize] += 1;
-            }
-        }
-        // Fault-rooted ops (patched branch pins) are dirty a priori: keep
-        // the loop alive at least until each has run, whatever the seeds do.
-        for &j in &cone.roots {
-            live += 1;
-            expire[j as usize] += 1;
-        }
-        let mut evaluated = 0u32;
-        if live > 0 {
-            for &s in &cone.support {
-                slots[s as usize] = golden[s as usize];
-            }
-        }
-        for (j, &op_idx) in cone.ops.iter().enumerate() {
-            if live == 0 {
-                break;
-            }
-            let op = &compiled.ops[op_idx as usize];
-            let fan = &fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
-            let v = eval_op(slots, fan, op.kind);
-            let out = op.out as usize;
-            let m = force_mask[out];
-            let w = (v & !m) | (force_value[out] & m);
-            slots[out] = w;
-            evaluated += 1;
-            let lr = cone.op_last_read[j];
-            if lr != CONE_NONE && (w ^ golden[out]) & mask != 0 {
-                live += 1;
-                expire[lr as usize] += 1;
-            }
-            live -= expire[j];
-            expire[j] = 0;
-        }
-        evaluated
-    }
-
-    /// Installs a masked stem force: the lanes in `mask` read `value` on
-    /// `slot` every sweep — the packed sequential backend's per-lane
-    /// generalization of the all-lane stem force installed by
-    /// [`Evaluator::try_install`]. Removed by [`Evaluator::uninstall`].
-    pub(crate) fn add_masked_stem(
-        &mut self,
-        compiled: &CompiledCircuit,
-        slot: usize,
-        mask: u64,
-        value: u64,
-    ) {
-        self.force_mask[slot] |= mask;
-        self.force_value[slot] = (self.force_value[slot] & !mask) | (value & mask);
-        self.stems.push((slot as u32, mask, value & mask));
-        // Gate slots are re-forced by the op loop's force tables; only
-        // source slots need the sweep-start pass.
-        if compiled.op_of_node.get(slot).copied().unwrap_or(NO_OP) == NO_OP {
-            self.source_stems.push((slot as u32, mask, value & mask));
-        }
-    }
-
-    /// Redirects flat fanin index `flat` to read `slot` — auxiliary landing
-    /// pads for per-lane branch injections. Restored by
-    /// [`Evaluator::uninstall`].
-    pub(crate) fn patch_fanin(&mut self, flat: usize, slot: u32) {
-        self.fanin_patches.push((flat, self.fanins[flat]));
-        self.fanins[flat] = slot;
-    }
-
-    /// One packed sweep for the fault-per-lane sequential backend: like
-    /// [`Evaluator::try_eval`] but with mid-sweep auxiliary injections.
-    /// Each [`AuxInject`] materializes, immediately before its consuming op
-    /// runs, an auxiliary slot holding the faulted lanes' stuck value
-    /// blended over the original source word — per-lane branch faults
-    /// without disturbing the other lanes sharing the fanin index. `aux`
-    /// must be sorted by consuming-op schedule position (as
-    /// [`crate::compile::LanePlan`] builds it).
-    pub(crate) fn eval_packed(
-        &mut self,
-        compiled: &CompiledCircuit,
-        inputs: &[u64],
-        state: &[u64],
-        aux: &[AuxInject],
-    ) {
-        debug_assert_eq!(inputs.len(), compiled.num_inputs());
-        debug_assert_eq!(state.len(), compiled.num_dffs());
-        let slots = &mut self.slots;
-        slots[compiled.zero_slot as usize] = 0;
-        slots[compiled.one_slot as usize] = u64::MAX;
-        for (i, &s) in compiled.input_slots.iter().enumerate() {
-            slots[s as usize] = inputs[i];
-        }
-        for (i, &s) in compiled.dff_slots.iter().enumerate() {
-            slots[s as usize] = state[i];
-        }
-        for &(s, v) in &compiled.const_slots {
-            slots[s as usize] = if v { u64::MAX } else { 0 };
-        }
-        for &(s, m, w) in &self.source_stems {
-            let slot = &mut slots[s as usize];
-            *slot = (*slot & !m) | (w & m);
-        }
-        let mut cursor = 0usize;
-        for (j, op) in compiled.ops.iter().enumerate() {
-            while let Some(a) = aux.get(cursor).filter(|a| a.op as usize == j) {
-                slots[a.slot as usize] = (slots[a.orig as usize] & !a.mask) | (a.value & a.mask);
-                cursor += 1;
-            }
-            let fan = &self.fanins[op.fan_start as usize..(op.fan_start + op.fan_len) as usize];
-            let v = eval_op(slots, fan, op.kind);
-            let out = op.out as usize;
-            let m = self.force_mask[out];
-            slots[out] = (v & !m) | (self.force_value[out] & m);
-        }
-        debug_assert_eq!(cursor, aux.len(), "aux injections must all be consumed");
-    }
-
-    /// The full slot array after the last sweep (golden-state caching).
-    pub(crate) fn slots(&self) -> &[u64] {
-        &self.slots
+        // Seed lists are tiny (affected flip-flops only); the conversion
+        // stays outside the op loop.
+        let seeds: Vec<(u32, Word<1>)> = state_seeds
+            .iter()
+            .map(|&(s, w)| (s, Word::from_u64(w)))
+            .collect();
+        self.eval_cone_w(
+            compiled,
+            cone,
+            |s| Word::from_u64(golden[s]),
+            &seeds,
+            Word::from_u64(mask),
+            expire,
+        )
     }
 
     /// Word of primary output `k` after the last [`Evaluator::eval`].
     #[must_use]
     pub fn output(&self, compiled: &CompiledCircuit, k: usize) -> u64 {
-        self.slots[compiled.output_slots[k] as usize]
+        self.output_w(compiled, k).first()
     }
 
     /// Next-state word of flip-flop `i` (its possibly-faulted D value) after
     /// the last [`Evaluator::eval`].
     #[must_use]
     pub fn next_state(&self, compiled: &CompiledCircuit, i: usize) -> u64 {
-        let _ = compiled;
-        self.slots[self.dff_d[i] as usize]
+        self.next_state_w(compiled, i).first()
     }
 
     /// Value word of an arbitrary node after the last [`Evaluator::eval`].
     #[must_use]
     pub fn slot(&self, node: NodeId) -> u64 {
-        self.slots[node.index()]
+        self.slots[node.index()].first()
     }
 
     /// Current word of a raw slot index (node slots only; callers must stay
     /// below the constant slots).
     pub(crate) fn raw_slot(&self, idx: usize) -> u64 {
-        self.slots[idx]
+        self.slots[idx].first()
     }
 }
 
 /// One packed gate evaluation over the given fanin slots.
 #[inline]
-fn eval_op(slots: &[u64], fan: &[u32], kind: GateKind) -> u64 {
+fn eval_op<const W: usize>(slots: &[Word<W>], fan: &[u32], kind: GateKind) -> Word<W> {
     match kind {
         GateKind::Buf => slots[fan[0] as usize],
         GateKind::Not => !slots[fan[0] as usize],
-        GateKind::And => fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
-        GateKind::Nand => !fan.iter().fold(u64::MAX, |a, &f| a & slots[f as usize]),
-        GateKind::Or => fan.iter().fold(0, |a, &f| a | slots[f as usize]),
-        GateKind::Nor => !fan.iter().fold(0, |a, &f| a | slots[f as usize]),
-        GateKind::Xor => fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
-        GateKind::Xnor => !fan.iter().fold(0, |a, &f| a ^ slots[f as usize]),
+        GateKind::And => fan.iter().fold(Word::ones(), |a, &f| a & slots[f as usize]),
+        GateKind::Nand => !fan.iter().fold(Word::ones(), |a, &f| a & slots[f as usize]),
+        GateKind::Or => fan.iter().fold(Word::ZERO, |a, &f| a | slots[f as usize]),
+        GateKind::Nor => !fan.iter().fold(Word::ZERO, |a, &f| a | slots[f as usize]),
+        GateKind::Xor => fan.iter().fold(Word::ZERO, |a, &f| a ^ slots[f as usize]),
+        GateKind::Xnor => !fan.iter().fold(Word::ZERO, |a, &f| a ^ slots[f as usize]),
         GateKind::Minority | GateKind::Majority => {
             threshold64(slots, fan, kind == GateKind::Majority)
         }
@@ -444,21 +548,23 @@ fn eval_op(slots: &[u64], fan: &[u32], kind: GateKind) -> u64 {
     }
 }
 
-/// Per-lane majority/minority over `fan` slots.
-fn threshold64(slots: &[u64], fan: &[u32], majority: bool) -> u64 {
+/// Per-lane majority/minority over `fan` slots, sub-word by sub-word.
+fn threshold64<const W: usize>(slots: &[Word<W>], fan: &[u32], majority: bool) -> Word<W> {
     let n = fan.len();
-    let mut out = 0u64;
-    for lane in 0..64 {
-        let ones = fan
-            .iter()
-            .filter(|&&f| (slots[f as usize] >> lane) & 1 == 1)
-            .count();
-        let v = if majority { ones * 2 > n } else { ones * 2 < n };
-        if v {
-            out |= 1 << lane;
+    Word::from_fn(|s| {
+        let mut out = 0u64;
+        for lane in 0..64 {
+            let ones = fan
+                .iter()
+                .filter(|&&f| (slots[f as usize].sub(s) >> lane) & 1 == 1)
+                .count();
+            let v = if majority { ones * 2 > n } else { ones * 2 < n };
+            if v {
+                out |= 1 << lane;
+            }
         }
-    }
-    out
+        out
+    })
 }
 
 #[cfg(test)]
@@ -504,6 +610,49 @@ mod tests {
         for (k, &r) in reference.iter().enumerate() {
             assert_eq!(ev.output(&cc, k) & 0xFF, r & 0xFF);
         }
+    }
+
+    /// A wide evaluator with every sub-word carrying the same patterns must
+    /// reproduce the scalar result in every sub-word, fault-free and under
+    /// installed overrides.
+    #[test]
+    fn wide_sub_words_match_scalar_evaluator() {
+        let c = full_adder();
+        let cc = CompiledCircuit::compile(&c);
+        let words = minterm_words(3, 8);
+        let mut scalar = Evaluator::new(&cc);
+        let mut wide4 = WideEvaluator::<4>::new(&cc);
+        let mut wide8 = WideEvaluator::<8>::new(&cc);
+        let wide_in4: Vec<Word<4>> = words.iter().map(|&w| Word::splat(w)).collect();
+        let wide_in8: Vec<Word<8>> = words.iter().map(|&w| Word::splat(w)).collect();
+        let ov = [Override {
+            site: Site::Stem(c.inputs()[1]),
+            value: true,
+        }];
+        for install in [false, true] {
+            if install {
+                scalar.install(&cc, &ov);
+                wide4.install(&cc, &ov);
+                wide8.install(&cc, &ov);
+            }
+            scalar.eval(&cc, &words, &[]);
+            wide4.try_eval_w(&cc, &wide_in4, &[]).unwrap();
+            wide8.try_eval_w(&cc, &wide_in8, &[]).unwrap();
+            for k in 0..cc.num_outputs() {
+                let want = scalar.output(&cc, k);
+                let got4 = wide4.output_w(&cc, k);
+                let got8 = wide8.output_w(&cc, k);
+                for s in 0..4 {
+                    assert_eq!(got4.sub(s), want, "W=4 sub {s} output {k}");
+                }
+                for s in 0..8 {
+                    assert_eq!(got8.sub(s), want, "W=8 sub {s} output {k}");
+                }
+            }
+        }
+        scalar.uninstall();
+        wide4.uninstall();
+        wide8.uninstall();
     }
 
     #[test]

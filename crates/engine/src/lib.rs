@@ -68,6 +68,7 @@ mod eval;
 mod pool;
 mod sim;
 mod tables;
+mod word;
 
 pub use campaign::{
     run_pair_campaign, try_run_pair_campaign, EngineConfig, EngineConfigBuilder, EngineStats,
@@ -75,7 +76,14 @@ pub use campaign::{
 };
 pub use compile::{CompileSpans, CompiledCircuit};
 pub use error::EngineError;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, WideEvaluator};
 pub use pool::{effective_threads, par_map, par_map_cancellable, resolved_threads};
-pub use sim::{CompiledSim, ConeSim, ConeSimStats, GoldenTrace, PackedBatchPlan, PackedSeqSim};
+pub use sim::{
+    CompiledSim, ConeSim, ConeSimStats, GoldenTrace, PackedBatchPlan, PackedSeqSim,
+    WidePackedBatchPlan, WidePackedSeqSim,
+};
 pub use tables::{all_node_tables, node_table, output_tables};
+pub use word::{
+    auto_word_width, detected_cpu_features, resolve_word_width, Word, SCAL_WORD_WIDTH_ENV,
+    WORD_WIDTHS,
+};

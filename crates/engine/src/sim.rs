@@ -4,7 +4,8 @@
 //! schedule per fault.
 
 use crate::compile::{AuxInject, CompiledCircuit, FaultCone, LanePlan, CONE_SEED};
-use crate::eval::Evaluator;
+use crate::eval::{Evaluator, WideEvaluator};
+use crate::word::Word;
 use scal_netlist::Override;
 
 /// A synchronous simulator over a [`CompiledCircuit`].
@@ -167,7 +168,7 @@ impl GoldenTrace {
                 *w = if b { u64::MAX } else { 0 };
             }
             ev.eval(compiled, &inputs, &state);
-            trace.slots.extend_from_slice(ev.slots());
+            trace.slots.extend(ev.slots_w().iter().map(|w| w.first()));
             for (i, s) in state.iter_mut().enumerate().take(n_dffs) {
                 let w = ev.next_state(compiled, i);
                 trace.next_state.push(w);
@@ -351,145 +352,162 @@ impl<'c> ConeSim<'c> {
 }
 
 /// The prebuilt per-lane injection plan of one packed fault batch — the
-/// compile-phase half of [`PackedSeqSim`].
+/// compile-phase half of [`WidePackedSeqSim`].
 ///
 /// Building a plan walks every fault's overrides, merges same-site faults
 /// into masked entries, and assigns auxiliary branch slots in schedule
 /// order; campaigns do that for all batches up front (it is planning, not
 /// evaluation) and then spin up each batch's simulator with
-/// [`PackedSeqSim::from_plan`], keeping the fault-sim phase free of
+/// [`WidePackedSeqSim::from_plan`], keeping the fault-sim phase free of
 /// planning work.
 #[derive(Debug)]
-pub struct PackedBatchPlan {
-    plan: LanePlan,
+pub struct WidePackedBatchPlan<const W: usize> {
+    plan: LanePlan<W>,
     lanes: usize,
 }
 
-impl PackedBatchPlan {
-    /// Plans one batch: `faults[i]`'s overrides are mapped onto lane
-    /// `i + 1` with [`Evaluator`](crate::Evaluator) install semantics per
-    /// lane (first override per site wins, unknown sites ignored).
+/// The scalar (`W = 1`) batch plan: up to 63 faults in one `u64` word.
+pub type PackedBatchPlan = WidePackedBatchPlan<1>;
+
+impl<const W: usize> WidePackedBatchPlan<W> {
+    /// Plans one batch: `faults[i]`'s overrides are mapped onto bit
+    /// `1 + (i % 63)` of sub-word `i / 63` with
+    /// [`Evaluator`](crate::Evaluator) install semantics per lane (first
+    /// override per site wins, unknown sites ignored).
     ///
     /// # Panics
     ///
-    /// Panics if more than [`PackedSeqSim::FAULT_LANES`] faults are given.
+    /// Panics if more than [`WidePackedSeqSim::FAULT_LANES`] (`63 × W`)
+    /// faults are given.
     #[must_use]
     pub fn build(compiled: &CompiledCircuit, faults: &[&[Override]]) -> Self {
         assert!(
-            faults.len() <= PackedSeqSim::FAULT_LANES,
+            faults.len() <= WidePackedSeqSim::<W>::FAULT_LANES,
             "a packed batch holds at most {} faults",
-            PackedSeqSim::FAULT_LANES
+            WidePackedSeqSim::<W>::FAULT_LANES
         );
-        PackedBatchPlan {
-            plan: LanePlan::build(compiled, faults),
+        WidePackedBatchPlan {
+            plan: LanePlan::build_spread(compiled, faults),
             lanes: faults.len(),
         }
     }
 
-    /// Fault lanes the plan occupies (the golden lane 0 not included).
+    /// Fault lanes the plan occupies (the golden lanes not included).
     #[must_use]
     pub fn fault_lanes(&self) -> usize {
         self.lanes
     }
 }
 
-/// A fault-per-lane packed sequential simulator: lane 0 replays the golden
-/// machine, lane `l` in `1..=faults.len()` replays fault `l - 1`, and one
-/// sweep per clock period serves the whole batch.
+/// A fault-per-lane packed sequential simulator over a wide word: lane 0 of
+/// every sub-word replays the golden machine, and fault `i` replays on bit
+/// `1 + (i % 63)` of sub-word `i / 63` — up to `63 × W` faults per batch,
+/// one sweep per clock period serving the whole batch.
 ///
 /// Per-lane injection uses masked stem forces, auxiliary branch slots
 /// (planned by the compile-side lane plan), and masked D-latch blends;
 /// per-lane flip-flop state is carried across periods inside the same
-/// packed words. Lane `l` of every output word after
-/// [`PackedSeqSim::step`] is bit-exact with a [`CompiledSim`] carrying
-/// fault `l - 1`'s overrides, and lane 0 with the fault-free machine.
+/// packed words. Each occupied fault lane of every output word after
+/// [`WidePackedSeqSim::step`] is bit-exact with a [`CompiledSim`] carrying
+/// that fault's overrides, and lane 0 of every sub-word with the fault-free
+/// machine.
 #[derive(Debug)]
-pub struct PackedSeqSim<'c> {
+pub struct WidePackedSeqSim<'c, const W: usize> {
     compiled: &'c CompiledCircuit,
-    ev: Evaluator,
+    ev: WideEvaluator<W>,
     /// Branch injections, sorted by consuming-op schedule position.
-    aux: Vec<AuxInject>,
+    aux: Vec<AuxInject<W>>,
     /// Per flip-flop `(mask, value)` blend applied to the latched word
     /// (per-lane D-pin branch faults).
-    dff_blend: Vec<(u64, u64)>,
+    dff_blend: Vec<(Word<W>, Word<W>)>,
     /// One word per flip-flop, all lanes live.
-    state: Vec<u64>,
-    inputs: Vec<u64>,
+    state: Vec<Word<W>>,
+    inputs: Vec<Word<W>>,
     lanes: usize,
     steps: u64,
 }
 
-impl<'c> PackedSeqSim<'c> {
-    /// Maximum faults one batch packs (lane 0 is reserved for golden).
-    pub const FAULT_LANES: usize = 63;
+/// The scalar (`W = 1`) packed sequential simulator: 63 fault lanes plus
+/// the golden lane in one `u64` word.
+pub type PackedSeqSim<'c> = WidePackedSeqSim<'c, 1>;
+
+impl<'c, const W: usize> WidePackedSeqSim<'c, W> {
+    /// Maximum faults one batch packs (lane 0 of every sub-word is reserved
+    /// for golden).
+    pub const FAULT_LANES: usize = 63 * W;
 
     /// Creates a packed simulator with every flip-flop at its power-up
-    /// value; `faults[i]`'s overrides are installed on lane `i + 1` with
-    /// [`Evaluator`](crate::Evaluator) install semantics per lane (first
-    /// override per site wins, unknown sites ignored).
+    /// value; `faults[i]`'s overrides are installed on bit `1 + (i % 63)`
+    /// of sub-word `i / 63` with [`Evaluator`](crate::Evaluator) install
+    /// semantics per lane (first override per site wins, unknown sites
+    /// ignored).
     ///
     /// # Panics
     ///
-    /// Panics if more than [`PackedSeqSim::FAULT_LANES`] faults are given.
+    /// Panics if more than [`WidePackedSeqSim::FAULT_LANES`] faults are
+    /// given.
     #[must_use]
     pub fn new(compiled: &'c CompiledCircuit, faults: &[&[Override]]) -> Self {
-        Self::from_plan(compiled, &PackedBatchPlan::build(compiled, faults))
+        Self::from_plan(compiled, &WidePackedBatchPlan::build(compiled, faults))
     }
 
-    /// Creates a packed simulator from a prebuilt [`PackedBatchPlan`] —
+    /// Creates a packed simulator from a prebuilt [`WidePackedBatchPlan`] —
     /// the evaluation-phase half of the split: no fault walking or slot
     /// assignment happens here, only evaluator scratch setup.
     #[must_use]
-    pub fn from_plan(compiled: &'c CompiledCircuit, plan: &PackedBatchPlan) -> Self {
+    pub fn from_plan(compiled: &'c CompiledCircuit, plan: &WidePackedBatchPlan<W>) -> Self {
         let lanes = plan.lanes;
         let plan = &plan.plan;
-        let mut ev = Evaluator::with_aux(compiled, plan.aux.len());
+        let mut ev = WideEvaluator::with_aux(compiled, plan.aux.len());
         for &(slot, mask, value) in &plan.stems {
             ev.add_masked_stem(compiled, slot as usize, mask, value);
         }
         for &(flat, slot) in &plan.fanin_patches {
             ev.patch_fanin(flat as usize, slot);
         }
-        let mut dff_blend = vec![(0u64, 0u64); compiled.num_dffs()];
+        let mut dff_blend = vec![(Word::ZERO, Word::ZERO); compiled.num_dffs()];
         for &(d, mask, value) in &plan.dff_forces {
             dff_blend[d as usize] = (mask, value);
         }
         let state = compiled
             .dff_init
             .iter()
-            .map(|&b| if b { u64::MAX } else { 0 })
+            .map(|&b| Word::splat_bool(b))
             .collect();
-        PackedSeqSim {
+        WidePackedSeqSim {
             compiled,
             ev,
             aux: plan.aux.clone(),
             dff_blend,
             state,
-            inputs: vec![0; compiled.num_inputs()],
+            inputs: vec![Word::ZERO; compiled.num_inputs()],
             lanes,
             steps: 0,
         }
     }
 
-    /// Fault lanes occupied (the golden lane 0 not included).
+    /// Fault lanes occupied (the golden lanes not included).
     #[must_use]
     pub fn fault_lanes(&self) -> usize {
         self.lanes
     }
 
-    /// Mask covering every occupied fault lane (bits `1..=fault_lanes`).
+    /// Mask covering every occupied fault lane of sub-word `s` (bits
+    /// `1..=n` where `n` is the number of faults packed into that
+    /// sub-word).
     #[must_use]
-    pub fn lane_mask(&self) -> u64 {
-        if self.lanes == 0 {
+    pub fn sub_lane_mask(&self, s: usize) -> u64 {
+        let n = self.lanes.saturating_sub(63 * s).min(63);
+        if n == 0 {
             0
         } else {
-            (u64::MAX >> (63 - self.lanes)) & !1
+            (u64::MAX >> (63 - n)) & !1
         }
     }
 
     /// Simulates one clock period for every lane: one packed sweep, then a
     /// per-lane latch of every flip-flop. Outputs are sampled afterwards
-    /// with [`PackedSeqSim::output`].
+    /// with [`WidePackedSeqSim::output_wide`].
     ///
     /// # Panics
     ///
@@ -501,29 +519,45 @@ impl<'c> PackedSeqSim<'c> {
             "input arity mismatch"
         );
         for (w, &b) in self.inputs.iter_mut().zip(inputs) {
-            *w = if b { u64::MAX } else { 0 };
+            *w = Word::splat_bool(b);
         }
         self.ev
-            .eval_packed(self.compiled, &self.inputs, &self.state, &self.aux);
+            .eval_packed_w(self.compiled, &self.inputs, &self.state, &self.aux);
         for i in 0..self.state.len() {
-            let w = self.ev.next_state(self.compiled, i);
+            let w = self.ev.next_state_w(self.compiled, i);
             let (m, v) = self.dff_blend[i];
-            self.state[i] = (w & !m) | (v & m);
+            self.state[i] = w.blend(v, m);
         }
         self.steps += 1;
     }
 
-    /// Packed word of primary output `k` after the last step: lane 0 is the
-    /// golden value, lane `l` the value under fault `l - 1`.
+    /// Packed wide word of primary output `k` after the last step: lane 0
+    /// of every sub-word is the golden value, bit `1 + (i % 63)` of
+    /// sub-word `i / 63` the value under fault `i`.
     #[must_use]
-    pub fn output(&self, k: usize) -> u64 {
-        self.ev.output(self.compiled, k)
+    pub fn output_wide(&self, k: usize) -> Word<W> {
+        self.ev.output_w(self.compiled, k)
     }
 
     /// Clock periods simulated so far.
     #[must_use]
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+}
+
+impl PackedSeqSim<'_> {
+    /// Mask covering every occupied fault lane (bits `1..=fault_lanes`).
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        self.sub_lane_mask(0)
+    }
+
+    /// Packed word of primary output `k` after the last step: lane 0 is the
+    /// golden value, lane `l` the value under fault `l - 1`.
+    #[must_use]
+    pub fn output(&self, k: usize) -> u64 {
+        self.output_wide(k).first()
     }
 }
 
@@ -705,6 +739,75 @@ mod tests {
                         lane[k],
                         "fault {:?}, output {k}, step {step}",
                         faults[l][0]
+                    );
+                }
+            }
+        }
+        assert_eq!(packed.steps(), 12);
+    }
+
+    /// Spread geometry at `W = 4`: more than 63 faults flow into the upper
+    /// sub-words, and every occupied lane of every sub-word must match a
+    /// dedicated scalar [`CompiledSim`] carrying the same fault.
+    #[test]
+    fn wide_packed_sub_words_match_per_fault_compiled_sims() {
+        let c = counter2();
+        let cc = CompiledCircuit::compile(&c);
+        let mut faults: Vec<[Override; 1]> = Vec::new();
+        for id in c.node_ids() {
+            for value in [false, true] {
+                faults.push([Override {
+                    site: Site::Stem(id),
+                    value,
+                }]);
+                for pin in 0..c.fanins(id).len() {
+                    faults.push([Override {
+                        site: Site::Branch { node: id, pin },
+                        value,
+                    }]);
+                }
+            }
+        }
+        // Cycle the fault list past one sub-word's 63 lanes so the spread
+        // geometry genuinely exercises sub-words 1 and 2.
+        let distinct = faults.len();
+        while faults.len() < 150 {
+            let f = faults[faults.len() % distinct];
+            faults.push(f);
+        }
+        let refs: Vec<&[Override]> = faults.iter().map(|f| f.as_slice()).collect();
+        let mut packed: WidePackedSeqSim<'_, 4> = WidePackedSeqSim::new(&cc, &refs);
+        assert_eq!(packed.fault_lanes(), faults.len());
+        assert_eq!(WidePackedSeqSim::<4>::FAULT_LANES, 252);
+        assert_eq!(packed.sub_lane_mask(3), 0, "sub-word 3 holds no faults");
+        let mut golden = CompiledSim::new(&cc);
+        let mut scalars: Vec<CompiledSim<'_>> = faults
+            .iter()
+            .map(|f| {
+                let mut s = CompiledSim::new(&cc);
+                s.attach(f);
+                s
+            })
+            .collect();
+        for step in 0..12 {
+            packed.step(&[]);
+            let gold = golden.step(&[]);
+            let lanes: Vec<Vec<bool>> = scalars.iter_mut().map(|s| s.step(&[])).collect();
+            for k in 0..cc.num_outputs() {
+                let w = packed.output_wide(k);
+                for s in 0..4 {
+                    assert_eq!(
+                        w.sub(s) & 1 == 1,
+                        gold[k],
+                        "golden lane, sub {s}, output {k}, step {step}"
+                    );
+                }
+                for (i, lane) in lanes.iter().enumerate() {
+                    assert_eq!(
+                        (w.sub(i / 63) >> (1 + i % 63)) & 1 == 1,
+                        lane[k],
+                        "fault {i} ({:?}), output {k}, step {step}",
+                        faults[i][0]
                     );
                 }
             }

@@ -1,0 +1,319 @@
+//! The wide-word abstraction behind 2-D packed evaluation: a `Word<W>` is
+//! `W` independent 64-lane sub-words evaluated simultaneously, written as
+//! plain safe array loops that LLVM autovectorizes to AVX2 (`W = 4`) or
+//! AVX-512 (`W = 8`) registers when the target supports them.
+//!
+//! Width selection is runtime-configurable: [`resolve_word_width`] combines
+//! the `EngineConfig::word_width` knob, the `SCAL_WORD_WIDTH` environment
+//! variable, and [`auto_word_width`] CPU-feature detection. Campaign drivers
+//! monomorphize their hot loops per supported width and dispatch once per
+//! run, so the inner sweeps stay branch-free.
+
+use crate::error::EngineError;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// The word widths the engine monomorphizes: scalar, AVX2-sized (4 × u64 =
+/// 256 bits), and AVX-512-sized (8 × u64 = 512 bits).
+pub const WORD_WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// Environment variable overriding the automatic word-width selection
+/// (accepted values: `1`, `4`, `8`). `EngineConfig::word_width` takes
+/// precedence when non-zero.
+pub const SCAL_WORD_WIDTH_ENV: &str = "SCAL_WORD_WIDTH";
+
+/// A wide evaluation word: `W` independent 64-lane sub-words.
+///
+/// All bitwise operators act lane-wise across every sub-word. The type is
+/// deliberately a plain `[u64; W]` wrapper with safe per-element loops — no
+/// intrinsics — so the same code compiles on every target and vectorizes
+/// where profitable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Word<const W: usize>(pub(crate) [u64; W]);
+
+impl<const W: usize> Word<W> {
+    /// The all-zeros word.
+    pub const ZERO: Word<W> = Word([0; W]);
+
+    /// The all-zeros word.
+    #[inline]
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::ZERO
+    }
+
+    /// The all-ones word.
+    #[inline]
+    #[must_use]
+    pub fn ones() -> Self {
+        Self::splat(u64::MAX)
+    }
+
+    /// Broadcasts one 64-lane sub-word to every sub-word position.
+    #[inline]
+    #[must_use]
+    pub fn splat(v: u64) -> Self {
+        Word([v; W])
+    }
+
+    /// All lanes of all sub-words set to `b`.
+    #[inline]
+    #[must_use]
+    pub fn splat_bool(b: bool) -> Self {
+        Self::splat(0u64.wrapping_sub(u64::from(b)))
+    }
+
+    /// Wraps a single sub-word; only meaningful glue for `W = 1`.
+    #[inline]
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        let mut w = [0u64; W];
+        w[0] = v;
+        Word(w)
+    }
+
+    /// Builds a word sub-word by sub-word.
+    #[inline]
+    #[must_use]
+    pub fn from_fn(f: impl FnMut(usize) -> u64) -> Self {
+        Word(core::array::from_fn(f))
+    }
+
+    /// `true` iff every lane of every sub-word is zero.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Sub-word `i` (64 lanes).
+    // "sub" as in sub-word, not subtraction; `Word` has no arithmetic.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    #[must_use]
+    pub fn sub(self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Sub-word 0 — the whole word when `W = 1`.
+    #[inline]
+    #[must_use]
+    pub fn first(self) -> u64 {
+        self.0[0]
+    }
+
+    /// Overwrites sub-word `i`.
+    #[inline]
+    pub fn set_sub(&mut self, i: usize, v: u64) {
+        self.0[i] = v;
+    }
+
+    /// Per sub-word, broadcasts lane 0 (the golden lane of a fault-packed
+    /// word) across all 64 lanes: `0u64.wrapping_sub(w & 1)`.
+    #[inline]
+    #[must_use]
+    pub fn golden_splat(self) -> Self {
+        let mut out = self.0;
+        for w in &mut out {
+            *w = 0u64.wrapping_sub(*w & 1);
+        }
+        Word(out)
+    }
+
+    /// `(self & !mask) | (value & mask)` — the masked-force blend.
+    #[inline]
+    #[must_use]
+    pub fn blend(self, value: Self, mask: Self) -> Self {
+        (self & !mask) | (value & mask)
+    }
+}
+
+impl<const W: usize> Default for Word<W> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+macro_rules! word_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $assign_op:tt) => {
+        impl<const W: usize> $trait for Word<W> {
+            type Output = Word<W>;
+
+            #[inline]
+            fn $method(self, rhs: Word<W>) -> Word<W> {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+                    *o $assign_op *r;
+                }
+                Word(out)
+            }
+        }
+
+        impl<const W: usize> $assign_trait for Word<W> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Word<W>) {
+                for (o, r) in self.0.iter_mut().zip(rhs.0.iter()) {
+                    *o $assign_op *r;
+                }
+            }
+        }
+    };
+}
+
+word_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+word_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+word_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const W: usize> Not for Word<W> {
+    type Output = Word<W>;
+
+    #[inline]
+    fn not(self) -> Word<W> {
+        let mut out = self.0;
+        for o in &mut out {
+            *o = !*o;
+        }
+        Word(out)
+    }
+}
+
+/// CPU SIMD features relevant to word-width selection that the running
+/// machine supports, as stable lowercase names (subset of
+/// `["avx2", "avx512f"]`; empty on non-x86 targets).
+#[must_use]
+pub fn detected_cpu_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+    }
+    features
+}
+
+/// The widest profitable word width for this machine: 8 with AVX-512, 4
+/// with AVX2, otherwise 1 (including every non-x86 target, where narrower
+/// vectors rarely beat the scalar path on these masked-word kernels).
+#[must_use]
+pub fn auto_word_width() -> usize {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return 8;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return 4;
+        }
+    }
+    1
+}
+
+/// Resolves the effective word width from, in precedence order: the
+/// `requested` config value (`0` = unset), the [`SCAL_WORD_WIDTH_ENV`]
+/// environment variable, and [`auto_word_width`] detection.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidConfig`] when the requested or
+/// environment value is not one of [`WORD_WIDTHS`].
+pub fn resolve_word_width(requested: usize) -> Result<usize, EngineError> {
+    fn validate(width: usize, origin: &str) -> Result<usize, EngineError> {
+        if WORD_WIDTHS.contains(&width) {
+            Ok(width)
+        } else {
+            Err(EngineError::InvalidConfig {
+                reason: format!("{origin} word width must be one of {WORD_WIDTHS:?}, got {width}"),
+            })
+        }
+    }
+    if requested != 0 {
+        return validate(requested, "configured");
+    }
+    match std::env::var(SCAL_WORD_WIDTH_ENV) {
+        Ok(raw) => {
+            let width = raw
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| EngineError::InvalidConfig {
+                    reason: format!("{SCAL_WORD_WIDTH_ENV} must be an integer, got {raw:?}"),
+                })?;
+            validate(width, SCAL_WORD_WIDTH_ENV)
+        }
+        Err(_) => Ok(auto_word_width()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_ops_act_per_sub_word() {
+        let a = Word::<4>([0b1100, 0b1010, u64::MAX, 0]);
+        let b = Word::<4>([0b1010, 0b1010, 0, u64::MAX]);
+        assert_eq!((a & b).0, [0b1000, 0b1010, 0, 0]);
+        assert_eq!((a | b).0, [0b1110, 0b1010, u64::MAX, u64::MAX]);
+        assert_eq!((a ^ b).0, [0b0110, 0, u64::MAX, u64::MAX]);
+        assert_eq!((!Word::<4>::ZERO).0, [u64::MAX; 4]);
+        let mut c = a;
+        c &= b;
+        assert_eq!(c, a & b);
+        c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+        c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn splat_sub_and_zero_checks() {
+        let w = Word::<8>::splat(7);
+        assert!((0..8).all(|i| w.sub(i) == 7));
+        assert!(Word::<8>::ZERO.is_zero());
+        assert!(!w.is_zero());
+        assert_eq!(Word::<2>::splat_bool(true).0, [u64::MAX; 2]);
+        assert_eq!(Word::<2>::splat_bool(false).0, [0; 2]);
+        assert_eq!(Word::<1>::from_u64(9).first(), 9);
+        let mut v = Word::<4>::ZERO;
+        v.set_sub(2, 5);
+        assert_eq!(v.0, [0, 0, 5, 0]);
+        assert_eq!(Word::<3>::from_fn(|i| i as u64).0, [0, 1, 2]);
+    }
+
+    #[test]
+    fn golden_splat_broadcasts_lane_zero_per_sub_word() {
+        let w = Word::<4>([0b1, 0b0, 0b111, 0b10]);
+        assert_eq!(w.golden_splat().0, [u64::MAX, 0, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn blend_is_the_masked_force() {
+        let orig = Word::<2>([0xFF00, 0x0001]);
+        let value = Word::<2>([0x00FF, 0x0000]);
+        let mask = Word::<2>([0x0F0F, 0x0001]);
+        assert_eq!(orig.blend(value, mask).0, [0xF00F, 0x0000]);
+    }
+
+    #[test]
+    fn resolve_prefers_config_then_env_then_auto() {
+        // Explicit config values validate and win without consulting the env.
+        assert_eq!(resolve_word_width(1).unwrap(), 1);
+        assert_eq!(resolve_word_width(4).unwrap(), 4);
+        assert_eq!(resolve_word_width(8).unwrap(), 8);
+        match resolve_word_width(3) {
+            Err(EngineError::InvalidConfig { reason }) => assert!(reason.contains("3")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Auto always lands on a supported width.
+        assert!(WORD_WIDTHS.contains(&auto_word_width()));
+        // Detected features are from the known set.
+        for f in detected_cpu_features() {
+            assert!(["avx2", "avx512f"].contains(&f));
+        }
+    }
+}

@@ -125,6 +125,27 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Evaluation word width in 64-bit sub-words (`1`, `4` or `8`); `0`
+    /// (the default) resolves through the `SCAL_WORD_WIDTH` environment
+    /// variable and then CPU-feature detection. Shorthand for the
+    /// corresponding [`EngineConfig`] field; all widths are bit-identical
+    /// in every report. The scalar backend ignores this knob.
+    #[must_use]
+    pub fn word_width(mut self, width: usize) -> Self {
+        self.config.word_width = width;
+        self
+    }
+
+    /// Packs up to 63 faults into the bit lanes of every evaluation word
+    /// (see [`EngineConfig::fault_packing`]): one sweep then classifies
+    /// `63 × W` (fault, pattern) cells at once. Reports stay bit-identical;
+    /// the scalar backend ignores this knob.
+    #[must_use]
+    pub fn fault_packing(mut self, on: bool) -> Self {
+        self.config.fault_packing = on;
+        self
+    }
+
     /// Streams every [`scal_obs::CampaignEvent`] of the run to `observer`.
     #[must_use]
     pub fn observer(mut self, observer: &'a dyn CampaignObserver) -> Self {
@@ -286,6 +307,25 @@ mod tests {
         assert_eq!(report.results, full.results);
         let scalar = Campaign::new(&c).scalar().run().unwrap();
         assert_eq!(scalar.results, report.results);
+    }
+
+    #[test]
+    fn word_width_and_fault_packing_agree_with_defaults() {
+        let c = xor3();
+        let base = Campaign::new(&c).word_width(1).run().unwrap();
+        for width in [4, 8] {
+            let wide = Campaign::new(&c).word_width(width).run().unwrap();
+            assert_eq!(base.results, wide.results, "W={width}");
+        }
+        for width in [1, 8] {
+            let packed = Campaign::new(&c)
+                .word_width(width)
+                .fault_packing(true)
+                .run()
+                .unwrap();
+            assert_eq!(base.results, packed.results, "packed W={width}");
+            assert_eq!(base.stats.pairs_evaluated, packed.stats.pairs_evaluated);
+        }
     }
 
     #[test]

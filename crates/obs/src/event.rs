@@ -58,6 +58,26 @@ pub enum CampaignEvent {
         /// Stable lowercase mode name: `"full"` or `"cone"`.
         mode: &'static str,
     },
+    /// The lane geometry of the run's packed evaluation words: how the
+    /// engine maps patterns and faults onto the `64 × width` bit lanes of
+    /// one wide word. Emitted right after [`CampaignEvent::EvalMode`] by
+    /// pair campaigns and after [`CampaignEvent::CampaignStart`] by packed
+    /// sequential campaigns.
+    LaneGeometry {
+        /// Word width `W`: 64-lane sub-words per evaluation word (1, 4
+        /// or 8).
+        width: usize,
+        /// Distinct faults packed into the bit lanes of one evaluation word
+        /// (0 = one fault per sweep).
+        fault_lanes: usize,
+        /// Pattern lanes evaluated per sweep (0 = sequential replay; the
+        /// lanes carry faults, not patterns).
+        pattern_lanes: usize,
+        /// Packing scheme: `"pattern"` (pattern-major pair sweep),
+        /// `"fault"` (fault-packed pair sweep) or `"seq"` (fault-per-lane
+        /// sequential replay).
+        packing: &'static str,
+    },
     /// A phase began.
     PhaseStart {
         /// Which phase.
@@ -228,6 +248,7 @@ impl CampaignEvent {
         match self {
             CampaignEvent::CampaignStart { .. } => "campaign_start",
             CampaignEvent::EvalMode { .. } => "eval_mode",
+            CampaignEvent::LaneGeometry { .. } => "lane_geometry",
             CampaignEvent::ConeStats { .. } => "cone_stats",
             CampaignEvent::PhaseStart { .. } => "phase_start",
             CampaignEvent::PhaseEnd { .. } => "phase_end",
@@ -265,6 +286,17 @@ impl CampaignEvent {
             }
             CampaignEvent::EvalMode { mode } => {
                 o.str("mode", mode);
+            }
+            CampaignEvent::LaneGeometry {
+                width,
+                fault_lanes,
+                pattern_lanes,
+                packing,
+            } => {
+                o.num("width", width as u64);
+                o.num("fault_lanes", fault_lanes as u64);
+                o.num("pattern_lanes", pattern_lanes as u64);
+                o.str("packing", packing);
             }
             CampaignEvent::ConeStats {
                 fault,
@@ -443,6 +475,12 @@ mod tests {
             },
             CampaignEvent::Cancelled { completed: 2 },
             CampaignEvent::EvalMode { mode: "cone" },
+            CampaignEvent::LaneGeometry {
+                width: 8,
+                fault_lanes: 63,
+                pattern_lanes: 8,
+                packing: "fault",
+            },
             CampaignEvent::ConeStats {
                 fault: 3,
                 worker: 0,

@@ -81,6 +81,16 @@ pub struct Profile {
     pub lanes_retired: u64,
     /// Driven words replayed, summed across batches.
     pub lane_words: u64,
+    /// Wide-word width `W` (64-lane sub-words per evaluation word), or 0 if
+    /// the backend never announced its lane geometry.
+    pub word_width: u64,
+    /// Distinct faults packed per evaluation word (0 = one fault per sweep).
+    pub fault_lanes: u64,
+    /// Pattern lanes evaluated per sweep (0 = sequential replay).
+    pub pattern_lanes: u64,
+    /// Lane-packing scheme (`"pattern"` / `"fault"` / `"seq"`), or empty if
+    /// never announced.
+    pub packing: String,
 }
 
 impl Profile {
@@ -148,6 +158,13 @@ impl Profile {
             "profile [{}]: {} us wall, {} pairs, {} words{mode}{throughput}",
             self.campaign, self.micros, self.pairs, self.words
         );
+        if self.word_width > 0 {
+            let _ = writeln!(
+                out,
+                "  word: W={} ({} packing, {} fault lane(s), {} pattern lane(s) per sweep)",
+                self.word_width, self.packing, self.fault_lanes, self.pattern_lanes
+            );
+        }
         if let Some(f) = self.ops_skipped_fraction() {
             let _ = writeln!(
                 out,
@@ -221,6 +238,12 @@ impl Profile {
         o.num("words", self.words);
         if !self.eval_mode.is_empty() {
             o.str("eval_mode", &self.eval_mode);
+        }
+        if self.word_width > 0 {
+            o.num("word_width", self.word_width);
+            o.num("fault_lanes", self.fault_lanes);
+            o.num("pattern_lanes", self.pattern_lanes);
+            o.str("packing", &self.packing);
         }
         if self.cone_faults > 0 {
             o.num("cone_faults", self.cone_faults);
@@ -382,6 +405,19 @@ impl CampaignObserver for Profiler {
                     p.eval_mode = mode.to_string();
                 }
             }
+            CampaignEvent::LaneGeometry {
+                width,
+                fault_lanes,
+                pattern_lanes,
+                packing,
+            } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.word_width = width as u64;
+                    p.fault_lanes = fault_lanes as u64;
+                    p.pattern_lanes = pattern_lanes as u64;
+                    p.packing = packing.to_string();
+                }
+            }
             CampaignEvent::ConeStats {
                 ops_evaluated,
                 ops_skipped,
@@ -459,6 +495,12 @@ mod tests {
                 threads: 1,
             },
             CampaignEvent::EvalMode { mode: "cone" },
+            CampaignEvent::LaneGeometry {
+                width: 4,
+                fault_lanes: 0,
+                pattern_lanes: 256,
+                packing: "pattern",
+            },
             CampaignEvent::PhaseEnd {
                 phase: Phase::Compile,
                 micros: 50,
@@ -554,6 +596,15 @@ mod tests {
         assert!((rate - 8.0 * 1e6 / 120.0).abs() < 1e-6);
         assert_eq!(p.eval_mode, "cone");
         assert_eq!(
+            (
+                p.word_width,
+                p.fault_lanes,
+                p.pattern_lanes,
+                p.packing.as_str()
+            ),
+            (4, 0, 256, "pattern")
+        );
+        assert_eq!(
             (p.cone_faults, p.cone_ops_evaluated, p.cone_ops_skipped),
             (2, 24, 32)
         );
@@ -577,6 +628,7 @@ mod tests {
         );
         assert!(text.contains("gates/level: 4, 3"), "{text}");
         assert!(text.contains("cone eval"), "{text}");
+        assert!(text.contains("word: W=4 (pattern packing"), "{text}");
         assert!(
             text.contains("cone: 2 fault(s), 24 op-evals run, 32 skipped"),
             "{text}"
@@ -600,6 +652,11 @@ mod tests {
         );
         assert_eq!(v.get("gate_evals").and_then(JsonValue::as_f64), Some(84.0));
         assert_eq!(v.get("eval_mode").and_then(JsonValue::as_str), Some("cone"));
+        assert_eq!(v.get("word_width").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(
+            v.get("packing").and_then(JsonValue::as_str),
+            Some("pattern")
+        );
         assert_eq!(
             v.get("cone_ops_skipped").and_then(JsonValue::as_f64),
             Some(32.0)

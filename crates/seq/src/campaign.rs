@@ -13,10 +13,12 @@
 //! and honors a [`CancelToken`], returning the completed fault-ordered
 //! prefix on cancellation.
 //!
-//! The default backend ([`SeqBackend::Packed`]) packs up to 63 faults into
-//! the lanes of one `u64` word — lane 0 replays the golden machine, every
-//! other lane one fault — and replays the driven sequence **once per
-//! batch** through [`PackedSeqSim`]: per-lane flip-flop state is carried
+//! The default backend ([`SeqBackend::Packed`]) packs up to `63 × W` faults
+//! into the lanes of one wide evaluation word of `W` 64-bit sub-words (`W ∈
+//! {1, 4, 8}`, chosen by [`Campaign::word_width`] or CPU-feature detection)
+//! — lane 0 of every sub-word replays the golden machine, every other lane
+//! one fault — and replays the driven sequence **once per
+//! batch** through [`WidePackedSeqSim`]: per-lane flip-flop state is carried
 //! across periods, every lane is classified against the golden lane with
 //! word-wide masks, and a classified lane *retires* (drops out of the
 //! batch's activity mask), so the batch early-exits once every lane is
@@ -30,8 +32,9 @@
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
 use scal_engine::{
-    effective_threads, par_map_cancellable, CompiledCircuit, CompiledSim, ConeSim, ConeSimStats,
-    EngineError, EvalMode, GoldenTrace, PackedBatchPlan, PackedSeqSim,
+    effective_threads, par_map_cancellable, resolve_word_width, CompiledCircuit, CompiledSim,
+    ConeSim, ConeSimStats, EngineError, EvalMode, GoldenTrace, WidePackedBatchPlan,
+    WidePackedSeqSim, Word,
 };
 use scal_faults::Fault;
 use scal_netlist::Override;
@@ -162,7 +165,7 @@ fn apply_compiled(
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SeqBackend {
     /// Fault-per-lane packed replay (default): up to 63 faults ride the
-    /// lanes of one word (lane 0 golden) through [`PackedSeqSim`], replay
+    /// lanes of one word (lane 0 golden) through [`WidePackedSeqSim`], replay
     /// the driven sequence once per batch, and retire lanes as they are
     /// classified.
     #[default]
@@ -221,6 +224,7 @@ pub struct Campaign<'a> {
     cancel: Option<&'a CancelToken>,
     backend: SeqBackend,
     eval_mode: EvalMode,
+    word_width: usize,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -234,6 +238,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("cancel", &self.cancel.is_some())
             .field("backend", &self.backend)
             .field("eval_mode", &self.eval_mode)
+            .field("word_width", &self.word_width)
             .finish_non_exhaustive()
     }
 }
@@ -253,6 +258,7 @@ impl<'a> Campaign<'a> {
             cancel: None,
             backend: SeqBackend::default(),
             eval_mode: EvalMode::default(),
+            word_width: 0,
         }
     }
 
@@ -317,6 +323,19 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Evaluation word width for the packed backend, in 64-bit sub-words
+    /// (`1`, `4` or `8`); `0` (the default) resolves through the
+    /// `SCAL_WORD_WIDTH` environment variable and then CPU-feature
+    /// detection. At width `W` one packed batch carries `63 × W` faults, so
+    /// wider words cut the number of driven-sequence replays; outcomes are
+    /// bit-identical at every width. The scalar and graph backends ignore
+    /// this knob.
+    #[must_use]
+    pub fn word_width(mut self, width: usize) -> Self {
+        self.word_width = width;
+        self
+    }
+
     /// Builds the observer fan-out (plain observer and/or coverage map); an
     /// empty fan-out reports `enabled() == false`, preserving the fast path.
     fn fan_out(&self, faults: &[Fault]) -> MultiObserver<'a> {
@@ -342,28 +361,38 @@ impl<'a> Campaign<'a> {
     ///
     /// Propagates [`CompiledCircuit::try_compile`] errors on the compiled
     /// backends (the graph oracle never compiles, so it only errors on
-    /// future validations).
+    /// future validations), and `InvalidConfig` when
+    /// [`Campaign::word_width`] (or `SCAL_WORD_WIDTH`) names an unusable
+    /// width.
     ///
     /// # Panics
     ///
     /// Panics if a word's width mismatches the machine's external inputs.
     pub fn run(self) -> Result<SeqCampaign, EngineError> {
         match self.backend {
-            SeqBackend::Packed => self.run_packed(),
+            SeqBackend::Packed => match resolve_word_width(self.word_width)? {
+                1 => self.run_packed::<1>(),
+                4 => self.run_packed::<4>(),
+                8 => self.run_packed::<8>(),
+                other => Err(EngineError::InvalidConfig {
+                    reason: format!("unsupported word width {other}"),
+                }),
+            },
             SeqBackend::Scalar | SeqBackend::Graph => self.run_per_fault(),
         }
     }
 
-    /// The packed fault-per-lane path: up to 63 faults per batch ride the
-    /// lanes of one word (lane 0 golden) and the driven sequence is replayed
-    /// once per batch, with lanes retiring as they are classified.
-    fn run_packed(self) -> Result<SeqCampaign, EngineError> {
+    /// The packed fault-per-lane path: up to `63 × W` faults per batch ride
+    /// the lanes of one wide word (lane 0 of every sub-word golden) and the
+    /// driven sequence is replayed once per batch, with lanes retiring as
+    /// they are classified.
+    fn run_packed<const W: usize>(self) -> Result<SeqCampaign, EngineError> {
         let total_t = Instant::now();
         let faults = self.machine.checkable_faults();
         let fan = self.fan_out(&faults);
         let observer: &dyn CampaignObserver = &fan;
         let obs = observer.enabled();
-        let batches: Vec<&[Fault]> = faults.chunks(PackedSeqSim::FAULT_LANES).collect();
+        let batches: Vec<&[Fault]> = faults.chunks(WidePackedSeqSim::<W>::FAULT_LANES).collect();
         let n_batches = batches.len();
         if obs {
             observer.on_event(&CampaignEvent::CampaignStart {
@@ -372,6 +401,12 @@ impl<'a> Campaign<'a> {
                 inputs: self.machine.circuit.inputs().len(),
                 outputs: self.machine.circuit.outputs().len(),
                 threads: effective_threads(self.threads, n_batches),
+            });
+            observer.on_event(&CampaignEvent::LaneGeometry {
+                width: W,
+                fault_lanes: WidePackedSeqSim::<W>::FAULT_LANES,
+                pattern_lanes: 0,
+                packing: "seq",
             });
         }
 
@@ -385,15 +420,16 @@ impl<'a> Campaign<'a> {
             });
         }
         let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
-        let plans: Vec<PackedBatchPlan> = {
-            let mut overrides: Vec<[Override; 1]> = Vec::with_capacity(PackedSeqSim::FAULT_LANES);
+        let plans: Vec<WidePackedBatchPlan<W>> = {
+            let mut overrides: Vec<[Override; 1]> =
+                Vec::with_capacity(WidePackedSeqSim::<W>::FAULT_LANES);
             batches
                 .iter()
                 .map(|batch| {
                     overrides.clear();
                     overrides.extend(batch.iter().map(|f| [f.to_override()]));
                     let refs: Vec<&[Override]> = overrides.iter().map(|o| o.as_slice()).collect();
-                    PackedBatchPlan::build(&compiled, &refs)
+                    WidePackedBatchPlan::build(&compiled, &refs)
                 })
                 .collect()
         };
@@ -443,52 +479,57 @@ impl<'a> Campaign<'a> {
         let done = std::sync::atomic::AtomicUsize::new(0);
         let run_batch = |worker: usize,
                          batch: &[Fault],
-                         plan: &PackedBatchPlan|
+                         plan: &WidePackedBatchPlan<W>|
          -> (usize, Vec<SeqOutcome>, u64, usize) {
-            let mut sim = PackedSeqSim::from_plan(&compiled, plan);
+            let mut sim = WidePackedSeqSim::from_plan(&compiled, plan);
             let mut outcomes = vec![SeqOutcome::Dormant; batch.len()];
-            let mut active = sim.lane_mask();
+            // One activity mask per sub-word; a classified lane retires
+            // from its sub-word's mask.
+            let mut active: Vec<u64> = (0..W).map(|s| sim.sub_lane_mask(s)).collect();
             let mut words_run = 0u64;
-            let mut o1 = vec![0u64; n_outputs];
-            // Broadcasts the golden lane's bit across all 64 lanes.
-            let splat = |w: u64| 0u64.wrapping_sub(w & 1);
+            let mut o1 = vec![Word::<W>::ZERO; n_outputs];
             for (i, (p1, p2)) in periods.iter().enumerate() {
                 sim.step(p1);
                 for (k, slot) in o1.iter_mut().enumerate() {
-                    *slot = sim.output(k);
+                    *slot = sim.output_wide(k);
                 }
                 sim.step(p2);
                 words_run = i as u64 + 1;
                 // A lane manifests at the first word where any monitored
-                // line deviates from the golden lane; the flag masks mirror
-                // classify_trace lane-wise.
-                let mut wrong = 0u64;
-                let mut nonalt = 0u64;
+                // line deviates from its sub-word's golden lane; the flag
+                // masks mirror classify_trace lane-wise.
+                let mut wrong = Word::<W>::ZERO;
+                let mut nonalt = Word::<W>::ZERO;
                 for k in mon.clone() {
-                    let (o1k, o2k) = (o1[k], sim.output(k));
-                    wrong |= (o1k ^ splat(o1k)) | (o2k ^ splat(o2k));
+                    let (o1k, o2k) = (o1[k], sim.output_wide(k));
+                    wrong |= (o1k ^ o1k.golden_splat()) | (o2k ^ o2k.golden_splat());
                     nonalt |= !(o1k ^ o2k);
                 }
-                let code_bad = code_pair.map_or(0, |(f, g)| {
-                    !(o1[f] ^ o1[g]) | !(sim.output(f) ^ sim.output(g))
+                let code_bad = code_pair.map_or(Word::ZERO, |(f, g)| {
+                    !(o1[f] ^ o1[g]) | !(sim.output_wide(f) ^ sim.output_wide(g))
                 });
-                let newly = wrong & active;
-                if newly != 0 {
-                    let flagged = nonalt | code_bad;
-                    for (l, outcome) in outcomes.iter_mut().enumerate() {
-                        let bit = 1u64 << (l + 1);
-                        if newly & bit != 0 {
-                            *outcome = if flagged & bit != 0 {
-                                SeqOutcome::Detected { word: i }
-                            } else {
-                                SeqOutcome::Violation { word: i }
-                            };
+                let flagged = nonalt | code_bad;
+                let mut live = false;
+                for (s, act) in active.iter_mut().enumerate() {
+                    let newly = wrong.sub(s) & *act;
+                    if newly != 0 {
+                        let fl = flagged.sub(s);
+                        for l in 0..63 {
+                            let bit = 1u64 << (l + 1);
+                            if newly & bit != 0 {
+                                outcomes[s * 63 + l] = if fl & bit != 0 {
+                                    SeqOutcome::Detected { word: i }
+                                } else {
+                                    SeqOutcome::Violation { word: i }
+                                };
+                            }
                         }
+                        *act &= !newly;
                     }
-                    active &= !newly;
-                    if active == 0 {
-                        break;
-                    }
+                    live |= *act != 0;
+                }
+                if !live {
+                    break;
                 }
             }
             if obs {
@@ -504,7 +545,7 @@ impl<'a> Campaign<'a> {
                 .count();
             (worker, outcomes, words_run, retired)
         };
-        let items: Vec<(&[Fault], &PackedBatchPlan)> =
+        let items: Vec<(&[Fault], &WidePackedBatchPlan<W>)> =
             batches.iter().copied().zip(plans.iter()).collect();
         let slots = par_map_cancellable(
             &items,
@@ -1061,6 +1102,7 @@ mod tests {
         assert!(faults > 2 * 63, "want ≥3 batches, got {faults} faults");
         let collect = CollectObserver::default();
         let campaign = Campaign::new(&machine, &words)
+            .word_width(1)
             .threads(1)
             .observer(&collect)
             .run()
@@ -1069,6 +1111,15 @@ mod tests {
         assert!(!events
             .iter()
             .any(|e| matches!(e, CampaignEvent::EvalMode { .. })));
+        assert!(matches!(
+            events.get(1),
+            Some(CampaignEvent::LaneGeometry {
+                width: 1,
+                fault_lanes: 63,
+                pattern_lanes: 0,
+                packing: "seq",
+            })
+        ));
         let batches: Vec<(usize, usize, u64, usize)> = events
             .iter()
             .filter_map(|e| match e {
@@ -1098,6 +1149,68 @@ mod tests {
             assert!(*batch_words <= words.len() as u64);
             assert!(retired <= lanes);
         }
+    }
+
+    #[test]
+    fn wide_packed_widths_match_scalar() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0]);
+        for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+            let scalar = Campaign::new(&machine, &words).word_width(1).run().unwrap();
+            for width in [4, 8] {
+                let wide = Campaign::new(&machine, &words)
+                    .word_width(width)
+                    .run()
+                    .unwrap();
+                assert_eq!(scalar, wide, "{} at W={width}", machine.design);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_packed_merges_batches_and_emits_geometry() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0]);
+        let machine = code_conversion_machine(&m);
+        let faults = machine.checkable_faults().len();
+        assert!(faults > 63, "want faults spanning sub-words, got {faults}");
+        let collect = CollectObserver::default();
+        let campaign = Campaign::new(&machine, &words)
+            .word_width(4)
+            .threads(1)
+            .observer(&collect)
+            .run()
+            .unwrap();
+        let events = collect.events();
+        assert!(matches!(
+            events.get(1),
+            Some(CampaignEvent::LaneGeometry {
+                width: 4,
+                fault_lanes: 252,
+                pattern_lanes: 0,
+                packing: "seq",
+            })
+        ));
+        let batches: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::LaneBatch { lanes, retired, .. } => Some((*lanes, *retired)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), faults.div_ceil(252));
+        assert_eq!(batches.iter().map(|b| b.0).sum::<usize>(), faults);
+        let observable = campaign
+            .outcomes
+            .iter()
+            .filter(|(_, o)| !matches!(o, SeqOutcome::Dormant))
+            .count();
+        assert_eq!(batches.iter().map(|b| b.1).sum::<usize>(), observable);
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::FaultFinish { .. }))
+            .count();
+        assert_eq!(finishes, faults);
     }
 
     #[test]

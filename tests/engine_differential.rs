@@ -216,6 +216,163 @@ fn cone_eval_matches_full_on_paper_circuits() {
     );
 }
 
+/// Wide evaluation words are a pure optimisation: every width is
+/// bit-identical to the scalar `u64` path on every campaign-eligible paper
+/// circuit, across thread counts, fault dropping, and the eval mode under
+/// test — results, aggregate pair counts, and drop totals alike.
+#[test]
+fn wide_word_widths_match_scalar_on_paper_circuits() {
+    let mut checked = 0;
+    for (name, c) in all_paper_circuits() {
+        if c.is_sequential() || c.inputs().len() > 12 || !is_alternating(&c) {
+            continue;
+        }
+        let faults = enumerate_faults(&c);
+        for threads in [1, 4] {
+            for drop in [false, true] {
+                let scalar = Campaign::new(&c)
+                    .faults(faults.clone())
+                    .threads(threads)
+                    .drop_after_detection(drop)
+                    .eval_mode(mode_under_test())
+                    .word_width(1)
+                    .run()
+                    .expect("scalar-width campaign");
+                for width in [4usize, 8] {
+                    let wide = Campaign::new(&c)
+                        .faults(faults.clone())
+                        .threads(threads)
+                        .drop_after_detection(drop)
+                        .eval_mode(mode_under_test())
+                        .word_width(width)
+                        .run()
+                        .expect("wide campaign");
+                    assert_eq!(
+                        scalar.results, wide.results,
+                        "{name}: W={width}, threads {threads}, drop {drop}"
+                    );
+                    assert_eq!(
+                        scalar.stats.pairs_evaluated, wide.stats.pairs_evaluated,
+                        "{name}: W={width} pair accounting"
+                    );
+                    assert_eq!(
+                        scalar.stats.faults_dropped, wide.stats.faults_dropped,
+                        "{name}: W={width} drop accounting"
+                    );
+                }
+            }
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "too few campaign-eligible circuits: {checked}"
+    );
+}
+
+/// Fault-per-lane packing on pair campaigns (the 2-D configuration) is
+/// bit-identical to the unpacked path at every width, with and without
+/// fault dropping, pair accounting included.
+#[test]
+fn fault_packed_campaign_matches_unpacked_on_paper_circuits() {
+    let mut checked = 0;
+    for (name, c) in all_paper_circuits() {
+        if c.is_sequential() || c.inputs().len() > 12 || !is_alternating(&c) {
+            continue;
+        }
+        let faults = enumerate_faults(&c);
+        for drop in [false, true] {
+            let plain = Campaign::new(&c)
+                .faults(faults.clone())
+                .threads(1)
+                .drop_after_detection(drop)
+                .word_width(1)
+                .run()
+                .expect("unpacked campaign");
+            for width in [1usize, 8] {
+                let packed = Campaign::new(&c)
+                    .faults(faults.clone())
+                    .threads(1)
+                    .drop_after_detection(drop)
+                    .word_width(width)
+                    .fault_packing(true)
+                    .run()
+                    .expect("fault-packed campaign");
+                assert_eq!(
+                    plain.results, packed.results,
+                    "{name}: packed W={width}, drop {drop}"
+                );
+                assert_eq!(
+                    plain.stats.pairs_evaluated, packed.stats.pairs_evaluated,
+                    "{name}: packed W={width} pair accounting"
+                );
+                assert_eq!(
+                    plain.stats.faults_dropped, packed.stats.faults_dropped,
+                    "{name}: packed W={width} drop accounting"
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "too few campaign-eligible circuits: {checked}"
+    );
+}
+
+/// A cancelled fault-packed campaign returns a whole-chunk fault-ordered
+/// prefix that is bit-identical to the same prefix of an uncancelled
+/// unpacked run.
+#[test]
+fn cancelled_fault_packed_prefix_matches_unpacked_run() {
+    use scal::obs::{CampaignEvent, CampaignObserver, CancelToken};
+    struct CancelAfter<'a> {
+        token: &'a CancelToken,
+        after: usize,
+    }
+    impl CampaignObserver for CancelAfter<'_> {
+        fn on_event(&self, event: &CampaignEvent) {
+            if let CampaignEvent::Progress { done, .. } = event {
+                if *done >= self.after {
+                    self.token.cancel();
+                }
+            }
+        }
+    }
+    let c = paper::ripple_adder(4);
+    let faults = enumerate_faults(&c);
+    assert!(faults.len() > 63, "want multiple chunks: {}", faults.len());
+    let full = Campaign::new(&c)
+        .faults(faults.clone())
+        .threads(1)
+        .word_width(1)
+        .run()
+        .expect("unpacked campaign")
+        .results;
+    let token = CancelToken::new();
+    let observer = CancelAfter {
+        token: &token,
+        after: 1,
+    };
+    let partial = Campaign::new(&c)
+        .faults(faults)
+        .threads(1)
+        .fault_packing(true)
+        .observer(&observer)
+        .cancel(&token)
+        .run()
+        .expect("cancelled fault-packed campaign");
+    assert!(partial.cancelled, "token must cancel the run");
+    let k = partial.results.len();
+    assert!(k > 0 && k < full.len(), "must stop early ({k})");
+    assert_eq!(k % 63, 0, "fault-packed cancellation is chunk-granular");
+    assert_eq!(
+        partial.results[..],
+        full[..k],
+        "packed prefix must match the unpacked run"
+    );
+}
+
 /// Sequential campaigns: cone replay over the cached golden trace is
 /// bit-identical to full per-fault re-simulation on both Chapter-4 SCAL
 /// designs, across thread counts.
@@ -361,8 +518,11 @@ fn cancelled_packed_seq_prefix_matches_scalar_run() {
         token: &token,
         after: 1,
     };
+    // Width 1 pins the 63-fault batch geometry the boundary assertion
+    // below relies on; wider words pack whole batches into one word.
     let partial = scal::seq::Campaign::new(&machine, &words)
         .threads(1)
+        .word_width(1)
         .observer(&observer)
         .cancel(&token)
         .run()

@@ -27,8 +27,11 @@ fn zero_micros(line: &str) -> String {
 fn normalized_fig3_4_trace() -> String {
     let fig = paper::fig3_4();
     let trace = JsonlTrace::new(Vec::new());
+    // Width 1 pins the lane_geometry payload; the auto width is
+    // CPU-feature-dependent and would vary the golden machine-to-machine.
     let report = Campaign::new(&fig.circuit)
         .threads(1)
+        .word_width(1)
         .observer(&trace)
         .run()
         .expect("fig 3.4 network is alternating");

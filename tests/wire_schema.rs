@@ -31,6 +31,12 @@ fn all_events() -> Vec<CampaignEvent> {
             threads: 2,
         },
         CampaignEvent::EvalMode { mode: "cone" },
+        CampaignEvent::LaneGeometry {
+            width: 8,
+            fault_lanes: 63,
+            pattern_lanes: 8,
+            packing: "fault",
+        },
         CampaignEvent::PhaseStart {
             phase: Phase::Compile,
         },
@@ -199,7 +205,7 @@ fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
     let text = wire_surface();
     validate_jsonl(&text).expect("valid JSONL");
     let events = all_events();
-    assert_eq!(events.len(), 15, "new event variant? extend all_events()");
+    assert_eq!(events.len(), 16, "new event variant? extend all_events()");
     for e in &events {
         assert!(
             text.contains(&format!("\"ev\":\"{}\"", e.name())),
