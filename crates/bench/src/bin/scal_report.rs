@@ -22,7 +22,8 @@ fn usage() {
     eprintln!(
         "usage: scal_report [--out FILE] [--baseline FILE] [--max-perf-drop PCT] \
          [--threads N] [--eval-mode full|cone] [--seq-backend packed|scalar|graph] \
-         [--word-width 0|1|4|8] [--suite standard|large] [--large-gates N] [--quiet]"
+         [--word-width 0|1|4|8] [--fault-collapse on|off|auto] [--suite standard|large] \
+         [--large-gates N] [--quiet]"
     );
     eprintln!("  --out FILE           snapshot path (default BENCH_<date>.json)");
     eprintln!("  --baseline FILE      committed snapshot to diff against");
@@ -32,6 +33,9 @@ fn usage() {
     eprintln!("  --seq-backend NAME   sequential-campaign backend (default packed)");
     eprintln!(
         "  --word-width W       evaluation word width in 64-bit sub-words (default 0 = auto)"
+    );
+    eprintln!(
+        "  --fault-collapse X   compile-time fault collapsing across the suite (default auto = on)"
     );
     eprintln!("  --suite NAME         standard paper suite or synthetic large tier");
     eprintln!("  --large-gates N      target gate count of large-suite designs (default 100000)");
@@ -107,6 +111,21 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     .ok_or(format!(
                         "bad --word-width value {raw:?} (want 0, 1, 4 or 8)"
                     ))?;
+            }
+            "--fault-collapse" => {
+                // Routed through the engine's environment override so every
+                // suite campaign (pair, sequential, large tier) honors it
+                // without a per-builder knob.
+                let raw = value("--fault-collapse")?;
+                match raw.as_str() {
+                    "on" | "off" => std::env::set_var(scal_engine::SCAL_FAULT_COLLAPSE_ENV, &raw),
+                    "auto" => std::env::remove_var(scal_engine::SCAL_FAULT_COLLAPSE_ENV),
+                    _ => {
+                        return Err(format!(
+                            "bad --fault-collapse value {raw:?} (want on|off|auto)"
+                        ))
+                    }
+                }
             }
             "--suite" => {
                 let raw = value("--suite")?;

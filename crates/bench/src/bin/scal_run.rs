@@ -30,7 +30,8 @@ fn usage() -> ExitCode {
          \x20 scal_run convert IN OUT\n\
          \x20 scal_run info FILE\n\
          \x20 scal_run run FILE [--threads N] [--max-faults N] [--eval-mode full|cone]\n\
-         \x20               [--word-width 0|1|4|8] [--fault-packing on|off]\n\
+         \x20               [--word-width 0|1|4|8] [--fault-packing on|off|auto]\n\
+         \x20               [--fault-collapse on|off|auto]\n\
          formats are chosen by extension (.v, .bench, .scal/.txt) and sniffed on read"
     );
     ExitCode::FAILURE
@@ -151,7 +152,10 @@ fn run(args: &[String]) -> ExitCode {
     let mut max_faults = None;
     let mut eval_mode = EvalMode::default();
     let mut word_width = 0usize;
-    let mut fault_packing = false;
+    // `None` leaves the engine's Auto heuristics (and the
+    // SCAL_FAULT_COLLAPSE environment override) in charge.
+    let mut fault_packing: Option<bool> = None;
+    let mut fault_collapse: Option<bool> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let Some(raw) = it.next() else {
@@ -175,8 +179,15 @@ fn run(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--fault-packing" => match raw.as_str() {
-                "on" => fault_packing = true,
-                "off" => fault_packing = false,
+                "on" => fault_packing = Some(true),
+                "off" => fault_packing = Some(false),
+                "auto" => fault_packing = None,
+                _ => return usage(),
+            },
+            "--fault-collapse" => match raw.as_str() {
+                "on" => fault_collapse = Some(true),
+                "off" => fault_collapse = Some(false),
+                "auto" => fault_collapse = None,
                 _ => return usage(),
             },
             _ => return usage(),
@@ -197,16 +208,20 @@ fn run(args: &[String]) -> ExitCode {
     let swept = faults.len();
     let cov = CoverageObserver::new();
     let prof = Profiler::new();
-    let report = match scal_faults::Campaign::new(&circuit)
+    let mut campaign = scal_faults::Campaign::new(&circuit)
         .faults(faults)
         .threads(threads)
         .eval_mode(eval_mode)
         .word_width(word_width)
-        .fault_packing(fault_packing)
         .observer(&prof)
-        .coverage(&cov)
-        .run()
-    {
+        .coverage(&cov);
+    if let Some(pack) = fault_packing {
+        campaign = campaign.fault_packing(pack);
+    }
+    if let Some(collapse) = fault_collapse {
+        campaign = campaign.fault_collapse(collapse);
+    }
+    let report = match campaign.run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign rejected: {e}");
@@ -215,9 +230,16 @@ fn run(args: &[String]) -> ExitCode {
     };
     let map = cov.latest().expect("coverage map");
     let profile = prof.latest().expect("profile");
+    let collapse = match profile.collapse_ratio() {
+        Some(r) => format!(
+            ", collapse {r:.2}x ({} reps)",
+            profile.collapse_representatives
+        ),
+        None => String::new(),
+    };
     println!(
         "{path}: {swept}/{total_sites} faults swept, {} detected ({:.1}% of swept), \
-         {} pairs, compile {:.1} ms, eval {:.1} ms",
+         {} pairs, compile {:.1} ms, eval {:.1} ms{collapse}",
         map.detected_count(),
         100.0 * map.coverage_fraction(),
         profile.pairs,

@@ -206,6 +206,9 @@ pub fn fig3_6(ctx: &crate::ExperimentCtx) -> String {
     // (not just the labelled lines) through the unified Campaign builder,
     // forwarding the observability context.
     let campaign = scal_faults::Campaign::new(c)
+        // Pin the pattern-major path: the tracer narrates per-fault cone
+        // stats, which auto fault-packing would fold into lane batches.
+        .fault_packing(false)
         .eval_mode(ctx.eval_mode())
         .observer(ctx)
         .run()

@@ -98,6 +98,9 @@ pub fn fig6_2(ctx: &crate::ExperimentCtx) -> String {
     nand_chain.mark_output("f", g3);
     let alt = convert_to_alternating(&nand_chain).expect("NAND network converts");
     let results = Campaign::new(&alt)
+        // Pin the pattern-major path: the tracer narrates per-fault cone
+        // stats, which auto fault-packing would fold into lane batches.
+        .fault_packing(false)
         .eval_mode(ctx.eval_mode())
         .observer(ctx)
         .run()

@@ -184,6 +184,10 @@ pub fn ext_engine(ctx: &crate::ExperimentCtx) -> String {
             let report = Campaign::new(&c)
                 .faults(faults.clone())
                 .drop_after_detection(drop)
+                // Pin the pattern-major path: the tracer narrates per-fault
+                // cone stats, which auto fault-packing would fold into lane
+                // batches.
+                .fault_packing(false)
                 .eval_mode(ctx.eval_mode())
                 .observer(ctx)
                 .run()

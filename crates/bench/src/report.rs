@@ -99,8 +99,16 @@ pub struct CircuitBench {
     pub fault_lanes: u64,
     /// Alternating pairs evaluated per wide sweep.
     pub pattern_lanes: u64,
-    /// Lane-packing flavour (`"pattern"`, `"fault"`, `"seq"`, or empty).
+    /// Lane-packing flavour (`"pattern"`, `"fault"`, `"seq"`, `"scalar"`,
+    /// or empty).
     pub packing: String,
+    /// Original faults handed to the compile-time fault-collapsing pass
+    /// (0 when collapsing was off or the campaign has no collapse pass).
+    pub collapse_faults: u64,
+    /// Equivalence-class representatives the campaign actually simulated.
+    pub collapse_representatives: u64,
+    /// `collapse_faults / collapse_representatives`, when collapsing ran.
+    pub collapse_ratio: Option<f64>,
 }
 
 impl CircuitBench {
@@ -139,6 +147,9 @@ impl CircuitBench {
             fault_lanes: profile.fault_lanes,
             pattern_lanes: profile.pattern_lanes,
             packing: profile.packing.clone(),
+            collapse_faults: profile.collapse_faults,
+            collapse_representatives: profile.collapse_representatives,
+            collapse_ratio: profile.collapse_ratio(),
         }
     }
 }
@@ -282,6 +293,11 @@ impl Snapshot {
                 co.num("pattern_lanes", c.pattern_lanes);
                 co.str("packing", &c.packing);
             }
+            if let Some(r) = c.collapse_ratio {
+                co.num("collapse_faults", c.collapse_faults);
+                co.num("collapse_representatives", c.collapse_representatives);
+                co.float("collapse_ratio", r);
+            }
             let mut po = JsonObject::new();
             for (name, micros) in &c.phases {
                 po.num(name, *micros);
@@ -352,9 +368,13 @@ impl Snapshot {
             } else {
                 String::new()
             };
+            let collapse = match c.collapse_ratio {
+                Some(r) => format!(", collapse {r:.2}x ({} reps)", c.collapse_representatives),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  {:<16} [{:<10}] coverage {:>5.1}% ({}/{}), {} pairs, {rate}{lanes}",
+                "  {:<16} [{:<10}] coverage {:>5.1}% ({}/{}), {} pairs, {rate}{lanes}{collapse}",
                 c.name,
                 c.campaign,
                 100.0 * c.coverage,
@@ -697,6 +717,9 @@ fn compile_only_row(name: &str, kind: SynthKind, target_gates: usize) -> Circuit
         fault_lanes: 0,
         pattern_lanes: 0,
         packing: String::new(),
+        collapse_faults: 0,
+        collapse_representatives: 0,
+        collapse_ratio: None,
     }
 }
 

@@ -44,6 +44,7 @@
 //! prefix of completed reports, bit-identical to the same prefix of an
 //! uncancelled run.
 
+use crate::collapse::{collapse_overrides, resolve_fault_collapse};
 use crate::compile::{CompiledCircuit, FaultCone, LanePlan, CONE_SEED};
 use crate::error::EngineError;
 use crate::eval::WideEvaluator;
@@ -109,6 +110,33 @@ impl std::str::FromStr for EvalMode {
     }
 }
 
+/// A three-state switch for features the engine can decide on its own.
+///
+/// `Auto` lets the campaign pick (packing: the lane-geometry heuristic;
+/// collapsing: on unless the `SCAL_FAULT_COLLAPSE` environment variable says
+/// otherwise); `On` / `Off` force the choice. `From<bool>` maps the forcing
+/// states so the builders keep their plain-`bool` signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Toggle {
+    /// Let the engine decide.
+    #[default]
+    Auto,
+    /// Force the feature on.
+    On,
+    /// Force the feature off.
+    Off,
+}
+
+impl From<bool> for Toggle {
+    fn from(on: bool) -> Self {
+        if on {
+            Toggle::On
+        } else {
+            Toggle::Off
+        }
+    }
+}
+
 /// Knobs for [`run_pair_campaign`].
 ///
 /// Construct directly (the fields are public and `Default` is valid) or via
@@ -141,14 +169,26 @@ pub struct EngineConfig {
     /// width produces bit-identical reports, events and counters; only
     /// throughput changes.
     pub word_width: usize,
-    /// When `true`, up to 63 faults are packed into the bit lanes of every
+    /// Whether up to 63 faults are packed into the bit lanes of every
     /// pattern sub-word (lane 0 golden), evaluating `63 × W` fault-pattern
     /// cells per sweep instead of one fault across `64 × W` patterns.
     /// Implies full-schedule evaluation (cone restriction does not apply);
     /// reports and per-fault accounting stay bit-identical to the unpacked
     /// path. Pays off on small-pattern circuits where the per-fault sweep
-    /// is too short to fill the machine.
-    pub fault_packing: bool,
+    /// is too short to fill the machine. [`Toggle::Auto`] (the default)
+    /// packs exactly when the packed sweep count beats the pattern-major
+    /// sweep count: `⌈F/63⌉ · P < F · ⌈P/64⌉` over `F` *simulated*
+    /// (post-collapse) faults and `P` canonical pairs.
+    pub fault_packing: Toggle,
+    /// Whether structurally equivalent faults are collapsed at compile time
+    /// so only one representative per equivalence class is simulated (see
+    /// [`crate::collapse_overrides`]). Verdicts are expanded back over every
+    /// class at merge time, so reports, coverage maps and per-fault trace
+    /// events are bit-identical to an uncollapsed run — collapsing only
+    /// changes how much work the fault-sim phase does. [`Toggle::Auto`]
+    /// (the default) means *on*, unless the `SCAL_FAULT_COLLAPSE`
+    /// environment variable (`0`/`off`/`false`) vetoes it.
+    pub fault_collapse: Toggle,
 }
 
 impl EngineConfig {
@@ -169,7 +209,8 @@ pub struct EngineConfigBuilder {
     eval_mode: EvalMode,
     golden_cache_bytes: usize,
     word_width: usize,
-    fault_packing: bool,
+    fault_packing: Toggle,
+    fault_collapse: Toggle,
 }
 
 impl EngineConfigBuilder {
@@ -210,11 +251,21 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Enables 2-D fault × pattern lane packing (see
-    /// [`EngineConfig::fault_packing`]).
+    /// Forces 2-D fault × pattern lane packing on or off (see
+    /// [`EngineConfig::fault_packing`]; the unset default is
+    /// [`Toggle::Auto`]).
     #[must_use]
     pub fn fault_packing(mut self, on: bool) -> Self {
-        self.fault_packing = on;
+        self.fault_packing = on.into();
+        self
+    }
+
+    /// Forces compile-time fault collapsing on or off (see
+    /// [`EngineConfig::fault_collapse`]; the unset default is
+    /// [`Toggle::Auto`] = on unless `SCAL_FAULT_COLLAPSE` vetoes).
+    #[must_use]
+    pub fn fault_collapse(mut self, on: bool) -> Self {
+        self.fault_collapse = on.into();
         self
     }
 
@@ -249,6 +300,7 @@ impl EngineConfigBuilder {
             golden_cache_bytes: self.golden_cache_bytes,
             word_width: self.word_width,
             fault_packing: self.fault_packing,
+            fault_collapse: self.fault_collapse,
         })
     }
 }
@@ -639,6 +691,23 @@ struct SimOutcome {
 
 fn duration_micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Rewrites the fault index carried by a buffered per-fault event. Merge
+/// expansion replays representative events under each original fault's
+/// index; events without a fault field pass through unchanged.
+fn remap_fault(event: &CampaignEvent, fault: usize) -> CampaignEvent {
+    let mut e = event.clone();
+    match &mut e {
+        CampaignEvent::FaultStart { fault: f, .. }
+        | CampaignEvent::BatchDone { fault: f, .. }
+        | CampaignEvent::FaultDropped { fault: f, .. }
+        | CampaignEvent::ConeStats { fault: f, .. }
+        | CampaignEvent::FaultFinish { fault: f, .. }
+        | CampaignEvent::FaultClass { fault: f, .. } => *f = fault,
+        _ => {}
+    }
+    e
 }
 
 /// Tracks the minimum schedule level at which a cone frontier died across a
@@ -1162,15 +1231,52 @@ fn run_campaign<const W: usize>(
     }
 
     let total_t = Instant::now();
+    let obs = observer.enabled();
+    let mut stats = EngineStats::default();
+
+    // Compile — and collapse — before the event preamble: the lane-geometry
+    // decision under `Toggle::Auto` needs the *simulated* (post-collapse)
+    // fault count, but `campaign_start` / `eval_mode` / `lane_geometry`
+    // precede the compile-phase events in the trace contract. The phase is
+    // timed here and its events are emitted below.
+    let t = Instant::now();
+    let (compiled, cspans) = CompiledCircuit::try_compile_timed(circuit)?;
+    let collapse_on = resolve_fault_collapse(config.fault_collapse)?;
+    let collapsed = if collapse_on {
+        Some(collapse_overrides(&compiled, faults))
+    } else {
+        None
+    };
+    stats.compile_time = t.elapsed();
+    // The fault list the sweeps actually run: class representatives under
+    // collapsing, the caller's list verbatim otherwise.
+    let sim_faults: Vec<Override> = match &collapsed {
+        Some(cl) => cl.reps.iter().map(|&r| faults[r as usize]).collect(),
+        None => faults.to_vec(),
+    };
+
+    // Lane-geometry decision: forced by the config, else pack exactly when
+    // the packed whole-schedule sweep count beats the pattern-major one —
+    // packed runs `⌈F/63⌉` chunk sweeps of `P` patterns each, pattern-major
+    // runs `F` faults of `⌈P/64⌉` batches each.
+    let packing = match config.fault_packing {
+        Toggle::On => true,
+        Toggle::Off => false,
+        Toggle::Auto => {
+            let f = sim_faults.len() as u64;
+            let p = 1u64 << (n - 1);
+            f > 0 && f.div_ceil(63) * p < f * p.div_ceil(64)
+        }
+    };
+
     // Work units: one fault on the pattern-major path, one ≤63-fault chunk
     // under fault packing.
-    let units = if config.fault_packing {
-        faults.len().div_ceil(63)
+    let units = if packing {
+        sim_faults.len().div_ceil(63)
     } else {
-        faults.len()
+        sim_faults.len()
     };
     let threads = effective_threads(config.threads, units);
-    let obs = observer.enabled();
     if obs {
         observer.on_event(&CampaignEvent::CampaignStart {
             campaign: "pair",
@@ -1183,13 +1289,13 @@ fn run_campaign<const W: usize>(
             // Fault packing forces full-schedule evaluation: cone
             // restriction does not compose with 63 distinct fanout cones
             // per word.
-            mode: if config.fault_packing {
+            mode: if packing {
                 EvalMode::Full.name()
             } else {
                 config.eval_mode.name()
             },
         });
-        let (fault_lanes, pattern_lanes, packing) = if config.fault_packing {
+        let (fault_lanes, pattern_lanes, geometry) = if packing {
             (63, W, "fault")
         } else {
             (0, 64 * W, "pattern")
@@ -1198,21 +1304,12 @@ fn run_campaign<const W: usize>(
             width: W,
             fault_lanes,
             pattern_lanes,
-            packing,
+            packing: geometry,
         });
-    }
 
-    let mut stats = EngineStats::default();
-
-    let t = Instant::now();
-    if obs {
         observer.on_event(&CampaignEvent::PhaseStart {
             phase: Phase::Compile,
         });
-    }
-    let (compiled, cspans) = CompiledCircuit::try_compile_timed(circuit)?;
-    stats.compile_time = t.elapsed();
-    if obs {
         observer.on_event(&CampaignEvent::PhaseEnd {
             phase: Phase::Compile,
             micros: duration_micros(stats.compile_time),
@@ -1240,6 +1337,21 @@ fn run_campaign<const W: usize>(
             count: 1,
             items: compiled.memory_bytes(),
         });
+        if let Some(cl) = &collapsed {
+            observer.on_event(&CampaignEvent::Span {
+                name: "collapse",
+                parent: "compile",
+                micros: cl.micros,
+                count: 1,
+                items: cl.num_faults() as u64,
+            });
+            observer.on_event(&CampaignEvent::FaultCollapse {
+                faults: cl.num_faults(),
+                representatives: cl.num_reps(),
+                dominance_edges: cl.dominance_edges,
+                micros: cl.micros,
+            });
+        }
         for (level, &gates) in compiled.level_gates().iter().enumerate() {
             observer.on_event(&CampaignEvent::LevelGates { level, gates });
         }
@@ -1251,7 +1363,7 @@ fn run_campaign<const W: usize>(
             phase: Phase::Golden,
         });
     }
-    let cache_bytes = if config.fault_packing {
+    let cache_bytes = if packing {
         None
     } else {
         match config.eval_mode {
@@ -1282,15 +1394,15 @@ fn run_campaign<const W: usize>(
     }
     let mut slots: Vec<Option<SimOutcome>> = Vec::with_capacity(units);
     slots.resize_with(units, || None);
-    if config.fault_packing {
+    if packing {
         if threads <= 1 {
             for (c, slot) in slots.iter_mut().enumerate() {
-                let (lo, hi) = (c * 63, ((c + 1) * 63).min(faults.len()));
+                let (lo, hi) = (c * 63, ((c + 1) * 63).min(sim_faults.len()));
                 let Some(outcome) = sim_fault_chunk::<W>(
                     &compiled,
                     &sweep,
                     config,
-                    &faults[lo..hi],
+                    &sim_faults[lo..hi],
                     lo,
                     0,
                     obs,
@@ -1302,7 +1414,7 @@ fn run_campaign<const W: usize>(
                 if obs {
                     observer.on_event(&CampaignEvent::Progress {
                         done: hi,
-                        total: faults.len(),
+                        total: sim_faults.len(),
                     });
                 }
             }
@@ -1313,7 +1425,7 @@ fn run_campaign<const W: usize>(
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let (compiled, sweep, config) = (&compiled, &sweep, config);
-                        let (cursor, done) = (&cursor, &done);
+                        let (sim_faults, cursor, done) = (&sim_faults, &cursor, &done);
                         scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
@@ -1324,12 +1436,12 @@ fn run_campaign<const W: usize>(
                                 if c >= units {
                                     break;
                                 }
-                                let (lo, hi) = (c * 63, ((c + 1) * 63).min(faults.len()));
+                                let (lo, hi) = (c * 63, ((c + 1) * 63).min(sim_faults.len()));
                                 let Some(outcome) = sim_fault_chunk::<W>(
                                     compiled,
                                     sweep,
                                     config,
-                                    &faults[lo..hi],
+                                    &sim_faults[lo..hi],
                                     lo,
                                     worker,
                                     obs,
@@ -1342,7 +1454,7 @@ fn run_campaign<const W: usize>(
                                     observer.on_event(&CampaignEvent::Progress {
                                         done: done.fetch_add(hi - lo, Ordering::Relaxed)
                                             + (hi - lo),
-                                        total: faults.len(),
+                                        total: sim_faults.len(),
                                     });
                                 }
                             }
@@ -1360,7 +1472,7 @@ fn run_campaign<const W: usize>(
     } else if threads <= 1 {
         // Reuse the warm golden evaluator's scratch.
         let mut ws = WorkerState::with_evaluator(golden_ev, &compiled, &sweep, config);
-        for (i, &fault) in faults.iter().enumerate() {
+        for (i, &fault) in sim_faults.iter().enumerate() {
             let Some(outcome) =
                 sim_fault(&compiled, &sweep, config, &mut ws, fault, i, 0, obs, cancel)
             else {
@@ -1370,7 +1482,7 @@ fn run_campaign<const W: usize>(
             if obs {
                 observer.on_event(&CampaignEvent::Progress {
                     done: i + 1,
-                    total: faults.len(),
+                    total: sim_faults.len(),
                 });
             }
         }
@@ -1381,7 +1493,7 @@ fn run_campaign<const W: usize>(
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
                     let (compiled, sweep, config) = (&compiled, &sweep, config);
-                    let (cursor, done) = (&cursor, &done);
+                    let (sim_faults, cursor, done) = (&sim_faults, &cursor, &done);
                     scope.spawn(move || {
                         let mut ws = WorkerState::new(compiled, sweep, config);
                         let mut local = Vec::new();
@@ -1390,11 +1502,19 @@ fn run_campaign<const W: usize>(
                                 break;
                             }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= faults.len() {
+                            if i >= sim_faults.len() {
                                 break;
                             }
                             let Some(outcome) = sim_fault(
-                                compiled, sweep, config, &mut ws, faults[i], i, worker, obs, cancel,
+                                compiled,
+                                sweep,
+                                config,
+                                &mut ws,
+                                sim_faults[i],
+                                i,
+                                worker,
+                                obs,
+                                cancel,
                             ) else {
                                 break;
                             };
@@ -1402,7 +1522,7 @@ fn run_campaign<const W: usize>(
                             if obs {
                                 observer.on_event(&CampaignEvent::Progress {
                                     done: done.fetch_add(1, Ordering::Relaxed) + 1,
-                                    total: faults.len(),
+                                    total: sim_faults.len(),
                                 });
                             }
                         }
@@ -1435,19 +1555,111 @@ fn run_campaign<const W: usize>(
         });
     }
     let completed_units = slots.iter().take_while(|s| s.is_some()).count();
-    let mut reports = Vec::with_capacity(faults.len());
-    for slot in slots.into_iter().take(completed_units) {
-        let outcome = slot.expect("prefix is complete");
+    let outcomes: Vec<SimOutcome> = slots
+        .into_iter()
+        .take(completed_units)
+        .map(|s| s.expect("prefix is complete"))
+        .collect();
+    // Work counters (pairs, words, eval time) measure representative work —
+    // the point of collapsing — while fault counts and reports below are
+    // expanded over original faults.
+    for outcome in &outcomes {
         stats.pairs_evaluated += outcome.pairs;
         stats.words_evaluated += outcome.words;
         stats.eval_time += Duration::from_micros(outcome.eval_micros);
-        stats.faults_dropped += outcome.reports.iter().filter(|r| r.dropped).count();
-        if obs {
-            for e in &outcome.events {
-                observer.on_event(e);
+    }
+    let mut reports = Vec::with_capacity(faults.len());
+    match &collapsed {
+        None => {
+            for outcome in outcomes {
+                stats.faults_dropped += outcome.reports.iter().filter(|r| r.dropped).count();
+                if obs {
+                    for e in &outcome.events {
+                        observer.on_event(e);
+                    }
+                }
+                reports.extend(outcome.reports);
             }
         }
-        reports.extend(outcome.reports);
+        Some(cl) => {
+            // Expansion: every completed original fault gets a clone of its
+            // representative's verdict. Buffered event indices carry
+            // *representative* positions; they are remapped so the replayed
+            // trace speaks in original-fault indices, in original-fault
+            // order — bit-identical to the uncollapsed replay when every
+            // class is a singleton.
+            let completed_reps = if packing {
+                (completed_units * 63).min(cl.num_reps())
+            } else {
+                completed_units
+            };
+            let completed_originals = cl.completed_prefix(completed_reps);
+            if obs && packing {
+                // Chunk-level events (lane batches, sweep spans) replay
+                // first in chunk order; per-fault events follow below.
+                for outcome in &outcomes {
+                    for e in &outcome.events {
+                        if matches!(
+                            e,
+                            CampaignEvent::LaneBatch { .. } | CampaignEvent::Span { .. }
+                        ) {
+                            observer.on_event(e);
+                        }
+                    }
+                }
+            }
+            for o in 0..completed_originals {
+                let r = cl.rep_of[o] as usize;
+                let rep_original = cl.reps[r] as usize;
+                let (outcome, report) = if packing {
+                    let oc = &outcomes[r / 63];
+                    (oc, oc.reports[r % 63].clone())
+                } else {
+                    let oc = &outcomes[r];
+                    (oc, oc.reports[0].clone())
+                };
+                stats.faults_dropped += usize::from(report.dropped);
+                if obs {
+                    if !packing && rep_original == o {
+                        for e in &outcome.events {
+                            observer.on_event(&remap_fault(e, o));
+                        }
+                    } else {
+                        // Synthesized bucket: start, class membership
+                        // (members only), then the representative's
+                        // drop/finish verdicts under the original's index.
+                        let worker = outcome
+                            .events
+                            .iter()
+                            .find_map(|e| match e {
+                                CampaignEvent::FaultStart { fault, worker } if *fault == r => {
+                                    Some(*worker)
+                                }
+                                _ => None,
+                            })
+                            .unwrap_or(0);
+                        observer.on_event(&CampaignEvent::FaultStart { fault: o, worker });
+                        if rep_original != o {
+                            observer.on_event(&CampaignEvent::FaultClass {
+                                fault: o,
+                                representative: rep_original,
+                                size: cl.class_sizes[r] as usize,
+                            });
+                        }
+                        for e in &outcome.events {
+                            if let CampaignEvent::FaultDropped { fault, .. }
+                            | CampaignEvent::FaultFinish { fault, .. } = e
+                            {
+                                if *fault == r {
+                                    observer.on_event(&remap_fault(e, o));
+                                }
+                            }
+                        }
+                    }
+                }
+                reports.push(report);
+            }
+        }
     }
     let completed = reports.len();
     let cancelled = completed < faults.len();
@@ -1674,6 +1886,9 @@ mod tests {
                     &EngineConfig {
                         drop_after_detection,
                         eval_mode: EvalMode::Full,
+                        // Auto-packing would force full mode on these small
+                        // circuits; pin the pattern path under test.
+                        fault_packing: Toggle::Off,
                         ..EngineConfig::default()
                     },
                 );
@@ -1687,6 +1902,7 @@ mod tests {
                             drop_after_detection,
                             eval_mode: EvalMode::Cone,
                             golden_cache_bytes,
+                            fault_packing: Toggle::Off,
                             ..EngineConfig::default()
                         },
                     );
@@ -1706,6 +1922,8 @@ mod tests {
         let collect = CollectObserver::default();
         let cfg = EngineConfig {
             threads: 1,
+            // Auto-packing would force full mode on xor3; pin the cone path.
+            fault_packing: Toggle::Off,
             ..EngineConfig::default()
         };
         let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
@@ -1746,6 +1964,7 @@ mod tests {
         let full_cfg = EngineConfig {
             threads: 1,
             eval_mode: EvalMode::Full,
+            fault_packing: Toggle::Off,
             ..EngineConfig::default()
         };
         let _ = try_run_pair_campaign(&c, &faults, &full_cfg, &full_collect, None).unwrap();
@@ -1984,6 +2203,9 @@ mod tests {
         };
         let cfg = EngineConfig {
             threads: 1,
+            // Auto-packing would sweep all of xor3's faults in one chunk,
+            // leaving nothing to cancel; pin the per-fault path.
+            fault_packing: Toggle::Off,
             ..EngineConfig::default()
         };
         let run = try_run_pair_campaign(&c, &faults, &cfg, &obs, Some(&token)).unwrap();
@@ -2056,7 +2278,7 @@ mod tests {
                     &c,
                     &faults,
                     &EngineConfig {
-                        fault_packing: true,
+                        fault_packing: Toggle::On,
                         word_width: width,
                         drop_after_detection,
                         ..EngineConfig::default()
@@ -2086,7 +2308,7 @@ mod tests {
             &c,
             &faults,
             &EngineConfig {
-                fault_packing: true,
+                fault_packing: Toggle::On,
                 ..EngineConfig::default()
             },
         );
@@ -2095,7 +2317,7 @@ mod tests {
             &c,
             &faults,
             &EngineConfig {
-                fault_packing: true,
+                fault_packing: Toggle::On,
                 drop_after_detection: true,
                 ..EngineConfig::default()
             },
@@ -2120,7 +2342,7 @@ mod tests {
         let collect = CollectObserver::default();
         let cfg = EngineConfig {
             threads: 1,
-            fault_packing: true,
+            fault_packing: Toggle::On,
             word_width: 4,
             ..EngineConfig::default()
         };
@@ -2169,6 +2391,9 @@ mod tests {
         let cfg = EngineConfig {
             threads: 1,
             word_width: 4,
+            // Auto would pick fault packing for xor3's tiny pattern count;
+            // pin the pattern-major geometry under test.
+            fault_packing: Toggle::Off,
             ..EngineConfig::default()
         };
         let _ = try_run_pair_campaign(&c, &faults, &cfg, &collect, None).unwrap();
@@ -2194,7 +2419,8 @@ mod tests {
             &c,
             &faults,
             &EngineConfig {
-                fault_packing: true,
+                fault_packing: Toggle::On,
+                fault_collapse: Toggle::Off,
                 ..EngineConfig::default()
             },
         );
@@ -2205,7 +2431,11 @@ mod tests {
         };
         let cfg = EngineConfig {
             threads: 1,
-            fault_packing: true,
+            fault_packing: Toggle::On,
+            // The cycled fault list collapses below one 63-lane chunk,
+            // leaving nothing to cancel; pin collapsing off so the second
+            // chunk exists to be discarded.
+            fault_collapse: Toggle::Off,
             ..EngineConfig::default()
         };
         let run = try_run_pair_campaign(&c, &faults, &cfg, &obs, Some(&token)).unwrap();
@@ -2227,7 +2457,8 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.word_width, 8);
-        assert!(cfg.fault_packing);
+        assert_eq!(cfg.fault_packing, Toggle::On);
+        assert_eq!(cfg.fault_collapse, Toggle::Auto);
         match EngineConfig::builder().word_width(3).build() {
             Err(EngineError::InvalidConfig { reason }) => {
                 assert!(reason.contains("word width"), "{reason}");

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod collapse;
 mod compile;
 mod error;
 mod eval;
@@ -72,7 +73,10 @@ mod word;
 
 pub use campaign::{
     run_pair_campaign, try_run_pair_campaign, EngineConfig, EngineConfigBuilder, EngineStats,
-    EvalMode, PairCampaign, PairReport, MAX_THREADS,
+    EvalMode, PairCampaign, PairReport, Toggle, MAX_THREADS,
+};
+pub use collapse::{
+    collapse_overrides, resolve_fault_collapse, CollapsedFaultList, SCAL_FAULT_COLLAPSE_ENV,
 };
 pub use compile::{CompileSpans, CompiledCircuit};
 pub use error::EngineError;

@@ -136,13 +136,26 @@ impl<'a> Campaign<'a> {
         self
     }
 
-    /// Packs up to 63 faults into the bit lanes of every evaluation word
-    /// (see [`EngineConfig::fault_packing`]): one sweep then classifies
-    /// `63 × W` (fault, pattern) cells at once. Reports stay bit-identical;
-    /// the scalar backend ignores this knob.
+    /// Forces 2-D fault-lane packing on or off (see
+    /// [`EngineConfig::fault_packing`]): one sweep then classifies
+    /// `63 × W` (fault, pattern) cells at once. Left untouched, the engine
+    /// picks the lane geometry from the fault/pattern ratio. Reports stay
+    /// bit-identical; the scalar backend ignores this knob.
     #[must_use]
     pub fn fault_packing(mut self, on: bool) -> Self {
-        self.config.fault_packing = on;
+        self.config.fault_packing = on.into();
+        self
+    }
+
+    /// Forces compile-time fault collapsing on or off (see
+    /// [`EngineConfig::fault_collapse`]; the default resolves through the
+    /// `SCAL_FAULT_COLLAPSE` environment variable and is otherwise on).
+    /// Only class representatives are simulated; verdicts are expanded back
+    /// over every original fault at merge time, so reports and coverage
+    /// maps stay bit-identical. The scalar backend ignores this knob.
+    #[must_use]
+    pub fn fault_collapse(mut self, on: bool) -> Self {
+        self.config.fault_collapse = on.into();
         self
     }
 
@@ -329,6 +342,16 @@ mod tests {
     }
 
     #[test]
+    fn fault_collapse_matches_uncollapsed_results() {
+        let c = xor3();
+        let collapsed = Campaign::new(&c).run().unwrap();
+        let plain = Campaign::new(&c).fault_collapse(false).run().unwrap();
+        assert_eq!(collapsed.results, plain.results);
+        assert_eq!(collapsed.stats.faults, plain.stats.faults);
+        assert!(collapsed.stats.pairs_evaluated <= plain.stats.pairs_evaluated);
+    }
+
+    #[test]
     fn scalar_backend_honors_observer_and_cancel() {
         let c = xor3();
         let collect = CollectObserver::default();
@@ -358,7 +381,15 @@ mod tests {
     fn coverage_hook_builds_labelled_maps_on_both_backends() {
         let c = xor3();
         let cov = scal_obs::CoverageObserver::new();
-        let report = Campaign::new(&c).coverage(&cov).run().unwrap();
+        // Pin the unpacked, uncollapsed cone path: auto-packing forces full
+        // mode (no cone stats) and collapsing leaves class members without
+        // per-fault cone annotations.
+        let report = Campaign::new(&c)
+            .fault_packing(false)
+            .fault_collapse(false)
+            .coverage(&cov)
+            .run()
+            .unwrap();
         let map = cov.latest().expect("coverage map");
         assert_eq!(map.records.len(), report.results.len());
         assert!((map.coverage_fraction() - 1.0).abs() < 1e-12);

@@ -55,9 +55,33 @@ pub struct FaultRecord {
     /// golden and evaluation stopped early (`None` when the fault's effect
     /// always reached the cone boundary, or outside cone mode).
     pub frontier_died_at_level: Option<u32>,
+    /// Fault-list index of this fault's structural-equivalence
+    /// representative, when fault collapsing merged it into a class of
+    /// size > 1 (`None` for singleton classes or uncollapsed runs). Equals
+    /// `fault` for the representative itself.
+    pub class_rep: Option<usize>,
+    /// Members of the fault's collapsed class (`None` alongside
+    /// `class_rep = None`).
+    pub class_size: Option<usize>,
 }
 
 impl FaultRecord {
+    /// The record with every backend-dependent annotation cleared: cone
+    /// statistics (absent in full/scalar mode) and collapse-class membership
+    /// (absent in uncollapsed runs). What remains — verdict, first detecting
+    /// pair, violations, drop state, pairs — is the backend-independent
+    /// coverage content that differential tests compare bit for bit.
+    #[must_use]
+    pub fn without_annotations(&self) -> FaultRecord {
+        FaultRecord {
+            cone_ops: None,
+            ops_skipped: None,
+            frontier_died_at_level: None,
+            class_rep: None,
+            class_size: None,
+            ..self.clone()
+        }
+    }
     /// `true` iff at least one pair detected the fault.
     #[must_use]
     pub fn is_detected(&self) -> bool {
@@ -109,6 +133,21 @@ impl CoverageMap {
         self.records.iter().filter(|r| !r.is_detected())
     }
 
+    /// The map with [`FaultRecord::without_annotations`] applied to every
+    /// record — the form differential tests compare across backends,
+    /// eval modes, and collapse settings.
+    #[must_use]
+    pub fn without_annotations(&self) -> CoverageMap {
+        CoverageMap {
+            records: self
+                .records
+                .iter()
+                .map(FaultRecord::without_annotations)
+                .collect(),
+            ..self.clone()
+        }
+    }
+
     /// Serializes the map as one JSON object (stable schema, one `records`
     /// array entry per fault).
     #[must_use]
@@ -151,6 +190,12 @@ impl CoverageMap {
             }
             if let Some(l) = r.frontier_died_at_level {
                 ro.num("frontier_died_at_level", u64::from(l));
+            }
+            if let Some(rep) = r.class_rep {
+                ro.num("class_rep", rep as u64);
+            }
+            if let Some(sz) = r.class_size {
+                ro.num("class_size", sz as u64);
             }
             records.push_str(&ro.finish());
         }
@@ -230,6 +275,9 @@ struct CoverageState {
     /// `ConeStats` precedes its `FaultFinish` in the replayed stream; this
     /// carries `(fault, cone_ops, ops_skipped, died_at_level)` across.
     pending_cone: Vec<(usize, u64, u64, Option<u32>)>,
+    /// `FaultClass` precedes its `FaultFinish` in the replayed stream; this
+    /// carries `(fault, representative, size)` across.
+    pending_class: Vec<(usize, usize, usize)>,
     finished: Vec<CoverageMap>,
 }
 
@@ -289,6 +337,7 @@ impl CampaignObserver for CoverageObserver {
                 }
                 state.pending_drop.clear();
                 state.pending_cone.clear();
+                state.pending_class.clear();
                 state.current = Some(CoverageMap {
                     campaign: campaign.to_string(),
                     records: Vec::with_capacity(faults),
@@ -310,6 +359,13 @@ impl CampaignObserver for CoverageObserver {
                     .pending_cone
                     .push((fault, cone_ops, ops_skipped, frontier_died_at_level));
             }
+            CampaignEvent::FaultClass {
+                fault,
+                representative,
+                size,
+            } => {
+                state.pending_class.push((fault, representative, size));
+            }
             CampaignEvent::FaultFinish {
                 fault,
                 detected,
@@ -330,6 +386,11 @@ impl CampaignObserver for CoverageObserver {
                     .iter()
                     .position(|&(f, ..)| f == fault)
                     .map(|i| state.pending_cone.swap_remove(i));
+                let class = state
+                    .pending_class
+                    .iter()
+                    .position(|&(f, ..)| f == fault)
+                    .map(|i| state.pending_class.swap_remove(i));
                 let label = state.labels.get(fault).cloned().unwrap_or_default();
                 if let Some(map) = state.current.as_mut() {
                     map.records.push(FaultRecord {
@@ -345,6 +406,8 @@ impl CampaignObserver for CoverageObserver {
                         cone_ops: cone.map(|(_, c, _, _)| c),
                         ops_skipped: cone.map(|(_, _, s, _)| s),
                         frontier_died_at_level: cone.and_then(|(_, _, _, l)| l),
+                        class_rep: class.map(|(_, rep, _)| rep),
+                        class_size: class.map(|(_, _, sz)| sz),
                     });
                 }
             }
@@ -360,6 +423,7 @@ impl CampaignObserver for CoverageObserver {
                 }
                 state.pending_drop.clear();
                 state.pending_cone.clear();
+                state.pending_class.clear();
             }
             _ => {}
         }
@@ -505,6 +569,47 @@ mod tests {
                 .and_then(JsonValue::as_f64),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn fault_class_attaches_and_strips() {
+        let obs = CoverageObserver::new();
+        feed(
+            &obs,
+            &[
+                start(2),
+                CampaignEvent::FaultClass {
+                    fault: 1,
+                    representative: 0,
+                    size: 2,
+                },
+                finish(0, 1, Some(0)),
+                finish(1, 1, Some(0)),
+                end(2, false),
+            ],
+        );
+        let map = obs.latest().expect("map");
+        assert_eq!(map.records[0].class_rep, None);
+        assert_eq!(map.records[1].class_rep, Some(0));
+        assert_eq!(map.records[1].class_size, Some(2));
+        let json = map.to_json();
+        let v = parse(&json).expect("parses");
+        let recs = v.get("records").and_then(JsonValue::as_array).unwrap();
+        assert!(recs[0].get("class_rep").is_none());
+        assert_eq!(
+            recs[1].get("class_rep").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            recs[1].get("class_size").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let stripped = map.without_annotations();
+        assert!(stripped
+            .records
+            .iter()
+            .all(|r| r.class_rep.is_none() && r.class_size.is_none() && r.cone_ops.is_none()));
+        assert_eq!(stripped.records[1].detected, map.records[1].detected);
     }
 
     #[test]

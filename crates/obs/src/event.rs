@@ -120,6 +120,36 @@ pub enum CampaignEvent {
         /// Gates scheduled at this level.
         gates: usize,
     },
+    /// Summary of the compile-phase fault-collapsing pass: how many faults
+    /// the campaign was given, how many structural-equivalence
+    /// representatives actually simulate, and how many dominance edges were
+    /// found between the collapsed classes (annotation only — dominance is
+    /// never used to skip simulation). Emitted once after the compile-phase
+    /// spans when collapsing is enabled.
+    FaultCollapse {
+        /// Original faults queued for the campaign.
+        faults: usize,
+        /// Equivalence-class representatives that will actually simulate.
+        representatives: usize,
+        /// Structural dominance edges between distinct collapsed classes.
+        dominance_edges: usize,
+        /// Wall time of the collapsing pass in microseconds.
+        micros: u64,
+    },
+    /// Class-membership annotation for one fault in a collapsed class of
+    /// size > 1, emitted during the merge replay between the fault's
+    /// [`CampaignEvent::FaultStart`] and its [`CampaignEvent::FaultFinish`].
+    /// The representative's verdict was simulated once and expanded over
+    /// every member.
+    FaultClass {
+        /// Index into the campaign's fault list.
+        fault: usize,
+        /// Fault-list index of the class representative (equals `fault` for
+        /// the representative itself).
+        representative: usize,
+        /// Total members of the class present in the fault list.
+        size: usize,
+    },
     /// A fault's sweep began.
     FaultStart {
         /// Index into the campaign's fault list.
@@ -254,6 +284,8 @@ impl CampaignEvent {
             CampaignEvent::PhaseEnd { .. } => "phase_end",
             CampaignEvent::Span { .. } => "span",
             CampaignEvent::LevelGates { .. } => "level_gates",
+            CampaignEvent::FaultCollapse { .. } => "fault_collapse",
+            CampaignEvent::FaultClass { .. } => "fault_class",
             CampaignEvent::FaultStart { .. } => "fault_start",
             CampaignEvent::BatchDone { .. } => "batch_done",
             CampaignEvent::LaneBatch { .. } => "lane_batch",
@@ -338,6 +370,26 @@ impl CampaignEvent {
             CampaignEvent::LevelGates { level, gates } => {
                 o.num("level", level as u64);
                 o.num("gates", gates as u64);
+            }
+            CampaignEvent::FaultCollapse {
+                faults,
+                representatives,
+                dominance_edges,
+                micros,
+            } => {
+                o.num("faults", faults as u64);
+                o.num("representatives", representatives as u64);
+                o.num("dominance_edges", dominance_edges as u64);
+                o.num("micros", micros);
+            }
+            CampaignEvent::FaultClass {
+                fault,
+                representative,
+                size,
+            } => {
+                o.num("fault", fault as u64);
+                o.num("representative", representative as u64);
+                o.num("size", size as u64);
             }
             CampaignEvent::FaultStart { fault, worker } => {
                 o.num("fault", fault as u64);
@@ -475,6 +527,17 @@ mod tests {
             },
             CampaignEvent::Cancelled { completed: 2 },
             CampaignEvent::EvalMode { mode: "cone" },
+            CampaignEvent::FaultCollapse {
+                faults: 14,
+                representatives: 8,
+                dominance_edges: 3,
+                micros: 1,
+            },
+            CampaignEvent::FaultClass {
+                fault: 5,
+                representative: 2,
+                size: 3,
+            },
             CampaignEvent::LaneGeometry {
                 width: 8,
                 fault_lanes: 63,

@@ -88,9 +88,18 @@ pub struct Profile {
     pub fault_lanes: u64,
     /// Pattern lanes evaluated per sweep (0 = sequential replay).
     pub pattern_lanes: u64,
-    /// Lane-packing scheme (`"pattern"` / `"fault"` / `"seq"`), or empty if
-    /// never announced.
+    /// Lane-packing scheme (`"pattern"` / `"fault"` / `"seq"` / `"scalar"`),
+    /// or empty if never announced.
     pub packing: String,
+    /// Original faults the campaign was given, as reported by the
+    /// fault-collapsing pass (0 when collapsing was off or never announced).
+    pub collapse_faults: u64,
+    /// Structural-equivalence representatives actually simulated (0 when
+    /// collapsing was off).
+    pub collapse_representatives: u64,
+    /// Structural dominance edges found between collapsed classes
+    /// (annotation only — never used to skip simulation).
+    pub collapse_dominance_edges: u64,
 }
 
 impl Profile {
@@ -125,6 +134,18 @@ impl Profile {
     #[must_use]
     pub fn gate_evals(&self) -> u64 {
         self.levels.iter().map(|&g| g as u64).sum::<u64>() * self.words
+    }
+
+    /// Ratio of original faults to simulated representatives (`None` when
+    /// fault collapsing was off or never announced). 1.0 means no fault
+    /// collapsed; 2.0 means half the fault list simulated.
+    #[must_use]
+    pub fn collapse_ratio(&self) -> Option<f64> {
+        if self.collapse_representatives > 0 {
+            Some(self.collapse_faults as f64 / self.collapse_representatives as f64)
+        } else {
+            None
+        }
     }
 
     /// Fraction of full-schedule op evaluations the cone path skipped
@@ -180,6 +201,13 @@ impl Profile {
                 out,
                 "  lanes: {} batch(es), {} fault lane(s) packed, {} retired early, {} driven word(s)",
                 self.lane_batches, self.lanes_packed, self.lanes_retired, self.lane_words
+            );
+        }
+        if let Some(r) = self.collapse_ratio() {
+            let _ = writeln!(
+                out,
+                "  collapse: {} fault(s) -> {} representative(s) ({r:.2}x), {} dominance edge(s)",
+                self.collapse_faults, self.collapse_representatives, self.collapse_dominance_edges
             );
         }
         for p in &self.phases {
@@ -258,6 +286,12 @@ impl Profile {
             o.num("lanes_packed", self.lanes_packed);
             o.num("lanes_retired", self.lanes_retired);
             o.num("lane_words", self.lane_words);
+        }
+        if let Some(r) = self.collapse_ratio() {
+            o.num("collapse_faults", self.collapse_faults);
+            o.num("collapse_representatives", self.collapse_representatives);
+            o.num("collapse_dominance_edges", self.collapse_dominance_edges);
+            o.float("collapse_ratio", r);
         }
         if let Some(r) = self.pairs_per_sec() {
             o.float("pairs_per_sec", r);
@@ -440,6 +474,18 @@ impl CampaignObserver for Profiler {
                     p.lanes_packed += lanes as u64;
                     p.lanes_retired += retired as u64;
                     p.lane_words += words;
+                }
+            }
+            CampaignEvent::FaultCollapse {
+                faults,
+                representatives,
+                dominance_edges,
+                ..
+            } => {
+                if let Some(p) = state.current.as_mut() {
+                    p.collapse_faults = faults as u64;
+                    p.collapse_representatives = representatives as u64;
+                    p.collapse_dominance_edges = dominance_edges as u64;
                 }
             }
             CampaignEvent::LevelGates { level, gates } => {
@@ -707,6 +753,50 @@ mod tests {
             p.render()
         );
         assert!(p.to_json().contains("\"lanes_packed\":100"));
+    }
+
+    #[test]
+    fn collapse_counters_aggregate_and_render() {
+        let prof = Profiler::new();
+        prof.on_event(&CampaignEvent::CampaignStart {
+            campaign: "pair",
+            faults: 14,
+            inputs: 3,
+            outputs: 1,
+            threads: 1,
+        });
+        prof.on_event(&CampaignEvent::FaultCollapse {
+            faults: 14,
+            representatives: 7,
+            dominance_edges: 4,
+            micros: 2,
+        });
+        prof.on_event(&CampaignEvent::CampaignEnd {
+            faults: 14,
+            dropped: 0,
+            pairs: 56,
+            words: 28,
+            micros: 50,
+            cancelled: false,
+        });
+        let p = prof.latest().expect("profile");
+        assert_eq!(
+            (
+                p.collapse_faults,
+                p.collapse_representatives,
+                p.collapse_dominance_edges
+            ),
+            (14, 7, 4)
+        );
+        assert_eq!(p.collapse_ratio(), Some(2.0));
+        assert!(
+            p.render().contains(
+                "collapse: 14 fault(s) -> 7 representative(s) (2.00x), 4 dominance edge(s)"
+            ),
+            "{}",
+            p.render()
+        );
+        assert!(p.to_json().contains("\"collapse_ratio\":2"));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! and honors a [`CancelToken`], returning the completed fault-ordered
 //! prefix on cancellation.
 //!
-//! The default backend ([`SeqBackend::Packed`]) packs up to `63 × W` faults
+//! The default backend ([`SeqBackend::Packed`]) first collapses the fault
+//! list into structural-equivalence classes ([`collapse_overrides`], default
+//! on; see [`Campaign::fault_collapse`]) so only class representatives are
+//! simulated, then packs up to `63 × W` representatives
 //! into the lanes of one wide evaluation word of `W` 64-bit sub-words (`W ∈
 //! {1, 4, 8}`, chosen by [`Campaign::word_width`] or CPU-feature detection)
 //! — lane 0 of every sub-word replays the golden machine, every other lane
@@ -32,9 +35,9 @@
 
 use crate::dual_ff::{AltSeqDriver, ScalMachine};
 use scal_engine::{
-    effective_threads, par_map_cancellable, resolve_word_width, CompiledCircuit, CompiledSim,
-    ConeSim, ConeSimStats, EngineError, EvalMode, GoldenTrace, WidePackedBatchPlan,
-    WidePackedSeqSim, Word,
+    collapse_overrides, effective_threads, par_map_cancellable, resolve_fault_collapse,
+    resolve_word_width, CompiledCircuit, CompiledSim, ConeSim, ConeSimStats, EngineError, EvalMode,
+    GoldenTrace, Toggle, WidePackedBatchPlan, WidePackedSeqSim, Word,
 };
 use scal_faults::Fault;
 use scal_netlist::Override;
@@ -225,6 +228,7 @@ pub struct Campaign<'a> {
     backend: SeqBackend,
     eval_mode: EvalMode,
     word_width: usize,
+    fault_collapse: Toggle,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -239,6 +243,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("backend", &self.backend)
             .field("eval_mode", &self.eval_mode)
             .field("word_width", &self.word_width)
+            .field("fault_collapse", &self.fault_collapse)
             .finish_non_exhaustive()
     }
 }
@@ -259,6 +264,7 @@ impl<'a> Campaign<'a> {
             backend: SeqBackend::default(),
             eval_mode: EvalMode::default(),
             word_width: 0,
+            fault_collapse: Toggle::default(),
         }
     }
 
@@ -336,6 +342,21 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Switches compile-time fault collapsing on the packed backend: the
+    /// fault list is partitioned into structural-equivalence classes
+    /// ([`collapse_overrides`]) and only class representatives ride the
+    /// lanes; each representative's outcome is expanded over its class at
+    /// merge time, so outcomes and coverage stay per-original-fault and
+    /// bit-identical to an uncollapsed run. Left untouched, collapsing
+    /// defaults to on (overridable through `SCAL_FAULT_COLLAPSE`). The
+    /// scalar and graph backends never collapse — they are the packed
+    /// backend's differential oracles.
+    #[must_use]
+    pub fn fault_collapse(mut self, on: bool) -> Self {
+        self.fault_collapse = on.into();
+        self
+    }
+
     /// Builds the observer fan-out (plain observer and/or coverage map); an
     /// empty fan-out reports `enabled() == false`, preserving the fast path.
     fn fan_out(&self, faults: &[Fault]) -> MultiObserver<'a> {
@@ -392,8 +413,47 @@ impl<'a> Campaign<'a> {
         let fan = self.fan_out(&faults);
         let observer: &dyn CampaignObserver = &fan;
         let obs = observer.enabled();
-        let batches: Vec<&[Fault]> = faults.chunks(WidePackedSeqSim::<W>::FAULT_LANES).collect();
+
+        // Compile phase: the schedule, the collapsed fault list, and every
+        // batch's lane plan — mapping faults onto lanes is planning, not
+        // evaluation, so the fault-sim phase below only sets up evaluator
+        // scratch and sweeps. The phase runs up front (timed; events emitted
+        // after the preamble) because the batch count reported in the
+        // preamble depends on how many representatives survive collapsing.
+        let compile_t = Instant::now();
+        let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
+        let collapsed = if resolve_fault_collapse(self.fault_collapse)? {
+            let overrides: Vec<Override> = faults.iter().map(|f| f.to_override()).collect();
+            Some(collapse_overrides(&compiled, &overrides))
+        } else {
+            None
+        };
+        // The faults that actually ride lanes: class representatives under
+        // collapsing, the caller-visible list verbatim otherwise.
+        let sim_faults: Vec<Fault> = match &collapsed {
+            Some(cl) => cl.reps.iter().map(|&r| faults[r as usize]).collect(),
+            None => faults.clone(),
+        };
+        let sim_total = sim_faults.len();
+        let batches: Vec<&[Fault]> = sim_faults
+            .chunks(WidePackedSeqSim::<W>::FAULT_LANES)
+            .collect();
         let n_batches = batches.len();
+        let plans: Vec<WidePackedBatchPlan<W>> = {
+            let mut overrides: Vec<[Override; 1]> =
+                Vec::with_capacity(WidePackedSeqSim::<W>::FAULT_LANES);
+            batches
+                .iter()
+                .map(|batch| {
+                    overrides.clear();
+                    overrides.extend(batch.iter().map(|f| [f.to_override()]));
+                    let refs: Vec<&[Override]> = overrides.iter().map(|o| o.as_slice()).collect();
+                    WidePackedBatchPlan::build(&compiled, &refs)
+                })
+                .collect()
+        };
+        let compile_micros = duration_micros(compile_t.elapsed());
+
         if obs {
             observer.on_event(&CampaignEvent::CampaignStart {
                 campaign: "seq",
@@ -408,36 +468,28 @@ impl<'a> Campaign<'a> {
                 pattern_lanes: 0,
                 packing: "seq",
             });
-        }
-
-        // Compile phase: the schedule plus every batch's lane plan —
-        // mapping faults onto lanes is planning, not evaluation, so the
-        // fault-sim phase below only sets up evaluator scratch and sweeps.
-        let t = Instant::now();
-        if obs {
             observer.on_event(&CampaignEvent::PhaseStart {
                 phase: Phase::Compile,
             });
-        }
-        let compiled = CompiledCircuit::try_compile(&self.machine.circuit)?;
-        let plans: Vec<WidePackedBatchPlan<W>> = {
-            let mut overrides: Vec<[Override; 1]> =
-                Vec::with_capacity(WidePackedSeqSim::<W>::FAULT_LANES);
-            batches
-                .iter()
-                .map(|batch| {
-                    overrides.clear();
-                    overrides.extend(batch.iter().map(|f| [f.to_override()]));
-                    let refs: Vec<&[Override]> = overrides.iter().map(|o| o.as_slice()).collect();
-                    WidePackedBatchPlan::build(&compiled, &refs)
-                })
-                .collect()
-        };
-        if obs {
             observer.on_event(&CampaignEvent::PhaseEnd {
                 phase: Phase::Compile,
-                micros: duration_micros(t.elapsed()),
+                micros: compile_micros,
             });
+            if let Some(cl) = &collapsed {
+                observer.on_event(&CampaignEvent::Span {
+                    name: "collapse",
+                    parent: "compile",
+                    micros: cl.micros,
+                    count: 1,
+                    items: cl.num_faults() as u64,
+                });
+                observer.on_event(&CampaignEvent::FaultCollapse {
+                    faults: cl.num_faults(),
+                    representatives: cl.num_reps(),
+                    dominance_edges: cl.dominance_edges,
+                    micros: cl.micros,
+                });
+            }
         }
 
         // Golden phase: the golden machine rides lane 0 of every batch, so
@@ -533,10 +585,12 @@ impl<'a> Campaign<'a> {
                 }
             }
             if obs {
+                // Progress counts simulated lanes: representatives under
+                // collapsing, every fault otherwise.
                 observer.on_event(&CampaignEvent::Progress {
                     done: done.fetch_add(batch.len(), std::sync::atomic::Ordering::Relaxed)
                         + batch.len(),
-                    total: faults.len(),
+                    total: sim_total,
                 });
             }
             let retired = outcomes
@@ -571,51 +625,126 @@ impl<'a> Campaign<'a> {
             });
         }
         let completed_batches = slots.iter().take_while(|s| s.is_some()).count();
-        let cancelled = completed_batches < n_batches;
-        let mut fault_iter = faults.into_iter();
-        let mut fault_idx = 0usize;
+        let n_faults = faults.len();
         let mut outcomes = Vec::new();
         let mut pairs_total = 0u64;
         let mut words_total = 0u64;
-        for (b, slot) in slots.into_iter().take(completed_batches).enumerate() {
-            let (worker, batch_outcomes, words_run, retired) = slot.expect("prefix is complete");
-            words_total += words_run;
-            if obs {
-                observer.on_event(&CampaignEvent::LaneBatch {
-                    batch: b,
-                    worker,
-                    lanes: batch_outcomes.len(),
-                    words: words_run,
-                    retired,
-                });
-            }
-            for outcome in batch_outcomes {
-                let fault = fault_iter.next().expect("one fault per packed lane");
-                let pairs = words_consumed(&outcome, self.words.len()) as u64;
-                pairs_total += pairs;
-                if obs {
-                    observer.on_event(&CampaignEvent::FaultStart {
-                        fault: fault_idx,
-                        worker,
-                    });
-                    observer.on_event(&CampaignEvent::FaultFinish {
-                        fault: fault_idx,
-                        worker,
-                        detected: usize::from(matches!(outcome, SeqOutcome::Detected { .. })),
-                        violations: usize::from(matches!(outcome, SeqOutcome::Violation { .. })),
-                        observable: !matches!(outcome, SeqOutcome::Dormant),
-                        dropped: false,
-                        first_detected: match outcome {
-                            SeqOutcome::Detected { word } => u32::try_from(word).ok(),
-                            _ => None,
-                        },
-                        pairs,
-                    });
+        match &collapsed {
+            None => {
+                let mut fault_iter = faults.into_iter();
+                let mut fault_idx = 0usize;
+                for (b, slot) in slots.into_iter().take(completed_batches).enumerate() {
+                    let (worker, batch_outcomes, words_run, retired) =
+                        slot.expect("prefix is complete");
+                    words_total += words_run;
+                    if obs {
+                        observer.on_event(&CampaignEvent::LaneBatch {
+                            batch: b,
+                            worker,
+                            lanes: batch_outcomes.len(),
+                            words: words_run,
+                            retired,
+                        });
+                    }
+                    for outcome in batch_outcomes {
+                        let fault = fault_iter.next().expect("one fault per packed lane");
+                        let pairs = words_consumed(&outcome, self.words.len()) as u64;
+                        pairs_total += pairs;
+                        if obs {
+                            observer.on_event(&CampaignEvent::FaultStart {
+                                fault: fault_idx,
+                                worker,
+                            });
+                            observer.on_event(&CampaignEvent::FaultFinish {
+                                fault: fault_idx,
+                                worker,
+                                detected: usize::from(matches!(
+                                    outcome,
+                                    SeqOutcome::Detected { .. }
+                                )),
+                                violations: usize::from(matches!(
+                                    outcome,
+                                    SeqOutcome::Violation { .. }
+                                )),
+                                observable: !matches!(outcome, SeqOutcome::Dormant),
+                                dropped: false,
+                                first_detected: match outcome {
+                                    SeqOutcome::Detected { word } => u32::try_from(word).ok(),
+                                    _ => None,
+                                },
+                                pairs,
+                            });
+                        }
+                        outcomes.push((fault, outcome));
+                        fault_idx += 1;
+                    }
                 }
-                outcomes.push((fault, outcome));
-                fault_idx += 1;
+            }
+            Some(cl) => {
+                // Expansion: lane batches replay first in batch order (they
+                // speak in representative lanes), then every completed
+                // original fault gets a clone of its representative's
+                // outcome under its own index — equivalent faults produce
+                // identical traces, so the expansion is exact. Because
+                // representatives are first-occurrence ordered, the
+                // answered originals form a contiguous prefix.
+                let completed_reps =
+                    (completed_batches * WidePackedSeqSim::<W>::FAULT_LANES).min(cl.num_reps());
+                let completed_originals = cl.completed_prefix(completed_reps);
+                let mut rep_outcomes: Vec<(SeqOutcome, usize)> = Vec::with_capacity(completed_reps);
+                for (b, slot) in slots.into_iter().take(completed_batches).enumerate() {
+                    let (worker, batch_outcomes, words_run, retired) =
+                        slot.expect("prefix is complete");
+                    words_total += words_run;
+                    if obs {
+                        observer.on_event(&CampaignEvent::LaneBatch {
+                            batch: b,
+                            worker,
+                            lanes: batch_outcomes.len(),
+                            words: words_run,
+                            retired,
+                        });
+                    }
+                    rep_outcomes.extend(batch_outcomes.into_iter().map(|o| (o, worker)));
+                }
+                outcomes.reserve(completed_originals);
+                for (o, fault) in faults.into_iter().enumerate().take(completed_originals) {
+                    let r = cl.rep_of[o] as usize;
+                    let (outcome, worker) = rep_outcomes[r].clone();
+                    let pairs = words_consumed(&outcome, self.words.len()) as u64;
+                    pairs_total += pairs;
+                    if obs {
+                        observer.on_event(&CampaignEvent::FaultStart { fault: o, worker });
+                        let rep_original = cl.reps[r] as usize;
+                        if rep_original != o {
+                            observer.on_event(&CampaignEvent::FaultClass {
+                                fault: o,
+                                representative: rep_original,
+                                size: cl.class_sizes[r] as usize,
+                            });
+                        }
+                        observer.on_event(&CampaignEvent::FaultFinish {
+                            fault: o,
+                            worker,
+                            detected: usize::from(matches!(outcome, SeqOutcome::Detected { .. })),
+                            violations: usize::from(matches!(
+                                outcome,
+                                SeqOutcome::Violation { .. }
+                            )),
+                            observable: !matches!(outcome, SeqOutcome::Dormant),
+                            dropped: false,
+                            first_detected: match outcome {
+                                SeqOutcome::Detected { word } => u32::try_from(word).ok(),
+                                _ => None,
+                            },
+                            pairs,
+                        });
+                    }
+                    outcomes.push((fault, outcome));
+                }
             }
         }
+        let cancelled = outcomes.len() < n_faults;
         if obs {
             observer.on_event(&CampaignEvent::PhaseEnd {
                 phase: Phase::Merge,
@@ -1069,17 +1198,13 @@ mod tests {
             }
         }
         // Cone mode annotates every record; the graph oracle and the packed
-        // backend yield the identical verdicts without cone stats.
+        // backend yield the identical verdicts modulo annotations (cone
+        // stats here, class membership on the collapsed packed backend).
         assert!(map.records.iter().all(|r| r.cone_ops.is_some()));
         let stripped: Vec<_> = map
             .records
             .iter()
-            .map(|r| scal_obs::FaultRecord {
-                cone_ops: None,
-                ops_skipped: None,
-                frontier_died_at_level: None,
-                ..r.clone()
-            })
+            .map(scal_obs::FaultRecord::without_annotations)
             .collect();
         for backend in [SeqBackend::Packed, SeqBackend::Graph] {
             let cov2 = scal_obs::CoverageObserver::new();
@@ -1089,7 +1214,59 @@ mod tests {
                 .run()
                 .unwrap();
             let map2 = cov2.latest().expect("coverage map");
-            assert_eq!(map2.records, stripped, "{backend}");
+            let stripped2: Vec<_> = map2
+                .records
+                .iter()
+                .map(scal_obs::FaultRecord::without_annotations)
+                .collect();
+            assert_eq!(stripped2, stripped, "{backend}");
+        }
+    }
+
+    #[test]
+    fn collapsed_packed_matches_uncollapsed() {
+        let m = kohavi_0101();
+        let words = bit_words(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0]);
+        for machine in [dual_ff_machine(&m), code_conversion_machine(&m)] {
+            let collect = CollectObserver::default();
+            let collapsed = Campaign::new(&machine, &words)
+                .threads(1)
+                .observer(&collect)
+                .run()
+                .unwrap();
+            let plain = Campaign::new(&machine, &words)
+                .fault_collapse(false)
+                .run()
+                .unwrap();
+            assert_eq!(collapsed, plain, "{}", machine.design);
+            let events = collect.events();
+            let (faults, reps) = events
+                .iter()
+                .find_map(|e| match e {
+                    CampaignEvent::FaultCollapse {
+                        faults,
+                        representatives,
+                        ..
+                    } => Some((*faults, *representatives)),
+                    _ => None,
+                })
+                .expect("collapsed run must announce its classes");
+            assert_eq!(faults, collapsed.outcomes.len());
+            assert!(reps < faults, "sequential machines must collapse");
+            // Every original fault still finishes, and class members cite
+            // their representative.
+            let finishes = events
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::FaultFinish { .. }))
+                .count();
+            assert_eq!(finishes, faults);
+            assert_eq!(
+                events
+                    .iter()
+                    .filter(|e| matches!(e, CampaignEvent::FaultClass { .. }))
+                    .count(),
+                faults - reps
+            );
         }
     }
 
@@ -1101,9 +1278,13 @@ mod tests {
         let faults = machine.checkable_faults().len();
         assert!(faults > 2 * 63, "want ≥3 batches, got {faults} faults");
         let collect = CollectObserver::default();
+        // Collapsing is pinned off: the lane-count assertions below speak in
+        // original faults, which under collapsing no longer fill the lanes
+        // one-to-one.
         let campaign = Campaign::new(&machine, &words)
             .word_width(1)
             .threads(1)
+            .fault_collapse(false)
             .observer(&collect)
             .run()
             .unwrap();
@@ -1175,9 +1356,13 @@ mod tests {
         let faults = machine.checkable_faults().len();
         assert!(faults > 63, "want faults spanning sub-words, got {faults}");
         let collect = CollectObserver::default();
+        // Pinned uncollapsed for the same reason as
+        // packed_emits_lane_batches_and_no_eval_mode: lanes are counted in
+        // original faults.
         let campaign = Campaign::new(&machine, &words)
             .word_width(4)
             .threads(1)
+            .fault_collapse(false)
             .observer(&collect)
             .run()
             .unwrap();

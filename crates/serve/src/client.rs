@@ -248,6 +248,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            fault_collapse: None,
             netlist_format: NetlistFormat::ScalText,
         }
     }
@@ -274,6 +275,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            fault_collapse: None,
             netlist_format: NetlistFormat::ScalText,
         }
     }
@@ -292,6 +294,7 @@ pub mod demo {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            fault_collapse: None,
             netlist_format: NetlistFormat::ScalText,
         }
     }

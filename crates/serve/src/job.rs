@@ -5,7 +5,9 @@
 use crate::proto::{JobKind, ProtoError};
 use scal_engine::EngineError;
 use scal_obs::json::JsonObject;
-use scal_obs::{CampaignObserver, CancelToken, CoverageMap, CoverageObserver};
+use scal_obs::{
+    CampaignObserver, CancelToken, CoverageMap, CoverageObserver, MultiObserver, Profiler,
+};
 use scal_seq::SeqOutcome;
 use std::time::Instant;
 
@@ -67,6 +69,10 @@ pub struct JobOutput {
 
 /// Runs one job to completion, streaming events to `observer`.
 ///
+/// `fault_collapse` is the submit knob: `None` leaves the backend's default
+/// (collapsing on, subject to `SCAL_FAULT_COLLAPSE` in the server's
+/// environment), `Some` forces it for this job.
+///
 /// # Errors
 ///
 /// Returns [`ServeError::Engine`] when the campaign backend rejects the
@@ -74,12 +80,21 @@ pub struct JobOutput {
 pub fn run_job(
     kind: &JobKind,
     threads: usize,
+    fault_collapse: Option<bool>,
     observer: &dyn CampaignObserver,
     cancel: Option<&CancelToken>,
 ) -> Result<JobOutput, ServeError> {
     let t = Instant::now();
     let cov = CoverageObserver::new();
-    let (report, cancelled) = match kind {
+    // The profiler rides along to surface the collapse ratio in the result
+    // frame; everything it collects is derived from the same deterministic
+    // event stream the client sees.
+    let prof = Profiler::new();
+    let mut fan = MultiObserver::new();
+    fan.push(observer);
+    fan.push(&prof);
+    let observer: &dyn CampaignObserver = &fan;
+    let (mut o, cancelled) = match kind {
         JobKind::Pair {
             circuit,
             faults,
@@ -99,6 +114,9 @@ pub fn run_job(
             if *scalar {
                 c = c.scalar();
             }
+            if let Some(fc) = fault_collapse {
+                c = c.fault_collapse(fc);
+            }
             if let Some(token) = cancel {
                 c = c.cancel(token);
             }
@@ -113,7 +131,7 @@ pub fn run_job(
             o.num("words", report.stats.words_evaluated);
             o.num("dropped", report.stats.faults_dropped as u64);
             o.bool("cancelled", report.cancelled);
-            (o.finish(), report.cancelled)
+            (o, report.cancelled)
         }
         JobKind::Seq {
             machine,
@@ -128,6 +146,9 @@ pub fn run_job(
                 .eval_mode(*eval_mode)
                 .observer(observer)
                 .coverage(&cov);
+            if let Some(fc) = fault_collapse {
+                c = c.fault_collapse(fc);
+            }
             if let Some(token) = cancel {
                 c = c.cancel(token);
             }
@@ -153,7 +174,7 @@ pub fn run_job(
                 o.num("first_violation_word", w);
             }
             o.bool("cancelled", out.cancelled);
-            (o.finish(), out.cancelled)
+            (o, out.cancelled)
         }
         JobKind::Cpu {
             unit,
@@ -171,6 +192,9 @@ pub fn run_job(
                     .collect();
                 c = c.workloads(suite);
             }
+            if let Some(fc) = fault_collapse {
+                c = c.fault_collapse(fc);
+            }
             if let Some(token) = cancel {
                 c = c.cancel(token);
             }
@@ -187,9 +211,20 @@ pub fn run_job(
             o.num("undetected_wrong", out.undetected_wrong() as u64);
             o.num("periods", out.periods);
             o.bool("cancelled", out.cancelled);
-            (o.finish(), out.cancelled)
+            (o, out.cancelled)
         }
     };
+    // The collapse counters come from the campaign's own event stream and
+    // are deterministic; they are absent when collapsing did not run (knob
+    // off, or an oracle backend that never collapses).
+    if let Some(profile) = prof.latest() {
+        if let Some(ratio) = profile.collapse_ratio() {
+            o.num("collapse_faults", profile.collapse_faults);
+            o.num("collapse_representatives", profile.collapse_representatives);
+            o.float("collapse_ratio", ratio);
+        }
+    }
+    let report = o.finish();
     let coverage = cov.latest().unwrap_or_default();
     Ok(JobOutput {
         cancelled,
@@ -226,7 +261,7 @@ mod tests {
 
     #[test]
     fn pair_jobs_report_and_cover() {
-        let out = run_job(&xor3_pair_kind(), 1, &NullObserver, None).unwrap();
+        let out = run_job(&xor3_pair_kind(), 1, None, &NullObserver, None).unwrap();
         assert!(!out.cancelled);
         assert!(out.report.contains("\"campaign\":\"pair\""));
         assert!(out.report.contains("\"fault_secure\":true"));
@@ -248,7 +283,7 @@ mod tests {
             backend: SeqBackend::Packed,
             eval_mode: EvalMode::Cone,
         };
-        let out = run_job(&kind, 1, &NullObserver, None).unwrap();
+        let out = run_job(&kind, 1, None, &NullObserver, None).unwrap();
         let direct = scal_seq::Campaign::new(&machine, &words).run().unwrap();
         assert!(out
             .report
@@ -260,7 +295,7 @@ mod tests {
     fn cancelled_jobs_return_a_prefix() {
         let token = CancelToken::new();
         token.cancel();
-        let out = run_job(&xor3_pair_kind(), 1, &NullObserver, Some(&token)).unwrap();
+        let out = run_job(&xor3_pair_kind(), 1, None, &NullObserver, Some(&token)).unwrap();
         assert!(out.cancelled);
         assert!(out.coverage.records.is_empty());
         assert!(out.coverage.cancelled);
@@ -280,7 +315,24 @@ mod tests {
             eval_mode: EvalMode::Cone,
             scalar: false,
         };
-        let err = run_job(&kind, 1, &NullObserver, None).unwrap_err();
+        let err = run_job(&kind, 1, None, &NullObserver, None).unwrap_err();
         assert_eq!(err.code(), "engine");
+    }
+
+    #[test]
+    fn collapse_knob_controls_report_fields() {
+        let on = run_job(&xor3_pair_kind(), 1, Some(true), &NullObserver, None).unwrap();
+        assert!(on.report.contains("\"collapse_ratio\""));
+        assert!(on.report.contains("\"collapse_representatives\""));
+        scal_obs::json::validate_jsonl(&on.report).expect("valid report");
+
+        let off = run_job(&xor3_pair_kind(), 1, Some(false), &NullObserver, None).unwrap();
+        assert!(!off.report.contains("collapse_ratio"));
+
+        // The knob must not change the verdicts, only the work done.
+        assert_eq!(
+            on.coverage.without_annotations(),
+            off.coverage.without_annotations()
+        );
     }
 }

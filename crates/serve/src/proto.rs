@@ -151,6 +151,12 @@ pub struct JobSpec {
     pub threads: usize,
     /// Stream per-event frames (`false` = result frame only).
     pub stream: bool,
+    /// Compile-time fault collapsing (`None` = backend default: on, or
+    /// whatever `SCAL_FAULT_COLLAPSE` says in the server's environment).
+    /// Honored by every kind; the seq scalar/graph oracle backends ignore
+    /// it. Omitted from the wire when `None`, so v1 request lines are
+    /// byte-identical to pre-collapse builds.
+    pub fault_collapse: Option<bool>,
     /// Serialization of the `"netlist"` field (`"text"`, `"verilog"`,
     /// `"bench"`); omitted on the wire when it is the text default, so v1
     /// request lines are byte-identical to pre-format builds.
@@ -517,12 +523,19 @@ fn parse_submit(obj: &JsonValue) -> Result<JobSpec, ProtoError> {
             format!("\"priority\" must be 0..={MAX_PRIORITY}"),
         ));
     }
+    let fault_collapse = match obj.get("fault_collapse") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(as_bool(v).ok_or_else(|| {
+            ProtoError::new("bad_request", "\"fault_collapse\" must be a boolean")
+        })?),
+    };
     Ok(JobSpec {
         kind,
         priority: priority as u8,
         timeout_ms: field_u64(obj, "timeout_ms")?,
         threads: field_u64(obj, "threads")?.unwrap_or(0) as usize,
         stream: field_bool(obj, "stream", true)?,
+        fault_collapse,
         netlist_format,
     })
 }
@@ -597,6 +610,9 @@ impl JobSpec {
         }
         o.num("threads", self.threads as u64);
         o.bool("stream", self.stream);
+        if let Some(fc) = self.fault_collapse {
+            o.bool("fault_collapse", fc);
+        }
         match &self.kind {
             JobKind::Pair {
                 circuit,
@@ -875,6 +891,7 @@ mod tests {
             timeout_ms: Some(1000),
             threads: 2,
             stream: true,
+            fault_collapse: Some(false),
             netlist_format: NetlistFormat::ScalText,
         };
         let line = spec.to_request_line();
@@ -885,6 +902,7 @@ mod tests {
         assert_eq!(parsed.priority, 7);
         assert_eq!(parsed.timeout_ms, Some(1000));
         assert_eq!(parsed.threads, 2);
+        assert_eq!(parsed.fault_collapse, Some(false));
         match parsed.kind {
             JobKind::Pair {
                 circuit,
@@ -915,15 +933,21 @@ mod tests {
             timeout_ms: None,
             threads: 0,
             stream: false,
+            fault_collapse: None,
             netlist_format: NetlistFormat::Bench,
         };
         let line = spec.to_request_line();
         assert!(line.contains("\"netlist_format\":\"bench\""));
+        assert!(
+            !line.contains("fault_collapse"),
+            "None must stay off the wire"
+        );
         let parsed = match Request::parse(&line).unwrap() {
             Request::Submit(s) => *s,
             other => panic!("expected submit, got {other:?}"),
         };
         assert!(!parsed.stream);
+        assert_eq!(parsed.fault_collapse, None);
         match parsed.kind {
             JobKind::Seq {
                 machine: m,
@@ -953,6 +977,7 @@ mod tests {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            fault_collapse: Some(true),
             netlist_format: NetlistFormat::ScalText,
         };
         let parsed = match Request::parse(&spec.to_request_line()).unwrap() {
@@ -993,6 +1018,10 @@ mod tests {
                 "{\"cmd\":\"submit\",\"kind\":\"cpu\",\"unit\":\"logic\",\"workloads\":[\"rm -rf\"]}",
                 "bad_request",
             ),
+            (
+                "{\"cmd\":\"submit\",\"kind\":\"cpu\",\"unit\":\"logic\",\"fault_collapse\":\"yes\"}",
+                "bad_request",
+            ),
         ];
         for (line, code) in cases {
             match Request::parse(line) {
@@ -1016,6 +1045,7 @@ mod tests {
             timeout_ms: None,
             threads: 0,
             stream: true,
+            fault_collapse: None,
             netlist_format: NetlistFormat::ScalText,
         };
         let err = Request::parse(&spec.to_request_line()).unwrap_err();

@@ -427,7 +427,13 @@ fn run_one(inner: &SchedInner, job: &QueuedJob) {
     };
     let started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job(&job.spec.kind, threads, observer, Some(&job.token))
+        run_job(
+            &job.spec.kind,
+            threads,
+            job.spec.fault_collapse,
+            observer,
+            Some(&job.token),
+        )
     }));
     inner
         .instruments
@@ -523,6 +529,7 @@ mod tests {
             timeout_ms: None,
             threads: 1,
             stream: true,
+            fault_collapse: None,
             netlist_format: scal_netlist::NetlistFormat::ScalText,
         }
     }

@@ -73,7 +73,7 @@ fn run_locally(spec: &JobSpec) -> LocalRun {
         t => t.min(MAX_JOB_THREADS),
     };
     let collect = CollectObserver::new();
-    let out = run_job(&spec.kind, threads, &collect, None).expect("local run");
+    let out = run_job(&spec.kind, threads, spec.fault_collapse, &collect, None).expect("local run");
     LocalRun {
         report: json::parse(&out.report).expect("report json"),
         coverage: json::parse(&out.coverage.to_json()).expect("coverage json"),

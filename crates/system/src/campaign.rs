@@ -12,7 +12,7 @@
 
 use crate::cpu::{Cpu, CpuMode, Program};
 use crate::programs::{checksum, popcount, ARG0, RESULT};
-use scal_engine::EvalMode;
+use scal_engine::{collapse_overrides, resolve_fault_collapse, CompiledCircuit, EvalMode, Toggle};
 use scal_faults::{enumerate_faults, Fault};
 use scal_obs::{
     CampaignEvent, CampaignObserver, CancelToken, CoverageObserver, MultiObserver, NullObserver,
@@ -114,6 +114,7 @@ pub struct Campaign<'a> {
     observer: &'a dyn CampaignObserver,
     coverage: Option<&'a CoverageObserver>,
     cancel: Option<&'a CancelToken>,
+    fault_collapse: Toggle,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -123,6 +124,7 @@ impl std::fmt::Debug for Campaign<'_> {
             .field("workloads", &self.workloads.len())
             .field("budget", &self.budget)
             .field("cancel", &self.cancel.is_some())
+            .field("fault_collapse", &self.fault_collapse)
             .finish_non_exhaustive()
     }
 }
@@ -139,7 +141,20 @@ impl<'a> Campaign<'a> {
             observer: &NullObserver,
             coverage: None,
             cancel: None,
+            fault_collapse: Toggle::default(),
         }
+    }
+
+    /// Switches compile-time fault collapsing of the unit's fault list:
+    /// structurally equivalent stuck-at faults produce identical faulted
+    /// unit behaviour on every workload, so only class representatives run
+    /// the workload suite and each representative's verdict is expanded
+    /// over its class in fault order. Left untouched, collapsing defaults
+    /// to on (overridable through `SCAL_FAULT_COLLAPSE`).
+    #[must_use]
+    pub fn fault_collapse(mut self, on: bool) -> Self {
+        self.fault_collapse = on.into();
+        self
     }
 
     /// Replaces the workload suite.
@@ -205,6 +220,11 @@ impl<'a> Campaign<'a> {
     /// that is a broken workload, not a campaign outcome.
     #[must_use]
     pub fn run(self) -> CpuCampaign {
+        // Compile phase: extracting the unit netlist from the datapath and
+        // enumerating its fault sites is this campaign's whole compile story
+        // — the interpreted datapath carries no compiled schedule. Timed
+        // here; the phase events are emitted after the preamble below.
+        let t_compile = Instant::now();
         let unit_circuit = {
             let cpu = Cpu::new(CpuMode::Normal);
             match self.unit {
@@ -213,6 +233,24 @@ impl<'a> Campaign<'a> {
             }
         };
         let faults = enumerate_faults(&unit_circuit);
+        // Fault collapsing: structurally equivalent stuck-at faults on the
+        // unit netlist corrupt the interpreted datapath identically on every
+        // workload, so only class representatives run the workload suite.
+        // The unit netlist is combinational and engine-compatible; if it
+        // ever were not, the campaign falls back to the uncollapsed sweep.
+        let collapsed = resolve_fault_collapse(self.fault_collapse)
+            .expect("SCAL_FAULT_COLLAPSE must be one of 1/on/true/0/off/false")
+            .then(|| {
+                let compiled = CompiledCircuit::try_compile(&unit_circuit).ok()?;
+                let overrides: Vec<_> = faults.iter().map(|f| f.to_override()).collect();
+                Some(collapse_overrides(&compiled, &overrides))
+            })
+            .flatten();
+        let sim_faults: Vec<Fault> = match &collapsed {
+            Some(cl) => cl.reps.iter().map(|&r| faults[r as usize]).collect(),
+            None => faults.clone(),
+        };
+        let compile_micros = duration_micros(t_compile.elapsed());
         let mut fan = MultiObserver::new();
         fan.push(self.observer);
         if let Some(cov) = self.coverage {
@@ -231,6 +269,36 @@ impl<'a> Campaign<'a> {
             outputs: unit_circuit.outputs().len(),
             threads: 1,
         });
+        // One interpreted evaluation at a time: the geometry event keeps
+        // bench rows comparable with the lane-packed engine campaigns.
+        obs.on_event(&CampaignEvent::LaneGeometry {
+            width: 1,
+            fault_lanes: 0,
+            pattern_lanes: 1,
+            packing: "scalar",
+        });
+        obs.on_event(&CampaignEvent::PhaseStart {
+            phase: Phase::Compile,
+        });
+        obs.on_event(&CampaignEvent::PhaseEnd {
+            phase: Phase::Compile,
+            micros: compile_micros,
+        });
+        if let Some(cl) = &collapsed {
+            obs.on_event(&CampaignEvent::Span {
+                name: "collapse",
+                parent: "compile",
+                micros: cl.micros,
+                count: 1,
+                items: cl.num_faults() as u64,
+            });
+            obs.on_event(&CampaignEvent::FaultCollapse {
+                faults: cl.num_faults(),
+                representatives: cl.num_reps(),
+                dominance_edges: cl.dominance_edges,
+                micros: cl.micros,
+            });
+        }
 
         // Golden phase: every workload must pass fault-free.
         let t = Instant::now();
@@ -256,23 +324,30 @@ impl<'a> Campaign<'a> {
             micros: duration_micros(t.elapsed()),
         });
 
-        // Fault-simulation phase, cancellable at fault boundaries.
+        // Fault-simulation phase, cancellable at fault boundaries
+        // (representative boundaries when collapsing). Under collapsing the
+        // per-fault events move to the expansion below, which replays them
+        // in original fault order; progress is reported in representative
+        // units because that is the work actually remaining.
         let t = Instant::now();
         obs.on_event(&CampaignEvent::PhaseStart {
             phase: Phase::FaultSim,
         });
-        let mut results = Vec::with_capacity(faults.len());
         let mut periods = 0u64;
         let mut cancelled = false;
-        for (index, fault) in faults.iter().enumerate() {
+        let mut rep_outcomes: Vec<(CpuFaultResult, Option<u32>, u64)> =
+            Vec::with_capacity(sim_faults.len());
+        for (index, fault) in sim_faults.iter().enumerate() {
             if self.cancel.is_some_and(CancelToken::is_cancelled) {
                 cancelled = true;
                 break;
             }
-            obs.on_event(&CampaignEvent::FaultStart {
-                fault: index,
-                worker: 0,
-            });
+            if collapsed.is_none() {
+                obs.on_event(&CampaignEvent::FaultStart {
+                    fault: index,
+                    worker: 0,
+                });
+            }
             let mut r = CpuFaultResult {
                 fault: *fault,
                 detected: 0,
@@ -306,21 +381,65 @@ impl<'a> Campaign<'a> {
                 }
                 periods += cpu.stats().periods;
             }
-            obs.on_event(&CampaignEvent::FaultFinish {
-                fault: index,
-                worker: 0,
-                detected: r.detected,
-                violations: r.undetected_wrong,
-                observable: r.detected + r.undetected_wrong > 0,
-                dropped: false,
-                first_detected,
-                pairs: periods / 2,
-            });
-            results.push(r);
+            if collapsed.is_none() {
+                obs.on_event(&CampaignEvent::FaultFinish {
+                    fault: index,
+                    worker: 0,
+                    detected: r.detected,
+                    violations: r.undetected_wrong,
+                    observable: r.detected + r.undetected_wrong > 0,
+                    dropped: false,
+                    first_detected,
+                    pairs: periods / 2,
+                });
+            }
+            rep_outcomes.push((r, first_detected, periods / 2));
             obs.on_event(&CampaignEvent::Progress {
                 done: index + 1,
-                total: faults.len(),
+                total: sim_faults.len(),
             });
+        }
+        let mut results = Vec::with_capacity(faults.len());
+        match &collapsed {
+            None => results = rep_outcomes.into_iter().map(|(r, _, _)| r).collect(),
+            Some(cl) => {
+                // Expand representative verdicts over their classes, in
+                // original fault order. A cancelled sweep keeps exactly the
+                // originals whose representative completed AND whose every
+                // predecessor did too, so the result list stays a contiguous
+                // fault-ordered prefix just like the uncollapsed sweep.
+                let completed = cl.completed_prefix(rep_outcomes.len());
+                for (o, fault) in faults.iter().enumerate().take(completed) {
+                    let r = cl.rep_of[o] as usize;
+                    let (outcome, first_detected, pairs) = &rep_outcomes[r];
+                    obs.on_event(&CampaignEvent::FaultStart {
+                        fault: o,
+                        worker: 0,
+                    });
+                    let rep_original = cl.reps[r] as usize;
+                    if rep_original != o {
+                        obs.on_event(&CampaignEvent::FaultClass {
+                            fault: o,
+                            representative: rep_original,
+                            size: cl.class_sizes[r] as usize,
+                        });
+                    }
+                    obs.on_event(&CampaignEvent::FaultFinish {
+                        fault: o,
+                        worker: 0,
+                        detected: outcome.detected,
+                        violations: outcome.undetected_wrong,
+                        observable: outcome.detected + outcome.undetected_wrong > 0,
+                        dropped: false,
+                        first_detected: *first_detected,
+                        pairs: *pairs,
+                    });
+                    results.push(CpuFaultResult {
+                        fault: *fault,
+                        ..outcome.clone()
+                    });
+                }
+            }
         }
         obs.on_event(&CampaignEvent::PhaseEnd {
             phase: Phase::FaultSim,
@@ -413,7 +532,10 @@ mod tests {
 
     #[test]
     fn cancellation_returns_fault_ordered_prefix() {
-        let full = Campaign::new(CpuUnit::Logic).run();
+        // Collapsing pinned off: the cancel-after-2 observer and the length
+        // assertion below count individual faults, which under collapsing
+        // would be representative units instead.
+        let full = Campaign::new(CpuUnit::Logic).fault_collapse(false).run();
         let cancel = CancelToken::new();
 
         struct CancelAfter<'a> {
@@ -434,11 +556,48 @@ mod tests {
             after: 2,
         };
         let partial = Campaign::new(CpuUnit::Logic)
+            .fault_collapse(false)
             .observer(&obs)
             .cancel(&cancel)
             .run();
         assert!(partial.cancelled);
         assert_eq!(partial.results.len(), 2);
         assert_eq!(partial.results[..], full.results[..2]);
+    }
+
+    #[test]
+    fn collapsed_campaign_matches_uncollapsed() {
+        for unit in [CpuUnit::Adder, CpuUnit::Logic] {
+            let plain = Campaign::new(unit).fault_collapse(false).run();
+            let collect = CollectObserver::default();
+            let collapsed = Campaign::new(unit)
+                .fault_collapse(true)
+                .observer(&collect)
+                .run();
+            assert_eq!(collapsed.results, plain.results, "{unit:?} verdicts");
+            assert!(!collapsed.cancelled);
+            // The collapsed sweep must actually have merged classes and run
+            // less interpreted work than the full sweep.
+            let events = collect.events();
+            let (faults, reps) = events
+                .iter()
+                .find_map(|e| match e {
+                    CampaignEvent::FaultCollapse {
+                        faults,
+                        representatives,
+                        ..
+                    } => Some((*faults, *representatives)),
+                    _ => None,
+                })
+                .expect("FaultCollapse event");
+            assert_eq!(faults, plain.results.len());
+            assert!(reps < faults, "{unit:?} collapse must merge classes");
+            assert!(collapsed.periods < plain.periods, "{unit:?} rep-only work");
+            let classes = events
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::FaultClass { .. }))
+                .count();
+            assert_eq!(classes, faults - reps);
+        }
     }
 }

@@ -12,7 +12,15 @@ use scal::obs::{CampaignEvent, CampaignObserver, CancelToken, CoverageMap, Cover
 fn fig3_4_map(scalar: bool, threads: usize) -> CoverageMap {
     let fig = paper::fig3_4();
     let cov = CoverageObserver::new();
-    let mut campaign = Campaign::new(&fig.circuit).threads(threads).coverage(&cov);
+    // Pin the unpacked, uncollapsed cone path: the golden file pins the
+    // per-fault cone annotations, which auto-packing (full mode) and
+    // collapsing (representatives only) would thin out. Collapsed runs are
+    // differentially asserted identical in tests/collapse.rs.
+    let mut campaign = Campaign::new(&fig.circuit)
+        .threads(threads)
+        .fault_packing(false)
+        .fault_collapse(false)
+        .coverage(&cov);
     if scalar {
         campaign = campaign.scalar();
     }
@@ -105,6 +113,8 @@ fn coverage_maps_identical_across_backends_and_threads() {
         let cov = CoverageObserver::new();
         Campaign::new(&adder)
             .threads(threads)
+            .fault_packing(false)
+            .fault_collapse(false)
             .coverage(&cov)
             .run()
             .expect("adder campaign");

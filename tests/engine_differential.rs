@@ -354,10 +354,14 @@ fn cancelled_fault_packed_prefix_matches_unpacked_run() {
         token: &token,
         after: 1,
     };
+    // Collapsing is pinned off: the chunk-granularity assertion below
+    // counts original faults, which under collapsing no longer arrive in
+    // 63-fault chunks (representative chunks expand to ragged prefixes).
     let partial = Campaign::new(&c)
         .faults(faults)
         .threads(1)
         .fault_packing(true)
+        .fault_collapse(false)
         .observer(&observer)
         .cancel(&token)
         .run()
@@ -520,9 +524,12 @@ fn cancelled_packed_seq_prefix_matches_scalar_run() {
     };
     // Width 1 pins the 63-fault batch geometry the boundary assertion
     // below relies on; wider words pack whole batches into one word.
+    // Collapsing is pinned off: the boundary assertion counts original
+    // faults, which under collapsing no longer arrive in 63-fault batches.
     let partial = scal::seq::Campaign::new(&machine, &words)
         .threads(1)
         .word_width(1)
+        .fault_collapse(false)
         .observer(&observer)
         .cancel(&token)
         .run()

@@ -52,6 +52,17 @@ fn all_events() -> Vec<CampaignEvent> {
             items: 12,
         },
         CampaignEvent::LevelGates { level: 2, gates: 5 },
+        CampaignEvent::FaultCollapse {
+            faults: 10,
+            representatives: 6,
+            dominance_edges: 2,
+            micros: 7,
+        },
+        CampaignEvent::FaultClass {
+            fault: 3,
+            representative: 1,
+            size: 2,
+        },
         CampaignEvent::FaultStart {
             fault: 3,
             worker: 1,
@@ -114,7 +125,7 @@ fn wire_surface() -> String {
     lines.push(frame_accepted(7, 42, "pair", 4, 3));
     lines.push(frame_event(7, 42, &all_events()[0]));
     let spec = demo::pair_spec(4, false);
-    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("demo campaign");
+    let out = run_job(&spec.kind, 1, None, &NullObserver, None).expect("demo campaign");
     lines.push(frame_result(7, 42, &out.report, &out.coverage, 0));
     lines.push(frame_error(
         Some(7),
@@ -176,6 +187,11 @@ fn wire_surface() -> String {
         spec.netlist_format = format;
         lines.push(spec.to_request_line());
     }
+    // The fault-collapse submit knob is opt-in on the wire: absent means
+    // the backend default, a boolean pins the job's behavior.
+    let mut spec = demo::pair_spec(4, false);
+    spec.fault_collapse = Some(false);
+    lines.push(spec.to_request_line());
     let mut text = lines.join("\n");
     text.push('\n');
     text
@@ -205,7 +221,7 @@ fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
     let text = wire_surface();
     validate_jsonl(&text).expect("valid JSONL");
     let events = all_events();
-    assert_eq!(events.len(), 16, "new event variant? extend all_events()");
+    assert_eq!(events.len(), 18, "new event variant? extend all_events()");
     for e in &events {
         assert!(
             text.contains(&format!("\"ev\":\"{}\"", e.name())),
@@ -233,6 +249,10 @@ fn wire_surface_is_valid_jsonl_and_covers_every_variant() {
     assert!(text.contains("\"netlist_format\":\"verilog\""));
     assert!(text.contains("\"netlist_format\":\"bench\""));
     assert!(!text.contains("\"netlist_format\":\"text\""));
+    // The collapse knob is pinned by the final submit line; the default
+    // lines before it must not carry the field.
+    assert!(text.contains("\"fault_collapse\":false"));
+    assert!(!text.contains("\"fault_collapse\":true"));
 }
 
 #[test]
@@ -275,7 +295,7 @@ fn cpu_and_seq_reports_match_pinned_field_sets() {
         }
     };
     let spec = demo::seq_spec(4, scal::seq::SeqBackend::Packed, 8);
-    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("seq campaign");
+    let out = run_job(&spec.kind, 1, None, &NullObserver, None).expect("seq campaign");
     // `first_violation_word` rides along only when a violation occurred.
     let mut seq_keys = keys(&out.report);
     seq_keys.retain(|k| k != "first_violation_word");
@@ -290,6 +310,9 @@ fn cpu_and_seq_reports_match_pinned_field_sets() {
             "violations",
             "fault_secure",
             "cancelled",
+            "collapse_faults",
+            "collapse_representatives",
+            "collapse_ratio",
         ],
         "seq report schema drifted"
     );
@@ -297,7 +320,7 @@ fn cpu_and_seq_reports_match_pinned_field_sets() {
     let JobKind::Cpu { .. } = spec.kind else {
         panic!("demo cpu spec changed kind")
     };
-    let out = run_job(&spec.kind, 1, &NullObserver, None).expect("cpu campaign");
+    let out = run_job(&spec.kind, 1, None, &NullObserver, None).expect("cpu campaign");
     assert_eq!(
         keys(&out.report),
         [
@@ -305,8 +328,14 @@ fn cpu_and_seq_reports_match_pinned_field_sets() {
             "faults",
             "undetected_wrong",
             "periods",
-            "cancelled"
+            "cancelled",
+            "collapse_faults",
+            "collapse_representatives",
+            "collapse_ratio",
         ],
         "cpu report schema drifted"
     );
+    // Forcing the knob off restores the pre-collapse report shape.
+    let out = run_job(&spec.kind, 1, Some(false), &NullObserver, None).expect("cpu campaign");
+    assert!(!out.report.contains("collapse_ratio"));
 }
